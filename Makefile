@@ -1,0 +1,31 @@
+# Convenience targets for the Data Sliding reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-all bench bench-full figures examples clean
+
+install:
+	pip install -e . || \
+	  echo "$(CURDIR)/src" > $$($(PYTHON) -c 'import site; print(site.getsitepackages()[0])')/repro-dev.pth
+
+test:            ## fast suite (excludes @slow)
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+test-all:        ## everything, including the 1M-element slow tests
+	$(PYTHON) -m pytest tests/
+
+bench:           ## regenerate every figure/table + time the kernels (1M scale)
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:      ## same, at the paper's 16M / 12000x11999 sizes
+	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:         ## print every reproduced figure and Table I
+	$(PYTHON) -m repro all
+
+examples:        ## run all example scripts
+	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

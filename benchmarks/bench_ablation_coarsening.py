@@ -1,0 +1,74 @@
+"""Ablation: work-group size x coarsening factor tuning surface.
+
+Figure 6 sweeps coarsening at wg=256; this ablation completes the grid
+the paper tuned over, showing the trade-off surface (many small groups
+= chain-bound; huge tiles = spill-bound; the plateau in between) and
+the per-device sweet spots the defaults in
+:mod:`repro.core.coarsening` encode.
+"""
+
+import numpy as np
+
+from _common import BENCH_MATRIX, ROUNDS, emit
+from repro.analysis import render_table
+from repro.core.coarsening import choose_coarsening
+from repro.perfmodel import (
+    ds_regular_launches,
+    gbps,
+    pad_useful_bytes,
+    price_pipeline,
+)
+from repro.primitives import ds_pad
+from repro.simgpu import get_device, list_devices
+from repro.workloads import padding_matrix
+
+
+def tuning_surface() -> str:
+    device = get_device("maxwell")
+    rows_n, cols_n = 12000, 11999
+    n = rows_n * cols_n
+    useful = pad_useful_bytes(rows_n, cols_n, 4)
+    coarsenings = (1, 4, 8, 16, 32, 48)
+    rows = [["wg size \\ coarsening"] + [str(c) for c in coarsenings]]
+    for wg in (64, 128, 256, 512):
+        row = [str(wg)]
+        for cf in coarsenings:
+            launches = ds_regular_launches(n, n, 4, device,
+                                           wg_size=wg, coarsening=cf)
+            row.append(f"{gbps(useful, price_pipeline(launches, device).total_us):.0f}")
+        rows.append(row)
+    return ("== ablation: DS Padding GB/s over (wg size, coarsening) on "
+            "Maxwell, 12000x11999 ==\n" + render_table(rows, indent="   "))
+
+
+def defaults_table() -> str:
+    rows = [["device", "default cf (f32)", "default cf (f64)",
+             "capacity limit (f32)"]]
+    for device in list_devices():
+        rows.append([device.name,
+                     str(choose_coarsening(device, 4)),
+                     str(choose_coarsening(device, 8)),
+                     str(device.max_coarsening(4))])
+    return ("== ablation: per-device coarsening defaults vs capacity ==\n"
+            + render_table(rows, indent="   "))
+
+
+def test_ablation_coarsening(benchmark):
+    emit(tuning_surface(), "ablation_tuning_surface")
+    emit(defaults_table(), "ablation_coarsening_defaults")
+
+    rows_n, cols_n = BENCH_MATRIX
+    matrix = padding_matrix(rows_n, cols_n)
+
+    def run():
+        return ds_pad(matrix, 1, wg_size=256, seed=24)
+
+    result = benchmark.pedantic(run, **ROUNDS)
+    assert np.array_equal(result.output[:, :cols_n], matrix)
+
+    # The measured event structure behind the surface: smaller tiles
+    # mean proportionally more flag hops.
+    few = ds_pad(matrix, 1, wg_size=256, coarsening=16, seed=24)
+    many = ds_pad(matrix, 1, wg_size=256, coarsening=2, seed=24)
+    assert many.counters[0].extras["adjacent_syncs"] > (
+        6 * few.counters[0].extras["adjacent_syncs"])

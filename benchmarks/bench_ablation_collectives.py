@@ -1,0 +1,96 @@
+"""Ablation: collective variants and critical-path ordering.
+
+Two design choices DESIGN.md calls out for ablation:
+
+1. **scan variant** — the balanced-tree binary prefix sum (base)
+   versus ballot+popc (Fermi+) versus shuffle (Kepler+): the modelled
+   gap is the paper's "+6% to +45%" (Figures 14/17/20), and the real
+   simulated kernels must agree bit-for-bit across variants;
+2. **reduce-then-sync vs scan-first** — Algorithm 2 allows computing
+   all ranks before the synchronization; the paper (after StreamScan)
+   prefers reducing first so only the cheap reduction sits on the
+   inter-group critical path.  Functionally identical; the emitted
+   table quantifies the modelled critical-path difference.
+"""
+
+import numpy as np
+
+from _common import BENCH_ELEMENTS, ROUNDS, emit
+from repro.analysis import render_table
+from repro.perfmodel import (
+    collective_rounds_per_wg,
+    ds_irregular_launches,
+    gbps,
+    price_pipeline,
+    select_useful_bytes,
+)
+from repro.primitives import ds_stream_compact
+from repro.simgpu import get_device
+from repro.workloads import compaction_array
+
+
+def variant_table() -> str:
+    n = 16 * 1024 * 1024
+    kept = n // 2
+    useful = select_useful_bytes(n, kept, 4)
+    rows = [["device", "api", "tree GB/s", "ballot GB/s", "shuffle GB/s",
+             "best gain"]]
+    for dev_name, api in (("fermi", "cuda"), ("kepler", "cuda"),
+                          ("maxwell", "cuda"), ("maxwell", "opencl"),
+                          ("hawaii", "opencl")):
+        device = get_device(dev_name)
+        vals = {}
+        for variant in ("tree", "ballot", "shuffle"):
+            launches = ds_irregular_launches(
+                n, kept, 4, device,
+                scan_variant=variant,
+                reduction_variant="shuffle" if variant == "shuffle" else "tree",
+            )
+            vals[variant] = gbps(useful, price_pipeline(
+                launches, device, api=api).total_us)
+        gain = (max(vals.values()) - vals["tree"]) / vals["tree"] * 100
+        rows.append([dev_name, api, f"{vals['tree']:.1f}",
+                     f"{vals['ballot']:.1f}", f"{vals['shuffle']:.1f}",
+                     f"+{gain:.0f}%"])
+    return ("== ablation: binary prefix-sum variant (16M, 50%) ==\n"
+            + render_table(rows, indent="   "))
+
+
+def ordering_table() -> str:
+    rows = [["wg_size", "coarsening", "rounds (reduce-first)",
+             "rounds on critical path (scan-first)"]]
+    for wg, cf in ((256, 8), (256, 16), (128, 16)):
+        reduce_first = collective_rounds_per_wg(wg, 32, cf, "tree", "tree")
+        # scan-first puts every scan round before the flag hop.
+        scan_rounds = reduce_first - collective_rounds_per_wg(
+            wg, 32, 1, "tree", "tree") + 2 * (wg.bit_length() - 1)
+        rows.append([str(wg), str(cf),
+                     f"{collective_rounds_per_wg(wg, 32, cf, 'tree', 'tree'):.0f}"
+                     " (only the reduction pre-sync)",
+                     f"{scan_rounds:.0f} (all scans pre-sync)"])
+    return ("== ablation: reduce-then-sync vs scan-first critical path ==\n"
+            + render_table(rows, indent="   "))
+
+
+def test_ablation_collectives(benchmark):
+    emit(variant_table(), "ablation_collectives")
+    emit(ordering_table(), "ablation_ordering")
+
+    values = compaction_array(BENCH_ELEMENTS, 0.5, seed=20)
+
+    def run_optimized():
+        return ds_stream_compact(values, 0.0, wg_size=256,
+                                 scan_variant="ballot",
+                                 reduction_variant="shuffle", seed=20)
+
+    result = benchmark.pedantic(run_optimized, **ROUNDS)
+
+    # All variants and both orderings produce identical bits.
+    small = compaction_array(128 * 1024, 0.5, seed=21)
+    outputs = []
+    for variant in ("tree", "ballot", "shuffle"):
+        outputs.append(ds_stream_compact(small, 0.0, wg_size=256,
+                                         scan_variant=variant,
+                                         seed=21).output)
+    assert all(np.array_equal(outputs[0], o) for o in outputs[1:])
+    assert result.extras["n_kept"] == BENCH_ELEMENTS - BENCH_ELEMENTS // 2

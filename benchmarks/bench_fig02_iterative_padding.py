@@ -1,0 +1,29 @@
+"""Figure 2 — the iterative baseline's parallelism decay on the K20.
+
+Emits the per-iteration throughput/parallelism table for the paper's
+5000x4900 -> square padding, then times the iterative baseline itself
+(the thing whose cost motivates the whole paper) on the simulator.
+"""
+
+import numpy as np
+
+from _common import BENCH_MATRIX, FULL_SCALE, ROUNDS, emit
+from repro.analysis.figures import fig02_iterative_padding
+from repro.baselines import sung_pad
+from repro.workloads import padding_matrix
+
+
+def test_fig02_iterative_padding(benchmark):
+    emit(fig02_iterative_padding(), "fig02")
+
+    rows, cols = (200, 190) if not FULL_SCALE else (1000, 980)
+    pad = rows - cols
+    matrix = padding_matrix(rows, cols)
+
+    def run():
+        return sung_pad(matrix, pad, wg_size=64, seed=1)
+
+    result = benchmark.pedantic(run, **ROUNDS)
+    assert np.array_equal(result.output[:, :cols], matrix)
+    assert result.extras["iterations"][0].parallelism > 1
+    assert result.extras["iterations"][-1].parallelism == 1

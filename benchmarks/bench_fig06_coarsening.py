@@ -1,0 +1,34 @@
+"""Figure 6 — DS Padding coarsening-factor sweep on Maxwell.
+
+Emits the modelled sweep (rise as the sync chain amortizes, plateau,
+spill cliff at 40/48), then times the real DS Padding kernel at the
+architecture's tuned coarsening versus coarsening 1, asserting the
+event-level structure behind the sweep (fewer work-groups, fewer
+adjacent synchronizations).
+"""
+
+import numpy as np
+
+from _common import BENCH_MATRIX, ROUNDS, emit
+from repro.analysis.figures import fig06_coarsening
+from repro.primitives import ds_pad
+from repro.workloads import padding_matrix
+
+
+def test_fig06_coarsening(benchmark):
+    emit(fig06_coarsening(), "fig06")
+
+    rows, cols = BENCH_MATRIX
+    matrix = padding_matrix(rows, cols)
+
+    def run():
+        return ds_pad(matrix, 1, wg_size=256, coarsening=16, seed=2)
+
+    result = benchmark.pedantic(run, **ROUNDS)
+    assert np.array_equal(result.output[:, :cols], matrix)
+
+    low_cf = ds_pad(matrix, 1, wg_size=256, coarsening=1, seed=2)
+    # ~16x the work-groups (hence ~16x the adjacent synchronizations)
+    # at coarsening 1 — the left edge of Figure 6.
+    ratio = low_cf.extras["n_workgroups"] / result.extras["n_workgroups"]
+    assert 15.0 <= ratio <= 16.0

@@ -1,0 +1,36 @@
+"""Figure 8 — DS Padding vs Sung's baseline (Maxwell and Hawaii).
+
+Emits both panels (size sweep with one padded column; padded-column
+sweep at 5000 rows) for both devices, then times DS Padding on the
+simulator and cross-checks its speedup structure against the baseline's
+launch counts.
+"""
+
+import numpy as np
+
+from _common import BENCH_MATRIX, ROUNDS, emit
+from repro.analysis.figures import fig08_padding_columns, fig08_padding_sizes
+from repro.baselines import sung_pad
+from repro.primitives import ds_pad
+from repro.workloads import padding_matrix
+
+
+def test_fig08_padding(benchmark):
+    for device in ("maxwell", "hawaii"):
+        emit(fig08_padding_sizes(device), f"fig08ab_{device}")
+        emit(fig08_padding_columns(device), f"fig08cd_{device}")
+
+    rows, cols = BENCH_MATRIX
+    matrix = padding_matrix(rows, cols)
+
+    def run():
+        return ds_pad(matrix, 1, wg_size=256, seed=3)
+
+    result = benchmark.pedantic(run, **ROUNDS)
+    assert np.array_equal(result.output[:, :cols], matrix)
+    assert result.num_launches == 1
+
+    # Structural contrast: the baseline needs one launch per iteration.
+    small = padding_matrix(64, 60)
+    baseline = sung_pad(small, 4, wg_size=64)
+    assert baseline.num_launches > 1

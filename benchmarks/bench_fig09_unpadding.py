@@ -1,0 +1,30 @@
+"""Figure 9 — DS Unpadding vs the single-work-group baseline."""
+
+import numpy as np
+
+from _common import BENCH_MATRIX, ROUNDS, emit
+from repro.analysis.figures import fig09_unpadding_columns, fig09_unpadding_sizes
+from repro.baselines import sung_unpad
+from repro.primitives import ds_unpad
+from repro.reference import unpad_ref
+from repro.workloads import padding_matrix
+
+
+def test_fig09_unpadding(benchmark):
+    for device in ("maxwell", "hawaii"):
+        emit(fig09_unpadding_sizes(device), f"fig09ab_{device}")
+        emit(fig09_unpadding_columns(device), f"fig09cd_{device}")
+
+    rows, cols = BENCH_MATRIX
+    matrix = padding_matrix(rows, cols)
+
+    def run():
+        return ds_unpad(matrix, 1, wg_size=256, seed=4)
+
+    result = benchmark.pedantic(run, **ROUNDS)
+    assert np.array_equal(result.output, unpad_ref(matrix, 1))
+
+    # The baseline really is a one-work-group kernel.
+    small = padding_matrix(48, 40)
+    baseline = sung_unpad(small, 8, wg_size=64)
+    assert baseline.counters[0].peak_resident == 1

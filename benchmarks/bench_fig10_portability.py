@@ -1,0 +1,38 @@
+"""Figure 10 — double-precision pad/unpad across the six platforms.
+
+Emits both operation tables (every catalog device, two CPU compilers),
+prints the CPU-vs-sequential comparison from the paper's text, and
+times a double-precision DS Padding run.
+"""
+
+import numpy as np
+
+from _common import BENCH_MATRIX, ROUNDS, emit
+from repro.analysis import cpu_sequential_comparison, render_table
+from repro.analysis.figures import fig10_portability
+from repro.primitives import ds_pad
+from repro.workloads import padding_matrix
+
+
+def test_fig10_portability(benchmark):
+    emit(fig10_portability("pad"), "fig10_pad")
+    emit(fig10_portability("unpad"), "fig10_unpad")
+
+    rows = [["operation", "DS (MxPA) GB/s", "sequential GB/s",
+             "speedup", "paper speedup"]]
+    for r in cpu_sequential_comparison():
+        rows.append([r["operation"], f"{r['ds_gbps']:.2f}",
+                     f"{r['seq_gbps']:.2f}", f"{r['speedup']:.2f}",
+                     f"{r['paper_speedup']:.2f}"])
+    emit("== CPU: DS (MxPA) vs sequential baseline ==\n"
+         + render_table(rows, indent="   "), "fig10_cpu_sequential")
+
+    m_rows, m_cols = BENCH_MATRIX
+    matrix = padding_matrix(m_rows, m_cols, dtype=np.float64)
+
+    def run():
+        return ds_pad(matrix, 1, wg_size=256, seed=5)
+
+    result = benchmark.pedantic(run, **ROUNDS)
+    assert result.output.dtype == np.float64
+    assert np.array_equal(result.output[:, :m_cols], matrix)

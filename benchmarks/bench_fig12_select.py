@@ -1,0 +1,31 @@
+"""Figure 12 — select primitives vs Thrust across the fraction sweep."""
+
+import numpy as np
+
+from _common import BENCH_ELEMENTS, ROUNDS, emit
+from repro.analysis.figures import fig12_select
+from repro.baselines.thrust import thrust_remove_if
+from repro.primitives import ds_remove_if
+from repro.reference import remove_if_ref
+from repro.workloads import predicate_fraction_array
+
+
+def test_fig12_select(benchmark):
+    emit(fig12_select(), "fig12")
+
+    values, pred = predicate_fraction_array(BENCH_ELEMENTS, 0.5, seed=6)
+
+    def run():
+        return ds_remove_if(values, pred, wg_size=256, seed=6)
+
+    result = benchmark.pedantic(run, **ROUNDS)
+    assert result.extras["n_removed"] == BENCH_ELEMENTS // 2
+    assert np.array_equal(result.output, remove_if_ref(values, pred))
+
+    # Structural contrast at a smaller size: the DS version is a single
+    # launch moving ~2.6x fewer bytes than Thrust's pipeline.
+    small, spred = predicate_fraction_array(64 * 1024, 0.5, seed=7)
+    ds = ds_remove_if(small, spred, wg_size=256, seed=7)
+    th = thrust_remove_if(small, spred, wg_size=256, seed=7)
+    assert ds.num_launches == 1 and th.num_launches == 5
+    assert th.bytes_moved > 2.0 * ds.bytes_moved

@@ -1,0 +1,26 @@
+"""Figure 14 — OpenCL stream compaction across all seven platforms."""
+
+import numpy as np
+
+from _common import BENCH_ELEMENTS, ROUNDS, emit
+from repro.analysis.figures import fig14_compaction_portability
+from repro.primitives import ds_stream_compact
+from repro.reference import compact_ref
+from repro.simgpu import Stream
+from repro.workloads import compaction_array
+
+
+def test_fig14_compaction_portability(benchmark):
+    emit(fig14_compaction_portability(), "fig14")
+
+    # Time the OpenCL path with optimized (emulated-shuffle) collectives.
+    values = compaction_array(BENCH_ELEMENTS, 0.5, seed=10)
+
+    def run():
+        return ds_stream_compact(values, 0.0, Stream("hawaii", seed=10),
+                                 wg_size=256, scan_variant="ballot",
+                                 reduction_variant="shuffle")
+
+    result = benchmark.pedantic(run, **ROUNDS)
+    assert np.array_equal(result.output, compact_ref(values, 0.0))
+    assert result.device.name == "hawaii"

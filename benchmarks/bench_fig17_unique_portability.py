@@ -1,0 +1,22 @@
+"""Figure 17 — OpenCL unique across all seven platforms."""
+
+import numpy as np
+
+from _common import BENCH_ELEMENTS, ROUNDS, emit
+from repro.analysis.figures import fig17_unique_portability
+from repro.primitives import ds_unique
+from repro.reference import unique_ref
+from repro.simgpu import Stream
+from repro.workloads import runs_array
+
+
+def test_fig17_unique_portability(benchmark):
+    emit(fig17_unique_portability(), "fig17")
+
+    values = runs_array(BENCH_ELEMENTS, 0.5, seed=13)
+
+    def run():
+        return ds_unique(values, Stream("kepler", seed=13), wg_size=256)
+
+    result = benchmark.pedantic(run, **ROUNDS)
+    assert np.array_equal(result.output, unique_ref(values))

@@ -1,0 +1,30 @@
+"""Figure 19 — partition vs Thrust's four entry points."""
+
+import numpy as np
+
+from _common import BENCH_ELEMENTS, ROUNDS, emit
+from repro.analysis.figures import fig19_partition
+from repro.baselines.thrust import thrust_stable_partition
+from repro.primitives import ds_partition
+from repro.reference import partition_ref
+from repro.workloads import predicate_fraction_array
+
+
+def test_fig19_partition(benchmark):
+    emit(fig19_partition(), "fig19")
+
+    values, pred = predicate_fraction_array(BENCH_ELEMENTS, 0.5, seed=14)
+
+    def run():
+        return ds_partition(values, pred, wg_size=256, seed=14)
+
+    result = benchmark.pedantic(run, **ROUNDS)
+    expected, n_true = partition_ref(values, pred)
+    assert result.extras["n_true"] == n_true
+    assert np.array_equal(result.output, expected)
+
+    small, spred = predicate_fraction_array(64 * 1024, 0.5, seed=15)
+    ds = ds_partition(small, spred, wg_size=256, seed=15)
+    th = thrust_stable_partition(small, spred, wg_size=256, seed=15)
+    assert np.array_equal(ds.output, th.output)
+    assert ds.num_launches == 2 and th.num_launches == 6

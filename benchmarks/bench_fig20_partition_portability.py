@@ -1,0 +1,24 @@
+"""Figure 20 — OpenCL partition across all seven platforms."""
+
+import numpy as np
+
+from _common import BENCH_ELEMENTS, ROUNDS, emit
+from repro.analysis.figures import fig20_partition_portability
+from repro.primitives import ds_partition
+from repro.reference import partition_ref
+from repro.simgpu import Stream
+from repro.workloads import predicate_fraction_array
+
+
+def test_fig20_partition_portability(benchmark):
+    emit(fig20_partition_portability(), "fig20")
+
+    values, pred = predicate_fraction_array(BENCH_ELEMENTS, 0.5, seed=16)
+
+    def run():
+        return ds_partition(values, pred, Stream("cpu-mxpa", seed=16),
+                            wg_size=256)
+
+    result = benchmark.pedantic(run, **ROUNDS)
+    expected, _ = partition_ref(values, pred)
+    assert np.array_equal(result.output, expected)

@@ -1,0 +1,47 @@
+"""Table I — the paper's headline summary, model vs paper side by side.
+
+Emits the full table (every primitive/device row with reproduced and
+published GB/s and speedups), then times the flagship primitive (DS
+Stream Compaction) as this harness's reference measurement.
+"""
+
+import numpy as np
+
+from _common import BENCH_ELEMENTS, ROUNDS, emit
+from repro.analysis import render_table, table1_summary
+from repro.primitives import ds_stream_compact
+from repro.reference import compact_ref
+from repro.workloads import compaction_array
+
+
+def render_table1() -> str:
+    rows = [["primitive", "device", "DS GB/s", "vs", "comp GB/s",
+             "speedup", "paper DS", "paper comp", "paper speedup"]]
+    for r in table1_summary():
+        rows.append([
+            r["primitive"], r["device"],
+            f"{r['ds_gbps']:.2f}", r["competitor"],
+            f"{r['competitor_gbps']:.2f}", f"{r['speedup']:.2f}x",
+            f"{r['paper_ds']:.2f}", f"{r['paper_competitor']:.2f}",
+            f"{r['paper_speedup']:.2f}x",
+        ])
+    return ("== Table I: in-place single-precision summary "
+            "(model vs paper) ==\n" + render_table(rows, indent="   "))
+
+
+def test_table1_summary(benchmark):
+    emit(render_table1(), "table1")
+
+    values = compaction_array(BENCH_ELEMENTS, 0.5, seed=17)
+
+    def run():
+        return ds_stream_compact(values, 0.0, wg_size=256,
+                                 scan_variant="shuffle",
+                                 reduction_variant="shuffle", seed=17)
+
+    result = benchmark.pedantic(run, **ROUNDS)
+    assert np.array_equal(result.output, compact_ref(values, 0.0))
+
+    # Every reproduced speedup points the same way as the paper's.
+    for row in table1_summary():
+        assert row["speedup"] > 1.0, row

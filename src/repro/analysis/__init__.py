@@ -1,0 +1,23 @@
+"""Figure/table reproduction layer: metric helpers, text rendering, and
+one generator per data figure of the paper (see the FIGURES registry)."""
+
+from repro.analysis.export import figure_to_csv, figure_to_dict, table1_to_csv
+from repro.analysis.figures import FIGURES, cpu_sequential_comparison, table1_summary
+from repro.analysis.metrics import geometric_mean, percent_gain, speedup
+from repro.analysis.reporting import FigureData, Series, render_figure, render_table
+
+__all__ = [
+    "FIGURES",
+    "table1_summary",
+    "cpu_sequential_comparison",
+    "speedup",
+    "percent_gain",
+    "geometric_mean",
+    "FigureData",
+    "Series",
+    "render_figure",
+    "render_table",
+    "figure_to_csv",
+    "figure_to_dict",
+    "table1_to_csv",
+]

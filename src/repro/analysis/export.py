@@ -1,0 +1,66 @@
+"""Machine-readable export of reproduced figures.
+
+The benchmark harness emits fixed-width text; for users who want to
+plot the reproduced series against the paper's charts with their own
+tooling, these helpers serialize any
+:class:`~repro.analysis.reporting.FigureData` (or the Table I rows) to
+CSV or plain dictionaries.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.analysis.reporting import FigureData
+
+__all__ = ["figure_to_csv", "figure_to_dict", "table1_to_csv"]
+
+
+def figure_to_dict(fig: FigureData) -> Dict[str, list]:
+    """Column-oriented dict: the x ticks plus one column per series."""
+    out: Dict[str, list] = {fig.x_label: list(fig.x_ticks)}
+    for s in fig.series:
+        out[s.name] = list(s.values)
+    return out
+
+
+def figure_to_csv(
+    fig: FigureData,
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Serialize a figure to CSV (header row = x label + series names).
+
+    Returns the CSV text; additionally writes it to ``path`` if given.
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow([fig.x_label] + [s.name for s in fig.series])
+    for i, x in enumerate(fig.x_ticks):
+        writer.writerow([x] + [s.values[i] for s in fig.series])
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def table1_to_csv(path: Optional[Union[str, Path]] = None) -> str:
+    """Serialize the reproduced Table I (with the paper's numbers
+    alongside) to CSV."""
+    from repro.analysis.figures import table1_summary
+
+    rows = table1_summary()
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    fields = ["primitive", "device", "ds_gbps", "competitor",
+              "competitor_gbps", "speedup", "paper_ds", "paper_competitor",
+              "paper_speedup"]
+    writer.writerow(fields)
+    for row in rows:
+        writer.writerow([row[f] for f in fields])
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

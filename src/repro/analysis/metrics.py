@@ -1,0 +1,37 @@
+"""Small metric helpers shared by the figure generators and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ModelError
+
+__all__ = ["speedup", "percent_gain", "geometric_mean"]
+
+
+def speedup(ours: float, baseline: float) -> float:
+    """Throughput ratio ours/baseline (>1 means we win), as the paper
+    reports its speedups (it compares GB/s, not times)."""
+    if baseline <= 0 or ours <= 0:
+        raise ModelError(f"throughputs must be positive: {ours}, {baseline}")
+    return ours / baseline
+
+
+def percent_gain(optimized: float, base: float) -> float:
+    """The paper's "+7% to +40%" convention for optimized collectives."""
+    if base <= 0:
+        raise ModelError(f"base throughput must be positive: {base}")
+    return (optimized - base) / base * 100.0
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for ratios/speedups)."""
+    vals = list(values)
+    if not vals:
+        raise ModelError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ModelError("geometric mean requires positive values")
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))

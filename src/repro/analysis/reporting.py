@@ -1,0 +1,81 @@
+"""Text rendering of figure data: fixed-width tables for the benchmark
+harness, mirroring the rows/series the paper's figures plot.
+
+The benchmark scripts print these tables (one per paper figure) so a
+reader can compare the reproduced shape — who wins, by how much, where
+the crossovers are — against the original charts without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Series", "FigureData", "render_figure", "render_table"]
+
+
+@dataclass
+class Series:
+    """One line/bar group of a figure: a name and y value per x tick."""
+
+    name: str
+    values: List[float]
+
+
+@dataclass
+class FigureData:
+    """A reproduced figure: labelled x ticks and one or more series."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    x_ticks: List
+    y_label: str
+    series: List[Series]
+    notes: List[str] = field(default_factory=list)
+
+    def series_by_name(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"{self.figure_id}: no series named {name!r}")
+
+    def as_rows(self) -> List[List[str]]:
+        header = [self.x_label] + [s.name for s in self.series]
+        rows = [header]
+        for i, x in enumerate(self.x_ticks):
+            row = [str(x)]
+            for s in self.series:
+                v = s.values[i]
+                row.append(f"{v:.2f}" if v is not None else "-")
+            rows.append(row)
+        return rows
+
+
+def render_table(rows: Sequence[Sequence[str]], *, indent: str = "") -> str:
+    """Fixed-width table from rows of strings (first row is the header)."""
+    if not rows:
+        return ""
+    widths = [0] * max(len(r) for r in rows)
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    for j, row in enumerate(rows):
+        cells = [str(c).rjust(widths[i]) if i else str(c).ljust(widths[0])
+                 for i, c in enumerate(row)]
+        lines.append(indent + "  ".join(cells))
+        if j == 0:
+            lines.append(indent + "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_figure(fig: FigureData) -> str:
+    """Render a :class:`FigureData` as a titled text table plus notes."""
+    out = [f"== {fig.figure_id}: {fig.title} ==",
+           f"   (y axis: {fig.y_label})"]
+    out.append(render_table(fig.as_rows(), indent="   "))
+    for note in fig.notes:
+        out.append(f"   note: {note}")
+    return "\n".join(out)

@@ -1,0 +1,176 @@
+"""High-level convenience API for the Data Sliding library.
+
+These functions expose the paper's primitives with a plain-NumPy
+surface and a ``backend`` switch:
+
+* ``backend="sim"`` (default) executes the real in-place DS kernels on
+  the functional many-core simulator — the faithful reproduction, with
+  launch counters available for performance analysis;
+* ``backend="numpy"`` executes the reference semantics directly —
+  bit-identical results at native NumPy speed, for users who want the
+  primitives' behaviour on large data without simulating a device.
+
+Every function returns the result array; pass ``return_result=True`` to
+receive the full :class:`~repro.primitives.common.PrimitiveResult`
+(counters, device, extras) instead.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.api import compact
+>>> compact(np.asarray([3.0, 0.0, 7.0, 0.0, 1.0], dtype=np.float32), 0.0)
+array([3., 7., 1.], dtype=float32)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.predicates import Predicate
+from repro.errors import ReproError
+from repro.primitives import (
+    ds_copy_if,
+    ds_pad,
+    ds_partition,
+    ds_remove_if,
+    ds_stream_compact,
+    ds_unique,
+    ds_unpad,
+)
+from repro.primitives.common import PrimitiveResult
+from repro.reference import (
+    compact_ref,
+    copy_if_ref,
+    pad_ref,
+    partition_ref,
+    remove_if_ref,
+    unique_ref,
+    unpad_ref,
+)
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.stream import Stream
+
+__all__ = ["pad", "unpad", "remove_if", "copy_if", "compact", "unique", "partition"]
+
+StreamLike = Optional[Union[Stream, DeviceSpec, str]]
+
+
+def _check_backend(backend: str) -> None:
+    if backend not in ("sim", "numpy"):
+        raise ReproError(f"backend must be 'sim' or 'numpy', got {backend!r}")
+
+
+def _empty_result(values: np.ndarray, extras: dict) -> PrimitiveResult:
+    """Zero-element inputs short-circuit: a launch needs at least one
+    work-group, and the semantics are trivially an empty output."""
+    return _wrap_numpy(np.asarray(values).reshape(-1).copy(), extras)
+
+
+def _wrap_numpy(output: np.ndarray, extras: dict) -> PrimitiveResult:
+    from repro.simgpu.device import get_device
+
+    return PrimitiveResult(
+        output=output, counters=[], device=get_device("maxwell"),
+        extras={**extras, "backend": "numpy"},
+    )
+
+
+def pad(matrix: np.ndarray, columns: int, *, backend: str = "sim",
+        fill=0, stream: StreamLike = None, return_result: bool = False, **kw):
+    """Append ``columns`` extra columns to a row-major matrix (DS Padding)."""
+    _check_backend(backend)
+    if backend == "numpy":
+        result = _wrap_numpy(pad_ref(matrix, columns, fill=fill),
+                             {"pad": columns})
+    else:
+        result = ds_pad(matrix, columns, stream, fill=fill, **kw)
+    return result if return_result else result.output
+
+
+def unpad(matrix: np.ndarray, columns: int, *, backend: str = "sim",
+          stream: StreamLike = None, return_result: bool = False, **kw):
+    """Remove the last ``columns`` columns of a matrix (DS Unpadding)."""
+    _check_backend(backend)
+    if backend == "numpy":
+        result = _wrap_numpy(unpad_ref(matrix, columns), {"pad": columns})
+    else:
+        result = ds_unpad(matrix, columns, stream, **kw)
+    return result if return_result else result.output
+
+
+def remove_if(values: np.ndarray, predicate: Predicate, *, backend: str = "sim",
+              stream: StreamLike = None, return_result: bool = False, **kw):
+    """Remove elements satisfying ``predicate``, stably and in place
+    (DS Remove_if)."""
+    _check_backend(backend)
+    if np.asarray(values).size == 0:
+        result = _empty_result(values, {"n_kept": 0})
+    elif backend == "numpy":
+        out = remove_if_ref(values, predicate)
+        result = _wrap_numpy(out, {"n_kept": out.size})
+    else:
+        result = ds_remove_if(values, predicate, stream, **kw)
+    return result if return_result else result.output
+
+
+def copy_if(values: np.ndarray, predicate: Predicate, *, backend: str = "sim",
+            stream: StreamLike = None, return_result: bool = False, **kw):
+    """Copy elements satisfying ``predicate`` to a fresh array (DS Copy_if)."""
+    _check_backend(backend)
+    if np.asarray(values).size == 0:
+        result = _empty_result(values, {"n_kept": 0})
+    elif backend == "numpy":
+        out = copy_if_ref(values, predicate)
+        result = _wrap_numpy(out, {"n_kept": out.size})
+    else:
+        result = ds_copy_if(values, predicate, stream, **kw)
+    return result if return_result else result.output
+
+
+def compact(values: np.ndarray, remove_value, *, backend: str = "sim",
+            stream: StreamLike = None, return_result: bool = False, **kw):
+    """Drop every occurrence of ``remove_value`` (DS Stream Compaction)."""
+    _check_backend(backend)
+    if np.asarray(values).size == 0:
+        result = _empty_result(values, {"n_kept": 0})
+    elif backend == "numpy":
+        out = compact_ref(values, remove_value)
+        result = _wrap_numpy(out, {"n_kept": out.size})
+    else:
+        result = ds_stream_compact(values, remove_value, stream, **kw)
+    return result if return_result else result.output
+
+
+def unique(values: np.ndarray, *, backend: str = "sim",
+           stream: StreamLike = None, return_result: bool = False, **kw):
+    """Keep the first of each run of equal consecutive elements (DS Unique)."""
+    _check_backend(backend)
+    if np.asarray(values).size == 0:
+        result = _empty_result(values, {"n_kept": 0})
+    elif backend == "numpy":
+        out = unique_ref(values)
+        result = _wrap_numpy(out, {"n_kept": out.size})
+    else:
+        result = ds_unique(values, stream, **kw)
+    return result if return_result else result.output
+
+
+def partition(values: np.ndarray, predicate: Predicate, *, backend: str = "sim",
+              stream: StreamLike = None, return_result: bool = False, **kw):
+    """Stable partition: predicate-true elements first (DS Partition).
+
+    Returns ``(array, n_true)`` — or the full result with
+    ``return_result=True`` (``extras["n_true"]`` holds the split)."""
+    _check_backend(backend)
+    if np.asarray(values).size == 0:
+        result = _empty_result(values, {"n_true": 0})
+    elif backend == "numpy":
+        out, n_true = partition_ref(values, predicate)
+        result = _wrap_numpy(out, {"n_true": n_true})
+    else:
+        result = ds_partition(values, predicate, stream, **kw)
+    if return_result:
+        return result
+    return result.output, result.extras["n_true"]

@@ -1,0 +1,48 @@
+"""Baselines the paper measures the DS algorithms against.
+
+* :mod:`~repro.baselines.sung` — Sung's iterative movable-set padding
+  and the single-work-group unpadding [11] (Figures 2, 8, 9);
+* :mod:`~repro.baselines.thrust` — Thrust-style multi-pass primitives
+  (Figures 12, 13, 16, 19);
+* :mod:`~repro.baselines.atomic_compact` — unstable atomic filters [22]
+  (Figure 13);
+* :mod:`~repro.baselines.sequential` — sequential CPU versions
+  (Section IV-A's CPU comparison).
+"""
+
+from repro.baselines.atomic_compact import (
+    atomic_compact,
+    atomic_compact_plain,
+    atomic_compact_shared,
+    atomic_compact_warp,
+)
+from repro.baselines.sequential import SequentialResult, seq_compact, seq_pad, seq_unpad
+from repro.baselines.sung import (
+    SungIteration,
+    iteration_schedule,
+    movable_rows,
+    movable_rows_unpad,
+    sung_pad,
+    sung_unpad,
+    sung_unpad_progressive,
+    unpad_iteration_schedule,
+)
+
+__all__ = [
+    "atomic_compact",
+    "atomic_compact_plain",
+    "atomic_compact_shared",
+    "atomic_compact_warp",
+    "seq_pad",
+    "seq_unpad",
+    "seq_compact",
+    "SequentialResult",
+    "sung_pad",
+    "sung_unpad",
+    "sung_unpad_progressive",
+    "movable_rows",
+    "movable_rows_unpad",
+    "iteration_schedule",
+    "unpad_iteration_schedule",
+    "SungIteration",
+]

@@ -1,0 +1,302 @@
+"""Sung's iterative in-place padding/unpadding baseline [11].
+
+This is the prior art the paper's Figures 2, 8 and 9 measure against.
+The idea (Section II-A, Figure 1(b)): a row may move only when its
+destination no longer overlaps the source of any row that has not moved
+yet.  With ``stride = cols + pad``, after all rows above ``m`` have
+moved, row *i* (``i <= m``) is movable iff
+
+    ``i * stride >= (m + 1) * cols``
+
+i.e. its destination lies entirely in the free region past the unmoved
+data.  Each iteration launches **one kernel** that moves every movable
+row in parallel (one work-group per row, staging the row in on-chip
+memory), then terminates — kernel termination being the global
+synchronization that orders iterations.  The movable set shrinks as the
+slide proceeds; eventually rows move one at a time.  That collapse of
+parallelism, plus a launch overhead per iteration, is exactly what
+Figure 2 shows and what the Data Sliding algorithm eliminates.
+
+Unpadding is worse for this scheme: there is **no** free space at the
+start, so the baseline the paper measures uses a single work-group for
+the entire operation (`"Baseline always uses one work-group"`,
+Figure 9); :func:`sung_unpad` reproduces that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import LaunchError
+from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.events import Event
+from repro.simgpu.stream import Stream
+from repro.simgpu.workgroup import WorkGroup
+
+__all__ = [
+    "sung_pad",
+    "sung_unpad",
+    "sung_unpad_progressive",
+    "movable_rows",
+    "movable_rows_unpad",
+    "iteration_schedule",
+    "unpad_iteration_schedule",
+    "SungIteration",
+]
+
+
+def movable_rows(m: int, cols: int, stride: int) -> int:
+    """Number of rows movable in parallel when ``m`` is the highest
+    unmoved row (row 0 never moves).  At least one row (row ``m``) can
+    always move, because its destination overlaps only its own source.
+    """
+    if m <= 0:
+        return 0
+    threshold = math.ceil((m + 1) * cols / stride)
+    return max(1, m - max(threshold, 1) + 1)
+
+
+def iteration_schedule(rows: int, cols: int, pad: int) -> List[int]:
+    """The per-iteration parallelism profile (the thin bars of Figure 2):
+    element *k* is the number of rows iteration *k* moves."""
+    if pad <= 0:
+        return []
+    stride = cols + pad
+    schedule: List[int] = []
+    m = rows - 1
+    while m > 0:
+        movable = movable_rows(m, cols, stride)
+        schedule.append(movable)
+        m -= movable
+    return schedule
+
+
+def movable_rows_unpad(m: int, rows: int, kept: int, cols: int) -> int:
+    """Rows movable in parallel for the *progressive* unpadding scheme
+    the paper sketches ("sequential operation in the initial iterations,
+    and some concurrent work-groups when some space appears"): rows
+    ``0..m-1`` have moved, so rows ``m..M`` may move together as long as
+    the last destination ends before the first unmoved source,
+    ``(M+1)*kept <= m*cols``.  Row ``m`` alone is always safe (its
+    destination overlaps only its own source)."""
+    if m >= rows:
+        return 0
+    upper = (m * cols) // kept - 1  # largest safe M
+    return max(1, min(rows - 1, upper) - m + 1)
+
+
+def unpad_iteration_schedule(rows: int, cols: int, pad: int) -> List[int]:
+    """Per-iteration parallelism of progressive unpadding (grows from 1
+    as freed space accumulates — the mirror image of Figure 2)."""
+    if pad <= 0:
+        return []
+    kept = cols - pad
+    schedule: List[int] = []
+    m = 1  # row 0 never moves (zero shift)
+    while m < rows:
+        movable = movable_rows_unpad(m, rows, kept, cols)
+        schedule.append(movable)
+        m += movable
+    return schedule
+
+
+@dataclass
+class SungIteration:
+    """Record of one baseline iteration (one kernel launch)."""
+
+    index: int
+    parallelism: int
+    bytes_moved: int
+
+
+def _move_rows_kernel(
+    wg: WorkGroup,
+    buf: Buffer,
+    row_ids: np.ndarray,
+    cols: int,
+    src_stride: int,
+    dst_stride: int,
+) -> Generator[Event, None, None]:
+    """One work-group stages and moves one entire row.
+
+    The row is loaded completely before any store because source and
+    destination of the *same* row may overlap (they always do in the
+    sequential tail of the padding schedule).
+    """
+    row = int(row_ids[wg.group_index])
+    src = row * src_stride + np.arange(cols, dtype=np.int64)
+    dst = row * dst_stride + np.arange(cols, dtype=np.int64)
+    staged = []
+    for start in range(0, cols, wg.size):
+        chunk = src[start : start + wg.size]
+        values = yield from wg.load(buf, chunk)
+        staged.append(values)
+    yield from wg.barrier("local")
+    for i, start in enumerate(range(0, cols, wg.size)):
+        chunk = dst[start : start + wg.size]
+        yield from wg.store(buf, chunk, staged[i])
+
+
+def sung_pad(
+    matrix: np.ndarray,
+    pad: int,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    wg_size: int = 256,
+    seed: int = 0,
+) -> PrimitiveResult:
+    """Iterative in-place padding, one kernel launch per iteration.
+
+    ``extras["iterations"]`` holds the per-iteration
+    :class:`SungIteration` records used by the Figure 2 benchmark.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise LaunchError(f"sung_pad expects a 2-D matrix, got ndim={matrix.ndim}")
+    rows, cols = matrix.shape
+    stride = cols + pad
+    stream = resolve_stream(stream, seed=seed)
+    buf = Buffer(np.zeros(rows * stride, dtype=matrix.dtype), "sung_pad")
+    buf.data[: rows * cols] = matrix.reshape(-1)
+
+    iterations: List[SungIteration] = []
+    counters = []
+    m = rows - 1
+    it = 0
+    while m > 0 and pad > 0:
+        movable = movable_rows(m, cols, stride)
+        row_ids = np.arange(m - movable + 1, m + 1, dtype=np.int64)
+        rec = stream.launch(
+            _move_rows_kernel,
+            grid_size=movable,
+            wg_size=wg_size,
+            args=(buf, row_ids, cols, cols, stride),
+            kernel_name=f"sung_pad_iter{it}",
+        )
+        counters.append(rec)
+        iterations.append(SungIteration(it, movable, rec.bytes_moved))
+        m -= movable
+        it += 1
+
+    return PrimitiveResult(
+        output=buf.data.reshape(rows, stride).copy(),
+        counters=counters,
+        device=stream.device,
+        extras={"rows": rows, "cols": cols, "pad": pad, "iterations": iterations},
+    )
+
+
+def _unpad_single_wg_kernel(
+    wg: WorkGroup,
+    buf: Buffer,
+    rows: int,
+    cols: int,
+    kept: int,
+) -> Generator[Event, None, None]:
+    """The paper's unpadding baseline: one work-group walks rows from the
+    front, staging and moving each row's kept prefix backward."""
+    for row in range(1, rows):
+        src = row * cols + np.arange(kept, dtype=np.int64)
+        dst = row * kept + np.arange(kept, dtype=np.int64)
+        staged = []
+        for start in range(0, kept, wg.size):
+            values = yield from wg.load(buf, src[start : start + wg.size])
+            staged.append(values)
+        yield from wg.barrier("local")
+        for i, start in enumerate(range(0, kept, wg.size)):
+            yield from wg.store(buf, dst[start : start + wg.size], staged[i])
+
+
+def sung_unpad_progressive(
+    matrix: np.ndarray,
+    pad: int,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    wg_size: int = 256,
+    seed: int = 0,
+) -> PrimitiveResult:
+    """The alternative unpadding scheme the paper sketches in Section V:
+    iterate like :func:`sung_pad` but from the front — sequential at
+    first, increasingly parallel as freed space accumulates.  One kernel
+    launch per iteration; still far behind the single-launch DS version
+    for narrow pads (the schedule stays serial until ``m*pad >= kept``).
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise LaunchError(
+            f"sung_unpad_progressive expects a 2-D matrix, got ndim={matrix.ndim}")
+    rows, cols = matrix.shape
+    if not 0 <= pad < cols:
+        raise LaunchError(f"pad must be in [0, cols), got {pad} for {cols} columns")
+    kept = cols - pad
+    stream = resolve_stream(stream, seed=seed)
+    buf = Buffer(matrix.reshape(-1), "sung_unpad_prog")
+
+    iterations: List[SungIteration] = []
+    counters = []
+    m, it = 1, 0
+    while m < rows and pad > 0:
+        movable = movable_rows_unpad(m, rows, kept, cols)
+        row_ids = np.arange(m, m + movable, dtype=np.int64)
+        rec = stream.launch(
+            _move_rows_kernel,
+            grid_size=movable,
+            wg_size=wg_size,
+            args=(buf, row_ids, kept, cols, kept),
+            kernel_name=f"sung_unpad_prog_iter{it}",
+        )
+        counters.append(rec)
+        iterations.append(SungIteration(it, movable, rec.bytes_moved))
+        m += movable
+        it += 1
+    if not counters:  # pad == 0: nothing to do, record an empty launch list
+        return PrimitiveResult(
+            output=matrix.copy(), counters=[], device=stream.device,
+            extras={"rows": rows, "cols": cols, "pad": pad, "iterations": []},
+        )
+    return PrimitiveResult(
+        output=buf.data[: rows * kept].reshape(rows, kept).copy(),
+        counters=counters,
+        device=stream.device,
+        extras={"rows": rows, "cols": cols, "pad": pad,
+                "iterations": iterations},
+    )
+
+
+def sung_unpad(
+    matrix: np.ndarray,
+    pad: int,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    wg_size: int = 256,
+    seed: int = 0,
+) -> PrimitiveResult:
+    """Single-work-group in-place unpadding (Figure 9's baseline)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise LaunchError(f"sung_unpad expects a 2-D matrix, got ndim={matrix.ndim}")
+    rows, cols = matrix.shape
+    if not 0 <= pad < cols:
+        raise LaunchError(f"pad must be in [0, cols), got {pad} for {cols} columns")
+    kept = cols - pad
+    stream = resolve_stream(stream, seed=seed)
+    buf = Buffer(matrix.reshape(-1), "sung_unpad")
+    rec = stream.launch(
+        _unpad_single_wg_kernel,
+        grid_size=1,
+        wg_size=wg_size,
+        args=(buf, rows, cols, kept),
+        kernel_name="sung_unpad",
+    )
+    return PrimitiveResult(
+        output=buf.data[: rows * kept].reshape(rows, kept).copy(),
+        counters=[rec],
+        device=stream.device,
+        extras={"rows": rows, "cols": cols, "pad": pad, "single_workgroup": True},
+    )

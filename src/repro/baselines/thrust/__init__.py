@@ -1,0 +1,39 @@
+"""Thrust-1.8-style multi-pass primitives (the paper's main baseline).
+
+Every select-family primitive is a count/scan/scatter pipeline (three
+kernel launches, input read twice); in-place entry points add a
+temporary round trip.  See :mod:`repro.baselines.thrust.kernels`.
+"""
+
+from repro.baselines.thrust.copy_if_ import thrust_copy_if
+from repro.baselines.thrust.partition_ import (
+    thrust_partition,
+    thrust_partition_copy,
+    thrust_stable_partition,
+    thrust_stable_partition_copy,
+)
+from repro.baselines.thrust.pipeline import THRUST_COARSENING, bulk_copy, scan_scatter
+from repro.baselines.thrust.remove import (
+    thrust_remove,
+    thrust_remove_copy,
+    thrust_remove_copy_if,
+    thrust_remove_if,
+)
+from repro.baselines.thrust.unique_ import thrust_unique, thrust_unique_copy
+
+__all__ = [
+    "thrust_copy_if",
+    "thrust_remove",
+    "thrust_remove_copy",
+    "thrust_remove_copy_if",
+    "thrust_remove_if",
+    "thrust_unique",
+    "thrust_unique_copy",
+    "thrust_partition",
+    "thrust_partition_copy",
+    "thrust_stable_partition",
+    "thrust_stable_partition_copy",
+    "THRUST_COARSENING",
+    "scan_scatter",
+    "bulk_copy",
+]

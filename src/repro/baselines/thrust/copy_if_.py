@@ -1,0 +1,42 @@
+"""``thrust::copy_if`` — out-of-place keep-matching select (Figure 12)."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.baselines.thrust.pipeline import scan_scatter
+from repro.core.predicates import Predicate
+from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.stream import Stream
+
+__all__ = ["thrust_copy_if"]
+
+
+def thrust_copy_if(
+    values: np.ndarray,
+    predicate: Predicate,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    wg_size: int = 256,
+    seed: int = 0,
+) -> PrimitiveResult:
+    """Copy predicate-true elements to a fresh array (stable), via the
+    three-kernel count/scan/scatter pipeline Thrust 1.8 uses."""
+    values = np.asarray(values)
+    stream = resolve_stream(stream, seed=seed)
+    src = Buffer(values.reshape(-1), "thrust_src")
+    dst = Buffer(np.zeros(values.size, dtype=values.dtype), "thrust_dst")
+    start = len(stream.records)
+    n_kept = scan_scatter(
+        src, dst, predicate, values.size, stream, wg_size=wg_size, name="copy_if"
+    )
+    return PrimitiveResult(
+        output=dst.data[:n_kept].copy(),
+        counters=stream.records[start:],
+        device=stream.device,
+        extras={"n_kept": n_kept, "in_place": False, "library": "thrust"},
+    )

@@ -1,0 +1,249 @@
+"""Simulator kernels for the Thrust-style multi-pass primitives.
+
+Thrust 1.8 (the version the paper benchmarks) builds its select-family
+primitives from a **four-launch scan–scatter pipeline** over global
+memory:
+
+1. *reduce pass* — every tile evaluates the predicate and writes its
+   true-count to a partials array (reads the input once);
+2. *partials scan* — a single work-group exclusive-scans the partials;
+3. *downsweep pass* — every tile re-reads its input, re-evaluates the
+   predicate and writes the N-element exclusive scan array (the global
+   output index of every element);
+4. *scatter pass* — every tile reads the input a third time plus the
+   scan array and writes each true element to ``out[scan[i]]``.
+
+That is four kernel launches, three full reads of the input, and a full
+write + read of an N-element intermediate — against the DS algorithms'
+single launch reading the input once.  This repeated global traffic is
+the cost the paper's Section V attributes to Thrust.  The in-place
+Thrust entry points (``thrust::remove``, ``thrust::unique``,
+``thrust::stable_partition``) additionally round-trip the result
+through a temporary.
+
+These kernels use the launch-grid work-group index directly (no dynamic
+IDs, no adjacent synchronization): every pass is embarrassingly
+parallel, and kernel termination provides the global barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.core.predicates import Predicate
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.events import Event
+from repro.simgpu.workgroup import WorkGroup
+
+__all__ = [
+    "pred_reduce_kernel",
+    "scan_partials_kernel",
+    "pred_downsweep_kernel",
+    "scatter_kernel",
+    "stencil_reduce_kernel",
+    "stencil_downsweep_kernel",
+    "stencil_scatter_kernel",
+]
+
+
+def _tile_rounds(wg: WorkGroup, total: int, coarsening: int):
+    """Iterate the position vectors of this work-group's tile rounds."""
+    base = wg.group_index * coarsening * wg.size
+    pos = base + wg.wi_id
+    for _ in range(coarsening):
+        yield pos[pos < total]
+        pos = pos + wg.size
+
+
+def pred_reduce_kernel(
+    wg: WorkGroup,
+    src: Buffer,
+    partials: Buffer,
+    predicate: Predicate,
+    total: int,
+    coarsening: int,
+) -> Generator[Event, None, None]:
+    """Pass 1: per-tile predicate-true count into ``partials[wg]``."""
+    count = 0
+    for active in _tile_rounds(wg, total, coarsening):
+        if active.size:
+            values = yield from wg.load(src, active)
+            count += int(predicate(values).sum())
+    yield from wg.barrier("local")
+    yield from wg.store(
+        partials, np.asarray([wg.group_index], dtype=np.int64),
+        np.asarray([count], dtype=partials.data.dtype),
+    )
+
+
+def scan_partials_kernel(
+    wg: WorkGroup,
+    partials: Buffer,
+    n_partials: int,
+) -> Generator[Event, None, None]:
+    """Pass 2: single-work-group exclusive scan of the partials; the
+    grand total is appended at ``partials[n_partials]``."""
+    staged = []
+    for start in range(0, n_partials, wg.size):
+        idx = np.arange(start, min(start + wg.size, n_partials), dtype=np.int64)
+        values = yield from wg.load(partials, idx)
+        staged.append((idx, values))
+    yield from wg.barrier("local")
+    running = 0
+    for idx, values in staged:
+        scanned = running + np.concatenate(([0], np.cumsum(values)[:-1]))
+        yield from wg.store(partials, idx, scanned.astype(partials.data.dtype))
+        running += int(values.sum())
+    yield from wg.store(
+        partials, np.asarray([n_partials], dtype=np.int64),
+        np.asarray([running], dtype=partials.data.dtype),
+    )
+
+
+def pred_downsweep_kernel(
+    wg: WorkGroup,
+    src: Buffer,
+    partials: Buffer,
+    scan_arr: Buffer,
+    predicate: Predicate,
+    total: int,
+    coarsening: int,
+) -> Generator[Event, None, None]:
+    """Pass 3: re-read the input, re-evaluate the predicate, write the
+    N-element exclusive scan (each element's global true-rank)."""
+    bases = yield from wg.load(partials, np.asarray([wg.group_index], dtype=np.int64))
+    running = int(bases[0])
+    for active in _tile_rounds(wg, total, coarsening):
+        if active.size:
+            values = yield from wg.load(src, active)
+            keep = predicate(values).astype(np.int64)
+            excl = running + np.concatenate(([0], np.cumsum(keep)[:-1]))
+            yield from wg.store(scan_arr, active, excl.astype(scan_arr.data.dtype))
+            running += int(keep.sum())
+
+
+def scatter_kernel(
+    wg: WorkGroup,
+    src: Buffer,
+    dst: Buffer,
+    scan_arr: Buffer,
+    predicate: Predicate,
+    total: int,
+    coarsening: int,
+    false_dst: Optional[Buffer] = None,
+    false_offset: int = 0,
+    false_scan_arr: Optional[Buffer] = None,
+) -> Generator[Event, None, None]:
+    """Pass 4: ``dst[scan[i]] = src[i]`` for predicate-true elements.
+
+    With ``false_dst``, false elements are routed too (partition).
+    Thrust's stable_partition scans **both** classes, so when
+    ``false_scan_arr`` is supplied the false destinations are read from
+    it; without it they are derived as ``i - scan[i]`` (the number of
+    falses before *i* equals ``i - trues_before(i)``)."""
+    for active in _tile_rounds(wg, total, coarsening):
+        if active.size == 0:
+            continue
+        values = yield from wg.load(src, active)
+        scan_vals = yield from wg.load(scan_arr, active)
+        keep = predicate(values)
+        if keep.any():
+            yield from wg.store(dst, scan_vals[keep], values[keep])
+        if false_dst is not None and (~keep).any():
+            false_mask = ~keep
+            if false_scan_arr is not None:
+                fscan = yield from wg.load(false_scan_arr, active[false_mask])
+                slots = fscan + false_offset
+            else:
+                slots = active[false_mask] - scan_vals[false_mask] + false_offset
+            yield from wg.store(false_dst, slots, values[false_mask])
+
+
+def _stencil_keep(values: np.ndarray, prev) -> np.ndarray:
+    keep = np.empty(values.shape, dtype=bool)
+    keep[1:] = values[1:] != values[:-1]
+    keep[0] = True if prev is None else values[0] != prev
+    return keep
+
+
+def stencil_reduce_kernel(
+    wg: WorkGroup,
+    src: Buffer,
+    partials: Buffer,
+    total: int,
+    coarsening: int,
+) -> Generator[Event, None, None]:
+    """Pass 1 for *unique*: count elements differing from their left
+    neighbour (tile-boundary neighbour read from global memory)."""
+    base = wg.group_index * coarsening * wg.size
+    prev = None
+    if base > 0:
+        vals = yield from wg.load(src, np.asarray([base - 1], dtype=np.int64))
+        prev = vals[0]
+    count = 0
+    for active in _tile_rounds(wg, total, coarsening):
+        if active.size:
+            values = yield from wg.load(src, active)
+            keep = _stencil_keep(values, prev)
+            prev = values[-1]
+            count += int(keep.sum())
+    yield from wg.barrier("local")
+    yield from wg.store(
+        partials, np.asarray([wg.group_index], dtype=np.int64),
+        np.asarray([count], dtype=partials.data.dtype),
+    )
+
+
+def stencil_downsweep_kernel(
+    wg: WorkGroup,
+    src: Buffer,
+    partials: Buffer,
+    scan_arr: Buffer,
+    total: int,
+    coarsening: int,
+) -> Generator[Event, None, None]:
+    """Pass 3 for *unique*: re-read the input, re-evaluate the stencil,
+    write the N-element exclusive scan of the keep flags."""
+    bases = yield from wg.load(partials, np.asarray([wg.group_index], dtype=np.int64))
+    running = int(bases[0])
+    base = wg.group_index * coarsening * wg.size
+    prev = None
+    if base > 0:
+        vals = yield from wg.load(src, np.asarray([base - 1], dtype=np.int64))
+        prev = vals[0]
+    for active in _tile_rounds(wg, total, coarsening):
+        if active.size:
+            values = yield from wg.load(src, active)
+            keep = _stencil_keep(values, prev).astype(np.int64)
+            prev = values[-1]
+            excl = running + np.concatenate(([0], np.cumsum(keep)[:-1]))
+            yield from wg.store(scan_arr, active, excl.astype(scan_arr.data.dtype))
+            running += int(keep.sum())
+
+
+def stencil_scatter_kernel(
+    wg: WorkGroup,
+    src: Buffer,
+    dst: Buffer,
+    scan_arr: Buffer,
+    total: int,
+    coarsening: int,
+) -> Generator[Event, None, None]:
+    """Pass 4 for *unique*: re-read input and scan, re-evaluate the
+    stencil, scatter the kept elements."""
+    base = wg.group_index * coarsening * wg.size
+    prev = None
+    if base > 0:
+        vals = yield from wg.load(src, np.asarray([base - 1], dtype=np.int64))
+        prev = vals[0]
+    for active in _tile_rounds(wg, total, coarsening):
+        if active.size == 0:
+            continue
+        values = yield from wg.load(src, active)
+        scan_vals = yield from wg.load(scan_arr, active)
+        keep = _stencil_keep(values, prev)
+        prev = values[-1]
+        if keep.any():
+            yield from wg.store(dst, scan_vals[keep], values[keep])

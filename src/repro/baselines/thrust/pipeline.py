@@ -1,0 +1,151 @@
+"""Host-side plumbing shared by the Thrust-style primitives.
+
+:func:`scan_scatter` runs the canonical four-launch pipeline
+(predicate-reduce -> partials-scan -> predicate-downsweep -> scatter)
+with a full-length intermediate scan array, the structure of Thrust
+1.8's select-family algorithms; the per-op modules compose it with
+temporaries and copy-backs for the in-place entry points.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.thrust import kernels as K
+from repro.core.coarsening import launch_geometry
+from repro.core.predicates import Predicate
+from repro.simgpu.kernels import copy_kernel
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.stream import Stream
+
+__all__ = ["scan_scatter", "THRUST_COARSENING", "bulk_copy"]
+
+THRUST_COARSENING = 8
+"""Items per thread in the modelled Thrust tiles (Thrust 1.8 tunes this
+per architecture around 7-11 items for 4-byte types; a fixed 8 keeps
+the pipelines comparable without pretending to reproduce its tuning
+database)."""
+
+
+def scan_scatter(
+    src: Buffer,
+    dst: Buffer,
+    predicate: Optional[Predicate],
+    total: int,
+    stream: Stream,
+    *,
+    wg_size: int = 256,
+    stencil: bool = False,
+    false_dst: Optional[Buffer] = None,
+    false_offset_by_total_true: bool = False,
+    double_scan: bool = False,
+    name: str = "thrust",
+) -> int:
+    """Run the Thrust-1.8-style pipeline over ``src`` into ``dst``.
+
+    Returns the number of predicate-true (kept) elements.
+    ``stencil=True`` selects the unique kernels (``predicate`` is
+    ignored).  ``false_dst`` routes predicate-false elements too
+    (partition); with ``false_offset_by_total_true`` their slots are
+    shifted past the true block so both classes land in one buffer.
+    ``double_scan`` adds the second (false-class) downsweep that
+    Thrust's stable_partition performs.
+    """
+    geometry = launch_geometry(
+        total, stream.device, src.itemsize,
+        wg_size=wg_size, coarsening=THRUST_COARSENING,
+    )
+    n_wgs = geometry.n_workgroups
+    cf = THRUST_COARSENING
+    # Full-length scan intermediate, int32 — the repeated global traffic
+    # the paper's Section V attributes to Thrust.
+    scan_arr = Buffer(np.zeros(total, dtype=np.int32), f"{name}_scan")
+    partials = Buffer(np.zeros(n_wgs + 1, dtype=np.int64), f"{name}_partials")
+
+    if stencil:
+        stream.launch(
+            K.stencil_reduce_kernel, grid_size=n_wgs, wg_size=wg_size,
+            args=(src, partials, total, cf), kernel_name=f"{name}_reduce",
+        )
+    else:
+        stream.launch(
+            K.pred_reduce_kernel, grid_size=n_wgs, wg_size=wg_size,
+            args=(src, partials, predicate, total, cf),
+            kernel_name=f"{name}_reduce",
+        )
+    stream.launch(
+        K.scan_partials_kernel, grid_size=1, wg_size=wg_size,
+        args=(partials, n_wgs), kernel_name=f"{name}_scan_partials",
+    )
+    n_true = int(partials.data[n_wgs])
+    if stencil:
+        stream.launch(
+            K.stencil_downsweep_kernel, grid_size=n_wgs, wg_size=wg_size,
+            args=(src, partials, scan_arr, total, cf),
+            kernel_name=f"{name}_downsweep",
+        )
+        scatter_rec = stream.launch(
+            K.stencil_scatter_kernel, grid_size=n_wgs, wg_size=wg_size,
+            args=(src, dst, scan_arr, total, cf),
+            kernel_name=f"{name}_scatter",
+        )
+    else:
+        stream.launch(
+            K.pred_downsweep_kernel, grid_size=n_wgs, wg_size=wg_size,
+            args=(src, partials, scan_arr, predicate, total, cf),
+            kernel_name=f"{name}_downsweep",
+        )
+        false_scan_arr = None
+        if double_scan and false_dst is not None:
+            false_scan_arr = Buffer(np.zeros(total, dtype=np.int32),
+                                    f"{name}_false_scan")
+            false_partials = Buffer(np.zeros(n_wgs + 1, dtype=np.int64),
+                                    f"{name}_false_partials")
+            # An exclusive scan of the complement needs no extra reduce:
+            # falses_before(tile) = tile_base_elements - trues_before(tile).
+            tile = cf * wg_size
+            for g in range(n_wgs):
+                false_partials.data[g] = min(g * tile, total) - partials.data[g]
+            stream.launch(
+                K.pred_downsweep_kernel, grid_size=n_wgs, wg_size=wg_size,
+                args=(src, false_partials, false_scan_arr, ~predicate, total, cf),
+                kernel_name=f"{name}_downsweep_false",
+            )
+        scatter_rec = stream.launch(
+            K.scatter_kernel, grid_size=n_wgs, wg_size=wg_size,
+            args=(src, dst, scan_arr, predicate, total, cf),
+            kwargs={
+                "false_dst": false_dst,
+                "false_offset": n_true if false_offset_by_total_true else 0,
+                "false_scan_arr": false_scan_arr,
+            },
+            kernel_name=f"{name}_scatter",
+        )
+    scatter_rec.extras["irregular"] = 1.0
+    return n_true
+
+
+def bulk_copy(
+    src: Buffer,
+    dst: Buffer,
+    n: int,
+    stream: Stream,
+    *,
+    src_base: int = 0,
+    dst_base: int = 0,
+    wg_size: int = 256,
+    name: str = "thrust_copy",
+) -> None:
+    """One plain copy launch (the in-place entry points' copy-back)."""
+    if n <= 0:
+        return
+    tile = THRUST_COARSENING * wg_size
+    grid = (n + tile - 1) // tile
+    stream.launch(
+        copy_kernel,
+        grid_size=grid, wg_size=wg_size,
+        args=(src, dst, n, src_base, dst_base, THRUST_COARSENING),
+        kernel_name=name,
+    )

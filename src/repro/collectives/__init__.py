@@ -1,0 +1,27 @@
+"""Work-group collectives used by the irregular Data Sliding algorithm.
+
+Reductions compute a work-group's predicate-true count before the
+adjacent synchronization; binary prefix sums compute each true element's
+rank afterwards.  Each comes in the paper's base variant (balanced tree)
+and optimized variants (ballot+popc, shuffle) — see Section III-B.
+"""
+
+from repro.collectives.reduction import reduce_workgroup, shuffle_reduce, tree_reduce
+from repro.collectives.scan import (
+    SCAN_VARIANTS,
+    ballot_exclusive_scan,
+    binary_exclusive_scan,
+    shuffle_exclusive_scan,
+    tree_exclusive_scan,
+)
+
+__all__ = [
+    "reduce_workgroup",
+    "tree_reduce",
+    "shuffle_reduce",
+    "SCAN_VARIANTS",
+    "binary_exclusive_scan",
+    "tree_exclusive_scan",
+    "ballot_exclusive_scan",
+    "shuffle_exclusive_scan",
+]

@@ -1,0 +1,105 @@
+"""Work-group reductions (Section III-B of the paper).
+
+The irregular DS algorithm needs the *total* number of predicate-true
+elements in a work-group before the adjacent synchronization can pass
+the sliding offset to the next group.  The paper uses two families:
+
+* the classic **balanced-tree reduction** of the CUDA SDK [17] — the
+  default, available everywhere;
+* a **shuffle-based reduction** for Kepler-class and newer NVIDIA GPUs
+  under CUDA [20], which keeps the butterfly entirely in registers.
+
+Both are implemented here over the simulator's lock-step work-item
+vectors.  The functions are numerically identical — the performance
+model charges them differently (``log2(wg_size)`` local-memory rounds
+versus ``log2(warp)`` register rounds plus one cross-warp combine);
+what the *functional* layer preserves is the algorithmic structure, so
+tests can verify, e.g., that the tree reduction performs exactly
+``log2(n)`` halving steps and never reads out of bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import LaunchError
+from repro.simgpu.warp import warp_sum
+
+__all__ = ["tree_reduce", "shuffle_reduce", "reduce_workgroup"]
+
+
+def _check_pow2(n: int, what: str) -> None:
+    if n <= 0 or n & (n - 1):
+        raise LaunchError(f"{what} must be a positive power of two, got {n}")
+
+
+def tree_reduce(values: np.ndarray) -> Tuple[int, int]:
+    """Balanced-tree sum reduction (CUDA SDK style, sequential addressing).
+
+    Returns ``(total, rounds)``: the reduction result and the number of
+    tree levels executed (``log2(len(values))``), which the performance
+    model uses to price the local-memory barriers.
+
+    The work-group size must be a power of two, as in all the paper's
+    kernels (work-group size 256 throughout Section IV).
+    """
+    values = np.asarray(values)
+    n = values.size
+    _check_pow2(n, "reduction width")
+    work = values.astype(np.int64, copy=True)
+    rounds = 0
+    stride = n // 2
+    while stride >= 1:
+        work[:stride] = work[:stride] + work[stride : 2 * stride]
+        stride //= 2
+        rounds += 1
+    return int(work[0]), rounds
+
+
+def shuffle_reduce(values: np.ndarray, warp_size: int = 32) -> Tuple[int, int]:
+    """Shuffle-style reduction: per-warp butterflies, then a tree over
+    the per-warp totals staged through one row of local memory.
+
+    Returns ``(total, rounds)`` where rounds counts the cross-warp tree
+    levels only (the intra-warp butterfly needs no barriers, which is
+    exactly why the paper prefers it on Kepler+).
+    """
+    values = np.asarray(values)
+    n = values.size
+    _check_pow2(n, "reduction width")
+    if n % warp_size:
+        raise LaunchError(
+            f"reduction width {n} is not a multiple of warp size {warp_size}"
+        )
+    per_lane_totals = warp_sum(values.astype(np.int64), warp_size)
+    warp_totals = per_lane_totals[::warp_size].copy()
+    if warp_totals.size == 1:
+        return int(warp_totals[0]), 0
+    # Pad warp-total row to a power of two for the final tree.
+    width = 1
+    while width < warp_totals.size:
+        width *= 2
+    padded = np.zeros(width, dtype=np.int64)
+    padded[: warp_totals.size] = warp_totals
+    total, rounds = tree_reduce(padded)
+    return total, rounds
+
+
+def reduce_workgroup(
+    values: np.ndarray, variant: str = "tree", warp_size: int = 32
+) -> Tuple[int, int]:
+    """Dispatch on the reduction variant name used throughout the package.
+
+    ``"tree"`` is the paper's default; ``"shuffle"`` is the optimized
+    variant (native on Kepler+/CUDA, local-memory-emulated elsewhere —
+    a distinction the performance model applies, not this function).
+    """
+    width = int(np.asarray(values).size)
+    warp_size = min(warp_size, width) if width else warp_size
+    if variant == "tree":
+        return tree_reduce(values)
+    if variant == "shuffle":
+        return shuffle_reduce(values, warp_size)
+    raise LaunchError(f"unknown reduction variant {variant!r}")

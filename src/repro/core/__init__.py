@@ -1,0 +1,66 @@
+"""``repro.core`` — the paper's contribution: generic in-place, stable
+Data Sliding algorithms with adjacent work-group synchronization.
+
+* :mod:`~repro.core.dynamic_id` — Figure 4 (deadlock-free ID claiming);
+* :mod:`~repro.core.adjacent_sync` — Figures 3 and 7 (the chained
+  load/store ordering, plus offset passing for irregular slides);
+* :mod:`~repro.core.regular` — Algorithm 1 (constant per-group shifts);
+* :mod:`~repro.core.irregular` — Algorithm 2 (data-dependent shifts via
+  reduction + binary prefix sum);
+* :mod:`~repro.core.offsets`, :mod:`~repro.core.predicates`,
+  :mod:`~repro.core.coarsening` — the parameter spaces of the two
+  generic kernels.
+"""
+
+from repro.core.adjacent_sync import adjacent_sync_irregular, adjacent_sync_regular
+from repro.core.coarsening import LaunchGeometry, choose_coarsening, launch_geometry, spills
+from repro.core.dynamic_id import dynamic_wg_id, static_wg_id
+from repro.core.flags import decode_count, encode_count, make_flags, make_wg_counter
+from repro.core.irregular import IrregularDSResult, irregular_ds_kernel, run_irregular_ds
+from repro.core.offsets import RegularRemap, pad_remap, shift_remap, unpad_remap
+from repro.core.predicates import (
+    Predicate,
+    always_false,
+    always_true,
+    equal_to,
+    greater_equal,
+    is_even,
+    less_than,
+    nonzero,
+    not_equal_to,
+)
+from repro.core.regular import RegularDSResult, regular_ds_kernel, run_regular_ds
+
+__all__ = [
+    "adjacent_sync_regular",
+    "adjacent_sync_irregular",
+    "dynamic_wg_id",
+    "static_wg_id",
+    "make_flags",
+    "make_wg_counter",
+    "encode_count",
+    "decode_count",
+    "LaunchGeometry",
+    "choose_coarsening",
+    "launch_geometry",
+    "spills",
+    "RegularRemap",
+    "pad_remap",
+    "unpad_remap",
+    "shift_remap",
+    "Predicate",
+    "is_even",
+    "less_than",
+    "greater_equal",
+    "equal_to",
+    "not_equal_to",
+    "nonzero",
+    "always_true",
+    "always_false",
+    "regular_ds_kernel",
+    "run_regular_ds",
+    "RegularDSResult",
+    "irregular_ds_kernel",
+    "run_irregular_ds",
+    "IrregularDSResult",
+]

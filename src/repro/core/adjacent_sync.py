@@ -1,0 +1,78 @@
+"""Adjacent work-group synchronization (Figures 3 and 7 of the paper).
+
+This is the paper's key mechanism: instead of terminating the kernel to
+get a global barrier (the baselines' approach), each work-group spins on
+a single flag owned by its immediate predecessor.  Because work-group
+*i* sets its flag only after (a) observing flag *i − 1* and (b) finishing
+its own loading stage, flag *i − 1* being set implies — by induction —
+that **every** group ``0 .. i-1`` has finished loading.  A group's
+storing stage therefore can never overwrite data another group still
+needs, provided the sliding direction matches the ID order (see
+:mod:`repro.core.regular`).
+
+Two variants:
+
+* :func:`adjacent_sync_regular` (Figure 3) — the flag is a pure "done"
+  bit; no payload crosses the boundary, hence no memory fence would be
+  needed on real hardware (the paper makes this point explicitly).
+* :func:`adjacent_sync_irregular` (Figure 7) — the flag additionally
+  carries the cumulative predicate-true count, so each group learns the
+  global base offset for its stores in the same atomic it synchronizes
+  on.  This is the StreamScan-style single-pass scan propagation.
+
+Both functions follow the listings' structure: a local barrier so all
+work-items of the group have finished loading, the work-item-0 spin/set
+sequence, and a global barrier that releases the rest of the group.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.flags import FLAG_SET, decode_count, encode_count
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.events import Event
+from repro.simgpu.workgroup import WorkGroup
+
+__all__ = ["adjacent_sync_regular", "adjacent_sync_irregular"]
+
+
+def adjacent_sync_regular(
+    wg: WorkGroup, flags: Buffer, wg_id: int
+) -> Generator[Event, None, None]:
+    """Figure 3: wait for the predecessor's flag, then set our own.
+
+    ``flags`` uses the shifted layout of :mod:`repro.core.flags`:
+    work-group *i*'s flag lives at index ``i + 1`` and index 0 is the
+    pre-set virtual predecessor, so ``wg_id == 0`` needs no special case.
+    """
+    # barrier(local memory fence): all work-items finished loading.
+    yield from wg.barrier("local")
+    # if (wi_id == 0) { while (atom_or(&flags[wg_id_ - 1], 0) == 0){;} ... }
+    yield from wg.spin_until(flags, wg_id, lambda v: v != 0)
+    # atom_or(&flags[wg_id_], 1);
+    yield from wg.atomic_or(flags, wg_id + 1, FLAG_SET)
+    # barrier(global memory fence): release the group, order load/store.
+    yield from wg.barrier("global")
+
+
+def adjacent_sync_irregular(
+    wg: WorkGroup, flags: Buffer, wg_id: int, local_count: int
+) -> Generator[Event, None, int]:
+    """Figure 7: synchronize *and* pass the running total downstream.
+
+    ``local_count`` is this group's predicate-true count (the result of
+    the work-group reduction).  Returns the number of predicate-true
+    elements in **all preceding groups** — the group's global sliding
+    base.  The successor's flag receives ``previous + local_count``.
+    """
+    # barrier(local memory fence)
+    yield from wg.barrier("local")
+    # while (atom_or(&flags[wg_id_ - 1], 0) == 0){;}  int flag = flags[...];
+    flag_value = yield from wg.spin_until(flags, wg_id, lambda v: v != 0)
+    previous_total = decode_count(flag_value)
+    # atom_add(&flags[wg_id_], flag + count)  — sentinel-encoded here.
+    yield from wg.atomic_or(flags, wg_id + 1, encode_count(previous_total + local_count))
+    # barrier(global memory fence)
+    yield from wg.barrier("global")
+    return previous_total

@@ -1,0 +1,113 @@
+"""Coarsening-factor policy (Section III and Figure 6 of the paper).
+
+The coarsening factor is the number of array elements each work-item
+stages on chip between the loading and storing stages.  It is the DS
+algorithms' central tuning knob:
+
+* **larger** factors mean fewer work-groups, hence fewer adjacent
+  synchronizations (the chain has one hop per group) and more
+  instruction-level parallelism from independent loads per work-item;
+* **too large** factors exceed the per-work-item on-chip budget
+  (registers + scratchpad) and the compiler spills the tile to off-chip
+  memory — Figure 6 shows throughput collapsing at coarsening 40 and 48
+  for 4-byte elements on Maxwell.
+
+:func:`choose_coarsening` implements the paper's tuning outcome as a
+policy (clamp to capacity, default to the architecture's sweet spot),
+and :func:`launch_geometry` derives the launch grid from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LaunchError
+from repro.simgpu.device import DeviceSpec
+
+__all__ = ["choose_coarsening", "spills", "launch_geometry", "LaunchGeometry"]
+
+#: Architecture sweet spots observed in the paper's tuning (Figure 6
+#: plateaus at roughly 8-32 on Maxwell; CPUs favour longer per-item runs
+#: because each "work-item" is a SIMD lane of a serialized loop).
+_DEFAULT_COARSENING = {
+    "nvidia": 16,
+    "amd": 12,
+    "intel": 32,
+}
+
+
+def choose_coarsening(
+    device: DeviceSpec, itemsize: int, requested: int | None = None
+) -> int:
+    """Pick a coarsening factor for ``itemsize``-byte elements.
+
+    With ``requested=None`` returns the architecture default, clamped to
+    the device's on-chip capacity.  An explicit request is honoured even
+    past capacity — that is a legal (if slow) configuration the paper
+    measures; use :func:`spills` to know when the penalty applies.
+    """
+    if itemsize <= 0:
+        raise LaunchError(f"itemsize must be positive, got {itemsize}")
+    if requested is not None:
+        if requested <= 0:
+            raise LaunchError(f"coarsening factor must be positive, got {requested}")
+        return requested
+    default = _DEFAULT_COARSENING.get(device.vendor, 8)
+    return max(1, min(default, device.max_coarsening(itemsize)))
+
+
+def spills(device: DeviceSpec, itemsize: int, coarsening: int) -> bool:
+    """True when the tile no longer fits on chip and the performance
+    model must charge the Figure 6 spill penalty."""
+    return coarsening > device.max_coarsening(itemsize)
+
+
+@dataclass(frozen=True)
+class LaunchGeometry:
+    """Derived launch configuration for one DS kernel."""
+
+    n_workgroups: int
+    wg_size: int
+    coarsening: int
+    tile_size: int
+    spilled: bool
+
+    @property
+    def elements_capacity(self) -> int:
+        """Total elements the grid covers (>= the input size)."""
+        return self.n_workgroups * self.tile_size
+
+
+def launch_geometry(
+    total_elements: int,
+    device: DeviceSpec,
+    itemsize: int,
+    *,
+    wg_size: int = 256,
+    coarsening: int | None = None,
+) -> LaunchGeometry:
+    """Compute the grid for a DS launch over ``total_elements``.
+
+    One work-group covers ``coarsening x wg_size`` consecutive elements
+    (its *tile*); the grid is the ceiling division of the input by the
+    tile.  Raises for empty inputs and invalid group sizes, mirroring
+    the OpenCL runtime's launch validation.
+    """
+    if total_elements <= 0:
+        raise LaunchError(f"total_elements must be positive, got {total_elements}")
+    if wg_size <= 0 or wg_size & (wg_size - 1):
+        raise LaunchError(f"wg_size must be a positive power of two, got {wg_size}")
+    if wg_size > device.max_wg_size:
+        raise LaunchError(
+            f"wg_size {wg_size} exceeds {device.name} limit {device.max_wg_size}"
+        )
+    cf = choose_coarsening(device, itemsize, coarsening)
+    tile = cf * wg_size
+    n_wgs = (total_elements + tile - 1) // tile
+    return LaunchGeometry(
+        n_workgroups=n_wgs,
+        wg_size=wg_size,
+        coarsening=cf,
+        tile_size=tile,
+        spilled=spills(device, itemsize, cf),
+    )

@@ -1,0 +1,56 @@
+"""Dynamic work-group ID allocation (Figure 4 of the paper).
+
+Adjacent synchronization chains each work-group to its predecessor, so
+correctness requires that the group holding logical ID *i − 1* is
+scheduled **no later than** the group holding ID *i*.  Hardware gives no
+such guarantee for the launch-grid index: on a device whose slots are
+full of groups spinning for a predecessor that was never dispatched, the
+kernel deadlocks (the simulator demonstrates this — see
+``tests/core/test_dynamic_id.py``).
+
+The fix, due to StreamScan [14], is to let groups *claim* their logical
+ID in scheduling order: the first work-item of each group atomically
+increments a global cursor as soon as the group starts running, and the
+claimed value is broadcast through local memory.  Because a group only
+claims an ID after it has been scheduled, ID order equals scheduling
+order and the predecessor of any running group is also running (or has
+finished) — the chain can always advance.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.events import Event
+from repro.simgpu.workgroup import WorkGroup
+
+__all__ = ["dynamic_wg_id", "static_wg_id"]
+
+
+def dynamic_wg_id(
+    wg: WorkGroup, counter: Buffer, index: int = 0
+) -> Generator[Event, None, int]:
+    """Claim the next logical work-group ID in scheduling order.
+
+    Mirrors Figure 4: work-item 0 performs ``atom_add(&S, 1)``, stores
+    the result in local memory, and a local barrier makes it visible to
+    the whole group.  Returns the claimed ID.
+    """
+    # if (wi_id == 0) wg_id_ = atom_add(&S, 1);
+    wg_id = yield from wg.atomic_add(counter, index, 1)
+    # barrier(local memory fence) — broadcast through local memory.
+    yield from wg.barrier("local")
+    return int(wg_id)
+
+
+def static_wg_id(wg: WorkGroup, counter: Buffer, index: int = 0
+                 ) -> Generator[Event, None, int]:
+    """The *wrong* alternative: use the launch-grid index as the logical
+    ID.  Provided so fault-injection tests and the ablation benchmark
+    can demonstrate the deadlock the paper's Figure 4 exists to prevent.
+    The counter argument is accepted (and ignored) so the two allocators
+    are drop-in interchangeable.
+    """
+    yield from wg.barrier("local")
+    return int(wg.group_index)

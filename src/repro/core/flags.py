@@ -1,0 +1,71 @@
+"""Synchronization flag arrays for adjacent work-group synchronization.
+
+Every DS kernel launch owns a flag array with one slot per work-group
+plus a **virtual predecessor** slot for the first group, so the paper's
+spin loop ``while (atom_or(&flags[wg_id_ - 1], 0) == 0)`` needs no
+special case for ``wg_id_ == 0``: this package stores work-group *i*'s
+flag at index ``i + 1`` and pre-sets index 0 before launch.
+
+Two encodings share the array:
+
+* **Regular DS** (Figure 3): the flag is a boolean — 0 means "my loading
+  stage is not done", 1 means done.
+* **Irregular DS** (Figure 7): the flag carries the cumulative number of
+  predicate-true elements in all groups up to and including the owner.
+  Since a legitimate cumulative count can be zero, the stored value is
+  ``count + 1`` (the classic StreamScan sentinel [14]); helpers here
+  encode/decode so kernels never touch the convention directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LaunchError
+from repro.simgpu.buffers import Buffer
+
+__all__ = [
+    "make_flags",
+    "make_wg_counter",
+    "encode_count",
+    "decode_count",
+    "FLAG_SET",
+]
+
+FLAG_SET = 1
+"""Value a regular-DS work-group stores to announce its load completed."""
+
+
+def make_flags(n_workgroups: int, initial_count: int = 0, name: str = "flags") -> Buffer:
+    """Allocate and initialize a flag buffer for ``n_workgroups`` groups.
+
+    Index 0 (the virtual predecessor of work-group 0) is pre-set: to
+    :data:`FLAG_SET` for regular kernels, or to ``encode_count(initial_count)``
+    for irregular kernels — both are the same bit pattern when
+    ``initial_count == 0``, so one constructor serves both algorithms.
+    """
+    if n_workgroups <= 0:
+        raise LaunchError(f"flag array needs at least one work-group, got {n_workgroups}")
+    flags = Buffer(np.zeros(n_workgroups + 1, dtype=np.int64), name)
+    flags.data[0] = encode_count(initial_count)
+    return flags
+
+
+def make_wg_counter(name: str = "wg_counter") -> Buffer:
+    """The global cursor ``S`` of Figure 4 (dynamic work-group IDs)."""
+    return Buffer(np.zeros(1, dtype=np.int64), name)
+
+
+def encode_count(count: int) -> int:
+    """Encode a cumulative count into a flag value (``count + 1`` so that
+    zero always means "not ready")."""
+    if count < 0:
+        raise LaunchError(f"cumulative count cannot be negative: {count}")
+    return count + 1
+
+
+def decode_count(flag_value: int) -> int:
+    """Inverse of :func:`encode_count`; rejects the unset value 0."""
+    if flag_value <= 0:
+        raise LaunchError(f"flag value {flag_value} does not encode a count")
+    return flag_value - 1

@@ -1,0 +1,278 @@
+"""Output-position remappings for regular Data Sliding algorithms.
+
+A *regular* DS algorithm slides groups of consecutive elements by a
+constant (per-group) offset that is known **without looking at the
+data** — for padding, every element of row *i* advances by
+``i × pad`` positions.  The generic kernel of Algorithm 1 is therefore
+parameterized by a :class:`RegularRemap`: a vectorized map from input
+position to (keep?, output position), plus the **sliding direction**,
+which fixes the logical work-group ordering the adjacent-synchronization
+chain must follow:
+
+* an **expanding** slide (padding) moves data toward *higher* addresses,
+  so tiles must be processed from the tail — a store can then only land
+  at addresses at or above its own tile, where every input has already
+  been loaded by a lower-ID (earlier-chained) work-group;
+* a **shrinking** slide (unpadding, compaction) moves data toward
+  *lower* addresses, so tiles are processed from the head by the
+  symmetric argument.
+
+The invariants are checked by property-based tests in
+``tests/core/test_offsets.py`` (monotonicity, injectivity on kept
+elements, direction consistency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.errors import LaunchError
+
+__all__ = [
+    "RegularRemap",
+    "pad_remap",
+    "unpad_remap",
+    "shift_remap",
+    "insert_gap_remap",
+    "erase_range_remap",
+    "ragged_pad_remap",
+    "ragged_unpad_remap",
+]
+
+RemapFn = Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class RegularRemap:
+    """A regular-DS output mapping.
+
+    Attributes
+    ----------
+    fn:
+        Vectorized ``positions -> (keep_mask, out_positions)``.  Output
+        positions for dropped elements are unspecified.
+    direction:
+        ``"expand"`` (slide toward higher addresses; tiles processed
+        from the tail) or ``"shrink"`` (toward lower addresses; tiles
+        processed from the head).
+    total_in:
+        Number of input elements the mapping is defined on.
+    total_out:
+        Number of elements after the slide (kept elements).
+    name:
+        Diagnostic name.
+    """
+
+    fn: RemapFn
+    direction: str
+    total_in: int
+    total_out: int
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("expand", "shrink"):
+            raise LaunchError(f"direction must be 'expand' or 'shrink', got {self.direction!r}")
+        if self.total_in < 0 or self.total_out < 0:
+            raise LaunchError("element counts cannot be negative")
+
+    def __call__(self, positions: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return self.fn(np.asarray(positions, dtype=np.int64))
+
+
+def pad_remap(rows: int, cols: int, pad: int) -> RegularRemap:
+    """Pad ``pad`` extra columns onto a row-major ``rows x cols`` matrix.
+
+    Element ``(i, j)`` at flat position ``p = i*cols + j`` moves to
+    ``i*(cols+pad) + j = p + (p // cols) * pad`` — row *i* slides forward
+    by ``i x pad`` positions (Section II-A).  All elements are kept; the
+    buffer must already have room for ``rows * (cols + pad)`` elements.
+    """
+    if rows <= 0 or cols <= 0:
+        raise LaunchError(f"matrix must be non-empty, got {rows}x{cols}")
+    if pad < 0:
+        raise LaunchError(f"pad must be non-negative, got {pad}")
+
+    def fn(p: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        keep = np.ones(p.shape, dtype=bool)
+        return keep, p + (p // cols) * pad
+
+    return RegularRemap(
+        fn=fn,
+        direction="expand",
+        total_in=rows * cols,
+        total_out=rows * (cols + pad),
+        name=f"pad({rows}x{cols}, +{pad})",
+    )
+
+
+def unpad_remap(rows: int, cols: int, pad: int) -> RegularRemap:
+    """Remove the last ``pad`` columns of a row-major ``rows x cols``
+    matrix.  Kept element ``(i, j)``, ``j < cols - pad``, moves to
+    ``i*(cols-pad) + j`` — row *i* slides backward by ``i x pad``."""
+    if rows <= 0 or cols <= 0:
+        raise LaunchError(f"matrix must be non-empty, got {rows}x{cols}")
+    if not 0 <= pad < cols:
+        raise LaunchError(f"pad must be in [0, cols), got {pad} for {cols} columns")
+    kept = cols - pad
+
+    def fn(p: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        col = p % cols
+        keep = col < kept
+        return keep, (p // cols) * kept + col
+
+    return RegularRemap(
+        fn=fn,
+        direction="shrink",
+        total_in=rows * cols,
+        total_out=rows * kept,
+        name=f"unpad({rows}x{cols}, -{pad})",
+    )
+
+
+def shift_remap(n: int, offset: int) -> RegularRemap:
+    """Slide a whole array by ``offset`` positions (positive: toward
+    higher addresses).  The simplest member of the regular DS family;
+    useful for inserting a gap at the front of a buffer in place."""
+    if n <= 0:
+        raise LaunchError(f"array must be non-empty, got {n}")
+
+    def fn(p: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        keep = np.ones(p.shape, dtype=bool)
+        return keep, p + offset
+
+    return RegularRemap(
+        fn=fn,
+        direction="expand" if offset >= 0 else "shrink",
+        total_in=n,
+        total_out=n,
+        name=f"shift({n}, {offset:+d})",
+    )
+
+
+def insert_gap_remap(n: int, position: int, gap: int) -> RegularRemap:
+    """Open a ``gap``-element hole at ``position``: elements at or past
+    the position slide forward by ``gap``, earlier elements stay.
+
+    A two-piece constant shift — still a *regular* DS algorithm by the
+    paper's definition (the shift is constant per group of consecutive
+    elements and data-independent).  The buffer must have room for
+    ``n + gap`` elements.
+    """
+    if n <= 0:
+        raise LaunchError(f"array must be non-empty, got {n}")
+    if not 0 <= position <= n:
+        raise LaunchError(f"position must be in [0, {n}], got {position}")
+    if gap < 0:
+        raise LaunchError(f"gap must be non-negative, got {gap}")
+
+    def fn(p: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        keep = np.ones(p.shape, dtype=bool)
+        return keep, np.where(p >= position, p + gap, p)
+
+    return RegularRemap(
+        fn=fn,
+        direction="expand",
+        total_in=n,
+        total_out=n + gap,
+        name=f"insert_gap({n}, @{position}, +{gap})",
+    )
+
+
+def erase_range_remap(n: int, position: int, count: int) -> RegularRemap:
+    """Erase ``count`` elements starting at ``position``: later elements
+    slide backward by ``count``, the erased range is dropped."""
+    if n <= 0:
+        raise LaunchError(f"array must be non-empty, got {n}")
+    if not 0 <= position <= n:
+        raise LaunchError(f"position must be in [0, {n}], got {position}")
+    if count < 0 or position + count > n:
+        raise LaunchError(
+            f"erase range [{position}, {position + count}) outside [0, {n})"
+        )
+
+    def fn(p: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        keep = (p < position) | (p >= position + count)
+        return keep, np.where(p >= position + count, p - count, p)
+
+    return RegularRemap(
+        fn=fn,
+        direction="shrink",
+        total_in=n,
+        total_out=n - count,
+        name=f"erase({n}, @{position}, -{count})",
+    )
+
+
+def _check_widths(widths: np.ndarray) -> np.ndarray:
+    widths = np.asarray(widths, dtype=np.int64)
+    if widths.ndim != 1 or widths.size == 0:
+        raise LaunchError("widths must be a non-empty 1-D sequence")
+    if (widths < 0).any():
+        raise LaunchError("row widths cannot be negative")
+    return widths
+
+
+def ragged_pad_remap(widths, stride: int) -> RegularRemap:
+    """Slide concatenated ragged rows out to a uniform ``stride``.
+
+    Row *i* (``widths[i]`` elements, starting at ``prefix[i]`` in the
+    packed input) moves to offset ``i * stride``.  The shift per row is
+    ``i*stride - prefix[i]`` — a *different constant per group of
+    consecutive elements*, which is precisely the paper's definition of
+    a regular DS algorithm (Section I).  Because ``stride >= widths[j]``
+    for every row, destinations never precede sources, so the slide
+    expands and the tail-first chain applies.
+    """
+    widths = _check_widths(widths)
+    if stride < int(widths.max()):
+        raise LaunchError(
+            f"stride {stride} is narrower than the widest row ({int(widths.max())})"
+        )
+    prefix = np.concatenate(([0], np.cumsum(widths)))
+    total_in = int(prefix[-1])
+    if total_in == 0:
+        raise LaunchError("ragged input has no elements")
+
+    def fn(p: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        row = np.searchsorted(prefix, p, side="right") - 1
+        keep = np.ones(p.shape, dtype=bool)
+        return keep, row * stride + (p - prefix[row])
+
+    return RegularRemap(
+        fn=fn,
+        direction="expand",
+        total_in=total_in,
+        total_out=int(widths.size) * stride,
+        name=f"ragged_pad({widths.size} rows, stride {stride})",
+    )
+
+
+def ragged_unpad_remap(widths, stride: int) -> RegularRemap:
+    """Inverse of :func:`ragged_pad_remap`: pack a uniform-stride matrix
+    back into concatenated ragged rows, dropping each row's padding."""
+    widths = _check_widths(widths)
+    if stride < int(widths.max()):
+        raise LaunchError(
+            f"stride {stride} is narrower than the widest row ({int(widths.max())})"
+        )
+    prefix = np.concatenate(([0], np.cumsum(widths)))
+    total_out = int(prefix[-1])
+    if total_out == 0:
+        raise LaunchError("ragged output would have no elements")
+
+    def fn(p: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        row = p // stride
+        col = p % stride
+        keep = col < widths[row]
+        return keep, prefix[row] + col
+
+    return RegularRemap(
+        fn=fn,
+        direction="shrink",
+        total_in=int(widths.size) * stride,
+        total_out=total_out,
+        name=f"ragged_unpad({widths.size} rows, stride {stride})",
+    )

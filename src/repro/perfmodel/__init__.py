@@ -1,0 +1,69 @@
+"""``repro.perfmodel`` — the analytic device-time model.
+
+Converts launch counters (measured by the simulator or built
+analytically by :mod:`~repro.perfmodel.pipelines`) into time on any
+catalog device, using hardware facts from :mod:`repro.simgpu.device`
+and the paper-anchored constants in
+:mod:`~repro.perfmodel.calibration`.  Throughput conventions matching
+the paper's figure axes live in :mod:`~repro.perfmodel.throughput`.
+"""
+
+from repro.perfmodel.calibration import CALIBRATIONS, Calibration, get_calibration
+from repro.perfmodel.collective_cost import collective_rounds_per_wg, is_optimized_variant
+from repro.perfmodel.model import (
+    LaunchCost,
+    PipelineCost,
+    price_launch,
+    price_pipeline,
+    sequential_time_us,
+)
+from repro.perfmodel.profile import profile_across_devices, profile_result
+from repro.perfmodel.pipelines import (
+    atomic_compact_launches,
+    ds_irregular_launches,
+    ds_keyed_launches,
+    ds_partition_launches,
+    ds_regular_launches,
+    sung_pad_launches,
+    sung_unpad_launches,
+    sung_unpad_progressive_launches,
+    thrust_partition_launches,
+    thrust_select_launches,
+)
+from repro.perfmodel.throughput import (
+    gbps,
+    pad_useful_bytes,
+    partition_useful_bytes,
+    select_useful_bytes,
+    unpad_useful_bytes,
+)
+
+__all__ = [
+    "Calibration",
+    "CALIBRATIONS",
+    "get_calibration",
+    "collective_rounds_per_wg",
+    "is_optimized_variant",
+    "LaunchCost",
+    "PipelineCost",
+    "price_launch",
+    "price_pipeline",
+    "sequential_time_us",
+    "ds_regular_launches",
+    "ds_irregular_launches",
+    "ds_keyed_launches",
+    "ds_partition_launches",
+    "thrust_select_launches",
+    "thrust_partition_launches",
+    "sung_pad_launches",
+    "sung_unpad_launches",
+    "sung_unpad_progressive_launches",
+    "atomic_compact_launches",
+    "profile_result",
+    "profile_across_devices",
+    "gbps",
+    "pad_useful_bytes",
+    "unpad_useful_bytes",
+    "select_useful_bytes",
+    "partition_useful_bytes",
+]

@@ -1,0 +1,127 @@
+"""Calibrated efficiency constants for the performance model.
+
+The simulator counts *what* a kernel does (bytes, transactions, launch
+geometry, synchronizations, collective rounds, serialized atomics); the
+model in :mod:`repro.perfmodel.model` turns counts into time using the
+hardware facts of :mod:`repro.simgpu.device` **and** the per-device
+efficiency constants collected here.  Every constant is anchored to a
+number the paper reports:
+
+===============  ==========================================================
+constant          anchor
+===============  ==========================================================
+streaming_eff     fraction of peak a regular DS kernel reaches at full
+                  occupancy: Table I padding/unpadding (Maxwell
+                  131.5/224 = 0.59, Hawaii 168.6/320 = 0.53; "up to 50%"
+                  on Fermi/Kepler; ">50% of peak" for CPU+MxPA)
+irregular_eff     extra efficiency factor of irregular (masked, scan-
+                  offset) kernels relative to streaming ones: Table I
+                  select vs padding on Maxwell (~88 vs ~131 after
+                  collective costs)
+round_cost_us     cost of one barrier-separated collective round; sets the
+                  gap between base and optimized reductions/scans, the
+                  paper's +6%..+45% (Figures 14, 17, 20)
+native/emulated   discount for shuffle/ballot rounds vs local-memory tree
+_collective       rounds (native on Kepler+ CUDA; emulated elsewhere)
+atomic_serialize  per-conflicting-atomic cost: separates the three
+_us               unstable compaction schemes of Figure 13
+spill_penalty     bandwidth divisor once the coarsening tile spills
+                  off chip: the cliff at coarsening 40/48 in Figure 6
+opencl_penalty    extra factor on *irregular* OpenCL kernels for devices
+                  without L1-cached global loads (the paper's explanation
+                  of Kepler < Fermi in OpenCL, Figures 14/17/20)
+sequential_bw     effective single-thread CPU bandwidth: the paper's
+_gbps             sequential baseline (DS/MxPA is 2.80x faster)
+===============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ModelError
+
+__all__ = ["Calibration", "CALIBRATIONS", "get_calibration"]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Per-device efficiency constants (see module docstring)."""
+
+    streaming_eff: float
+    irregular_eff: float = 0.82
+    round_cost_us: float = 0.04
+    native_collective_factor: float = 0.35
+    emulated_collective_factor: float = 0.70
+    atomic_serialize_us: float = 0.0005
+    spill_penalty: float = 1.8
+    opencl_irregular_penalty: float = 1.0
+    sequential_bw_gbps: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.streaming_eff <= 1:
+            raise ModelError("streaming_eff must be in (0, 1]")
+        if not 0 < self.irregular_eff <= 1:
+            raise ModelError("irregular_eff must be in (0, 1]")
+        if self.spill_penalty < 1 or self.opencl_irregular_penalty < 1:
+            raise ModelError("penalties are divisors and must be >= 1")
+
+
+CALIBRATIONS: Mapping[str, Calibration] = {
+    "fermi": Calibration(
+        streaming_eff=0.50,  # "On Fermi and Kepler, up to 50% is attained"
+        irregular_eff=0.52,  # Fermi caches global loads in L1 but scatters hurt
+        round_cost_us=0.05,  # slower LSU/barrier path than Kepler+
+        native_collective_factor=0.45,  # __ballot/__popc but no __shfl
+    ),
+    "kepler": Calibration(
+        streaming_eff=0.50,
+        irregular_eff=0.52,  # no L1 for global loads: irregular access is costly
+        round_cost_us=0.05,
+        opencl_irregular_penalty=1.9,  # no L1 for globals + no OpenCL shuffle:
+        # the reason OpenCL Kepler trails OpenCL Fermi (Figs 14/17/20)
+    ),
+    "maxwell": Calibration(
+        streaming_eff=0.59,  # Table I: 131.5 GB/s of 224 peak
+        irregular_eff=0.74,  # Table I: select ~88 GB/s after collective costs
+        round_cost_us=0.04,
+    ),
+    "hawaii": Calibration(
+        streaming_eff=0.53,  # Table I: 168.6 GB/s of 320 peak
+        irregular_eff=0.68,
+        round_cost_us=0.05,
+        emulated_collective_factor=0.65,
+    ),
+    "kaveri": Calibration(
+        streaming_eff=0.55,
+        irregular_eff=0.70,
+        round_cost_us=0.06,
+        emulated_collective_factor=0.65,
+    ),
+    "cpu-mxpa": Calibration(
+        streaming_eff=0.55,  # ">50% of that peak ... when MxPA is used"
+        irregular_eff=0.85,  # CPU caches absorb the scatter penalty
+        round_cost_us=0.02,  # "barriers" compile to loop boundaries
+        emulated_collective_factor=0.50,
+        sequential_bw_gbps=5.0,  # anchors DS/MxPA = 2.80x sequential
+    ),
+    "cpu-intel": Calibration(
+        streaming_eff=0.36,  # MxPA outperforms the Intel stack (Fig 10)
+        irregular_eff=0.80,
+        round_cost_us=0.04,
+        emulated_collective_factor=0.60,
+        sequential_bw_gbps=5.0,
+    ),
+}
+
+
+def get_calibration(device_name: str) -> Calibration:
+    """Calibration constants for a catalog device (by short name)."""
+    try:
+        return CALIBRATIONS[device_name]
+    except KeyError:
+        known = ", ".join(sorted(CALIBRATIONS))
+        raise ModelError(
+            f"no calibration for device {device_name!r}; known: {known}"
+        ) from None

@@ -1,0 +1,83 @@
+"""Collective-round accounting for the irregular DS kernels.
+
+The irregular kernel performs one work-group reduction before the
+adjacent synchronization and one binary prefix sum per coarsening round
+after it.  The *number of barrier-separated rounds* these take is what
+distinguishes the paper's base implementations from its optimized ones
+(Section III-B):
+
+* balanced-tree scan: ``2 x log2(wg_size)`` rounds per scanned vector;
+* ballot/shuffle scan: the intra-warp part is register-resident (no
+  barrier), leaving only ``log2(n_warps)`` cross-warp rounds plus a
+  constant staging round;
+* tree reduction: ``log2(wg_size)`` rounds; shuffle reduction:
+  ``log2(n_warps)`` cross-warp rounds plus one.
+
+:func:`collective_rounds_per_wg` converts a kernel configuration into
+the per-work-group round count the model multiplies by the per-round
+cost (native vs emulated — a pricing decision made in
+:mod:`repro.perfmodel.model`, since it depends on device and API).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ModelError
+
+__all__ = ["collective_rounds_per_wg", "is_optimized_variant"]
+
+
+def _log2(n: int) -> int:
+    if n <= 0 or n & (n - 1):
+        raise ModelError(f"expected a positive power of two, got {n}")
+    return n.bit_length() - 1
+
+
+def is_optimized_variant(variant: str) -> bool:
+    """True for the shuffle/ballot variants (paper's "optimized")."""
+    if variant not in ("tree", "ballot", "shuffle"):
+        raise ModelError(f"unknown collective variant {variant!r}")
+    return variant != "tree"
+
+
+def collective_rounds_per_wg(
+    wg_size: int,
+    warp_size: int,
+    coarsening: int,
+    reduction_variant: str = "tree",
+    scan_variant: str = "tree",
+) -> float:
+    """Barrier-separated rounds one work-group spends in collectives.
+
+    One reduction plus ``coarsening`` binary prefix sums, using the
+    formulas in the module docstring.  A work-group narrower than the
+    hardware warp executes as one partial wavefront, so the effective
+    warp width is clamped to the group size (AMD wavefronts are 64).
+    """
+    warp_size = min(warp_size, wg_size) if wg_size > 0 else warp_size
+    if wg_size <= 0 or wg_size % warp_size:
+        raise ModelError(
+            f"wg_size {wg_size} must be a positive multiple of warp {warp_size}"
+        )
+    if coarsening <= 0:
+        raise ModelError(f"coarsening must be positive, got {coarsening}")
+    n_warps = max(1, wg_size // warp_size)
+    lg_wg = _log2(wg_size)
+    lg_warps = max(1, math.ceil(math.log2(n_warps))) if n_warps > 1 else 1
+
+    if reduction_variant == "tree":
+        reduce_rounds = lg_wg
+    elif reduction_variant == "shuffle":
+        reduce_rounds = lg_warps + 1
+    else:
+        raise ModelError(f"unknown reduction variant {reduction_variant!r}")
+
+    if scan_variant == "tree":
+        scan_rounds = 2 * lg_wg
+    elif scan_variant in ("ballot", "shuffle"):
+        scan_rounds = lg_warps + 1
+    else:
+        raise ModelError(f"unknown scan variant {scan_variant!r}")
+
+    return float(reduce_rounds + coarsening * scan_rounds)

@@ -1,0 +1,192 @@
+"""The analytic cost model: launch counters + device -> time.
+
+DS algorithms are memory-bound (the paper's premise), so the model
+prices a kernel launch as
+
+``total = launch_overhead + max(mem, chain) + collectives + atomics``
+
+* **mem** — effective traffic over achievable bandwidth.  Achievable
+  bandwidth is ``peak x mlp_eff(resident) x efficiency``:
+  ``mlp_eff`` is the device's occupancy ramp (the term whose collapse
+  ruins the iterative baseline, Figure 2), and ``efficiency`` combines
+  the calibrated streaming efficiency, the irregular-access factor, the
+  Kepler-OpenCL no-L1 penalty and the coarsening spill penalty
+  (Figure 6's cliff).
+* **chain** — the adjacent-synchronization chain is strictly serial
+  (one flag hop per work-group) but overlaps memory completely, hence
+  the ``max``: it only binds when there are many small tiles (the low
+  end of the coarsening sweep, Figure 6).
+* **collectives** — reduction/scan rounds per work-group, multiplied by
+  grid/residency (the machine processes `resident` groups at a time)
+  and discounted for native or emulated shuffle (the paper's base vs
+  optimized gap in Figures 14, 17, 20).
+* **atomics** — serialized same-address atomics (the three unstable
+  compaction schemes of Figure 13 differ only here).
+
+Pricing reads only :class:`~repro.simgpu.counters.LaunchCounters`, so
+it applies equally to counters measured by the functional simulator and
+to the analytic counters built by :mod:`repro.perfmodel.pipelines` for
+paper-scale workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.errors import ModelError
+from repro.perfmodel.calibration import Calibration, get_calibration
+from repro.simgpu.counters import LaunchCounters
+from repro.simgpu.device import DeviceSpec
+
+__all__ = ["LaunchCost", "PipelineCost", "price_launch", "price_pipeline",
+           "sequential_time_us"]
+
+TRANSACTION_BYTES = 128
+
+
+@dataclass(frozen=True)
+class LaunchCost:
+    """Priced components of one kernel launch (microseconds)."""
+
+    launch_us: float
+    mem_us: float
+    chain_us: float
+    collective_us: float
+    atomic_us: float
+
+    @property
+    def total_us(self) -> float:
+        return (
+            self.launch_us
+            + max(self.mem_us, self.chain_us)
+            + self.collective_us
+            + self.atomic_us
+        )
+
+
+@dataclass(frozen=True)
+class PipelineCost:
+    """Priced multi-launch pipeline."""
+
+    launches: tuple
+
+    @property
+    def total_us(self) -> float:
+        return sum(c.total_us for c in self.launches)
+
+    @property
+    def num_launches(self) -> int:
+        return len(self.launches)
+
+    def breakdown(self) -> str:
+        """Multi-line human-readable cost breakdown."""
+        lines = []
+        for i, c in enumerate(self.launches):
+            lines.append(
+                f"  launch {i}: total={c.total_us:9.1f}us "
+                f"(mem={c.mem_us:.1f}, chain={c.chain_us:.1f}, "
+                f"coll={c.collective_us:.1f}, atomic={c.atomic_us:.1f})"
+            )
+        lines.append(f"  pipeline total: {self.total_us:.1f}us")
+        return "\n".join(lines)
+
+
+def _effective_bytes(counters: LaunchCounters) -> float:
+    """Traffic after coalescing: measured transactions when available,
+    else raw bytes scaled by the declared access overhead."""
+    overhead = counters.extras.get("access_overhead", 1.0)
+    if counters.transactions > 0:
+        txn_bytes = counters.transactions * TRANSACTION_BYTES
+        return float(max(counters.bytes_moved, txn_bytes))
+    return counters.bytes_moved * float(overhead)
+
+
+def price_launch(
+    counters: LaunchCounters,
+    device: DeviceSpec,
+    *,
+    api: str = "opencl",
+    calibration: Optional[Calibration] = None,
+) -> LaunchCost:
+    """Price one launch on ``device`` (see module docstring)."""
+    if api not in ("cuda", "opencl"):
+        raise ModelError(f"api must be 'cuda' or 'opencl', got {api!r}")
+    calib = calibration if calibration is not None else get_calibration(device.name)
+    extras = counters.extras
+
+    grid = max(1, counters.grid_size)
+    resident = counters.peak_resident if counters.peak_resident > 0 else grid
+    resident = max(1, min(resident, device.max_resident_wgs))
+    mlp = device.mlp_efficiency(resident)
+
+    eff = calib.streaming_eff
+    irregular = extras.get("irregular", 0.0) > 0
+    if irregular:
+        eff *= calib.irregular_eff
+        if api == "opencl":
+            eff /= calib.opencl_irregular_penalty
+    if extras.get("spilled", 0.0) > 0:
+        eff /= calib.spill_penalty
+
+    bandwidth = device.bandwidth_bytes_per_us() * mlp * eff
+    mem_us = _effective_bytes(counters) / bandwidth if bandwidth > 0 else 0.0
+
+    chain_us = extras.get("adjacent_syncs", 0.0) * device.flag_latency_us
+
+    rounds = extras.get("collective_rounds", 0.0)
+    collective_us = 0.0
+    if rounds > 0:
+        if extras.get("opt_collectives", 0.0) > 0:
+            native = (api == "cuda" and device.has_shuffle_cuda) or (
+                api == "opencl" and device.has_shuffle_opencl
+            )
+            factor = (
+                calib.native_collective_factor
+                if native
+                else calib.emulated_collective_factor
+            )
+        else:
+            factor = 1.0
+        collective_us = (grid / resident) * rounds * calib.round_cost_us * factor
+
+    atomic_us = extras.get("serialized_atomics", 0.0) * calib.atomic_serialize_us
+
+    return LaunchCost(
+        launch_us=device.launch_overhead_us,
+        mem_us=mem_us,
+        chain_us=chain_us,
+        collective_us=collective_us,
+        atomic_us=atomic_us,
+    )
+
+
+def price_pipeline(
+    launches: Iterable[LaunchCounters],
+    device: DeviceSpec,
+    *,
+    api: str = "opencl",
+    calibration: Optional[Calibration] = None,
+) -> PipelineCost:
+    """Price an ordered sequence of launches (a primitive or baseline)."""
+    costs: List[LaunchCost] = [
+        price_launch(c, device, api=api, calibration=calibration) for c in launches
+    ]
+    if not costs:
+        raise ModelError("cannot price an empty pipeline")
+    return PipelineCost(launches=tuple(costs))
+
+
+def sequential_time_us(
+    bytes_moved: int,
+    device: DeviceSpec,
+    *,
+    calibration: Optional[Calibration] = None,
+) -> float:
+    """Time for a single-threaded CPU baseline moving ``bytes_moved``
+    (the paper's sequential padding/unpadding comparison)."""
+    calib = calibration if calibration is not None else get_calibration(device.name)
+    bw = calib.sequential_bw_gbps * 1e9 / 1e6  # bytes per microsecond
+    if bytes_moved < 0:
+        raise ModelError("bytes_moved cannot be negative")
+    return bytes_moved / bw

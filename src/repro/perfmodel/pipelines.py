@@ -1,0 +1,447 @@
+"""Analytic launch-counter builders for paper-scale workloads.
+
+Running the functional simulator on the paper's actual sizes (16M-element
+arrays, 12000x11999 matrices) is possible but slow in pure Python; and
+the byte/launch structure of every pipeline is exactly known.  These
+builders construct the same :class:`~repro.simgpu.counters.LaunchCounters`
+records the simulator would produce — grid geometry, bytes in each
+direction, synchronization and collective extras — from closed-form
+workload parameters.  ``tests/perfmodel/test_pipeline_consistency.py``
+verifies the formulas against simulator-measured counters on scaled-down
+configurations, so benchmarks can trust the analytic records at full
+scale.
+
+All builders take the element count(s), the element size, the device and
+tuning, and return the ordered launch list a primitive performs:
+
+=====================  ====================================================
+builder                 models
+=====================  ====================================================
+ds_regular_launches     Algorithm 1 (padding / unpadding): 1 launch
+ds_irregular_launches   Algorithm 2 (select / compaction / unique): 1 launch
+ds_partition_launches   Algorithm 2 + false copy-back: 1-2 launches
+thrust_select_launches  Thrust transform/scan/scatter: 5 (+1 in-place)
+thrust_partition_...    same with both-class scatter
+sung_pad_launches       one launch per movable-set iteration
+sung_unpad_launches     one single-work-group launch
+atomic_compact_...      one launch, atomic contention in extras
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.core.coarsening import launch_geometry
+from repro.errors import ModelError
+from repro.perfmodel.collective_cost import collective_rounds_per_wg, is_optimized_variant
+from repro.simgpu.counters import LaunchCounters
+from repro.simgpu.device import DeviceSpec
+
+__all__ = [
+    "ds_regular_launches",
+    "ds_irregular_launches",
+    "ds_keyed_launches",
+    "ds_partition_launches",
+    "thrust_select_launches",
+    "thrust_partition_launches",
+    "sung_pad_launches",
+    "sung_unpad_launches",
+    "sung_unpad_progressive_launches",
+    "atomic_compact_launches",
+    "THRUST_FLAG_BYTES",
+]
+
+THRUST_FLAG_BYTES = 4
+"""Element size of Thrust's intermediate flag/scan arrays (int32)."""
+
+_PARTIAL_BYTES = 8  # per-tile partial counters (int64)
+
+
+def _resident(grid: int, device: DeviceSpec) -> int:
+    return max(1, min(grid, device.max_resident_wgs))
+
+
+def _counters(
+    name: str,
+    grid: int,
+    wg_size: int,
+    device: DeviceSpec,
+    bytes_loaded: float,
+    bytes_stored: float,
+    **extras: float,
+) -> LaunchCounters:
+    c = LaunchCounters(
+        kernel_name=name,
+        grid_size=grid,
+        wg_size=wg_size,
+        bytes_loaded=int(bytes_loaded),
+        bytes_stored=int(bytes_stored),
+        peak_resident=_resident(grid, device),
+    )
+    c.extras.update(extras)
+    return c
+
+
+# -- Data Sliding algorithms --------------------------------------------------
+
+
+def ds_regular_launches(
+    n_in: int,
+    n_kept: int,
+    itemsize: int,
+    device: DeviceSpec,
+    *,
+    wg_size: int = 256,
+    coarsening: Optional[int] = None,
+    name: str = "ds_regular",
+) -> List[LaunchCounters]:
+    """Algorithm 1: one launch; loads all inputs, stores kept elements."""
+    if n_kept > n_in:
+        raise ModelError(f"kept {n_kept} exceeds input {n_in}")
+    geo = launch_geometry(n_in, device, itemsize, wg_size=wg_size, coarsening=coarsening)
+    return [
+        _counters(
+            name, geo.n_workgroups, geo.wg_size, device,
+            bytes_loaded=n_in * itemsize,
+            bytes_stored=n_kept * itemsize,
+            adjacent_syncs=float(geo.n_workgroups),
+            coarsening=float(geo.coarsening),
+            spilled=float(geo.spilled),
+            irregular=0.0,
+        )
+    ]
+
+
+def ds_irregular_launches(
+    n_in: int,
+    n_kept: int,
+    itemsize: int,
+    device: DeviceSpec,
+    *,
+    wg_size: int = 256,
+    coarsening: Optional[int] = None,
+    reduction_variant: str = "tree",
+    scan_variant: str = "tree",
+    stores_false_too: bool = False,
+    stencil: bool = False,
+    name: str = "ds_irregular",
+) -> List[LaunchCounters]:
+    """Algorithm 2: one launch; loads all inputs (plus one boundary
+    element per tile for the unique stencil), stores kept elements (all
+    elements when ``stores_false_too``, i.e. partition's split)."""
+    if n_kept > n_in:
+        raise ModelError(f"kept {n_kept} exceeds input {n_in}")
+    geo = launch_geometry(n_in, device, itemsize, wg_size=wg_size, coarsening=coarsening)
+    boundary = (geo.n_workgroups - 1) if stencil else 0
+    stored = n_in if stores_false_too else n_kept
+    rounds = collective_rounds_per_wg(
+        geo.wg_size, device.warp_size, geo.coarsening,
+        reduction_variant, scan_variant,
+    )
+    optimized = is_optimized_variant(scan_variant) or is_optimized_variant(
+        reduction_variant
+    )
+    return [
+        _counters(
+            name, geo.n_workgroups, geo.wg_size, device,
+            bytes_loaded=(n_in + boundary) * itemsize,
+            bytes_stored=stored * itemsize,
+            adjacent_syncs=float(geo.n_workgroups),
+            coarsening=float(geo.coarsening),
+            spilled=float(geo.spilled),
+            irregular=1.0,
+            collective_rounds=rounds,
+            opt_collectives=1.0 if optimized else 0.0,
+            # Compacted stores straddle transaction boundaries; the
+            # unique stencil additionally re-touches tile-boundary words.
+            access_overhead=1.15 if stencil else 1.04,
+        )
+    ]
+
+
+def ds_keyed_launches(
+    n_in: int,
+    n_kept: int,
+    itemsize: int,
+    device: DeviceSpec,
+    *,
+    n_payloads: int = 1,
+    payload_itemsize: Optional[int] = None,
+    wg_size: int = 256,
+    coarsening: Optional[int] = None,
+    reduction_variant: str = "tree",
+    scan_variant: str = "tree",
+    stencil: bool = False,
+    name: str = "ds_keyed",
+) -> List[LaunchCounters]:
+    """Keyed Algorithm 2 (unique_by_key / record compaction): one launch
+    that moves the key column plus ``n_payloads`` payload columns, all
+    sharing one flag chain.  Traffic scales with the record width; the
+    chain and collective costs do not — that is the extension's point.
+    """
+    if n_kept > n_in:
+        raise ModelError(f"kept {n_kept} exceeds input {n_in}")
+    if n_payloads < 0:
+        raise ModelError(f"n_payloads cannot be negative: {n_payloads}")
+    psize = payload_itemsize if payload_itemsize is not None else itemsize
+    base = ds_irregular_launches(
+        n_in, n_kept, itemsize, device,
+        wg_size=wg_size, coarsening=coarsening,
+        reduction_variant=reduction_variant, scan_variant=scan_variant,
+        stencil=stencil, name=name,
+    )[0]
+    base.bytes_loaded += n_in * psize * n_payloads
+    base.bytes_stored += n_kept * psize * n_payloads
+    return [base]
+
+
+def ds_partition_launches(
+    n: int,
+    n_true: int,
+    itemsize: int,
+    device: DeviceSpec,
+    *,
+    in_place: bool = True,
+    wg_size: int = 256,
+    coarsening: Optional[int] = None,
+    reduction_variant: str = "tree",
+    scan_variant: str = "tree",
+) -> List[LaunchCounters]:
+    """DS Partition: the split launch, plus the false-tail copy-back for
+    the in-place flavour (the term that shrinks as the true fraction
+    grows — the paper's observation on Figure 19)."""
+    launches = ds_irregular_launches(
+        n, n_true, itemsize, device,
+        wg_size=wg_size, coarsening=coarsening,
+        reduction_variant=reduction_variant, scan_variant=scan_variant,
+        stores_false_too=True, name="ds_partition",
+    )
+    # Two element classes: two counters, two rank computations, and two
+    # scattered store streams per round.
+    launches[0].extras["collective_rounds"] *= 2.0
+    launches[0].extras["access_overhead"] = 1.12
+    n_false = n - n_true
+    if in_place and n_false > 0:
+        geo = launch_geometry(n_false, device, itemsize,
+                              wg_size=wg_size, coarsening=coarsening)
+        launches.append(
+            _counters(
+                "ds_partition_copyback", geo.n_workgroups, geo.wg_size, device,
+                bytes_loaded=n_false * itemsize,
+                bytes_stored=n_false * itemsize,
+                irregular=0.0,
+            )
+        )
+    return launches
+
+
+# -- Thrust-style pipelines ----------------------------------------------------
+
+
+def thrust_select_launches(
+    n: int,
+    n_kept: int,
+    itemsize: int,
+    device: DeviceSpec,
+    *,
+    in_place: bool = False,
+    wg_size: int = 256,
+    coarsening: int = 8,
+    stencil: bool = False,
+    name: str = "thrust",
+) -> List[LaunchCounters]:
+    """Thrust 1.8 select-family pipeline: predicate-reduce, partials
+    scan, predicate-downsweep, scatter (+ copy-back in place)."""
+    if n_kept > n:
+        raise ModelError(f"kept {n_kept} exceeds input {n}")
+    geo = launch_geometry(n, device, itemsize, wg_size=wg_size, coarsening=coarsening)
+    grid = geo.n_workgroups
+    boundary = (grid - 1) if stencil else 0
+    fb = THRUST_FLAG_BYTES
+    launches = [
+        _counters(f"{name}_reduce", grid, wg_size, device,
+                  bytes_loaded=(n + boundary) * itemsize,
+                  bytes_stored=grid * _PARTIAL_BYTES),
+        _counters(f"{name}_scan_partials", 1, wg_size, device,
+                  bytes_loaded=grid * _PARTIAL_BYTES,
+                  bytes_stored=(grid + 1) * _PARTIAL_BYTES),
+        _counters(f"{name}_downsweep", grid, wg_size, device,
+                  bytes_loaded=(n + boundary) * itemsize + grid * _PARTIAL_BYTES,
+                  bytes_stored=n * fb),
+        _counters(f"{name}_scatter", grid, wg_size, device,
+                  bytes_loaded=(n + boundary) * itemsize + n * fb,
+                  bytes_stored=n_kept * itemsize,
+                  irregular=1.0, access_overhead=1.04),
+    ]
+    if in_place:
+        cgeo = launch_geometry(max(1, n_kept), device, itemsize,
+                               wg_size=wg_size, coarsening=coarsening)
+        launches.append(
+            _counters(f"{name}_copyback", cgeo.n_workgroups, wg_size, device,
+                      bytes_loaded=n_kept * itemsize,
+                      bytes_stored=n_kept * itemsize),
+        )
+    return launches
+
+
+def thrust_partition_launches(
+    n: int,
+    n_true: int,
+    itemsize: int,
+    device: DeviceSpec,
+    *,
+    in_place: bool = False,
+    wg_size: int = 256,
+    coarsening: int = 8,
+) -> List[LaunchCounters]:
+    """Thrust stable_partition(_copy): both classes are scanned (one
+    extra downsweep) and the scatter writes and reads both scan arrays;
+    the in-place flavour copies all N back."""
+    launches = thrust_select_launches(
+        n, n, itemsize, device,
+        wg_size=wg_size, coarsening=coarsening, name="thrust_partition",
+    )
+    geo = launch_geometry(n, device, itemsize, wg_size=wg_size, coarsening=coarsening)
+    fb = THRUST_FLAG_BYTES
+    launches.insert(3, _counters(
+        "thrust_partition_downsweep_false", geo.n_workgroups, wg_size, device,
+        bytes_loaded=n * itemsize + geo.n_workgroups * _PARTIAL_BYTES,
+        bytes_stored=n * fb,
+    ))
+    # The scatter additionally reads the false-scan array.
+    launches[4].bytes_loaded += (n - n_true) * fb
+    # The scatter stage stores every element, which the n_kept=n call
+    # already encodes; in-place adds a whole-array copy-back.
+    if in_place:
+        cgeo = launch_geometry(n, device, itemsize,
+                               wg_size=wg_size, coarsening=coarsening)
+        launches.append(
+            _counters("thrust_partition_copyback", cgeo.n_workgroups, wg_size,
+                      device, bytes_loaded=n * itemsize, bytes_stored=n * itemsize),
+        )
+    return launches
+
+
+# -- Sung's iterative baseline ---------------------------------------------------
+
+
+def sung_pad_launches(
+    rows: int,
+    cols: int,
+    pad: int,
+    itemsize: int,
+    device: DeviceSpec,
+    *,
+    wg_size: int = 256,
+) -> List[LaunchCounters]:
+    """One launch per movable-set iteration; iteration *k* moves
+    ``schedule[k]`` rows in parallel (Figure 2's thin bars)."""
+    # Imported lazily: repro.baselines pulls in the primitives package,
+    # which itself imports repro.perfmodel for collective accounting.
+    from repro.baselines.sung import iteration_schedule
+
+    schedule = iteration_schedule(rows, cols, pad)
+    launches = []
+    row_bytes = cols * itemsize
+    for k, movable in enumerate(schedule):
+        launches.append(
+            _counters(
+                f"sung_pad_iter{k}", movable, wg_size, device,
+                bytes_loaded=movable * row_bytes,
+                bytes_stored=movable * row_bytes,
+            )
+        )
+    return launches
+
+
+def sung_unpad_progressive_launches(
+    rows: int,
+    cols: int,
+    pad: int,
+    itemsize: int,
+    device: DeviceSpec,
+    *,
+    wg_size: int = 256,
+) -> List[LaunchCounters]:
+    """The paper's sketched alternative (Section V): progressive
+    unpadding, one launch per iteration, parallelism growing from 1 as
+    freed space accumulates."""
+    from repro.baselines.sung import unpad_iteration_schedule
+
+    kept = cols - pad
+    row_bytes = kept * itemsize
+    launches = []
+    for k, movable in enumerate(unpad_iteration_schedule(rows, cols, pad)):
+        launches.append(
+            _counters(
+                f"sung_unpad_prog_iter{k}", movable, wg_size, device,
+                bytes_loaded=movable * row_bytes,
+                bytes_stored=movable * row_bytes,
+            )
+        )
+    return launches
+
+
+def sung_unpad_launches(
+    rows: int,
+    cols: int,
+    pad: int,
+    itemsize: int,
+    device: DeviceSpec,
+    *,
+    wg_size: int = 256,
+) -> List[LaunchCounters]:
+    """The paper's unpadding baseline: one launch, one work-group."""
+    kept = cols - pad
+    moved = (rows - 1) * kept * itemsize
+    return [
+        _counters("sung_unpad", 1, wg_size, device,
+                  bytes_loaded=moved, bytes_stored=moved)
+    ]
+
+
+# -- Unstable atomic compaction ---------------------------------------------------
+
+
+def atomic_compact_launches(
+    n: int,
+    n_kept: int,
+    itemsize: int,
+    device: DeviceSpec,
+    *,
+    method: str,
+    wg_size: int = 256,
+    coarsening: Optional[int] = None,
+) -> List[LaunchCounters]:
+    """The three unstable filters of Figure 13; they differ only in how
+    many atomics serialize on the single output cursor."""
+    geo = launch_geometry(n, device, itemsize, wg_size=wg_size, coarsening=coarsening)
+    grid = geo.n_workgroups
+    irregular = 1.0
+    overhead = 1.04
+    if method == "plain":
+        serialized = n_kept
+    elif method == "shared":
+        # Tile-aggregated output blocks are long and contiguous: this is
+        # effectively a streaming kernel plus one atomic per tile.
+        serialized = grid
+        irregular = 0.0
+        overhead = 1.05
+    elif method == "warp":
+        warps_per_round = max(1, wg_size // device.warp_size)
+        serialized = grid * geo.coarsening * warps_per_round
+    else:
+        raise ModelError(f"unknown atomic compaction method {method!r}")
+    return [
+        _counters(
+            f"atomic_compact_{method}", grid, geo.wg_size, device,
+            bytes_loaded=n * itemsize,
+            bytes_stored=n_kept * itemsize,
+            irregular=irregular,
+            access_overhead=overhead,
+            serialized_atomics=float(serialized),
+            coarsening=float(geo.coarsening),
+        )
+    ]

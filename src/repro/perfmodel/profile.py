@@ -1,0 +1,78 @@
+"""One-call profiling of a primitive result on any catalog device.
+
+Glue between the user-facing primitives and the performance model:
+run a primitive once (on the simulator), then ask what the recorded
+launches would cost on each of the paper's platforms.
+
+Example
+-------
+>>> import numpy as np, repro
+>>> from repro.perfmodel import profile_result
+>>> r = repro.compact(np.asarray([1., 0., 2.], dtype=np.float32), 0.0,
+...                   return_result=True)
+>>> report = profile_result(r, device="maxwell")
+>>> sorted(report)
+['bytes_moved', 'device', 'gbps', 'launches', 'time_us', 'useful_bytes']
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ModelError
+from repro.perfmodel.model import price_pipeline
+from repro.perfmodel.throughput import gbps
+from repro.simgpu.device import DeviceSpec, get_device, list_devices
+
+if TYPE_CHECKING:  # pragma: no cover - the import would be circular at
+    # runtime (primitives build on perfmodel for collective accounting),
+    # and profile_result only needs the duck-typed result surface.
+    from repro.primitives.common import PrimitiveResult
+
+__all__ = ["profile_result", "profile_across_devices"]
+
+
+def profile_result(
+    result: "PrimitiveResult",
+    device: Optional[Union[DeviceSpec, str]] = None,
+    *,
+    api: str = "opencl",
+    useful_bytes: Optional[int] = None,
+) -> Dict[str, float]:
+    """Price one primitive run on ``device`` (default: where it ran).
+
+    ``useful_bytes`` overrides the effective-throughput numerator; by
+    default the launches' own payload traffic is used, which matches
+    the paper's conventions for the in-place primitives.
+    """
+    if not result.counters:
+        raise ModelError(
+            "result has no launch records (was it run with backend='numpy'?)")
+    dev = result.device if device is None else (
+        get_device(device) if isinstance(device, str) else device)
+    cost = price_pipeline(result.counters, dev, api=api)
+    useful = useful_bytes if useful_bytes is not None else result.bytes_moved
+    return {
+        "device": dev.name,
+        "time_us": cost.total_us,
+        "gbps": gbps(useful, cost.total_us),
+        "useful_bytes": float(useful),
+        "bytes_moved": float(result.bytes_moved),
+        "launches": float(result.num_launches),
+    }
+
+
+def profile_across_devices(
+    result: "PrimitiveResult",
+    *,
+    api: str = "opencl",
+    useful_bytes: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """Price one primitive run on every catalog device (the quick
+    portability view the paper's Figures 10/14/17/20 take)."""
+    return [
+        profile_result(result, dev, api=api, useful_bytes=useful_bytes)
+        for dev in list_devices()
+    ]

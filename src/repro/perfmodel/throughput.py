@@ -1,0 +1,78 @@
+"""Effective-throughput conventions (the y-axes of the paper's figures).
+
+The paper reports GB/s of *useful* data movement: the payload bytes a
+primitive must read plus the payload bytes it must write, divided by
+elapsed time.  Intermediate traffic (Thrust's flag/scan arrays, the
+in-place entry points' temporaries) does **not** count as useful — that
+is precisely why multi-pass implementations show low effective
+throughput on these plots.
+
+Conventions per primitive family:
+
+* padding           — ``2 x rows x cols x itemsize`` (every input element
+                      is read once and written once; the new cells are
+                      not payload);
+* unpadding         — ``2 x rows x kept_cols x itemsize``;
+* select/compact/
+  unique            — ``(n_in + n_kept) x itemsize``;
+* partition         — ``2 x n x itemsize`` (every element is read and
+                      written exactly once, whichever class it is in).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+__all__ = [
+    "gbps",
+    "pad_useful_bytes",
+    "unpad_useful_bytes",
+    "select_useful_bytes",
+    "partition_useful_bytes",
+]
+
+
+def gbps(useful_bytes: float, time_us: float) -> float:
+    """Effective throughput in GB/s (decimal) from bytes and microseconds."""
+    if time_us <= 0:
+        raise ModelError(f"time must be positive, got {time_us}")
+    if useful_bytes < 0:
+        raise ModelError(f"useful bytes cannot be negative, got {useful_bytes}")
+    return (useful_bytes / 1e9) / (time_us / 1e6)
+
+
+def pad_useful_bytes(rows: int, cols: int, itemsize: int) -> int:
+    """Payload bytes of a padding slide (read + write of all elements)."""
+    _check(rows, cols, itemsize)
+    return 2 * rows * cols * itemsize
+
+
+def unpad_useful_bytes(rows: int, kept_cols: int, itemsize: int) -> int:
+    """Payload bytes of an unpadding slide (kept elements only)."""
+    _check(rows, kept_cols, itemsize)
+    return 2 * rows * kept_cols * itemsize
+
+
+def select_useful_bytes(n_in: int, n_kept: int, itemsize: int) -> int:
+    """Payload bytes of select/compact/unique: read all, write kept."""
+    if n_in < 0 or n_kept < 0 or n_kept > n_in:
+        raise ModelError(f"inconsistent counts: n_in={n_in}, n_kept={n_kept}")
+    if itemsize <= 0:
+        raise ModelError(f"itemsize must be positive, got {itemsize}")
+    return (n_in + n_kept) * itemsize
+
+
+def partition_useful_bytes(n: int, itemsize: int) -> int:
+    """Payload bytes of a partition: every element read and written once."""
+    if n < 0:
+        raise ModelError(f"n cannot be negative, got {n}")
+    if itemsize <= 0:
+        raise ModelError(f"itemsize must be positive, got {itemsize}")
+    return 2 * n * itemsize
+
+
+def _check(a: int, b: int, itemsize: int) -> None:
+    if a < 0 or b < 0:
+        raise ModelError(f"dimensions cannot be negative: {a}, {b}")
+    if itemsize <= 0:
+        raise ModelError(f"itemsize must be positive, got {itemsize}")

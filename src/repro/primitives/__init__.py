@@ -1,0 +1,47 @@
+"""User-facing Data Sliding primitives (Section IV of the paper).
+
+Regular DS algorithms: :func:`~repro.primitives.padding.ds_pad`,
+:func:`~repro.primitives.unpadding.ds_unpad`.
+Irregular DS algorithms: :func:`~repro.primitives.select.ds_remove_if`,
+:func:`~repro.primitives.select.ds_copy_if`,
+:func:`~repro.primitives.compact.ds_stream_compact`,
+:func:`~repro.primitives.unique.ds_unique`,
+:func:`~repro.primitives.partition.ds_partition`.
+"""
+
+from repro.primitives.alignment import alignment_pad_columns, ds_pad_to_alignment
+from repro.primitives.common import DEFAULT_DEVICE, PrimitiveResult, resolve_stream
+from repro.primitives.compact import ds_stream_compact
+from repro.primitives.padding import ds_pad, ds_pad_buffer
+from repro.primitives.partition import copy_kernel, ds_partition
+from repro.primitives.ragged import ds_ragged_pad, ds_ragged_unpad
+from repro.primitives.records import ds_compact_records
+from repro.primitives.select import ds_copy_if, ds_remove_if
+from repro.primitives.slide import ds_erase_range, ds_insert_gap
+from repro.primitives.unique import ds_unique
+from repro.primitives.unique_by_key import ds_unique_by_key
+from repro.primitives.unpadding import ds_unpad, ds_unpad_buffer
+
+__all__ = [
+    "DEFAULT_DEVICE",
+    "PrimitiveResult",
+    "resolve_stream",
+    "ds_pad",
+    "ds_pad_buffer",
+    "ds_unpad",
+    "ds_unpad_buffer",
+    "ds_remove_if",
+    "ds_copy_if",
+    "ds_stream_compact",
+    "ds_unique",
+    "ds_partition",
+    "copy_kernel",
+    "ds_insert_gap",
+    "ds_erase_range",
+    "ds_pad_to_alignment",
+    "alignment_pad_columns",
+    "ds_unique_by_key",
+    "ds_compact_records",
+    "ds_ragged_pad",
+    "ds_ragged_unpad",
+]

@@ -1,0 +1,88 @@
+"""Shared plumbing for the user-facing DS primitives.
+
+Each primitive module exposes a function that takes host data (NumPy
+arrays), runs the appropriate generic DS kernel on a simulated device,
+and returns a :class:`PrimitiveResult` carrying the output, the launch
+records (for the performance model) and the tuning that was applied.
+The helpers here keep that surface uniform:
+
+* :func:`resolve_stream` accepts a :class:`~repro.simgpu.stream.Stream`,
+  a device name, or ``None`` (defaulting to the paper's primary
+  evaluation device, Maxwell);
+* :class:`PrimitiveResult` is the common result envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.simgpu.counters import LaunchCounters
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.stream import Stream
+
+__all__ = ["resolve_stream", "PrimitiveResult", "DEFAULT_DEVICE"]
+
+DEFAULT_DEVICE = "maxwell"
+"""The paper's primary evaluation device (GeForce GTX 980)."""
+
+
+def resolve_stream(
+    stream: Optional[Union[Stream, DeviceSpec, str]],
+    *,
+    api: str = "opencl",
+    seed: int = 0,
+) -> Stream:
+    """Coerce the ``stream`` argument every primitive accepts.
+
+    ``None`` creates a fresh Maxwell stream; a device name or spec
+    creates a stream on that device; an existing stream is passed
+    through (its launch records accumulate across primitives, which is
+    how multi-kernel pipelines are priced as one unit).
+    """
+    if stream is None:
+        return Stream(DEFAULT_DEVICE, api=api, seed=seed)
+    if isinstance(stream, Stream):
+        return stream
+    return Stream(stream, api=api, seed=seed)
+
+
+@dataclass
+class PrimitiveResult:
+    """Common result envelope returned by every DS primitive.
+
+    Attributes
+    ----------
+    output:
+        The primitive's host-visible result (padded matrix, compacted
+        array, ...).  Always a fresh NumPy array.
+    counters:
+        One :class:`~repro.simgpu.counters.LaunchCounters` per kernel
+        launch the primitive performed, in order.
+    device:
+        The device the primitive ran on.
+    extras:
+        Primitive-specific numbers (kept count, pad width, ...).
+    """
+
+    output: np.ndarray
+    counters: List[LaunchCounters]
+    device: DeviceSpec
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def num_launches(self) -> int:
+        return len(self.counters)
+
+    @property
+    def total_counters(self) -> LaunchCounters:
+        merged = self.counters[0]
+        for rec in self.counters[1:]:
+            merged = merged.merge(rec)
+        return merged
+
+    @property
+    def bytes_moved(self) -> int:
+        return sum(c.bytes_moved for c in self.counters)

@@ -1,0 +1,70 @@
+"""DS Stream Compaction — remove elements equal to a value, in place.
+
+The paper treats stream compaction as the particular *select* whose
+predicate is ``element == value`` (Section IV-B, Figure 13): sparse
+data is squeezed by dropping a sentinel (zeros in sparse linear
+algebra, misses in ray tracing, culled nodes in tree traversal).  The
+DS version is one in-place kernel; Figure 13 compares it against
+Thrust's in-place and out-of-place removes and against three *unstable*
+atomic-based filters (:mod:`repro.baselines.atomic_compact`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.irregular import run_irregular_ds
+from repro.core.predicates import not_equal_to
+from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.stream import Stream
+
+__all__ = ["ds_stream_compact"]
+
+
+def ds_stream_compact(
+    values: np.ndarray,
+    remove_value,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    wg_size: int = 256,
+    coarsening: Optional[int] = None,
+    reduction_variant: str = "tree",
+    scan_variant: str = "tree",
+    race_tracking: bool = False,
+    seed: int = 0,
+) -> PrimitiveResult:
+    """Remove every occurrence of ``remove_value``, sliding the kept
+    elements left in place (stable).
+
+    ``output`` is the compacted array; ``extras["n_kept"]`` its length.
+    """
+    values = np.asarray(values)
+    stream = resolve_stream(stream, seed=seed)
+    buf = Buffer(values.reshape(-1), "compact_in")
+    result = run_irregular_ds(
+        buf,
+        not_equal_to(remove_value),
+        stream,
+        wg_size=wg_size,
+        coarsening=coarsening,
+        reduction_variant=reduction_variant,
+        scan_variant=scan_variant,
+        race_tracking=race_tracking,
+    )
+    return PrimitiveResult(
+        output=buf.data[: result.n_true].copy(),
+        counters=[result.counters],
+        device=stream.device,
+        extras={
+            "n_kept": result.n_true,
+            "n_removed": result.n_false,
+            "remove_value": remove_value,
+            "in_place": True,
+            "coarsening": result.geometry.coarsening,
+            "n_workgroups": result.geometry.n_workgroups,
+        },
+    )

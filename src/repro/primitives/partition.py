@@ -1,0 +1,119 @@
+"""DS Partition — stable split into predicate-true and -false halves.
+
+Section IV-D (Figure 18): elements satisfying the predicate move to the
+front of the array, the rest to the tail, both halves keeping their
+relative order.  Two work-item-local counters track the two classes;
+*no second synchronization chain is needed for the false class*,
+because the number of false elements before global position *g* is just
+``g - trues_before(g)`` — the irregular kernel computes both
+destinations from the single flag chain.
+
+Flavours (matching Thrust's API surface in Figure 19):
+
+* **out of place** — one launch: true elements to ``out_true``, false
+  elements to an auxiliary buffer (``thrust::stable_partition_copy``);
+* **in place** — the same launch writes true elements back into the
+  input and false elements to the auxiliary buffer, then a second,
+  plain copy kernel appends the auxiliary buffer to the tail.  As the
+  paper observes, the in-place version gets *faster* with more true
+  elements, because the copy-back shrinks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.irregular import run_irregular_ds
+from repro.core.predicates import Predicate
+from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.kernels import copy_kernel  # re-exported for callers
+from repro.simgpu.stream import Stream
+
+__all__ = ["ds_partition", "copy_kernel"]
+
+
+def ds_partition(
+    values: np.ndarray,
+    predicate: Predicate,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    in_place: bool = True,
+    wg_size: int = 256,
+    coarsening: Optional[int] = None,
+    reduction_variant: str = "tree",
+    scan_variant: str = "tree",
+    seed: int = 0,
+) -> PrimitiveResult:
+    """Stable-partition ``values`` by ``predicate``.
+
+    ``output`` is the partitioned array (true half first);
+    ``extras["n_true"]`` is the split point.  ``in_place=False`` runs
+    the single-launch out-of-place variant (DS Partition out-of-place in
+    Figure 19); ``in_place=True`` adds the false-tail copy-back launch.
+    """
+    values = np.asarray(values)
+    n = values.size
+    stream = resolve_stream(stream, seed=seed)
+    buf = Buffer(values.reshape(-1), "partition_in")
+    aux = Buffer(np.zeros(n, dtype=values.dtype), "partition_false")
+    counters = []
+
+    if in_place:
+        result = run_irregular_ds(
+            buf,
+            predicate,
+            stream,
+            false_out=aux,
+            wg_size=wg_size,
+            coarsening=coarsening,
+            reduction_variant=reduction_variant,
+            scan_variant=scan_variant,
+        )
+        counters.append(result.counters)
+        n_true, n_false = result.n_true, result.n_false
+        if n_false:
+            cf = result.geometry.coarsening
+            tile = cf * wg_size
+            grid = (n_false + tile - 1) // tile
+            copy_counters = stream.launch(
+                copy_kernel,
+                grid_size=grid,
+                wg_size=wg_size,
+                args=(aux, buf, n_false, 0, n_true, cf),
+                kernel_name="partition_copy_back",
+            )
+            counters.append(copy_counters)
+        output = buf.data.copy()
+    else:
+        out_true = Buffer(np.zeros(n, dtype=values.dtype), "partition_true")
+        result = run_irregular_ds(
+            buf,
+            predicate,
+            stream,
+            out=out_true,
+            false_out=aux,
+            wg_size=wg_size,
+            coarsening=coarsening,
+            reduction_variant=reduction_variant,
+            scan_variant=scan_variant,
+        )
+        counters.append(result.counters)
+        n_true, n_false = result.n_true, result.n_false
+        output = np.concatenate([out_true.data[:n_true], aux.data[:n_false]])
+
+    return PrimitiveResult(
+        output=output,
+        counters=counters,
+        device=stream.device,
+        extras={
+            "n_true": n_true,
+            "n_false": n_false,
+            "in_place": in_place,
+            "coarsening": result.geometry.coarsening,
+            "n_workgroups": result.geometry.n_workgroups,
+        },
+    )

@@ -1,0 +1,132 @@
+"""Ragged-to-uniform padding — per-group shifts, the general regular DS.
+
+The paper defines regular DS algorithms as sliding *groups of
+consecutive elements by a constant amount ... which might be different
+for each group* (Section I).  Matrix padding is the special case where
+every group (row) has the same width; this module implements the
+general case: **packed ragged rows** (CSR-style storage: a values array
+plus per-row widths) slide out to a uniform row stride in one in-place
+launch, and back.
+
+Use cases are the same as padding's — memory alignment and vectorized
+row access — for genuinely ragged data: CSR sparse matrices densified
+per-row-block, batched variable-length sequences padded for SIMD
+processing, text/token batches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.offsets import ragged_pad_remap, ragged_unpad_remap
+from repro.core.regular import run_regular_ds
+from repro.errors import LaunchError
+from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.stream import Stream
+
+__all__ = ["ds_ragged_pad", "ds_ragged_unpad"]
+
+StreamLike = Optional[Union[Stream, DeviceSpec, str]]
+
+
+def ds_ragged_pad(
+    values: np.ndarray,
+    widths,
+    stride: Optional[int] = None,
+    stream: StreamLike = None,
+    *,
+    fill=None,
+    wg_size: int = 256,
+    coarsening: Optional[int] = None,
+    race_tracking: bool = False,
+    seed: int = 0,
+) -> PrimitiveResult:
+    """Slide packed ragged rows out to a uniform stride, in place.
+
+    Parameters
+    ----------
+    values:
+        The packed row data (``sum(widths)`` elements).
+    widths:
+        Elements per row.
+    stride:
+        Uniform row stride after the slide; defaults to the widest row.
+    fill:
+        Optional value for each row's padding tail (host epilogue, like
+        :func:`~repro.primitives.padding.ds_pad`'s).
+
+    Returns
+    -------
+    PrimitiveResult
+        ``output`` is the ``(n_rows, stride)`` matrix;
+        ``extras["widths"]`` echoes the row widths for the inverse.
+    """
+    values = np.asarray(values).reshape(-1)
+    widths = np.asarray(widths, dtype=np.int64)
+    if values.size != int(widths.sum()):
+        raise LaunchError(
+            f"packed values have {values.size} elements but widths sum to "
+            f"{int(widths.sum())}")
+    if stride is None:
+        stride = int(widths.max()) if widths.size else 0
+    remap = ragged_pad_remap(widths, stride)
+    stream = resolve_stream(stream, seed=seed)
+    buf = Buffer(np.zeros(remap.total_out, dtype=values.dtype), "ragged")
+    buf.data[: values.size] = values
+    result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
+                            coarsening=coarsening,
+                            race_tracking=race_tracking)
+    matrix = buf.data.reshape(widths.size, stride)
+    if fill is not None:
+        cols = np.arange(stride)
+        matrix[cols[None, :] >= widths[:, None]] = fill
+    return PrimitiveResult(
+        output=matrix.copy(),
+        counters=[result.counters],
+        device=stream.device,
+        extras={"widths": widths.copy(), "stride": stride,
+                "n_workgroups": result.geometry.n_workgroups},
+    )
+
+
+def ds_ragged_unpad(
+    matrix: np.ndarray,
+    widths,
+    stream: StreamLike = None,
+    *,
+    wg_size: int = 256,
+    coarsening: Optional[int] = None,
+    race_tracking: bool = False,
+    seed: int = 0,
+) -> PrimitiveResult:
+    """Pack a uniform-stride matrix back into ragged rows, in place.
+
+    ``matrix`` is ``(n_rows, stride)``; ``output`` is the packed values
+    array of ``sum(widths)`` elements (row contents concatenated, each
+    row's padding dropped)."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise LaunchError(
+            f"ds_ragged_unpad expects a 2-D matrix, got ndim={matrix.ndim}")
+    widths = np.asarray(widths, dtype=np.int64)
+    n_rows, stride = matrix.shape
+    if widths.size != n_rows:
+        raise LaunchError(
+            f"matrix has {n_rows} rows but {widths.size} widths were given")
+    remap = ragged_unpad_remap(widths, stride)
+    stream = resolve_stream(stream, seed=seed)
+    buf = Buffer(matrix.reshape(-1), "ragged")
+    result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
+                            coarsening=coarsening,
+                            race_tracking=race_tracking)
+    return PrimitiveResult(
+        output=buf.data[: remap.total_out].copy(),
+        counters=[result.counters],
+        device=stream.device,
+        extras={"widths": widths.copy(), "stride": stride,
+                "n_workgroups": result.geometry.n_workgroups},
+    )

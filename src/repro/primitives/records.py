@@ -1,0 +1,91 @@
+"""DS record compaction — relational select over structure-of-arrays.
+
+Real relational rows are several same-length columns (structure of
+arrays).  :func:`ds_compact_records` filters a whole record set by a
+predicate on one key column with a **single** keyed irregular DS
+launch: every column compacts in place, stably, sharing one flag chain.
+This is the paper's relational-algebra motivation (Section I) executed
+on actual multi-column records rather than a lone array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.keyed import run_keyed_irregular_ds
+from repro.core.predicates import Predicate
+from repro.errors import LaunchError
+from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.stream import Stream
+
+__all__ = ["ds_compact_records"]
+
+
+def ds_compact_records(
+    key_column: np.ndarray,
+    columns: Dict[str, np.ndarray],
+    predicate: Predicate,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    wg_size: int = 256,
+    coarsening: Optional[int] = None,
+    reduction_variant: str = "tree",
+    scan_variant: str = "tree",
+    race_tracking: bool = False,
+    seed: int = 0,
+) -> PrimitiveResult:
+    """Keep the records whose key satisfies ``predicate``.
+
+    Parameters
+    ----------
+    key_column:
+        The column the predicate is evaluated on.
+    columns:
+        Named payload columns (same length as the key column); every
+        one slides in the same launch.
+
+    Returns
+    -------
+    PrimitiveResult
+        ``output`` is the kept key column; ``extras["columns"]`` maps
+        each payload name to its kept column; ``extras["n_kept"]`` is
+        the surviving record count.
+    """
+    key_column = np.asarray(key_column).reshape(-1)
+    n = key_column.size
+    names = list(columns)
+    payload_arrays = []
+    for name in names:
+        col = np.asarray(columns[name]).reshape(-1)
+        if col.size != n:
+            raise LaunchError(
+                f"column {name!r} has {col.size} rows, key column has {n}")
+        payload_arrays.append(col)
+
+    stream = resolve_stream(stream, seed=seed)
+    kbuf = Buffer(key_column, "rec_key")
+    pbufs = [Buffer(col, f"rec_{name}") for name, col in
+             zip(names, payload_arrays)]
+    result = run_keyed_irregular_ds(
+        kbuf, pbufs, predicate, stream,
+        wg_size=wg_size, coarsening=coarsening,
+        reduction_variant=reduction_variant, scan_variant=scan_variant,
+        race_tracking=race_tracking,
+    )
+    kept = result.n_true
+    return PrimitiveResult(
+        output=kbuf.data[:kept].copy(),
+        counters=[result.counters],
+        device=stream.device,
+        extras={
+            "columns": {name: buf.data[:kept].copy()
+                        for name, buf in zip(names, pbufs)},
+            "n_kept": kept,
+            "n_removed": n - kept,
+            "in_place": True,
+        },
+    )

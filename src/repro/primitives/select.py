@@ -1,0 +1,115 @@
+"""DS select primitives — remove_if (in place) and copy_if (out of place).
+
+Section IV-B: *select* filters an array by a predicate.  Two flavours
+mirror Thrust's API (the paper's Figure 12 comparison):
+
+* :func:`ds_remove_if` — discard elements **satisfying** the predicate,
+  sliding the survivors left *in place* (``thrust::remove_if``);
+* :func:`ds_copy_if` — copy elements **satisfying** the predicate to a
+  new array (``thrust::copy_if``).
+
+Both are single-launch irregular DS algorithms (Algorithm 2): the only
+difference is the predicate polarity and the destination buffer.  Both
+are stable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.irregular import run_irregular_ds
+from repro.core.predicates import Predicate
+from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.stream import Stream
+
+__all__ = ["ds_remove_if", "ds_copy_if"]
+
+
+def ds_remove_if(
+    values: np.ndarray,
+    predicate: Predicate,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    wg_size: int = 256,
+    coarsening: Optional[int] = None,
+    reduction_variant: str = "tree",
+    scan_variant: str = "tree",
+    race_tracking: bool = False,
+    seed: int = 0,
+) -> PrimitiveResult:
+    """Remove, in place, the elements satisfying ``predicate``.
+
+    ``output`` holds the surviving elements in their original relative
+    order (stability), like ``thrust::remove_if`` but without the extra
+    passes.  ``extras["n_removed"]`` reports how many were dropped.
+    """
+    values = np.asarray(values)
+    stream = resolve_stream(stream, seed=seed)
+    buf = Buffer(values.reshape(-1), "select_in")
+    result = run_irregular_ds(
+        buf,
+        ~predicate,  # Algorithm 2 *keeps* true elements; remove_if keeps the complement
+        stream,
+        wg_size=wg_size,
+        coarsening=coarsening,
+        reduction_variant=reduction_variant,
+        scan_variant=scan_variant,
+        race_tracking=race_tracking,
+    )
+    return PrimitiveResult(
+        output=buf.data[: result.n_true].copy(),
+        counters=[result.counters],
+        device=stream.device,
+        extras={
+            "n_kept": result.n_true,
+            "n_removed": result.n_false,
+            "in_place": True,
+            "coarsening": result.geometry.coarsening,
+            "n_workgroups": result.geometry.n_workgroups,
+        },
+    )
+
+
+def ds_copy_if(
+    values: np.ndarray,
+    predicate: Predicate,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    wg_size: int = 256,
+    coarsening: Optional[int] = None,
+    reduction_variant: str = "tree",
+    scan_variant: str = "tree",
+    seed: int = 0,
+) -> PrimitiveResult:
+    """Copy the elements satisfying ``predicate`` to a fresh array
+    (out of place, stable) — DS Copy_if in Figure 12."""
+    values = np.asarray(values)
+    stream = resolve_stream(stream, seed=seed)
+    buf = Buffer(values.reshape(-1), "select_in")
+    out = Buffer(np.zeros(values.size, dtype=values.dtype), "select_out")
+    result = run_irregular_ds(
+        buf,
+        predicate,
+        stream,
+        out=out,
+        wg_size=wg_size,
+        coarsening=coarsening,
+        reduction_variant=reduction_variant,
+        scan_variant=scan_variant,
+    )
+    return PrimitiveResult(
+        output=out.data[: result.n_true].copy(),
+        counters=[result.counters],
+        device=stream.device,
+        extras={
+            "n_kept": result.n_true,
+            "n_removed": result.n_false,
+            "in_place": False,
+            "coarsening": result.geometry.coarsening,
+            "n_workgroups": result.geometry.n_workgroups,
+        },
+    )

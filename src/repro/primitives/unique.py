@@ -1,0 +1,71 @@
+"""DS Unique — keep the first of each run of equal consecutive elements.
+
+Section IV-C (Figure 15): for each group of consecutive equal elements,
+*unique* keeps only the first — the relational-algebra ``unique`` over a
+sorted column, and exactly ``thrust::unique``'s semantics (not a global
+deduplication).
+
+The predicate is a **stencil**: element *i* is kept iff
+``a[i] != a[i-1]``.  Inside a work-group the left neighbour comes from
+the lock-step vector (the simulator's stand-in for ``__shfl_up``); at
+tile boundaries it is read directly from global memory during the
+loading stage, which is safe in place because any earlier store to that
+location can only have rewritten the identical value (see the analysis
+in :mod:`repro.core.irregular`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.irregular import run_irregular_ds
+from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.stream import Stream
+
+__all__ = ["ds_unique"]
+
+
+def ds_unique(
+    values: np.ndarray,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    wg_size: int = 256,
+    coarsening: Optional[int] = None,
+    reduction_variant: str = "tree",
+    scan_variant: str = "tree",
+    seed: int = 0,
+) -> PrimitiveResult:
+    """Collapse runs of equal consecutive elements in place (stable).
+
+    ``output`` holds one representative per run, in order;
+    ``extras["n_kept"]`` is the number of runs.
+    """
+    values = np.asarray(values)
+    stream = resolve_stream(stream, seed=seed)
+    buf = Buffer(values.reshape(-1), "unique_in")
+    result = run_irregular_ds(
+        buf,
+        None,
+        stream,
+        wg_size=wg_size,
+        coarsening=coarsening,
+        stencil_unique=True,
+        reduction_variant=reduction_variant,
+        scan_variant=scan_variant,
+    )
+    return PrimitiveResult(
+        output=buf.data[: result.n_true].copy(),
+        counters=[result.counters],
+        device=stream.device,
+        extras={
+            "n_kept": result.n_true,
+            "n_removed": result.n_false,
+            "in_place": True,
+            "coarsening": result.geometry.coarsening,
+            "n_workgroups": result.geometry.n_workgroups,
+        },
+    )

@@ -1,0 +1,70 @@
+"""DS Unique-by-key — collapse key runs, values follow their keys.
+
+The by-key flavour of *unique* (Thrust offers ``unique_by_key``): for
+each run of equal consecutive **keys**, keep the first key *and its
+value*.  One keyed irregular DS launch compacts both arrays in place —
+a direct payoff of the paper's generic Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.keyed import run_keyed_irregular_ds
+from repro.errors import LaunchError
+from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.stream import Stream
+
+__all__ = ["ds_unique_by_key"]
+
+
+def ds_unique_by_key(
+    keys: np.ndarray,
+    values: np.ndarray,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    wg_size: int = 256,
+    coarsening: Optional[int] = None,
+    reduction_variant: str = "tree",
+    scan_variant: str = "tree",
+    race_tracking: bool = False,
+    seed: int = 0,
+) -> PrimitiveResult:
+    """Collapse runs of equal consecutive keys, in place and stably.
+
+    Returns a result whose ``output`` is the kept ``(keys, values)``
+    pair (as a tuple packed into a 2xN array for the envelope; use
+    ``extras["keys"]`` / ``extras["values"]`` for the typed arrays).
+    """
+    keys = np.asarray(keys).reshape(-1)
+    values = np.asarray(values).reshape(-1)
+    if keys.size != values.size:
+        raise LaunchError(
+            f"keys ({keys.size}) and values ({values.size}) must match")
+    stream = resolve_stream(stream, seed=seed)
+    kbuf = Buffer(keys, "ubk_keys")
+    vbuf = Buffer(values, "ubk_values")
+    result = run_keyed_irregular_ds(
+        kbuf, [vbuf], None, stream,
+        wg_size=wg_size, coarsening=coarsening, stencil_unique=True,
+        reduction_variant=reduction_variant, scan_variant=scan_variant,
+        race_tracking=race_tracking,
+    )
+    out_keys = kbuf.data[: result.n_true].copy()
+    out_values = vbuf.data[: result.n_true].copy()
+    return PrimitiveResult(
+        output=np.stack([out_keys.astype(np.float64),
+                         out_values.astype(np.float64)]),
+        counters=[result.counters],
+        device=stream.device,
+        extras={
+            "keys": out_keys,
+            "values": out_values,
+            "n_kept": result.n_true,
+            "in_place": True,
+        },
+    )

@@ -1,0 +1,27 @@
+"""Pure-NumPy reference semantics (oracles) for all DS primitives."""
+
+from repro.reference.numpy_ref import (
+    compact_ref,
+    copy_if_ref,
+    erase_range_ref,
+    insert_gap_ref,
+    pad_ref,
+    partition_ref,
+    remove_if_ref,
+    unique_by_key_ref,
+    unique_ref,
+    unpad_ref,
+)
+
+__all__ = [
+    "pad_ref",
+    "unpad_ref",
+    "remove_if_ref",
+    "copy_if_ref",
+    "compact_ref",
+    "unique_ref",
+    "partition_ref",
+    "insert_gap_ref",
+    "erase_range_ref",
+    "unique_by_key_ref",
+]

@@ -1,0 +1,153 @@
+"""Pure-NumPy reference semantics for every Data Sliding primitive.
+
+These functions define *what* each primitive computes, independently of
+*how* the simulated kernels compute it.  They serve three roles:
+
+1. **oracle** — every simulator test compares kernel output against
+   these functions, including the hypothesis property tests;
+2. **fast backend** — :mod:`repro.api` can execute on ``backend="numpy"``
+   for users who want the semantics at NumPy speed on large data;
+3. **documentation** — each function's body is the one-line definition
+   of the primitive (e.g. *unique keeps the first of each run of equal
+   consecutive elements*, Figure 15).
+
+All functions are out-of-place and side-effect free; in-place behaviour
+is a property of the kernels, not of the semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+__all__ = [
+    "pad_ref",
+    "unpad_ref",
+    "remove_if_ref",
+    "copy_if_ref",
+    "compact_ref",
+    "unique_ref",
+    "partition_ref",
+    "insert_gap_ref",
+    "erase_range_ref",
+    "unique_by_key_ref",
+]
+
+PredicateFn = Callable[[np.ndarray], np.ndarray]
+
+
+def pad_ref(matrix: np.ndarray, pad: int, fill=0) -> np.ndarray:
+    """Append ``pad`` columns (filled with ``fill``) to a 2-D matrix.
+
+    The paper's DS Padding leaves the new cells uninitialized (it is a
+    pure data movement); the reference fills them so callers have a
+    deterministic value to compare the *moved* cells against — tests
+    compare only the first ``cols`` columns unless they opted into
+    fill-checking.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"pad_ref expects a 2-D matrix, got ndim={matrix.ndim}")
+    if pad < 0:
+        raise ValueError(f"pad must be non-negative, got {pad}")
+    rows, cols = matrix.shape
+    out = np.full((rows, cols + pad), fill, dtype=matrix.dtype)
+    out[:, :cols] = matrix
+    return out
+
+
+def unpad_ref(matrix: np.ndarray, pad: int) -> np.ndarray:
+    """Drop the last ``pad`` columns of a 2-D matrix."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"unpad_ref expects a 2-D matrix, got ndim={matrix.ndim}")
+    rows, cols = matrix.shape
+    if not 0 <= pad < cols:
+        raise ValueError(f"pad must be in [0, cols), got {pad} for {cols} columns")
+    return matrix[:, : cols - pad].copy()
+
+
+def remove_if_ref(values: np.ndarray, predicate: PredicateFn) -> np.ndarray:
+    """Keep elements that do **not** satisfy the predicate, preserving
+    order (the semantics of ``thrust::remove_if`` and DS Remove_if)."""
+    values = np.asarray(values)
+    return values[~np.asarray(predicate(values), dtype=bool)].copy()
+
+
+def copy_if_ref(values: np.ndarray, predicate: PredicateFn) -> np.ndarray:
+    """Keep elements that satisfy the predicate, preserving order
+    (``thrust::copy_if`` and DS Copy_if)."""
+    values = np.asarray(values)
+    return values[np.asarray(predicate(values), dtype=bool)].copy()
+
+
+def compact_ref(values: np.ndarray, remove_value) -> np.ndarray:
+    """Stream compaction: drop elements equal to ``remove_value``
+    (``thrust::remove``)."""
+    values = np.asarray(values)
+    return values[values != remove_value].copy()
+
+
+def unique_ref(values: np.ndarray) -> np.ndarray:
+    """For each run of equal consecutive elements keep only the first
+    (Figure 15; ``thrust::unique`` — *not* a global deduplication)."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return values.copy()
+    keep = np.empty(values.shape, dtype=bool)
+    keep[0] = True
+    keep[1:] = values[1:] != values[:-1]
+    return values[keep].copy()
+
+
+def insert_gap_ref(values: np.ndarray, position: int, count: int,
+                   fill=0) -> np.ndarray:
+    """Open a ``count``-element hole (holding ``fill``) at ``position``."""
+    values = np.asarray(values).reshape(-1)
+    if not 0 <= position <= values.size:
+        raise ValueError(f"position {position} outside [0, {values.size}]")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    hole = np.full(count, fill, dtype=values.dtype)
+    return np.concatenate([values[:position], hole, values[position:]])
+
+
+def erase_range_ref(values: np.ndarray, position: int, count: int) -> np.ndarray:
+    """Drop ``count`` elements starting at ``position``."""
+    values = np.asarray(values).reshape(-1)
+    if not 0 <= position <= values.size:
+        raise ValueError(f"position {position} outside [0, {values.size}]")
+    if count < 0 or position + count > values.size:
+        raise ValueError(
+            f"erase range [{position}, {position + count}) out of bounds")
+    return np.concatenate([values[:position], values[position + count:]])
+
+
+def unique_by_key_ref(keys: np.ndarray,
+                      values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Keep the first (key, value) of each run of equal consecutive keys
+    (``thrust::unique_by_key``)."""
+    keys = np.asarray(keys).reshape(-1)
+    values = np.asarray(values).reshape(-1)
+    if keys.size != values.size:
+        raise ValueError(f"keys ({keys.size}) and values ({values.size}) differ")
+    if keys.size == 0:
+        return keys.copy(), values.copy()
+    keep = np.empty(keys.shape, dtype=bool)
+    keep[0] = True
+    keep[1:] = keys[1:] != keys[:-1]
+    return keys[keep].copy(), values[keep].copy()
+
+
+def partition_ref(
+    values: np.ndarray, predicate: PredicateFn
+) -> Tuple[np.ndarray, int]:
+    """Stable partition: predicate-true elements first (in order),
+    then predicate-false elements (in order).  Returns the partitioned
+    array and the number of true elements (Figure 18;
+    ``thrust::stable_partition``)."""
+    values = np.asarray(values)
+    mask = np.asarray(predicate(values), dtype=bool)
+    out = np.concatenate([values[mask], values[~mask]])
+    return out, int(mask.sum())

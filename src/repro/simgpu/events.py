@@ -1,0 +1,148 @@
+"""Event tokens exchanged between kernels and the cooperative scheduler.
+
+A kernel in :mod:`repro.simgpu` is a Python generator executed once per
+work-group.  Every observable action — a global-memory load or store, an
+atomic read-modify-write, a barrier, one iteration of a spin loop —
+*yields* one event token.  The scheduler interleaves work-groups at event
+granularity: between any two events of one work-group, any other resident
+work-group may run.  Because each memory operation completes before its
+event is yielded, every single operation is atomic with respect to the
+interleaving, which matches the transaction-level atomicity real GPUs
+provide while still allowing every hazardous ordering the paper's
+synchronization constructs must survive.
+
+The events carry just enough information for the scheduler to build the
+per-launch :class:`repro.simgpu.counters.LaunchCounters` that feed the
+performance model: operation kind, payload bytes, and the number of
+memory transactions after coalescing.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+__all__ = [
+    "EventKind",
+    "Event",
+    "GlobalLoad",
+    "GlobalStore",
+    "AtomicRMW",
+    "Barrier",
+    "Spin",
+    "LocalAccess",
+]
+
+
+class EventKind(Enum):
+    """Discriminator for scheduler events."""
+
+    GLOBAL_LOAD = "global_load"
+    GLOBAL_STORE = "global_store"
+    ATOMIC = "atomic"
+    BARRIER = "barrier"
+    SPIN = "spin"
+    LOCAL = "local"
+
+
+class Event:
+    """Base event.  Subclasses only add payload accounting fields.
+
+    ``__slots__`` keeps events allocation-cheap: a 16M-element primitive
+    simulated with coarsening 12 and 256-wide groups emits roughly 1e5
+    events, each of which the scheduler touches once.
+    """
+
+    __slots__ = ("kind", "bytes", "transactions", "buffer_name")
+
+    def __init__(
+        self,
+        kind: EventKind,
+        nbytes: int = 0,
+        transactions: int = 0,
+        buffer_name: Optional[str] = None,
+    ) -> None:
+        self.kind = kind
+        self.bytes = int(nbytes)
+        self.transactions = int(transactions)
+        self.buffer_name = buffer_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(bytes={self.bytes}, "
+            f"transactions={self.transactions}, buffer={self.buffer_name!r})"
+        )
+
+
+class GlobalLoad(Event):
+    """A vector load from a global buffer by one work-group step."""
+
+    __slots__ = ()
+
+    def __init__(self, nbytes: int, transactions: int, buffer_name: str) -> None:
+        super().__init__(EventKind.GLOBAL_LOAD, nbytes, transactions, buffer_name)
+
+
+class GlobalStore(Event):
+    """A vector store to a global buffer by one work-group step."""
+
+    __slots__ = ()
+
+    def __init__(self, nbytes: int, transactions: int, buffer_name: str) -> None:
+        super().__init__(EventKind.GLOBAL_STORE, nbytes, transactions, buffer_name)
+
+
+class AtomicRMW(Event):
+    """An atomic read-modify-write on a global buffer.
+
+    ``op`` records the operation name (``"add"``, ``"or"``, ``"cas"``...)
+    so traces remain interpretable; the scheduler only charges latency.
+    """
+
+    __slots__ = ("op",)
+
+    def __init__(self, op: str, nbytes: int, buffer_name: str) -> None:
+        super().__init__(EventKind.ATOMIC, nbytes, 1, buffer_name)
+        self.op = op
+
+
+class Barrier(Event):
+    """A work-group-wide barrier (local or global memory fence).
+
+    In the lock-step execution model all work-items of a group advance
+    together, so a barrier never blocks; it is kept as an explicit event
+    because the paper's listings (Figures 3, 4, 7) rely on it and because
+    the performance model charges it a small fixed cost.
+    """
+
+    __slots__ = ("scope",)
+
+    def __init__(self, scope: str = "local") -> None:
+        super().__init__(EventKind.BARRIER)
+        self.scope = scope
+
+
+class Spin(Event):
+    """One failed poll of a synchronization flag.
+
+    Emitted by :func:`repro.simgpu.workgroup.WorkGroup.spin_until` every
+    time the polled condition evaluates false.  The scheduler uses runs
+    of spin-only activity to detect deadlock (the failure mode dynamic
+    work-group ID allocation prevents) and counts total spin iterations
+    as a contention statistic.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, buffer_name: str) -> None:
+        super().__init__(EventKind.SPIN, 0, 0, buffer_name)
+
+
+class LocalAccess(Event):
+    """A scratchpad (local-memory) access; free in the timing model but
+    counted so tests can assert staging behaviour."""
+
+    __slots__ = ()
+
+    def __init__(self, nbytes: int) -> None:
+        super().__init__(EventKind.LOCAL, nbytes, 0, None)

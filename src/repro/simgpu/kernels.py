@@ -1,0 +1,59 @@
+"""Reusable utility kernels for the simulator.
+
+Small, generic kernels several layers share: the in-place partition's
+copy-back, the Thrust baselines' temporaries round trips, and user code
+(see ``examples/custom_kernel.py``).  They follow the same grid-tile
+convention as the DS kernels: work-group *g* covers elements
+``[g * coarsening * wg_size, (g+1) * coarsening * wg_size)``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.events import Event
+from repro.simgpu.workgroup import WorkGroup
+
+__all__ = ["copy_kernel", "fill_kernel"]
+
+
+def copy_kernel(
+    wg: WorkGroup,
+    src: Buffer,
+    dst: Buffer,
+    n: int,
+    src_base: int,
+    dst_base: int,
+    coarsening: int,
+) -> Generator[Event, None, None]:
+    """Tile copy: ``dst[dst_base + i] = src[src_base + i]`` for i < n."""
+    base = wg.group_index * coarsening * wg.size
+    pos = base + wg.wi_id
+    for _ in range(coarsening):
+        active = pos[pos < n]
+        if active.size:
+            values = yield from wg.load(src, src_base + active)
+            yield from wg.store(dst, dst_base + active, values)
+        pos = pos + wg.size
+
+
+def fill_kernel(
+    wg: WorkGroup,
+    dst: Buffer,
+    value,
+    n: int,
+    dst_base: int,
+    coarsening: int,
+) -> Generator[Event, None, None]:
+    """Tile fill: ``dst[dst_base + i] = value`` for i < n."""
+    base = wg.group_index * coarsening * wg.size
+    pos = base + wg.wi_id
+    for _ in range(coarsening):
+        active = pos[pos < n]
+        if active.size:
+            values = np.full(active.size, value, dtype=dst.data.dtype)
+            yield from wg.store(dst, dst_base + active, values)
+        pos = pos + wg.size

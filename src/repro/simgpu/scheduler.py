@@ -1,0 +1,208 @@
+"""Cooperative work-group scheduler with bounded residency.
+
+This is the component that makes the simulator a meaningful testbed for
+the paper's claims.  Real GPUs schedule work-groups onto compute units
+in an order the programmer cannot rely on, and only a bounded number are
+resident at once.  Both properties matter:
+
+* if work-group *i − 1* is dispatched **after** *i* while all hardware
+  slots are full of groups spinning on their predecessor's flag, a
+  naively-ordered kernel deadlocks — the hazard dynamic work-group ID
+  allocation (Figure 4) removes;
+* the number of *resident* groups bounds memory-level parallelism, the
+  quantity whose collapse ruins the iterative baseline (Figure 2).
+
+The scheduler here admits work-groups to ``resident_limit`` hardware
+slots following a configurable **dispatch order** (ascending, descending
+or a seeded random permutation) and then interleaves resident groups one
+event at a time with a seeded random pick, so every run explores a
+different legal interleaving.  Groups that yield a
+:class:`~repro.simgpu.events.Spin` are parked and woken by the next
+atomic operation (flags only change through atomics), which keeps
+simulated spinning cheap and makes true deadlock *detectable*: when no
+group is runnable and no atomic can ever occur, the scheduler raises
+:class:`repro.errors.DeadlockError` instead of hanging.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import DeadlockError, LaunchError
+from repro.simgpu.counters import LaunchCounters
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.events import Event, EventKind
+from repro.simgpu.workgroup import WorkGroup
+
+__all__ = ["launch", "dispatch_order"]
+
+KernelFn = Callable[..., Generator[Event, None, None]]
+OrderSpec = Union[str, Sequence[int]]
+
+
+def dispatch_order(grid_size: int, order: OrderSpec, seed: int = 0) -> np.ndarray:
+    """Resolve an order specification into a permutation of the grid.
+
+    ``"ascending"`` dispatches group 0 first (the friendly order),
+    ``"descending"`` dispatches the last group first (the adversarial
+    order that deadlocks statically-ordered chained kernels), and
+    ``"random"`` uses a seeded permutation.  An explicit sequence is
+    validated to be a permutation.
+    """
+    if isinstance(order, str):
+        if order == "ascending":
+            return np.arange(grid_size, dtype=np.int64)
+        if order == "descending":
+            return np.arange(grid_size - 1, -1, -1, dtype=np.int64)
+        if order == "random":
+            rng = np.random.default_rng(seed)
+            return rng.permutation(grid_size).astype(np.int64)
+        raise LaunchError(f"unknown dispatch order {order!r}")
+    perm = np.asarray(list(order), dtype=np.int64)
+    if perm.size != grid_size or not np.array_equal(np.sort(perm), np.arange(grid_size)):
+        raise LaunchError("explicit dispatch order must be a permutation of the grid")
+    return perm
+
+
+def launch(
+    kernel_fn: KernelFn,
+    *,
+    grid_size: int,
+    wg_size: int,
+    device: DeviceSpec,
+    args: Iterable = (),
+    kwargs: Optional[dict] = None,
+    api: str = "opencl",
+    order: OrderSpec = "random",
+    seed: int = 0,
+    resident_limit: Optional[int] = None,
+    kernel_name: Optional[str] = None,
+    trace: Optional[List] = None,
+) -> LaunchCounters:
+    """Execute one kernel launch to completion and return its counters.
+
+    Parameters
+    ----------
+    kernel_fn:
+        Generator function ``kernel_fn(wg, *args, **kwargs)``.
+    grid_size, wg_size:
+        Launch geometry (number of work-groups, work-items per group).
+    device:
+        Simulated :class:`~repro.simgpu.device.DeviceSpec`.
+    order, seed:
+        Hardware dispatch order of work-groups onto free slots.
+    resident_limit:
+        Hardware slots; defaults to the device's ``max_resident_wgs``.
+    trace:
+        Optional list; when given, every scheduled event is appended as
+        ``(group_index, Event)`` in execution order.  This is the record
+        the Figure 5 overlap analysis, the schedule-shape tests and the
+        event-driven timing replay (:mod:`repro.simgpu.timing`) consume;
+        leave ``None`` (the default) for zero overhead.
+
+    Raises
+    ------
+    LaunchError
+        On inconsistent launch geometry.
+    DeadlockError
+        When every resident work-group is parked on a spin and no
+        pending admission or atomic can unblock any of them.
+    """
+    if grid_size <= 0:
+        raise LaunchError(f"grid_size must be positive, got {grid_size}")
+    if wg_size <= 0:
+        raise LaunchError(f"wg_size must be positive, got {wg_size}")
+    if wg_size > device.max_wg_size:
+        raise LaunchError(
+            f"wg_size {wg_size} exceeds {device.name} limit {device.max_wg_size}"
+        )
+    if api not in ("cuda", "opencl"):
+        raise LaunchError(f"api must be 'cuda' or 'opencl', got {api!r}")
+    kwargs = dict(kwargs or {})
+    limit = resident_limit if resident_limit is not None else device.max_resident_wgs
+    if limit <= 0:
+        raise LaunchError("resident_limit must be positive")
+
+    perm = dispatch_order(grid_size, order, seed)
+    rng = np.random.default_rng(seed ^ 0x5EED)
+
+    counters = LaunchCounters(
+        kernel_name=kernel_name or getattr(kernel_fn, "__name__", "kernel"),
+        grid_size=grid_size,
+        wg_size=wg_size,
+    )
+
+    pending = list(perm)
+    pending.reverse()  # pop() from the tail dispatches in perm order
+    runnable: List[int] = []  # group indices with live generators, ready to step
+    parked: List[int] = []  # group indices blocked on a spin
+    gens: Dict[int, Generator[Event, None, None]] = {}
+
+    def admit() -> None:
+        while pending and (len(runnable) + len(parked)) < limit:
+            gidx = int(pending.pop())
+            wg = WorkGroup(gidx, wg_size, device, api=api)
+            gens[gidx] = kernel_fn(wg, *args, **kwargs)
+            runnable.append(gidx)
+        counters.peak_resident = max(counters.peak_resident, len(runnable) + len(parked))
+
+    admit()
+    while runnable or parked or pending:
+        if not runnable:
+            # Every resident group is parked on a spin.  Flags change only
+            # through atomics, and only runnable groups issue atomics, so
+            # nothing can ever wake them: this is a deadlock (pending
+            # groups cannot be admitted because the slots are occupied).
+            raise DeadlockError(
+                f"{counters.kernel_name}: all {len(parked)} resident work-groups "
+                f"are spinning with {len(pending)} work-groups still pending; "
+                "no progress is possible (static work-group ordering under "
+                "unfavourable dispatch — see Figure 4 of the paper)",
+                waiting=tuple(int(g) for g in parked),
+                steps=counters.steps,
+            )
+        pick = int(rng.integers(len(runnable)))
+        gidx = runnable[pick]
+        gen = gens[gidx]
+        counters.steps += 1
+        try:
+            event = next(gen)
+        except StopIteration:
+            runnable.pop(pick)
+            del gens[gidx]
+            counters.completed_wgs += 1
+            admit()
+            continue
+        if not isinstance(event, Event):  # defensive: catch kernel bugs early
+            raise LaunchError(
+                f"kernel {counters.kernel_name!r} yielded {type(event).__name__}, "
+                "expected an Event (did you forget 'yield from'?)"
+            )
+        kind = event.kind
+        if trace is not None:
+            trace.append((gidx, event))
+        if kind is EventKind.GLOBAL_LOAD:
+            counters.n_loads += 1
+            counters.bytes_loaded += event.bytes
+            counters.load_transactions += event.transactions
+        elif kind is EventKind.GLOBAL_STORE:
+            counters.n_stores += 1
+            counters.bytes_stored += event.bytes
+            counters.store_transactions += event.transactions
+        elif kind is EventKind.ATOMIC:
+            counters.n_atomics += 1
+            if parked:  # flags may have changed: wake everyone to re-poll
+                runnable.extend(parked)
+                parked.clear()
+        elif kind is EventKind.BARRIER:
+            counters.n_barriers += 1
+        elif kind is EventKind.SPIN:
+            counters.n_spins += 1
+            runnable.pop(pick)
+            parked.append(gidx)
+        elif kind is EventKind.LOCAL:
+            counters.local_bytes += event.bytes
+
+    return counters

@@ -1,0 +1,73 @@
+"""Per-work-group scratchpad (OpenCL *local* / CUDA *shared*) memory.
+
+The DS algorithms stage every input tile in on-chip memory between the
+loading and the storing stage (Algorithm 1's ``OnChipMem``).  The
+simulator models this as a capacity-checked allocator: a kernel asks its
+:class:`~repro.simgpu.workgroup.WorkGroup` for arrays, and the request
+fails with :class:`repro.errors.ResourceError` if the combined footprint
+exceeds the device's per-work-group scratchpad.  The *coarsening-factor*
+capacity cliff of Figure 6 (registers + scratchpad per work-item) is
+enforced separately by :mod:`repro.core.coarsening`; this module only
+guards the explicit local-memory allocations.
+
+Contents live in ordinary NumPy arrays: scratchpad accesses are not
+scheduler events (they are on-chip and conflict-free in these kernels)
+but their byte volume is tallied so tests can assert staging happened.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ResourceError
+
+__all__ = ["Scratchpad"]
+
+
+class Scratchpad:
+    """Capacity-checked local-memory allocator for one work-group."""
+
+    def __init__(self, capacity_bytes: int, owner: str = "wg") -> None:
+        self.capacity_bytes = int(capacity_bytes)
+        self.owner = owner
+        self.allocated_bytes = 0
+        self.bytes_accessed = 0
+        self._arrays: Dict[str, np.ndarray] = {}
+
+    def alloc(self, name: str, shape, dtype=np.float32) -> np.ndarray:
+        """Allocate a named local array; raises on capacity overflow or
+        duplicate names (each OpenCL ``__local`` declaration is unique)."""
+        if name in self._arrays:
+            raise ResourceError(f"{self.owner}: local array {name!r} already allocated")
+        arr = np.zeros(shape, dtype=dtype)
+        if self.allocated_bytes + arr.nbytes > self.capacity_bytes:
+            raise ResourceError(
+                f"{self.owner}: local allocation {name!r} of {arr.nbytes} B exceeds "
+                f"scratchpad capacity ({self.allocated_bytes}/{self.capacity_bytes} B used)"
+            )
+        self.allocated_bytes += arr.nbytes
+        self._arrays[name] = arr
+        return arr
+
+    def get(self, name: str) -> np.ndarray:
+        """Retrieve a previously allocated array."""
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise ResourceError(f"{self.owner}: no local array named {name!r}") from None
+
+    def touch(self, nbytes: int) -> None:
+        """Record on-chip traffic (for staging assertions in tests)."""
+        self.bytes_accessed += int(nbytes)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.allocated_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Scratchpad(owner={self.owner!r}, used={self.allocated_bytes}, "
+            f"capacity={self.capacity_bytes})"
+        )

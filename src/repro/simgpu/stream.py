@@ -1,0 +1,118 @@
+"""Host-side command stream: ordered kernel launches with accounting.
+
+The paper's central cost comparison is *one kernel with adjacent
+synchronization* (DS algorithms) versus *many kernels separated by
+global synchronization* (Sung's iterative padding, Thrust's multi-pass
+primitives).  :class:`Stream` makes that comparison measurable: every
+primitive and baseline in this package executes its kernels through a
+stream, which records one :class:`~repro.simgpu.counters.LaunchCounters`
+per launch.  The performance model then prices the whole record list —
+paying the kernel-launch overhead once per record — so a pipeline's
+structure directly shows up in its modeled time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.simgpu.counters import LaunchCounters
+from repro.simgpu.device import DeviceSpec, get_device
+from repro.simgpu.scheduler import OrderSpec, launch
+
+__all__ = ["Stream"]
+
+
+class Stream:
+    """An in-order launch queue bound to one simulated device.
+
+    Parameters
+    ----------
+    device:
+        A :class:`~repro.simgpu.device.DeviceSpec` or catalog name.
+    api:
+        ``"cuda"`` or ``"opencl"`` (selects native vs emulated warp
+        collectives in the performance model).
+    seed:
+        Base seed; each launch derives a distinct stream of scheduling
+        decisions so multi-kernel pipelines see varied interleavings.
+    order:
+        Default hardware dispatch order for launches (``"random"``,
+        ``"ascending"``, ``"descending"`` or an explicit permutation).
+    resident_limit:
+        Optional override of the device's resident-work-group bound,
+        used by tests and by baselines that are occupancy-limited.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec | str,
+        *,
+        api: str = "opencl",
+        seed: int = 0,
+        order: OrderSpec = "random",
+        resident_limit: Optional[int] = None,
+    ) -> None:
+        self.device = get_device(device) if isinstance(device, str) else device
+        self.api = api
+        self.seed = int(seed)
+        self.order = order
+        self.resident_limit = resident_limit
+        self.records: List[LaunchCounters] = []
+        self._launch_count = 0
+
+    def launch(
+        self,
+        kernel_fn,
+        *,
+        grid_size: int,
+        wg_size: int,
+        args: Iterable = (),
+        kwargs: Optional[dict] = None,
+        order: Optional[OrderSpec] = None,
+        resident_limit: Optional[int] = None,
+        kernel_name: Optional[str] = None,
+        trace=None,
+    ) -> LaunchCounters:
+        """Run one kernel to completion and record its counters."""
+        counters = launch(
+            kernel_fn,
+            grid_size=grid_size,
+            wg_size=wg_size,
+            device=self.device,
+            args=args,
+            kwargs=kwargs,
+            api=self.api,
+            order=order if order is not None else self.order,
+            seed=self.seed + 0x9E37 * self._launch_count,
+            resident_limit=(
+                resident_limit if resident_limit is not None else self.resident_limit
+            ),
+            kernel_name=kernel_name,
+            trace=trace,
+        )
+        self._launch_count += 1
+        self.records.append(counters)
+        return counters
+
+    @property
+    def num_launches(self) -> int:
+        return len(self.records)
+
+    def total(self) -> LaunchCounters:
+        """Merge all recorded launches into a single counter record."""
+        if not self.records:
+            return LaunchCounters(kernel_name="<empty stream>")
+        merged = self.records[0]
+        for rec in self.records[1:]:
+            merged = merged.merge(rec)
+        return merged
+
+    def reset(self) -> None:
+        """Forget recorded launches (the device binding is kept)."""
+        self.records.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Stream(device={self.device.name!r}, api={self.api!r}, "
+            f"launches={self.num_launches})"
+        )

@@ -1,0 +1,164 @@
+"""Event-driven timing replay — a second, independent timing method.
+
+The analytic model in :mod:`repro.perfmodel` prices a launch from its
+aggregate counters with a calibrated occupancy ramp.  This module takes
+the opposite route: it **replays an execution trace** (the
+``(group_index, Event)`` record of :func:`repro.simgpu.scheduler.launch`)
+through a small queueing model in which the paper's performance
+phenomena *emerge* instead of being parameterized:
+
+* the device has ``resident_limit`` hardware slots; a work-group starts
+  when the group occupying its slot finishes (admission follows the
+  trace's first-appearance order, i.e. the scheduler's dispatch);
+* each memory event costs a fixed **latency** plus a **transfer** slot
+  on a shared bandwidth server.  One resident group is latency-bound
+  (the K20's ~10 GB/s single-work-group floor in Figure 2); many
+  overlap their latencies until the server saturates at the calibrated
+  peak — the occupancy ramp the analytic model encodes as
+  ``mlp_efficiency`` appears here as queueing;
+* atomics on one buffer serialize through a per-buffer completion time;
+  a spin waits for the watched buffer's last atomic — the flag chain.
+
+Groups are replayed serially in admission order, which is exact for the
+adjacent-sync chain (logical IDs are claimed in that same order) and
+mildly pessimistic for bandwidth contention in the mid-load region.
+The replay is a *validation* instrument, not the headline model:
+``tests/perfmodel/test_timing_replay.py`` checks that its emergent
+saturation curve agrees qualitatively with the calibrated ramp, and the
+ablation benchmark prints both side by side.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.perfmodel.calibration import Calibration, get_calibration
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.events import Event, EventKind
+
+__all__ = ["TimingResult", "replay_timing", "MEM_LATENCY_US", "BARRIER_COST_US"]
+
+#: Latency of one global-memory round trip (issue to data), µs.  Roughly
+#: 400-600 core cycles on the paper's GPUs; shared by all of them at the
+#: fidelity this replay targets.
+MEM_LATENCY_US = 0.35
+
+#: Issue cost of one additional in-flight transfer within a pipelined
+#: run of same-direction accesses, µs.  The paper's ILP argument: a
+#: work-item's loads (and stores) are mutually independent, so a run of
+#: loads pays the round-trip latency once and then streams — this is
+#: exactly why coarsening raises single-group throughput.
+MEM_ISSUE_US = 0.02
+
+#: Cost of one work-group barrier round, µs (matches the calibrated
+#: collective round cost's order of magnitude).
+BARRIER_COST_US = 0.04
+
+
+@dataclass
+class TimingResult:
+    """Outcome of one trace replay."""
+
+    makespan_us: float
+    busy_us: float
+    """Total transfer time through the bandwidth server."""
+    n_events: int
+    per_group_finish: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Fraction of the makespan the memory system was transferring."""
+        return self.busy_us / self.makespan_us if self.makespan_us > 0 else 0.0
+
+
+def replay_timing(
+    trace: Sequence[Tuple[int, Event]],
+    device: DeviceSpec,
+    *,
+    resident_limit: Optional[int] = None,
+    calibration: Optional[Calibration] = None,
+    mem_latency_us: float = MEM_LATENCY_US,
+    mem_issue_us: float = MEM_ISSUE_US,
+    barrier_cost_us: float = BARRIER_COST_US,
+) -> TimingResult:
+    """Replay a scheduler trace through the queueing model.
+
+    ``resident_limit`` should match the value the launch ran with
+    (defaults to the device's ``max_resident_wgs``).  The trace must
+    come from a single completed launch; the scheduler guarantees a
+    dependency-consistent linearization (a successful flag read appears
+    after the atomic that set the flag).
+    """
+    if not trace:
+        raise ModelError("cannot replay an empty trace")
+    calib = calibration if calibration is not None else get_calibration(device.name)
+    limit = resident_limit if resident_limit is not None else device.max_resident_wgs
+    if limit <= 0:
+        raise ModelError("resident_limit must be positive")
+    bw = device.bandwidth_bytes_per_us() * calib.streaming_eff
+
+    # Group events by work-group, keeping the trace's admission order.
+    per_group: Dict[int, List[Event]] = {}
+    admission: List[int] = []
+    for gidx, event in trace:
+        if gidx not in per_group:
+            per_group[gidx] = []
+            admission.append(gidx)
+        per_group[gidx].append(event)
+
+    slots: List[float] = [0.0] * min(limit, len(admission))
+    heapq.heapify(slots)
+    cumulative_bytes = 0.0
+    busy = 0.0
+    atomic_done: Dict[str, float] = {}
+    finish: Dict[int, float] = {}
+
+    for gidx in admission:
+        clock = heapq.heappop(slots)
+        prev_kind = None
+        for event in per_group[gidx]:
+            kind = event.kind
+            if kind in (EventKind.GLOBAL_LOAD, EventKind.GLOBAL_STORE):
+                if event.bytes > 0:
+                    xfer = event.bytes / bw
+                    cumulative_bytes += event.bytes
+                    busy += xfer
+                    # A run of same-direction accesses pipelines: the
+                    # round-trip latency is paid once per run and
+                    # subsequent transfers only pay an issue slot (the
+                    # paper's ILP-from-coarsening argument).
+                    own = (mem_latency_us if kind is not prev_kind
+                           else mem_issue_us) + xfer
+                    # A transfer also completes no earlier than the
+                    # fluid bandwidth bound: all bytes issued so far
+                    # cannot have moved faster than the server's rate.
+                    # The bound is a running sum, so it is independent
+                    # of the group-serial processing order.
+                    bandwidth_bound = cumulative_bytes / bw
+                    clock = max(clock + own, bandwidth_bound)
+            elif kind is EventKind.ATOMIC:
+                key = event.buffer_name or "<atomic>"
+                start = max(clock, atomic_done.get(key, 0.0))
+                done = start + device.flag_latency_us
+                atomic_done[key] = done
+                clock = done
+            elif kind is EventKind.SPIN:
+                key = event.buffer_name or "<atomic>"
+                clock = max(clock, atomic_done.get(key, 0.0))
+            elif kind is EventKind.BARRIER:
+                clock += barrier_cost_us
+            # LOCAL events are on-chip and free.
+            prev_kind = kind
+        finish[gidx] = clock
+        heapq.heappush(slots, clock)
+
+    makespan = max(finish.values())
+    return TimingResult(
+        makespan_us=makespan,
+        busy_us=busy,
+        n_events=len(trace),
+        per_group_finish=finish,
+    )

@@ -1,0 +1,206 @@
+"""The kernel-facing work-group context.
+
+A kernel in this simulator is written once and executed per work-group,
+with all work-items of the group advancing in lock step: ``wg.wi_id`` is
+the vector ``[0, 1, ..., wg_size)`` and divergent control flow becomes
+boolean masking, exactly how one reasons about warp-synchronous GPU code.
+Code the paper runs on a single work-item (``if (wi_id == 0)`` in
+Figures 3, 4 and 7) is written as plain scalar Python inside the kernel.
+
+Every operation with inter-work-group visibility is a *generator* method
+that yields one event to the scheduler (see :mod:`repro.simgpu.events`),
+so kernels call them as ``values = yield from wg.load(buf, idx)``.
+Between any two yields the scheduler may run any other resident
+work-group — the non-determinism the paper's synchronization must
+tolerate.
+
+Example
+-------
+A minimal copy kernel::
+
+    def copy_kernel(wg, src, dst, n):
+        pos = wg.group_index * wg.size + wg.wi_id
+        mask = pos < n
+        vals = yield from wg.load(src, pos[mask])
+        yield from wg.store(dst, pos[mask], vals)
+
+``wg.group_index`` is the *hardware* launch index; the DS kernels never
+use it for ordering — they obtain a scheduling-order ID through
+:func:`repro.core.dynamic_id.dynamic_wg_id` as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from repro.simgpu import atomics as _atomics
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.events import (
+    AtomicRMW,
+    Barrier,
+    Event,
+    GlobalLoad,
+    GlobalStore,
+    LocalAccess,
+    Spin,
+)
+from repro.simgpu.scratchpad import Scratchpad
+
+__all__ = ["WorkGroup"]
+
+
+class WorkGroup:
+    """Execution context handed to a kernel for one work-group.
+
+    Attributes
+    ----------
+    group_index:
+        Hardware launch index of this group (``get_group_id(0)``).  Not
+        ordered with respect to scheduling — that is the whole point of
+        the paper's dynamic ID allocation.
+    wi_id:
+        ``np.arange(wg_size)``; the lock-step work-item ID vector.
+    size:
+        Work-group size (``get_local_size(0)``).
+    device:
+        The :class:`~repro.simgpu.device.DeviceSpec` being simulated.
+    api:
+        ``"cuda"`` or ``"opencl"``; decides whether warp shuffles are
+        native or emulated (a performance-model distinction only).
+    smem:
+        The group's :class:`~repro.simgpu.scratchpad.Scratchpad`.
+    """
+
+    def __init__(
+        self,
+        group_index: int,
+        wg_size: int,
+        device: DeviceSpec,
+        api: str = "opencl",
+    ) -> None:
+        self.group_index = int(group_index)
+        self.size = int(wg_size)
+        self.device = device
+        self.api = api
+        self.wi_id = np.arange(self.size, dtype=np.int64)
+        self.smem = Scratchpad(device.scratchpad_bytes_per_wg, owner=f"wg{group_index}")
+
+    # -- identity helpers -----------------------------------------------------
+
+    @property
+    def warp_size(self) -> int:
+        return self.device.warp_size
+
+    @property
+    def num_warps(self) -> int:
+        return (self.size + self.warp_size - 1) // self.warp_size
+
+    # -- global memory --------------------------------------------------------
+
+    def load(self, buf: Buffer, idx: np.ndarray) -> Generator[Event, None, np.ndarray]:
+        """Vector load from global memory (one event, any lane count)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        values = buf.gather(idx, reader_id=self.group_index)
+        txns = buf._transactions(idx)
+        yield GlobalLoad(int(idx.size) * buf.itemsize, txns, buf.name)
+        return values
+
+    def store(
+        self, buf: Buffer, idx: np.ndarray, values: np.ndarray
+    ) -> Generator[Event, None, None]:
+        """Vector store to global memory (one event, any lane count)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        buf.scatter(idx, values, writer_id=self.group_index)
+        txns = buf._transactions(idx)
+        yield GlobalStore(int(idx.size) * buf.itemsize, txns, buf.name)
+
+    def declare_reads(self, buf: Buffer, idx: np.ndarray) -> None:
+        """Register this group's pending input tile with the buffer's
+        race tracker (no-op when tracking is disarmed)."""
+        buf.expect_reads(self.group_index, np.asarray(idx, dtype=np.int64))
+
+    # -- atomics (single lane, as in the paper's wi_id == 0 sections) ----------
+
+    def atomic_add(self, buf: Buffer, index: int, value) -> Generator[Event, None, int]:
+        old = _atomics.atomic_add(buf, index, value)
+        yield AtomicRMW("add", buf.itemsize, buf.name)
+        return old
+
+    def atomic_or(self, buf: Buffer, index: int, value) -> Generator[Event, None, int]:
+        old = _atomics.atomic_or(buf, index, value)
+        yield AtomicRMW("or", buf.itemsize, buf.name)
+        return old
+
+    def atomic_read(self, buf: Buffer, index: int) -> Generator[Event, None, int]:
+        """Atomic read (``atom_or(ptr, 0)`` in the paper's listings)."""
+        old = _atomics.atomic_or(buf, index, 0)
+        yield AtomicRMW("or", buf.itemsize, buf.name)
+        return old
+
+    def atomic_exchange(self, buf: Buffer, index: int, value) -> Generator[Event, None, int]:
+        old = _atomics.atomic_exchange(buf, index, value)
+        yield AtomicRMW("xchg", buf.itemsize, buf.name)
+        return old
+
+    def simd_atomic_add(
+        self, buf: Buffer, idx: np.ndarray, values: np.ndarray
+    ) -> Generator[Event, None, np.ndarray]:
+        """Per-lane atomic adds issued by the whole group in one step
+        (used by the unstable atomic-compaction baselines)."""
+        old = _atomics.simd_atomic_add(buf, idx, values)
+        yield AtomicRMW("simd_add", int(np.asarray(idx).size) * buf.itemsize, buf.name)
+        return old
+
+    # -- synchronization primitives --------------------------------------------
+
+    def barrier(self, scope: str = "local") -> Generator[Event, None, None]:
+        """Work-group barrier.  All work-items advance in lock step in
+        this model, so the barrier is an ordering marker plus a
+        scheduling point (other groups may interleave here)."""
+        yield Barrier(scope)
+
+    def spin_until(
+        self,
+        buf: Buffer,
+        index: int,
+        condition: Callable[[int], bool],
+        max_polls: Optional[int] = None,
+    ) -> Generator[Event, None, int]:
+        """Spin on ``buf[index]`` (atomic reads) until ``condition(value)``.
+
+        Returns the value that satisfied the condition.  Each failed poll
+        yields a :class:`~repro.simgpu.events.Spin` event; the scheduler
+        parks the group until any atomic occurs, so polling is free of
+        busy-waiting cost in the simulation itself.  ``max_polls`` is a
+        safety valve for tests.
+        """
+        polls = 0
+        while True:
+            value = _atomics.atomic_or(buf, index, 0)
+            if condition(value):
+                yield AtomicRMW("or", buf.itemsize, buf.name)
+                return value
+            polls += 1
+            if max_polls is not None and polls > max_polls:
+                raise RuntimeError(
+                    f"wg{self.group_index}: spin on {buf.name}[{index}] exceeded "
+                    f"{max_polls} polls"
+                )
+            yield Spin(buf.name)
+
+    # -- scratchpad ------------------------------------------------------------
+
+    def local_alloc(self, name: str, shape, dtype=np.float32) -> np.ndarray:
+        """Allocate local memory (capacity-checked against the device)."""
+        return self.smem.alloc(name, shape, dtype=dtype)
+
+    def local_touch(self, nbytes: int) -> Generator[Event, None, None]:
+        """Record scratchpad traffic as a (timing-free) event."""
+        self.smem.touch(nbytes)
+        yield LocalAccess(int(nbytes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WorkGroup(index={self.group_index}, size={self.size}, dev={self.device.name})"

@@ -1,0 +1,29 @@
+"""Workload generators matching the paper's evaluation inputs."""
+
+from repro.workloads.arrays import (
+    PAPER_ARRAY_ELEMENTS,
+    PAPER_FRACTIONS,
+    compaction_array,
+    predicate_fraction_array,
+    runs_array,
+)
+from repro.workloads.matrices import (
+    FIG2_SHAPE,
+    PAPER_PAD_SWEEP,
+    PAPER_SIZE_SWEEP,
+    TABLE1_SHAPE,
+    padding_matrix,
+)
+
+__all__ = [
+    "PAPER_ARRAY_ELEMENTS",
+    "PAPER_FRACTIONS",
+    "compaction_array",
+    "predicate_fraction_array",
+    "runs_array",
+    "padding_matrix",
+    "PAPER_SIZE_SWEEP",
+    "PAPER_PAD_SWEEP",
+    "FIG2_SHAPE",
+    "TABLE1_SHAPE",
+]

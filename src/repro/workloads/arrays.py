@@ -1,0 +1,125 @@
+"""Array workload generators for the irregular DS benchmarks.
+
+The paper's Figures 12, 13, 16 and 19 sweep the *fraction* of elements
+that satisfy the predicate (or survive unique) from 0% to 100% in steps
+of 10.  These generators produce arrays hitting each fraction **exactly**
+(not just in expectation), so a benchmark's kept-count — and hence its
+useful-byte accounting — is deterministic:
+
+* :func:`predicate_fraction_array` — pairs an array with a threshold
+  predicate such that exactly ``round(n * fraction)`` elements are true;
+* :func:`compaction_array` — plants exactly ``round(n * fraction)``
+  occurrences of the sentinel value to be removed;
+* :func:`runs_array` — builds consecutive-equal runs so *unique* keeps
+  exactly ``round(n * fraction)`` elements.
+
+All generators are seeded and return float32 by default (the paper's
+single-precision experiments); pass ``dtype=np.float64`` for the
+double-precision portability figures.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.predicates import Predicate, less_than
+from repro.errors import WorkloadError
+
+__all__ = [
+    "predicate_fraction_array",
+    "compaction_array",
+    "runs_array",
+    "PAPER_ARRAY_ELEMENTS",
+    "PAPER_FRACTIONS",
+]
+
+PAPER_ARRAY_ELEMENTS = 16 * 1024 * 1024
+"""The paper's irregular-primitive input size: 16M single-precision."""
+
+PAPER_FRACTIONS = tuple(f / 100 for f in range(0, 101, 10))
+"""The paper's sweep: 0% to 100% in steps of 10."""
+
+
+def _check(n: int, fraction: float) -> int:
+    if n <= 0:
+        raise WorkloadError(f"array size must be positive, got {n}")
+    if not 0.0 <= fraction <= 1.0:
+        raise WorkloadError(f"fraction must be in [0, 1], got {fraction}")
+    return int(round(n * fraction))
+
+
+def predicate_fraction_array(
+    n: int,
+    fraction_true: float,
+    *,
+    seed: int = 0,
+    dtype=np.float32,
+) -> Tuple[np.ndarray, Predicate]:
+    """An array plus a predicate that exactly ``round(n * fraction_true)``
+    elements satisfy.
+
+    True elements get values in [0, 0.5), false elements in [0.5, 1),
+    shuffled together; the predicate is ``value < 0.5``.
+    """
+    k = _check(n, fraction_true)
+    rng = np.random.default_rng(seed)
+    values = np.empty(n, dtype=dtype)
+    values[:k] = rng.random(k) * 0.5
+    values[k:] = 0.5 + rng.random(n - k) * 0.5
+    rng.shuffle(values)
+    return values, less_than(dtype(0.5))
+
+
+def compaction_array(
+    n: int,
+    fraction_remove: float,
+    *,
+    remove_value=0.0,
+    seed: int = 0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """An array containing exactly ``round(n * fraction_remove)``
+    occurrences of ``remove_value`` at random positions; every other
+    element is a random value distinct from the sentinel."""
+    k = _check(n, fraction_remove)
+    rng = np.random.default_rng(seed)
+    values = (1.0 + rng.random(n)).astype(dtype)  # never equals 0.0
+    if dtype(remove_value) >= 1.0:
+        raise WorkloadError(
+            f"remove_value {remove_value} collides with the keep range [1, 2)"
+        )
+    idx = rng.choice(n, size=k, replace=False)
+    values[idx] = dtype(remove_value)
+    return values
+
+
+def runs_array(
+    n: int,
+    fraction_unique: float,
+    *,
+    seed: int = 0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """An array of consecutive-equal runs such that *unique* keeps
+    exactly ``round(n * fraction_unique)`` elements (one per run).
+
+    Run lengths are randomized; adjacent runs always differ in value.
+    At fraction 1.0 every element differs from its neighbour; the
+    minimum useful fraction keeps one run (``k >= 1``).
+    """
+    k = max(1, _check(n, fraction_unique))
+    rng = np.random.default_rng(seed)
+    # k runs covering n elements: choose k-1 interior cut points.
+    if k > 1:
+        cuts = np.sort(rng.choice(np.arange(1, n), size=k - 1, replace=False))
+        lengths = np.diff(np.concatenate(([0], cuts, [n])))
+    else:
+        lengths = np.asarray([n])
+    # Run values: a random walk of strictly non-zero steps guarantees
+    # adjacent runs differ.
+    steps = rng.integers(1, 5, size=k).astype(np.float64)
+    signs = rng.choice([-1.0, 1.0], size=k)
+    run_values = np.cumsum(steps * signs) + 100.0
+    return np.repeat(run_values, lengths).astype(dtype)

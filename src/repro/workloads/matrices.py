@@ -1,0 +1,73 @@
+"""Matrix workload generators for the padding/unpadding benchmarks.
+
+The paper's regular-DS experiments pad or unpad row-major matrices:
+
+* Figures 8(a,b) / 9(a,b) sweep the matrix size with one padded column
+  (the near-square shapes below);
+* Figures 8(c,d) / 9(c,d) fix 5000 rows with 5000 columns *after*
+  padding and sweep the number of padded columns;
+* Figure 2 pads a 5000 x 4900 matrix to square (100 columns);
+* Table I uses 12000 x 11999 with one padded column;
+* Figure 10 repeats selected shapes in double precision.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "padding_matrix",
+    "PAPER_SIZE_SWEEP",
+    "PAPER_PAD_SWEEP",
+    "FIG2_SHAPE",
+    "TABLE1_SHAPE",
+]
+
+PAPER_SIZE_SWEEP: List[Tuple[int, int]] = [
+    (1000, 999),
+    (2000, 1999),
+    (5000, 4999),
+    (8000, 7999),
+    (10000, 9999),
+    (12000, 11999),
+]
+"""Near-square shapes for the pad-one-column size sweep (rows, cols)."""
+
+PAPER_PAD_SWEEP: List[int] = [1, 10, 50, 100, 500, 1000, 2500]
+"""Padded-column counts for the 5000-row sweep; columns after padding
+stay 5000, so columns before are ``5000 - pad`` (Figures 8c/d, 9c/d)."""
+
+FIG2_SHAPE = (5000, 4900, 100)
+"""(rows, cols, pad): the 5K x 4.9K matrix padded to square (Figure 2)."""
+
+TABLE1_SHAPE = (12000, 11999, 1)
+"""(rows, cols, pad): the Table I configuration."""
+
+
+def padding_matrix(
+    rows: int,
+    cols: int,
+    *,
+    seed: int = 0,
+    dtype=np.float32,
+) -> np.ndarray:
+    """A dense row-major matrix with distinct, position-derived values.
+
+    Values encode their (row, col) origin (``row * 10^k + col``) so a
+    test can identify exactly which element landed where after a slide —
+    far more diagnostic than random data when a movement bug occurs.
+    """
+    if rows <= 0 or cols <= 0:
+        raise WorkloadError(f"matrix must be non-empty, got {rows}x{cols}")
+    scale = 10 ** len(str(cols))
+    r = np.arange(rows, dtype=np.float64)[:, None]
+    c = np.arange(cols, dtype=np.float64)[None, :]
+    out = (r * scale + c).astype(dtype)
+    if seed:
+        rng = np.random.default_rng(seed)
+        out += rng.random((rows, cols)).astype(dtype) * 0.25
+    return out

@@ -1,0 +1,43 @@
+"""CSV/dict export of reproduced figures."""
+
+import csv
+import io
+
+from repro.analysis import (
+    FIGURES,
+    figure_to_csv,
+    figure_to_dict,
+    table1_to_csv,
+)
+
+
+class TestFigureExport:
+    def test_dict_columns(self):
+        fig = FIGURES["fig6"]()
+        d = figure_to_dict(fig)
+        assert fig.x_label in d
+        assert len(d) == 1 + len(fig.series)
+        assert all(len(v) == len(fig.x_ticks) for v in d.values())
+
+    def test_csv_roundtrip(self):
+        fig = FIGURES["fig8ab"]()
+        text = figure_to_csv(fig)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == [fig.x_label] + [s.name for s in fig.series]
+        assert len(rows) == 1 + len(fig.x_ticks)
+        # Values parse back to the originals.
+        assert float(rows[1][1]) == fig.series[0].values[0]
+
+    def test_csv_writes_file(self, tmp_path):
+        fig = FIGURES["fig6"]()
+        out = tmp_path / "fig6.csv"
+        text = figure_to_csv(fig, out)
+        assert out.read_text() == text
+
+    def test_table1_csv(self, tmp_path):
+        out = tmp_path / "table1.csv"
+        text = table1_to_csv(out)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][0] == "primitive"
+        assert len(rows) == 1 + 13
+        assert out.exists()

@@ -1,0 +1,169 @@
+"""The figure registry: every reproduced figure is well-formed and its
+qualitative shape matches the paper's."""
+
+import pytest
+
+from repro.analysis import FIGURES, cpu_sequential_comparison, table1_summary
+from repro.analysis.figures import (
+    fig02_iterative_padding,
+    fig06_coarsening,
+    fig08_padding_columns,
+    fig08_padding_sizes,
+    fig09_unpadding_sizes,
+    fig12_select,
+    fig13_compaction,
+    fig14_compaction_portability,
+    fig16_unique,
+    fig19_partition,
+)
+
+
+class TestRegistry:
+    def test_all_data_figures_registered(self):
+        expected = {"fig2", "fig6", "fig8ab", "fig8cd", "fig9ab", "fig9cd",
+                    "fig10-pad", "fig10-unpad", "fig12", "fig13", "fig14",
+                    "fig16", "fig17", "fig19", "fig20"}
+        assert set(FIGURES) == expected
+
+    @pytest.mark.parametrize("figure_id", sorted(
+        {"fig2", "fig6", "fig8ab", "fig8cd", "fig9ab", "fig9cd",
+         "fig10-pad", "fig10-unpad", "fig12", "fig13", "fig14",
+         "fig16", "fig17", "fig19", "fig20"}))
+    def test_every_figure_is_well_formed(self, figure_id):
+        fig = FIGURES[figure_id]()
+        assert fig.series, figure_id
+        for s in fig.series:
+            assert len(s.values) == len(fig.x_ticks), (figure_id, s.name)
+            assert all(v is None or v >= 0 for v in s.values)
+        # Renders without error.
+        from repro.analysis import render_figure
+        text = render_figure(fig)
+        assert fig.figure_id in text
+
+
+class TestFig2Shape:
+    def test_parallelism_decays_to_one(self):
+        fig = fig02_iterative_padding()
+        par = fig.series_by_name("parallelism (rows)").values
+        assert par[0] > 50
+        assert par[-1] == 1.0
+
+    def test_throughput_decays_with_parallelism(self):
+        fig = fig02_iterative_padding()
+        tp = fig.series_by_name("throughput GB/s").values
+        assert tp[0] > 4 * tp[-1]
+
+
+class TestFig6Shape:
+    def test_rise_plateau_cliff(self):
+        fig = fig06_coarsening()
+        for s in fig.series:
+            vals = dict(zip(fig.x_ticks, s.values))
+            assert vals[1] < vals[8]            # chain amortizes
+            assert vals[48] < 0.75 * vals[32]   # spill cliff
+
+
+class TestFig8and9Shapes:
+    @pytest.mark.parametrize("device", ["maxwell", "hawaii"])
+    def test_ds_beats_baseline_everywhere(self, device):
+        fig = fig08_padding_sizes(device)
+        ds = fig.series_by_name("DS Padding").values
+        base = fig.series_by_name("Baseline [11]").values
+        assert all(d > b for d, b in zip(ds, base))
+
+    def test_hawaii_speedup_larger_than_maxwell(self):
+        mx = fig08_padding_sizes("maxwell")
+        hw = fig08_padding_sizes("hawaii")
+
+        def max_speedup(fig):
+            ds = fig.series_by_name("DS Padding").values
+            base = fig.series_by_name("Baseline [11]").values
+            return max(d / b for d, b in zip(ds, base))
+
+        assert max_speedup(hw) > max_speedup(mx) > 4
+
+    def test_baseline_improves_with_more_padding(self):
+        fig = fig08_padding_columns("maxwell")
+        base = fig.series_by_name("Baseline [11]").values
+        assert base[-1] > base[0]  # more pad = more parallelism
+
+    def test_ds_padding_independent_of_pad_width(self):
+        fig = fig08_padding_columns("maxwell")
+        ds = fig.series_by_name("DS Padding").values
+        assert max(ds) / min(ds) < 1.2
+
+    def test_unpadding_baseline_flat(self):
+        fig = fig09_unpadding_sizes("maxwell")
+        base = fig.series_by_name("Baseline (1 wg)").values
+        assert max(base) / min(base) < 1.5
+
+
+class TestIrregularFigures:
+    def test_fig12_ds_beats_thrust_at_every_fraction(self):
+        fig = fig12_select()
+        ds = fig.series_by_name("DS Remove_if (in-place)").values
+        for name in ("thrust::remove_if", "thrust::remove_copy_if"):
+            th = fig.series_by_name(name).values
+            assert all(d > t for d, t in zip(ds, th))
+
+    def test_fig12_speedup_in_paper_band(self):
+        fig = fig12_select()
+        ds = fig.series_by_name("DS Remove_if (in-place)").values
+        th = fig.series_by_name("thrust::remove_if").values
+        ratios = [d / t for d, t in zip(ds, th)]
+        # Paper: 2.15x-3.50x across the sweep.
+        assert 1.5 <= min(ratios) and max(ratios) <= 5.0
+
+    def test_fig13_stability_costs_against_unstable(self):
+        fig = fig13_compaction()
+        ds = fig.series_by_name("DS Stream Compaction (in-place)").values
+        shared = fig.series_by_name(
+            "atomic shared-aggregated (unstable)").values
+        mid = len(ds) // 2
+        assert 0.5 <= ds[mid] / shared[mid] <= 0.95
+
+    def test_fig16_unique_beats_thrust(self):
+        fig = fig16_unique()
+        ds = fig.series_by_name("DS Unique (in-place)").values
+        th = fig.series_by_name("thrust::unique").values
+        ratios = [d / t for d, t in zip(ds, th)]
+        assert min(ratios) > 2.0  # paper: > 3.47x in-place, > 2.70x copy
+
+    def test_fig19_in_place_rises_with_true_fraction(self):
+        fig = fig19_partition()
+        ds_in = fig.series_by_name("DS Partition (in-place)").values
+        assert ds_in[-1] > ds_in[1]
+
+    def test_fig14_optimized_beats_base_on_every_device(self):
+        fig = fig14_compaction_portability()
+        by_name = {s.name: s.values for s in fig.series}
+        for dev in ("fermi", "kepler", "maxwell", "hawaii"):
+            base = by_name[f"{dev} (base)"]
+            opt = by_name[f"{dev} (optimized)"]
+            assert all(o > b for o, b in zip(opt, base)), dev
+
+    def test_fig14_kepler_below_fermi_in_opencl(self):
+        fig = fig14_compaction_portability()
+        by_name = {s.name: s.values for s in fig.series}
+        assert by_name["kepler (base)"][-1] < by_name["fermi (base)"][-1]
+
+
+class TestTable1:
+    def test_thirteen_rows(self):
+        rows = table1_summary()
+        assert len(rows) == 13
+        primitives = {r["primitive"] for r in rows}
+        assert primitives == {"Padding", "Unpadding", "Select", "Unique",
+                              "Partition"}
+
+    def test_every_speedup_positive_and_near_paper(self):
+        for row in table1_summary():
+            assert row["speedup"] > 1.0, row
+            assert 0.4 * row["paper_speedup"] <= row["speedup"] <= (
+                2.2 * row["paper_speedup"]), row
+
+    def test_cpu_comparison(self):
+        rows = cpu_sequential_comparison()
+        assert {r["operation"] for r in rows} == {"pad", "unpad"}
+        for r in rows:
+            assert r["speedup"] > 1.5

@@ -1,0 +1,43 @@
+"""Metric helpers."""
+
+import pytest
+
+from repro.analysis import geometric_mean, percent_gain, speedup
+from repro.errors import ModelError
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(100.0, 25.0) == pytest.approx(4.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ModelError):
+            speedup(1.0, 0.0)
+
+
+class TestPercentGain:
+    def test_positive_gain(self):
+        assert percent_gain(140.0, 100.0) == pytest.approx(40.0)
+
+    def test_negative_gain(self):
+        assert percent_gain(90.0, 100.0) == pytest.approx(-10.0)
+
+    def test_rejects_nonpositive_base(self):
+        with pytest.raises(ModelError):
+            percent_gain(1.0, 0.0)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_element(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ModelError):
+            geometric_mean([])
+        with pytest.raises(ModelError):
+            geometric_mean([1.0, -2.0])

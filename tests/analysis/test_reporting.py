@@ -1,0 +1,54 @@
+"""Text rendering of figures and tables."""
+
+import pytest
+
+from repro.analysis import FigureData, Series, render_figure, render_table
+
+
+@pytest.fixture
+def fig():
+    return FigureData(
+        figure_id="figX",
+        title="demo",
+        x_label="size",
+        x_ticks=[1, 2, 4],
+        y_label="GB/s",
+        series=[Series("DS", [10.0, 20.0, 30.0]),
+                Series("baseline", [1.0, 2.0, 3.0])],
+        notes=["a note"],
+    )
+
+
+class TestFigureData:
+    def test_series_by_name(self, fig):
+        assert fig.series_by_name("DS").values == [10.0, 20.0, 30.0]
+        with pytest.raises(KeyError):
+            fig.series_by_name("ghost")
+
+    def test_as_rows_header_and_body(self, fig):
+        rows = fig.as_rows()
+        assert rows[0] == ["size", "DS", "baseline"]
+        assert rows[1] == ["1", "10.00", "1.00"]
+        assert len(rows) == 4
+
+    def test_none_rendered_as_dash(self, fig):
+        fig.series[0].values[1] = None
+        assert "-" in fig.as_rows()[2]
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        out = render_table([["name", "v"], ["a", "1.0"], ["bbbb", "22.0"]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[1].startswith("-")
+
+    def test_render_table_empty(self):
+        assert render_table([]) == ""
+
+    def test_render_figure_contains_everything(self, fig):
+        text = render_figure(fig)
+        assert "figX" in text and "demo" in text
+        assert "GB/s" in text
+        assert "baseline" in text
+        assert "note: a note" in text

@@ -1,0 +1,70 @@
+"""Unstable atomic-based compaction baselines (Figure 13)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    atomic_compact,
+    atomic_compact_plain,
+    atomic_compact_shared,
+    atomic_compact_warp,
+)
+from repro.reference import compact_ref
+from repro.workloads import compaction_array
+
+
+@pytest.fixture
+def workload():
+    return compaction_array(3000, 0.4, seed=11)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("method", ["plain", "shared", "warp"])
+    def test_keeps_the_right_multiset(self, workload, method):
+        r = atomic_compact(workload, 0.0, method, wg_size=64, coarsening=2)
+        expected = compact_ref(workload, 0.0)
+        assert r.extras["n_kept"] == expected.size
+        assert np.array_equal(np.sort(r.output), np.sort(expected))
+
+    @pytest.mark.parametrize("method", ["plain", "shared", "warp"])
+    def test_unstable_flag_set(self, workload, method):
+        r = atomic_compact(workload, 0.0, method, wg_size=64)
+        assert r.extras["stable"] is False
+        assert r.extras["in_place"] is False
+
+    def test_unknown_method_rejected(self, workload):
+        with pytest.raises(ValueError, match="unknown atomic"):
+            atomic_compact(workload, 0.0, "quantum")
+
+    def test_convenience_wrappers(self, workload):
+        expected = np.sort(compact_ref(workload, 0.0))
+        for fn in (atomic_compact_plain, atomic_compact_shared,
+                   atomic_compact_warp):
+            r = fn(workload, 0.0, wg_size=64, coarsening=2)
+            assert np.array_equal(np.sort(r.output), expected)
+
+
+class TestContentionStructure:
+    def test_atomic_counts_ordered_plain_gt_warp_gt_shared(self, workload):
+        """The three schemes exist to trade atomic contention: plain
+        does one atomic per kept element, warp one per warp-round,
+        shared one per work-group."""
+        counts = {}
+        for method in ("plain", "shared", "warp"):
+            r = atomic_compact(workload, 0.0, method, wg_size=64, coarsening=2)
+            counts[method] = r.extras["serialized_atomics"]
+        assert counts["plain"] > counts["warp"] > counts["shared"]
+
+    def test_plain_counts_equal_kept(self, workload):
+        r = atomic_compact(workload, 0.0, "plain", wg_size=64, coarsening=2)
+        assert r.extras["serialized_atomics"] == r.extras["n_kept"]
+
+    def test_shared_counts_equal_grid(self, workload):
+        r = atomic_compact(workload, 0.0, "shared", wg_size=64, coarsening=2)
+        assert r.extras["serialized_atomics"] == r.counters[0].grid_size
+
+    def test_nothing_kept_means_no_atomics(self):
+        a = np.zeros(1000, dtype=np.float32)
+        r = atomic_compact(a, 0.0, "shared", wg_size=32)
+        assert r.extras["n_kept"] == 0
+        assert r.output.size == 0

@@ -1,0 +1,59 @@
+"""Sequential CPU baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import seq_compact, seq_pad, seq_unpad
+from repro.reference import compact_ref, pad_ref, unpad_ref
+
+
+class TestSeqPad:
+    def test_matches_reference(self, rng):
+        m = rng.integers(0, 99, (13, 17)).astype(np.float32)
+        r = seq_pad(m, 4, fill=0)
+        assert np.array_equal(r.output, pad_ref(m, 4, fill=0))
+
+    def test_bytes_and_rows_accounting(self, rng):
+        m = rng.integers(0, 9, (10, 8)).astype(np.float32)
+        r = seq_pad(m, 2)
+        assert r.bytes_moved == 2 * 10 * 8 * 4
+        assert r.rows_moved == 9
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            seq_pad(np.zeros(5), 1)
+
+    def test_rejects_negative_pad(self, rng):
+        with pytest.raises(ValueError):
+            seq_pad(rng.integers(0, 9, (2, 2)), -1)
+
+
+class TestSeqUnpad:
+    def test_matches_reference(self, rng):
+        m = rng.integers(0, 99, (11, 19)).astype(np.float32)
+        r = seq_unpad(m, 6)
+        assert np.array_equal(r.output, unpad_ref(m, 6))
+
+    def test_roundtrip(self, rng):
+        m = rng.integers(0, 99, (7, 9)).astype(np.float32)
+        assert np.array_equal(seq_unpad(seq_pad(m, 3).output, 3).output, m)
+
+    def test_rejects_pad_ge_cols(self, rng):
+        with pytest.raises(ValueError):
+            seq_unpad(rng.integers(0, 9, (3, 4)), 4)
+
+
+class TestSeqCompact:
+    def test_matches_reference(self, rng):
+        a = rng.integers(0, 4, 500).astype(np.float32)
+        r = seq_compact(a, 0)
+        assert np.array_equal(r.output, compact_ref(a, 0))
+
+    def test_is_stable(self):
+        a = np.asarray([5, 0, 3, 0, 5, 1], dtype=np.float32)
+        assert np.array_equal(seq_compact(a, 0).output, [5, 3, 5, 1])
+
+    def test_bytes_accounting(self):
+        a = np.asarray([1, 0, 1, 0], dtype=np.float32)
+        r = seq_compact(a, 0)
+        assert r.bytes_moved == (4 + 2) * 4

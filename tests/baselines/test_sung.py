@@ -1,0 +1,162 @@
+"""Sung's iterative padding/unpadding baseline [11]."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import iteration_schedule, movable_rows, sung_pad, sung_unpad
+from repro.errors import LaunchError
+from repro.reference import pad_ref, unpad_ref
+
+
+class TestMovableRows:
+    def test_at_least_one_row_always_moves(self):
+        assert movable_rows(1, 100, 101) == 1
+        assert movable_rows(50, 100, 101) >= 1
+
+    def test_row_zero_never_moves(self):
+        assert movable_rows(0, 100, 110) == 0
+
+    def test_large_pad_allows_bulk_moves(self):
+        # Doubling the stride lets roughly half the rows move at once.
+        m = 99
+        assert movable_rows(m, 100, 200) == m - 50 + 1
+
+    def test_tiny_pad_forces_serial_moves(self):
+        # One padded column on a wide matrix: one row at a time.
+        assert movable_rows(9999, 10000, 10001) == 1
+
+
+class TestSchedule:
+    def test_schedule_moves_every_row_once(self):
+        sched = iteration_schedule(100, 90, 10)
+        assert sum(sched) == 99  # rows 1..99
+
+    def test_schedule_is_decreasing_parallelism(self):
+        sched = iteration_schedule(5000, 4900, 100)
+        assert sched[0] > sched[-1]
+        assert sched[-1] == 1  # the sequential tail of Figure 2
+        assert max(sched) == sched[0]
+
+    def test_fig2_shape(self):
+        # 5000x4900 padded to square: initial parallelism ~100 decaying
+        # to a one-row-at-a-time tail, as Figure 2 shows.
+        sched = iteration_schedule(*__import__(
+            "repro.workloads", fromlist=["FIG2_SHAPE"]).FIG2_SHAPE)
+        assert 90 <= sched[0] <= 110
+        tail = [p for p in sched if p == 1]
+        assert len(tail) > 10
+
+    def test_zero_pad_empty_schedule(self):
+        assert iteration_schedule(10, 5, 0) == []
+
+
+class TestSungPad:
+    def test_matches_reference(self, rng):
+        m = rng.integers(0, 999, (25, 30)).astype(np.float32)
+        r = sung_pad(m, 7, wg_size=32)
+        assert np.array_equal(r.output[:, :30], pad_ref(m, 7)[:, :30])
+
+    def test_one_launch_per_iteration(self, rng):
+        m = rng.integers(0, 9, (20, 16)).astype(np.float32)
+        r = sung_pad(m, 4, wg_size=32)
+        iters = r.extras["iterations"]
+        assert r.num_launches == len(iters)
+        assert sum(i.parallelism for i in iters) == 19
+
+    def test_parallelism_matches_schedule(self, rng):
+        m = rng.integers(0, 9, (30, 24)).astype(np.float32)
+        r = sung_pad(m, 6, wg_size=32)
+        sched = iteration_schedule(30, 24, 6)
+        assert [i.parallelism for i in r.extras["iterations"]] == sched
+
+    def test_single_column_pad_is_fully_serial(self, rng):
+        m = rng.integers(0, 9, (12, 40)).astype(np.float32)
+        r = sung_pad(m, 1, wg_size=32)
+        assert all(i.parallelism == 1 for i in r.extras["iterations"])
+        assert np.array_equal(r.output[:, :40], m)
+
+    def test_rejects_1d(self):
+        with pytest.raises(LaunchError):
+            sung_pad(np.zeros(8, dtype=np.float32), 1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(rows=st.integers(2, 20), cols=st.integers(1, 24),
+           pad=st.integers(1, 8), seed=st.integers(0, 2**16))
+    def test_property_matches_ds_semantics(self, rows, cols, pad, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(0, 99, (rows, cols)).astype(np.float32)
+        r = sung_pad(m, pad, wg_size=32, seed=seed)
+        assert np.array_equal(r.output[:, :cols], m)
+
+
+class TestSungUnpad:
+    def test_matches_reference(self, rng):
+        m = rng.integers(0, 999, (22, 31)).astype(np.float32)
+        r = sung_unpad(m, 9, wg_size=32)
+        assert np.array_equal(r.output, unpad_ref(m, 9))
+
+    def test_always_single_workgroup_single_launch(self, rng):
+        m = rng.integers(0, 9, (15, 20)).astype(np.float32)
+        r = sung_unpad(m, 5, wg_size=32)
+        assert r.num_launches == 1
+        assert r.counters[0].grid_size == 1
+        assert r.counters[0].peak_resident == 1
+        assert r.extras["single_workgroup"] is True
+
+    def test_rejects_pad_ge_cols(self, rng):
+        m = rng.integers(0, 9, (4, 4)).astype(np.float32)
+        with pytest.raises(LaunchError):
+            sung_unpad(m, 4)
+
+
+class TestProgressiveUnpad:
+    """The alternative scheme the paper sketches in Section V."""
+
+    def test_matches_reference(self, rng):
+        from repro.baselines import sung_unpad_progressive
+        from repro.reference import unpad_ref
+        m = rng.integers(0, 999, (28, 21)).astype(np.float32)
+        r = sung_unpad_progressive(m, 7, wg_size=32)
+        assert np.array_equal(r.output, unpad_ref(m, 7))
+
+    def test_schedule_mirrors_figure2(self):
+        from repro.baselines import unpad_iteration_schedule
+        sched = unpad_iteration_schedule(200, 150, 50)
+        assert sched[0] == 1                  # sequential start
+        assert sched[-2] > sched[0]           # parallel finish
+        assert sum(sched) == 199
+
+    def test_narrow_pad_stays_sequential(self):
+        from repro.baselines import unpad_iteration_schedule
+        sched = unpad_iteration_schedule(50, 1000, 1)
+        assert all(p == 1 for p in sched)
+
+    def test_one_launch_per_iteration(self, rng):
+        from repro.baselines import sung_unpad_progressive, unpad_iteration_schedule
+        m = rng.integers(0, 9, (24, 16)).astype(np.float32)
+        r = sung_unpad_progressive(m, 4, wg_size=32)
+        sched = unpad_iteration_schedule(24, 16, 4)
+        assert r.num_launches == len(sched)
+        assert [i.parallelism for i in r.extras["iterations"]] == sched
+
+    def test_zero_pad_is_noop(self, rng):
+        from repro.baselines import sung_unpad_progressive
+        m = rng.integers(0, 9, (5, 8)).astype(np.float32)
+        r = sung_unpad_progressive(m, 0, wg_size=32)
+        assert r.num_launches == 0
+        assert np.array_equal(r.output, m)
+
+    def test_analytic_builder_matches_sim(self, rng):
+        from repro.baselines import sung_unpad_progressive
+        from repro.perfmodel import sung_unpad_progressive_launches
+        from repro.simgpu import Stream, get_device
+        mx = get_device("maxwell")
+        m = rng.integers(0, 9, (26, 20)).astype(np.float32)
+        r = sung_unpad_progressive(m, 5, Stream(mx, seed=4), wg_size=32)
+        analytic = sung_unpad_progressive_launches(26, 20, 5, 4, mx, wg_size=32)
+        assert len(analytic) == r.num_launches
+        for a, meas in zip(analytic, r.counters):
+            assert a.grid_size == meas.grid_size
+            assert a.bytes_loaded == meas.bytes_loaded

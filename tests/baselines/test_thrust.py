@@ -1,0 +1,130 @@
+"""Thrust-1.8-style multi-pass baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.thrust import (
+    thrust_copy_if,
+    thrust_partition,
+    thrust_partition_copy,
+    thrust_remove,
+    thrust_remove_copy,
+    thrust_remove_copy_if,
+    thrust_remove_if,
+    thrust_stable_partition,
+    thrust_stable_partition_copy,
+)
+from repro.core.predicates import is_even, less_than
+from repro.primitives import ds_remove_if
+from repro.reference import (
+    compact_ref,
+    copy_if_ref,
+    partition_ref,
+    remove_if_ref,
+    unique_ref,
+)
+from repro.baselines.thrust import thrust_unique, thrust_unique_copy
+
+
+@pytest.fixture
+def data(rng):
+    return rng.integers(0, 10, 3000).astype(np.float32)
+
+
+class TestCorrectness:
+    def test_remove_if(self, data):
+        r = thrust_remove_if(data, is_even(), wg_size=64)
+        assert np.array_equal(r.output, remove_if_ref(data, is_even()))
+
+    def test_remove(self, data):
+        r = thrust_remove(data, 0, wg_size=64)
+        assert np.array_equal(r.output, compact_ref(data, 0))
+
+    def test_remove_copy_if(self, data):
+        r = thrust_remove_copy_if(data, is_even(), wg_size=64)
+        assert np.array_equal(r.output, remove_if_ref(data, is_even()))
+
+    def test_remove_copy(self, data):
+        r = thrust_remove_copy(data, 0, wg_size=64)
+        assert np.array_equal(r.output, compact_ref(data, 0))
+
+    def test_copy_if(self, data):
+        r = thrust_copy_if(data, less_than(5), wg_size=64)
+        assert np.array_equal(r.output, copy_if_ref(data, less_than(5)))
+
+    def test_unique(self, data):
+        r = thrust_unique(data, wg_size=64)
+        assert np.array_equal(r.output, unique_ref(data))
+
+    def test_unique_copy(self, data):
+        r = thrust_unique_copy(data, wg_size=64)
+        assert np.array_equal(r.output, unique_ref(data))
+
+    def test_stable_partition(self, data):
+        expected, n_true = partition_ref(data, is_even())
+        r = thrust_stable_partition(data, is_even(), wg_size=64)
+        assert r.extras["n_true"] == n_true
+        assert np.array_equal(r.output, expected)
+
+    def test_stable_partition_copy(self, data):
+        expected, _ = partition_ref(data, is_even())
+        r = thrust_stable_partition_copy(data, is_even(), wg_size=64)
+        assert np.array_equal(r.output, expected)
+
+    def test_unstable_variants_modelled_as_stable(self, data):
+        expected, _ = partition_ref(data, is_even())
+        r1 = thrust_partition(data, is_even(), wg_size=64)
+        r2 = thrust_partition_copy(data, is_even(), wg_size=64)
+        assert np.array_equal(r1.output, expected)
+        assert np.array_equal(r2.output, expected)
+        assert r1.extras["stable"] is False
+
+
+class TestPipelineStructure:
+    """The structural costs the paper attributes to Thrust."""
+
+    def test_out_of_place_uses_four_launches(self, data):
+        assert thrust_copy_if(data, is_even(), wg_size=64).num_launches == 4
+
+    def test_in_place_adds_a_copyback(self, data):
+        assert thrust_remove_if(data, is_even(), wg_size=64).num_launches == 5
+
+    def test_partition_double_scan_adds_a_pass(self, data):
+        assert thrust_stable_partition_copy(
+            data, is_even(), wg_size=64).num_launches == 5
+        assert thrust_stable_partition(
+            data, is_even(), wg_size=64).num_launches == 6
+
+    def test_thrust_moves_far_more_bytes_than_ds(self, data):
+        """The paper's Section V point: repeated global loads/stores."""
+        ds = ds_remove_if(data, is_even(), wg_size=64)
+        th = thrust_remove_if(data, is_even(), wg_size=64)
+        assert th.bytes_moved > 2.5 * ds.bytes_moved
+
+    def test_input_read_three_times(self, data):
+        th = thrust_copy_if(data, is_even(), wg_size=64)
+        n_bytes = data.size * 4
+        # reduce + downsweep + scatter each read the input once; the
+        # scatter also reads the scan array.
+        assert th.total_counters.bytes_loaded >= 3 * n_bytes
+
+    def test_scatter_marked_irregular_for_the_model(self, data):
+        th = thrust_copy_if(data, is_even(), wg_size=64)
+        scatters = [c for c in th.counters if c.kernel_name.endswith("scatter")]
+        assert len(scatters) == 1
+        assert scatters[0].extras.get("irregular") == 1.0
+
+
+class TestPropertyBased:
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(1, 2000), threshold=st.integers(0, 10),
+           seed=st.integers(0, 2**16))
+    def test_thrust_and_ds_agree(self, n, threshold, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 10, n).astype(np.float32)
+        pred = less_than(np.float32(threshold))
+        th = thrust_remove_if(a, pred, wg_size=32, seed=seed).output
+        ds = ds_remove_if(a, pred, wg_size=32, seed=seed).output
+        assert np.array_equal(th, ds)

@@ -1,0 +1,73 @@
+"""Work-group reduction variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import reduce_workgroup, shuffle_reduce, tree_reduce
+from repro.errors import LaunchError
+
+
+class TestTreeReduce:
+    def test_sum_and_rounds(self):
+        total, rounds = tree_reduce(np.arange(256))
+        assert total == np.arange(256).sum()
+        assert rounds == 8  # log2(256) halving levels
+
+    def test_single_lane(self):
+        total, rounds = tree_reduce(np.asarray([7]))
+        assert total == 7 and rounds == 0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(LaunchError):
+            tree_reduce(np.arange(100))
+
+    def test_rejects_empty(self):
+        with pytest.raises(LaunchError):
+            tree_reduce(np.asarray([], dtype=np.int64))
+
+    def test_input_not_mutated(self):
+        v = np.arange(8)
+        tree_reduce(v)
+        assert np.array_equal(v, np.arange(8))
+
+
+class TestShuffleReduce:
+    def test_matches_tree(self):
+        rng = np.random.default_rng(0)
+        v = rng.integers(0, 10, 256)
+        assert shuffle_reduce(v, 32)[0] == tree_reduce(v)[0]
+
+    def test_single_warp_needs_no_cross_rounds(self):
+        total, rounds = shuffle_reduce(np.arange(32), 32)
+        assert total == np.arange(32).sum()
+        assert rounds == 0
+
+    def test_cross_warp_rounds_smaller_than_tree(self):
+        v = np.ones(256, dtype=np.int64)
+        _, tree_rounds = tree_reduce(v)
+        _, shfl_rounds = shuffle_reduce(v, 32)
+        assert shfl_rounds < tree_rounds
+
+    def test_rejects_width_not_multiple_of_warp(self):
+        with pytest.raises(LaunchError):
+            shuffle_reduce(np.arange(16), 32)
+
+
+class TestDispatch:
+    def test_variants_agree(self):
+        v = np.arange(128)
+        assert reduce_workgroup(v, "tree")[0] == reduce_workgroup(v, "shuffle")[0]
+
+    def test_unknown_variant(self):
+        with pytest.raises(LaunchError):
+            reduce_workgroup(np.arange(32), "quantum")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 64), min_size=64, max_size=64))
+    def test_property_both_variants_equal_numpy_sum(self, values):
+        v = np.asarray(values, dtype=np.int64)
+        expected = int(v.sum())
+        assert reduce_workgroup(v, "tree")[0] == expected
+        assert reduce_workgroup(v, "shuffle", warp_size=32)[0] == expected

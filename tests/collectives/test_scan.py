@@ -1,0 +1,125 @@
+"""Binary prefix-sum variants (Section III-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    SCAN_VARIANTS,
+    ballot_exclusive_scan,
+    binary_exclusive_scan,
+    shuffle_exclusive_scan,
+    tree_exclusive_scan,
+)
+from repro.errors import LaunchError
+
+
+def reference_exclusive(pred):
+    return np.concatenate(([0], np.cumsum(pred)[:-1]))
+
+
+class TestTreeScan:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(1)
+        pred = (rng.random(256) < 0.4).astype(np.int64)
+        out, rounds = tree_exclusive_scan(pred)
+        assert np.array_equal(out, reference_exclusive(pred))
+        assert rounds == 2 * 8  # upsweep + downsweep levels for 256
+
+    def test_handles_general_integers(self):
+        v = np.asarray([3, 1, 4, 1, 5, 9, 2, 6])
+        out, _ = tree_exclusive_scan(v)
+        assert np.array_equal(out, reference_exclusive(v))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(LaunchError):
+            tree_exclusive_scan(np.ones(100))
+
+    def test_input_not_mutated(self):
+        v = np.ones(8, dtype=np.int64)
+        tree_exclusive_scan(v)
+        assert (v == 1).all()
+
+
+class TestOptimizedScans:
+    def test_ballot_matches_reference(self):
+        rng = np.random.default_rng(2)
+        pred = rng.random(256) < 0.5
+        out, _ = ballot_exclusive_scan(pred, 32)
+        assert np.array_equal(out, reference_exclusive(pred))
+
+    def test_shuffle_matches_reference(self):
+        rng = np.random.default_rng(3)
+        pred = rng.random(256) < 0.5
+        out, _ = shuffle_exclusive_scan(pred, 32)
+        assert np.array_equal(out, reference_exclusive(pred))
+
+    def test_wavefront64(self):
+        rng = np.random.default_rng(4)
+        pred = rng.random(256) < 0.3
+        out, _ = ballot_exclusive_scan(pred, 64)
+        assert np.array_equal(out, reference_exclusive(pred))
+
+    def test_rejects_width_not_multiple_of_warp(self):
+        with pytest.raises(LaunchError):
+            ballot_exclusive_scan(np.ones(40, dtype=bool), 32)
+
+    def test_single_warp_zero_cross_rounds(self):
+        pred = np.ones(32, dtype=bool)
+        _, rounds = ballot_exclusive_scan(pred, 32)
+        assert rounds == 0
+
+
+class TestDispatch:
+    def test_unknown_variant(self):
+        with pytest.raises(LaunchError):
+            binary_exclusive_scan(np.ones(32, dtype=bool), "sorting-network")
+
+    def test_variant_registry(self):
+        assert SCAN_VARIANTS == ("tree", "ballot", "shuffle")
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.booleans(), min_size=128, max_size=128))
+    def test_property_all_variants_agree(self, bits):
+        pred = np.asarray(bits, dtype=bool)
+        expected = reference_exclusive(pred)
+        for variant in SCAN_VARIANTS:
+            out, _ = binary_exclusive_scan(pred, variant, warp_size=32)
+            assert np.array_equal(out, expected), variant
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from([32, 64, 128, 256]), st.integers(0, 2**16))
+    def test_property_variants_agree_across_widths(self, width, seed):
+        rng = np.random.default_rng(seed)
+        pred = rng.random(width) < 0.5
+        outs = [binary_exclusive_scan(pred, v, warp_size=32)[0]
+                for v in SCAN_VARIANTS]
+        assert np.array_equal(outs[0], outs[1])
+        assert np.array_equal(outs[0], outs[2])
+
+
+class TestPartialWavefront:
+    """Work-groups narrower than the hardware warp (AMD wavefront 64)."""
+
+    def test_scan_clamps_warp_to_group_width(self):
+        pred = np.asarray([1, 0, 1, 1] + [0] * 28, dtype=bool)  # 32 lanes
+        for variant in ("ballot", "shuffle"):
+            out, _ = binary_exclusive_scan(pred, variant, warp_size=64)
+            assert np.array_equal(out, reference_exclusive(pred)), variant
+
+    def test_reduce_clamps_warp_to_group_width(self):
+        from repro.collectives import reduce_workgroup
+        v = np.arange(32)
+        total, _ = reduce_workgroup(v, "shuffle", warp_size=64)
+        assert total == v.sum()
+
+    def test_amd_narrow_workgroup_end_to_end(self, ):
+        import repro
+        from repro.simgpu import Stream
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 5, 1000).astype(np.float32)
+        out = repro.compact(a, 0, stream=Stream("hawaii", seed=1),
+                            wg_size=32, scan_variant="ballot",
+                            reduction_variant="shuffle")
+        assert np.array_equal(out, repro.compact(a, 0, backend="numpy"))

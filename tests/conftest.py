@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite.
+
+The simulator is exact but not fast, so tests default to small launch
+geometries (wg_size 32-64, coarsening 2-4, arrays of a few thousand
+elements) — every hazard the synchronization must survive already
+occurs at that scale, because the scheduler interleaves work-groups at
+memory-transaction granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simgpu import Stream, get_device
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG; per-test reseeding keeps failures replayable."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def maxwell():
+    return get_device("maxwell")
+
+
+@pytest.fixture
+def stream(maxwell):
+    """A fresh random-order Maxwell stream per test."""
+    return Stream(maxwell, seed=1234)
+
+
+@pytest.fixture
+def small_stream(maxwell):
+    """A stream with tight residency (8 slots) to stress scheduling."""
+    return Stream(maxwell, seed=99, resident_limit=8)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running simulator tests (still < 1 min)"
+    )

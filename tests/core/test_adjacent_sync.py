@@ -1,0 +1,97 @@
+"""Adjacent work-group synchronization (Figures 3 and 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adjacent_sync import adjacent_sync_irregular, adjacent_sync_regular
+from repro.core.dynamic_id import dynamic_wg_id
+from repro.core.flags import decode_count, make_flags, make_wg_counter
+from repro.simgpu import Buffer, get_device, launch
+
+
+class TestRegularSync:
+    def test_chain_orders_loads_before_downstream_stores(self, maxwell):
+        """When a group passes the sync, every earlier-chained group has
+        completed its pre-sync phase — the inductive chain invariant."""
+        phase_log = []
+
+        def kernel(wg, counter, flags):
+            wg_id = yield from dynamic_wg_id(wg, counter)
+            phase_log.append(("pre", wg_id))
+            yield from adjacent_sync_regular(wg, flags, wg_id)
+            phase_log.append(("post", wg_id))
+
+        counter, flags = make_wg_counter(), make_flags(12)
+        launch(kernel, grid_size=12, wg_size=32, device=maxwell,
+               args=(counter, flags), order="random", seed=17,
+               resident_limit=4)
+        # For every group g, all "pre" entries of ids <= g appear before
+        # g's "post" entry.
+        pre_seen = set()
+        for phase, wg_id in phase_log:
+            if phase == "pre":
+                pre_seen.add(wg_id)
+            else:
+                assert set(range(wg_id + 1)) <= pre_seen, (
+                    f"group {wg_id} stored before an earlier group loaded")
+
+    def test_all_flags_set_at_completion(self, maxwell):
+        def kernel(wg, counter, flags):
+            wg_id = yield from dynamic_wg_id(wg, counter)
+            yield from adjacent_sync_regular(wg, flags, wg_id)
+
+        counter, flags = make_wg_counter(), make_flags(6)
+        launch(kernel, grid_size=6, wg_size=32, device=maxwell,
+               args=(counter, flags))
+        assert (flags.data != 0).all()
+
+
+class TestIrregularSync:
+    def test_offsets_accumulate_along_the_chain(self, maxwell):
+        """Each group contributes its count; group i receives the sum of
+        counts of groups 0..i-1 (Figure 7's offset passing)."""
+        counts = [3, 0, 5, 2, 0, 7, 1, 4]
+        received = {}
+
+        def kernel(wg, counter, flags):
+            wg_id = yield from dynamic_wg_id(wg, counter)
+            prev = yield from adjacent_sync_irregular(
+                wg, flags, wg_id, counts[wg_id])
+            received[wg_id] = prev
+
+        counter, flags = make_wg_counter(), make_flags(len(counts))
+        launch(kernel, grid_size=len(counts), wg_size=32, device=maxwell,
+               args=(counter, flags), order="random", seed=23,
+               resident_limit=3)
+        expected = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        assert received == {i: int(expected[i]) for i in range(len(counts))}
+        # The final flag carries the grand total (how the host reads the
+        # compacted size back).
+        assert decode_count(int(flags.data[len(counts)])) == sum(counts)
+
+    def test_zero_counts_do_not_stall_the_chain(self, maxwell):
+        """The sentinel encoding must distinguish 'not ready' from a
+        cumulative count of zero."""
+        def kernel(wg, counter, flags):
+            wg_id = yield from dynamic_wg_id(wg, counter)
+            yield from adjacent_sync_irregular(wg, flags, wg_id, 0)
+
+        counter, flags = make_wg_counter(), make_flags(10)
+        c = launch(kernel, grid_size=10, wg_size=32, device=maxwell,
+                   args=(counter, flags), order="descending",
+                   resident_limit=4)
+        assert c.completed_wgs == 10
+        assert decode_count(int(flags.data[10])) == 0
+
+    def test_initial_count_offsets_whole_chain(self, maxwell):
+        def kernel(wg, counter, flags):
+            wg_id = yield from dynamic_wg_id(wg, counter)
+            prev = yield from adjacent_sync_irregular(wg, flags, wg_id, 2)
+            results[wg_id] = prev
+
+        results = {}
+        counter = make_wg_counter()
+        flags = make_flags(4, initial_count=100)
+        launch(kernel, grid_size=4, wg_size=32, device=maxwell,
+               args=(counter, flags))
+        assert results == {0: 100, 1: 102, 2: 104, 3: 106}

@@ -1,0 +1,71 @@
+"""Coarsening-factor policy and launch geometry."""
+
+import pytest
+
+from repro.core.coarsening import choose_coarsening, launch_geometry, spills
+from repro.errors import LaunchError
+from repro.simgpu import get_device
+
+
+class TestChooseCoarsening:
+    def test_defaults_are_vendor_specific(self):
+        assert choose_coarsening(get_device("maxwell"), 4) == 16
+        assert choose_coarsening(get_device("hawaii"), 4) == 12
+        assert choose_coarsening(get_device("cpu-mxpa"), 4) == 32
+
+    def test_default_clamped_to_capacity(self):
+        # f64 halves the capacity; the default must not exceed it.
+        d = get_device("maxwell")
+        assert choose_coarsening(d, 8) <= d.max_coarsening(8)
+
+    def test_explicit_request_is_honoured_even_past_capacity(self):
+        d = get_device("maxwell")
+        assert choose_coarsening(d, 4, requested=48) == 48
+        assert spills(d, 4, 48)
+
+    def test_rejects_bad_request(self):
+        with pytest.raises(LaunchError):
+            choose_coarsening(get_device("maxwell"), 4, requested=0)
+
+    def test_rejects_bad_itemsize(self):
+        with pytest.raises(LaunchError):
+            choose_coarsening(get_device("maxwell"), 0)
+
+    def test_spill_threshold_matches_figure6(self):
+        # Figure 6: 32 fine, 40 and 48 spill on Maxwell at f32.
+        d = get_device("maxwell")
+        assert not spills(d, 4, 32)
+        assert spills(d, 4, 40)
+        assert spills(d, 4, 48)
+
+
+class TestLaunchGeometry:
+    def test_grid_covers_input(self):
+        d = get_device("maxwell")
+        geo = launch_geometry(10_000, d, 4, wg_size=256, coarsening=4)
+        assert geo.tile_size == 1024
+        assert geo.n_workgroups == 10
+        assert geo.elements_capacity >= 10_000
+
+    def test_exact_tiling(self):
+        d = get_device("maxwell")
+        geo = launch_geometry(2048, d, 4, wg_size=256, coarsening=4)
+        assert geo.n_workgroups == 2
+        assert geo.elements_capacity == 2048
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(LaunchError):
+            launch_geometry(0, get_device("maxwell"), 4)
+
+    def test_rejects_non_power_of_two_wg(self):
+        with pytest.raises(LaunchError):
+            launch_geometry(100, get_device("maxwell"), 4, wg_size=100)
+
+    def test_rejects_wg_over_device_limit(self):
+        with pytest.raises(LaunchError):
+            launch_geometry(100, get_device("hawaii"), 4, wg_size=512)
+
+    def test_spill_recorded(self):
+        geo = launch_geometry(10_000, get_device("maxwell"), 4,
+                              wg_size=256, coarsening=48)
+        assert geo.spilled

@@ -1,0 +1,53 @@
+"""Flag arrays and the count-encoding convention."""
+
+import pytest
+
+from repro.core.flags import (
+    FLAG_SET,
+    decode_count,
+    encode_count,
+    make_flags,
+    make_wg_counter,
+)
+from repro.errors import LaunchError
+
+
+class TestFlags:
+    def test_layout_has_virtual_predecessor(self):
+        flags = make_flags(5)
+        assert flags.size == 6
+        assert flags.data[0] == encode_count(0)
+        assert (flags.data[1:] == 0).all()
+
+    def test_initial_count_propagates(self):
+        flags = make_flags(3, initial_count=17)
+        assert decode_count(int(flags.data[0])) == 17
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(LaunchError):
+            make_flags(0)
+
+    def test_flag_set_is_a_valid_zero_count(self):
+        # Regular and irregular kernels share the constructor: FLAG_SET
+        # must equal encode_count(0).
+        assert FLAG_SET == encode_count(0)
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        for count in (0, 1, 7, 123456):
+            assert decode_count(encode_count(count)) == count
+
+    def test_zero_flag_never_encodes_a_count(self):
+        with pytest.raises(LaunchError):
+            decode_count(0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(LaunchError):
+            encode_count(-1)
+
+
+class TestCounter:
+    def test_counter_starts_at_zero(self):
+        counter = make_wg_counter()
+        assert counter.size == 1 and counter.data[0] == 0

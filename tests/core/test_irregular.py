@@ -1,0 +1,254 @@
+"""Algorithm 2 — the generic irregular Data Sliding kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flags import encode_count
+from repro.core.irregular import run_irregular_ds
+from repro.core.predicates import is_even, less_than, not_equal_to
+from repro.errors import DataRaceError, LaunchError
+from repro.reference import copy_if_ref, partition_ref, unique_ref
+from repro.simgpu import Buffer, Stream
+
+
+class TestInPlaceCompaction:
+    def test_keep_matching_in_place(self, rng, maxwell):
+        a = rng.integers(0, 100, 4000).astype(np.float32)
+        buf = Buffer(a, "a")
+        r = run_irregular_ds(buf, is_even(), Stream(maxwell, seed=3),
+                             wg_size=64, coarsening=3)
+        expected = copy_if_ref(a, is_even())
+        assert r.n_true == expected.size
+        assert r.n_false == a.size - expected.size
+        assert np.array_equal(buf.data[: r.n_true], expected)
+
+    def test_stability_preserved(self, rng, maxwell):
+        # Tag values so equal-predicate elements are distinguishable.
+        a = (np.arange(3000) * 10 + rng.integers(0, 2, 3000)).astype(np.float64)
+        pred = is_even()  # true iff the tag's low digit is even
+        buf = Buffer(a, "a")
+        r = run_irregular_ds(buf, pred, Stream(maxwell, seed=5),
+                             wg_size=32, coarsening=4)
+        expected = copy_if_ref(a, pred)
+        assert np.array_equal(buf.data[: r.n_true], expected)
+        # expected is strictly increasing by construction, so equality
+        # here proves relative order was maintained.
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.1, 0.5, 0.9, 1.0])
+    def test_extreme_and_middle_fractions(self, maxwell, fraction):
+        n = 2000
+        k = int(n * fraction)
+        a = np.concatenate([np.zeros(k), np.ones(n - k)]).astype(np.float32)
+        rng = np.random.default_rng(7)
+        rng.shuffle(a)
+        buf = Buffer(a, "a")
+        r = run_irregular_ds(buf, not_equal_to(0.0), Stream(maxwell, seed=9),
+                             wg_size=64, coarsening=2)
+        assert r.n_true == n - k
+        assert (buf.data[: r.n_true] == 1.0).all()
+
+    @pytest.mark.parametrize("scan_variant", ["tree", "ballot", "shuffle"])
+    @pytest.mark.parametrize("reduction_variant", ["tree", "shuffle"])
+    def test_collective_variants_agree(self, rng, maxwell, scan_variant,
+                                       reduction_variant):
+        a = rng.integers(0, 10, 2048).astype(np.float32)
+        buf = Buffer(a, "a")
+        r = run_irregular_ds(
+            buf, less_than(5), Stream(maxwell, seed=11),
+            wg_size=64, coarsening=2,
+            scan_variant=scan_variant, reduction_variant=reduction_variant,
+        )
+        assert np.array_equal(buf.data[: r.n_true], copy_if_ref(a, less_than(5)))
+
+    def test_scan_first_ablation_identical_results(self, rng, maxwell):
+        a = rng.integers(0, 10, 2048).astype(np.float32)
+        outs = []
+        for scan_first in (False, True):
+            buf = Buffer(a, "a")
+            r = run_irregular_ds(buf, is_even(), Stream(maxwell, seed=13),
+                                 wg_size=64, coarsening=2)
+            outs.append(buf.data[: r.n_true].copy())
+        assert np.array_equal(outs[0], outs[1])
+
+    def test_race_tracking_clean(self, rng, maxwell):
+        a = rng.integers(0, 10, 3000).astype(np.float32)
+        buf = Buffer(a, "a")
+        run_irregular_ds(buf, is_even(), Stream(maxwell, seed=15),
+                         wg_size=32, coarsening=3, race_tracking=True)
+
+
+class TestOutOfPlace:
+    def test_copy_if_leaves_input_intact(self, rng, maxwell):
+        a = rng.integers(0, 10, 2000).astype(np.float32)
+        buf = Buffer(a, "a")
+        out = Buffer(np.zeros_like(a), "out")
+        r = run_irregular_ds(buf, is_even(), Stream(maxwell, seed=17),
+                             out=out, wg_size=64, coarsening=2)
+        assert np.array_equal(buf.data, a)  # input untouched
+        assert np.array_equal(out.data[: r.n_true], copy_if_ref(a, is_even()))
+
+
+class TestUniqueStencil:
+    def test_unique_matches_oracle(self, rng, maxwell):
+        runs = np.repeat(rng.integers(0, 40, 500),
+                         rng.integers(1, 7, 500))[:2500].astype(np.float32)
+        buf = Buffer(runs, "u")
+        r = run_irregular_ds(buf, None, Stream(maxwell, seed=19),
+                             wg_size=64, coarsening=2, stencil_unique=True)
+        expected = unique_ref(runs)
+        assert r.n_true == expected.size
+        assert np.array_equal(buf.data[: r.n_true], expected)
+
+    def test_all_equal_collapses_to_one(self, maxwell):
+        buf = Buffer(np.full(1500, 7.0, dtype=np.float32), "u")
+        r = run_irregular_ds(buf, None, Stream(maxwell, seed=21),
+                             wg_size=32, coarsening=2, stencil_unique=True)
+        assert r.n_true == 1
+        assert buf.data[0] == 7.0
+
+    def test_all_distinct_keeps_everything(self, maxwell):
+        a = np.arange(1500, dtype=np.float32)
+        buf = Buffer(a, "u")
+        r = run_irregular_ds(buf, None, Stream(maxwell, seed=23),
+                             wg_size=32, coarsening=2, stencil_unique=True)
+        assert r.n_true == 1500
+        assert np.array_equal(buf.data, a)
+
+    def test_runs_spanning_tile_boundaries(self, maxwell):
+        # Tile = wg * cf = 64; build runs exactly straddling boundaries.
+        a = np.repeat(np.arange(50, dtype=np.float32), 64 + 3)[:3000]
+        buf = Buffer(a.copy(), "u")
+        r = run_irregular_ds(buf, None, Stream(maxwell, seed=25),
+                             wg_size=32, coarsening=2, stencil_unique=True)
+        expected = unique_ref(a)
+        assert np.array_equal(buf.data[: r.n_true], expected)
+
+
+class TestPartitionSplit:
+    def test_false_elements_routed_to_aux(self, rng, maxwell):
+        a = rng.integers(0, 100, 3000).astype(np.float32)
+        buf = Buffer(a, "p")
+        aux = Buffer(np.zeros_like(a), "aux")
+        r = run_irregular_ds(buf, is_even(), Stream(maxwell, seed=27),
+                             wg_size=64, coarsening=2, false_out=aux)
+        expected, n_true = partition_ref(a, is_even())
+        assert r.n_true == n_true
+        assert np.array_equal(buf.data[:n_true], expected[:n_true])
+        assert np.array_equal(aux.data[: a.size - n_true], expected[n_true:])
+
+
+class TestHostInterface:
+    def test_count_read_back_from_flag_chain(self, rng, maxwell):
+        a = rng.integers(0, 2, 1000).astype(np.float32)
+        buf = Buffer(a, "a")
+        r = run_irregular_ds(buf, not_equal_to(0.0), Stream(maxwell, seed=29),
+                             wg_size=32, coarsening=2)
+        assert r.n_true == int((a != 0).sum())
+
+    def test_total_can_be_shorter_than_buffer(self, rng, maxwell):
+        a = rng.integers(1, 9, 1000).astype(np.float32)
+        buf = Buffer(a, "a")
+        r = run_irregular_ds(buf, not_equal_to(0.0), Stream(maxwell, seed=31),
+                             total=500, wg_size=32, coarsening=2)
+        assert r.n_true == 500
+
+    def test_requires_predicate_or_stencil(self, maxwell):
+        buf = Buffer(np.zeros(10, dtype=np.float32), "a")
+        with pytest.raises(LaunchError, match="predicate"):
+            run_irregular_ds(buf, None, Stream(maxwell))
+
+    def test_rejects_total_beyond_buffer(self, maxwell):
+        buf = Buffer(np.zeros(10, dtype=np.float32), "a")
+        with pytest.raises(LaunchError, match="exceeds"):
+            run_irregular_ds(buf, is_even(), Stream(maxwell), total=20)
+
+    def test_extras_populated_for_perf_model(self, rng, maxwell):
+        a = rng.integers(0, 10, 1024).astype(np.float32)
+        buf = Buffer(a, "a")
+        r = run_irregular_ds(buf, is_even(), Stream(maxwell, seed=33),
+                             wg_size=64, coarsening=2, scan_variant="ballot")
+        ex = r.counters.extras
+        assert ex["irregular"] == 1.0
+        assert ex["collective_rounds"] > 0
+        assert ex["opt_collectives"] == 1.0
+        assert ex["adjacent_syncs"] == r.geometry.n_workgroups
+
+
+class TestFaultInjection:
+    def test_unordered_stores_corrupt_without_sync(self, rng, maxwell):
+        """With host-precomputed offsets but no ordering, compaction can
+        overwrite unread input — the tracker or the oracle must notice."""
+        a = rng.integers(0, 10, 4096).astype(np.float32)
+        pred = less_than(5)
+        expected = copy_if_ref(a, pred)
+        failures = 0
+        for seed in range(6):
+            buf = Buffer(a.copy(), "a")
+            stream = Stream(maxwell, seed=seed, resident_limit=8)
+            # Pre-fill the flag chain the way a two-pass scan would.
+            from repro.core.coarsening import launch_geometry
+            geo = launch_geometry(a.size, maxwell, 4, wg_size=32, coarsening=2)
+            from repro.core.flags import make_flags
+            flags = make_flags(geo.n_workgroups)
+            tile = geo.tile_size
+            counts = [int(pred(a[i * tile:(i + 1) * tile]).sum())
+                      for i in range(geo.n_workgroups)]
+            cum = 0
+            for i in range(geo.n_workgroups):
+                flags.data[i] = encode_count(cum)
+                cum += counts[i]
+            # Run with sync disabled, injecting the precomputed flags.
+            from repro.core.irregular import irregular_ds_kernel
+            from repro.core.flags import make_wg_counter
+            buf.arm_race_tracking()
+            try:
+                stream.launch(
+                    irregular_ds_kernel,
+                    grid_size=geo.n_workgroups, wg_size=32,
+                    args=(buf, buf, flags, make_wg_counter(), pred, geo,
+                          a.size),
+                    kwargs={"sync": False},
+                )
+            except DataRaceError:
+                failures += 1
+                continue
+            finally:
+                buf.disarm_race_tracking()
+            if not np.array_equal(buf.data[: expected.size], expected):
+                failures += 1
+        assert failures > 0, "disabling adjacent sync was unobservable"
+
+
+class TestPropertyBased:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(1, 3000),
+        threshold=st.integers(0, 10),
+        seed=st.integers(0, 2**16),
+    )
+    def test_compaction_matches_oracle(self, n, threshold, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 10, n).astype(np.float32)
+        pred = less_than(np.float32(threshold))
+        buf = Buffer(a, "a")
+        r = run_irregular_ds(buf, pred, Stream("maxwell", seed=seed,
+                                               resident_limit=6),
+                             wg_size=32, coarsening=2)
+        expected = copy_if_ref(a, pred)
+        assert r.n_true == expected.size
+        assert np.array_equal(buf.data[: r.n_true], expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(n=st.integers(1, 2500), seed=st.integers(0, 2**16))
+    def test_unique_matches_oracle(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = np.repeat(rng.integers(0, 20, n), rng.integers(1, 5, n))[:n]
+        a = a.astype(np.float32)
+        buf = Buffer(a, "a")
+        r = run_irregular_ds(buf, None, Stream("maxwell", seed=seed),
+                             wg_size=32, coarsening=2, stencil_unique=True)
+        expected = unique_ref(a)
+        assert r.n_true == expected.size
+        assert np.array_equal(buf.data[: r.n_true], expected)

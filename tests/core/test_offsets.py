@@ -1,0 +1,124 @@
+"""Regular-DS remappings: padding, unpadding, shift."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.offsets import RegularRemap, pad_remap, shift_remap, unpad_remap
+from repro.errors import LaunchError
+
+
+class TestPadRemap:
+    def test_row_shift_formula(self):
+        remap = pad_remap(rows=3, cols=4, pad=2)
+        pos = np.arange(12)
+        keep, out = remap(pos)
+        assert keep.all()
+        # Element (i, j) moves to i*(cols+pad) + j.
+        expected = (pos // 4) * 6 + (pos % 4)
+        assert np.array_equal(out, expected)
+
+    def test_direction_and_totals(self):
+        remap = pad_remap(5, 4, 3)
+        assert remap.direction == "expand"
+        assert remap.total_in == 20
+        assert remap.total_out == 35
+
+    def test_zero_pad_is_identity(self):
+        remap = pad_remap(3, 4, 0)
+        _, out = remap(np.arange(12))
+        assert np.array_equal(out, np.arange(12))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(LaunchError):
+            pad_remap(0, 4, 1)
+        with pytest.raises(LaunchError):
+            pad_remap(3, 4, -1)
+
+
+class TestUnpadRemap:
+    def test_keeps_prefix_columns(self):
+        remap = unpad_remap(rows=3, cols=5, pad=2)
+        pos = np.arange(15)
+        keep, out = remap(pos)
+        assert np.array_equal(keep, (pos % 5) < 3)
+        kept_out = out[keep]
+        expected = (pos[keep] // 5) * 3 + (pos[keep] % 5)
+        assert np.array_equal(kept_out, expected)
+
+    def test_direction_and_totals(self):
+        remap = unpad_remap(4, 6, 2)
+        assert remap.direction == "shrink"
+        assert remap.total_in == 24
+        assert remap.total_out == 16
+
+    def test_rejects_pad_ge_cols(self):
+        with pytest.raises(LaunchError):
+            unpad_remap(3, 4, 4)
+
+
+class TestShiftRemap:
+    def test_positive_shift_expands(self):
+        remap = shift_remap(10, 5)
+        assert remap.direction == "expand"
+        _, out = remap(np.arange(10))
+        assert np.array_equal(out, np.arange(5, 15))
+
+    def test_negative_shift_shrinks(self):
+        remap = shift_remap(10, -3)
+        assert remap.direction == "shrink"
+
+    def test_rejects_empty(self):
+        with pytest.raises(LaunchError):
+            shift_remap(0, 1)
+
+
+class TestRemapValidation:
+    def test_direction_must_be_known(self):
+        with pytest.raises(LaunchError):
+            RegularRemap(fn=lambda p: (p, p), direction="sideways",
+                         total_in=4, total_out=4, name="bad")
+
+    def test_negative_totals_rejected(self):
+        with pytest.raises(LaunchError):
+            RegularRemap(fn=lambda p: (p, p), direction="expand",
+                         total_in=-1, total_out=4, name="bad")
+
+
+class TestRemapProperties:
+    """The invariants the in-place safety argument relies on."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 40), st.integers(1, 40), st.integers(0, 20))
+    def test_pad_is_monotone_and_injective(self, rows, cols, pad):
+        remap = pad_remap(rows, cols, pad)
+        pos = np.arange(rows * cols)
+        keep, out = remap(pos)
+        assert keep.all()
+        assert (np.diff(out) > 0).all()            # strictly increasing
+        assert (out >= pos).all()                   # expand: forward only
+        assert out[-1] < remap.total_out
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 40), st.integers(2, 40), st.data())
+    def test_unpad_is_monotone_and_injective_on_kept(self, rows, cols, data):
+        pad = data.draw(st.integers(0, cols - 1))
+        remap = unpad_remap(rows, cols, pad)
+        pos = np.arange(rows * cols)
+        keep, out = remap(pos)
+        kept_out = out[keep]
+        assert (np.diff(kept_out) > 0).all()
+        assert (kept_out <= pos[keep]).all()        # shrink: backward only
+        assert keep.sum() == remap.total_out
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 40), st.integers(1, 40), st.integers(0, 20))
+    def test_pad_then_unpad_is_identity(self, rows, cols, pad):
+        fwd = pad_remap(rows, cols, pad)
+        back = unpad_remap(rows, cols + pad, pad)
+        pos = np.arange(rows * cols)
+        _, padded = fwd(pos)
+        keep, restored = back(padded)
+        assert keep.all()
+        assert np.array_equal(restored, pos)

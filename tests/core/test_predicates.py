@@ -1,0 +1,71 @@
+"""Vectorized predicate objects."""
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import (
+    Predicate,
+    always_false,
+    always_true,
+    equal_to,
+    greater_equal,
+    is_even,
+    less_than,
+    nonzero,
+    not_equal_to,
+)
+
+
+class TestStandardPredicates:
+    def test_is_even_on_ints_and_floats(self):
+        v = np.asarray([0, 1, 2, 3.7, 4.2], dtype=np.float32)
+        assert np.array_equal(is_even()(v), [True, False, True, False, True])
+
+    def test_less_than(self):
+        v = np.asarray([1, 5, 10])
+        assert np.array_equal(less_than(5)(v), [True, False, False])
+
+    def test_greater_equal(self):
+        v = np.asarray([1, 5, 10])
+        assert np.array_equal(greater_equal(5)(v), [False, True, True])
+
+    def test_equal_and_not_equal(self):
+        v = np.asarray([0.0, 1.0, 0.0])
+        assert np.array_equal(equal_to(0.0)(v), [True, False, True])
+        assert np.array_equal(not_equal_to(0.0)(v), [False, True, False])
+
+    def test_nonzero(self):
+        v = np.asarray([0.0, 2.0, 0.0, -1.0])
+        assert np.array_equal(nonzero()(v), [False, True, False, True])
+
+    def test_constants(self):
+        v = np.arange(4)
+        assert always_true()(v).all()
+        assert not always_false()(v).any()
+
+
+class TestPredicateAlgebra:
+    def test_negation(self):
+        v = np.arange(6)
+        p = is_even()
+        assert np.array_equal((~p)(v), ~p(v))
+
+    def test_double_negation_restores_name(self):
+        p = is_even()
+        assert (~~p).name == p.name
+
+    def test_negation_names_are_readable(self):
+        assert (~is_even()).name == "not(is_even)"
+
+    def test_result_coerced_to_bool(self):
+        p = Predicate(lambda v: v % 2, "odd-as-int")
+        out = p(np.arange(4))
+        assert out.dtype == np.bool_
+
+    def test_shape_mismatch_raises(self):
+        p = Predicate(lambda v: np.ones(3, dtype=bool), "broken")
+        with pytest.raises(ValueError, match="shape"):
+            p(np.arange(5))
+
+    def test_empty_input(self):
+        assert is_even()(np.asarray([], dtype=np.float32)).size == 0

@@ -1,0 +1,185 @@
+"""Algorithm 1 — the generic regular Data Sliding kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.offsets import pad_remap, shift_remap, unpad_remap
+from repro.core.regular import run_regular_ds
+from repro.errors import DataRaceError, LaunchError
+from repro.reference import pad_ref, unpad_ref
+from repro.simgpu import Buffer, Stream
+
+
+def make_pad_buffer(matrix, pad):
+    rows, cols = matrix.shape
+    buf = Buffer(np.zeros(rows * (cols + pad), dtype=matrix.dtype), "m")
+    buf.data[: rows * cols] = matrix.reshape(-1)
+    return buf
+
+
+class TestPaddingKernel:
+    def test_pad_matches_oracle(self, rng, maxwell):
+        m = rng.integers(0, 1000, (31, 47)).astype(np.float32)
+        buf = make_pad_buffer(m, 5)
+        run_regular_ds(buf, pad_remap(31, 47, 5), Stream(maxwell, seed=2),
+                       wg_size=64, coarsening=3)
+        got = buf.data.reshape(31, 52)[:, :47]
+        assert np.array_equal(got, m)
+
+    def test_pad_with_race_tracking_never_trips(self, rng, maxwell):
+        m = rng.integers(0, 1000, (23, 37)).astype(np.float32)
+        buf = make_pad_buffer(m, 4)
+        run_regular_ds(buf, pad_remap(23, 37, 4), Stream(maxwell, seed=5),
+                       wg_size=32, coarsening=2, race_tracking=True)
+        assert np.array_equal(buf.data.reshape(23, 41)[:, :37], m)
+
+    def test_unpad_matches_oracle(self, rng, maxwell):
+        m = rng.integers(0, 1000, (29, 40)).astype(np.float32)
+        padded = pad_ref(m, 6, fill=-1).astype(np.float32)
+        buf = Buffer(padded.reshape(-1), "m")
+        run_regular_ds(buf, unpad_remap(29, 46, 6), Stream(maxwell, seed=7),
+                       wg_size=64, coarsening=2, race_tracking=True)
+        assert np.array_equal(buf.data[: 29 * 40].reshape(29, 40), m)
+
+    def test_shift_forward(self, rng, maxwell):
+        values = rng.random(300).astype(np.float32)
+        buf = Buffer(np.zeros(400, dtype=np.float32), "s")
+        buf.data[:300] = values
+        run_regular_ds(buf, shift_remap(300, 100), Stream(maxwell, seed=9),
+                       wg_size=32, coarsening=2)
+        assert np.array_equal(buf.data[100:400], values)
+
+    @pytest.mark.parametrize("wg_size,coarsening", [
+        (32, 1), (32, 4), (64, 2), (128, 3), (256, 1),
+    ])
+    def test_pad_across_launch_geometries(self, rng, maxwell, wg_size, coarsening):
+        m = rng.integers(0, 100, (17, 53)).astype(np.float32)
+        buf = make_pad_buffer(m, 3)
+        result = run_regular_ds(buf, pad_remap(17, 53, 3),
+                                Stream(maxwell, seed=wg_size + coarsening),
+                                wg_size=wg_size, coarsening=coarsening)
+        assert np.array_equal(buf.data.reshape(17, 56)[:, :53], m)
+        assert result.geometry.wg_size == wg_size
+        assert result.geometry.coarsening == coarsening
+
+    @pytest.mark.parametrize("order", ["ascending", "descending", "random"])
+    def test_pad_correct_under_any_dispatch_order(self, rng, maxwell, order):
+        m = rng.integers(0, 100, (19, 33)).astype(np.float32)
+        buf = make_pad_buffer(m, 2)
+        stream = Stream(maxwell, seed=31, order=order, resident_limit=4)
+        run_regular_ds(buf, pad_remap(19, 33, 2), stream,
+                       wg_size=32, coarsening=2, race_tracking=True)
+        assert np.array_equal(buf.data.reshape(19, 35)[:, :33], m)
+
+
+class TestCountersStructure:
+    def test_each_element_moved_exactly_twice(self, rng, maxwell):
+        """The in-place claim: one load + one store per element, no
+        temporary traffic."""
+        m = rng.integers(0, 100, (16, 64)).astype(np.float32)
+        buf = make_pad_buffer(m, 2)
+        result = run_regular_ds(buf, pad_remap(16, 64, 2),
+                                Stream(maxwell, seed=3), wg_size=64,
+                                coarsening=2)
+        n = 16 * 64
+        assert result.counters.bytes_loaded == n * 4
+        assert result.counters.bytes_stored == n * 4
+
+    def test_unpad_stores_only_kept(self, rng, maxwell):
+        padded = pad_ref(rng.integers(0, 9, (10, 20)), 5, fill=0)
+        buf = Buffer(padded.reshape(-1).astype(np.float32), "m")
+        result = run_regular_ds(buf, unpad_remap(10, 25, 5),
+                                Stream(maxwell, seed=3), wg_size=32,
+                                coarsening=2)
+        assert result.counters.bytes_loaded == 10 * 25 * 4
+        assert result.counters.bytes_stored == 10 * 20 * 4
+
+    def test_single_launch_and_sync_count(self, rng, maxwell):
+        m = rng.integers(0, 9, (8, 128)).astype(np.float32)
+        buf = make_pad_buffer(m, 1)
+        stream = Stream(maxwell, seed=3)
+        result = run_regular_ds(buf, pad_remap(8, 128, 1), stream,
+                                wg_size=64, coarsening=2)
+        assert stream.num_launches == 1
+        assert result.counters.extras["adjacent_syncs"] == (
+            result.geometry.n_workgroups)
+
+
+class TestFaultInjection:
+    def test_sync_disabled_corrupts_or_races(self, rng, maxwell):
+        """Removing the adjacent synchronization must be observable:
+        either the race tracker fires, or the matrix is corrupted.
+        (A lucky schedule may still succeed; try several seeds and
+        require at least one observable failure.)"""
+        m = rng.integers(0, 10_000, (40, 64)).astype(np.float32)
+        failures = 0
+        for seed in range(6):
+            buf = make_pad_buffer(m, 8)
+            stream = Stream(maxwell, seed=seed, resident_limit=8)
+            try:
+                run_regular_ds(buf, pad_remap(40, 64, 8), stream,
+                               wg_size=32, coarsening=2, sync=False,
+                               race_tracking=True)
+            except DataRaceError:
+                failures += 1
+                continue
+            got = buf.data.reshape(40, 72)[:, :64]
+            if not np.array_equal(got, m):
+                failures += 1
+        assert failures > 0, "disabling adjacent sync was unobservable"
+
+    def test_sync_enabled_same_seeds_all_pass(self, rng, maxwell):
+        m = rng.integers(0, 10_000, (40, 64)).astype(np.float32)
+        for seed in range(6):
+            buf = make_pad_buffer(m, 8)
+            stream = Stream(maxwell, seed=seed, resident_limit=8)
+            run_regular_ds(buf, pad_remap(40, 64, 8), stream,
+                           wg_size=32, coarsening=2, race_tracking=True)
+            assert np.array_equal(buf.data.reshape(40, 72)[:, :64], m)
+
+
+class TestValidation:
+    def test_buffer_too_small(self, maxwell):
+        buf = Buffer(np.zeros(10, dtype=np.float32), "tiny")
+        with pytest.raises(LaunchError, match="needs room"):
+            run_regular_ds(buf, pad_remap(4, 4, 1), Stream(maxwell))
+
+
+class TestPropertyBased:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.integers(1, 24),
+        cols=st.integers(1, 48),
+        pad=st.integers(0, 8),
+        seed=st.integers(0, 2**16),
+    )
+    def test_pad_matches_oracle_for_arbitrary_shapes(self, rows, cols, pad, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(0, 1000, (rows, cols)).astype(np.float32)
+        buf = make_pad_buffer(m, pad)
+        run_regular_ds(buf, pad_remap(rows, cols, pad),
+                       Stream("maxwell", seed=seed, resident_limit=6),
+                       wg_size=32, coarsening=2, race_tracking=True)
+        got = buf.data.reshape(rows, cols + pad)[:, :cols]
+        assert np.array_equal(got, pad_ref(m, pad)[:, :cols])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows=st.integers(1, 24),
+        cols=st.integers(2, 48),
+        data=st.data(),
+    )
+    def test_unpad_matches_oracle_for_arbitrary_shapes(self, rows, cols, data):
+        pad = data.draw(st.integers(0, cols - 1))
+        seed = data.draw(st.integers(0, 2**16))
+        rng = np.random.default_rng(seed)
+        m = rng.integers(0, 1000, (rows, cols)).astype(np.float32)
+        buf = Buffer(m.reshape(-1), "m")
+        run_regular_ds(buf, unpad_remap(rows, cols, pad),
+                       Stream("maxwell", seed=seed, resident_limit=6),
+                       wg_size=32, coarsening=2)
+        kept = cols - pad
+        got = buf.data[: rows * kept].reshape(rows, kept)
+        assert np.array_equal(got, unpad_ref(m, pad))

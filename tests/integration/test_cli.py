@@ -1,0 +1,46 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "table1" in out
+
+    def test_single_figure(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "coarsening" in out
+        assert "12000x11999" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Padding" in out and "speedup" in out
+
+    def test_cpu(self, capsys):
+        assert main(["cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out
+
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX 980" in out and "Hawaii" in out
+
+    def test_unknown_experiment_exits_with_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig99"])
+        assert exc.value.code == 2
+
+    @pytest.mark.slow
+    def test_all(self, capsys):
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        for fid in ("fig2", "fig6", "fig12", "fig13", "fig16", "fig19"):
+            assert f"== {fid}" in out
+        assert "Table I" in out

@@ -1,0 +1,89 @@
+"""Cross-primitive integration flows on the simulator."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import is_even, nonzero
+from repro.primitives import ds_pad, ds_stream_compact, ds_unique, ds_unpad
+from repro.simgpu import Stream, get_device
+
+
+class TestChainedPrimitives:
+    def test_compact_then_unique_pipeline(self, rng):
+        """A relational-style pipeline: drop NULLs, then collapse runs."""
+        a = np.repeat(rng.integers(0, 20, 400), rng.integers(2, 4, 400))
+        a = a[:800].astype(np.float32)
+        assert a.size == 800
+        a[rng.choice(800, 200, replace=False)] = 0.0
+        step1 = repro.compact(a, 0.0, wg_size=32)
+        step2 = repro.unique(step1, wg_size=32)
+        expected = repro.unique(repro.compact(a, 0.0, backend="numpy"),
+                                backend="numpy")
+        assert np.array_equal(step2, expected)
+
+    def test_pad_compute_unpad_roundtrip(self, rng):
+        """The paper's motivating workflow: pad for alignment, work on
+        the padded matrix, unpad to compact storage."""
+        m = rng.random((24, 30)).astype(np.float32)
+        padded = repro.pad(m, 2, fill=0.0, wg_size=32)
+        padded[:, :30] *= 2.0  # the "computation"
+        restored = repro.unpad(padded, 2, wg_size=32)
+        assert np.allclose(restored, 2.0 * m)
+
+    def test_partition_then_compact_halves(self, rng):
+        a = rng.integers(0, 10, 600).astype(np.float32)
+        out, n_true = repro.partition(a, is_even(), wg_size=32)
+        evens, odds = out[:n_true], out[n_true:]
+        assert is_even()(evens).all()
+        assert not is_even()(odds).any()
+
+    def test_sparse_vector_compaction_flow(self, rng):
+        """Sparse linear-algebra style: extract non-zeros with their
+        original order preserved."""
+        v = np.zeros(1000, dtype=np.float32)
+        nz = rng.choice(1000, 150, replace=False)
+        v[nz] = rng.random(150).astype(np.float32) + 1.0
+        kept = repro.copy_if(v, nonzero(), wg_size=32)
+        assert np.array_equal(kept, v[np.sort(nz)])
+
+
+class TestSharedStreamAccounting:
+    def test_one_stream_accumulates_a_whole_pipeline(self, rng):
+        stream = Stream(get_device("maxwell"), seed=7)
+        m = rng.integers(0, 99, (16, 20)).astype(np.float32)
+        ds_pad(m, 2, stream, wg_size=32, coarsening=2)
+        a = rng.integers(0, 5, 500).astype(np.float32)
+        ds_stream_compact(a, 0, stream, wg_size=32)
+        ds_unique(a, stream, wg_size=32)
+        assert stream.num_launches == 3
+        total = stream.total()
+        assert total.bytes_moved > 0
+        assert total.completed_wgs > 0
+
+    def test_priced_end_to_end(self, rng):
+        """A recorded pipeline can be priced on any catalog device."""
+        from repro.perfmodel import price_pipeline
+        stream = Stream(get_device("maxwell"), seed=9)
+        a = rng.integers(0, 5, 2000).astype(np.float32)
+        ds_stream_compact(a, 0, stream, wg_size=64, coarsening=2)
+        for dev_name in ("maxwell", "hawaii", "cpu-mxpa"):
+            cost = price_pipeline(stream.records, get_device(dev_name))
+            assert cost.total_us > 0
+
+
+class TestDtypeCoverage:
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int32,
+                                       np.int64])
+    def test_compaction_across_dtypes(self, rng, dtype):
+        a = rng.integers(0, 5, 400).astype(dtype)
+        out = repro.compact(a, 0, wg_size=32)
+        assert out.dtype == dtype
+        assert np.array_equal(out, a[a != 0])
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_padding_across_dtypes(self, rng, dtype):
+        m = rng.random((8, 12)).astype(dtype)
+        out = repro.pad(m, 3, fill=0, wg_size=32)
+        assert out.dtype == dtype
+        assert np.array_equal(out[:, :12], m)

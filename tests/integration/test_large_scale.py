@@ -1,0 +1,53 @@
+"""Large-scale smoke tests: the kernels at ~1M elements.
+
+Most tests run at a few thousand elements; these catch scaling bugs
+(index-dtype overflow, partial-final-tile interactions at deep
+coarsening, flag-chain length) that only appear with realistic grids.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import less_than
+from repro.reference import unique_ref
+from repro.workloads import compaction_array, runs_array
+
+N = 1 << 20  # 1M elements
+
+
+@pytest.mark.slow
+class TestLargeScale:
+    def test_compaction_1m(self):
+        a = compaction_array(N, 0.5, seed=1)
+        out = repro.compact(a, 0.0, wg_size=256)
+        assert out.size == N - N // 2
+        assert np.array_equal(out, a[a != 0.0])
+
+    def test_unique_1m(self):
+        a = runs_array(N, 0.3, seed=2)
+        out = repro.unique(a, wg_size=256)
+        assert np.array_equal(out, unique_ref(a))
+
+    def test_padding_1k_square(self):
+        m = np.arange(1000 * 999, dtype=np.float32).reshape(1000, 999)
+        padded = repro.pad(m, 1, fill=-1.0, wg_size=256)
+        assert padded.shape == (1000, 1000)
+        assert np.array_equal(padded[:, :999], m)
+        assert (padded[:, 999] == -1.0).all()
+
+    def test_partition_1m(self):
+        rng = np.random.default_rng(3)
+        a = rng.random(N).astype(np.float32)
+        out, n_true = repro.partition(a, less_than(np.float32(0.25)),
+                                      wg_size=256)
+        assert abs(n_true - N // 4) < N // 50
+        assert (out[:n_true] < 0.25).all()
+        assert (out[n_true:] >= 0.25).all()
+
+    def test_deep_coarsening_partial_tile(self):
+        # A size chosen so the last tile is one element.
+        n = 36 * 256 * 100 + 1
+        a = compaction_array(n, 0.5, seed=4)
+        out = repro.compact(a, 0.0, wg_size=256, coarsening=36)
+        assert np.array_equal(out, a[a != 0.0])

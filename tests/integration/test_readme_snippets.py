@@ -1,0 +1,57 @@
+"""The README's code snippets actually behave as documented."""
+
+import numpy as np
+
+import repro
+from repro.core import is_even
+
+
+class TestQuickTaste:
+    def test_compact_snippet(self):
+        out = repro.compact(
+            np.asarray([3., 0., 7., 0., 1.], dtype=np.float32), 0.0)
+        assert np.array_equal(out, np.asarray([3., 7., 1.], dtype=np.float32))
+
+    def test_partition_snippet(self):
+        a = np.asarray([5, 2, 8, 1, 4, 7, 6, 3], dtype=np.float32)
+        out, n_true = repro.partition(a, is_even())
+        assert n_true == 4
+        assert np.array_equal(out, [2, 8, 4, 6, 5, 1, 7, 3])
+
+    def test_pad_snippet(self):
+        m = np.arange(12, dtype=np.float32).reshape(3, 4)
+        out = repro.pad(m, 2, fill=0)
+        assert out.shape == (3, 6)
+        assert np.array_equal(out[:, :4], m)
+        assert (out[:, 4:] == 0).all()
+
+    def test_return_result_carries_counters(self):
+        a = np.asarray([3., 0., 7.], dtype=np.float32)
+        r = repro.compact(a, 0.0, return_result=True)
+        c = r.counters[0]
+        assert c.bytes_loaded > 0 and c.bytes_stored > 0
+        assert c.peak_resident >= 1
+
+    def test_price_pipeline_snippet(self):
+        from repro.perfmodel import price_pipeline
+        from repro.simgpu import get_device
+        a = np.arange(4096, dtype=np.float32)
+        a[::3] = 0.0
+        r = repro.compact(a, 0.0, return_result=True)
+        for dev in ("maxwell", "hawaii"):
+            assert price_pipeline(r.counters, get_device(dev)).total_us > 0
+
+    def test_api_doctest_example(self):
+        """The module docstring example of repro.api."""
+        from repro.api import compact
+        out = compact(np.asarray([3.0, 0.0, 7.0, 0.0, 1.0],
+                                 dtype=np.float32), 0.0)
+        assert np.array_equal(out, [3.0, 7.0, 1.0])
+
+    def test_profile_doctest_example(self):
+        from repro.perfmodel import profile_result
+        r = repro.compact(np.asarray([1., 0., 2.], dtype=np.float32), 0.0,
+                          return_result=True)
+        report = profile_result(r, device="maxwell")
+        assert sorted(report) == ["bytes_moved", "device", "gbps",
+                                  "launches", "time_us", "useful_bytes"]

@@ -1,0 +1,88 @@
+"""Collective-round accounting and calibration table sanity."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.perfmodel import (
+    CALIBRATIONS,
+    Calibration,
+    collective_rounds_per_wg,
+    get_calibration,
+    is_optimized_variant,
+)
+
+
+class TestRounds:
+    def test_tree_scan_dominates(self):
+        # cf x 2log2(wg) + log2(wg) for tree/tree.
+        rounds = collective_rounds_per_wg(256, 32, 16, "tree", "tree")
+        assert rounds == 16 * 16 + 8
+
+    def test_optimized_is_far_cheaper(self):
+        tree = collective_rounds_per_wg(256, 32, 16, "tree", "tree")
+        opt = collective_rounds_per_wg(256, 32, 16, "shuffle", "shuffle")
+        assert opt < tree / 3
+
+    def test_ballot_equals_shuffle_round_count(self):
+        a = collective_rounds_per_wg(256, 32, 8, "tree", "ballot")
+        b = collective_rounds_per_wg(256, 32, 8, "tree", "shuffle")
+        assert a == b
+
+    def test_more_coarsening_more_scan_rounds(self):
+        a = collective_rounds_per_wg(256, 32, 4)
+        b = collective_rounds_per_wg(256, 32, 8)
+        assert b > a
+
+    def test_wavefront64_has_fewer_warps(self):
+        nv = collective_rounds_per_wg(256, 32, 8, "shuffle", "shuffle")
+        amd = collective_rounds_per_wg(256, 64, 8, "shuffle", "shuffle")
+        assert amd <= nv
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ModelError):
+            collective_rounds_per_wg(100, 32, 4)
+        with pytest.raises(ModelError):
+            collective_rounds_per_wg(256, 32, 0)
+        with pytest.raises(ModelError):
+            collective_rounds_per_wg(256, 32, 4, "bogus", "tree")
+        with pytest.raises(ModelError):
+            collective_rounds_per_wg(256, 32, 4, "tree", "bogus")
+
+    def test_is_optimized_variant(self):
+        assert not is_optimized_variant("tree")
+        assert is_optimized_variant("ballot")
+        assert is_optimized_variant("shuffle")
+        with pytest.raises(ModelError):
+            is_optimized_variant("sorting")
+
+
+class TestCalibrationTable:
+    def test_every_device_has_a_calibration(self):
+        from repro.simgpu import DEVICES
+        assert set(CALIBRATIONS) == set(DEVICES)
+
+    def test_lookup(self):
+        assert get_calibration("maxwell").streaming_eff == pytest.approx(0.59)
+        with pytest.raises(ModelError, match="known"):
+            get_calibration("volta")
+
+    def test_streaming_eff_anchored_to_table1(self):
+        # Maxwell: 131.53 / 224 peak; Hawaii: 168.58 / 320 peak.
+        assert get_calibration("maxwell").streaming_eff == pytest.approx(
+            131.53 / 224, abs=0.02)
+        assert get_calibration("hawaii").streaming_eff == pytest.approx(
+            168.58 / 320, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Calibration(streaming_eff=0.0)
+        with pytest.raises(ModelError):
+            Calibration(streaming_eff=0.5, irregular_eff=1.5)
+        with pytest.raises(ModelError):
+            Calibration(streaming_eff=0.5, spill_penalty=0.5)
+
+    def test_kepler_is_the_opencl_outlier(self):
+        kp = get_calibration("kepler")
+        others = [get_calibration(n) for n in ("fermi", "maxwell", "hawaii")]
+        assert all(kp.opencl_irregular_penalty > o.opencl_irregular_penalty
+                   for o in others)

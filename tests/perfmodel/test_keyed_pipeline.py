@@ -1,0 +1,67 @@
+"""Analytic keyed-DS builder: consistency with the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import less_than
+from repro.errors import ModelError
+from repro.perfmodel import ds_keyed_launches, price_pipeline
+from repro.primitives import ds_compact_records, ds_unique_by_key
+from repro.simgpu import Stream, get_device
+
+
+@pytest.fixture
+def mx():
+    return get_device("maxwell")
+
+
+class TestKeyedBuilder:
+    def test_matches_record_compaction_counters(self, rng, mx):
+        n = 2000
+        key = rng.integers(0, 10, n).astype(np.float32)
+        cols = {"a": rng.random(n).astype(np.float32),
+                "b": rng.random(n).astype(np.float32)}
+        r = ds_compact_records(key, cols, less_than(5),
+                               Stream(mx, seed=1), wg_size=64, coarsening=2)
+        analytic = ds_keyed_launches(n, r.extras["n_kept"], 4, mx,
+                                     n_payloads=2, wg_size=64, coarsening=2)
+        measured = r.counters[0]
+        assert analytic[0].grid_size == measured.grid_size
+        assert analytic[0].bytes_loaded == measured.bytes_loaded
+        assert analytic[0].bytes_stored == measured.bytes_stored
+
+    def test_matches_unique_by_key_counters(self, rng, mx):
+        keys = np.repeat(rng.integers(0, 30, 500), 3)[:1200].astype(np.float32)
+        vals = np.arange(1200, dtype=np.float32)
+        r = ds_unique_by_key(keys, vals, Stream(mx, seed=2),
+                             wg_size=64, coarsening=2)
+        analytic = ds_keyed_launches(1200, r.extras["n_kept"], 4, mx,
+                                     n_payloads=1, wg_size=64, coarsening=2,
+                                     stencil=True)
+        measured = r.counters[0]
+        assert analytic[0].bytes_loaded == measured.bytes_loaded
+        assert analytic[0].bytes_stored == measured.bytes_stored
+
+    def test_chain_cost_independent_of_record_width(self, mx):
+        """The extension's selling point: columns scale traffic, not the
+        synchronization chain."""
+        narrow = ds_keyed_launches(1 << 20, 1 << 19, 4, mx, n_payloads=0)[0]
+        wide = ds_keyed_launches(1 << 20, 1 << 19, 4, mx, n_payloads=8)[0]
+        assert wide.extras["adjacent_syncs"] == narrow.extras["adjacent_syncs"]
+        assert wide.bytes_moved > 5 * narrow.bytes_moved
+        t_narrow = price_pipeline([narrow], mx).total_us
+        t_wide = price_pipeline([wide], mx).total_us
+        assert t_wide > 5 * t_narrow  # time follows traffic
+
+    def test_validation(self, mx):
+        with pytest.raises(ModelError):
+            ds_keyed_launches(10, 11, 4, mx)
+        with pytest.raises(ModelError):
+            ds_keyed_launches(10, 5, 4, mx, n_payloads=-1)
+
+    def test_payload_itemsize_override(self, mx):
+        a = ds_keyed_launches(1000, 500, 4, mx, n_payloads=1,
+                              payload_itemsize=8, wg_size=64, coarsening=2)[0]
+        b = ds_keyed_launches(1000, 500, 4, mx, n_payloads=1,
+                              wg_size=64, coarsening=2)[0]
+        assert a.bytes_loaded == b.bytes_loaded + 1000 * 4

@@ -1,0 +1,152 @@
+"""The analytic cost model's behavioural properties."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.perfmodel import (
+    get_calibration,
+    price_launch,
+    price_pipeline,
+    sequential_time_us,
+)
+from repro.simgpu import get_device
+from repro.simgpu.counters import LaunchCounters
+
+
+def counters(grid=64, wg=256, loaded=1 << 20, stored=1 << 20, resident=None,
+             **extras):
+    c = LaunchCounters(kernel_name="k", grid_size=grid, wg_size=wg,
+                       bytes_loaded=loaded, bytes_stored=stored,
+                       peak_resident=resident if resident else grid)
+    c.extras.update(extras)
+    return c
+
+
+@pytest.fixture
+def mx():
+    return get_device("maxwell")
+
+
+class TestMemTerm:
+    def test_more_bytes_more_time(self, mx):
+        a = price_launch(counters(loaded=1 << 20), mx).total_us
+        b = price_launch(counters(loaded=1 << 22), mx).total_us
+        assert b > a
+
+    def test_low_residency_slower(self, mx):
+        full = price_launch(counters(resident=64), mx).total_us
+        single = price_launch(counters(grid=1, resident=1), mx).total_us
+        assert single > 2 * full
+
+    def test_peak_bandwidth_is_a_hard_ceiling(self, mx):
+        c = counters(loaded=10**9, stored=10**9)
+        t = price_launch(c, mx).mem_us
+        floor = 2e9 / mx.bandwidth_bytes_per_us()
+        assert t > floor
+
+    def test_spill_penalty_applies(self, mx):
+        base = price_launch(counters(), mx).total_us
+        spilled = price_launch(counters(spilled=1.0), mx).total_us
+        calib = get_calibration("maxwell")
+        assert spilled == pytest.approx(
+            (base - mx.launch_overhead_us) * calib.spill_penalty
+            + mx.launch_overhead_us, rel=0.01)
+
+    def test_irregular_slower_than_streaming(self, mx):
+        s = price_launch(counters(), mx, api="cuda").total_us
+        i = price_launch(counters(irregular=1.0), mx, api="cuda").total_us
+        assert i > s
+
+    def test_kepler_opencl_irregular_penalty(self):
+        kp = get_device("kepler")
+        c = counters(irregular=1.0)
+        cuda = price_launch(c, kp, api="cuda").total_us
+        opencl = price_launch(c, kp, api="opencl").total_us
+        assert opencl > cuda
+
+    def test_access_overhead_scales_traffic(self, mx):
+        a = price_launch(counters(), mx).mem_us
+        b = price_launch(counters(access_overhead=1.5), mx).mem_us
+        assert b == pytest.approx(1.5 * a, rel=1e-6)
+
+    def test_measured_transactions_override_raw_bytes(self, mx):
+        c = counters(loaded=1 << 20, stored=0)
+        c.load_transactions = (1 << 20) // 128 * 3  # badly coalesced
+        t_bad = price_launch(c, mx).mem_us
+        t_raw = price_launch(counters(loaded=1 << 20, stored=0), mx).mem_us
+        assert t_bad == pytest.approx(3 * t_raw, rel=1e-6)
+
+
+class TestChainTerm:
+    def test_chain_hidden_when_memory_dominates(self, mx):
+        few_syncs = counters(adjacent_syncs=10.0)
+        cost = price_launch(few_syncs, mx)
+        assert cost.total_us == pytest.approx(
+            cost.launch_us + cost.mem_us, rel=1e-6)
+
+    def test_chain_binds_with_many_tiny_tiles(self, mx):
+        many = counters(grid=100_000, loaded=1 << 20, stored=1 << 20,
+                        adjacent_syncs=100_000.0, resident=64)
+        cost = price_launch(many, mx)
+        assert cost.chain_us > cost.mem_us
+        assert cost.total_us == pytest.approx(
+            cost.launch_us + cost.chain_us, rel=1e-6)
+
+
+class TestCollectiveTerm:
+    def test_rounds_cost_time(self, mx):
+        base = price_launch(counters(), mx).total_us
+        coll = price_launch(counters(collective_rounds=100.0), mx).total_us
+        assert coll > base
+
+    def test_native_shuffle_cheaper_than_emulated(self):
+        mx = get_device("maxwell")
+        c = counters(collective_rounds=100.0, opt_collectives=1.0)
+        native = price_launch(c, mx, api="cuda").collective_us
+        emulated = price_launch(c, mx, api="opencl").collective_us
+        assert native < emulated
+
+    def test_optimized_cheaper_than_tree(self, mx):
+        tree = price_launch(counters(collective_rounds=100.0), mx,
+                            api="cuda").collective_us
+        opt = price_launch(counters(collective_rounds=100.0,
+                                    opt_collectives=1.0), mx,
+                           api="cuda").collective_us
+        assert opt < tree
+
+
+class TestAtomicsAndPipelines:
+    def test_serialized_atomics_cost(self, mx):
+        base = price_launch(counters(), mx).total_us
+        hot = price_launch(counters(serialized_atomics=1e6), mx).total_us
+        assert hot > base + 100
+
+    def test_pipeline_sums_and_counts(self, mx):
+        pipe = price_pipeline([counters(), counters(), counters()], mx)
+        single = price_launch(counters(), mx).total_us
+        assert pipe.num_launches == 3
+        assert pipe.total_us == pytest.approx(3 * single, rel=1e-6)
+
+    def test_empty_pipeline_rejected(self, mx):
+        with pytest.raises(ModelError):
+            price_pipeline([], mx)
+
+    def test_pipeline_breakdown_renders(self, mx):
+        pipe = price_pipeline([counters()], mx)
+        assert "pipeline total" in pipe.breakdown()
+
+    def test_bad_api_rejected(self, mx):
+        with pytest.raises(ModelError):
+            price_launch(counters(), mx, api="metal")
+
+
+class TestSequential:
+    def test_bytes_over_bandwidth(self):
+        d = get_device("cpu-mxpa")
+        calib = get_calibration("cpu-mxpa")
+        t = sequential_time_us(10**9, d)
+        assert t == pytest.approx(1e9 / (calib.sequential_bw_gbps * 1e3))
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ModelError):
+            sequential_time_us(-1, get_device("cpu-mxpa"))

@@ -1,0 +1,154 @@
+"""Analytic pipeline builders vs simulator-measured counters.
+
+The benchmarks price paper-scale workloads with *analytic* launch
+records; these tests prove, at simulator-tractable scale, that the
+analytic formulas produce the same grids, byte counts and accounting
+extras the functional simulator measures.  Sizes are chosen to include
+partial final tiles (the usual off-by-one territory).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import atomic_compact, sung_pad, sung_unpad
+from repro.baselines.thrust import (
+    THRUST_COARSENING,
+    thrust_remove_if,
+    thrust_stable_partition,
+)
+from repro.core.predicates import is_even
+from repro.perfmodel import (
+    atomic_compact_launches,
+    ds_irregular_launches,
+    ds_partition_launches,
+    ds_regular_launches,
+    sung_pad_launches,
+    sung_unpad_launches,
+    thrust_partition_launches,
+    thrust_select_launches,
+)
+from repro.primitives import (
+    ds_pad,
+    ds_partition,
+    ds_remove_if,
+    ds_unique,
+    ds_unpad,
+)
+from repro.simgpu import Stream, get_device
+
+WG = 64
+CF = 2
+
+
+@pytest.fixture
+def mx():
+    return get_device("maxwell")
+
+
+def assert_matches(analytic, measured, *, check_stores=True):
+    """Compare an analytic launch list against measured counters."""
+    assert len(analytic) == len(measured), (
+        f"launch count: analytic {len(analytic)} vs measured {len(measured)}")
+    for a, m in zip(analytic, measured):
+        assert a.grid_size == m.grid_size, (a.kernel_name, m.kernel_name)
+        assert a.bytes_loaded == m.bytes_loaded, (a.kernel_name, m.kernel_name)
+        if check_stores:
+            assert a.bytes_stored == m.bytes_stored, (
+                a.kernel_name, m.kernel_name)
+        assert a.extras.get("adjacent_syncs", 0) == m.extras.get(
+            "adjacent_syncs", 0)
+
+
+class TestDsRegular:
+    def test_padding(self, rng, mx):
+        m = rng.integers(0, 9, (37, 41)).astype(np.float32)
+        r = ds_pad(m, 3, Stream(mx, seed=1), wg_size=WG, coarsening=CF)
+        analytic = ds_regular_launches(37 * 41, 37 * 41, 4, mx,
+                                       wg_size=WG, coarsening=CF)
+        assert_matches(analytic, r.counters)
+
+    def test_unpadding(self, rng, mx):
+        m = rng.integers(0, 9, (23, 50)).astype(np.float32)
+        r = ds_unpad(m, 7, Stream(mx, seed=2), wg_size=WG, coarsening=CF)
+        analytic = ds_regular_launches(23 * 50, 23 * 43, 4, mx,
+                                       wg_size=WG, coarsening=CF)
+        assert_matches(analytic, r.counters)
+
+
+class TestDsIrregular:
+    def test_remove_if(self, rng, mx):
+        a = rng.integers(0, 10, 3333).astype(np.float32)
+        r = ds_remove_if(a, is_even(), Stream(mx, seed=3),
+                         wg_size=WG, coarsening=CF)
+        kept = r.extras["n_kept"]
+        analytic = ds_irregular_launches(3333, kept, 4, mx,
+                                         wg_size=WG, coarsening=CF)
+        assert_matches(analytic, r.counters)
+        assert analytic[0].extras["collective_rounds"] == (
+            r.counters[0].extras["collective_rounds"])
+
+    def test_unique_includes_boundary_loads(self, rng, mx):
+        a = np.repeat(rng.integers(0, 9, 500), 3)[:1200].astype(np.float32)
+        r = ds_unique(a, Stream(mx, seed=4), wg_size=WG, coarsening=CF)
+        analytic = ds_irregular_launches(1200, r.extras["n_kept"], 4, mx,
+                                         wg_size=WG, coarsening=CF,
+                                         stencil=True)
+        assert_matches(analytic, r.counters)
+
+    def test_partition_launch_structure(self, rng, mx):
+        a = rng.integers(0, 10, 2222).astype(np.float32)
+        r = ds_partition(a, is_even(), Stream(mx, seed=5),
+                         wg_size=WG, coarsening=CF)
+        analytic = ds_partition_launches(2222, r.extras["n_true"], 4, mx,
+                                         in_place=True, wg_size=WG,
+                                         coarsening=CF)
+        assert_matches(analytic, r.counters)
+
+
+class TestThrust:
+    def test_remove_if_pipeline(self, rng, mx):
+        a = rng.integers(0, 10, 5000).astype(np.float32)
+        r = thrust_remove_if(a, is_even(), Stream(mx, seed=6), wg_size=WG)
+        kept = r.extras["n_kept"]
+        analytic = thrust_select_launches(5000, kept, 4, mx, in_place=True,
+                                          wg_size=WG,
+                                          coarsening=THRUST_COARSENING)
+        assert_matches(analytic, r.counters)
+
+    def test_partition_pipeline(self, rng, mx):
+        a = rng.integers(0, 10, 4000).astype(np.float32)
+        r = thrust_stable_partition(a, is_even(), Stream(mx, seed=7),
+                                    wg_size=WG)
+        analytic = thrust_partition_launches(4000, r.extras["n_true"], 4, mx,
+                                             in_place=True, wg_size=WG,
+                                             coarsening=THRUST_COARSENING)
+        assert_matches(analytic, r.counters)
+
+
+class TestSung:
+    def test_pad_iterations(self, rng, mx):
+        m = rng.integers(0, 9, (30, 25)).astype(np.float32)
+        r = sung_pad(m, 5, Stream(mx, seed=8), wg_size=WG)
+        analytic = sung_pad_launches(30, 25, 5, 4, mx, wg_size=WG)
+        assert_matches(analytic, r.counters)
+
+    def test_unpad_single_launch(self, rng, mx):
+        m = rng.integers(0, 9, (20, 30)).astype(np.float32)
+        r = sung_unpad(m, 6, Stream(mx, seed=9), wg_size=WG)
+        analytic = sung_unpad_launches(20, 30, 6, 4, mx, wg_size=WG)
+        assert_matches(analytic, r.counters)
+
+
+class TestAtomic:
+    @pytest.mark.parametrize("method", ["plain", "shared"])
+    def test_bytes_and_contention(self, rng, mx, method):
+        a = rng.integers(1, 10, 3000).astype(np.float32)
+        a[rng.choice(3000, 1000, replace=False)] = 0.0
+        r = atomic_compact(a, 0.0, method, Stream(mx, seed=10),
+                           wg_size=WG, coarsening=CF)
+        analytic = atomic_compact_launches(
+            3000, r.extras["n_kept"], 4, mx, method=method,
+            wg_size=WG, coarsening=CF)
+        assert_matches(analytic, r.counters)
+        assert analytic[0].extras["serialized_atomics"] == (
+            r.extras["serialized_atomics"])

@@ -1,0 +1,50 @@
+"""The one-call profiling glue."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ModelError
+from repro.perfmodel import profile_across_devices, profile_result
+from repro.workloads import compaction_array
+
+
+@pytest.fixture
+def result():
+    a = compaction_array(4096, 0.5, seed=1)
+    return repro.compact(a, 0.0, wg_size=64, return_result=True)
+
+
+class TestProfileResult:
+    def test_defaults_to_the_run_device(self, result):
+        report = profile_result(result)
+        assert report["device"] == "maxwell"
+        assert report["time_us"] > 0
+        assert report["gbps"] > 0
+        assert report["launches"] == 1
+
+    def test_reprices_on_another_device(self, result):
+        slow = profile_result(result, "cpu-intel")
+        fast = profile_result(result, "hawaii")
+        assert slow["time_us"] > fast["time_us"]
+
+    def test_useful_bytes_override(self, result):
+        base = profile_result(result)
+        doubled = profile_result(result, useful_bytes=2 * result.bytes_moved)
+        assert doubled["gbps"] == pytest.approx(2 * base["gbps"])
+        assert doubled["time_us"] == base["time_us"]
+
+    def test_numpy_backend_results_rejected(self):
+        a = compaction_array(64, 0.5, seed=2)
+        r = repro.compact(a, 0.0, backend="numpy", return_result=True)
+        with pytest.raises(ModelError, match="numpy"):
+            profile_result(r)
+
+    def test_across_devices_covers_catalog(self, result):
+        reports = profile_across_devices(result)
+        assert {r["device"] for r in reports} == {
+            "fermi", "kepler", "maxwell", "hawaii", "kaveri",
+            "cpu-mxpa", "cpu-intel"}
+        # GPUs beat the CPU stacks on this memory-bound kernel.
+        by_dev = {r["device"]: r["gbps"] for r in reports}
+        assert by_dev["hawaii"] > by_dev["cpu-mxpa"]

@@ -1,0 +1,56 @@
+"""Throughput conventions (figure y-axes)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.perfmodel import (
+    gbps,
+    pad_useful_bytes,
+    partition_useful_bytes,
+    select_useful_bytes,
+    unpad_useful_bytes,
+)
+
+
+class TestGbps:
+    def test_unit_conversion(self):
+        # 1 GB in 1 ms = 1000 GB/s.
+        assert gbps(1e9, 1000.0) == pytest.approx(1000.0)
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ModelError):
+            gbps(1.0, 0.0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ModelError):
+            gbps(-1.0, 1.0)
+
+
+class TestConventions:
+    def test_pad_counts_read_plus_write(self):
+        assert pad_useful_bytes(100, 50, 4) == 2 * 100 * 50 * 4
+
+    def test_unpad_counts_kept_only(self):
+        assert unpad_useful_bytes(100, 40, 4) == 2 * 100 * 40 * 4
+
+    def test_select_counts_input_plus_kept(self):
+        assert select_useful_bytes(1000, 400, 4) == 1400 * 4
+
+    def test_partition_counts_everything_twice(self):
+        assert partition_useful_bytes(1000, 4) == 8000
+
+    def test_select_rejects_kept_above_input(self):
+        with pytest.raises(ModelError):
+            select_useful_bytes(10, 11, 4)
+
+    def test_rejects_bad_itemsize(self):
+        with pytest.raises(ModelError):
+            pad_useful_bytes(10, 10, 0)
+        with pytest.raises(ModelError):
+            partition_useful_bytes(10, -4)
+
+    def test_rejects_negative_dims(self):
+        with pytest.raises(ModelError):
+            pad_useful_bytes(-1, 10, 4)
+        with pytest.raises(ModelError):
+            partition_useful_bytes(-1, 4)

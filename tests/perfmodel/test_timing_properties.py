@@ -1,0 +1,79 @@
+"""Invariants of the event-driven timing replay."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel import gbps
+from repro.simgpu import Buffer, get_device, launch, replay_timing
+
+
+def copy_kernel(wg, src, dst, n, cf):
+    pos = wg.group_index * cf * wg.size + wg.wi_id
+    for _ in range(cf):
+        m = pos[pos < n]
+        if m.size:
+            vals = yield from wg.load(src, m)
+            yield from wg.store(dst, m, vals)
+        pos = pos + wg.size
+
+
+def run_trace(device, n, cf, wg, resident, seed):
+    src = Buffer(np.arange(n, dtype=np.float32), "src",
+                 count_transactions=False)
+    dst = Buffer(np.zeros(n, dtype=np.float32), "dst",
+                 count_transactions=False)
+    trace = []
+    grid = (n + cf * wg - 1) // (cf * wg)
+    launch(copy_kernel, grid_size=grid, wg_size=wg, device=device,
+           args=(src, dst, n, cf), resident_limit=resident,
+           trace=trace, seed=seed)
+    return trace
+
+
+class TestReplayInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.sampled_from([4096, 16384, 65536]),
+           cf=st.integers(1, 8),
+           resident=st.integers(1, 64),
+           seed=st.integers(0, 2**16))
+    def test_makespan_bounds(self, n, cf, resident, seed):
+        device = get_device("maxwell")
+        trace = run_trace(device, n, cf, 64, resident, seed)
+        t = replay_timing(trace, device, resident_limit=resident)
+        # Makespan can never beat the fluid bandwidth bound...
+        assert t.makespan_us >= t.busy_us * 0.999
+        # ...and every group finished within the makespan.
+        assert max(t.per_group_finish.values()) == pytest.approx(t.makespan_us)
+        assert t.n_events == len(trace)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_more_residency_never_slower(self, seed):
+        device = get_device("maxwell")
+        times = []
+        for resident in (2, 8, 32):
+            trace = run_trace(device, 65536, 4, 64, resident, seed)
+            times.append(replay_timing(trace, device,
+                                       resident_limit=resident).makespan_us)
+        assert times[0] >= times[1] * 0.99 >= times[2] * 0.98
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_replay_deterministic_for_a_trace(self, seed):
+        device = get_device("maxwell")
+        trace = run_trace(device, 16384, 2, 64, 8, seed)
+        a = replay_timing(trace, device, resident_limit=8).makespan_us
+        b = replay_timing(trace, device, resident_limit=8).makespan_us
+        assert a == b
+
+    def test_faster_device_is_faster(self):
+        trace_args = (65536, 8, 64, 64, 3)
+        times = {}
+        for name in ("hawaii", "kaveri"):
+            device = get_device(name)
+            trace = run_trace(device, *trace_args[:-1], trace_args[-1])
+            times[name] = replay_timing(trace, device,
+                                        resident_limit=64).makespan_us
+        assert times["hawaii"] < times["kaveri"]

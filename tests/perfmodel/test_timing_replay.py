@@ -1,0 +1,143 @@
+"""Event-driven timing replay vs the calibrated analytic model.
+
+The replay knows nothing about the analytic occupancy ramp — it only
+has a memory latency, an issue slot, and a shared-bandwidth fluid
+bound.  These tests verify that the paper's performance phenomena
+*emerge* from that queueing model and agree with the calibrated ramp,
+which is the strongest internal validation the reproduction can give
+its timing layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import not_equal_to
+from repro.core.irregular import run_irregular_ds
+from repro.errors import ModelError
+from repro.perfmodel import gbps, price_pipeline
+from repro.simgpu import Buffer, Stream, get_device, launch
+from repro.simgpu.timing import replay_timing
+
+
+def staged_copy_kernel(wg, src, dst, n, cf):
+    """Load-all-then-store-all (the DS kernels' phase structure)."""
+    pos = wg.group_index * cf * wg.size + wg.wi_id
+    staged = []
+    for _ in range(cf):
+        m = pos[pos < n]
+        vals = yield from wg.load(src, m)
+        staged.append((m, vals))
+        pos = pos + wg.size
+    for m, vals in staged:
+        yield from wg.store(dst, m, vals)
+
+
+def run_copy(device, n, resident_limit, cf=8, wg=256, seed=1):
+    src = Buffer(np.arange(n, dtype=np.float32), "src",
+                 count_transactions=False)
+    dst = Buffer(np.zeros(n, dtype=np.float32), "dst",
+                 count_transactions=False)
+    trace = []
+    launch(staged_copy_kernel, grid_size=n // (cf * wg), wg_size=wg,
+           device=device, args=(src, dst, n, cf),
+           resident_limit=resident_limit, trace=trace, seed=seed)
+    return replay_timing(trace, device, resident_limit=resident_limit)
+
+
+class TestEmergentSaturation:
+    N = 256 * 1024
+
+    def test_throughput_monotone_in_residency(self, maxwell):
+        tps = [gbps(2 * self.N * 4, run_copy(maxwell, self.N, r).makespan_us)
+               for r in (1, 2, 4, 8, 32)]
+        assert all(b >= a * 0.99 for a, b in zip(tps, tps[1:]))
+
+    def test_low_residency_is_latency_bound(self, maxwell):
+        t = run_copy(maxwell, self.N, 1)
+        assert t.bandwidth_utilization < 0.3
+
+    def test_high_residency_saturates_bandwidth(self, maxwell):
+        t = run_copy(maxwell, self.N, 64)
+        assert t.bandwidth_utilization > 0.85
+
+    def test_ramp_tracks_the_calibrated_model(self, maxwell):
+        """Replay vs analytic mlp ramp within 35% at every residency —
+        two independent formulations of the same physics."""
+        from repro.perfmodel import get_calibration
+        calib = get_calibration("maxwell")
+        peak = maxwell.bandwidth_bytes_per_us() * calib.streaming_eff / 1e3
+        for r in (1, 2, 4, 8, 16, 64):
+            t = run_copy(maxwell, self.N, r)
+            replay_tp = gbps(2 * self.N * 4, t.makespan_us)
+            analytic_tp = maxwell.mlp_efficiency(r) * peak
+            assert 0.65 * analytic_tp <= replay_tp <= 1.35 * analytic_tp, (
+                f"R={r}: replay {replay_tp:.1f} vs analytic {analytic_tp:.1f}")
+
+    def test_kepler_single_group_floor(self):
+        """Figure 2's ~10 GB/s floor emerges on the K20 too."""
+        kp = get_device("kepler")
+        t = run_copy(kp, self.N, 1)
+        floor = gbps(2 * self.N * 4, t.makespan_us)
+        assert 4.0 <= floor <= 16.0
+
+
+class TestChainBehaviour:
+    def test_ds_chain_replays_close_to_analytic_price(self, maxwell):
+        """End to end: one real DS compaction launch, priced both ways."""
+        n = 128 * 1024
+        a = (np.arange(n) % 4).astype(np.float32)
+        buf = Buffer(a, "a", count_transactions=False)
+        trace = []
+        stream = Stream(maxwell, seed=7)
+        result = run_irregular_ds(buf, not_equal_to(0.0), stream,
+                                  wg_size=256, coarsening=8)
+        # Re-run with a trace (fresh buffer: the first run compacted it).
+        buf2 = Buffer(a, "a", count_transactions=False)
+        from repro.core.flags import make_flags, make_wg_counter
+        from repro.core.irregular import irregular_ds_kernel
+        stream2 = Stream(maxwell, seed=7)
+        flags = make_flags(result.geometry.n_workgroups)
+        stream2.launch(
+            irregular_ds_kernel,
+            grid_size=result.geometry.n_workgroups, wg_size=256,
+            args=(buf2, buf2, flags, make_wg_counter(), not_equal_to(0.0),
+                  result.geometry, n),
+            trace=trace,
+        )
+        replay = replay_timing(trace, maxwell)
+        analytic = price_pipeline([result.counters], maxwell).total_us
+        ratio = replay.makespan_us / analytic
+        assert 0.3 <= ratio <= 3.0, (replay.makespan_us, analytic)
+
+    def test_flag_chain_serializes_atomics(self, maxwell):
+        """A pure chain kernel: makespan grows linearly with the chain
+        length, at roughly the flag latency per hop."""
+        def chain_kernel(wg, flags):
+            gid = wg.group_index
+            yield from wg.spin_until(flags, gid, lambda v: v != 0)
+            yield from wg.atomic_or(flags, gid + 1, 1)
+
+        times = {}
+        for n_groups in (16, 64):
+            flags = Buffer(np.zeros(n_groups + 1, dtype=np.int64), "flags")
+            flags.data[0] = 1
+            trace = []
+            launch(chain_kernel, grid_size=n_groups, wg_size=32,
+                   device=maxwell, args=(flags,), order="ascending",
+                   trace=trace, resident_limit=8)
+            times[n_groups] = replay_timing(
+                trace, maxwell, resident_limit=8).makespan_us
+        growth = (times[64] - times[16]) / 48
+        assert growth == pytest.approx(2 * maxwell.flag_latency_us, rel=0.5)
+
+
+class TestValidation:
+    def test_empty_trace_rejected(self, maxwell):
+        with pytest.raises(ModelError):
+            replay_timing([], maxwell)
+
+    def test_bad_resident_limit_rejected(self, maxwell):
+        t = [(0, __import__("repro.simgpu.events",
+                            fromlist=["Barrier"]).Barrier())]
+        with pytest.raises(ModelError):
+            replay_timing(t, maxwell, resident_limit=0)

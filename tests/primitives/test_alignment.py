@@ -1,0 +1,63 @@
+"""Alignment-driven padding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError
+from repro.primitives import alignment_pad_columns, ds_pad_to_alignment
+
+
+class TestAlignmentCalculation:
+    @pytest.mark.parametrize("cols,itemsize,alignment,expected", [
+        (30, 4, 128, 2),    # 30 f32 = 120 B -> pad 2 -> 128 B
+        (32, 4, 128, 0),    # already aligned
+        (33, 4, 128, 31),   # worst case: nearly a full segment
+        (15, 8, 128, 1),    # f64: 16 elements per 128 B
+        (100, 4, 256, 28),  # 256-byte target
+        (1, 4, 4, 0),       # trivial alignment
+    ])
+    def test_pad_columns(self, cols, itemsize, alignment, expected):
+        assert alignment_pad_columns(cols, itemsize, alignment) == expected
+
+    def test_result_is_always_aligned(self):
+        for cols in range(1, 200):
+            pad = alignment_pad_columns(cols, 4, 128)
+            assert (cols + pad) * 4 % 128 == 0
+            assert 0 <= pad < 32
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(LaunchError):
+            alignment_pad_columns(10, 4, 0)
+        with pytest.raises(LaunchError):
+            alignment_pad_columns(10, 4, 130)  # not a multiple of itemsize
+
+    def test_rejects_bad_cols(self):
+        with pytest.raises(LaunchError):
+            alignment_pad_columns(0, 4, 128)
+
+
+class TestPadToAlignment:
+    def test_pads_and_preserves_data(self, rng):
+        m = rng.random((16, 30)).astype(np.float32)
+        r = ds_pad_to_alignment(m, 128, wg_size=32, fill=0.0)
+        assert r.extras["pad"] == 2
+        assert r.output.shape == (16, 32)
+        assert np.array_equal(r.output[:, :30], m)
+        assert r.output.strides[0] % 128 == 0
+
+    def test_already_aligned_is_a_noop(self, rng):
+        m = rng.random((8, 32)).astype(np.float32)
+        r = ds_pad_to_alignment(m, 128)
+        assert r.extras["pad"] == 0
+        assert r.num_launches == 0
+        assert np.array_equal(r.output, m)
+
+    def test_f64(self, rng):
+        m = rng.random((4, 15)).astype(np.float64)
+        r = ds_pad_to_alignment(m, 128, wg_size=32)
+        assert r.extras["pad"] == 1
+        assert r.output.shape == (4, 16)
+
+    def test_rejects_1d(self):
+        with pytest.raises(LaunchError):
+            ds_pad_to_alignment(np.zeros(8, dtype=np.float32))

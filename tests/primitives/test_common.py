@@ -1,0 +1,56 @@
+"""The shared primitive plumbing: stream resolution and result envelope."""
+
+import numpy as np
+import pytest
+
+from repro.primitives.common import DEFAULT_DEVICE, PrimitiveResult, resolve_stream
+from repro.simgpu import Stream, get_device
+from repro.simgpu.counters import LaunchCounters
+
+
+class TestResolveStream:
+    def test_none_defaults_to_maxwell(self):
+        s = resolve_stream(None)
+        assert s.device.name == DEFAULT_DEVICE == "maxwell"
+
+    def test_device_name(self):
+        assert resolve_stream("hawaii").device.name == "hawaii"
+
+    def test_device_spec(self):
+        assert resolve_stream(get_device("kepler")).device.name == "kepler"
+
+    def test_existing_stream_passes_through(self):
+        s = Stream("fermi", seed=5)
+        assert resolve_stream(s) is s
+
+    def test_seed_and_api_forwarded(self):
+        s = resolve_stream(None, api="cuda", seed=9)
+        assert s.api == "cuda" and s.seed == 9
+
+
+class TestPrimitiveResult:
+    def _result(self, n_launches=2):
+        counters = []
+        for i in range(n_launches):
+            c = LaunchCounters(kernel_name=f"k{i}", grid_size=2, wg_size=32,
+                               bytes_loaded=100, bytes_stored=50)
+            counters.append(c)
+        return PrimitiveResult(
+            output=np.zeros(4), counters=counters,
+            device=get_device("maxwell"), extras={"x": 1})
+
+    def test_launch_count_and_bytes(self):
+        r = self._result(3)
+        assert r.num_launches == 3
+        assert r.bytes_moved == 3 * 150
+
+    def test_total_counters_merges(self):
+        r = self._result(2)
+        total = r.total_counters
+        assert total.bytes_loaded == 200
+        assert "k0" in total.kernel_name and "k1" in total.kernel_name
+
+    def test_extras_default(self):
+        r = PrimitiveResult(output=np.zeros(1), counters=[],
+                            device=get_device("maxwell"))
+        assert r.extras == {}

@@ -1,0 +1,102 @@
+"""Ragged-to-uniform padding: the general per-group-constant regular DS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LaunchError
+from repro.primitives import ds_ragged_pad, ds_ragged_unpad
+
+
+def make_ragged(rng, n_rows, max_width):
+    widths = rng.integers(0, max_width + 1, n_rows)
+    if widths.sum() == 0:
+        widths[0] = 1
+    packed = rng.integers(0, 10_000, int(widths.sum())).astype(np.float32)
+    return packed, widths
+
+
+class TestRaggedPad:
+    def test_rows_land_at_uniform_stride(self, rng):
+        packed, widths = make_ragged(rng, 40, 25)
+        r = ds_ragged_pad(packed, widths, fill=0.0, wg_size=64)
+        m = r.output
+        prefix = np.concatenate(([0], np.cumsum(widths)))
+        for i, w in enumerate(widths):
+            assert np.array_equal(m[i, :w], packed[prefix[i]:prefix[i] + w])
+            assert (m[i, w:] == 0.0).all()
+
+    def test_explicit_stride(self, rng):
+        packed, widths = make_ragged(rng, 10, 8)
+        r = ds_ragged_pad(packed, widths, stride=32, wg_size=32)
+        assert r.output.shape == (10, 32)
+
+    def test_uniform_widths_reduce_to_matrix_padding(self, rng):
+        """With equal widths the result equals ds_pad of the 2-D view."""
+        from repro.primitives import ds_pad
+        widths = np.full(12, 7)
+        packed = rng.integers(0, 99, 84).astype(np.float32)
+        ragged = ds_ragged_pad(packed, widths, stride=10, fill=0.0,
+                               wg_size=32).output
+        matrix = ds_pad(packed.reshape(12, 7), 3, fill=0.0,
+                        wg_size=32).output
+        assert np.array_equal(ragged, matrix)
+
+    def test_empty_rows_allowed(self, rng):
+        widths = np.asarray([3, 0, 0, 2, 0, 4])
+        packed = np.arange(9, dtype=np.float32)
+        m = ds_ragged_pad(packed, widths, fill=-1.0, wg_size=32).output
+        assert np.array_equal(m[0, :3], [0, 1, 2])
+        assert (m[1] == -1.0).all() and (m[2] == -1.0).all()
+        assert np.array_equal(m[3, :2], [3, 4])
+        assert np.array_equal(m[5, :4], [5, 6, 7, 8])
+
+    def test_single_launch_in_place(self, rng):
+        packed, widths = make_ragged(rng, 20, 10)
+        assert ds_ragged_pad(packed, widths, wg_size=32).num_launches == 1
+
+    def test_rejects_inconsistent_widths(self):
+        with pytest.raises(LaunchError, match="sum"):
+            ds_ragged_pad(np.zeros(5, dtype=np.float32), [2, 2])
+
+    def test_rejects_narrow_stride(self):
+        with pytest.raises(LaunchError, match="narrower"):
+            ds_ragged_pad(np.zeros(6, dtype=np.float32), [2, 4], stride=3)
+
+    def test_race_tracking_clean(self, rng):
+        packed, widths = make_ragged(rng, 30, 20)
+        ds_ragged_pad(packed, widths, wg_size=32, race_tracking=True)
+
+
+class TestRaggedUnpad:
+    def test_packs_rows_back(self, rng):
+        widths = np.asarray([4, 1, 0, 3])
+        m = rng.integers(0, 99, (4, 6)).astype(np.float32)
+        out = ds_ragged_unpad(m, widths, wg_size=32).output
+        expected = np.concatenate([m[i, :w] for i, w in enumerate(widths)])
+        assert np.array_equal(out, expected)
+
+    def test_rejects_bad_row_count(self, rng):
+        m = rng.random((3, 4)).astype(np.float32)
+        with pytest.raises(LaunchError, match="rows"):
+            ds_ragged_unpad(m, [1, 2])
+
+    def test_rejects_1d(self):
+        with pytest.raises(LaunchError):
+            ds_ragged_unpad(np.zeros(8, dtype=np.float32), [8])
+
+
+class TestRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(n_rows=st.integers(1, 30), max_width=st.integers(1, 24),
+           seed=st.integers(0, 2**16))
+    def test_pad_then_unpad_is_identity(self, n_rows, max_width, seed):
+        rng = np.random.default_rng(seed)
+        packed, widths = make_ragged(rng, n_rows, max_width)
+        padded = ds_ragged_pad(packed, widths, wg_size=32, coarsening=2,
+                               seed=seed, race_tracking=True)
+        back = ds_ragged_unpad(padded.output, widths, wg_size=32,
+                               coarsening=2, seed=seed + 1,
+                               race_tracking=True)
+        assert np.array_equal(back.output, packed)

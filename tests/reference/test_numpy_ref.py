@@ -1,0 +1,89 @@
+"""The pure-NumPy oracle semantics themselves."""
+
+import numpy as np
+import pytest
+
+from repro.core.predicates import is_even
+from repro.reference import (
+    compact_ref,
+    copy_if_ref,
+    pad_ref,
+    partition_ref,
+    remove_if_ref,
+    unique_ref,
+    unpad_ref,
+)
+
+
+class TestPadUnpad:
+    def test_pad_shape_and_fill(self):
+        m = np.arange(6).reshape(2, 3)
+        out = pad_ref(m, 2, fill=-1)
+        assert out.shape == (2, 5)
+        assert np.array_equal(out[:, :3], m)
+        assert (out[:, 3:] == -1).all()
+
+    def test_unpad_inverse_of_pad(self):
+        m = np.arange(12).reshape(3, 4)
+        assert np.array_equal(unpad_ref(pad_ref(m, 2), 2), m)
+
+    def test_pad_rejects_1d_and_negative(self):
+        with pytest.raises(ValueError):
+            pad_ref(np.arange(4), 1)
+        with pytest.raises(ValueError):
+            pad_ref(np.zeros((2, 2)), -1)
+
+    def test_unpad_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            unpad_ref(np.zeros((2, 3)), 3)
+
+    def test_unpad_returns_copy(self):
+        m = np.arange(6, dtype=float).reshape(2, 3)
+        out = unpad_ref(m, 1)
+        out[0, 0] = 99
+        assert m[0, 0] == 0
+
+
+class TestSelectFamily:
+    def test_remove_keeps_complement(self):
+        a = np.asarray([1, 2, 3, 4, 5])
+        assert np.array_equal(remove_if_ref(a, is_even()), [1, 3, 5])
+
+    def test_copy_keeps_matching(self):
+        a = np.asarray([1, 2, 3, 4, 5])
+        assert np.array_equal(copy_if_ref(a, is_even()), [2, 4])
+
+    def test_compact_drops_value(self):
+        a = np.asarray([3.0, 0.0, 7.0, 0.0])
+        assert np.array_equal(compact_ref(a, 0.0), [3.0, 7.0])
+
+    def test_empty_inputs(self):
+        e = np.asarray([], dtype=np.float32)
+        assert remove_if_ref(e, is_even()).size == 0
+        assert compact_ref(e, 0).size == 0
+        assert unique_ref(e).size == 0
+
+
+class TestUnique:
+    def test_figure15(self):
+        a = np.asarray([1, 1, 2, 3, 3, 3, 1])
+        assert np.array_equal(unique_ref(a), [1, 2, 3, 1])
+
+    def test_not_global_dedup(self):
+        assert np.array_equal(unique_ref(np.asarray([1, 2, 1])), [1, 2, 1])
+
+    def test_single(self):
+        assert np.array_equal(unique_ref(np.asarray([9])), [9])
+
+
+class TestPartition:
+    def test_stable_split(self):
+        a = np.asarray([5, 2, 8, 1, 4])
+        out, n_true = partition_ref(a, is_even())
+        assert n_true == 3
+        assert np.array_equal(out, [2, 8, 4, 5, 1])
+
+    def test_counts_sum(self):
+        a = np.arange(10)
+        out, n_true = partition_ref(a, is_even())
+        assert out.size == 10 and n_true == 5

@@ -1,0 +1,134 @@
+"""Buffer storage, accounting and read-before-overwrite tracking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataRaceError, LaunchError
+from repro.simgpu.buffers import Buffer
+
+
+class TestStorage:
+    def test_copies_and_flattens_input(self):
+        src = np.arange(12, dtype=np.float32).reshape(3, 4)
+        buf = Buffer(src, "b")
+        assert buf.size == 12 and buf.data.ndim == 1
+        src[0, 0] = 99  # the buffer must own its storage
+        assert buf.data[0] == 0
+
+    def test_copy_false_shares_storage(self):
+        src = np.arange(8, dtype=np.float32)
+        buf = Buffer(src, "b", copy=False)
+        buf.data[0] = 42
+        assert src[0] == 42
+
+    def test_copy_false_rejects_noncontiguous(self):
+        src = np.arange(16, dtype=np.float32)[::2]
+        with pytest.raises(LaunchError, match="contiguous"):
+            Buffer(src, "b", copy=False)
+
+    def test_copy_false_rejects_2d(self):
+        with pytest.raises(LaunchError):
+            Buffer(np.zeros((2, 2)), "b", copy=False)
+
+    def test_properties(self):
+        buf = Buffer(np.zeros(10, dtype=np.float64), "b")
+        assert buf.itemsize == 8 and buf.nbytes == 80
+
+    def test_to_numpy_is_a_copy(self):
+        buf = Buffer(np.arange(4), "b")
+        out = buf.to_numpy()
+        out[0] = 99
+        assert buf.data[0] == 0
+
+    def test_rejects_bad_transaction_bytes(self):
+        with pytest.raises(LaunchError):
+            Buffer(np.zeros(4), "b", transaction_bytes=0)
+
+
+class TestAccounting:
+    def test_gather_counts_elements(self):
+        buf = Buffer(np.arange(100, dtype=np.float32), "b")
+        out = buf.gather(np.arange(10))
+        assert np.array_equal(out, np.arange(10, dtype=np.float32))
+        assert buf.stats.loads_elems == 10
+        assert buf.stats.stores_elems == 0
+
+    def test_scatter_counts_elements(self):
+        buf = Buffer(np.zeros(100, dtype=np.float32), "b")
+        buf.scatter(np.arange(5), np.ones(5, dtype=np.float32))
+        assert buf.stats.stores_elems == 5
+        assert np.array_equal(buf.data[:5], np.ones(5))
+
+    def test_contiguous_access_transactions(self):
+        # 128-byte transactions over f32: 32 elements per transaction.
+        buf = Buffer(np.zeros(256, dtype=np.float32), "b")
+        buf.gather(np.arange(64))
+        assert buf.stats.load_transactions == 2
+
+    def test_strided_access_inflates_transactions(self):
+        buf = Buffer(np.zeros(2048, dtype=np.float32), "b")
+        buf.gather(np.arange(0, 2048, 32))  # one element per segment
+        assert buf.stats.load_transactions == 64
+
+    def test_transaction_counting_can_be_disabled(self):
+        buf = Buffer(np.zeros(64, dtype=np.float32), "b",
+                     count_transactions=False)
+        buf.gather(np.arange(64))
+        assert buf.stats.load_transactions == 0
+        assert buf.stats.loads_elems == 64
+
+    def test_stats_reset(self):
+        buf = Buffer(np.zeros(8, dtype=np.float32), "b")
+        buf.gather(np.arange(8))
+        buf.stats.reset()
+        assert buf.stats.loads_elems == 0
+
+    def test_bytes_helpers(self):
+        buf = Buffer(np.zeros(8, dtype=np.float64), "b")
+        buf.gather(np.arange(4))
+        assert buf.stats.bytes_loaded(buf.itemsize) == 32
+
+    def test_empty_access_is_free(self):
+        buf = Buffer(np.zeros(8, dtype=np.float32), "b")
+        buf.gather(np.asarray([], dtype=np.int64))
+        assert buf.stats.loads_elems == 0
+        assert buf.stats.load_transactions == 0
+
+
+class TestRaceTracking:
+    def test_store_to_unread_element_raises(self):
+        buf = Buffer(np.arange(16, dtype=np.float32), "b")
+        buf.arm_race_tracking()
+        buf.expect_reads(reader_id=1, idx=np.arange(8))
+        with pytest.raises(DataRaceError) as exc:
+            buf.scatter(np.asarray([3]), np.asarray([9.0]), writer_id=2)
+        assert exc.value.index == 3
+        assert exc.value.writer == 2
+
+    def test_store_after_read_is_fine(self):
+        buf = Buffer(np.arange(16, dtype=np.float32), "b")
+        buf.arm_race_tracking()
+        buf.expect_reads(reader_id=1, idx=np.arange(8))
+        buf.gather(np.arange(8), reader_id=1)
+        buf.scatter(np.asarray([3]), np.asarray([9.0]), writer_id=2)  # no raise
+
+    def test_own_writes_are_allowed(self):
+        # A work-group may overwrite its own not-yet-loaded region (the
+        # DS kernels never do, but the tracker is per-reader).
+        buf = Buffer(np.arange(16, dtype=np.float32), "b")
+        buf.arm_race_tracking()
+        buf.expect_reads(reader_id=7, idx=np.arange(8))
+        buf.scatter(np.asarray([2]), np.asarray([1.0]), writer_id=7)  # no raise
+
+    def test_disarm_stops_tracking(self):
+        buf = Buffer(np.arange(16, dtype=np.float32), "b")
+        buf.arm_race_tracking()
+        buf.expect_reads(reader_id=1, idx=np.arange(8))
+        buf.disarm_race_tracking()
+        buf.scatter(np.asarray([0]), np.asarray([5.0]), writer_id=2)  # no raise
+        assert not buf.race_tracking_armed
+
+    def test_expect_reads_noop_when_disarmed(self):
+        buf = Buffer(np.arange(4, dtype=np.float32), "b")
+        buf.expect_reads(reader_id=1, idx=np.arange(2))
+        buf.scatter(np.asarray([0]), np.asarray([5.0]), writer_id=2)  # no raise

@@ -1,0 +1,114 @@
+"""Device catalog and spec validation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.simgpu.device import (
+    DEVICES,
+    DeviceSpec,
+    get_device,
+    list_devices,
+)
+
+
+class TestCatalog:
+    def test_catalog_has_the_papers_seven_platforms(self):
+        assert set(DEVICES) == {
+            "fermi", "kepler", "maxwell", "hawaii", "kaveri",
+            "cpu-mxpa", "cpu-intel",
+        }
+
+    def test_get_device_is_case_insensitive(self):
+        assert get_device("MAXWELL").name == "maxwell"
+        assert get_device(" Kepler ").name == "kepler"
+
+    def test_get_device_unknown_lists_catalog(self):
+        with pytest.raises(ModelError, match="known devices"):
+            get_device("volta")
+
+    def test_list_devices_is_stable_and_complete(self):
+        names = [d.name for d in list_devices()]
+        assert names == ["fermi", "kepler", "maxwell", "hawaii", "kaveri",
+                         "cpu-mxpa", "cpu-intel"]
+
+    def test_peak_bandwidths_match_paper_quotes(self):
+        assert get_device("kepler").peak_bandwidth_gbps == pytest.approx(208.0)
+        assert get_device("maxwell").peak_bandwidth_gbps == pytest.approx(224.0)
+        assert get_device("hawaii").peak_bandwidth_gbps == pytest.approx(320.0)
+        assert get_device("cpu-mxpa").peak_bandwidth_gbps == pytest.approx(25.6)
+
+    def test_shuffle_availability_matches_paper(self):
+        # CUDA shuffle exists on Kepler+ only; no OpenCL stack exposes it.
+        assert not get_device("fermi").has_shuffle_cuda
+        assert get_device("kepler").has_shuffle_cuda
+        assert get_device("maxwell").has_shuffle_cuda
+        for d in list_devices():
+            assert not d.has_shuffle_opencl
+
+    def test_kepler_lacks_l1_for_global(self):
+        assert not get_device("kepler").has_l1_for_global
+        assert get_device("fermi").has_l1_for_global
+
+    def test_amd_wavefront_is_64(self):
+        assert get_device("hawaii").warp_size == 64
+        assert get_device("kaveri").warp_size == 64
+
+    def test_cpu_devices_flagged(self):
+        assert get_device("cpu-mxpa").is_cpu
+        assert get_device("cpu-intel").is_cpu
+        assert not get_device("maxwell").is_cpu
+
+
+class TestDerivedQuantities:
+    def test_max_resident_wgs(self):
+        d = get_device("maxwell")
+        assert d.max_resident_wgs == d.num_compute_units * d.max_wg_per_cu
+
+    def test_max_coarsening_scales_with_itemsize(self):
+        d = get_device("maxwell")
+        assert d.max_coarsening(4) == d.onchip_bytes_per_workitem // 4
+        assert d.max_coarsening(8) == d.onchip_bytes_per_workitem // 8
+        # Figure 6: the cliff appears at coarsening 40/48 for f32.
+        assert 32 <= d.max_coarsening(4) < 40
+
+    def test_max_coarsening_rejects_bad_itemsize(self):
+        with pytest.raises(ModelError):
+            get_device("maxwell").max_coarsening(0)
+
+    def test_mlp_efficiency_ramp(self):
+        d = get_device("maxwell")
+        assert d.mlp_efficiency(0) == 0.0
+        assert d.mlp_efficiency(d.saturation_wgs) == pytest.approx(1.0)
+        assert d.mlp_efficiency(10 * d.saturation_wgs) == 1.0
+        assert 0 < d.mlp_efficiency(1) < 1
+
+    def test_bandwidth_bytes_per_us(self):
+        d = get_device("maxwell")
+        assert d.bandwidth_bytes_per_us() == pytest.approx(224e3)
+
+
+class TestSpecValidation:
+    def _spec(self, **overrides):
+        base = dict(
+            name="x", marketing_name="X", vendor="nvidia", architecture="T",
+            peak_bandwidth_gbps=100.0, num_compute_units=4, max_wg_per_cu=2,
+        )
+        base.update(overrides)
+        return DeviceSpec(**base)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ModelError):
+            self._spec(peak_bandwidth_gbps=0)
+
+    def test_rejects_nonpositive_cus(self):
+        with pytest.raises(ModelError):
+            self._spec(num_compute_units=0)
+
+    def test_rejects_wg_size_not_warp_multiple(self):
+        with pytest.raises(ModelError):
+            self._spec(max_wg_size=100, warp_size=32)
+
+    def test_spec_is_frozen(self):
+        d = get_device("maxwell")
+        with pytest.raises(Exception):
+            d.peak_bandwidth_gbps = 1.0

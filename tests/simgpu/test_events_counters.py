@@ -1,0 +1,77 @@
+"""Event tokens and launch-counter aggregation."""
+
+import pytest
+
+from repro.simgpu.counters import LaunchCounters
+from repro.simgpu.events import (
+    AtomicRMW,
+    Barrier,
+    EventKind,
+    GlobalLoad,
+    GlobalStore,
+    LocalAccess,
+    Spin,
+)
+
+
+class TestEvents:
+    def test_kinds(self):
+        assert GlobalLoad(4, 1, "b").kind is EventKind.GLOBAL_LOAD
+        assert GlobalStore(4, 1, "b").kind is EventKind.GLOBAL_STORE
+        assert AtomicRMW("add", 8, "f").kind is EventKind.ATOMIC
+        assert Barrier().kind is EventKind.BARRIER
+        assert Spin("f").kind is EventKind.SPIN
+        assert LocalAccess(16).kind is EventKind.LOCAL
+
+    def test_payload_fields(self):
+        e = GlobalLoad(1024, 8, "src")
+        assert e.bytes == 1024 and e.transactions == 8
+        assert e.buffer_name == "src"
+
+    def test_atomic_records_op(self):
+        assert AtomicRMW("cas", 8, "f").op == "cas"
+
+    def test_barrier_scope(self):
+        assert Barrier("global").scope == "global"
+        assert Barrier().scope == "local"
+
+    def test_events_are_slotted(self):
+        with pytest.raises(AttributeError):
+            GlobalLoad(4, 1, "b").arbitrary = 1
+
+
+class TestLaunchCounters:
+    def test_bytes_moved_and_transactions(self):
+        c = LaunchCounters(bytes_loaded=100, bytes_stored=50,
+                           load_transactions=3, store_transactions=2)
+        assert c.bytes_moved == 150
+        assert c.transactions == 5
+
+    def test_merge_sums_and_maxes(self):
+        a = LaunchCounters(kernel_name="a", grid_size=4, wg_size=64,
+                           bytes_loaded=10, n_atomics=1, peak_resident=4,
+                           steps=7, completed_wgs=4)
+        b = LaunchCounters(kernel_name="b", grid_size=2, wg_size=128,
+                           bytes_stored=20, n_spins=3, peak_resident=2,
+                           steps=5, completed_wgs=2)
+        m = a.merge(b)
+        assert m.kernel_name == "a+b"
+        assert m.grid_size == 6
+        assert m.wg_size == 128  # max
+        assert m.bytes_moved == 30
+        assert m.n_atomics == 1 and m.n_spins == 3
+        assert m.peak_resident == 4  # max
+        assert m.steps == 12 and m.completed_wgs == 6
+
+    def test_merge_combines_extras(self):
+        a = LaunchCounters()
+        a.extras["x"] = 1.0
+        b = LaunchCounters()
+        b.extras["y"] = 2.0
+        m = a.merge(b)
+        assert m.extras == {"x": 1.0, "y": 2.0}
+
+    def test_summary_is_one_line(self):
+        c = LaunchCounters(kernel_name="k", grid_size=2, wg_size=32)
+        s = c.summary()
+        assert "\n" not in s and "k" in s

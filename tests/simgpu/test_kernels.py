@@ -1,0 +1,49 @@
+"""The shared utility kernels."""
+
+import numpy as np
+
+from repro.simgpu import Buffer, copy_kernel, fill_kernel, launch
+
+
+class TestCopyKernel:
+    def test_offset_copy(self, maxwell):
+        src = Buffer(np.arange(100, dtype=np.float32), "src")
+        dst = Buffer(np.zeros(300, dtype=np.float32), "dst")
+        launch(copy_kernel, grid_size=2, wg_size=32, device=maxwell,
+               args=(src, dst, 100, 0, 150, 2))
+        assert np.array_equal(dst.data[150:250], src.data)
+        assert (dst.data[:150] == 0).all() and (dst.data[250:] == 0).all()
+
+    def test_source_offset(self, maxwell):
+        src = Buffer(np.arange(100, dtype=np.float32), "src")
+        dst = Buffer(np.zeros(50, dtype=np.float32), "dst")
+        launch(copy_kernel, grid_size=1, wg_size=32, device=maxwell,
+               args=(src, dst, 50, 50, 0, 2))
+        assert np.array_equal(dst.data, src.data[50:])
+
+    def test_partial_final_tile(self, maxwell):
+        src = Buffer(np.arange(70, dtype=np.float32), "src")
+        dst = Buffer(np.zeros(70, dtype=np.float32), "dst")
+        launch(copy_kernel, grid_size=2, wg_size=32, device=maxwell,
+               args=(src, dst, 70, 0, 0, 2))
+        assert np.array_equal(dst.data, src.data)
+
+    def test_reexported_from_partition_for_compatibility(self):
+        from repro.primitives.partition import copy_kernel as ck
+        assert ck is copy_kernel
+
+
+class TestFillKernel:
+    def test_fill_range(self, maxwell):
+        dst = Buffer(np.zeros(200, dtype=np.float32), "dst")
+        launch(fill_kernel, grid_size=2, wg_size=32, device=maxwell,
+               args=(dst, 7.5, 100, 50, 2))
+        assert (dst.data[50:150] == 7.5).all()
+        assert (dst.data[:50] == 0).all() and (dst.data[150:] == 0).all()
+
+    def test_fill_respects_dtype(self, maxwell):
+        dst = Buffer(np.zeros(64, dtype=np.int64), "dst")
+        launch(fill_kernel, grid_size=1, wg_size=32, device=maxwell,
+               args=(dst, 42, 64, 0, 2))
+        assert (dst.data == 42).all()
+        assert dst.data.dtype == np.int64

@@ -1,0 +1,175 @@
+"""Cooperative scheduler: dispatch orders, residency, deadlock detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError, LaunchError
+from repro.simgpu import Buffer, Stream, get_device
+from repro.simgpu.scheduler import dispatch_order, launch
+
+
+def copy_kernel(wg, src, dst, n):
+    pos = wg.group_index * wg.size + wg.wi_id
+    m = pos < n
+    vals = yield from wg.load(src, pos[m])
+    yield from wg.store(dst, pos[m], vals)
+
+
+def chain_kernel(wg, flags):
+    """Spin on flag[gid], set flag[gid+1] — a static dependency chain."""
+    gid = wg.group_index
+    yield from wg.spin_until(flags, gid, lambda v: v != 0)
+    yield from wg.atomic_or(flags, gid + 1, 1)
+
+
+class TestDispatchOrder:
+    def test_ascending(self):
+        assert np.array_equal(dispatch_order(4, "ascending"), [0, 1, 2, 3])
+
+    def test_descending(self):
+        assert np.array_equal(dispatch_order(4, "descending"), [3, 2, 1, 0])
+
+    def test_random_is_seeded_permutation(self):
+        a = dispatch_order(16, "random", seed=7)
+        b = dispatch_order(16, "random", seed=7)
+        c = dispatch_order(16, "random", seed=8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+        assert np.array_equal(np.sort(a), np.arange(16))
+
+    def test_explicit_permutation(self):
+        assert np.array_equal(dispatch_order(3, [2, 0, 1]), [2, 0, 1])
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(LaunchError):
+            dispatch_order(3, [0, 0, 1])
+
+    def test_rejects_unknown_name(self):
+        with pytest.raises(LaunchError):
+            dispatch_order(3, "zigzag")
+
+
+class TestLaunchValidation:
+    def test_rejects_bad_grid(self, maxwell):
+        with pytest.raises(LaunchError):
+            launch(copy_kernel, grid_size=0, wg_size=32, device=maxwell)
+
+    def test_rejects_bad_wg_size(self, maxwell):
+        with pytest.raises(LaunchError):
+            launch(copy_kernel, grid_size=1, wg_size=0, device=maxwell)
+
+    def test_rejects_wg_size_over_device_limit(self):
+        hawaii = get_device("hawaii")  # max_wg_size = 256
+        with pytest.raises(LaunchError, match="exceeds"):
+            launch(copy_kernel, grid_size=1, wg_size=512, device=hawaii)
+
+    def test_rejects_bad_api(self, maxwell):
+        with pytest.raises(LaunchError):
+            launch(copy_kernel, grid_size=1, wg_size=32, device=maxwell,
+                   api="vulkan")
+
+    def test_rejects_non_generator_yield(self, maxwell):
+        def bad_kernel(wg):
+            yield 42  # not an Event
+
+        with pytest.raises(LaunchError, match="yield from"):
+            launch(bad_kernel, grid_size=1, wg_size=32, device=maxwell)
+
+
+class TestExecution:
+    def test_copy_correct_under_all_orders(self, maxwell):
+        for order in ("ascending", "descending", "random"):
+            src = Buffer(np.arange(500, dtype=np.float32), "src")
+            dst = Buffer(np.zeros(500, dtype=np.float32), "dst")
+            launch(copy_kernel, grid_size=8, wg_size=64, device=maxwell,
+                   args=(src, dst, 500), order=order, seed=5)
+            assert np.array_equal(dst.data, src.data), order
+
+    def test_counters_aggregate_bytes(self, maxwell):
+        src = Buffer(np.arange(512, dtype=np.float32), "src")
+        dst = Buffer(np.zeros(512, dtype=np.float32), "dst")
+        c = launch(copy_kernel, grid_size=8, wg_size=64, device=maxwell,
+                   args=(src, dst, 512))
+        assert c.bytes_loaded == 512 * 4
+        assert c.bytes_stored == 512 * 4
+        assert c.completed_wgs == 8
+        assert c.n_loads == 8 and c.n_stores == 8
+
+    def test_peak_resident_respects_limit(self, maxwell):
+        src = Buffer(np.arange(512, dtype=np.float32), "src")
+        dst = Buffer(np.zeros(512, dtype=np.float32), "dst")
+        c = launch(copy_kernel, grid_size=8, wg_size=64, device=maxwell,
+                   args=(src, dst, 512), resident_limit=3)
+        assert c.peak_resident <= 3
+
+    def test_same_seed_reproduces_step_count(self, maxwell):
+        def run():
+            src = Buffer(np.arange(512, dtype=np.float32), "src")
+            dst = Buffer(np.zeros(512, dtype=np.float32), "dst")
+            return launch(copy_kernel, grid_size=8, wg_size=64,
+                          device=maxwell, args=(src, dst, 512), seed=42).steps
+
+        assert run() == run()
+
+
+class TestChainsAndDeadlock:
+    def _flags(self, n):
+        f = Buffer(np.zeros(n + 1, dtype=np.int64), "flags")
+        f.data[0] = 1
+        return f
+
+    def test_static_chain_completes_with_full_residency(self, maxwell):
+        flags = self._flags(8)
+        c = launch(chain_kernel, grid_size=8, wg_size=32, device=maxwell,
+                   args=(flags,), order="descending")
+        assert c.completed_wgs == 8
+        assert (flags.data != 0).all()
+
+    def test_static_chain_deadlocks_under_adversarial_dispatch(self, maxwell):
+        # Descending dispatch + 2 hardware slots: the residents spin on
+        # predecessors that can never be scheduled (Figure 4's hazard).
+        flags = self._flags(8)
+        with pytest.raises(DeadlockError) as exc:
+            launch(chain_kernel, grid_size=8, wg_size=32, device=maxwell,
+                   args=(flags,), order="descending", resident_limit=2)
+        assert len(exc.value.waiting) == 2
+        assert exc.value.steps > 0
+
+    def test_static_chain_fine_with_ascending_dispatch(self, maxwell):
+        flags = self._flags(8)
+        c = launch(chain_kernel, grid_size=8, wg_size=32, device=maxwell,
+                   args=(flags,), order="ascending", resident_limit=2)
+        assert c.completed_wgs == 8
+
+    def test_spins_are_counted_and_bounded(self, maxwell):
+        flags = self._flags(16)
+        c = launch(chain_kernel, grid_size=16, wg_size=32, device=maxwell,
+                   args=(flags,), order="ascending", resident_limit=4)
+        # Parking means spins stay proportional to atomics x residents.
+        assert 0 <= c.n_spins <= c.n_atomics * 4 + 16
+
+
+class TestStream:
+    def test_records_accumulate(self, maxwell):
+        s = Stream(maxwell, seed=3)
+        src = Buffer(np.arange(64, dtype=np.float32), "src")
+        dst = Buffer(np.zeros(64, dtype=np.float32), "dst")
+        s.launch(copy_kernel, grid_size=2, wg_size=32, args=(src, dst, 64))
+        s.launch(copy_kernel, grid_size=2, wg_size=32, args=(src, dst, 64))
+        assert s.num_launches == 2
+        assert s.total().bytes_loaded == 2 * 64 * 4
+
+    def test_reset(self, maxwell):
+        s = Stream(maxwell)
+        src = Buffer(np.arange(64, dtype=np.float32), "src")
+        dst = Buffer(np.zeros(64, dtype=np.float32), "dst")
+        s.launch(copy_kernel, grid_size=2, wg_size=32, args=(src, dst, 64))
+        s.reset()
+        assert s.num_launches == 0
+
+    def test_accepts_device_name(self):
+        s = Stream("kepler")
+        assert s.device.name == "kepler"
+
+    def test_empty_total(self, maxwell):
+        assert Stream(maxwell).total().bytes_moved == 0

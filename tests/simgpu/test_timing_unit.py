@@ -1,0 +1,72 @@
+"""Unit-level semantics of the timing replay (hand-crafted event lists)."""
+
+import pytest
+
+from repro.simgpu import get_device
+from repro.simgpu.events import AtomicRMW, Barrier, GlobalLoad, LocalAccess, Spin
+from repro.simgpu.timing import BARRIER_COST_US, MEM_LATENCY_US, replay_timing
+
+
+@pytest.fixture
+def mx():
+    return get_device("maxwell")
+
+
+class TestEventSemantics:
+    def test_single_load_costs_latency_plus_transfer(self, mx):
+        t = replay_timing([(0, GlobalLoad(1024, 8, "a"))], mx)
+        assert t.makespan_us > MEM_LATENCY_US
+        assert t.busy_us > 0
+
+    def test_pipelined_same_direction_runs(self, mx):
+        """A run of loads pays the latency once; alternating directions
+        pays it per switch."""
+        loads = [(0, GlobalLoad(1024, 8, "a")) for _ in range(8)]
+        alternating = []
+        from repro.simgpu.events import GlobalStore
+        for i in range(4):
+            alternating.append((0, GlobalLoad(1024, 8, "a")))
+            alternating.append((0, GlobalStore(1024, 8, "a")))
+        run_t = replay_timing(loads, mx).makespan_us
+        alt_t = replay_timing(alternating, mx).makespan_us
+        assert alt_t > run_t * 2
+
+    def test_barrier_adds_fixed_cost(self, mx):
+        one = replay_timing([(0, Barrier())], mx).makespan_us
+        three = replay_timing([(0, Barrier())] * 3, mx).makespan_us
+        assert one == pytest.approx(BARRIER_COST_US)
+        assert three == pytest.approx(3 * BARRIER_COST_US)
+
+    def test_atomics_serialize_per_buffer_only(self, mx):
+        same = [(g, AtomicRMW("add", 8, "flags")) for g in range(4)]
+        different = [(g, AtomicRMW("add", 8, f"flags{g}")) for g in range(4)]
+        t_same = replay_timing(same, mx).makespan_us
+        t_diff = replay_timing(different, mx).makespan_us
+        assert t_same == pytest.approx(4 * mx.flag_latency_us)
+        assert t_diff == pytest.approx(mx.flag_latency_us)
+
+    def test_spin_waits_for_the_buffers_last_atomic(self, mx):
+        trace = [
+            (0, AtomicRMW("or", 8, "flags")),   # group 0 sets a flag
+            (1, Spin("flags")),                  # group 1 was polling it
+            (1, Barrier()),
+        ]
+        t = replay_timing(trace, mx)
+        assert t.per_group_finish[1] == pytest.approx(
+            mx.flag_latency_us + BARRIER_COST_US)
+
+    def test_spin_on_untouched_buffer_is_free(self, mx):
+        t = replay_timing([(0, Spin("ghost"))], mx)
+        assert t.makespan_us == 0.0
+
+    def test_local_access_is_free(self, mx):
+        t = replay_timing([(0, LocalAccess(4096))], mx)
+        assert t.makespan_us == 0.0
+
+    def test_admission_slots_serialize_groups(self, mx):
+        # Four groups, one slot: barrier costs stack end to end.
+        trace = [(g, Barrier()) for g in range(4)]
+        t1 = replay_timing(trace, mx, resident_limit=1).makespan_us
+        t4 = replay_timing(trace, mx, resident_limit=4).makespan_us
+        assert t1 == pytest.approx(4 * BARRIER_COST_US)
+        assert t4 == pytest.approx(BARRIER_COST_US)

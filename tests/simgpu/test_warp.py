@@ -1,0 +1,122 @@
+"""Warp-level primitives: shuffle, ballot, popc and their scans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LaunchError
+from repro.simgpu import warp as W
+
+
+class TestShuffle:
+    def test_shfl_up_shifts_within_warp(self):
+        v = np.arange(64)
+        out = W.shfl_up(v, 1, warp_size=32)
+        assert out[0] == 0          # lane 0 keeps its own value
+        assert out[1] == 0
+        assert out[31] == 30
+        assert out[32] == 32        # warp boundary: lane 0 of warp 1
+        assert out[33] == 32
+
+    def test_shfl_up_zero_delta_is_identity(self):
+        v = np.arange(32)
+        assert np.array_equal(W.shfl_up(v, 0), v)
+
+    def test_shfl_up_delta_past_warp_is_identity(self):
+        v = np.arange(32)
+        assert np.array_equal(W.shfl_up(v, 40), v)
+
+    def test_shfl_up_rejects_negative_delta(self):
+        with pytest.raises(LaunchError):
+            W.shfl_up(np.arange(32), -1)
+
+    def test_shfl_down(self):
+        v = np.arange(64)
+        out = W.shfl_down(v, 2, warp_size=32)
+        assert out[0] == 2
+        assert out[30] == 30  # top lanes keep their own value
+        assert out[31] == 31
+        assert out[32] == 34
+
+    def test_shfl_idx_broadcasts(self):
+        v = np.arange(64)
+        out = W.shfl_idx(v, 5, warp_size=32)
+        assert (out[:32] == 5).all()
+        assert (out[32:] == 37).all()
+
+    def test_shfl_idx_rejects_out_of_range_lane(self):
+        with pytest.raises(LaunchError):
+            W.shfl_idx(np.arange(32), 32)
+
+    def test_rejects_non_multiple_width(self):
+        with pytest.raises(LaunchError):
+            W.shfl_up(np.arange(33), 1, warp_size=32)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(LaunchError):
+            W.shfl_up(np.zeros((2, 32)), 1)
+
+
+class TestBallotPopc:
+    def test_ballot_bitmask(self):
+        pred = np.zeros(32, dtype=bool)
+        pred[0] = pred[3] = True
+        masks = W.ballot(pred, 32)
+        assert (masks == 0b1001).all()
+
+    def test_ballot_per_warp(self):
+        pred = np.concatenate([np.ones(32, dtype=bool), np.zeros(32, dtype=bool)])
+        masks = W.ballot(pred, 32)
+        assert masks[0] == np.uint64(0xFFFFFFFF)
+        assert masks[32] == 0
+
+    def test_ballot_wavefront64(self):
+        pred = np.ones(64, dtype=bool)
+        masks = W.ballot(pred, 64)
+        assert masks[0] == np.uint64(0xFFFFFFFFFFFFFFFF)
+
+    def test_ballot_rejects_oversized_warp(self):
+        with pytest.raises(LaunchError):
+            W.ballot(np.ones(128, dtype=bool), 128)
+
+    def test_popc(self):
+        v = np.asarray([0, 1, 0b1011, 0xFFFFFFFF], dtype=np.uint64)
+        assert np.array_equal(W.popc(v), [0, 1, 3, 32])
+
+    def test_lane_masks(self):
+        lm = W.lane_masks(4)
+        assert np.array_equal(lm, [0, 1, 3, 7])
+
+
+class TestWarpScans:
+    def test_binary_exclusive_scan_manual(self):
+        pred = np.asarray([1, 0, 1, 1] + [0] * 28, dtype=bool)
+        out = W.warp_binary_exclusive_scan(pred, 32)
+        assert out[0] == 0 and out[1] == 1 and out[2] == 1 and out[3] == 2
+
+    def test_inclusive_matches_exclusive_plus_pred(self):
+        rng = np.random.default_rng(3)
+        pred = rng.random(64) < 0.5
+        incl = W.warp_binary_inclusive_scan(pred, 32)
+        excl = W.warp_binary_exclusive_scan(pred, 32)
+        assert np.array_equal(incl, excl + pred)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    def test_scan_matches_cumsum_per_warp(self, bits_a, bits_b):
+        pred = np.concatenate([
+            np.asarray([(bits_a >> i) & 1 for i in range(32)], dtype=bool),
+            np.asarray([(bits_b >> i) & 1 for i in range(32)], dtype=bool),
+        ])
+        out = W.warp_binary_exclusive_scan(pred, 32)
+        for w in range(2):
+            sl = pred[w * 32:(w + 1) * 32]
+            expected = np.concatenate(([0], np.cumsum(sl)[:-1]))
+            assert np.array_equal(out[w * 32:(w + 1) * 32], expected)
+
+    def test_warp_sum(self):
+        v = np.arange(64, dtype=np.int64)
+        out = W.warp_sum(v, 32)
+        assert (out[:32] == np.arange(32).sum()).all()
+        assert (out[32:] == np.arange(32, 64).sum()).all()

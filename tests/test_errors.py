@@ -1,0 +1,53 @@
+"""The exception hierarchy and its diagnostic payloads."""
+
+import pytest
+
+from repro.errors import (
+    DataRaceError,
+    DeadlockError,
+    LaunchError,
+    ModelError,
+    ReproError,
+    ResourceError,
+    SimulatorError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc in (SimulatorError, DeadlockError, DataRaceError,
+                    LaunchError, ResourceError, ModelError, WorkloadError):
+            assert issubclass(exc, ReproError)
+
+    def test_simulator_errors(self):
+        for exc in (DeadlockError, DataRaceError, LaunchError, ResourceError):
+            assert issubclass(exc, SimulatorError)
+
+    def test_model_and_workload_are_not_simulator_errors(self):
+        assert not issubclass(ModelError, SimulatorError)
+        assert not issubclass(WorkloadError, SimulatorError)
+
+    def test_one_except_clause_catches_the_library(self):
+        with pytest.raises(ReproError):
+            raise DeadlockError("boom")
+
+
+class TestPayloads:
+    def test_deadlock_carries_waiting_set_and_steps(self):
+        e = DeadlockError("stuck", waiting=(3, 5), steps=42)
+        assert e.waiting == (3, 5)
+        assert e.steps == 42
+        assert "stuck" in str(e)
+
+    def test_deadlock_defaults(self):
+        e = DeadlockError("stuck")
+        assert e.waiting == () and e.steps == 0
+
+    def test_data_race_carries_index_and_writer(self):
+        e = DataRaceError("clobber", index=17, writer=4)
+        assert e.index == 17 and e.writer == 4
+
+    def test_data_race_defaults(self):
+        e = DataRaceError("clobber")
+        assert e.index == -1 and e.writer == -1

@@ -1,0 +1,94 @@
+"""Workload generators: exact fractions, seeding, shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.reference import unique_ref
+from repro.workloads import (
+    PAPER_ARRAY_ELEMENTS,
+    PAPER_FRACTIONS,
+    compaction_array,
+    predicate_fraction_array,
+    runs_array,
+)
+
+
+class TestConstants:
+    def test_paper_sweep(self):
+        assert PAPER_FRACTIONS[0] == 0.0
+        assert PAPER_FRACTIONS[-1] == 1.0
+        assert len(PAPER_FRACTIONS) == 11
+        assert PAPER_ARRAY_ELEMENTS == 16 * 1024 * 1024
+
+
+class TestPredicateFraction:
+    @pytest.mark.parametrize("fraction", [0.0, 0.1, 0.5, 0.93, 1.0])
+    def test_exact_fraction(self, fraction):
+        values, pred = predicate_fraction_array(1000, fraction, seed=4)
+        assert int(pred(values).sum()) == round(1000 * fraction)
+
+    def test_seeded_reproducibility(self):
+        a, _ = predicate_fraction_array(500, 0.3, seed=7)
+        b, _ = predicate_fraction_array(500, 0.3, seed=7)
+        c, _ = predicate_fraction_array(500, 0.3, seed=8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(WorkloadError):
+            predicate_fraction_array(0, 0.5)
+        with pytest.raises(WorkloadError):
+            predicate_fraction_array(10, 1.5)
+
+    def test_dtype(self):
+        values, _ = predicate_fraction_array(100, 0.5, dtype=np.float64)
+        assert values.dtype == np.float64
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 5000), fraction=st.floats(0, 1),
+           seed=st.integers(0, 2**16))
+    def test_property_exact_count(self, n, fraction, seed):
+        values, pred = predicate_fraction_array(n, fraction, seed=seed)
+        assert int(pred(values).sum()) == round(n * fraction)
+
+
+class TestCompactionArray:
+    @pytest.mark.parametrize("fraction", [0.0, 0.25, 0.5, 1.0])
+    def test_exact_sentinel_count(self, fraction):
+        a = compaction_array(800, fraction, seed=2)
+        assert int((a == 0.0).sum()) == round(800 * fraction)
+
+    def test_custom_sentinel(self):
+        a = compaction_array(100, 0.5, remove_value=-1.0, seed=1)
+        assert int((a == -1.0).sum()) == 50
+
+    def test_sentinel_collision_rejected(self):
+        with pytest.raises(WorkloadError, match="collides"):
+            compaction_array(100, 0.5, remove_value=1.5)
+
+
+class TestRunsArray:
+    @pytest.mark.parametrize("fraction", [0.01, 0.3, 0.5, 1.0])
+    def test_exact_run_count(self, fraction):
+        a = runs_array(1000, fraction, seed=9)
+        assert unique_ref(a).size == max(1, round(1000 * fraction))
+
+    def test_adjacent_runs_always_differ(self):
+        a = runs_array(500, 0.4, seed=5)
+        u = unique_ref(a)
+        assert (np.diff(u) != 0).all()
+
+    def test_full_fraction_all_distinct_neighbours(self):
+        a = runs_array(300, 1.0, seed=3)
+        assert (np.diff(a) != 0).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 4000), fraction=st.floats(0.001, 1.0),
+           seed=st.integers(0, 2**16))
+    def test_property_exact_runs(self, n, fraction, seed):
+        a = runs_array(n, fraction, seed=seed)
+        assert a.size == n
+        assert unique_ref(a).size == max(1, min(n, round(n * fraction)))

@@ -1,0 +1,50 @@
+"""Matrix workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    FIG2_SHAPE,
+    PAPER_PAD_SWEEP,
+    PAPER_SIZE_SWEEP,
+    TABLE1_SHAPE,
+    padding_matrix,
+)
+
+
+class TestConstants:
+    def test_paper_shapes(self):
+        assert FIG2_SHAPE == (5000, 4900, 100)
+        assert TABLE1_SHAPE == (12000, 11999, 1)
+        assert (12000, 11999) in PAPER_SIZE_SWEEP
+        assert all(p >= 1 for p in PAPER_PAD_SWEEP)
+
+    def test_fig2_pads_to_square(self):
+        rows, cols, pad = FIG2_SHAPE
+        assert cols + pad == rows
+
+
+class TestPaddingMatrix:
+    def test_values_encode_position(self):
+        m = padding_matrix(5, 7)
+        assert m[0, 0] == 0
+        assert m[0, 6] == 6
+        assert m[2, 3] == 2 * 10 + 3
+        assert m[4, 0] == 40
+
+    def test_all_values_distinct(self):
+        m = padding_matrix(20, 30)
+        assert np.unique(m).size == 600
+
+    def test_seeded_jitter_preserves_identity(self):
+        m = padding_matrix(10, 10, seed=3)
+        # The jitter is < 0.25, so floor recovers the position code.
+        assert np.array_equal(np.floor(m), padding_matrix(10, 10))
+
+    def test_dtype(self):
+        assert padding_matrix(3, 3, dtype=np.float64).dtype == np.float64
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            padding_matrix(0, 5)
