@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all bench bench-full figures examples clean
+.PHONY: install test test-all bench bench-smoke bench-full figures examples clean
 
 install:
 	pip install -e . || \
@@ -16,6 +16,10 @@ test-all:        ## everything, including the 1M-element slow tests
 
 bench:           ## regenerate every figure/table + time the kernels (1M scale)
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:     ## one regular + one irregular benchmark, both backends
+	$(PYTHON) -m pytest benchmarks/bench_fig08_padding.py \
+	  benchmarks/bench_fig13_compaction.py --benchmark-only
 
 bench-full:      ## same, at the paper's 16M / 12000x11999 sizes
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

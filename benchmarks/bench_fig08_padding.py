@@ -8,7 +8,7 @@ launch counts.
 
 import numpy as np
 
-from _common import BENCH_MATRIX, ROUNDS, emit
+from _common import BENCH_MATRIX, ROUNDS, compare_backends, emit
 from repro.analysis.figures import fig08_padding_columns, fig08_padding_sizes
 from repro.baselines import sung_pad
 from repro.primitives import ds_pad
@@ -29,6 +29,13 @@ def test_fig08_padding(benchmark):
     result = benchmark.pedantic(run, **ROUNDS)
     assert np.array_equal(result.output[:, :cols], matrix)
     assert result.num_launches == 1
+
+    compare_backends(
+        "fig08",
+        lambda backend: ds_pad(matrix, 1, wg_size=256, seed=3,
+                               backend=backend),
+        meta={"matrix": list(BENCH_MATRIX), "primitive": "ds_pad"},
+    )
 
     # Structural contrast: the baseline needs one launch per iteration.
     small = padding_matrix(64, 60)

@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from _common import BENCH_ELEMENTS, ROUNDS, emit
+from _common import BENCH_ELEMENTS, ROUNDS, compare_backends, emit
 from repro.analysis.figures import fig13_compaction
 from repro.baselines import atomic_compact
 from repro.primitives import ds_stream_compact
@@ -21,6 +21,14 @@ def test_fig13_compaction(benchmark):
     result = benchmark.pedantic(run, **ROUNDS)
     assert result.extras["n_kept"] == BENCH_ELEMENTS - BENCH_ELEMENTS // 2
     assert np.array_equal(result.output, compact_ref(values, 0.0))
+
+    compare_backends(
+        "fig13",
+        lambda backend: ds_stream_compact(values, 0.0, wg_size=256, seed=8,
+                                          backend=backend),
+        min_speedup=5.0,
+        meta={"elements": BENCH_ELEMENTS, "primitive": "ds_stream_compact"},
+    )
 
     # The unstable methods keep the same multiset with fewer guarantees;
     # their contention ordering is what Figure 13 is about.

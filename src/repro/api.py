@@ -3,12 +3,16 @@
 These functions expose the paper's primitives with a plain-NumPy
 surface and a ``backend`` switch:
 
-* ``backend="sim"`` (default) executes the real in-place DS kernels on
-  the functional many-core simulator — the faithful reproduction, with
-  launch counters available for performance analysis;
+* ``backend="sim"`` (default) executes the real in-place DS kernels,
+  honouring the ``REPRO_BACKEND`` environment variable to pick between
+  the event-level scheduler and the vectorized fast path;
+* ``backend="simulated"`` forces the event-level scheduler — the
+  faithful reproduction, with schedule-dependent counters;
+* ``backend="vectorized"`` forces the tile-granularity fast path —
+  identical outputs and traffic counters at a fraction of the wall
+  clock (see ``docs/simulator.md`` for the equivalence contract);
 * ``backend="numpy"`` executes the reference semantics directly —
-  bit-identical results at native NumPy speed, for users who want the
-  primitives' behaviour on large data without simulating a device.
+  bit-identical results at native NumPy speed, with no launch records.
 
 Every function returns the result array; pass ``return_result=True`` to
 receive the full :class:`~repro.primitives.common.PrimitiveResult`
@@ -57,9 +61,22 @@ __all__ = ["pad", "unpad", "remove_if", "copy_if", "compact", "unique", "partiti
 StreamLike = Optional[Union[Stream, DeviceSpec, str]]
 
 
-def _check_backend(backend: str) -> None:
-    if backend not in ("sim", "numpy"):
-        raise ReproError(f"backend must be 'sim' or 'numpy', got {backend!r}")
+_DS_BACKENDS = {"sim": None, "simulated": "simulated", "vectorized": "vectorized"}
+
+
+def _normalize_backend(backend: str):
+    """Split the high-level ``backend`` into (numpy?, DS backend).
+
+    ``"sim"`` maps to ``None`` so the DS layer still honours the
+    ``REPRO_BACKEND`` environment override; the explicit names pin it.
+    """
+    if backend == "numpy":
+        return True, None
+    if backend in _DS_BACKENDS:
+        return False, _DS_BACKENDS[backend]
+    raise ReproError(
+        f"backend must be one of 'sim', 'simulated', 'vectorized' or "
+        f"'numpy', got {backend!r}")
 
 
 def _empty_result(values: np.ndarray, extras: dict) -> PrimitiveResult:
@@ -80,23 +97,24 @@ def _wrap_numpy(output: np.ndarray, extras: dict) -> PrimitiveResult:
 def pad(matrix: np.ndarray, columns: int, *, backend: str = "sim",
         fill=0, stream: StreamLike = None, return_result: bool = False, **kw):
     """Append ``columns`` extra columns to a row-major matrix (DS Padding)."""
-    _check_backend(backend)
-    if backend == "numpy":
+    use_numpy, ds_backend = _normalize_backend(backend)
+    if use_numpy:
         result = _wrap_numpy(pad_ref(matrix, columns, fill=fill),
                              {"pad": columns})
     else:
-        result = ds_pad(matrix, columns, stream, fill=fill, **kw)
+        result = ds_pad(matrix, columns, stream, fill=fill,
+                        backend=ds_backend, **kw)
     return result if return_result else result.output
 
 
 def unpad(matrix: np.ndarray, columns: int, *, backend: str = "sim",
           stream: StreamLike = None, return_result: bool = False, **kw):
     """Remove the last ``columns`` columns of a matrix (DS Unpadding)."""
-    _check_backend(backend)
-    if backend == "numpy":
+    use_numpy, ds_backend = _normalize_backend(backend)
+    if use_numpy:
         result = _wrap_numpy(unpad_ref(matrix, columns), {"pad": columns})
     else:
-        result = ds_unpad(matrix, columns, stream, **kw)
+        result = ds_unpad(matrix, columns, stream, backend=ds_backend, **kw)
     return result if return_result else result.output
 
 
@@ -104,56 +122,56 @@ def remove_if(values: np.ndarray, predicate: Predicate, *, backend: str = "sim",
               stream: StreamLike = None, return_result: bool = False, **kw):
     """Remove elements satisfying ``predicate``, stably and in place
     (DS Remove_if)."""
-    _check_backend(backend)
+    use_numpy, ds_backend = _normalize_backend(backend)
     if np.asarray(values).size == 0:
         result = _empty_result(values, {"n_kept": 0})
-    elif backend == "numpy":
+    elif use_numpy:
         out = remove_if_ref(values, predicate)
         result = _wrap_numpy(out, {"n_kept": out.size})
     else:
-        result = ds_remove_if(values, predicate, stream, **kw)
+        result = ds_remove_if(values, predicate, stream, backend=ds_backend, **kw)
     return result if return_result else result.output
 
 
 def copy_if(values: np.ndarray, predicate: Predicate, *, backend: str = "sim",
             stream: StreamLike = None, return_result: bool = False, **kw):
     """Copy elements satisfying ``predicate`` to a fresh array (DS Copy_if)."""
-    _check_backend(backend)
+    use_numpy, ds_backend = _normalize_backend(backend)
     if np.asarray(values).size == 0:
         result = _empty_result(values, {"n_kept": 0})
-    elif backend == "numpy":
+    elif use_numpy:
         out = copy_if_ref(values, predicate)
         result = _wrap_numpy(out, {"n_kept": out.size})
     else:
-        result = ds_copy_if(values, predicate, stream, **kw)
+        result = ds_copy_if(values, predicate, stream, backend=ds_backend, **kw)
     return result if return_result else result.output
 
 
 def compact(values: np.ndarray, remove_value, *, backend: str = "sim",
             stream: StreamLike = None, return_result: bool = False, **kw):
     """Drop every occurrence of ``remove_value`` (DS Stream Compaction)."""
-    _check_backend(backend)
+    use_numpy, ds_backend = _normalize_backend(backend)
     if np.asarray(values).size == 0:
         result = _empty_result(values, {"n_kept": 0})
-    elif backend == "numpy":
+    elif use_numpy:
         out = compact_ref(values, remove_value)
         result = _wrap_numpy(out, {"n_kept": out.size})
     else:
-        result = ds_stream_compact(values, remove_value, stream, **kw)
+        result = ds_stream_compact(values, remove_value, stream, backend=ds_backend, **kw)
     return result if return_result else result.output
 
 
 def unique(values: np.ndarray, *, backend: str = "sim",
            stream: StreamLike = None, return_result: bool = False, **kw):
     """Keep the first of each run of equal consecutive elements (DS Unique)."""
-    _check_backend(backend)
+    use_numpy, ds_backend = _normalize_backend(backend)
     if np.asarray(values).size == 0:
         result = _empty_result(values, {"n_kept": 0})
-    elif backend == "numpy":
+    elif use_numpy:
         out = unique_ref(values)
         result = _wrap_numpy(out, {"n_kept": out.size})
     else:
-        result = ds_unique(values, stream, **kw)
+        result = ds_unique(values, stream, backend=ds_backend, **kw)
     return result if return_result else result.output
 
 
@@ -163,14 +181,15 @@ def partition(values: np.ndarray, predicate: Predicate, *, backend: str = "sim",
 
     Returns ``(array, n_true)`` — or the full result with
     ``return_result=True`` (``extras["n_true"]`` holds the split)."""
-    _check_backend(backend)
+    use_numpy, ds_backend = _normalize_backend(backend)
     if np.asarray(values).size == 0:
         result = _empty_result(values, {"n_true": 0})
-    elif backend == "numpy":
+    elif use_numpy:
         out, n_true = partition_ref(values, predicate)
         result = _wrap_numpy(out, {"n_true": n_true})
     else:
-        result = ds_partition(values, predicate, stream, **kw)
+        result = ds_partition(values, predicate, stream,
+                              backend=ds_backend, **kw)
     if return_result:
         return result
     return result.output, result.extras["n_true"]

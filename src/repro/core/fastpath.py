@@ -1,0 +1,327 @@
+"""Vectorized (tile-granularity) executors for the DS kernels.
+
+Each function here is the fast-path twin of one generator kernel in
+:mod:`repro.core.regular`, :mod:`repro.core.irregular`,
+:mod:`repro.core.keyed` or :mod:`repro.simgpu.kernels`: it performs the
+same in-place data movement as a few whole-array NumPy operations and
+derives the :class:`~repro.simgpu.counters.LaunchCounters` the
+event-level scheduler would have produced (see
+:mod:`repro.simgpu.vectorized` for the arithmetic and its
+justification).  The side structures of a launch — the flag chain and
+the dynamic-ID cursor — are left in their post-kernel state, so host
+code that reads the compacted size back from the flags works unchanged.
+
+Correctness of the batched movement relies on two properties of the DS
+algorithms themselves:
+
+* adjacent synchronization guarantees every work-group's loads observe
+  *pristine* input, so evaluating predicates/remaps on the untouched
+  array is exactly what the simulated kernels compute;
+* a NumPy fancy-index gather copies, so gather-then-scatter tolerates
+  the overlapping source/destination ranges of in-place slides.
+
+Schedule-dependent quantities (``n_spins``, ``steps``,
+``peak_resident``) are reported for the idealized schedule: zero failed
+polls and maximal admission.  Everything else — bytes, transactions,
+event, atomic and barrier counts — is schedule-invariant and matches
+the simulated backend exactly (asserted by
+``tests/primitives/test_backend_parity.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.coarsening import LaunchGeometry
+from repro.core.flags import FLAG_SET
+from repro.core.offsets import RegularRemap
+from repro.core.predicates import Predicate
+from repro.simgpu.buffers import Buffer
+from repro.simgpu.counters import LaunchCounters
+from repro.simgpu.stream import Stream
+from repro.simgpu.vectorized import (
+    contiguous_range_txns,
+    contiguous_round_txns,
+    remapped_store_txns,
+    round_kept_counts,
+)
+
+__all__ = [
+    "vectorized_regular_launch",
+    "vectorized_irregular_launch",
+    "vectorized_keyed_launch",
+    "vectorized_copy_launch",
+]
+
+
+def _base_counters(
+    kernel_name: str, grid: int, wg_size: int, stream: Stream
+) -> LaunchCounters:
+    c = LaunchCounters(kernel_name=kernel_name, grid_size=grid, wg_size=wg_size)
+    limit = (
+        stream.resident_limit
+        if stream.resident_limit is not None
+        else stream.device.max_resident_wgs
+    )
+    c.peak_resident = min(limit, grid)
+    c.completed_wgs = grid
+    return c
+
+
+def _finish(c: LaunchCounters) -> LaunchCounters:
+    # One scheduler step per event plus the StopIteration step that
+    # retires each work-group; the vectorized schedule has no spins.
+    c.steps = c.n_loads + c.n_stores + c.n_atomics + c.n_barriers + c.grid_size
+    c.extras["vectorized"] = 1.0
+    return c
+
+
+def _finalize_sync_structures(
+    flags: Buffer, wg_counter: Buffer, grid: int, flag_values: np.ndarray
+) -> None:
+    """Leave the flag chain and ID cursor as the kernel would."""
+    flags.data[1 : grid + 1] = flag_values
+    # Minimum atomic traffic of the sync protocol: one successful poll
+    # and one flag set per group.  (The simulated count additionally
+    # includes schedule-dependent failed polls.)
+    flags.stats.atomic_ops += 2 * grid
+    wg_counter.data[0] = grid
+    wg_counter.stats.atomic_ops += grid
+
+
+def vectorized_regular_launch(
+    array: Buffer,
+    flags: Buffer,
+    wg_counter: Buffer,
+    remap: RegularRemap,
+    geometry: LaunchGeometry,
+    stream: Stream,
+) -> LaunchCounters:
+    """Fast-path twin of :func:`repro.core.regular.regular_ds_kernel`."""
+    grid, W, cf = geometry.n_workgroups, geometry.wg_size, geometry.coarsening
+    total = remap.total_in
+    positions = np.arange(total, dtype=np.int64)
+    keep, out_pos = remap(positions)
+    kept_pos = positions[keep]
+    dest = out_pos[keep]
+    array.data[dest] = array.data[kept_pos]  # gather copies: overlap-safe
+
+    c = _base_counters(f"regular_ds[{remap.name}]", grid, W, stream)
+    itemsize, txb = array.itemsize, array.transaction_bytes
+    c.n_loads = grid * cf
+    c.bytes_loaded = total * itemsize
+    c.n_stores = (total + W - 1) // W  # one store per non-empty round
+    c.bytes_stored = int(kept_pos.size) * itemsize
+    if array.count_transactions:
+        c.load_transactions = contiguous_round_txns(total, W, itemsize, txb)
+        c.store_transactions = remapped_store_txns(kept_pos, dest, W, itemsize, txb)
+    c.n_atomics = 3 * grid  # ID claim + successful poll + flag set
+    c.n_barriers = 3 * grid  # ID broadcast + sync local + sync global
+
+    array.stats.loads_elems += total
+    array.stats.load_transactions += c.load_transactions
+    array.stats.stores_elems += int(kept_pos.size)
+    array.stats.store_transactions += c.store_transactions
+    _finalize_sync_structures(
+        flags, wg_counter, grid, np.full(grid, FLAG_SET, dtype=flags.data.dtype)
+    )
+    return stream.record(_finish(c))
+
+
+def _evaluate_keep(
+    vals: np.ndarray, predicate: Optional[Predicate], stencil_unique: bool
+) -> np.ndarray:
+    if stencil_unique:
+        keep = np.empty(vals.shape, dtype=bool)
+        if vals.size:
+            keep[0] = True
+            keep[1:] = vals[1:] != vals[:-1]
+        return keep
+    return np.asarray(predicate(vals), dtype=bool)
+
+
+def _contiguous_store_accounting(
+    c: LaunchCounters, buf: Buffer, kt: np.ndarray, bases: np.ndarray, n_elems: int
+) -> None:
+    """Charge per-round stores of contiguous ranges ``[bases, bases+kt)``
+    to ``c`` and to ``buf``'s access statistics."""
+    c.bytes_stored += n_elems * buf.itemsize
+    txns = 0
+    if buf.count_transactions:
+        txns = contiguous_range_txns(
+            bases, bases + kt, buf.itemsize, buf.transaction_bytes
+        )
+    c.store_transactions += txns
+    buf.stats.stores_elems += n_elems
+    buf.stats.store_transactions += txns
+
+
+def _tile_load_accounting(
+    c: LaunchCounters, buf: Buffer, total: int, W: int, stencil_loads: int = 0
+) -> None:
+    """Charge the coarsened tile loads over ``total`` elements (plus any
+    single-element stencil neighbour loads) to ``c`` and ``buf``."""
+    bytes_ = (total + stencil_loads) * buf.itemsize
+    c.bytes_loaded += bytes_
+    txns = 0
+    if buf.count_transactions:
+        txns = contiguous_round_txns(total, W, buf.itemsize, buf.transaction_bytes)
+        txns += stencil_loads  # one-element loads: one transaction each
+    c.load_transactions += txns
+    buf.stats.loads_elems += total + stencil_loads
+    buf.stats.load_transactions += txns
+
+
+def _kept_per_workgroup(keep: np.ndarray, grid: int, tile: int) -> np.ndarray:
+    padded = np.zeros(grid * tile, dtype=np.int64)
+    padded[: keep.size] = keep
+    return padded.reshape(grid, tile).sum(axis=1)
+
+
+def vectorized_irregular_launch(
+    array: Buffer,
+    out: Buffer,
+    flags: Buffer,
+    wg_counter: Buffer,
+    predicate: Optional[Predicate],
+    geometry: LaunchGeometry,
+    total: int,
+    stream: Stream,
+    *,
+    false_out: Optional[Buffer] = None,
+    stencil_unique: bool = False,
+    kernel_name: str = "irregular_ds",
+) -> LaunchCounters:
+    """Fast-path twin of :func:`repro.core.irregular.irregular_ds_kernel`."""
+    grid, W, cf = geometry.n_workgroups, geometry.wg_size, geometry.coarsening
+    n = int(total)
+    vals = array.data[:n].copy()  # snapshot: predicates see pristine input
+    keep = _evaluate_keep(vals, predicate, stencil_unique)
+    n_true = int(keep.sum())
+    out.data[:n_true] = vals[keep]
+    if false_out is not None:
+        false_out.data[: n - n_true] = vals[~keep]
+
+    kt = round_kept_counts(keep, W)  # kept per global round
+    kept_before = np.cumsum(kt) - kt
+    n_act = kt.size  # ceil(n / W): rounds with any active lane
+
+    c = _base_counters(kernel_name, grid, W, stream)
+    stencil_loads = grid - 1 if stencil_unique else 0
+    c.n_loads = grid * cf + stencil_loads
+    _tile_load_accounting(c, array, n, W, stencil_loads)
+
+    c.n_stores = n_act  # the kept-store event fires even for empty rounds
+    _contiguous_store_accounting(c, out, kt, kept_before, n_true)
+    if false_out is not None:
+        sizes = np.full(n_act, W, dtype=np.int64)
+        sizes[-1] = n - (n_act - 1) * W
+        ft = sizes - kt
+        false_before = np.cumsum(ft) - ft
+        c.n_stores += int((ft > 0).sum())  # false stores only when needed
+        _contiguous_store_accounting(c, false_out, ft, false_before, n - n_true)
+
+    c.n_atomics = 3 * grid
+    c.n_barriers = 3 * grid
+
+    kept_per_wg = _kept_per_workgroup(keep, grid, geometry.tile_size)
+    _finalize_sync_structures(
+        flags,
+        wg_counter,
+        grid,
+        np.cumsum(kept_per_wg) + 1,  # encode_count applied vector-wide
+    )
+    return stream.record(_finish(c))
+
+
+def vectorized_keyed_launch(
+    keys: Buffer,
+    payloads: Sequence[Buffer],
+    flags: Buffer,
+    wg_counter: Buffer,
+    predicate: Optional[Predicate],
+    geometry: LaunchGeometry,
+    total: int,
+    stream: Stream,
+    *,
+    stencil_unique: bool = False,
+    kernel_name: str = "keyed_ds",
+) -> LaunchCounters:
+    """Fast-path twin of :func:`repro.core.keyed.keyed_irregular_ds_kernel`."""
+    grid, W, cf = geometry.n_workgroups, geometry.wg_size, geometry.coarsening
+    n = int(total)
+    key_vals = keys.data[:n].copy()
+    payload_vals = [p.data[:n].copy() for p in payloads]
+    keep = _evaluate_keep(key_vals, predicate, stencil_unique)
+    n_true = int(keep.sum())
+    keys.data[:n_true] = key_vals[keep]
+    for buf, vals in zip(payloads, payload_vals):
+        buf.data[:n_true] = vals[keep]
+
+    kt = round_kept_counts(keep, W)
+    kept_before = np.cumsum(kt) - kt
+    n_act = kt.size
+
+    c = _base_counters(kernel_name, grid, W, stream)
+    stencil_loads = grid - 1 if stencil_unique else 0
+    c.n_loads = grid * cf * (1 + len(payloads)) + stencil_loads
+    _tile_load_accounting(c, keys, n, W, stencil_loads)
+    for buf in payloads:
+        _tile_load_accounting(c, buf, n, W)
+
+    c.n_stores = n_act * (1 + len(payloads))
+    _contiguous_store_accounting(c, keys, kt, kept_before, n_true)
+    for buf in payloads:
+        _contiguous_store_accounting(c, buf, kt, kept_before, n_true)
+
+    c.n_atomics = 3 * grid
+    c.n_barriers = 3 * grid
+
+    kept_per_wg = _kept_per_workgroup(keep, grid, geometry.tile_size)
+    _finalize_sync_structures(
+        flags,
+        wg_counter,
+        grid,
+        np.cumsum(kept_per_wg) + 1,  # encode_count applied vector-wide
+    )
+    return stream.record(_finish(c))
+
+
+def vectorized_copy_launch(
+    src: Buffer,
+    dst: Buffer,
+    n: int,
+    src_base: int,
+    dst_base: int,
+    wg_size: int,
+    coarsening: int,
+    stream: Stream,
+    *,
+    kernel_name: str = "copy",
+) -> LaunchCounters:
+    """Fast-path twin of :func:`repro.simgpu.kernels.copy_kernel` (used
+    by the in-place partition's false-tail copy-back)."""
+    tile = wg_size * coarsening
+    grid = (n + tile - 1) // tile
+    dst.data[dst_base : dst_base + n] = src.data[src_base : src_base + n]
+
+    c = _base_counters(kernel_name, grid, wg_size, stream)
+    n_act = (n + wg_size - 1) // wg_size
+    c.n_loads = c.n_stores = n_act  # copy rounds skip empty tiles entirely
+    c.bytes_loaded = n * src.itemsize
+    c.bytes_stored = n * dst.itemsize
+    if src.count_transactions:
+        c.load_transactions = contiguous_round_txns(
+            n, wg_size, src.itemsize, src.transaction_bytes, base=src_base
+        )
+    if dst.count_transactions:
+        c.store_transactions = contiguous_round_txns(
+            n, wg_size, dst.itemsize, dst.transaction_bytes, base=dst_base
+        )
+    src.stats.loads_elems += n
+    src.stats.load_transactions += c.load_transactions
+    dst.stats.stores_elems += n
+    dst.stats.store_transactions += c.store_transactions
+    return stream.record(_finish(c))

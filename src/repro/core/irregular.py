@@ -44,9 +44,11 @@ from repro.collectives.scan import binary_exclusive_scan
 from repro.core.adjacent_sync import adjacent_sync_irregular
 from repro.core.coarsening import LaunchGeometry, launch_geometry
 from repro.core.dynamic_id import dynamic_wg_id, static_wg_id
+from repro.core.fastpath import vectorized_irregular_launch
 from repro.core.flags import make_flags, make_wg_counter
 from repro.core.predicates import Predicate
 from repro.errors import LaunchError
+from repro.simgpu.vectorized import resolve_backend
 from repro.perfmodel.collective_cost import collective_rounds_per_wg
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.counters import LaunchCounters
@@ -207,6 +209,7 @@ def run_irregular_ds(
     sync: bool = True,
     id_allocation: str = "dynamic",
     race_tracking: bool = False,
+    backend: Optional[str] = None,
 ) -> IrregularDSResult:
     """Execute an irregular Data Sliding operation.
 
@@ -214,6 +217,12 @@ def run_irregular_ds(
     paper's DS Remove_if / Stream Compaction / Unique); passing a
     distinct ``out`` gives the out-of-place DS Copy_if.  ``false_out``
     additionally collects the predicate-false elements (partition).
+
+    ``backend`` selects the event-level scheduler (``"simulated"``) or
+    the tile-granularity fast path (``"vectorized"``); ``None`` defers
+    to the ``REPRO_BACKEND`` environment variable.  The fault-injection
+    hooks (``race_tracking``, ``sync=False``, static ID allocation)
+    force the simulated backend.
 
     Returns counts of true/false elements (read back from the flag
     chain's final entry, exactly how a host retrieves the compacted size
@@ -232,30 +241,42 @@ def run_irregular_ds(
     )
     flags = make_flags(geometry.n_workgroups)
     counter = make_wg_counter()
-    if race_tracking:
-        array.arm_race_tracking()
-    try:
-        counters = stream.launch(
-            irregular_ds_kernel,
-            grid_size=geometry.n_workgroups,
-            wg_size=geometry.wg_size,
-            args=(array, destination, flags, counter,
-                  predicate if predicate is not None else _NULL_PREDICATE,
-                  geometry, n),
-            kwargs={
-                "false_out": false_out,
-                "stencil_unique": stencil_unique,
-                "reduction_variant": reduction_variant,
-                "scan_variant": scan_variant,
-                "scan_first": scan_first,
-                "sync": sync,
-                "id_allocation": id_allocation,
-            },
-            kernel_name=f"irregular_ds[{'unique' if stencil_unique else predicate.name}]",
+    kernel_name = f"irregular_ds[{'unique' if stencil_unique else predicate.name}]"
+    resolved = resolve_backend(backend)
+    if race_tracking or not sync or id_allocation != "dynamic":
+        resolved = "simulated"
+    if resolved == "vectorized":
+        counters = vectorized_irregular_launch(
+            array, destination, flags, counter, predicate, geometry, n, stream,
+            false_out=false_out,
+            stencil_unique=stencil_unique,
+            kernel_name=kernel_name,
         )
-    finally:
+    else:
         if race_tracking:
-            array.disarm_race_tracking()
+            array.arm_race_tracking()
+        try:
+            counters = stream.launch(
+                irregular_ds_kernel,
+                grid_size=geometry.n_workgroups,
+                wg_size=geometry.wg_size,
+                args=(array, destination, flags, counter,
+                      predicate if predicate is not None else _NULL_PREDICATE,
+                      geometry, n),
+                kwargs={
+                    "false_out": false_out,
+                    "stencil_unique": stencil_unique,
+                    "reduction_variant": reduction_variant,
+                    "scan_variant": scan_variant,
+                    "scan_first": scan_first,
+                    "sync": sync,
+                    "id_allocation": id_allocation,
+                },
+                kernel_name=kernel_name,
+            )
+        finally:
+            if race_tracking:
+                array.disarm_race_tracking()
     n_true = int(flags.data[geometry.n_workgroups]) - 1
     counters.extras["coarsening"] = geometry.coarsening
     counters.extras["spilled"] = float(geometry.spilled)

@@ -27,9 +27,11 @@ from repro.collectives.scan import binary_exclusive_scan
 from repro.core.adjacent_sync import adjacent_sync_irregular
 from repro.core.coarsening import LaunchGeometry, launch_geometry
 from repro.core.dynamic_id import dynamic_wg_id
+from repro.core.fastpath import vectorized_keyed_launch
 from repro.core.flags import make_flags, make_wg_counter
 from repro.core.predicates import Predicate
 from repro.errors import LaunchError
+from repro.simgpu.vectorized import resolve_backend
 from repro.perfmodel.collective_cost import collective_rounds_per_wg
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.counters import LaunchCounters
@@ -141,11 +143,17 @@ def run_keyed_irregular_ds(
     reduction_variant: str = "tree",
     scan_variant: str = "tree",
     race_tracking: bool = False,
+    backend: Optional[str] = None,
 ) -> KeyedDSResult:
     """Compact (key, payload...) records in place by key predicate or
     key-uniqueness stencil.  All buffers must have at least ``total``
     elements; after the call the first ``n_true`` entries of every
-    buffer hold the surviving records, in their original order."""
+    buffer hold the surviving records, in their original order.
+
+    ``backend`` selects the event-level scheduler (``"simulated"``) or
+    the tile-granularity fast path (``"vectorized"``); ``None`` defers
+    to ``REPRO_BACKEND``.  ``race_tracking`` forces the simulated path.
+    """
     if predicate is None and not stencil_unique:
         raise LaunchError("a predicate is required unless stencil_unique is set")
     n = total if total is not None else keys.size
@@ -159,30 +167,41 @@ def run_keyed_irregular_ds(
                                wg_size=wg_size, coarsening=coarsening)
     flags = make_flags(geometry.n_workgroups)
     counter = make_wg_counter()
+    kernel_name = (
+        f"keyed_ds[{'unique' if stencil_unique else predicate.name}"
+        f" x{len(payloads)} payloads]")
+    resolved = resolve_backend(backend)
     if race_tracking:
-        keys.arm_race_tracking()
-        for p in payloads:
-            p.arm_race_tracking()
-    try:
-        counters = stream.launch(
-            keyed_irregular_ds_kernel,
-            grid_size=geometry.n_workgroups,
-            wg_size=geometry.wg_size,
-            args=(keys, list(payloads), flags, counter, predicate, geometry, n),
-            kwargs={
-                "stencil_unique": stencil_unique,
-                "reduction_variant": reduction_variant,
-                "scan_variant": scan_variant,
-            },
-            kernel_name=(
-                f"keyed_ds[{'unique' if stencil_unique else predicate.name}"
-                f" x{len(payloads)} payloads]"),
+        resolved = "simulated"
+    if resolved == "vectorized":
+        counters = vectorized_keyed_launch(
+            keys, list(payloads), flags, counter, predicate, geometry, n,
+            stream, stencil_unique=stencil_unique, kernel_name=kernel_name,
         )
-    finally:
+    else:
         if race_tracking:
-            keys.disarm_race_tracking()
+            keys.arm_race_tracking()
             for p in payloads:
-                p.disarm_race_tracking()
+                p.arm_race_tracking()
+        try:
+            counters = stream.launch(
+                keyed_irregular_ds_kernel,
+                grid_size=geometry.n_workgroups,
+                wg_size=geometry.wg_size,
+                args=(keys, list(payloads), flags, counter, predicate,
+                      geometry, n),
+                kwargs={
+                    "stencil_unique": stencil_unique,
+                    "reduction_variant": reduction_variant,
+                    "scan_variant": scan_variant,
+                },
+                kernel_name=kernel_name,
+            )
+        finally:
+            if race_tracking:
+                keys.disarm_race_tracking()
+                for p in payloads:
+                    p.disarm_race_tracking()
     n_true = int(flags.data[geometry.n_workgroups]) - 1
     counters.extras["irregular"] = 1.0
     counters.extras["adjacent_syncs"] = float(geometry.n_workgroups)

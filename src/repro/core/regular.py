@@ -39,9 +39,11 @@ import numpy as np
 from repro.core.adjacent_sync import adjacent_sync_regular
 from repro.core.coarsening import LaunchGeometry, launch_geometry
 from repro.core.dynamic_id import dynamic_wg_id, static_wg_id
+from repro.core.fastpath import vectorized_regular_launch
 from repro.core.flags import make_flags, make_wg_counter
 from repro.core.offsets import RegularRemap
 from repro.errors import LaunchError
+from repro.simgpu.vectorized import resolve_backend
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.counters import LaunchCounters
 from repro.simgpu.events import Event
@@ -132,6 +134,7 @@ def run_regular_ds(
     sync: bool = True,
     id_allocation: str = "dynamic",
     race_tracking: bool = False,
+    backend: Optional[str] = None,
 ) -> RegularDSResult:
     """Execute a regular Data Sliding operation in place on ``array``.
 
@@ -150,6 +153,12 @@ def run_regular_ds(
         Launch tuning; defaults follow :mod:`repro.core.coarsening`.
     sync, id_allocation, race_tracking:
         Fault-injection and verification hooks for tests/ablations.
+        Any of them being engaged forces the simulated backend (they
+        exist to exercise the event-level machinery).
+    backend:
+        ``"simulated"`` (event-level scheduler) or ``"vectorized"``
+        (tile-granularity fast path with closed-form counters); ``None``
+        defers to the ``REPRO_BACKEND`` environment variable.
     """
     needed = max(remap.total_in, remap.total_out)
     if array.size < needed:
@@ -166,20 +175,28 @@ def run_regular_ds(
     )
     flags = make_flags(geometry.n_workgroups)
     counter = make_wg_counter()
-    if race_tracking:
-        array.arm_race_tracking()
-    try:
-        counters = stream.launch(
-            regular_ds_kernel,
-            grid_size=geometry.n_workgroups,
-            wg_size=geometry.wg_size,
-            args=(array, flags, counter, remap, geometry),
-            kwargs={"sync": sync, "id_allocation": id_allocation},
-            kernel_name=f"regular_ds[{remap.name}]",
+    resolved = resolve_backend(backend)
+    if race_tracking or not sync or id_allocation != "dynamic":
+        resolved = "simulated"
+    if resolved == "vectorized":
+        counters = vectorized_regular_launch(
+            array, flags, counter, remap, geometry, stream
         )
-    finally:
+    else:
         if race_tracking:
-            array.disarm_race_tracking()
+            array.arm_race_tracking()
+        try:
+            counters = stream.launch(
+                regular_ds_kernel,
+                grid_size=geometry.n_workgroups,
+                wg_size=geometry.wg_size,
+                args=(array, flags, counter, remap, geometry),
+                kwargs={"sync": sync, "id_allocation": id_allocation},
+                kernel_name=f"regular_ds[{remap.name}]",
+            )
+        finally:
+            if race_tracking:
+                array.disarm_race_tracking()
     counters.extras["coarsening"] = geometry.coarsening
     counters.extras["spilled"] = float(geometry.spilled)
     counters.extras["adjacent_syncs"] = float(geometry.n_workgroups if sync else 0)

@@ -49,6 +49,7 @@ def ds_pad_to_alignment(
     fill=None,
     wg_size: int = 256,
     coarsening: Optional[int] = None,
+    backend: Optional[str] = None,
     seed: int = 0,
 ) -> PrimitiveResult:
     """Pad a row-major matrix so each row starts on an
@@ -70,6 +71,6 @@ def ds_pad_to_alignment(
             extras={"pad": 0, "alignment_bytes": alignment_bytes},
         )
     result = ds_pad(matrix, pad, stream, fill=fill, wg_size=wg_size,
-                    coarsening=coarsening, seed=seed)
+                    coarsening=coarsening, backend=backend, seed=seed)
     result.extras["alignment_bytes"] = alignment_bytes
     return result

@@ -9,6 +9,12 @@ The helpers here keep that surface uniform:
 * :func:`resolve_stream` accepts a :class:`~repro.simgpu.stream.Stream`,
   a device name, or ``None`` (defaulting to the paper's primary
   evaluation device, Maxwell);
+* :func:`resolve_backend` (re-exported from
+  :mod:`repro.simgpu.vectorized`) resolves the ``backend=`` argument
+  every primitive accepts — ``"simulated"`` for the event-level
+  scheduler, ``"vectorized"`` for the tile-granularity fast path with
+  closed-form counters, ``None`` for the ``REPRO_BACKEND`` environment
+  override;
 * :class:`PrimitiveResult` is the common result envelope.
 """
 
@@ -22,8 +28,15 @@ import numpy as np
 from repro.simgpu.counters import LaunchCounters
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
+from repro.simgpu.vectorized import BACKENDS, resolve_backend
 
-__all__ = ["resolve_stream", "PrimitiveResult", "DEFAULT_DEVICE"]
+__all__ = [
+    "resolve_stream",
+    "resolve_backend",
+    "BACKENDS",
+    "PrimitiveResult",
+    "DEFAULT_DEVICE",
+]
 
 DEFAULT_DEVICE = "maxwell"
 """The paper's primary evaluation device (GeForce GTX 980)."""

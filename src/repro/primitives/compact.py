@@ -35,6 +35,7 @@ def ds_stream_compact(
     reduction_variant: str = "tree",
     scan_variant: str = "tree",
     race_tracking: bool = False,
+    backend: Optional[str] = None,
     seed: int = 0,
 ) -> PrimitiveResult:
     """Remove every occurrence of ``remove_value``, sliding the kept
@@ -54,6 +55,7 @@ def ds_stream_compact(
         reduction_variant=reduction_variant,
         scan_variant=scan_variant,
         race_tracking=race_tracking,
+        backend=backend,
     )
     return PrimitiveResult(
         output=buf.data[: result.n_true].copy(),

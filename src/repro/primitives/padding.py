@@ -39,6 +39,7 @@ def ds_pad(
     coarsening: Optional[int] = None,
     fill=None,
     race_tracking: bool = False,
+    backend: Optional[str] = None,
     seed: int = 0,
 ) -> PrimitiveResult:
     """Pad ``pad`` extra columns onto a 2-D matrix using DS Padding.
@@ -82,6 +83,7 @@ def ds_pad(
         wg_size=wg_size,
         coarsening=coarsening,
         race_tracking=race_tracking,
+        backend=backend,
     )
     if fill is not None:
         # Host epilogue: initialize the new cells.  The paper's DS
@@ -109,6 +111,7 @@ def ds_pad_buffer(
     wg_size: int = 256,
     coarsening: Optional[int] = None,
     race_tracking: bool = False,
+    backend: Optional[str] = None,
 ):
     """In-place DS Padding on an existing device buffer.
 
@@ -125,4 +128,5 @@ def ds_pad_buffer(
         wg_size=wg_size,
         coarsening=coarsening,
         race_tracking=race_tracking,
+        backend=backend,
     )

@@ -25,6 +25,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.core.fastpath import vectorized_copy_launch
 from repro.core.irregular import run_irregular_ds
 from repro.core.predicates import Predicate
 from repro.primitives.common import PrimitiveResult, resolve_stream
@@ -32,6 +33,7 @@ from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.kernels import copy_kernel  # re-exported for callers
 from repro.simgpu.stream import Stream
+from repro.simgpu.vectorized import resolve_backend
 
 __all__ = ["ds_partition", "copy_kernel"]
 
@@ -46,6 +48,7 @@ def ds_partition(
     coarsening: Optional[int] = None,
     reduction_variant: str = "tree",
     scan_variant: str = "tree",
+    backend: Optional[str] = None,
     seed: int = 0,
 ) -> PrimitiveResult:
     """Stable-partition ``values`` by ``predicate``.
@@ -72,20 +75,27 @@ def ds_partition(
             coarsening=coarsening,
             reduction_variant=reduction_variant,
             scan_variant=scan_variant,
+            backend=backend,
         )
         counters.append(result.counters)
         n_true, n_false = result.n_true, result.n_false
         if n_false:
             cf = result.geometry.coarsening
-            tile = cf * wg_size
-            grid = (n_false + tile - 1) // tile
-            copy_counters = stream.launch(
-                copy_kernel,
-                grid_size=grid,
-                wg_size=wg_size,
-                args=(aux, buf, n_false, 0, n_true, cf),
-                kernel_name="partition_copy_back",
-            )
+            if resolve_backend(backend) == "vectorized":
+                copy_counters = vectorized_copy_launch(
+                    aux, buf, n_false, 0, n_true, wg_size, cf, stream,
+                    kernel_name="partition_copy_back",
+                )
+            else:
+                tile = cf * wg_size
+                grid = (n_false + tile - 1) // tile
+                copy_counters = stream.launch(
+                    copy_kernel,
+                    grid_size=grid,
+                    wg_size=wg_size,
+                    args=(aux, buf, n_false, 0, n_true, cf),
+                    kernel_name="partition_copy_back",
+                )
             counters.append(copy_counters)
         output = buf.data.copy()
     else:
@@ -100,6 +110,7 @@ def ds_partition(
             coarsening=coarsening,
             reduction_variant=reduction_variant,
             scan_variant=scan_variant,
+            backend=backend,
         )
         counters.append(result.counters)
         n_true, n_false = result.n_true, result.n_false

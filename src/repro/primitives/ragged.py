@@ -43,6 +43,7 @@ def ds_ragged_pad(
     wg_size: int = 256,
     coarsening: Optional[int] = None,
     race_tracking: bool = False,
+    backend: Optional[str] = None,
     seed: int = 0,
 ) -> PrimitiveResult:
     """Slide packed ragged rows out to a uniform stride, in place.
@@ -79,7 +80,8 @@ def ds_ragged_pad(
     buf.data[: values.size] = values
     result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
                             coarsening=coarsening,
-                            race_tracking=race_tracking)
+                            race_tracking=race_tracking,
+                            backend=backend)
     matrix = buf.data.reshape(widths.size, stride)
     if fill is not None:
         cols = np.arange(stride)
@@ -101,6 +103,7 @@ def ds_ragged_unpad(
     wg_size: int = 256,
     coarsening: Optional[int] = None,
     race_tracking: bool = False,
+    backend: Optional[str] = None,
     seed: int = 0,
 ) -> PrimitiveResult:
     """Pack a uniform-stride matrix back into ragged rows, in place.
@@ -122,7 +125,8 @@ def ds_ragged_unpad(
     buf = Buffer(matrix.reshape(-1), "ragged")
     result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
                             coarsening=coarsening,
-                            race_tracking=race_tracking)
+                            race_tracking=race_tracking,
+                            backend=backend)
     return PrimitiveResult(
         output=buf.data[: remap.total_out].copy(),
         counters=[result.counters],

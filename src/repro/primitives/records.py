@@ -36,6 +36,7 @@ def ds_compact_records(
     reduction_variant: str = "tree",
     scan_variant: str = "tree",
     race_tracking: bool = False,
+    backend: Optional[str] = None,
     seed: int = 0,
 ) -> PrimitiveResult:
     """Keep the records whose key satisfies ``predicate``.
@@ -74,7 +75,7 @@ def ds_compact_records(
         kbuf, pbufs, predicate, stream,
         wg_size=wg_size, coarsening=coarsening,
         reduction_variant=reduction_variant, scan_variant=scan_variant,
-        race_tracking=race_tracking,
+        race_tracking=race_tracking, backend=backend,
     )
     kept = result.n_true
     return PrimitiveResult(

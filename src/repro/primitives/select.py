@@ -39,6 +39,7 @@ def ds_remove_if(
     reduction_variant: str = "tree",
     scan_variant: str = "tree",
     race_tracking: bool = False,
+    backend: Optional[str] = None,
     seed: int = 0,
 ) -> PrimitiveResult:
     """Remove, in place, the elements satisfying ``predicate``.
@@ -59,6 +60,7 @@ def ds_remove_if(
         reduction_variant=reduction_variant,
         scan_variant=scan_variant,
         race_tracking=race_tracking,
+        backend=backend,
     )
     return PrimitiveResult(
         output=buf.data[: result.n_true].copy(),
@@ -83,6 +85,7 @@ def ds_copy_if(
     coarsening: Optional[int] = None,
     reduction_variant: str = "tree",
     scan_variant: str = "tree",
+    backend: Optional[str] = None,
     seed: int = 0,
 ) -> PrimitiveResult:
     """Copy the elements satisfying ``predicate`` to a fresh array
@@ -100,6 +103,7 @@ def ds_copy_if(
         coarsening=coarsening,
         reduction_variant=reduction_variant,
         scan_variant=scan_variant,
+        backend=backend,
     )
     return PrimitiveResult(
         output=out.data[: result.n_true].copy(),

@@ -40,6 +40,7 @@ def ds_insert_gap(
     wg_size: int = 256,
     coarsening: Optional[int] = None,
     race_tracking: bool = False,
+    backend: Optional[str] = None,
     seed: int = 0,
 ) -> PrimitiveResult:
     """Insert a ``gap``-element hole at ``position``, in place.
@@ -55,7 +56,8 @@ def ds_insert_gap(
     remap = insert_gap_remap(values.size, position, gap)
     result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
                             coarsening=coarsening,
-                            race_tracking=race_tracking)
+                            race_tracking=race_tracking,
+                            backend=backend)
     if fill is not None and gap:
         buf.data[position: position + gap] = fill
     return PrimitiveResult(
@@ -76,6 +78,7 @@ def ds_erase_range(
     wg_size: int = 256,
     coarsening: Optional[int] = None,
     race_tracking: bool = False,
+    backend: Optional[str] = None,
     seed: int = 0,
 ) -> PrimitiveResult:
     """Erase ``count`` elements at ``position``, sliding the tail left
@@ -86,7 +89,8 @@ def ds_erase_range(
     remap = erase_range_remap(values.size, position, count)
     result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
                             coarsening=coarsening,
-                            race_tracking=race_tracking)
+                            race_tracking=race_tracking,
+                            backend=backend)
     return PrimitiveResult(
         output=buf.data[: values.size - count].copy(),
         counters=[result.counters],

@@ -37,6 +37,7 @@ def ds_unique(
     coarsening: Optional[int] = None,
     reduction_variant: str = "tree",
     scan_variant: str = "tree",
+    backend: Optional[str] = None,
     seed: int = 0,
 ) -> PrimitiveResult:
     """Collapse runs of equal consecutive elements in place (stable).
@@ -56,6 +57,7 @@ def ds_unique(
         stencil_unique=True,
         reduction_variant=reduction_variant,
         scan_variant=scan_variant,
+        backend=backend,
     )
     return PrimitiveResult(
         output=buf.data[: result.n_true].copy(),

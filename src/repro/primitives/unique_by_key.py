@@ -32,6 +32,7 @@ def ds_unique_by_key(
     reduction_variant: str = "tree",
     scan_variant: str = "tree",
     race_tracking: bool = False,
+    backend: Optional[str] = None,
     seed: int = 0,
 ) -> PrimitiveResult:
     """Collapse runs of equal consecutive keys, in place and stably.
@@ -52,7 +53,7 @@ def ds_unique_by_key(
         kbuf, [vbuf], None, stream,
         wg_size=wg_size, coarsening=coarsening, stencil_unique=True,
         reduction_variant=reduction_variant, scan_variant=scan_variant,
-        race_tracking=race_tracking,
+        race_tracking=race_tracking, backend=backend,
     )
     out_keys = kbuf.data[: result.n_true].copy()
     out_values = vbuf.data[: result.n_true].copy()

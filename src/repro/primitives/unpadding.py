@@ -33,6 +33,7 @@ def ds_unpad(
     wg_size: int = 256,
     coarsening: Optional[int] = None,
     race_tracking: bool = False,
+    backend: Optional[str] = None,
     seed: int = 0,
 ) -> PrimitiveResult:
     """Remove the last ``pad`` columns of a 2-D matrix using DS Unpadding.
@@ -57,6 +58,7 @@ def ds_unpad(
         wg_size=wg_size,
         coarsening=coarsening,
         race_tracking=race_tracking,
+        backend=backend,
     )
     kept = cols - pad
     return PrimitiveResult(
@@ -79,6 +81,7 @@ def ds_unpad_buffer(
     wg_size: int = 256,
     coarsening: Optional[int] = None,
     race_tracking: bool = False,
+    backend: Optional[str] = None,
 ):
     """In-place DS Unpadding on an existing device buffer holding the
     ``rows x cols`` matrix.  After the call the compacted matrix
@@ -91,4 +94,5 @@ def ds_unpad_buffer(
         wg_size=wg_size,
         coarsening=coarsening,
         race_tracking=race_tracking,
+        backend=backend,
     )

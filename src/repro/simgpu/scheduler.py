@@ -17,10 +17,12 @@ slots following a configurable **dispatch order** (ascending, descending
 or a seeded random permutation) and then interleaves resident groups one
 event at a time with a seeded random pick, so every run explores a
 different legal interleaving.  Groups that yield a
-:class:`~repro.simgpu.events.Spin` are parked and woken by the next
-atomic operation (flags only change through atomics), which keeps
-simulated spinning cheap and makes true deadlock *detectable*: when no
-group is runnable and no atomic can ever occur, the scheduler raises
+:class:`~repro.simgpu.events.Spin` are parked on the flag location they
+are polling and woken only by a *mutating* atomic that touches that
+location (flags only change through atomics), which keeps simulated
+spinning cheap — no thundering-herd re-poll of every parked group — and
+makes true deadlock *detectable*: when no group is runnable and no
+atomic can ever occur, the scheduler raises
 :class:`repro.errors.DeadlockError` instead of hanging.
 """
 
@@ -137,7 +139,10 @@ def launch(
     pending = list(perm)
     pending.reverse()  # pop() from the tail dispatches in perm order
     runnable: List[int] = []  # group indices with live generators, ready to step
-    parked: List[int] = []  # group indices blocked on a spin
+    # Groups blocked on a spin, keyed by group index.  The value is the
+    # (buffer_name, index) location the group is watching; a mutating
+    # atomic wakes only the watchers whose location it touched.
+    parked: Dict[int, tuple] = {}
     gens: Dict[int, Generator[Event, None, None]] = {}
 
     def admit() -> None:
@@ -193,15 +198,25 @@ def launch(
             counters.store_transactions += event.transactions
         elif kind is EventKind.ATOMIC:
             counters.n_atomics += 1
-            if parked:  # flags may have changed: wake everyone to re-poll
-                runnable.extend(parked)
-                parked.clear()
+            if parked and getattr(event, "mutates", True):
+                # Wake only the groups watching the touched location; an
+                # unknown index on either side is treated as a wildcard.
+                ev_index = getattr(event, "index", None)
+                woken = [
+                    g
+                    for g, (wbuf, widx) in parked.items()
+                    if wbuf == event.buffer_name
+                    and (widx is None or ev_index is None or widx == ev_index)
+                ]
+                for g in woken:
+                    del parked[g]
+                runnable.extend(woken)
         elif kind is EventKind.BARRIER:
             counters.n_barriers += 1
         elif kind is EventKind.SPIN:
             counters.n_spins += 1
             runnable.pop(pick)
-            parked.append(gidx)
+            parked[gidx] = (event.buffer_name, getattr(event, "index", None))
         elif kind is EventKind.LOCAL:
             counters.local_bytes += event.bytes
 

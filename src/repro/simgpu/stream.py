@@ -94,6 +94,20 @@ class Stream:
         self.records.append(counters)
         return counters
 
+    def record(self, counters: LaunchCounters) -> LaunchCounters:
+        """Record counters produced outside the event-level scheduler.
+
+        The vectorized backend (:mod:`repro.core.fastpath`) derives its
+        counters in closed form instead of calling :meth:`launch`; it
+        registers them here so pipelines are priced identically.  The
+        launch count still advances, keeping the scheduling seeds of any
+        *subsequent* simulated launches independent of how earlier ones
+        were executed.
+        """
+        self._launch_count += 1
+        self.records.append(counters)
+        return counters
+
     @property
     def num_launches(self) -> int:
         return len(self.records)

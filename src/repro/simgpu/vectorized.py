@@ -1,0 +1,166 @@
+"""Closed-form accounting for the vectorized execution backend.
+
+The simulated scheduler executes every work-group as a generator and
+prices memory traffic one event at a time; for large inputs the Python
+interpreter, not the algorithm, dominates the wall clock.  The
+vectorized backend (see :mod:`repro.core.fastpath`) performs each DS
+primitive as a handful of whole-array NumPy operations and *derives*
+the :class:`~repro.simgpu.counters.LaunchCounters` the simulated
+scheduler would have produced, using the arithmetic in this module.
+
+The derivations rest on structural facts of the DS kernels that do not
+depend on the schedule:
+
+* every work-group issues exactly ``coarsening`` tile-round loads, and
+  one store per non-empty round, over *contiguous* index ranges
+  ``[k * wg_size, min((k+1) * wg_size, total))`` for the global round
+  ``k`` (coalescing of a contiguous range is a two-term formula);
+* adjacent synchronization and dynamic ID allocation contribute a fixed
+  three atomics and three barriers per work-group;
+* spin iterations, interleaving steps and residency are the *only*
+  schedule-dependent quantities, and the backend reports the idealized
+  schedule (zero failed polls, maximal admission).
+
+This module also owns backend *selection*: it sits below both
+``repro.core`` and ``repro.primitives``, so either layer can resolve
+the ``backend=`` argument (and the ``REPRO_BACKEND`` environment
+override) without import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import LaunchError
+
+__all__ = [
+    "resolve_backend",
+    "BACKENDS",
+    "contiguous_round_txns",
+    "contiguous_range_txns",
+    "remapped_store_txns",
+    "round_kept_counts",
+]
+
+BACKENDS = ("simulated", "vectorized")
+"""The two execution backends every DS primitive accepts."""
+
+_ALIASES = {
+    "simulated": "simulated",
+    "sim": "simulated",
+    "vectorized": "vectorized",
+    "vec": "vectorized",
+}
+
+ENV_VAR = "REPRO_BACKEND"
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve a ``backend=`` argument to ``"simulated"`` or ``"vectorized"``.
+
+    ``None`` defers to the ``REPRO_BACKEND`` environment variable and
+    falls back to ``"simulated"``.  ``"sim"`` and ``"vec"`` are accepted
+    as shorthand.  Callers apply their own forcing rules on top (race
+    tracking and fault-injection hooks require the event-level
+    simulator).
+    """
+    if backend is None:
+        backend = os.environ.get(ENV_VAR, "").strip() or "simulated"
+    resolved = _ALIASES.get(str(backend).lower())
+    if resolved is None:
+        raise LaunchError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS} "
+            f"(or the 'sim'/'vec' shorthands)"
+        )
+    return resolved
+
+
+def _per_txn(itemsize: int, transaction_bytes: int) -> int:
+    return max(1, int(transaction_bytes) // int(itemsize))
+
+
+def contiguous_round_txns(
+    total: int, wg_size: int, itemsize: int, transaction_bytes: int, base: int = 0
+) -> int:
+    """Transactions for the DS loading pattern over ``total`` elements.
+
+    Global round ``k`` touches the contiguous range
+    ``[base + k * wg_size, base + min((k+1) * wg_size, total))``; a
+    contiguous range costs ``last_segment - first_segment + 1``
+    transactions.  Empty rounds cost nothing.
+    """
+    if total <= 0:
+        return 0
+    per = _per_txn(itemsize, transaction_bytes)
+    n_rounds = (total + wg_size - 1) // wg_size
+    lo = base + np.arange(n_rounds, dtype=np.int64) * wg_size
+    hi = np.minimum(lo + wg_size, base + total)
+    return int(((hi - 1) // per - lo // per + 1).sum())
+
+
+def contiguous_range_txns(
+    lo: np.ndarray, hi: np.ndarray, itemsize: int, transaction_bytes: int
+) -> int:
+    """Transactions for per-round stores to contiguous ranges
+    ``[lo[k], hi[k])`` (the irregular kernels' output pattern).  Empty
+    ranges (``hi <= lo``) are skipped — they emit a store event but
+    touch no segment."""
+    lo = np.asarray(lo, dtype=np.int64)
+    hi = np.asarray(hi, dtype=np.int64)
+    mask = hi > lo
+    if not mask.any():
+        return 0
+    per = _per_txn(itemsize, transaction_bytes)
+    lo = lo[mask]
+    hi = hi[mask]
+    return int(((hi - 1) // per - lo // per + 1).sum())
+
+
+def remapped_store_txns(
+    kept_pos: np.ndarray,
+    out_pos: np.ndarray,
+    wg_size: int,
+    itemsize: int,
+    transaction_bytes: int,
+) -> int:
+    """Transactions for the regular kernel's storing stage.
+
+    ``kept_pos`` are the surviving input positions (ascending) and
+    ``out_pos`` their remapped destinations.  The simulated kernel
+    issues one store per round (``round = kept_pos // wg_size``) and
+    each store costs the number of distinct ``transaction_bytes``
+    segments it touches, so the total is the number of distinct
+    ``(round, segment)`` pairs.  All shipped remaps are monotonic
+    within a round, making the pairs lexicographically sorted and the
+    count a boundary sum; a non-monotonic remap falls back to an
+    explicit lexicographic sort.
+    """
+    kept_pos = np.asarray(kept_pos, dtype=np.int64)
+    if kept_pos.size == 0:
+        return 0
+    per = _per_txn(itemsize, transaction_bytes)
+    rid = kept_pos // wg_size
+    seg = np.asarray(out_pos, dtype=np.int64) // per
+    dr = np.diff(rid)
+    ds = np.diff(seg)
+    if (ds[dr == 0] < 0).any():  # non-monotonic remap within a round
+        order = np.lexsort((seg, rid))
+        rid = rid[order]
+        seg = seg[order]
+        dr = np.diff(rid)
+        ds = np.diff(seg)
+    return int(((dr != 0) | (ds != 0)).sum()) + 1
+
+
+def round_kept_counts(keep: np.ndarray, wg_size: int) -> np.ndarray:
+    """Predicate-true elements per global round (``keep`` padded to a
+    whole number of rounds), for the irregular kernels' contiguous
+    output ranges."""
+    keep = np.asarray(keep, dtype=bool)
+    n_rounds = (keep.size + wg_size - 1) // wg_size
+    padded = np.zeros(n_rounds * wg_size, dtype=np.int64)
+    padded[: keep.size] = keep
+    return padded.reshape(n_rounds, wg_size).sum(axis=1)

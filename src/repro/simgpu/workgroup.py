@@ -126,23 +126,23 @@ class WorkGroup:
 
     def atomic_add(self, buf: Buffer, index: int, value) -> Generator[Event, None, int]:
         old = _atomics.atomic_add(buf, index, value)
-        yield AtomicRMW("add", buf.itemsize, buf.name)
+        yield AtomicRMW("add", buf.itemsize, buf.name, index)
         return old
 
     def atomic_or(self, buf: Buffer, index: int, value) -> Generator[Event, None, int]:
         old = _atomics.atomic_or(buf, index, value)
-        yield AtomicRMW("or", buf.itemsize, buf.name)
+        yield AtomicRMW("or", buf.itemsize, buf.name, index, mutates=bool(value))
         return old
 
     def atomic_read(self, buf: Buffer, index: int) -> Generator[Event, None, int]:
         """Atomic read (``atom_or(ptr, 0)`` in the paper's listings)."""
         old = _atomics.atomic_or(buf, index, 0)
-        yield AtomicRMW("or", buf.itemsize, buf.name)
+        yield AtomicRMW("or", buf.itemsize, buf.name, index, mutates=False)
         return old
 
     def atomic_exchange(self, buf: Buffer, index: int, value) -> Generator[Event, None, int]:
         old = _atomics.atomic_exchange(buf, index, value)
-        yield AtomicRMW("xchg", buf.itemsize, buf.name)
+        yield AtomicRMW("xchg", buf.itemsize, buf.name, index)
         return old
 
     def simd_atomic_add(
@@ -181,7 +181,7 @@ class WorkGroup:
         while True:
             value = _atomics.atomic_or(buf, index, 0)
             if condition(value):
-                yield AtomicRMW("or", buf.itemsize, buf.name)
+                yield AtomicRMW("or", buf.itemsize, buf.name, index, mutates=False)
                 return value
             polls += 1
             if max_polls is not None and polls > max_polls:
@@ -189,7 +189,7 @@ class WorkGroup:
                     f"wg{self.group_index}: spin on {buf.name}[{index}] exceeded "
                     f"{max_polls} polls"
                 )
-            yield Spin(buf.name)
+            yield Spin(buf.name, index)
 
     # -- scratchpad ------------------------------------------------------------
 

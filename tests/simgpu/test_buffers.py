@@ -132,3 +132,25 @@ class TestRaceTracking:
         buf = Buffer(np.arange(4, dtype=np.float32), "b")
         buf.expect_reads(reader_id=1, idx=np.arange(2))
         buf.scatter(np.asarray([0]), np.asarray([5.0]), writer_id=2)  # no raise
+
+
+class TestTransactionCountingSwitch:
+    def test_default_follows_bench_full_env(self, monkeypatch):
+        from repro.simgpu.buffers import default_count_transactions
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        assert default_count_transactions() is True
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert default_count_transactions() is False
+        monkeypatch.setenv("REPRO_BENCH_FULL", "0")
+        assert default_count_transactions() is True
+
+    def test_disabled_counting_reports_zero_transactions(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        buf = Buffer(np.arange(64, dtype=np.float32), "b")
+        assert buf._transactions(np.arange(32)) == 0
+
+    def test_explicit_flag_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        buf = Buffer(np.arange(64, dtype=np.float32), "b",
+                     count_transactions=True)
+        assert buf._transactions(np.arange(32)) > 0

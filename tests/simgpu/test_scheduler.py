@@ -173,3 +173,56 @@ class TestStream:
 
     def test_empty_total(self, maxwell):
         assert Stream(maxwell).total().bytes_moved == 0
+
+
+def noisy_signal_kernel(wg, flags, noise, rounds):
+    """wg 0 waits on flags[1]; wg 1 hammers an unrelated flag slot
+    ``rounds`` times before signalling."""
+    if wg.group_index == 0:
+        yield from wg.spin_until(flags, 1, lambda v: v != 0)
+    else:
+        for _ in range(rounds):
+            yield from wg.atomic_add(noise, 3, 1)
+        yield from wg.atomic_or(flags, 1, 1)
+
+
+class TestTargetedWakeup:
+    def _flags(self, n):
+        return Buffer(np.zeros(n, dtype=np.int64), "flags")
+
+    def test_unrelated_atomics_do_not_wake_spinners(self, maxwell):
+        """A parked group watches one (buffer, index) slot; atomics on
+        other slots must not wake it, so its failed polls stay O(1)
+        instead of O(noise atomics)."""
+        flags = self._flags(4)
+        noise = self._flags(4)
+        c = launch(noisy_signal_kernel, grid_size=2, wg_size=32,
+                   device=maxwell, args=(flags, noise, 50),
+                   order="ascending")
+        assert c.completed_wgs == 2
+        assert c.n_spins <= 1
+
+    def test_same_buffer_other_index_does_not_wake(self, maxwell):
+        flags = self._flags(8)
+        c = launch(noisy_signal_kernel, grid_size=2, wg_size=32,
+                   device=maxwell, args=(flags, flags, 50),
+                   order="ascending")
+        assert c.completed_wgs == 2
+        assert c.n_spins <= 1
+
+    def test_matching_atomic_wakes_spinner(self, maxwell):
+        flags = self._flags(4)
+        c = launch(noisy_signal_kernel, grid_size=2, wg_size=32,
+                   device=maxwell, args=(flags, flags, 0),
+                   order="ascending")
+        assert c.completed_wgs == 2
+        assert flags.data[1] == 1
+
+    def test_parked_only_grid_still_deadlocks(self, maxwell):
+        def forever(wg, flags):
+            yield from wg.spin_until(flags, 1, lambda v: v != 0)
+
+        flags = self._flags(4)
+        with pytest.raises(DeadlockError):
+            launch(forever, grid_size=1, wg_size=32, device=maxwell,
+                   args=(flags,))
