@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-all bench bench-smoke bench-full figures examples clean
+.PHONY: install test test-all bench bench-smoke bench-full bench-check \
+        trace-smoke figures examples clean
 
 install:
 	pip install -e . || \
@@ -23,6 +24,14 @@ bench-smoke:     ## one regular + one irregular benchmark, both backends
 
 bench-full:      ## same, at the paper's 16M / 12000x11999 sizes
 	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-check:     ## compare fresh runs against committed BENCH_*.json baselines
+	$(PYTHON) -m repro.obs.regress benchmarks/results
+
+trace-smoke:     ## export + validate a Chrome trace of one experiment
+	$(PYTHON) -m repro trace fig13 -o /tmp/repro_trace_smoke.json --check
+	$(PYTHON) -m repro trace fig08 -o /tmp/repro_trace_smoke8.json \
+	  --elements 8192 --check
 
 figures:         ## print every reproduced figure and Table I
 	$(PYTHON) -m repro all

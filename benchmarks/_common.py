@@ -20,12 +20,11 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from pathlib import Path
 
-import numpy as np
-
 from repro.analysis import FigureData, render_figure
+from repro.obs.benchrun import PARITY_FIELDS  # noqa: F401  (re-export)
+from repro.obs.benchrun import compare_backends as _compare_backends
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -42,72 +41,28 @@ BENCH_MATRIX = (12000, 11999) if FULL_SCALE else (1024, 1023)
 ROUNDS = dict(rounds=3, iterations=1, warmup_rounds=0)
 
 
-#: Counter fields that must match exactly between the two execution
-#: backends (the contract in docs/simulator.md); n_spins and steps are
-#: schedule-dependent and excluded.
-PARITY_FIELDS = (
-    "kernel_name", "grid_size", "wg_size",
-    "bytes_loaded", "bytes_stored",
-    "load_transactions", "store_transactions",
-    "n_loads", "n_stores", "n_atomics", "n_barriers",
-    "completed_wgs", "peak_resident",
-)
-
-
 def compare_backends(bench_id: str, run, *, min_speedup: float = None,
                      meta: dict = None) -> dict:
-    """Time ``run(backend)`` under both execution backends.
+    """Time ``run(backend)`` under both execution backends and persist
+    the report.
 
-    ``run`` must accept ``backend`` (``"simulated"`` or
-    ``"vectorized"``) and return a
-    :class:`~repro.primitives.common.PrimitiveResult`.  Outputs and the
-    deterministic counter fields are asserted identical, wall-clock and
-    speedup are written to ``benchmarks/results/BENCH_<bench_id>.json``
-    (machine-readable, one file per benchmark), and the report dict is
-    returned.  ``min_speedup``, when given, is asserted.
+    The measurement, parity assertions and report shape live in
+    :func:`repro.obs.benchrun.compare_backends` (shared with the
+    ``make bench-check`` regression gate); this wrapper writes the
+    report to ``benchmarks/results/BENCH_<bench_id>.json`` — the
+    committed baseline the gate compares fresh runs against, including
+    the full per-launch counter records — and prints the one-line
+    summary.
     """
-    def best_of_two(backend):
-        # First call pays one-time costs (allocator first-touch, lazy
-        # imports); the minimum of two runs is the steady-state number.
-        t0 = time.perf_counter()
-        result = run(backend=backend)
-        t1 = time.perf_counter()
-        run(backend=backend)
-        t2 = time.perf_counter()
-        return result, min(t1 - t0, t2 - t1)
-
-    sim, t_sim = best_of_two("simulated")
-    vec, t_vec = best_of_two("vectorized")
-
-    assert np.array_equal(np.asarray(sim.output), np.asarray(vec.output)), \
-        f"{bench_id}: backend outputs differ"
-    assert vec.num_launches == sim.num_launches
-    for cs, cv in zip(sim.counters, vec.counters):
-        for field in PARITY_FIELDS:
-            assert getattr(cv, field) == getattr(cs, field), (
-                f"{bench_id}: counter {field} differs between backends "
-                f"(simulated={getattr(cs, field)}, "
-                f"vectorized={getattr(cv, field)})")
-
-    speedup = t_sim / t_vec if t_vec > 0 else float("inf")
-    report = {
-        "id": bench_id,
-        "wall_clock_s": {"simulated": t_sim, "vectorized": t_vec},
-        "speedup": speedup,
-        "parity": {"fields": list(PARITY_FIELDS), "ok": True,
-                   "launches": sim.num_launches},
-    }
-    if meta:
-        report.update(meta)
+    report = _compare_backends(bench_id, run, min_speedup=min_speedup,
+                               meta=meta)
+    t_sim = report["wall_clock_s"]["simulated"]
+    t_vec = report["wall_clock_s"]["vectorized"]
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{bench_id}.json"
     path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\n[{bench_id}] simulated {t_sim:.2f}s vs vectorized "
-          f"{t_vec:.4f}s -> {speedup:.0f}x ({path})")
-    if min_speedup is not None:
-        assert speedup >= min_speedup, (
-            f"{bench_id}: vectorized speedup {speedup:.1f}x below the "
-            f"{min_speedup}x floor")
+          f"{t_vec:.4f}s -> {report['speedup']:.0f}x ({path})")
     return report
 
 

@@ -75,6 +75,31 @@ def main() -> None:
     ref = repro.compact(sparse, 0.0, backend="numpy")
     print("   identical results:", np.array_equal(ref, repro.compact(sparse, 0.0)))
 
+    # --- Tracing: watch the Figure 7 wait chain -------------------------
+    print("\n10. Span tracing (repro.obs): where each work-group's time went")
+    from repro import obs
+
+    from repro.perfmodel import profile_result
+
+    big = rng.integers(0, 10, 65536).astype(np.float32)
+    with obs.tracing("spans") as tracer:
+        traced = repro.compact(big, 0.0, return_result=True)
+    for track, span, depth in tracer.iter_spans():
+        if track == "wg:1" and depth == 0:
+            print(f"    wg:1 {span.name:<10}{span.duration_us:9.1f} us")
+    waits = tracer.metrics.instruments("sched.spin_wait_us")
+    print(f"    spin-wait histograms for {len(waits)} work-groups "
+          f"(the adjacent-sync chain)")
+    print("    export a full timeline:  python -m repro trace fig13"
+          " -o trace.json")
+
+    print("\n11. ...and what that run would cost on the paper's Maxwell"
+          " (profile_result):")
+    report = profile_result(traced, device="maxwell")
+    print(f"    {report['time_us']:.1f} us modelled, "
+          f"{report['gbps']:.1f} GB/s effective, "
+          f"{report['launches']:.0f} launch(es)")
+
 
 if __name__ == "__main__":
     main()

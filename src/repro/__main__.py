@@ -7,9 +7,13 @@ Usage::
     python -m repro table1               # print the Table I summary
     python -m repro all                  # print everything
     python -m repro devices              # print the device catalog
+    python -m repro trace fig13 -o trace.json   # export a Chrome trace
 
 The same tables are produced (and persisted) by the benchmark harness;
-this entry point is the quick interactive path.
+this entry point is the quick interactive path.  ``trace`` runs one
+experiment's primitive under both execution backends with full tracing
+and writes a Chrome-trace JSON file (open it in ``chrome://tracing`` or
+https://ui.perfetto.dev) — see docs/observability.md.
 """
 
 from __future__ import annotations
@@ -17,17 +21,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis import (
-    FIGURES,
-    cpu_sequential_comparison,
-    render_figure,
-    render_table,
-    table1_summary,
-)
-from repro.simgpu import list_devices
-
 
 def _render_table1() -> str:
+    from repro.analysis import render_table, table1_summary
+
     rows = [["primitive", "device", "DS GB/s", "competitor", "comp GB/s",
              "speedup", "paper speedup"]]
     for r in table1_summary():
@@ -39,6 +36,8 @@ def _render_table1() -> str:
 
 
 def _render_cpu() -> str:
+    from repro.analysis import cpu_sequential_comparison, render_table
+
     rows = [["operation", "DS GB/s", "seq GB/s", "speedup", "paper"]]
     for r in cpu_sequential_comparison():
         rows.append([r["operation"], f"{r['ds_gbps']:.2f}",
@@ -49,6 +48,9 @@ def _render_cpu() -> str:
 
 
 def _render_devices() -> str:
+    from repro.analysis import render_table
+    from repro.simgpu import list_devices
+
     rows = [["name", "product", "peak GB/s", "CUs", "resident wgs",
              "warp", "notes"]]
     for d in list_devices():
@@ -58,23 +60,84 @@ def _render_devices() -> str:
     return "== simulated device catalog ==\n" + render_table(rows, indent="   ")
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs.runner import trace_experiment
+
+    backends = [args.backend] if args.backend else ["simulated", "vectorized"]
+    doc = trace_experiment(
+        args.experiment, args.output,
+        elements=args.elements, backends=backends, mode=args.mode,
+        jsonl_path=args.jsonl, check=args.check,
+    )
+    n_spans = sum(1 for ev in doc["traceEvents"] if ev["ph"] == "X")
+    print(f"wrote {args.output}: {len(doc['traceEvents'])} events "
+          f"({n_spans} spans, backends: {', '.join(backends)})")
+    if args.jsonl:
+        print(f"wrote {args.jsonl} (flat JSONL event log)")
+    print("open the JSON in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
+    from repro.analysis import FIGURES
+    from repro.obs.runner import DEFAULT_ELEMENTS, TRACEABLE
+    from repro.obs.tracer import TRACE_MODES
+
     known = sorted(FIGURES) + ["table1", "cpu", "devices", "list", "all"]
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's figures and tables "
-        "(In-Place Data Sliding Algorithms, ICPP 2015).",
+        "(In-Place Data Sliding Algorithms, ICPP 2015).  "
+        "Subcommand: trace <experiment> -o trace.json exports a "
+        "Chrome-trace timeline.",
     )
+    trace = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run one experiment's primitive under full tracing "
+                    "and export the span timeline as Chrome-trace JSON "
+                    "(one process per backend, one thread per work-group).",
+    )
+    trace.add_argument("experiment", choices=sorted(TRACEABLE),
+                       help="traceable experiment id")
+    trace.add_argument("-o", "--output", default="trace.json",
+                       help="Chrome-trace JSON output path "
+                            "(default: trace.json)")
+    trace.add_argument("--backend", choices=["simulated", "vectorized"],
+                       default=None,
+                       help="trace only one backend (default: both)")
+    trace.add_argument("--mode", choices=[m for m in TRACE_MODES if m != "off"],
+                       default="full",
+                       help="spans only, or full (adds per-atomic/barrier "
+                            "instant events; default)")
+    trace.add_argument("--elements", type=int, default=DEFAULT_ELEMENTS,
+                       help=f"workload size (default: {DEFAULT_ELEMENTS})")
+    trace.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="also write a flat JSONL event log")
+    trace.add_argument("--check", action="store_true",
+                       help="validate the exported document (trace-smoke)")
+    # The original positional-experiment UX rides alongside the
+    # subcommand: `python -m repro fig12` still works.
     parser.add_argument("experiment", choices=known,
-                        help="experiment id, or list/all/devices")
+                        help="experiment id, or list/all/devices "
+                             "(or the 'trace' subcommand)")
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        args = trace.parse_args(argv[1:])
+        return _cmd_trace(args)
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         print("available experiments:")
         for fid in sorted(FIGURES):
-            print(f"  {fid}")
+            traced = "  (traceable: python -m repro trace {0} -o trace.json)" \
+                .format(fid) if fid in TRACEABLE else ""
+            print(f"  {fid}{traced}")
         print("  table1\n  cpu\n  devices")
+        print("subcommands:")
+        print("  trace <experiment> -o trace.json   "
+              "export a Chrome-trace timeline (see docs/observability.md)")
+        print(f"    traceable: {', '.join(sorted(TRACEABLE))}")
         return 0
     if args.experiment == "devices":
         print(_render_devices())
@@ -86,6 +149,8 @@ def main(argv=None) -> int:
         print(_render_cpu())
         return 0
     if args.experiment == "all":
+        from repro.analysis import render_figure
+
         for fid in sorted(FIGURES):
             print(render_figure(FIGURES[fid]()))
             print()
@@ -93,6 +158,8 @@ def main(argv=None) -> int:
         print()
         print(_render_cpu())
         return 0
+    from repro.analysis import render_figure
+
     print(render_figure(FIGURES[args.experiment]()))
     return 0
 

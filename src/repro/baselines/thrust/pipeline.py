@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.thrust import kernels as K
 from repro.core.coarsening import launch_geometry
 from repro.core.predicates import Predicate
@@ -59,6 +60,24 @@ def scan_scatter(
     )
     n_wgs = geometry.n_workgroups
     cf = THRUST_COARSENING
+    # One pipeline span containing the per-pass launch spans, so a trace
+    # shows the multi-launch structure the paper charges Thrust for.
+    with obs.span(f"thrust_pipeline[{name}]", cat="pipeline",
+                  args={"n": int(total), "wg_size": wg_size,
+                        "stencil": stencil, "double_scan": double_scan}):
+        return _scan_scatter_passes(
+            src, dst, predicate, total, stream, geometry, n_wgs, cf,
+            wg_size=wg_size, stencil=stencil, false_dst=false_dst,
+            false_offset_by_total_true=false_offset_by_total_true,
+            double_scan=double_scan, name=name,
+        )
+
+
+def _scan_scatter_passes(
+    src, dst, predicate, total, stream, geometry, n_wgs, cf,
+    *, wg_size, stencil, false_dst, false_offset_by_total_true,
+    double_scan, name,
+) -> int:
     # Full-length scan intermediate, int32 — the repeated global traffic
     # the paper's Section V attributes to Thrust.
     scan_arr = Buffer(np.zeros(total, dtype=np.int32), f"{name}_scan")

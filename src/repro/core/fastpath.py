@@ -34,6 +34,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.core.coarsening import LaunchGeometry
 from repro.core.flags import FLAG_SET
 from repro.core.offsets import RegularRemap
@@ -54,6 +55,74 @@ __all__ = [
     "vectorized_keyed_launch",
     "vectorized_copy_launch",
 ]
+
+
+def _trace_begin(kernel_name: str, grid: int, wg_size: int, stream: Stream):
+    """Open the launch span for a vectorized launch (or ``(None, None)``
+    when tracing is off — the entire per-launch tracing cost)."""
+    tracer = _obs.active()
+    if tracer is None:
+        return None, None
+    sp = tracer.span(
+        kernel_name, cat="launch",
+        args={"backend": "vectorized", "grid_size": grid,
+              "wg_size": wg_size, "device": stream.device.name},
+    )
+    return tracer, sp
+
+
+def _emit_wg_phases(
+    tracer,
+    *,
+    grid: int,
+    tile: int,
+    wg_size: int,
+    coarsening: int,
+    total: int,
+    t0: float,
+    t1: float,
+    irregular: bool,
+) -> None:
+    """Emit the synthetic per-work-group phase spans of one launch.
+
+    The vectorized backend executes whole-array operations, so the real
+    timeline has only two measured intervals: the data movement
+    ``[t0, t1]`` and the side-structure finalization ``[t1, now]``.
+    Each work-group's track mirrors those intervals with the *same span
+    names and nesting* the simulated kernels emit — load / (reduce) /
+    sync / store, with one zero-width ``scan`` child per non-empty
+    store round — so span-tree comparisons across backends are
+    meaningful, exactly like counter parity.  Work-group ``g`` is
+    assigned tile ``g``; the simulated schedule permutes that
+    assignment across tracks, so comparisons treat tracks as a
+    multiset.
+    """
+    t_end = tracer.now_us()
+    tm = (t0 + t1) / 2.0
+    for g in range(grid):
+        track = _obs.wg_track(g)
+        tracer.add_span("load", track=track, start_us=t0, end_us=tm,
+                        cat="phase", args={"rounds": coarsening})
+        if irregular:
+            tracer.add_span("reduce", track=track, start_us=tm, end_us=tm,
+                            cat="phase")
+        tracer.add_span("sync", track=track, start_us=t1, end_us=t_end,
+                        cat="phase")
+        store = tracer.add_span("store", track=track, start_us=tm, end_us=t1,
+                                cat="phase")
+        if irregular:
+            remaining = total - g * tile
+            rounds = max(0, min(coarsening, -(-remaining // wg_size)))
+            for _ in range(rounds):
+                tracer.add_span("scan", track=track, start_us=tm, end_us=tm,
+                                cat="phase", parent=store)
+
+
+def _trace_finish(tracer, launch_span, c: LaunchCounters) -> None:
+    if tracer is not None:
+        launch_span.set(
+            steps=c.steps, n_spins=c.n_spins, peak_resident=c.peak_resident,
+        ).finish()
 
 
 def _base_counters(
@@ -102,11 +171,15 @@ def vectorized_regular_launch(
     """Fast-path twin of :func:`repro.core.regular.regular_ds_kernel`."""
     grid, W, cf = geometry.n_workgroups, geometry.wg_size, geometry.coarsening
     total = remap.total_in
+    tracer, launch_span = _trace_begin(
+        f"regular_ds[{remap.name}]", grid, W, stream)
+    t0 = tracer.now_us() if tracer is not None else 0.0
     positions = np.arange(total, dtype=np.int64)
     keep, out_pos = remap(positions)
     kept_pos = positions[keep]
     dest = out_pos[keep]
     array.data[dest] = array.data[kept_pos]  # gather copies: overlap-safe
+    t1 = tracer.now_us() if tracer is not None else 0.0
 
     c = _base_counters(f"regular_ds[{remap.name}]", grid, W, stream)
     itemsize, txb = array.itemsize, array.transaction_bytes
@@ -127,7 +200,13 @@ def vectorized_regular_launch(
     _finalize_sync_structures(
         flags, wg_counter, grid, np.full(grid, FLAG_SET, dtype=flags.data.dtype)
     )
-    return stream.record(_finish(c))
+    rec = stream.record(_finish(c))
+    if tracer is not None:
+        _emit_wg_phases(tracer, grid=grid, tile=geometry.tile_size, wg_size=W,
+                        coarsening=cf, total=total, t0=t0, t1=t1,
+                        irregular=False)
+        _trace_finish(tracer, launch_span, c)
+    return rec
 
 
 def _evaluate_keep(
@@ -197,12 +276,15 @@ def vectorized_irregular_launch(
     """Fast-path twin of :func:`repro.core.irregular.irregular_ds_kernel`."""
     grid, W, cf = geometry.n_workgroups, geometry.wg_size, geometry.coarsening
     n = int(total)
+    tracer, launch_span = _trace_begin(kernel_name, grid, W, stream)
+    t0 = tracer.now_us() if tracer is not None else 0.0
     vals = array.data[:n].copy()  # snapshot: predicates see pristine input
     keep = _evaluate_keep(vals, predicate, stencil_unique)
     n_true = int(keep.sum())
     out.data[:n_true] = vals[keep]
     if false_out is not None:
         false_out.data[: n - n_true] = vals[~keep]
+    t1 = tracer.now_us() if tracer is not None else 0.0
 
     kt = round_kept_counts(keep, W)  # kept per global round
     kept_before = np.cumsum(kt) - kt
@@ -233,7 +315,12 @@ def vectorized_irregular_launch(
         grid,
         np.cumsum(kept_per_wg) + 1,  # encode_count applied vector-wide
     )
-    return stream.record(_finish(c))
+    rec = stream.record(_finish(c))
+    if tracer is not None:
+        _emit_wg_phases(tracer, grid=grid, tile=geometry.tile_size, wg_size=W,
+                        coarsening=cf, total=n, t0=t0, t1=t1, irregular=True)
+        _trace_finish(tracer, launch_span, c)
+    return rec
 
 
 def vectorized_keyed_launch(
@@ -252,6 +339,8 @@ def vectorized_keyed_launch(
     """Fast-path twin of :func:`repro.core.keyed.keyed_irregular_ds_kernel`."""
     grid, W, cf = geometry.n_workgroups, geometry.wg_size, geometry.coarsening
     n = int(total)
+    tracer, launch_span = _trace_begin(kernel_name, grid, W, stream)
+    t0 = tracer.now_us() if tracer is not None else 0.0
     key_vals = keys.data[:n].copy()
     payload_vals = [p.data[:n].copy() for p in payloads]
     keep = _evaluate_keep(key_vals, predicate, stencil_unique)
@@ -259,6 +348,7 @@ def vectorized_keyed_launch(
     keys.data[:n_true] = key_vals[keep]
     for buf, vals in zip(payloads, payload_vals):
         buf.data[:n_true] = vals[keep]
+    t1 = tracer.now_us() if tracer is not None else 0.0
 
     kt = round_kept_counts(keep, W)
     kept_before = np.cumsum(kt) - kt
@@ -286,7 +376,12 @@ def vectorized_keyed_launch(
         grid,
         np.cumsum(kept_per_wg) + 1,  # encode_count applied vector-wide
     )
-    return stream.record(_finish(c))
+    rec = stream.record(_finish(c))
+    if tracer is not None:
+        _emit_wg_phases(tracer, grid=grid, tile=geometry.tile_size, wg_size=W,
+                        coarsening=cf, total=n, t0=t0, t1=t1, irregular=True)
+        _trace_finish(tracer, launch_span, c)
+    return rec
 
 
 def vectorized_copy_launch(
@@ -305,6 +400,7 @@ def vectorized_copy_launch(
     by the in-place partition's false-tail copy-back)."""
     tile = wg_size * coarsening
     grid = (n + tile - 1) // tile
+    tracer, launch_span = _trace_begin(kernel_name, grid, wg_size, stream)
     dst.data[dst_base : dst_base + n] = src.data[src_base : src_base + n]
 
     c = _base_counters(kernel_name, grid, wg_size, stream)
@@ -324,4 +420,6 @@ def vectorized_copy_launch(
     src.stats.load_transactions += c.load_transactions
     dst.stats.stores_elems += n
     dst.stats.store_transactions += c.store_transactions
-    return stream.record(_finish(c))
+    rec = stream.record(_finish(c))
+    _trace_finish(tracer, launch_span, c)
+    return rec

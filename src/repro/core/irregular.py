@@ -107,75 +107,85 @@ def irregular_ds_kernel(
         left_neighbor = vals[0]
 
     # -- Loading stage with per-work-item counting. ---------------------------
-    staged: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-    lane_counts = np.zeros(wg.size, dtype=np.int64)
-    pos = base + wg.wi_id
-    prev_round_last = left_neighbor
-    for _ in range(geometry.coarsening):
-        lane_active = pos < total
-        active = pos[lane_active]
-        values = yield from wg.load(array, active)
-        if stencil_unique:
-            flags_true = np.empty(values.shape, dtype=bool)
-            if values.size:
-                flags_true[1:] = values[1:] != values[:-1]
-                if prev_round_last is None:  # very first element of the array
-                    flags_true[0] = True
-                else:
-                    flags_true[0] = values[0] != prev_round_last
-                prev_round_last = values[-1]
-        else:
-            flags_true = predicate(values)
-        lane_counts[lane_active] += flags_true
-        staged.append((active, values, flags_true))
-        pos = pos + wg.size
+    with wg.phase("load", rounds=geometry.coarsening):
+        staged: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        lane_counts = np.zeros(wg.size, dtype=np.int64)
+        pos = base + wg.wi_id
+        prev_round_last = left_neighbor
+        for _ in range(geometry.coarsening):
+            lane_active = pos < total
+            active = pos[lane_active]
+            values = yield from wg.load(array, active)
+            if stencil_unique:
+                flags_true = np.empty(values.shape, dtype=bool)
+                if values.size:
+                    flags_true[1:] = values[1:] != values[:-1]
+                    if prev_round_last is None:  # very first element of the array
+                        flags_true[0] = True
+                    else:
+                        flags_true[0] = values[0] != prev_round_last
+                    prev_round_last = values[-1]
+            else:
+                flags_true = predicate(values)
+            lane_counts[lane_active] += flags_true
+            staged.append((active, values, flags_true))
+            pos = pos + wg.size
 
     # -- Reduction before the synchronization (default, shorter chain). -------
     # The paper (after [14], [16]) prefers reduce-then-sync-then-scan: only
     # the cheap reduction sits on the inter-group critical path.  The
     # scan_first ablation computes every rank *before* synchronizing, the
     # longer-critical-path ordering Algorithm 2 also allows.
-    precomputed_ranks: list[np.ndarray] = []
-    if scan_first:
-        for active, _values, flags_true in staged:
-            full_pred = np.zeros(wg.size, dtype=bool)
-            full_pred[: active.size] = flags_true
-            ranks, _ = binary_exclusive_scan(full_pred, scan_variant, wg.warp_size)
-            precomputed_ranks.append(ranks)
-    local_count, _rounds = reduce_workgroup(lane_counts, reduction_variant, wg.warp_size)
+    with wg.phase("reduce", variant=reduction_variant):
+        precomputed_ranks: list[np.ndarray] = []
+        if scan_first:
+            for active, _values, flags_true in staged:
+                full_pred = np.zeros(wg.size, dtype=bool)
+                full_pred[: active.size] = flags_true
+                with wg.phase("scan", variant=scan_variant):
+                    ranks, _ = binary_exclusive_scan(
+                        full_pred, scan_variant, wg.warp_size)
+                precomputed_ranks.append(ranks)
+        local_count, _rounds = reduce_workgroup(
+            lane_counts, reduction_variant, wg.warp_size)
 
     # -- Modified adjacent synchronization (Figure 7). -------------------------
-    if sync:
-        previous_total = yield from adjacent_sync_irregular(wg, flags, wg_id, local_count)
-    else:
-        # Fault-injection mode: the host pre-filled the flag array with the
-        # correct cumulative counts (as a two-pass scan would), so offsets
-        # are right but the *ordering* guarantee is gone — stores may now
-        # clobber tiles other groups have not loaded, which is exactly the
-        # hazard the race tracker exists to expose.
-        yield from wg.barrier("local")
-        previous_total = max(0, int(flags.data[wg_id]) - 1)
+    with wg.phase("sync"):
+        if sync:
+            previous_total = yield from adjacent_sync_irregular(
+                wg, flags, wg_id, local_count)
+        else:
+            # Fault-injection mode: the host pre-filled the flag array with the
+            # correct cumulative counts (as a two-pass scan would), so offsets
+            # are right but the *ordering* guarantee is gone — stores may now
+            # clobber tiles other groups have not loaded, which is exactly the
+            # hazard the race tracker exists to expose.
+            yield from wg.barrier("local")
+            previous_total = max(0, int(flags.data[wg_id]) - 1)
 
     # -- Storing stage: binary prefix sum ranks each true element. ------------
-    running = previous_total
-    for round_idx, (active, values, flags_true) in enumerate(staged):
-        if active.size == 0:
-            continue
-        if scan_first:
-            ranks = precomputed_ranks[round_idx]
-        else:
-            full_pred = np.zeros(wg.size, dtype=bool)
-            full_pred[: active.size] = flags_true  # active lanes are a prefix
-            ranks, _ = binary_exclusive_scan(full_pred, scan_variant, wg.warp_size)
-        true_ranks = ranks[: active.size][flags_true]
-        out_pos = running + true_ranks
-        yield from wg.store(out, out_pos, values[flags_true])
-        if false_out is not None and (~flags_true).any():
-            false_mask = ~flags_true
-            g = active[false_mask]  # absolute input positions
-            trues_before = running + ranks[: active.size][false_mask]
-            yield from wg.store(false_out, g - trues_before, values[false_mask])
-        running += int(flags_true.sum())
+    with wg.phase("store"):
+        running = previous_total
+        for round_idx, (active, values, flags_true) in enumerate(staged):
+            if active.size == 0:
+                continue
+            if scan_first:
+                ranks = precomputed_ranks[round_idx]
+            else:
+                full_pred = np.zeros(wg.size, dtype=bool)
+                full_pred[: active.size] = flags_true  # active lanes are a prefix
+                with wg.phase("scan", variant=scan_variant):
+                    ranks, _ = binary_exclusive_scan(
+                        full_pred, scan_variant, wg.warp_size)
+            true_ranks = ranks[: active.size][flags_true]
+            out_pos = running + true_ranks
+            yield from wg.store(out, out_pos, values[flags_true])
+            if false_out is not None and (~flags_true).any():
+                false_mask = ~flags_true
+                g = active[false_mask]  # absolute input positions
+                trues_before = running + ranks[: active.size][false_mask]
+                yield from wg.store(false_out, g - trues_before, values[false_mask])
+            running += int(flags_true.sum())
 
 
 @dataclass

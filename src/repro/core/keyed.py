@@ -78,47 +78,53 @@ def keyed_irregular_ds_kernel(
         vals = yield from wg.load(keys, np.asarray([base - 1], dtype=np.int64))
         left_neighbor = vals[0]
 
-    staged: List[tuple] = []
-    lane_counts = np.zeros(wg.size, dtype=np.int64)
-    pos = base + wg.wi_id
-    prev_last = left_neighbor
-    for _ in range(geometry.coarsening):
-        lane_active = pos < total
-        active = pos[lane_active]
-        key_vals = yield from wg.load(keys, active)
-        payload_vals = []
-        for p in payloads:
-            vals = yield from wg.load(p, active)
-            payload_vals.append(vals)
-        if stencil_unique:
-            keep = np.empty(key_vals.shape, dtype=bool)
-            if key_vals.size:
-                keep[1:] = key_vals[1:] != key_vals[:-1]
-                keep[0] = True if prev_last is None else key_vals[0] != prev_last
-                prev_last = key_vals[-1]
-        else:
-            keep = predicate(key_vals)
-        lane_counts[lane_active] += keep
-        staged.append((active, key_vals, payload_vals, keep))
-        pos = pos + wg.size
+    with wg.phase("load", rounds=geometry.coarsening):
+        staged: List[tuple] = []
+        lane_counts = np.zeros(wg.size, dtype=np.int64)
+        pos = base + wg.wi_id
+        prev_last = left_neighbor
+        for _ in range(geometry.coarsening):
+            lane_active = pos < total
+            active = pos[lane_active]
+            key_vals = yield from wg.load(keys, active)
+            payload_vals = []
+            for p in payloads:
+                vals = yield from wg.load(p, active)
+                payload_vals.append(vals)
+            if stencil_unique:
+                keep = np.empty(key_vals.shape, dtype=bool)
+                if key_vals.size:
+                    keep[1:] = key_vals[1:] != key_vals[:-1]
+                    keep[0] = True if prev_last is None else key_vals[0] != prev_last
+                    prev_last = key_vals[-1]
+            else:
+                keep = predicate(key_vals)
+            lane_counts[lane_active] += keep
+            staged.append((active, key_vals, payload_vals, keep))
+            pos = pos + wg.size
 
-    local_count, _ = reduce_workgroup(lane_counts, reduction_variant,
-                                      wg.warp_size)
-    previous_total = yield from adjacent_sync_irregular(
-        wg, flags, wg_id, local_count)
+    with wg.phase("reduce", variant=reduction_variant):
+        local_count, _ = reduce_workgroup(lane_counts, reduction_variant,
+                                          wg.warp_size)
+    with wg.phase("sync"):
+        previous_total = yield from adjacent_sync_irregular(
+            wg, flags, wg_id, local_count)
 
-    running = previous_total
-    for active, key_vals, payload_vals, keep in staged:
-        if active.size == 0:
-            continue
-        full_pred = np.zeros(wg.size, dtype=bool)
-        full_pred[: active.size] = keep
-        ranks, _ = binary_exclusive_scan(full_pred, scan_variant, wg.warp_size)
-        out_pos = running + ranks[: active.size][keep]
-        yield from wg.store(keys, out_pos, key_vals[keep])
-        for p, vals in zip(payloads, payload_vals):
-            yield from wg.store(p, out_pos, vals[keep])
-        running += int(keep.sum())
+    with wg.phase("store"):
+        running = previous_total
+        for active, key_vals, payload_vals, keep in staged:
+            if active.size == 0:
+                continue
+            full_pred = np.zeros(wg.size, dtype=bool)
+            full_pred[: active.size] = keep
+            with wg.phase("scan", variant=scan_variant):
+                ranks, _ = binary_exclusive_scan(
+                    full_pred, scan_variant, wg.warp_size)
+            out_pos = running + ranks[: active.size][keep]
+            yield from wg.store(keys, out_pos, key_vals[keep])
+            for p, vals in zip(payloads, payload_vals):
+                yield from wg.store(p, out_pos, vals[keep])
+            running += int(keep.sum())
 
 
 @dataclass

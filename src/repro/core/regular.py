@@ -87,26 +87,29 @@ def regular_ds_kernel(
     wg.declare_reads(array, tile_positions)
 
     # -- Loading stage: coarsening strided rounds into "registers". ----------
-    staged: list[tuple[np.ndarray, np.ndarray]] = []
-    pos = base + wg.wi_id
-    for _ in range(geometry.coarsening):
-        active = pos[pos < total]
-        values = yield from wg.load(array, active)
-        staged.append((active, values))
-        pos = pos + wg.size
+    with wg.phase("load", rounds=geometry.coarsening):
+        staged: list[tuple[np.ndarray, np.ndarray]] = []
+        pos = base + wg.wi_id
+        for _ in range(geometry.coarsening):
+            active = pos[pos < total]
+            values = yield from wg.load(array, active)
+            staged.append((active, values))
+            pos = pos + wg.size
 
     # -- Adjacent work-group synchronization (Figure 3). ---------------------
-    if sync:
-        yield from adjacent_sync_regular(wg, flags, wg_id)
-    else:
-        yield from wg.barrier("local")
+    with wg.phase("sync"):
+        if sync:
+            yield from adjacent_sync_regular(wg, flags, wg_id)
+        else:
+            yield from wg.barrier("local")
 
     # -- Storing stage: remapped positions. -----------------------------------
-    for in_pos, values in staged:
-        if in_pos.size == 0:
-            continue
-        keep, out_pos = remap(in_pos)
-        yield from wg.store(array, out_pos[keep], values[keep])
+    with wg.phase("store"):
+        for in_pos, values in staged:
+            if in_pos.size == 0:
+                continue
+            keep, out_pos = remap(in_pos)
+            yield from wg.store(array, out_pos[keep], values[keep])
 
 
 @dataclass

@@ -1,0 +1,183 @@
+"""Typed metrics registry: counters, gauges and histograms.
+
+The registry complements the span tree of :mod:`repro.obs.tracer` with
+aggregate numbers that do not belong to any single span — total bytes a
+stream moved, the peak number of resident work-groups, the distribution
+of spin-wait times per work-group.  Instruments are *typed*: a name is
+bound to one instrument kind on first use, and reusing it as another
+kind raises, so a dashboard reading ``stream.bytes_loaded`` can rely on
+it always being a monotonic counter.
+
+Instruments may carry **labels** (``registry.histogram("sched.spin_wait_us",
+wg=3)``): each label combination is a distinct instrument sharing the
+name's kind.  Every instrument serializes through ``to_dict`` for the
+JSONL exporter and the Chrome-trace ``otherData`` block.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricsError"]
+
+
+class MetricsError(ReproError):
+    """A metric name was reused with a different instrument kind."""
+
+
+LabelKey = Tuple[Tuple[str, object], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, launches)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise MetricsError(f"counter {self.name!r} cannot decrease "
+                               f"(inc({amount}))")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value that may move in either direction."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Keep the running maximum (peak-residency style gauges)."""
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "name": self.name,
+                "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """A distribution summarized as count/sum/min/max plus power-of-two
+    buckets (bucket ``b`` counts observations with ``value <= 2**b``)."""
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "buckets")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        exponent = 0 if value <= 1.0 else math.ceil(math.log2(value))
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram", "name": self.name,
+            "labels": dict(self.labels),
+            "count": self.count, "sum": self.total,
+            "min": self.min, "max": self.max, "mean": self.mean,
+            "buckets": {str(2 ** b): n
+                        for b, n in sorted(self.buckets.items())},
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create access to typed instruments.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("stream.launches").inc()
+    >>> reg.histogram("sched.spin_wait_us", wg=3).record(12.5)
+    >>> reg.counter("stream.launches").value
+    1
+    """
+
+    def __init__(self) -> None:
+        self._kinds: Dict[str, str] = {}
+        self._items: Dict[Tuple[str, LabelKey], object] = {}
+
+    def _get(self, kind: str, name: str, labels: dict):
+        bound = self._kinds.get(name)
+        if bound is None:
+            self._kinds[name] = kind
+        elif bound != kind:
+            raise MetricsError(
+                f"metric {name!r} is a {bound}, requested as a {kind}")
+        key = (name, _label_key(labels))
+        item = self._items.get(key)
+        if item is None:
+            item = _KINDS[kind](name, key[1])
+            self._items[key] = item
+        return item
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    def get(self, name: str, **labels):
+        """Look up an existing instrument (``None`` if never touched)."""
+        return self._items.get((name, _label_key(labels)))
+
+    def instruments(self, name: Optional[str] = None) -> List[object]:
+        """All instruments, or every label combination of one name."""
+        return [item for (n, _), item in sorted(self._items.items(),
+                                                key=lambda kv: kv[0])
+                if name is None or n == name]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterable[object]:
+        return iter(self.instruments())
+
+    def to_dicts(self) -> List[dict]:
+        return [item.to_dict() for item in self.instruments()]

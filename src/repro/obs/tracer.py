@@ -1,0 +1,341 @@
+"""Span-based tracing with zero cost when disabled.
+
+The tracer records **spans** — named, nested time intervals — on
+per-entity **tracks**.  The host-side control flow (primitive calls,
+kernel launches, pipeline passes) lives on the ``"host"`` track; every
+simulated work-group gets its own ``"wg:<i>"`` track, so the exported
+timeline shows the interleaving the scheduler actually produced: load
+phases overlapping store phases of other groups, spin-wait gaps along
+the Figure 7 synchronization chain, the extra passes of a Thrust-style
+pipeline as sibling launch spans.
+
+Three modes, resolved from the ``REPRO_TRACE`` environment variable by
+:func:`resolve_trace_mode`:
+
+* ``off`` (default) — no tracer is installed.  Instrumented code paths
+  reduce to one ``active() is None`` check and a shared no-op span, so
+  the instrumentation is free where it matters;
+* ``spans`` — phase/launch/primitive spans and metrics only;
+* ``full`` — additionally one instant event per atomic and barrier.
+
+Use either the process-global tracer (:func:`enable` / :func:`disable`,
+or just set ``REPRO_TRACE`` and let the primitives auto-install one) or
+a scoped one::
+
+    from repro import obs
+    with obs.tracing("full") as t:
+        repro.compact(values, 0.0)
+    obs.export_chrome_trace(t, "trace.json")
+
+Spans carry a ``cat`` used by consumers to select subsets: ``primitive``
+(root span per primitive call), ``launch`` (one kernel launch),
+``pipeline`` (multi-launch baseline pipelines), ``phase`` (the
+algorithm phases ``load`` / ``reduce`` / ``sync`` / ``scan`` /
+``store``, emitted identically by both execution backends) and
+``sched`` (schedule-dependent spans such as ``sync_wait``, excluded
+from backend-equivalence comparisons exactly like ``n_spins`` is
+excluded from counter parity).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "TRACE_ENV_VAR", "TRACE_MODES", "resolve_trace_mode",
+    "Span", "NULL_SPAN", "Tracer",
+    "HOST_TRACK", "wg_track",
+    "active", "enable", "disable", "span", "instant", "tracing",
+]
+
+TRACE_ENV_VAR = "REPRO_TRACE"
+TRACE_MODES = ("off", "spans", "full")
+
+HOST_TRACK = "host"
+"""Track carrying host-side control flow (primitives, launches)."""
+
+
+def wg_track(group_index: int) -> str:
+    """The track name of one simulated work-group."""
+    return f"wg:{int(group_index)}"
+
+
+def resolve_trace_mode(mode: Optional[str] = None) -> str:
+    """Resolve a trace-mode argument against the ``REPRO_TRACE``
+    environment variable (explicit argument wins; default ``off``)."""
+    if mode is None:
+        mode = os.environ.get(TRACE_ENV_VAR, "").strip() or "off"
+    mode = str(mode).lower()
+    if mode not in TRACE_MODES:
+        raise ReproError(
+            f"unknown trace mode {mode!r}; expected one of {TRACE_MODES} "
+            f"(set via the {TRACE_ENV_VAR} environment variable)")
+    return mode
+
+
+class Span:
+    """One named interval on one track.  Usable as a context manager
+    (``with tracer.span(...)``) or ended explicitly via :meth:`finish`
+    when the end time is decided elsewhere (scheduler wake-ups)."""
+
+    __slots__ = ("name", "cat", "track", "start_us", "end_us", "args",
+                 "children", "_tracer")
+
+    def __init__(self, name: str, cat: str, track: str, start_us: float,
+                 args: Optional[dict], tracer: Optional["Tracer"]) -> None:
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.start_us = start_us
+        self.end_us: Optional[float] = None
+        self.args = args
+        self.children: List["Span"] = []
+        self._tracer = tracer
+
+    @property
+    def duration_us(self) -> float:
+        return (self.end_us - self.start_us) if self.end_us is not None else 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach/overwrite span attributes (shown as Chrome-trace args)."""
+        if self.args is None:
+            self.args = {}
+        self.args.update(attrs)
+        return self
+
+    def finish(self) -> "Span":
+        if self._tracer is not None and self.end_us is None:
+            self._tracer._end(self)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.finish()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, cat={self.cat!r}, track={self.track!r}, "
+                f"start={self.start_us:.1f}us, dur={self.duration_us:.1f}us, "
+                f"children={len(self.children)})")
+
+
+class _NullSpan:
+    """Shared no-op span returned by every entry point while tracing is
+    disabled — no allocation, no timestamps, no bookkeeping."""
+
+    __slots__ = ()
+    name = cat = track = None
+    start_us = end_us = None
+    duration_us = 0.0
+    children: List[Span] = []
+    args: Optional[dict] = None
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def finish(self) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans, instant events and metrics for one trace session.
+
+    Parameters
+    ----------
+    mode:
+        ``"spans"`` or ``"full"`` (``"off"`` is represented by *no*
+        tracer being installed, keeping the disabled path free).
+    clock:
+        Nanosecond monotonic clock; injectable for deterministic tests
+        and golden files.
+    """
+
+    def __init__(self, mode: str = "full",
+                 clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        mode = resolve_trace_mode(mode)
+        if mode == "off":
+            raise ReproError(
+                "Tracer(mode='off') is contradictory; simply do not "
+                "install a tracer")
+        self.mode = mode
+        self._clock = clock
+        self._t0 = clock()
+        self.metrics = MetricsRegistry()
+        self._roots: Dict[str, List[Span]] = {}
+        self._stacks: Dict[str, List[Span]] = {}
+        self._track_order: List[str] = []
+        self.instants: List[dict] = []
+
+    # -- time -----------------------------------------------------------------
+
+    @property
+    def full(self) -> bool:
+        return self.mode == "full"
+
+    def now_us(self) -> float:
+        """Microseconds since the tracer was created."""
+        return (self._clock() - self._t0) / 1e3
+
+    # -- span lifecycle -------------------------------------------------------
+
+    def _track(self, track: str) -> List[Span]:
+        roots = self._roots.get(track)
+        if roots is None:
+            roots = self._roots[track] = []
+            self._stacks[track] = []
+            self._track_order.append(track)
+        return roots
+
+    def span(self, name: str, *, cat: str = "span",
+             track: str = HOST_TRACK, args: Optional[dict] = None) -> Span:
+        """Open a span now; close it with ``with`` or :meth:`finish`."""
+        roots = self._track(track)
+        sp = Span(name, cat, track, self.now_us(), args, self)
+        stack = self._stacks[track]
+        (stack[-1].children if stack else roots).append(sp)
+        stack.append(sp)
+        return sp
+
+    def _end(self, sp: Span) -> None:
+        sp.end_us = self.now_us()
+        stack = self._stacks[sp.track]
+        # Defensive: close any dangling children left open by an
+        # exception between this span's enter and exit.
+        while stack:
+            top = stack.pop()
+            if top is sp:
+                return
+            top.end_us = sp.end_us
+        raise ReproError(f"span {sp.name!r} ended twice on track {sp.track!r}")
+
+    def add_span(self, name: str, *, track: str, start_us: float,
+                 end_us: float, cat: str = "span",
+                 args: Optional[dict] = None,
+                 parent: Optional[Span] = None) -> Span:
+        """Record a span with explicit timestamps (used by the
+        vectorized backend to emit per-work-group phase spans that
+        mirror the whole-array operation intervals)."""
+        sp = Span(name, cat, track, float(start_us), args, None)
+        sp.end_us = float(end_us)
+        if parent is not None:
+            parent.children.append(sp)
+        else:
+            self._track(track).append(sp)
+        return sp
+
+    def instant(self, name: str, *, cat: str = "event",
+                track: str = HOST_TRACK,
+                args: Optional[dict] = None) -> None:
+        """Record a point event (atomics/barriers in ``full`` mode)."""
+        self.instants.append({"name": name, "cat": cat, "track": track,
+                              "ts_us": self.now_us(), "args": args})
+
+    # -- reading the trace ----------------------------------------------------
+
+    @property
+    def tracks(self) -> List[str]:
+        """Tracks in first-seen order (``host`` first when present)."""
+        order = list(self._track_order)
+        if HOST_TRACK in order:
+            order.remove(HOST_TRACK)
+            order.insert(0, HOST_TRACK)
+        return order
+
+    def roots(self, track: str) -> List[Span]:
+        return list(self._roots.get(track, ()))
+
+    def iter_spans(self) -> Iterator[Tuple[str, Span, int]]:
+        """Depth-first ``(track, span, depth)`` over every track."""
+        for track in self.tracks:
+            stack = [(sp, 0) for sp in reversed(self._roots[track])]
+            while stack:
+                sp, depth = stack.pop()
+                yield track, sp, depth
+                stack.extend((c, depth + 1) for c in reversed(sp.children))
+
+    def find_spans(self, name: Optional[str] = None,
+                   cat: Optional[str] = None) -> List[Span]:
+        return [sp for _, sp, _ in self.iter_spans()
+                if (name is None or sp.name == name)
+                and (cat is None or sp.cat == cat)]
+
+    def close(self) -> None:
+        """Finish every span still open (end of a trace session)."""
+        for stack in self._stacks.values():
+            while stack:
+                stack[-1].finish()
+
+
+# -- the process-global tracer -----------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def active() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` when tracing is off.  This is
+    the single check every instrumented hot path performs."""
+    return _ACTIVE
+
+
+def enable(mode: str = "full") -> Tracer:
+    """Install a fresh process-global tracer and return it."""
+    global _ACTIVE
+    _ACTIVE = Tracer(mode)
+    return _ACTIVE
+
+
+def disable() -> Optional[Tracer]:
+    """Uninstall the global tracer (returned for late export)."""
+    global _ACTIVE
+    t, _ACTIVE = _ACTIVE, None
+    if t is not None:
+        t.close()
+    return t
+
+
+def span(name: str, *, cat: str = "span", track: str = HOST_TRACK,
+         args: Optional[dict] = None):
+    """Open a span on the active tracer, or the shared no-op span."""
+    t = _ACTIVE
+    if t is None:
+        return NULL_SPAN
+    return t.span(name, cat=cat, track=track, args=args)
+
+
+def instant(name: str, *, cat: str = "event", track: str = HOST_TRACK,
+            args: Optional[dict] = None) -> None:
+    t = _ACTIVE
+    if t is not None:
+        t.instant(name, cat=cat, track=track, args=args)
+
+
+@contextmanager
+def tracing(mode: str = "full"):
+    """Scoped tracing: install a fresh tracer, restore the previous one
+    on exit, and yield the tracer for export/inspection."""
+    global _ACTIVE
+    previous = _ACTIVE
+    t = Tracer(mode)
+    _ACTIVE = t
+    try:
+        yield t
+    finally:
+        t.close()
+        _ACTIVE = previous

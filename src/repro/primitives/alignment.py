@@ -15,7 +15,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.errors import LaunchError
-from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
 from repro.primitives.padding import ds_pad
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -70,7 +70,12 @@ def ds_pad_to_alignment(
             device=resolve_stream(stream, seed=seed).device,
             extras={"pad": 0, "alignment_bytes": alignment_bytes},
         )
-    result = ds_pad(matrix, pad, stream, fill=fill, wg_size=wg_size,
-                    coarsening=coarsening, backend=backend, seed=seed)
+    with primitive_span(
+        "ds_pad_to_alignment", backend=backend, pad=pad,
+        alignment_bytes=alignment_bytes, dtype=str(matrix.dtype),
+        wg_size=wg_size,
+    ):
+        result = ds_pad(matrix, pad, stream, fill=fill, wg_size=wg_size,
+                        coarsening=coarsening, backend=backend, seed=seed)
     result.extras["alignment_bytes"] = alignment_bytes
     return result

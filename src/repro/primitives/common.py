@@ -15,16 +15,24 @@ The helpers here keep that surface uniform:
   scheduler, ``"vectorized"`` for the tile-granularity fast path with
   closed-form counters, ``None`` for the ``REPRO_BACKEND`` environment
   override;
+* :func:`primitive_span` opens the root trace span every primitive
+  call is wrapped in, resolving the ``REPRO_TRACE`` environment
+  variable (``off`` / ``spans`` / ``full``) the same way
+  ``REPRO_BACKEND`` is resolved — set it and the next primitive call
+  auto-installs a process-global tracer (see :mod:`repro.obs`);
 * :class:`PrimitiveResult` is the common result envelope.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 import numpy as np
 
+from repro import obs
+from repro.obs import resolve_trace_mode
 from repro.simgpu.counters import LaunchCounters
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -33,6 +41,8 @@ from repro.simgpu.vectorized import BACKENDS, resolve_backend
 __all__ = [
     "resolve_stream",
     "resolve_backend",
+    "resolve_trace_mode",
+    "primitive_span",
     "BACKENDS",
     "PrimitiveResult",
     "DEFAULT_DEVICE",
@@ -60,6 +70,39 @@ def resolve_stream(
     if isinstance(stream, Stream):
         return stream
     return Stream(stream, api=api, seed=seed)
+
+
+def _ensure_tracer():
+    """The active tracer — auto-installing one when ``REPRO_TRACE``
+    asks for tracing and none is installed yet."""
+    tracer = obs.active()
+    if tracer is not None:
+        return tracer
+    mode = resolve_trace_mode()
+    if mode == "off":
+        return None
+    return obs.enable(mode)
+
+
+@contextmanager
+def primitive_span(name: str, *, backend: Optional[str] = None, **attrs):
+    """Root span of one primitive call (``cat="primitive"``).
+
+    Every user-facing primitive wraps its body in this context manager,
+    so a trace always has exactly one root span per primitive call on
+    the host track, carrying the resolved backend plus whatever
+    geometry/dtype attributes the primitive supplies.  Yields the span
+    (the shared no-op span when tracing is off) so primitives can
+    attach result attributes afterwards with ``span.set(...)``.
+    """
+    tracer = _ensure_tracer()
+    if tracer is None:
+        yield obs.NULL_SPAN
+        return
+    args = {"backend": resolve_backend(backend)}
+    args.update(attrs)
+    with tracer.span(name, cat="primitive", args=args) as sp:
+        yield sp
 
 
 @dataclass

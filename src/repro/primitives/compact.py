@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core.irregular import run_irregular_ds
 from repro.core.predicates import not_equal_to
-from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -46,17 +46,24 @@ def ds_stream_compact(
     values = np.asarray(values)
     stream = resolve_stream(stream, seed=seed)
     buf = Buffer(values.reshape(-1), "compact_in")
-    result = run_irregular_ds(
-        buf,
-        not_equal_to(remove_value),
-        stream,
-        wg_size=wg_size,
-        coarsening=coarsening,
-        reduction_variant=reduction_variant,
-        scan_variant=scan_variant,
-        race_tracking=race_tracking,
-        backend=backend,
-    )
+    with primitive_span(
+        "ds_stream_compact", backend=backend, n=int(buf.size),
+        dtype=str(buf.data.dtype), wg_size=wg_size,
+    ) as sp:
+        result = run_irregular_ds(
+            buf,
+            not_equal_to(remove_value),
+            stream,
+            wg_size=wg_size,
+            coarsening=coarsening,
+            reduction_variant=reduction_variant,
+            scan_variant=scan_variant,
+            race_tracking=race_tracking,
+            backend=backend,
+        )
+        sp.set(coarsening=result.geometry.coarsening,
+               n_workgroups=result.geometry.n_workgroups,
+               n_kept=result.n_true)
     return PrimitiveResult(
         output=buf.data[: result.n_true].copy(),
         counters=[result.counters],

@@ -22,7 +22,7 @@ import numpy as np
 from repro.core.offsets import pad_remap
 from repro.core.regular import run_regular_ds
 from repro.errors import LaunchError
-from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -74,17 +74,23 @@ def ds_pad(
     stream = resolve_stream(stream, seed=seed)
     buf = Buffer(np.zeros(rows * (cols + pad), dtype=matrix.dtype), "pad_matrix")
     buf.data[: rows * cols] = matrix.reshape(-1)
-    result = ds_pad_buffer(
-        buf,
-        rows,
-        cols,
-        pad,
-        stream,
-        wg_size=wg_size,
-        coarsening=coarsening,
-        race_tracking=race_tracking,
-        backend=backend,
-    )
+    with primitive_span(
+        "ds_pad", backend=backend, rows=rows, cols=cols, pad=pad,
+        dtype=str(matrix.dtype), wg_size=wg_size,
+    ) as sp:
+        result = ds_pad_buffer(
+            buf,
+            rows,
+            cols,
+            pad,
+            stream,
+            wg_size=wg_size,
+            coarsening=coarsening,
+            race_tracking=race_tracking,
+            backend=backend,
+        )
+        sp.set(coarsening=result.geometry.coarsening,
+               n_workgroups=result.geometry.n_workgroups)
     if fill is not None:
         # Host epilogue: initialize the new cells.  The paper's DS
         # Padding is a pure movement and leaves them unspecified; the

@@ -28,7 +28,7 @@ import numpy as np
 from repro.core.fastpath import vectorized_copy_launch
 from repro.core.irregular import run_irregular_ds
 from repro.core.predicates import Predicate
-from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.kernels import copy_kernel  # re-exported for callers
@@ -65,56 +65,63 @@ def ds_partition(
     aux = Buffer(np.zeros(n, dtype=values.dtype), "partition_false")
     counters = []
 
-    if in_place:
-        result = run_irregular_ds(
-            buf,
-            predicate,
-            stream,
-            false_out=aux,
-            wg_size=wg_size,
-            coarsening=coarsening,
-            reduction_variant=reduction_variant,
-            scan_variant=scan_variant,
-            backend=backend,
-        )
-        counters.append(result.counters)
-        n_true, n_false = result.n_true, result.n_false
-        if n_false:
-            cf = result.geometry.coarsening
-            if resolve_backend(backend) == "vectorized":
-                copy_counters = vectorized_copy_launch(
-                    aux, buf, n_false, 0, n_true, wg_size, cf, stream,
-                    kernel_name="partition_copy_back",
-                )
-            else:
-                tile = cf * wg_size
-                grid = (n_false + tile - 1) // tile
-                copy_counters = stream.launch(
-                    copy_kernel,
-                    grid_size=grid,
-                    wg_size=wg_size,
-                    args=(aux, buf, n_false, 0, n_true, cf),
-                    kernel_name="partition_copy_back",
-                )
-            counters.append(copy_counters)
-        output = buf.data.copy()
-    else:
-        out_true = Buffer(np.zeros(n, dtype=values.dtype), "partition_true")
-        result = run_irregular_ds(
-            buf,
-            predicate,
-            stream,
-            out=out_true,
-            false_out=aux,
-            wg_size=wg_size,
-            coarsening=coarsening,
-            reduction_variant=reduction_variant,
-            scan_variant=scan_variant,
-            backend=backend,
-        )
-        counters.append(result.counters)
-        n_true, n_false = result.n_true, result.n_false
-        output = np.concatenate([out_true.data[:n_true], aux.data[:n_false]])
+    with primitive_span(
+        "ds_partition", backend=backend, n=int(n), in_place=in_place,
+        dtype=str(buf.data.dtype), wg_size=wg_size,
+    ) as span:
+        if in_place:
+            result = run_irregular_ds(
+                buf,
+                predicate,
+                stream,
+                false_out=aux,
+                wg_size=wg_size,
+                coarsening=coarsening,
+                reduction_variant=reduction_variant,
+                scan_variant=scan_variant,
+                backend=backend,
+            )
+            counters.append(result.counters)
+            n_true, n_false = result.n_true, result.n_false
+            if n_false:
+                cf = result.geometry.coarsening
+                if resolve_backend(backend) == "vectorized":
+                    copy_counters = vectorized_copy_launch(
+                        aux, buf, n_false, 0, n_true, wg_size, cf, stream,
+                        kernel_name="partition_copy_back",
+                    )
+                else:
+                    tile = cf * wg_size
+                    grid = (n_false + tile - 1) // tile
+                    copy_counters = stream.launch(
+                        copy_kernel,
+                        grid_size=grid,
+                        wg_size=wg_size,
+                        args=(aux, buf, n_false, 0, n_true, cf),
+                        kernel_name="partition_copy_back",
+                    )
+                counters.append(copy_counters)
+            output = buf.data.copy()
+        else:
+            out_true = Buffer(np.zeros(n, dtype=values.dtype), "partition_true")
+            result = run_irregular_ds(
+                buf,
+                predicate,
+                stream,
+                out=out_true,
+                false_out=aux,
+                wg_size=wg_size,
+                coarsening=coarsening,
+                reduction_variant=reduction_variant,
+                scan_variant=scan_variant,
+                backend=backend,
+            )
+            counters.append(result.counters)
+            n_true, n_false = result.n_true, result.n_false
+            output = np.concatenate([out_true.data[:n_true], aux.data[:n_false]])
+        span.set(coarsening=result.geometry.coarsening,
+                 n_workgroups=result.geometry.n_workgroups,
+                 n_true=n_true, n_false=n_false)
 
     return PrimitiveResult(
         output=output,

@@ -23,7 +23,7 @@ import numpy as np
 from repro.core.offsets import ragged_pad_remap, ragged_unpad_remap
 from repro.core.regular import run_regular_ds
 from repro.errors import LaunchError
-from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -78,10 +78,17 @@ def ds_ragged_pad(
     stream = resolve_stream(stream, seed=seed)
     buf = Buffer(np.zeros(remap.total_out, dtype=values.dtype), "ragged")
     buf.data[: values.size] = values
-    result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
-                            coarsening=coarsening,
-                            race_tracking=race_tracking,
-                            backend=backend)
+    with primitive_span(
+        "ds_ragged_pad", backend=backend, n=int(values.size),
+        n_rows=int(widths.size), stride=stride, dtype=str(values.dtype),
+        wg_size=wg_size,
+    ) as sp:
+        result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
+                                coarsening=coarsening,
+                                race_tracking=race_tracking,
+                                backend=backend)
+        sp.set(coarsening=result.geometry.coarsening,
+               n_workgroups=result.geometry.n_workgroups)
     matrix = buf.data.reshape(widths.size, stride)
     if fill is not None:
         cols = np.arange(stride)
@@ -123,10 +130,16 @@ def ds_ragged_unpad(
     remap = ragged_unpad_remap(widths, stride)
     stream = resolve_stream(stream, seed=seed)
     buf = Buffer(matrix.reshape(-1), "ragged")
-    result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
-                            coarsening=coarsening,
-                            race_tracking=race_tracking,
-                            backend=backend)
+    with primitive_span(
+        "ds_ragged_unpad", backend=backend, n_rows=int(n_rows),
+        stride=int(stride), dtype=str(matrix.dtype), wg_size=wg_size,
+    ) as sp:
+        result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
+                                coarsening=coarsening,
+                                race_tracking=race_tracking,
+                                backend=backend)
+        sp.set(coarsening=result.geometry.coarsening,
+               n_workgroups=result.geometry.n_workgroups)
     return PrimitiveResult(
         output=buf.data[: remap.total_out].copy(),
         counters=[result.counters],

@@ -17,7 +17,7 @@ import numpy as np
 from repro.core.keyed import run_keyed_irregular_ds
 from repro.core.predicates import Predicate
 from repro.errors import LaunchError
-from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -71,12 +71,19 @@ def ds_compact_records(
     kbuf = Buffer(key_column, "rec_key")
     pbufs = [Buffer(col, f"rec_{name}") for name, col in
              zip(names, payload_arrays)]
-    result = run_keyed_irregular_ds(
-        kbuf, pbufs, predicate, stream,
-        wg_size=wg_size, coarsening=coarsening,
-        reduction_variant=reduction_variant, scan_variant=scan_variant,
-        race_tracking=race_tracking, backend=backend,
-    )
+    with primitive_span(
+        "ds_compact_records", backend=backend, n=int(n),
+        n_columns=len(names), dtype=str(key_column.dtype), wg_size=wg_size,
+    ) as sp:
+        result = run_keyed_irregular_ds(
+            kbuf, pbufs, predicate, stream,
+            wg_size=wg_size, coarsening=coarsening,
+            reduction_variant=reduction_variant, scan_variant=scan_variant,
+            race_tracking=race_tracking, backend=backend,
+        )
+        sp.set(coarsening=result.geometry.coarsening,
+               n_workgroups=result.geometry.n_workgroups,
+               n_kept=result.n_true)
     kept = result.n_true
     return PrimitiveResult(
         output=kbuf.data[:kept].copy(),

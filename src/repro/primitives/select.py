@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.core.irregular import run_irregular_ds
 from repro.core.predicates import Predicate
-from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -51,17 +51,24 @@ def ds_remove_if(
     values = np.asarray(values)
     stream = resolve_stream(stream, seed=seed)
     buf = Buffer(values.reshape(-1), "select_in")
-    result = run_irregular_ds(
-        buf,
-        ~predicate,  # Algorithm 2 *keeps* true elements; remove_if keeps the complement
-        stream,
-        wg_size=wg_size,
-        coarsening=coarsening,
-        reduction_variant=reduction_variant,
-        scan_variant=scan_variant,
-        race_tracking=race_tracking,
-        backend=backend,
-    )
+    with primitive_span(
+        "ds_remove_if", backend=backend, n=int(buf.size),
+        dtype=str(buf.data.dtype), wg_size=wg_size,
+    ) as sp:
+        result = run_irregular_ds(
+            buf,
+            ~predicate,  # Algorithm 2 *keeps* true elements; remove_if keeps the complement
+            stream,
+            wg_size=wg_size,
+            coarsening=coarsening,
+            reduction_variant=reduction_variant,
+            scan_variant=scan_variant,
+            race_tracking=race_tracking,
+            backend=backend,
+        )
+        sp.set(coarsening=result.geometry.coarsening,
+               n_workgroups=result.geometry.n_workgroups,
+               n_kept=result.n_true)
     return PrimitiveResult(
         output=buf.data[: result.n_true].copy(),
         counters=[result.counters],
@@ -94,17 +101,24 @@ def ds_copy_if(
     stream = resolve_stream(stream, seed=seed)
     buf = Buffer(values.reshape(-1), "select_in")
     out = Buffer(np.zeros(values.size, dtype=values.dtype), "select_out")
-    result = run_irregular_ds(
-        buf,
-        predicate,
-        stream,
-        out=out,
-        wg_size=wg_size,
-        coarsening=coarsening,
-        reduction_variant=reduction_variant,
-        scan_variant=scan_variant,
-        backend=backend,
-    )
+    with primitive_span(
+        "ds_copy_if", backend=backend, n=int(buf.size),
+        dtype=str(buf.data.dtype), wg_size=wg_size,
+    ) as sp:
+        result = run_irregular_ds(
+            buf,
+            predicate,
+            stream,
+            out=out,
+            wg_size=wg_size,
+            coarsening=coarsening,
+            reduction_variant=reduction_variant,
+            scan_variant=scan_variant,
+            backend=backend,
+        )
+        sp.set(coarsening=result.geometry.coarsening,
+               n_workgroups=result.geometry.n_workgroups,
+               n_kept=result.n_true)
     return PrimitiveResult(
         output=out.data[: result.n_true].copy(),
         counters=[result.counters],

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.core.offsets import erase_range_remap, insert_gap_remap
 from repro.core.regular import run_regular_ds
-from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -54,10 +54,16 @@ def ds_insert_gap(
     buf = Buffer(np.zeros(values.size + gap, dtype=values.dtype), "slide")
     buf.data[: values.size] = values
     remap = insert_gap_remap(values.size, position, gap)
-    result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
-                            coarsening=coarsening,
-                            race_tracking=race_tracking,
-                            backend=backend)
+    with primitive_span(
+        "ds_insert_gap", backend=backend, n=int(values.size), gap=gap,
+        dtype=str(values.dtype), wg_size=wg_size,
+    ) as sp:
+        result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
+                                coarsening=coarsening,
+                                race_tracking=race_tracking,
+                                backend=backend)
+        sp.set(coarsening=result.geometry.coarsening,
+               n_workgroups=result.geometry.n_workgroups)
     if fill is not None and gap:
         buf.data[position: position + gap] = fill
     return PrimitiveResult(
@@ -87,10 +93,16 @@ def ds_erase_range(
     stream = resolve_stream(stream, seed=seed)
     buf = Buffer(values, "slide")
     remap = erase_range_remap(values.size, position, count)
-    result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
-                            coarsening=coarsening,
-                            race_tracking=race_tracking,
-                            backend=backend)
+    with primitive_span(
+        "ds_erase_range", backend=backend, n=int(values.size), count=count,
+        dtype=str(values.dtype), wg_size=wg_size,
+    ) as sp:
+        result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
+                                coarsening=coarsening,
+                                race_tracking=race_tracking,
+                                backend=backend)
+        sp.set(coarsening=result.geometry.coarsening,
+               n_workgroups=result.geometry.n_workgroups)
     return PrimitiveResult(
         output=buf.data[: values.size - count].copy(),
         counters=[result.counters],

@@ -21,7 +21,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.core.irregular import run_irregular_ds
-from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -48,17 +48,24 @@ def ds_unique(
     values = np.asarray(values)
     stream = resolve_stream(stream, seed=seed)
     buf = Buffer(values.reshape(-1), "unique_in")
-    result = run_irregular_ds(
-        buf,
-        None,
-        stream,
-        wg_size=wg_size,
-        coarsening=coarsening,
-        stencil_unique=True,
-        reduction_variant=reduction_variant,
-        scan_variant=scan_variant,
-        backend=backend,
-    )
+    with primitive_span(
+        "ds_unique", backend=backend, n=int(buf.size),
+        dtype=str(buf.data.dtype), wg_size=wg_size,
+    ) as sp:
+        result = run_irregular_ds(
+            buf,
+            None,
+            stream,
+            wg_size=wg_size,
+            coarsening=coarsening,
+            stencil_unique=True,
+            reduction_variant=reduction_variant,
+            scan_variant=scan_variant,
+            backend=backend,
+        )
+        sp.set(coarsening=result.geometry.coarsening,
+               n_workgroups=result.geometry.n_workgroups,
+               n_kept=result.n_true)
     return PrimitiveResult(
         output=buf.data[: result.n_true].copy(),
         counters=[result.counters],

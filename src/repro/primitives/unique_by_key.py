@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.core.keyed import run_keyed_irregular_ds
 from repro.errors import LaunchError
-from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -49,12 +49,19 @@ def ds_unique_by_key(
     stream = resolve_stream(stream, seed=seed)
     kbuf = Buffer(keys, "ubk_keys")
     vbuf = Buffer(values, "ubk_values")
-    result = run_keyed_irregular_ds(
-        kbuf, [vbuf], None, stream,
-        wg_size=wg_size, coarsening=coarsening, stencil_unique=True,
-        reduction_variant=reduction_variant, scan_variant=scan_variant,
-        race_tracking=race_tracking, backend=backend,
-    )
+    with primitive_span(
+        "ds_unique_by_key", backend=backend, n=int(keys.size),
+        dtype=str(keys.dtype), wg_size=wg_size,
+    ) as sp:
+        result = run_keyed_irregular_ds(
+            kbuf, [vbuf], None, stream,
+            wg_size=wg_size, coarsening=coarsening, stencil_unique=True,
+            reduction_variant=reduction_variant, scan_variant=scan_variant,
+            race_tracking=race_tracking, backend=backend,
+        )
+        sp.set(coarsening=result.geometry.coarsening,
+               n_workgroups=result.geometry.n_workgroups,
+               n_kept=result.n_true)
     out_keys = kbuf.data[: result.n_true].copy()
     out_values = vbuf.data[: result.n_true].copy()
     return PrimitiveResult(

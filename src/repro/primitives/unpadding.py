@@ -17,7 +17,7 @@ import numpy as np
 from repro.core.offsets import unpad_remap
 from repro.core.regular import run_regular_ds
 from repro.errors import LaunchError
-from repro.primitives.common import PrimitiveResult, resolve_stream
+from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -49,17 +49,23 @@ def ds_unpad(
         raise LaunchError(f"pad must be in [0, cols), got {pad} for {cols} columns")
     stream = resolve_stream(stream, seed=seed)
     buf = Buffer(matrix.reshape(-1), "unpad_matrix")
-    result = ds_unpad_buffer(
-        buf,
-        rows,
-        cols,
-        pad,
-        stream,
-        wg_size=wg_size,
-        coarsening=coarsening,
-        race_tracking=race_tracking,
-        backend=backend,
-    )
+    with primitive_span(
+        "ds_unpad", backend=backend, rows=rows, cols=cols, pad=pad,
+        dtype=str(matrix.dtype), wg_size=wg_size,
+    ) as sp:
+        result = ds_unpad_buffer(
+            buf,
+            rows,
+            cols,
+            pad,
+            stream,
+            wg_size=wg_size,
+            coarsening=coarsening,
+            race_tracking=race_tracking,
+            backend=backend,
+        )
+        sp.set(coarsening=result.geometry.coarsening,
+               n_workgroups=result.geometry.n_workgroups)
     kept = cols - pad
     return PrimitiveResult(
         output=buf.data[: rows * kept].reshape(rows, kept).copy(),

@@ -12,7 +12,7 @@ extra passes the paper blames for its slowdown.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 __all__ = ["LaunchCounters"]
@@ -76,6 +76,24 @@ class LaunchCounters:
         merged.extras.update(self.extras)
         merged.extras.update(other.extras)
         return merged
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (benchmark reports, trace attachments)."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = dict(value) if f.name == "extras" else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LaunchCounters":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored so old
+        readers survive new fields."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known and k != "extras"}
+        rec = cls(**kwargs)
+        rec.extras.update(data.get("extras", {}))
+        return rec
 
     def summary(self) -> str:
         """One-line human-readable digest (used by example scripts)."""

@@ -32,6 +32,7 @@ from typing import Callable, Dict, Generator, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.errors import DeadlockError, LaunchError
 from repro.simgpu.counters import LaunchCounters
 from repro.simgpu.device import DeviceSpec
@@ -136,6 +137,22 @@ def launch(
         wg_size=wg_size,
     )
 
+    # Observability: one launch span on the host track, one "sync_wait"
+    # span per park episode on the parked group's track (its duration
+    # feeds the spin-wait histogram), and — in full mode — an instant
+    # event per atomic/barrier.  All of it is behind a single
+    # `tracer is None` check so the disabled path stays free.
+    tracer = _obs.active()
+    trace_full = tracer is not None and tracer.full
+    launch_span = None
+    if tracer is not None:
+        launch_span = tracer.span(
+            counters.kernel_name, cat="launch",
+            args={"backend": "simulated", "grid_size": grid_size,
+                  "wg_size": wg_size, "device": device.name},
+        )
+    wait_spans: Dict[int, _obs.Span] = {}
+
     pending = list(perm)
     pending.reverse()  # pop() from the tail dispatches in perm order
     runnable: List[int] = []  # group indices with live generators, ready to step
@@ -153,71 +170,106 @@ def launch(
             runnable.append(gidx)
         counters.peak_resident = max(counters.peak_resident, len(runnable) + len(parked))
 
-    admit()
-    while runnable or parked or pending:
-        if not runnable:
-            # Every resident group is parked on a spin.  Flags change only
-            # through atomics, and only runnable groups issue atomics, so
-            # nothing can ever wake them: this is a deadlock (pending
-            # groups cannot be admitted because the slots are occupied).
-            raise DeadlockError(
-                f"{counters.kernel_name}: all {len(parked)} resident work-groups "
-                f"are spinning with {len(pending)} work-groups still pending; "
-                "no progress is possible (static work-group ordering under "
-                "unfavourable dispatch — see Figure 4 of the paper)",
-                waiting=tuple(int(g) for g in parked),
-                steps=counters.steps,
-            )
-        pick = int(rng.integers(len(runnable)))
-        gidx = runnable[pick]
-        gen = gens[gidx]
-        counters.steps += 1
-        try:
-            event = next(gen)
-        except StopIteration:
-            runnable.pop(pick)
-            del gens[gidx]
-            counters.completed_wgs += 1
-            admit()
-            continue
-        if not isinstance(event, Event):  # defensive: catch kernel bugs early
-            raise LaunchError(
-                f"kernel {counters.kernel_name!r} yielded {type(event).__name__}, "
-                "expected an Event (did you forget 'yield from'?)"
-            )
-        kind = event.kind
-        if trace is not None:
-            trace.append((gidx, event))
-        if kind is EventKind.GLOBAL_LOAD:
-            counters.n_loads += 1
-            counters.bytes_loaded += event.bytes
-            counters.load_transactions += event.transactions
-        elif kind is EventKind.GLOBAL_STORE:
-            counters.n_stores += 1
-            counters.bytes_stored += event.bytes
-            counters.store_transactions += event.transactions
-        elif kind is EventKind.ATOMIC:
-            counters.n_atomics += 1
-            if parked and getattr(event, "mutates", True):
-                # Wake only the groups watching the touched location; an
-                # unknown index on either side is treated as a wildcard.
-                ev_index = getattr(event, "index", None)
-                woken = [
-                    g
-                    for g, (wbuf, widx) in parked.items()
-                    if wbuf == event.buffer_name
-                    and (widx is None or ev_index is None or widx == ev_index)
-                ]
-                for g in woken:
-                    del parked[g]
-                runnable.extend(woken)
-        elif kind is EventKind.BARRIER:
-            counters.n_barriers += 1
-        elif kind is EventKind.SPIN:
-            counters.n_spins += 1
-            runnable.pop(pick)
-            parked[gidx] = (event.buffer_name, getattr(event, "index", None))
-        elif kind is EventKind.LOCAL:
-            counters.local_bytes += event.bytes
+    try:
+        admit()
+        while runnable or parked or pending:
+            if not runnable:
+                # Every resident group is parked on a spin.  Flags change only
+                # through atomics, and only runnable groups issue atomics, so
+                # nothing can ever wake them: this is a deadlock (pending
+                # groups cannot be admitted because the slots are occupied).
+                raise DeadlockError(
+                    f"{counters.kernel_name}: all {len(parked)} resident work-groups "
+                    f"are spinning with {len(pending)} work-groups still pending; "
+                    "no progress is possible (static work-group ordering under "
+                    "unfavourable dispatch — see Figure 4 of the paper)",
+                    waiting=tuple(int(g) for g in parked),
+                    steps=counters.steps,
+                )
+            pick = int(rng.integers(len(runnable)))
+            gidx = runnable[pick]
+            gen = gens[gidx]
+            counters.steps += 1
+            try:
+                event = next(gen)
+            except StopIteration:
+                runnable.pop(pick)
+                del gens[gidx]
+                counters.completed_wgs += 1
+                admit()
+                continue
+            if not isinstance(event, Event):  # defensive: catch kernel bugs early
+                raise LaunchError(
+                    f"kernel {counters.kernel_name!r} yielded {type(event).__name__}, "
+                    "expected an Event (did you forget 'yield from'?)"
+                )
+            kind = event.kind
+            if trace is not None:
+                trace.append((gidx, event))
+            if kind is EventKind.GLOBAL_LOAD:
+                counters.n_loads += 1
+                counters.bytes_loaded += event.bytes
+                counters.load_transactions += event.transactions
+            elif kind is EventKind.GLOBAL_STORE:
+                counters.n_stores += 1
+                counters.bytes_stored += event.bytes
+                counters.store_transactions += event.transactions
+            elif kind is EventKind.ATOMIC:
+                counters.n_atomics += 1
+                if trace_full:
+                    tracer.instant(
+                        f"atomic_{getattr(event, 'op', 'rmw')}",
+                        track=_obs.wg_track(gidx),
+                        args={"buffer": event.buffer_name,
+                              "index": getattr(event, "index", None)},
+                    )
+                if parked and getattr(event, "mutates", True):
+                    # Wake only the groups watching the touched location; an
+                    # unknown index on either side is treated as a wildcard.
+                    ev_index = getattr(event, "index", None)
+                    woken = [
+                        g
+                        for g, (wbuf, widx) in parked.items()
+                        if wbuf == event.buffer_name
+                        and (widx is None or ev_index is None or widx == ev_index)
+                    ]
+                    for g in woken:
+                        del parked[g]
+                        sp = wait_spans.pop(g, None)
+                        if sp is not None:
+                            sp.finish()
+                            tracer.metrics.histogram(
+                                "sched.spin_wait_us", wg=g
+                            ).record(sp.duration_us)
+                    runnable.extend(woken)
+            elif kind is EventKind.BARRIER:
+                counters.n_barriers += 1
+                if trace_full:
+                    tracer.instant(
+                        f"barrier_{getattr(event, 'scope', 'local')}",
+                        track=_obs.wg_track(gidx),
+                    )
+            elif kind is EventKind.SPIN:
+                counters.n_spins += 1
+                runnable.pop(pick)
+                parked[gidx] = (event.buffer_name, getattr(event, "index", None))
+                if tracer is not None and gidx not in wait_spans:
+                    wait_spans[gidx] = tracer.span(
+                        "sync_wait", cat="sched", track=_obs.wg_track(gidx),
+                        args={"flag": event.buffer_name,
+                              "index": getattr(event, "index", None)},
+                    )
+            elif kind is EventKind.LOCAL:
+                counters.local_bytes += event.bytes
+    finally:
+        if tracer is not None:
+            # A deadlock (or kernel error) unwinds with groups still
+            # parked; close their wait spans so the trace stays valid.
+            for sp in wait_spans.values():
+                sp.finish()
+            launch_span.set(
+                steps=counters.steps, n_spins=counters.n_spins,
+                peak_resident=counters.peak_resident,
+            ).finish()
 
     return counters

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+from repro import obs as _obs
 from repro.simgpu.counters import LaunchCounters
 from repro.simgpu.device import DeviceSpec, get_device
 from repro.simgpu.scheduler import OrderSpec, launch
@@ -92,7 +93,27 @@ class Stream:
         )
         self._launch_count += 1
         self.records.append(counters)
+        self._register(counters)
         return counters
+
+    def _register(self, counters: LaunchCounters) -> None:
+        """Feed one launch record into the active metrics registry.
+
+        Both backends funnel their records through here (``launch`` for
+        the event-level scheduler, ``record`` for the vectorized fast
+        path), so the ``stream.*`` metrics agree across backends exactly
+        like the parity counters do.
+        """
+        tracer = _obs.active()
+        if tracer is None:
+            return
+        m = tracer.metrics
+        m.counter("stream.launches").inc()
+        m.counter("stream.bytes_loaded").inc(counters.bytes_loaded)
+        m.counter("stream.bytes_stored").inc(counters.bytes_stored)
+        m.counter("stream.atomics").inc(counters.n_atomics)
+        m.counter("stream.barriers").inc(counters.n_barriers)
+        m.gauge("sched.peak_resident").set_max(counters.peak_resident)
 
     def record(self, counters: LaunchCounters) -> LaunchCounters:
         """Record counters produced outside the event-level scheduler.
@@ -106,6 +127,7 @@ class Stream:
         """
         self._launch_count += 1
         self.records.append(counters)
+        self._register(counters)
         return counters
 
     @property

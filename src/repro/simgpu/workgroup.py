@@ -35,6 +35,7 @@ from typing import Callable, Generator, Optional
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.simgpu import atomics as _atomics
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
@@ -97,6 +98,20 @@ class WorkGroup:
     @property
     def num_warps(self) -> int:
         return (self.size + self.warp_size - 1) // self.warp_size
+
+    def phase(self, name: str, **args):
+        """Open an algorithm-phase span on this group's trace track.
+
+        Kernels wrap their load / reduce / sync / scan / store sections
+        in ``with wg.phase("load"):`` blocks; when tracing is off this
+        returns the shared no-op span, so instrumented kernels stay
+        free.  The block may span ``yield`` points — per-track span
+        stacks keep nesting correct despite group interleaving.
+        """
+        return _obs.span(
+            name, cat="phase", track=_obs.wg_track(self.group_index),
+            args=args or None,
+        )
 
     # -- global memory --------------------------------------------------------
 

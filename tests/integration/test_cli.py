@@ -11,6 +11,12 @@ class TestCli:
         out = capsys.readouterr().out
         assert "fig12" in out and "table1" in out
 
+    def test_list_mentions_trace_subcommand(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "trace <experiment> -o trace.json" in out
+        assert "fig13" in out
+
     def test_single_figure(self, capsys):
         assert main(["fig6"]) == 0
         out = capsys.readouterr().out
@@ -35,6 +41,44 @@ class TestCli:
     def test_unknown_experiment_exits_with_error(self):
         with pytest.raises(SystemExit) as exc:
             main(["fig99"])
+        assert exc.value.code == 2
+
+    def test_trace_exports_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        assert main(["trace", "fig13", "-o", str(path),
+                     "--elements", "4096", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        doc = json.loads(path.read_text())
+        validate_chrome_trace(doc)
+        procs = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["name"] == "process_name"}
+        assert procs == {"simulated", "vectorized"}
+        threads = {e["args"]["name"] for e in doc["traceEvents"]
+                   if e["name"] == "thread_name"}
+        assert "host" in threads and "wg 0" in threads
+
+    def test_trace_single_backend_jsonl(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        assert main(["trace", "fig08", "-o", str(path),
+                     "--backend", "vectorized", "--mode", "spans",
+                     "--elements", "4096", "--jsonl", str(jsonl),
+                     "--check"]) == 0
+        records = [json.loads(line)
+                   for line in jsonl.read_text().splitlines()]
+        assert any(r["type"] == "span" and r["cat"] == "phase"
+                   for r in records)
+
+    def test_trace_unknown_experiment_exits_with_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "fig99"])
         assert exc.value.code == 2
 
     @pytest.mark.slow

@@ -1,0 +1,182 @@
+"""Exporters: Chrome-trace JSON (golden file), JSONL, validation."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace_events,
+    export_chrome_trace,
+    export_jsonl,
+    validate_chrome_trace,
+)
+from repro.obs.tracer import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.ns = 0
+
+    def __call__(self):
+        return self.ns
+
+    def tick(self, us: float):
+        self.ns += int(us * 1000)
+
+
+def make_tracer() -> Tracer:
+    """A small deterministic trace: one launch on the host, two
+    work-groups with load/store phases, one instant, one metric."""
+    clock = FakeClock()
+    t = Tracer("full", clock=clock)
+    launch = t.span("launch[k]", cat="launch", args={"grid_size": 2})
+    wg0 = t.span("load", cat="phase", track="wg:0")
+    clock.tick(10)
+    wg0.finish()
+    t.instant("atomic_add", cat="event", track="wg:0")
+    wg1 = t.span("load", cat="phase", track="wg:1")
+    clock.tick(5)
+    wg1.finish()
+    st = t.span("store", cat="phase", track="wg:0")
+    clock.tick(5)
+    st.finish()
+    launch.finish()
+    t.metrics.counter("stream.launches").inc()
+    return t
+
+
+#: The exact Chrome-trace document for :func:`make_tracer` — a golden
+#: file inlined so a formatting regression is a visible diff, not a
+#: silently rewritten artifact.
+GOLDEN = {
+    "traceEvents": [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": "simulated"}},
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"name": "host"}},
+        {"name": "thread_sort_index", "ph": "M", "pid": 0, "tid": 0,
+         "args": {"sort_index": 0}},
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": 1,
+         "args": {"name": "wg 0"}},
+        {"name": "thread_sort_index", "ph": "M", "pid": 0, "tid": 1,
+         "args": {"sort_index": 1}},
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": 2,
+         "args": {"name": "wg 1"}},
+        {"name": "thread_sort_index", "ph": "M", "pid": 0, "tid": 2,
+         "args": {"sort_index": 2}},
+        {"name": "launch[k]", "cat": "launch", "ph": "X", "ts": 0.0,
+         "dur": 20.0, "pid": 0, "tid": 0, "args": {"grid_size": 2}},
+        {"name": "load", "cat": "phase", "ph": "X", "ts": 0.0,
+         "dur": 10.0, "pid": 0, "tid": 1, "args": {}},
+        {"name": "store", "cat": "phase", "ph": "X", "ts": 15.0,
+         "dur": 5.0, "pid": 0, "tid": 1, "args": {}},
+        {"name": "load", "cat": "phase", "ph": "X", "ts": 10.0,
+         "dur": 5.0, "pid": 0, "tid": 2, "args": {}},
+        {"name": "atomic_add", "cat": "event", "ph": "i", "s": "t",
+         "ts": 10.0, "pid": 0, "tid": 1, "args": {}},
+    ],
+    "displayTimeUnit": "ms",
+    "otherData": {
+        "generator": "repro.obs",
+        "metrics": {
+            "simulated": [
+                {"type": "counter", "name": "stream.launches",
+                 "labels": {}, "value": 1},
+            ],
+        },
+    },
+}
+
+
+class TestChromeTrace:
+    def test_golden_document(self, tmp_path):
+        path = tmp_path / "trace.json"
+        doc = export_chrome_trace({"simulated": make_tracer()}, path)
+        assert doc == GOLDEN
+        # and the on-disk bytes parse back to the same document
+        assert json.loads(path.read_text()) == GOLDEN
+
+    def test_golden_document_validates(self):
+        validate_chrome_trace(GOLDEN)
+
+    def test_single_tracer_gets_default_process(self):
+        doc = export_chrome_trace(make_tracer())
+        names = [e["args"]["name"] for e in doc["traceEvents"]
+                 if e["name"] == "process_name"]
+        assert names == ["trace"]
+
+    def test_two_tracers_two_pids(self):
+        doc = export_chrome_trace({"simulated": make_tracer(),
+                                   "vectorized": make_tracer()})
+        assert {e["pid"] for e in doc["traceEvents"]} == {0, 1}
+        assert set(doc["otherData"]["metrics"]) == {"simulated",
+                                                    "vectorized"}
+
+    def test_open_span_closed_at_latest_timestamp(self):
+        clock = FakeClock()
+        t = Tracer("spans", clock=clock)
+        t.span("dangling", track="wg:0")
+        clock.tick(4)
+        t.span("done", track="wg:1").finish()
+        (ev,) = [e for e in chrome_trace_events(t)
+                 if e.get("ph") == "X" and e["name"] == "dangling"]
+        assert ev["ts"] + ev["dur"] == pytest.approx(4.0)
+
+    def test_adjacent_spans_stay_adjacent_after_rounding(self):
+        t = Tracer("spans", clock=FakeClock())
+        # endpoints chosen so round(ts) + round(dur) would overlap
+        t.add_span("a", track="wg:0", start_us=0.0, end_us=10.00049)
+        t.add_span("b", track="wg:0", start_us=10.00049, end_us=20.0)
+        validate_chrome_trace(export_chrome_trace(t))
+
+
+class TestJsonl:
+    def test_records_spans_instants_metrics(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        records = export_jsonl(make_tracer(), path)
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert lines == records
+        types = [r["type"] for r in records]
+        assert types == ["span"] * 4 + ["instant", "counter"]
+        launch = records[0]
+        assert launch["track"] == "host" and launch["depth"] == 0
+        assert launch["dur_us"] == pytest.approx(20.0)
+
+
+class TestValidation:
+    def test_rejects_non_document(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"events": []})
+
+    def test_rejects_empty_events(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "B", "pid": 0, "tid": 0, "ts": 0}]})
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "X", "pid": 0, "tid": 0,
+                 "ts": 0, "dur": -1}]})
+
+    def test_rejects_partial_overlap(self):
+        with pytest.raises(ValueError, match="nest"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "a", "ph": "X", "pid": 0, "tid": 0,
+                 "ts": 0, "dur": 10},
+                {"name": "b", "ph": "X", "pid": 0, "tid": 0,
+                 "ts": 5, "dur": 10},
+            ]})
+
+    def test_accepts_nesting_and_adjacency(self):
+        validate_chrome_trace({"traceEvents": [
+            {"name": "a", "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 10},
+            {"name": "b", "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 4},
+            {"name": "c", "ph": "X", "pid": 0, "tid": 0, "ts": 4, "dur": 6},
+            {"name": "d", "ph": "X", "pid": 0, "tid": 1, "ts": 5, "dur": 99},
+        ]})

@@ -1,0 +1,112 @@
+"""The typed metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_get_or_create_accumulates(self, reg):
+        reg.counter("stream.launches").inc()
+        reg.counter("stream.launches").inc(4)
+        assert reg.counter("stream.launches").value == 5
+
+    def test_cannot_decrease(self, reg):
+        with pytest.raises(MetricsError):
+            reg.counter("c").inc(-1)
+
+    def test_to_dict(self, reg):
+        reg.counter("c", kind="x").inc(2)
+        d = reg.counter("c", kind="x").to_dict()
+        assert d == {"type": "counter", "name": "c",
+                     "labels": {"kind": "x"}, "value": 2}
+
+
+class TestGauge:
+    def test_set_moves_both_ways(self, reg):
+        g = reg.gauge("g")
+        g.set(5)
+        g.set(3)
+        assert g.value == 3
+
+    def test_set_max_keeps_peak(self, reg):
+        g = reg.gauge("peak")
+        g.set_max(5)
+        g.set_max(3)
+        g.set_max(9)
+        assert g.value == 9
+
+    def test_unset_gauge_is_none(self, reg):
+        assert reg.gauge("fresh").value is None
+
+
+class TestHistogram:
+    def test_summary_stats(self, reg):
+        h = reg.histogram("h")
+        for v in (1.0, 3.0, 8.0):
+            h.record(v)
+        assert h.count == 3
+        assert h.min == 1.0 and h.max == 8.0
+        assert h.mean == pytest.approx(4.0)
+
+    def test_power_of_two_buckets(self, reg):
+        h = reg.histogram("h")
+        h.record(0.5)   # <= 1
+        h.record(3.0)   # <= 4
+        h.record(4.0)   # <= 4
+        h.record(100.0)  # <= 128
+        assert h.to_dict()["buckets"] == {"1": 1, "4": 2, "128": 1}
+
+    def test_empty_histogram_mean(self, reg):
+        assert reg.histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_typed_names_enforced(self, reg):
+        reg.counter("n")
+        with pytest.raises(MetricsError):
+            reg.gauge("n")
+        with pytest.raises(MetricsError):
+            reg.histogram("n")
+
+    def test_labels_are_distinct_instruments(self, reg):
+        reg.histogram("sched.spin_wait_us", wg=0).record(1.0)
+        reg.histogram("sched.spin_wait_us", wg=1).record(2.0)
+        assert reg.histogram("sched.spin_wait_us", wg=0).count == 1
+        assert len(reg.instruments("sched.spin_wait_us")) == 2
+
+    def test_label_order_does_not_matter(self, reg):
+        reg.counter("c", a=1, b=2).inc()
+        assert reg.counter("c", b=2, a=1).value == 1
+
+    def test_get_returns_none_for_untouched(self, reg):
+        assert reg.get("nope") is None
+        reg.counter("yes").inc()
+        assert isinstance(reg.get("yes"), Counter)
+
+    def test_iteration_and_len(self, reg):
+        reg.counter("a").inc()
+        reg.gauge("b").set(1)
+        reg.histogram("c").record(1)
+        assert len(reg) == 3
+        kinds = {i.kind for i in reg}
+        assert kinds == {"counter", "gauge", "histogram"}
+        assert isinstance(list(reg)[1], Gauge)
+        assert isinstance(list(reg)[2], Histogram)
+
+    def test_to_dicts_sorted_by_name(self, reg):
+        reg.counter("z").inc()
+        reg.counter("a").inc()
+        names = [d["name"] for d in reg.to_dicts()]
+        assert names == ["a", "z"]

@@ -1,0 +1,216 @@
+"""Backend equivalence of the emitted span trees.
+
+Both execution backends must emit the *same* algorithm-phase structure
+for the same input — the tracing analogue of the counter-equivalence
+contract.  Because the simulated scheduler assigns tiles to hardware
+slots via dynamic work-group IDs while the vectorized backend assigns
+tile ``g`` to track ``g``, per-track trees are compared as a
+**multiset** over the work-group tracks, and only ``cat == "phase"``
+spans participate (``sched`` spans such as ``sync_wait`` are
+schedule-dependent, exactly like ``n_spins``).
+"""
+
+from collections import Counter as Multiset
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.primitives import (
+    ds_copy_if,
+    ds_pad,
+    ds_partition,
+    ds_remove_if,
+    ds_stream_compact,
+    ds_unique,
+    ds_unique_by_key,
+    ds_unpad,
+)
+from repro.workloads import (
+    compaction_array,
+    padding_matrix,
+    predicate_fraction_array,
+    runs_array,
+)
+
+N = 4096
+WG = 64
+
+
+def phase_tree(span):
+    """Nested ``(name, children)`` shape of one span, phases only."""
+    return (span.name, tuple(phase_tree(c) for c in span.children
+                             if c.cat == "phase"))
+
+
+def wg_phase_forest(tracer):
+    """Multiset of per-work-group-track phase trees."""
+    forest = Multiset()
+    for track in tracer.tracks:
+        if not track.startswith("wg:"):
+            continue
+        trees = tuple(phase_tree(sp) for sp in tracer.roots(track)
+                      if sp.cat == "phase")
+        forest[trees] += 1
+    return forest
+
+
+def traced(run):
+    tracers = {}
+    for backend in ("simulated", "vectorized"):
+        with obs.tracing("spans") as t:
+            run(backend)
+        tracers[backend] = t
+    return tracers
+
+
+def assert_span_parity(run, primitive_name):
+    tracers = traced(run)
+    sim, vec = tracers["simulated"], tracers["vectorized"]
+
+    # One root primitive span per call, on both backends, labelled.
+    for name, t in tracers.items():
+        roots = t.find_spans(primitive_name, cat="primitive")
+        assert roots, f"{name}: no {primitive_name} primitive span"
+        for sp in roots:
+            assert sp.args["backend"] == name
+            assert sp.end_us is not None
+
+    # Same number of launch spans.
+    assert len(sim.find_spans(cat="launch")) == \
+        len(vec.find_spans(cat="launch"))
+
+    # Identical multiset of per-track phase trees.
+    assert wg_phase_forest(sim) == wg_phase_forest(vec), (
+        f"{primitive_name}: phase trees differ between backends")
+
+
+class TestRegularPrimitives:
+    def test_pad(self):
+        matrix = padding_matrix(64, 31)
+        assert_span_parity(
+            lambda b: ds_pad(matrix, 1, wg_size=WG, seed=3, backend=b),
+            "ds_pad")
+
+    def test_unpad(self):
+        matrix = padding_matrix(64, 32)
+        assert_span_parity(
+            lambda b: ds_unpad(matrix, 1, wg_size=WG, seed=3, backend=b),
+            "ds_unpad")
+
+    def test_regular_tree_shape(self):
+        """Regular DS phases are load -> sync -> store, no reduce."""
+        matrix = padding_matrix(64, 31)
+        with obs.tracing("spans") as t:
+            ds_pad(matrix, 1, wg_size=WG, seed=3, backend="vectorized")
+        for trees, _ in wg_phase_forest(t).items():
+            assert [name for name, _ in trees] == ["load", "sync", "store"]
+
+
+class TestIrregularPrimitives:
+    def test_stream_compact(self):
+        values = compaction_array(N, 0.5, seed=8)
+        assert_span_parity(
+            lambda b: ds_stream_compact(values, 0.0, wg_size=WG, seed=8,
+                                        backend=b),
+            "ds_stream_compact")
+
+    def test_remove_if(self):
+        values, pred = predicate_fraction_array(N, 0.5, seed=12)
+        assert_span_parity(
+            lambda b: ds_remove_if(values, pred, wg_size=WG, seed=12,
+                                   backend=b),
+            "ds_remove_if")
+
+    def test_copy_if(self):
+        values, pred = predicate_fraction_array(N, 0.25, seed=5)
+        assert_span_parity(
+            lambda b: ds_copy_if(values, pred, wg_size=WG, seed=5,
+                                 backend=b),
+            "ds_copy_if")
+
+    def test_unique(self):
+        values = runs_array(N, 0.25, seed=16)
+        assert_span_parity(
+            lambda b: ds_unique(values, wg_size=WG, seed=16, backend=b),
+            "ds_unique")
+
+    def test_partition(self):
+        values, pred = predicate_fraction_array(N, 0.5, seed=19)
+        assert_span_parity(
+            lambda b: ds_partition(values, pred, wg_size=WG, seed=19,
+                                   backend=b),
+            "ds_partition")
+
+    def test_irregular_tree_shape(self):
+        """Irregular DS phases are load -> reduce -> sync -> store,
+        with the flag-round scans nested inside store."""
+        values = compaction_array(N, 0.5, seed=8)
+        with obs.tracing("spans") as t:
+            ds_stream_compact(values, 0.0, wg_size=WG, seed=8,
+                              backend="vectorized")
+        saw_scan = False
+        for trees, _ in wg_phase_forest(t).items():
+            for name, children in trees:
+                assert name in ("load", "reduce", "sync", "store")
+                if name == "store" and children:
+                    assert {c for c, _ in children} == {"scan"}
+                    saw_scan = True
+        assert saw_scan
+
+    def test_sync_wait_only_on_simulated(self):
+        values = compaction_array(N, 0.5, seed=8)
+        tracers = traced(
+            lambda b: ds_stream_compact(values, 0.0, wg_size=WG, seed=8,
+                                        backend=b))
+        assert tracers["simulated"].find_spans("sync_wait", cat="sched")
+        assert not tracers["vectorized"].find_spans("sync_wait")
+
+
+class TestKeyedPrimitives:
+    def test_unique_by_key(self):
+        keys = runs_array(N, 0.25, seed=21)
+        vals = np.arange(N, dtype=np.float32)
+        assert_span_parity(
+            lambda b: ds_unique_by_key(keys, vals, wg_size=WG, seed=21,
+                                       backend=b),
+            "ds_unique_by_key")
+
+
+class TestMetricsParity:
+    def test_stream_counters_match_launch_counters(self):
+        values = compaction_array(N, 0.5, seed=8)
+        results = {}
+        tracers = {}
+        for backend in ("simulated", "vectorized"):
+            with obs.tracing("spans") as t:
+                results[backend] = ds_stream_compact(
+                    values, 0.0, wg_size=WG, seed=8, backend=backend)
+            tracers[backend] = t
+        for backend, t in tracers.items():
+            c = results[backend].counters[0]
+            m = t.metrics
+            assert m.counter("stream.launches").value == 1
+            assert m.counter("stream.bytes_loaded").value == c.bytes_loaded
+            assert m.counter("stream.bytes_stored").value == c.bytes_stored
+            assert m.counter("stream.atomics").value == c.n_atomics
+            assert m.gauge("sched.peak_resident").value == c.peak_resident
+        sim_m, vec_m = tracers["simulated"].metrics, \
+            tracers["vectorized"].metrics
+        for name in ("stream.bytes_loaded", "stream.bytes_stored",
+                     "stream.atomics", "stream.barriers"):
+            assert sim_m.counter(name).value == vec_m.counter(name).value
+
+    @pytest.mark.slow
+    def test_spin_wait_histograms_cover_waiting_groups(self):
+        values = compaction_array(N, 0.5, seed=8)
+        with obs.tracing("spans") as t:
+            result = ds_stream_compact(values, 0.0, wg_size=WG, seed=8,
+                                       backend="simulated")
+        n_wgs = result.extras["n_workgroups"]
+        hists = t.metrics.instruments("sched.spin_wait_us")
+        assert 0 < len(hists) <= n_wgs
+        waits = t.find_spans("sync_wait", cat="sched")
+        assert sum(h.count for h in hists) == len(waits)
+        for h in hists:
+            assert h.count > 0 and h.min >= 0.0

@@ -1,0 +1,210 @@
+"""The span tracer: lifecycle, nesting, modes, the disabled fast path."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.obs.tracer import NULL_SPAN, Span, Tracer
+
+
+class FakeClock:
+    """Injectable nanosecond clock advancing only on demand."""
+
+    def __init__(self):
+        self.ns = 0
+
+    def __call__(self):
+        return self.ns
+
+    def tick(self, us: float):
+        self.ns += int(us * 1000)
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer("full", clock=clock)
+
+
+@pytest.fixture(autouse=True)
+def no_global_tracer():
+    """Tests here manage the global tracer explicitly."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestModes:
+    def test_resolve_default_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert obs.resolve_trace_mode() == "off"
+
+    def test_resolve_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "spans")
+        assert obs.resolve_trace_mode() == "spans"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "spans")
+        assert obs.resolve_trace_mode("full") == "full"
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ReproError):
+            obs.resolve_trace_mode("verbose")
+
+    def test_tracer_off_is_contradictory(self):
+        with pytest.raises(ReproError):
+            Tracer("off")
+
+    def test_full_flag(self):
+        assert Tracer("full").full
+        assert not Tracer("spans").full
+
+
+class TestDisabledPath:
+    def test_no_active_tracer_by_default(self):
+        assert obs.active() is None
+
+    def test_span_returns_shared_null_span(self):
+        sp = obs.span("anything", cat="phase")
+        assert sp is NULL_SPAN
+        assert sp.set(x=1) is sp
+        assert sp.finish() is sp
+        with sp:
+            pass
+
+    def test_instant_is_noop(self):
+        obs.instant("nothing")  # must not raise, must not allocate state
+
+
+class TestSpanLifecycle:
+    def test_nesting_and_children(self, tracer, clock):
+        with tracer.span("outer") as outer:
+            clock.tick(10)
+            with tracer.span("inner") as inner:
+                clock.tick(5)
+        assert outer.children == [inner]
+        assert tracer.roots("host") == [outer]
+        assert inner.start_us == pytest.approx(10.0)
+        assert inner.duration_us == pytest.approx(5.0)
+        assert outer.duration_us == pytest.approx(15.0)
+
+    def test_tracks_are_independent_stacks(self, tracer):
+        a = tracer.span("a", track="wg:0")
+        b = tracer.span("b", track="wg:1")
+        a.finish()
+        b.finish()
+        assert tracer.roots("wg:0") == [a]
+        assert tracer.roots("wg:1") == [b]
+        assert tracer.tracks == ["wg:0", "wg:1"]
+
+    def test_host_track_sorts_first(self, tracer):
+        tracer.span("w", track="wg:3").finish()
+        tracer.span("h").finish()
+        assert tracer.tracks[0] == "host"
+
+    def test_finish_is_idempotent(self, tracer, clock):
+        sp = tracer.span("once")
+        clock.tick(3)
+        sp.finish()
+        end = sp.end_us
+        clock.tick(3)
+        sp.finish()
+        assert sp.end_us == end
+
+    def test_exception_closes_dangling_children(self, tracer, clock):
+        outer = tracer.span("outer")
+        tracer.span("leaked")
+        clock.tick(7)
+        outer.finish()  # must close the dangling child at the same time
+        leaked = outer.children[0]
+        assert leaked.end_us == outer.end_us
+
+    def test_close_finishes_open_spans(self, tracer):
+        sp = tracer.span("open", track="wg:2")
+        tracer.close()
+        assert sp.end_us is not None
+
+    def test_set_attaches_args(self, tracer):
+        sp = tracer.span("s", args={"a": 1}).set(b=2).finish()
+        assert sp.args == {"a": 1, "b": 2}
+
+    def test_add_span_explicit_timestamps(self, tracer):
+        parent = tracer.add_span("store", track="wg:0", start_us=5.0,
+                                 end_us=9.0, cat="phase")
+        child = tracer.add_span("scan", track="wg:0", start_us=6.0,
+                                end_us=7.0, cat="phase", parent=parent)
+        assert parent.children == [child]
+        assert tracer.roots("wg:0") == [parent]
+        assert child.duration_us == pytest.approx(1.0)
+
+    def test_iter_spans_depth_first(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        walk = [(sp.name, depth) for _, sp, depth in tracer.iter_spans()]
+        assert walk == [("a", 0), ("b", 1), ("c", 1)]
+
+    def test_find_spans_by_name_and_cat(self, tracer):
+        tracer.span("x", cat="phase").finish()
+        tracer.span("x", cat="sched").finish()
+        assert len(tracer.find_spans("x")) == 2
+        assert len(tracer.find_spans("x", cat="sched")) == 1
+        assert tracer.find_spans(cat="phase")[0].cat == "phase"
+
+    def test_instants_recorded_with_track(self, tracer, clock):
+        clock.tick(2)
+        tracer.instant("atomic_add", cat="event", track="wg:1")
+        (ev,) = tracer.instants
+        assert ev["name"] == "atomic_add"
+        assert ev["track"] == "wg:1"
+        assert ev["ts_us"] == pytest.approx(2.0)
+
+
+class TestGlobalTracer:
+    def test_enable_disable_roundtrip(self):
+        t = obs.enable("spans")
+        assert obs.active() is t
+        sp = obs.span("visible")
+        assert sp is not NULL_SPAN
+        sp.finish()
+        assert obs.disable() is t
+        assert obs.active() is None
+
+    def test_tracing_scope_restores_previous(self):
+        outer = obs.enable("spans")
+        with obs.tracing("full") as inner:
+            assert obs.active() is inner
+        assert obs.active() is outer
+
+    def test_tracing_closes_spans_on_exit(self):
+        with obs.tracing("spans") as t:
+            t.span("left-open", track="wg:0")
+        assert t.roots("wg:0")[0].end_us is not None
+
+    def test_env_var_auto_installs_on_primitive_call(self, monkeypatch):
+        import numpy as np
+
+        from repro.primitives import ds_stream_compact
+
+        monkeypatch.setenv("REPRO_TRACE", "spans")
+        values = np.asarray([1.0, 0.0, 2.0, 0.0], dtype=np.float32)
+        ds_stream_compact(values, 0.0, wg_size=32)
+        t = obs.active()
+        assert t is not None
+        assert t.find_spans("ds_stream_compact", cat="primitive")
+
+    def test_no_tracer_installed_when_env_off(self, monkeypatch):
+        import numpy as np
+
+        from repro.primitives import ds_stream_compact
+
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        values = np.asarray([1.0, 0.0], dtype=np.float32)
+        ds_stream_compact(values, 0.0, wg_size=32)
+        assert obs.active() is None
