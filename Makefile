@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-all bench bench-smoke bench-full bench-check \
-        trace-smoke figures examples clean
+        pipeline-smoke trace-smoke figures examples clean
 
 install:
 	pip install -e . || \
@@ -27,6 +27,12 @@ bench-full:      ## same, at the paper's 16M / 12000x11999 sizes
 
 bench-check:     ## compare fresh runs against committed BENCH_*.json baselines
 	$(PYTHON) -m repro.obs.regress benchmarks/results
+
+pipeline-smoke:  ## fused launch count + plan-cache hit, both backends
+	$(PYTHON) -m pytest benchmarks/bench_pipeline_fusion.py \
+	  --benchmark-only
+	$(PYTHON) -W error::DeprecationWarning -m pytest \
+	  tests/pipeline tests/primitives -q
 
 trace-smoke:     ## export + validate a Chrome trace of one experiment
 	$(PYTHON) -m repro trace fig13 -o /tmp/repro_trace_smoke.json --check

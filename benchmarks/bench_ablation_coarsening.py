@@ -11,6 +11,7 @@ import numpy as np
 
 from _common import BENCH_MATRIX, ROUNDS, emit
 from repro.analysis import render_table
+from repro.config import DSConfig
 from repro.core.coarsening import choose_coarsening
 from repro.perfmodel import (
     ds_regular_launches,
@@ -61,14 +62,14 @@ def test_ablation_coarsening(benchmark):
     matrix = padding_matrix(rows_n, cols_n)
 
     def run():
-        return ds_pad(matrix, 1, wg_size=256, seed=24)
+        return ds_pad(matrix, 1, config=DSConfig(seed=24))
 
     result = benchmark.pedantic(run, **ROUNDS)
     assert np.array_equal(result.output[:, :cols_n], matrix)
 
     # The measured event structure behind the surface: smaller tiles
     # mean proportionally more flag hops.
-    few = ds_pad(matrix, 1, wg_size=256, coarsening=16, seed=24)
-    many = ds_pad(matrix, 1, wg_size=256, coarsening=2, seed=24)
+    few = ds_pad(matrix, 1, config=DSConfig(coarsening=16, seed=24))
+    many = ds_pad(matrix, 1, config=DSConfig(coarsening=2, seed=24))
     assert many.counters[0].extras["adjacent_syncs"] > (
         6 * few.counters[0].extras["adjacent_syncs"])

@@ -17,6 +17,7 @@ import numpy as np
 
 from _common import BENCH_ELEMENTS, ROUNDS, emit
 from repro.analysis import render_table
+from repro.config import DSConfig
 from repro.perfmodel import (
     collective_rounds_per_wg,
     ds_irregular_launches,
@@ -79,9 +80,8 @@ def test_ablation_collectives(benchmark):
     values = compaction_array(BENCH_ELEMENTS, 0.5, seed=20)
 
     def run_optimized():
-        return ds_stream_compact(values, 0.0, wg_size=256,
-                                 scan_variant="ballot",
-                                 reduction_variant="shuffle", seed=20)
+        return ds_stream_compact(values, 0.0, config=DSConfig(
+            scan_variant="ballot", reduction_variant="shuffle", seed=20))
 
     result = benchmark.pedantic(run_optimized, **ROUNDS)
 
@@ -89,8 +89,8 @@ def test_ablation_collectives(benchmark):
     small = compaction_array(128 * 1024, 0.5, seed=21)
     outputs = []
     for variant in ("tree", "ballot", "shuffle"):
-        outputs.append(ds_stream_compact(small, 0.0, wg_size=256,
-                                         scan_variant=variant,
-                                         seed=21).output)
+        outputs.append(ds_stream_compact(
+            small, 0.0,
+            config=DSConfig(scan_variant=variant, seed=21)).output)
     assert all(np.array_equal(outputs[0], o) for o in outputs[1:])
     assert result.extras["n_kept"] == BENCH_ELEMENTS - BENCH_ELEMENTS // 2

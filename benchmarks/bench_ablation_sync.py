@@ -17,6 +17,7 @@ import numpy as np
 
 from _common import BENCH_ELEMENTS, ROUNDS, emit
 from repro.analysis import render_table
+from repro.config import DSConfig
 from repro.perfmodel import (
     ds_irregular_launches,
     gbps,
@@ -72,7 +73,7 @@ def test_ablation_sync(benchmark):
     values = compaction_array(BENCH_ELEMENTS, 0.5, seed=22)
 
     def run():
-        return ds_stream_compact(values, 0.0, wg_size=256, seed=22)
+        return ds_stream_compact(values, 0.0, config=DSConfig(seed=22))
 
     result = benchmark.pedantic(run, **ROUNDS)
     assert result.extras["n_kept"] == BENCH_ELEMENTS // 2
@@ -84,7 +85,7 @@ def test_ablation_sync(benchmark):
     spin_rows = [["dispatch order", "spins", "result"]]
     for order in ("ascending", "random", "descending"):
         stream = Stream("maxwell", seed=23, order=order, resident_limit=16)
-        r = ds_stream_compact(small, 0.0, stream, wg_size=256)
+        r = ds_stream_compact(small, 0.0, stream)
         if expected is None:
             expected = r.output
         ok = np.array_equal(r.output, expected)

@@ -11,6 +11,7 @@ import numpy as np
 
 from _common import BENCH_MATRIX, ROUNDS, emit
 from repro.analysis.figures import fig06_coarsening
+from repro.config import DSConfig
 from repro.primitives import ds_pad
 from repro.workloads import padding_matrix
 
@@ -22,12 +23,12 @@ def test_fig06_coarsening(benchmark):
     matrix = padding_matrix(rows, cols)
 
     def run():
-        return ds_pad(matrix, 1, wg_size=256, coarsening=16, seed=2)
+        return ds_pad(matrix, 1, config=DSConfig(coarsening=16, seed=2))
 
     result = benchmark.pedantic(run, **ROUNDS)
     assert np.array_equal(result.output[:, :cols], matrix)
 
-    low_cf = ds_pad(matrix, 1, wg_size=256, coarsening=1, seed=2)
+    low_cf = ds_pad(matrix, 1, config=DSConfig(coarsening=1, seed=2))
     # ~16x the work-groups (hence ~16x the adjacent synchronizations)
     # at coarsening 1 — the left edge of Figure 6.
     ratio = low_cf.extras["n_workgroups"] / result.extras["n_workgroups"]

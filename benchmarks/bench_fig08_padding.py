@@ -10,6 +10,7 @@ import numpy as np
 
 from _common import BENCH_MATRIX, ROUNDS, compare_backends, emit
 from repro.analysis.figures import fig08_padding_columns, fig08_padding_sizes
+from repro.config import DSConfig
 from repro.baselines import sung_pad
 from repro.primitives import ds_pad
 from repro.workloads import padding_matrix
@@ -24,7 +25,7 @@ def test_fig08_padding(benchmark):
     matrix = padding_matrix(rows, cols)
 
     def run():
-        return ds_pad(matrix, 1, wg_size=256, seed=3)
+        return ds_pad(matrix, 1, config=DSConfig(seed=3))
 
     result = benchmark.pedantic(run, **ROUNDS)
     assert np.array_equal(result.output[:, :cols], matrix)
@@ -32,8 +33,8 @@ def test_fig08_padding(benchmark):
 
     compare_backends(
         "fig08",
-        lambda backend: ds_pad(matrix, 1, wg_size=256, seed=3,
-                               backend=backend),
+        lambda backend: ds_pad(
+            matrix, 1, config=DSConfig(seed=3, backend=backend)),
         meta={"matrix": list(BENCH_MATRIX), "primitive": "ds_pad"},
     )
 

@@ -4,6 +4,7 @@ import numpy as np
 
 from _common import BENCH_MATRIX, ROUNDS, emit
 from repro.analysis.figures import fig09_unpadding_columns, fig09_unpadding_sizes
+from repro.config import DSConfig
 from repro.baselines import sung_unpad
 from repro.primitives import ds_unpad
 from repro.reference import unpad_ref
@@ -19,7 +20,7 @@ def test_fig09_unpadding(benchmark):
     matrix = padding_matrix(rows, cols)
 
     def run():
-        return ds_unpad(matrix, 1, wg_size=256, seed=4)
+        return ds_unpad(matrix, 1, config=DSConfig(seed=4))
 
     result = benchmark.pedantic(run, **ROUNDS)
     assert np.array_equal(result.output, unpad_ref(matrix, 1))

@@ -10,6 +10,7 @@ import numpy as np
 from _common import BENCH_MATRIX, ROUNDS, emit
 from repro.analysis import cpu_sequential_comparison, render_table
 from repro.analysis.figures import fig10_portability
+from repro.config import DSConfig
 from repro.primitives import ds_pad
 from repro.workloads import padding_matrix
 
@@ -31,7 +32,7 @@ def test_fig10_portability(benchmark):
     matrix = padding_matrix(m_rows, m_cols, dtype=np.float64)
 
     def run():
-        return ds_pad(matrix, 1, wg_size=256, seed=5)
+        return ds_pad(matrix, 1, config=DSConfig(seed=5))
 
     result = benchmark.pedantic(run, **ROUNDS)
     assert result.output.dtype == np.float64

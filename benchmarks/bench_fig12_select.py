@@ -4,6 +4,7 @@ import numpy as np
 
 from _common import BENCH_ELEMENTS, ROUNDS, emit
 from repro.analysis.figures import fig12_select
+from repro.config import DSConfig
 from repro.baselines.thrust import thrust_remove_if
 from repro.primitives import ds_remove_if
 from repro.reference import remove_if_ref
@@ -16,7 +17,7 @@ def test_fig12_select(benchmark):
     values, pred = predicate_fraction_array(BENCH_ELEMENTS, 0.5, seed=6)
 
     def run():
-        return ds_remove_if(values, pred, wg_size=256, seed=6)
+        return ds_remove_if(values, pred, config=DSConfig(seed=6))
 
     result = benchmark.pedantic(run, **ROUNDS)
     assert result.extras["n_removed"] == BENCH_ELEMENTS // 2
@@ -25,7 +26,7 @@ def test_fig12_select(benchmark):
     # Structural contrast at a smaller size: the DS version is a single
     # launch moving ~2.6x fewer bytes than Thrust's pipeline.
     small, spred = predicate_fraction_array(64 * 1024, 0.5, seed=7)
-    ds = ds_remove_if(small, spred, wg_size=256, seed=7)
+    ds = ds_remove_if(small, spred, config=DSConfig(seed=7))
     th = thrust_remove_if(small, spred, wg_size=256, seed=7)
     assert ds.num_launches == 1 and th.num_launches == 5
     assert th.bytes_moved > 2.0 * ds.bytes_moved

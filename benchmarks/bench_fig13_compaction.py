@@ -4,6 +4,7 @@ import numpy as np
 
 from _common import BENCH_ELEMENTS, ROUNDS, compare_backends, emit
 from repro.analysis.figures import fig13_compaction
+from repro.config import DSConfig
 from repro.baselines import atomic_compact
 from repro.primitives import ds_stream_compact
 from repro.reference import compact_ref
@@ -16,7 +17,7 @@ def test_fig13_compaction(benchmark):
     values = compaction_array(BENCH_ELEMENTS, 0.5, seed=8)
 
     def run():
-        return ds_stream_compact(values, 0.0, wg_size=256, seed=8)
+        return ds_stream_compact(values, 0.0, config=DSConfig(seed=8))
 
     result = benchmark.pedantic(run, **ROUNDS)
     assert result.extras["n_kept"] == BENCH_ELEMENTS - BENCH_ELEMENTS // 2
@@ -24,8 +25,8 @@ def test_fig13_compaction(benchmark):
 
     compare_backends(
         "fig13",
-        lambda backend: ds_stream_compact(values, 0.0, wg_size=256, seed=8,
-                                          backend=backend),
+        lambda backend: ds_stream_compact(
+            values, 0.0, config=DSConfig(seed=8, backend=backend)),
         min_speedup=5.0,
         meta={"elements": BENCH_ELEMENTS, "primitive": "ds_stream_compact"},
     )

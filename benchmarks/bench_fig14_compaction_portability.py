@@ -4,6 +4,7 @@ import numpy as np
 
 from _common import BENCH_ELEMENTS, ROUNDS, emit
 from repro.analysis.figures import fig14_compaction_portability
+from repro.config import DSConfig
 from repro.primitives import ds_stream_compact
 from repro.reference import compact_ref
 from repro.simgpu import Stream
@@ -17,9 +18,10 @@ def test_fig14_compaction_portability(benchmark):
     values = compaction_array(BENCH_ELEMENTS, 0.5, seed=10)
 
     def run():
-        return ds_stream_compact(values, 0.0, Stream("hawaii", seed=10),
-                                 wg_size=256, scan_variant="ballot",
-                                 reduction_variant="shuffle")
+        return ds_stream_compact(
+            values, 0.0, Stream("hawaii", seed=10),
+            config=DSConfig(scan_variant="ballot",
+                            reduction_variant="shuffle"))
 
     result = benchmark.pedantic(run, **ROUNDS)
     assert np.array_equal(result.output, compact_ref(values, 0.0))

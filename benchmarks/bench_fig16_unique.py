@@ -4,6 +4,7 @@ import numpy as np
 
 from _common import BENCH_ELEMENTS, ROUNDS, emit
 from repro.analysis.figures import fig16_unique
+from repro.config import DSConfig
 from repro.baselines.thrust import thrust_unique
 from repro.primitives import ds_unique
 from repro.reference import unique_ref
@@ -16,14 +17,14 @@ def test_fig16_unique(benchmark):
     values = runs_array(BENCH_ELEMENTS, 0.5, seed=11)
 
     def run():
-        return ds_unique(values, wg_size=256, seed=11)
+        return ds_unique(values, config=DSConfig(seed=11))
 
     result = benchmark.pedantic(run, **ROUNDS)
     assert result.extras["n_kept"] == BENCH_ELEMENTS // 2
     assert np.array_equal(result.output, unique_ref(values))
 
     small = runs_array(64 * 1024, 0.5, seed=12)
-    ds = ds_unique(small, wg_size=256, seed=12)
+    ds = ds_unique(small, config=DSConfig(seed=12))
     th = thrust_unique(small, wg_size=256, seed=12)
     assert np.array_equal(ds.output, th.output)
     assert th.bytes_moved > 2.0 * ds.bytes_moved

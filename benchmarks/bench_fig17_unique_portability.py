@@ -16,7 +16,7 @@ def test_fig17_unique_portability(benchmark):
     values = runs_array(BENCH_ELEMENTS, 0.5, seed=13)
 
     def run():
-        return ds_unique(values, Stream("kepler", seed=13), wg_size=256)
+        return ds_unique(values, Stream("kepler", seed=13))
 
     result = benchmark.pedantic(run, **ROUNDS)
     assert np.array_equal(result.output, unique_ref(values))

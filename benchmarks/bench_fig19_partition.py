@@ -4,6 +4,7 @@ import numpy as np
 
 from _common import BENCH_ELEMENTS, ROUNDS, emit
 from repro.analysis.figures import fig19_partition
+from repro.config import DSConfig
 from repro.baselines.thrust import thrust_stable_partition
 from repro.primitives import ds_partition
 from repro.reference import partition_ref
@@ -16,7 +17,7 @@ def test_fig19_partition(benchmark):
     values, pred = predicate_fraction_array(BENCH_ELEMENTS, 0.5, seed=14)
 
     def run():
-        return ds_partition(values, pred, wg_size=256, seed=14)
+        return ds_partition(values, pred, config=DSConfig(seed=14))
 
     result = benchmark.pedantic(run, **ROUNDS)
     expected, n_true = partition_ref(values, pred)
@@ -24,7 +25,7 @@ def test_fig19_partition(benchmark):
     assert np.array_equal(result.output, expected)
 
     small, spred = predicate_fraction_array(64 * 1024, 0.5, seed=15)
-    ds = ds_partition(small, spred, wg_size=256, seed=15)
+    ds = ds_partition(small, spred, config=DSConfig(seed=15))
     th = thrust_stable_partition(small, spred, wg_size=256, seed=15)
     assert np.array_equal(ds.output, th.output)
     assert ds.num_launches == 2 and th.num_launches == 6

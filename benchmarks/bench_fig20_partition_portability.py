@@ -16,8 +16,7 @@ def test_fig20_partition_portability(benchmark):
     values, pred = predicate_fraction_array(BENCH_ELEMENTS, 0.5, seed=16)
 
     def run():
-        return ds_partition(values, pred, Stream("cpu-mxpa", seed=16),
-                            wg_size=256)
+        return ds_partition(values, pred, Stream("cpu-mxpa", seed=16))
 
     result = benchmark.pedantic(run, **ROUNDS)
     expected, _ = partition_ref(values, pred)

@@ -1,0 +1,76 @@
+"""Pipeline batching — fused compact→unique vs sequential calls.
+
+Not a paper figure: this benchmark exercises the execution engine the
+paper's primitives plug into.  It demonstrates the two engine wins on
+both backends:
+
+* **fusion** — a compact→unique chain runs as ONE fused launch riding a
+  single flag chain, versus two launches (and a full round trip through
+  memory) for the sequential calls;
+* **plan caching** — the second identical batch skips planning
+  entirely (``pipeline.plan_cache.hits`` >= 1).
+"""
+
+import numpy as np
+
+from _common import BENCH_ELEMENTS, ROUNDS, emit
+from repro import obs
+from repro.config import DSConfig
+from repro.pipeline import Pipeline, PlanCache
+from repro.primitives import ds_stream_compact, ds_unique
+from repro.reference import compact_ref, unique_ref
+from repro.workloads import compaction_array
+
+
+def _chain_input(n: int) -> np.ndarray:
+    # Duplicated compaction input: removal hits the zeros, unique then
+    # halves the survivors — both fused stages do real work.
+    return compaction_array(n // 2, 0.3, seed=30).repeat(2)
+
+
+def _run_batch(values, cache, backend=None):
+    p = Pipeline(config=DSConfig(seed=30, backend=backend),
+                 plan_cache=cache, fuse=True)
+    f1 = p.compact(values, 0.0)
+    f2 = p.unique(f1)
+    p.run()
+    return p, f2
+
+
+def test_pipeline_fusion(benchmark):
+    values = _chain_input(BENCH_ELEMENTS)
+    expected = unique_ref(compact_ref(values, 0.0))
+
+    rows = [["backend", "mode", "launches", "plan cache"]]
+    for backend in ("simulated", "vectorized"):
+        cache = PlanCache()
+        with obs.tracing("spans") as tracer:
+            fused, future = _run_batch(values, cache, backend)
+            _run_batch(values, cache, backend)  # identical -> cache hit
+        hits = sum(c.value for c in tracer.metrics
+                   if c.name == "pipeline.plan_cache.hits")
+        assert hits >= 1, "second identical batch must hit the plan cache"
+        assert cache.hits == hits and cache.misses == 1
+        assert np.array_equal(future.output, expected)
+
+        seq = Pipeline(config=DSConfig(seed=30, backend=backend))
+        r1 = ds_stream_compact(values, 0.0, seq.stream,
+                               config=seq.config)
+        ds_unique(r1.output, seq.stream, config=seq.config)
+        assert fused.stream.num_launches < seq.stream.num_launches
+        rows.append([backend, "fused batch",
+                     str(fused.stream.num_launches),
+                     f"{cache.hits} hits / {cache.misses} miss"])
+        rows.append([backend, "sequential",
+                     str(seq.stream.num_launches), "-"])
+
+    emit("\n".join("  ".join(f"{c:<12}" for c in r) for r in rows),
+         "pipeline_fusion")
+
+    cache = PlanCache()
+    result = benchmark.pedantic(
+        lambda: _run_batch(values, cache, "simulated")[1].result(), **ROUNDS)
+    assert np.array_equal(result.output, expected)
+    assert result.extras["fused_stages"] == ["not_equal_to(0.0)", "unique"]
+    # Every timed round after the first planned from cache.
+    assert cache.misses == 1 and cache.hits >= 1

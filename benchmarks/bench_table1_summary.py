@@ -9,6 +9,7 @@ import numpy as np
 
 from _common import BENCH_ELEMENTS, ROUNDS, emit
 from repro.analysis import render_table, table1_summary
+from repro.config import DSConfig
 from repro.primitives import ds_stream_compact
 from repro.reference import compact_ref
 from repro.workloads import compaction_array
@@ -35,9 +36,8 @@ def test_table1_summary(benchmark):
     values = compaction_array(BENCH_ELEMENTS, 0.5, seed=17)
 
     def run():
-        return ds_stream_compact(values, 0.0, wg_size=256,
-                                 scan_variant="shuffle",
-                                 reduction_variant="shuffle", seed=17)
+        return ds_stream_compact(values, 0.0, config=DSConfig(
+            scan_variant="shuffle", reduction_variant="shuffle", seed=17))
 
     result = benchmark.pedantic(run, **ROUNDS)
     assert np.array_equal(result.output, compact_ref(values, 0.0))

@@ -12,6 +12,7 @@ collectives gap.
 
 import numpy as np
 
+from repro.config import DSConfig
 from repro.perfmodel import (
     ds_irregular_launches,
     gbps,
@@ -32,7 +33,7 @@ def main() -> None:
     for device in list_devices():
         wg = min(256, device.max_wg_size)
         result = ds_stream_compact(values, 0.0, Stream(device, seed=6),
-                                   wg_size=wg)
+                                   config=DSConfig(wg_size=wg))
         ok = np.array_equal(result.output, expected)
         print(f"  {device.name:10s} wg={wg:4d} "
               f"warp={device.warp_size:2d}  correct={ok}")

@@ -31,7 +31,7 @@ def main() -> None:
 
     # --- One DS kernel ---------------------------------------------------
     ds_stream = Stream(device, seed=1)
-    ds_result = ds_pad(matrix, pad, ds_stream, wg_size=256)
+    ds_result = ds_pad(matrix, pad, ds_stream)
     square = ds_result.output
     assert square.shape == (rows, rows)
 

@@ -46,7 +46,7 @@ def main() -> None:
     for bounce, survival in enumerate((0.55, 0.40, 0.25), start=1):
         traced = trace_bounce(rays, survival, rng)
         before = stream.num_launches
-        result = ds_stream_compact(traced, DEAD, stream, wg_size=256)
+        result = ds_stream_compact(traced, DEAD, stream)
         rays = result.output
         moved = sum(c.bytes_moved for c in result.counters) / 1e6
         print(f"{bounce:>6} {traced.size:>9} {rays.size:>9} "

@@ -34,27 +34,26 @@ def main() -> None:
 
     # --- WHERE amount >= 100 (select) -------------------------------------
     threshold = np.float32(100.0)
-    big = repro.copy_if(amounts, greater_equal(threshold), wg_size=256)
+    big = repro.copy_if(amounts, greater_equal(threshold))
     assert np.array_equal(big, copy_if_ref(amounts, greater_equal(threshold)))
     print(f"WHERE amount >= {threshold:.0f}: {big.size} rows "
           f"({big.size / amounts.size:.1%} selectivity)")
 
     # --- DISTINCT over the sorted column (unique) --------------------------
-    distinct = repro.unique(big, wg_size=256)
+    distinct = repro.unique(big)
     assert np.array_equal(distinct, unique_ref(big))
     print(f"DISTINCT: {distinct.size} unique amounts")
 
     # --- A partition-style hot/cold split, stable --------------------------
     hot_limit = np.float32(300.0)
-    split, n_hot = repro.partition(distinct, greater_equal(hot_limit),
-                                   wg_size=256)
+    split, n_hot = repro.partition(distinct, greater_equal(hot_limit))
     print(f"partition at {hot_limit:.0f}: {n_hot} hot values first, "
           f"{split.size - n_hot} cold values after (both still sorted: "
           f"{bool((np.diff(split[:n_hot]) > 0).all())} / "
           f"{bool((np.diff(split[n_hot:]) > 0).all())})")
 
     # --- Everything happened in place on the device buffer -----------------
-    result = repro.unique(big, wg_size=256, return_result=True)
+    result = repro.unique(big, return_result=True)
     counters = result.counters[0]
     print("\nunique launch accounting:", counters.summary())
     print("in place, single kernel, stable — versus Thrust's "

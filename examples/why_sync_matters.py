@@ -86,7 +86,8 @@ def demo_correct_version() -> None:
     stream = Stream(get_device("maxwell"), seed=1, order="descending",
                     resident_limit=4)
     import repro
-    out = repro.remove_if(a, is_even(), stream=stream, wg_size=32)
+    out = repro.remove_if(a, is_even(), stream=stream,
+                          config=repro.DSConfig(wg_size=32))
     expected = repro.remove_if(a, is_even(), backend="numpy")
     print(f"   descending dispatch, 4 slots, sync on: "
           f"correct = {np.array_equal(out, expected)}")

@@ -7,10 +7,22 @@ padding, unpadding, select, stream compaction, unique and partition —
 enabled by adjacent work-group synchronization and dynamic work-group
 ID allocation.
 
+Three entry surfaces, all re-exported here:
+
+* the convenience functions (:func:`compact`, :func:`unique`, ... from
+  :mod:`repro.api`) — plain arrays in, plain arrays out;
+* the full primitives (:func:`ds_stream_compact`, :func:`ds_pad`, ...)
+  returning :class:`PrimitiveResult` envelopes, with tuning through one
+  :class:`DSConfig` value, plus the name-dispatched :func:`ds` front
+  door;
+* :class:`Pipeline` — enqueue several ops as futures, plan the batch
+  once (interleaving + fusion + plan caching), execute on one stream.
+
 The package layers:
 
 * :mod:`repro.api` — one-call convenience functions (start here);
 * :mod:`repro.primitives` — the DS primitives with full control;
+* :mod:`repro.pipeline` — batched planning/fused execution;
 * :mod:`repro.core` — the generic Algorithms 1 and 2 + synchronization;
 * :mod:`repro.simgpu` — the functional many-core simulator substrate;
 * :mod:`repro.baselines` — Sung's iterative scheme, Thrust-style
@@ -22,6 +34,8 @@ The package layers:
 """
 
 from repro.api import compact, copy_if, pad, partition, remove_if, unique, unpad
+from repro.config import DEFAULT_CONFIG, DSConfig
+from repro.dispatch import ds
 from repro.errors import (
     DataRaceError,
     DeadlockError,
@@ -32,10 +46,31 @@ from repro.errors import (
     SimulatorError,
     WorkloadError,
 )
+from repro.pipeline import DSFuture, Pipeline, PlanCache
+from repro.primitives import (
+    PrimitiveResult,
+    alignment_pad_columns,
+    ds_compact_records,
+    ds_copy_if,
+    ds_erase_range,
+    ds_insert_gap,
+    ds_pad,
+    ds_pad_to_alignment,
+    ds_partition,
+    ds_ragged_pad,
+    ds_ragged_unpad,
+    ds_remove_if,
+    ds_stream_compact,
+    ds_unique,
+    ds_unique_by_key,
+    ds_unpad,
+    list_ops,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # convenience surface
     "pad",
     "unpad",
     "remove_if",
@@ -43,6 +78,32 @@ __all__ = [
     "compact",
     "unique",
     "partition",
+    # unified config + dispatch + batch surface
+    "DSConfig",
+    "DEFAULT_CONFIG",
+    "ds",
+    "Pipeline",
+    "DSFuture",
+    "PlanCache",
+    "list_ops",
+    # full primitives
+    "PrimitiveResult",
+    "ds_pad",
+    "ds_unpad",
+    "ds_remove_if",
+    "ds_copy_if",
+    "ds_stream_compact",
+    "ds_unique",
+    "ds_partition",
+    "ds_insert_gap",
+    "ds_erase_range",
+    "ds_pad_to_alignment",
+    "alignment_pad_columns",
+    "ds_unique_by_key",
+    "ds_compact_records",
+    "ds_ragged_pad",
+    "ds_ragged_unpad",
+    # errors
     "ReproError",
     "SimulatorError",
     "DeadlockError",

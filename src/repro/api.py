@@ -28,10 +28,12 @@ array([3., 7., 1.], dtype=float32)
 
 from __future__ import annotations
 
+from dataclasses import fields as _dataclass_fields
 from typing import Optional, Union
 
 import numpy as np
 
+from repro.config import DSConfig, resolve_config
 from repro.core.predicates import Predicate
 from repro.errors import ReproError
 from repro.primitives import (
@@ -79,6 +81,31 @@ def _normalize_backend(backend: str):
         f"'numpy', got {backend!r}")
 
 
+_TUNING_FIELDS = tuple(f.name for f in _dataclass_fields(DSConfig))
+
+
+def _ds_config(primitive: str, config: Optional[DSConfig],
+               ds_backend: Optional[str], kw: dict) -> DSConfig:
+    """Build the DS-layer config for one api call.
+
+    Tuning kwargs left in ``kw`` are routed through
+    :func:`repro.config.resolve_config` (same deprecation warning and
+    conflict check as the ``ds_*`` entry points — and they are removed
+    from ``kw`` so they don't reach the primitive twice).  The api's own
+    ``backend=`` parameter is *not* deprecated: it pins the config's
+    backend, conflicting pins raise.
+    """
+    legacy = {name: kw.pop(name) for name in _TUNING_FIELDS if name in kw}
+    cfg = resolve_config(primitive, config, **legacy)
+    if ds_backend is not None:
+        if cfg.backend is not None and cfg.backend != ds_backend:
+            raise ReproError(
+                f"{primitive}: backend={ds_backend!r} conflicts with "
+                f"config.backend={cfg.backend!r}")
+        cfg = cfg.replace(backend=ds_backend)
+    return cfg
+
+
 def _empty_result(values: np.ndarray, extras: dict) -> PrimitiveResult:
     """Zero-element inputs short-circuit: a launch needs at least one
     work-group, and the semantics are trivially an empty output."""
@@ -95,31 +122,35 @@ def _wrap_numpy(output: np.ndarray, extras: dict) -> PrimitiveResult:
 
 
 def pad(matrix: np.ndarray, columns: int, *, backend: str = "sim",
-        fill=0, stream: StreamLike = None, return_result: bool = False, **kw):
+        fill=0, stream: StreamLike = None, config: Optional[DSConfig] = None,
+        return_result: bool = False, **kw):
     """Append ``columns`` extra columns to a row-major matrix (DS Padding)."""
     use_numpy, ds_backend = _normalize_backend(backend)
     if use_numpy:
         result = _wrap_numpy(pad_ref(matrix, columns, fill=fill),
                              {"pad": columns})
     else:
-        result = ds_pad(matrix, columns, stream, fill=fill,
-                        backend=ds_backend, **kw)
+        cfg = _ds_config("pad", config, ds_backend, kw)
+        result = ds_pad(matrix, columns, stream, fill=fill, config=cfg, **kw)
     return result if return_result else result.output
 
 
 def unpad(matrix: np.ndarray, columns: int, *, backend: str = "sim",
-          stream: StreamLike = None, return_result: bool = False, **kw):
+          stream: StreamLike = None, config: Optional[DSConfig] = None,
+          return_result: bool = False, **kw):
     """Remove the last ``columns`` columns of a matrix (DS Unpadding)."""
     use_numpy, ds_backend = _normalize_backend(backend)
     if use_numpy:
         result = _wrap_numpy(unpad_ref(matrix, columns), {"pad": columns})
     else:
-        result = ds_unpad(matrix, columns, stream, backend=ds_backend, **kw)
+        cfg = _ds_config("unpad", config, ds_backend, kw)
+        result = ds_unpad(matrix, columns, stream, config=cfg, **kw)
     return result if return_result else result.output
 
 
 def remove_if(values: np.ndarray, predicate: Predicate, *, backend: str = "sim",
-              stream: StreamLike = None, return_result: bool = False, **kw):
+              stream: StreamLike = None, config: Optional[DSConfig] = None,
+              return_result: bool = False, **kw):
     """Remove elements satisfying ``predicate``, stably and in place
     (DS Remove_if)."""
     use_numpy, ds_backend = _normalize_backend(backend)
@@ -129,12 +160,14 @@ def remove_if(values: np.ndarray, predicate: Predicate, *, backend: str = "sim",
         out = remove_if_ref(values, predicate)
         result = _wrap_numpy(out, {"n_kept": out.size})
     else:
-        result = ds_remove_if(values, predicate, stream, backend=ds_backend, **kw)
+        cfg = _ds_config("remove_if", config, ds_backend, kw)
+        result = ds_remove_if(values, predicate, stream, config=cfg, **kw)
     return result if return_result else result.output
 
 
 def copy_if(values: np.ndarray, predicate: Predicate, *, backend: str = "sim",
-            stream: StreamLike = None, return_result: bool = False, **kw):
+            stream: StreamLike = None, config: Optional[DSConfig] = None,
+            return_result: bool = False, **kw):
     """Copy elements satisfying ``predicate`` to a fresh array (DS Copy_if)."""
     use_numpy, ds_backend = _normalize_backend(backend)
     if np.asarray(values).size == 0:
@@ -143,12 +176,14 @@ def copy_if(values: np.ndarray, predicate: Predicate, *, backend: str = "sim",
         out = copy_if_ref(values, predicate)
         result = _wrap_numpy(out, {"n_kept": out.size})
     else:
-        result = ds_copy_if(values, predicate, stream, backend=ds_backend, **kw)
+        cfg = _ds_config("copy_if", config, ds_backend, kw)
+        result = ds_copy_if(values, predicate, stream, config=cfg, **kw)
     return result if return_result else result.output
 
 
 def compact(values: np.ndarray, remove_value, *, backend: str = "sim",
-            stream: StreamLike = None, return_result: bool = False, **kw):
+            stream: StreamLike = None, config: Optional[DSConfig] = None,
+            return_result: bool = False, **kw):
     """Drop every occurrence of ``remove_value`` (DS Stream Compaction)."""
     use_numpy, ds_backend = _normalize_backend(backend)
     if np.asarray(values).size == 0:
@@ -157,12 +192,15 @@ def compact(values: np.ndarray, remove_value, *, backend: str = "sim",
         out = compact_ref(values, remove_value)
         result = _wrap_numpy(out, {"n_kept": out.size})
     else:
-        result = ds_stream_compact(values, remove_value, stream, backend=ds_backend, **kw)
+        cfg = _ds_config("compact", config, ds_backend, kw)
+        result = ds_stream_compact(values, remove_value, stream,
+                                   config=cfg, **kw)
     return result if return_result else result.output
 
 
 def unique(values: np.ndarray, *, backend: str = "sim",
-           stream: StreamLike = None, return_result: bool = False, **kw):
+           stream: StreamLike = None, config: Optional[DSConfig] = None,
+           return_result: bool = False, **kw):
     """Keep the first of each run of equal consecutive elements (DS Unique)."""
     use_numpy, ds_backend = _normalize_backend(backend)
     if np.asarray(values).size == 0:
@@ -171,12 +209,14 @@ def unique(values: np.ndarray, *, backend: str = "sim",
         out = unique_ref(values)
         result = _wrap_numpy(out, {"n_kept": out.size})
     else:
-        result = ds_unique(values, stream, backend=ds_backend, **kw)
+        cfg = _ds_config("unique", config, ds_backend, kw)
+        result = ds_unique(values, stream, config=cfg, **kw)
     return result if return_result else result.output
 
 
 def partition(values: np.ndarray, predicate: Predicate, *, backend: str = "sim",
-              stream: StreamLike = None, return_result: bool = False, **kw):
+              stream: StreamLike = None, config: Optional[DSConfig] = None,
+              return_result: bool = False, **kw):
     """Stable partition: predicate-true elements first (DS Partition).
 
     Returns ``(array, n_true)`` — or the full result with
@@ -188,8 +228,8 @@ def partition(values: np.ndarray, predicate: Predicate, *, backend: str = "sim",
         out, n_true = partition_ref(values, predicate)
         result = _wrap_numpy(out, {"n_true": n_true})
     else:
-        result = ds_partition(values, predicate, stream,
-                              backend=ds_backend, **kw)
+        cfg = _ds_config("partition", config, ds_backend, kw)
+        result = ds_partition(values, predicate, stream, config=cfg, **kw)
     if return_result:
         return result
     return result.output, result.extras["n_true"]

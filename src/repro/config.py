@@ -1,0 +1,188 @@
+"""``DSConfig`` — the one tuning surface every DS primitive accepts.
+
+Historically each ``ds_*`` entry point repeated the same sprawling
+kwarg list (``wg_size``, ``coarsening``, ``reduction_variant``,
+``scan_variant``, ``race_tracking``, ``backend``, ``seed``).  This
+module replaces that with a single frozen :class:`DSConfig` value:
+
+* every primitive (and :class:`repro.pipeline.Pipeline`) accepts
+  ``config: DSConfig | None``;
+* the old per-primitive kwargs survive as **deprecated aliases** that
+  emit a :class:`DeprecationWarning` (one warning per call, naming
+  every legacy kwarg used) and are checked for conflicts against an
+  explicitly passed ``config``;
+* :meth:`DSConfig.from_env` builds a config from the ``REPRO_*``
+  environment variables, so batch jobs can retune without code changes.
+
+``DSConfig`` is hashable (frozen dataclass), which is what lets the
+pipeline's plan cache key plans by configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+from repro.errors import LaunchError
+from repro.simgpu.vectorized import resolve_backend
+
+__all__ = ["DSConfig", "UNSET", "resolve_config", "DEFAULT_CONFIG"]
+
+
+class _Unset:
+    """Sentinel default of the deprecated tuning kwargs."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<UNSET>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNSET = _Unset()
+"""Marker distinguishing "kwarg not passed" from any real value."""
+
+_VARIANT_FIELDS = ("reduction_variant", "scan_variant")
+
+
+@dataclass(frozen=True)
+class DSConfig:
+    """Execution configuration shared by every DS primitive.
+
+    Attributes
+    ----------
+    wg_size:
+        Work-group size (lanes per group).
+    coarsening:
+        Elements per work-item; ``None`` lets
+        :func:`repro.core.coarsening.launch_geometry` pick the
+        occupancy-driven value.
+    reduction_variant / scan_variant:
+        Work-group collective implementations (``"tree"``, or the
+        warp-optimized variants — see :mod:`repro.collectives`).
+    race_tracking:
+        Arm the read-before-overwrite tracker (forces the simulated
+        backend; supported by the in-place primitives).
+    backend:
+        ``"simulated"``, ``"vectorized"``, or ``None`` to defer to the
+        ``REPRO_BACKEND`` environment variable at call time.
+    seed:
+        Base scheduling seed for streams the primitive creates itself.
+    """
+
+    wg_size: int = 256
+    coarsening: Optional[int] = None
+    reduction_variant: str = "tree"
+    scan_variant: str = "tree"
+    race_tracking: bool = False
+    backend: Optional[str] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if int(self.wg_size) <= 0:
+            raise LaunchError(f"wg_size must be positive, got {self.wg_size}")
+        if self.coarsening is not None and int(self.coarsening) <= 0:
+            raise LaunchError(
+                f"coarsening must be positive or None, got {self.coarsening}")
+        if self.backend is not None:
+            # Normalize shorthands eagerly so configs compare (and hash)
+            # by meaning: DSConfig(backend="vec") == DSConfig(backend="vectorized").
+            object.__setattr__(self, "backend", resolve_backend(self.backend))
+
+    def replace(self, **changes) -> "DSConfig":
+        """A copy with ``changes`` applied (the frozen-dataclass idiom)."""
+        return replace(self, **changes)
+
+    def resolved_backend(self) -> str:
+        """The backend this config executes on, env override applied."""
+        return resolve_backend(self.backend)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "DSConfig":
+        """Build a config from the ``REPRO_*`` environment variables.
+
+        Recognized (unset variables keep the field default):
+        ``REPRO_WG_SIZE``, ``REPRO_COARSENING``,
+        ``REPRO_REDUCTION_VARIANT``, ``REPRO_SCAN_VARIANT``,
+        ``REPRO_RACE_TRACKING`` (0/1), ``REPRO_BACKEND``, ``REPRO_SEED``.
+        """
+        env = os.environ if environ is None else environ
+
+        def _get(name):
+            raw = env.get(name, "")
+            return raw.strip() or None
+
+        kwargs = {}
+        if _get("REPRO_WG_SIZE"):
+            kwargs["wg_size"] = int(_get("REPRO_WG_SIZE"))
+        if _get("REPRO_COARSENING"):
+            kwargs["coarsening"] = int(_get("REPRO_COARSENING"))
+        if _get("REPRO_REDUCTION_VARIANT"):
+            kwargs["reduction_variant"] = _get("REPRO_REDUCTION_VARIANT")
+        if _get("REPRO_SCAN_VARIANT"):
+            kwargs["scan_variant"] = _get("REPRO_SCAN_VARIANT")
+        if _get("REPRO_RACE_TRACKING"):
+            kwargs["race_tracking"] = bool(int(_get("REPRO_RACE_TRACKING")))
+        if _get("REPRO_BACKEND"):
+            kwargs["backend"] = _get("REPRO_BACKEND")
+        if _get("REPRO_SEED"):
+            kwargs["seed"] = int(_get("REPRO_SEED"))
+        return cls(**kwargs)
+
+
+DEFAULT_CONFIG = DSConfig()
+
+_FIELD_NAMES = tuple(f.name for f in fields(DSConfig))
+
+
+def resolve_config(
+    primitive: str,
+    config: Optional[DSConfig],
+    **legacy,
+) -> DSConfig:
+    """Merge a ``config`` argument with deprecated per-kwarg spellings.
+
+    ``legacy`` maps field names to the values the caller passed (or
+    :data:`UNSET` when the kwarg was omitted).  Any kwarg actually
+    passed emits **one** :class:`DeprecationWarning` per call naming
+    every legacy kwarg used.  When an explicit ``config`` is also
+    given, each legacy value must agree with the config field —
+    a mismatch raises :class:`~repro.errors.LaunchError` rather than
+    silently preferring one spelling.
+    """
+    passed = {}
+    for name, value in legacy.items():
+        if name not in _FIELD_NAMES:
+            raise LaunchError(
+                f"{primitive}: unknown tuning kwarg {name!r}")
+        if value is not UNSET:
+            passed[name] = value
+    if not passed:
+        return config if config is not None else DEFAULT_CONFIG
+    names = ", ".join(sorted(passed))
+    spelled = ", ".join(f"{n}=..." for n in sorted(passed))
+    warnings.warn(
+        f"{primitive}: the tuning kwargs ({names}) are deprecated; "
+        f"pass config=DSConfig({spelled}) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if config is None:
+        return DSConfig(**passed)
+    merged = config.replace(**passed)
+    if merged != config:
+        conflicts = [n for n in passed
+                     if getattr(merged, n) != getattr(config, n)]
+        raise LaunchError(
+            f"{primitive}: legacy kwarg(s) {sorted(conflicts)} conflict with "
+            f"the explicit config= value; drop the legacy spelling(s)")
+    return config

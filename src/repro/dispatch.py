@@ -1,0 +1,49 @@
+"""``repro.ds`` — the name-dispatched front door to every DS primitive.
+
+One function covers the whole primitive surface::
+
+    import repro
+    out = repro.ds("compact", x, 0).output
+    out = repro.ds("ds_unique", y, config=repro.DSConfig(wg_size=128)).output
+
+Names resolve through the op registry (:mod:`repro.primitives.opspec`),
+so short (``"compact"``) and full (``"ds_stream_compact"``) spellings
+both work, and a typo lists every known op.  ``ds`` executes eagerly
+through the exact runner the named ``ds_*`` function uses; to batch
+several ops, use :class:`repro.pipeline.Pipeline`, whose enqueue
+methods dispatch through the same registry.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.config import DEFAULT_CONFIG, DSConfig
+from repro.primitives.common import PrimitiveResult
+from repro.primitives.opspec import get_op
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.stream import Stream
+
+__all__ = ["ds"]
+
+
+def ds(
+    op: str,
+    *args,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    config: Optional[DSConfig] = None,
+    **kwargs,
+) -> PrimitiveResult:
+    """Run the DS primitive named ``op`` on ``args``.
+
+    ``op`` is a registry name (``"compact"``, ``"unique"``,
+    ``"ds_partition"``, ...); ``args``/``kwargs`` are the primitive's
+    data arguments (e.g. ``ds("compact", values, 0)``); ``config``
+    carries the tuning (:class:`~repro.config.DSConfig`).  Returns the
+    primitive's :class:`~repro.primitives.common.PrimitiveResult`.
+    """
+    desc = get_op(op)
+    return desc.runner(
+        *args, stream=stream,
+        config=config if config is not None else DEFAULT_CONFIG,
+        **kwargs)

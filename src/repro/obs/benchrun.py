@@ -26,6 +26,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.config import DSConfig
+
 __all__ = ["PARITY_FIELDS", "BenchCase", "CASES", "compare_backends",
            "bench_case"]
 
@@ -118,7 +120,8 @@ def _fig08_run(scale: float = 1.0):
     matrix = padding_matrix(rows, cols)
 
     def run(backend=None):
-        return ds_pad(matrix, 1, wg_size=256, seed=3, backend=backend)
+        return ds_pad(matrix, 1,
+                      config=DSConfig(seed=3, backend=backend))
 
     return run, {"matrix": [rows, cols], "primitive": "ds_pad"}
 
@@ -131,8 +134,8 @@ def _fig13_run(scale: float = 1.0):
     values = compaction_array(n, 0.5, seed=8)
 
     def run(backend=None):
-        return ds_stream_compact(values, 0.0, wg_size=256, seed=8,
-                                 backend=backend)
+        return ds_stream_compact(
+            values, 0.0, config=DSConfig(seed=8, backend=backend))
 
     return run, {"elements": n, "primitive": "ds_stream_compact"}
 

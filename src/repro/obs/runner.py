@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from repro.config import DSConfig
 from repro.errors import ReproError
 from repro.obs import tracer as _tracer
 from repro.obs.export import (
@@ -37,7 +38,7 @@ def _fig08(n: int, backend: Optional[str]):
 
     rows = max(2, n // 64)
     matrix = padding_matrix(rows, 63)
-    return ds_pad(matrix, 1, wg_size=256, seed=3, backend=backend)
+    return ds_pad(matrix, 1, config=DSConfig(seed=3, backend=backend))
 
 
 def _fig09(n: int, backend: Optional[str]):
@@ -46,7 +47,7 @@ def _fig09(n: int, backend: Optional[str]):
 
     rows = max(2, n // 64)
     matrix = padding_matrix(rows, 64)
-    return ds_unpad(matrix, 1, wg_size=256, seed=3, backend=backend)
+    return ds_unpad(matrix, 1, config=DSConfig(seed=3, backend=backend))
 
 
 def _fig12(n: int, backend: Optional[str]):
@@ -54,8 +55,8 @@ def _fig12(n: int, backend: Optional[str]):
     from repro.workloads import predicate_fraction_array
 
     values, predicate = predicate_fraction_array(n, 0.5, seed=12)
-    return ds_remove_if(values, predicate, wg_size=256, seed=12,
-                        backend=backend)
+    return ds_remove_if(values, predicate,
+                        config=DSConfig(seed=12, backend=backend))
 
 
 def _fig13(n: int, backend: Optional[str]):
@@ -63,8 +64,8 @@ def _fig13(n: int, backend: Optional[str]):
     from repro.workloads import compaction_array
 
     values = compaction_array(n, 0.5, seed=8)
-    return ds_stream_compact(values, 0.0, wg_size=256, seed=8,
-                             backend=backend)
+    return ds_stream_compact(values, 0.0,
+                             config=DSConfig(seed=8, backend=backend))
 
 
 def _fig16(n: int, backend: Optional[str]):
@@ -72,7 +73,7 @@ def _fig16(n: int, backend: Optional[str]):
     from repro.workloads import runs_array
 
     values = runs_array(n, 0.25, seed=16)
-    return ds_unique(values, wg_size=256, seed=16, backend=backend)
+    return ds_unique(values, config=DSConfig(seed=16, backend=backend))
 
 
 def _fig19(n: int, backend: Optional[str]):
@@ -80,8 +81,8 @@ def _fig19(n: int, backend: Optional[str]):
     from repro.workloads import predicate_fraction_array
 
     values, predicate = predicate_fraction_array(n, 0.5, seed=19)
-    return ds_partition(values, predicate, wg_size=256, seed=19,
-                        backend=backend)
+    return ds_partition(values, predicate,
+                        config=DSConfig(seed=19, backend=backend))
 
 
 TRACEABLE: Dict[str, Callable] = {

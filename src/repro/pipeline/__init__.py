@@ -1,0 +1,36 @@
+"""Batched execution of DS primitives: plan once, fuse, cache, run.
+
+The sequential ``ds_*`` entry points execute eagerly — one call, one
+(or two) kernel launches, results on return.  :class:`Pipeline` instead
+*collects* calls as futures, plans the whole batch in one pass —
+topological ordering over future dependencies, round-robin interleaving
+of independent chains, fusion of back-to-back in-place filters into
+single launches — and executes the plan on one stream under one root
+span.  Plans are memoized in a :class:`PlanCache` keyed by the op
+sequence, input geometry/dtype and :class:`~repro.config.DSConfig`, so
+steady-state workloads replan nothing.
+
+See ``docs/pipeline.md`` for the full plan/fuse/cache lifecycle and
+:mod:`repro.core.fused` for the fused-kernel semantics.
+"""
+
+from repro.pipeline.engine import DSFuture, Pipeline
+from repro.pipeline.plan import (
+    GLOBAL_PLAN_CACHE,
+    BatchPlan,
+    PlanCache,
+    PlanStep,
+    plan_batch,
+    plan_key,
+)
+
+__all__ = [
+    "Pipeline",
+    "DSFuture",
+    "PlanCache",
+    "BatchPlan",
+    "PlanStep",
+    "plan_batch",
+    "plan_key",
+    "GLOBAL_PLAN_CACHE",
+]

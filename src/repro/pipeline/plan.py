@@ -1,0 +1,278 @@
+"""Batch planning: dependency analysis, fusion grouping, plan caching.
+
+A :class:`~repro.pipeline.engine.Pipeline` collects enqueued op calls
+and hands the whole batch to :func:`plan_batch` once.  Planning has
+three jobs:
+
+**Ordering.**  Enqueue order is always a valid topological order — a
+future must exist before it can be passed as an input — but it
+serializes chains the user wrote back to back.  The planner reorders
+steps by *round-robin across dependency chains*: independent chains
+interleave on the stream (step one of every chain, then step two, ...),
+which is the launch order a multi-stream GPU driver would overlap,
+while every intra-chain edge is preserved.
+
+**Fusion.**  A maximal run of fusable in-place irregular ops, each
+consuming exactly the previous op's future and nothing else consuming
+the intermediates, collapses into one :class:`PlanStep` executed as a
+single fused launch (:mod:`repro.core.fused`) — the second op rides the
+first op's flag chain instead of paying a fresh kernel launch and a
+full round trip through memory.  A chain may carry at most one stencil
+stage (``unique``); predicate stages are unlimited.
+
+**Caching.**  Planning is pure: its output depends only on the op
+sequence, the input geometries/dtypes, each op's parameters, and the
+config.  :func:`plan_key` captures exactly that, and :class:`PlanCache`
+memoizes plans under it, counting hits and misses (also exported as the
+``pipeline.plan_cache.hits`` / ``.misses`` metrics).  Cached plans
+store *ordering and grouping decisions only* — per-launch geometry is
+recomputed at execution time, because a chained op's input size is
+data-dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs as _obs
+from repro.config import DSConfig
+from repro.primitives.opspec import OpDescriptor, array_signature
+
+__all__ = ["OpCall", "PlanStep", "BatchPlan", "PlanCache",
+           "plan_batch", "plan_key"]
+
+
+@dataclass
+class OpCall:
+    """One enqueued primitive call, before planning.
+
+    ``deps`` lists the batch-local indices of the pending futures this
+    call consumes; ``consumers`` is filled by the planner with the
+    indices that consume *this* call's future.
+    """
+
+    index: int
+    desc: OpDescriptor
+    args: tuple
+    kwargs: dict
+    config: DSConfig
+    deps: Tuple[int, ...]
+    consumers: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One execution step: a single op, or a fused run of ops."""
+
+    op_indices: Tuple[int, ...]
+
+    @property
+    def fused(self) -> bool:
+        return len(self.op_indices) > 1
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """The planner's output: ordered steps plus summary facts."""
+
+    steps: Tuple[PlanStep, ...]
+    n_ops: int
+
+    @property
+    def n_fused_groups(self) -> int:
+        return sum(1 for s in self.steps if s.fused)
+
+    @property
+    def n_fused_ops(self) -> int:
+        return sum(len(s.op_indices) for s in self.steps if s.fused)
+
+
+def _call_signature(call: OpCall) -> tuple:
+    """The cache signature of one call: op identity, input geometry,
+    parameters and config.  Pending futures appear as ``("dep", i)``
+    edges — their geometry is data-dependent and deliberately excluded,
+    matching the planner's refusal to bake chained sizes into plans."""
+    parts: List[object] = [call.desc.name]
+    for arg in call.args:
+        parts.append(_value_signature(arg))
+    for name in sorted(call.kwargs):
+        parts.append((name, _value_signature(call.kwargs[name])))
+    parts.append(call.desc.params_signature(call.args, call.kwargs))
+    parts.append(call.config)
+    return tuple(parts)
+
+
+def _value_signature(value) -> object:
+    # Local import: engine imports plan, so plan reaches DSFuture lazily.
+    from repro.pipeline.engine import DSFuture
+
+    if isinstance(value, DSFuture):
+        if value.done:
+            return ("array",) + array_signature(value.output)
+        return ("dep", value.index)
+    if isinstance(value, dict):
+        return ("dict",) + tuple(
+            (k, _value_signature(v)) for k, v in sorted(value.items()))
+    if isinstance(value, (list, tuple, np.ndarray)):
+        return ("array",) + array_signature(value)
+    if isinstance(value, (int, float, bool, str, bytes, type(None))):
+        return value
+    return ("opaque", type(value).__name__)
+
+
+def plan_key(calls: List[OpCall], *, device_name: str, api: str,
+             backend: str, fuse: bool) -> tuple:
+    """The full plan-cache key for a batch."""
+    return (device_name, api, backend, bool(fuse),
+            tuple(_call_signature(c) for c in calls))
+
+
+def _fill_consumers(calls: List[OpCall]) -> None:
+    consumers: Dict[int, List[int]] = {c.index: [] for c in calls}
+    for call in calls:
+        for dep in call.deps:
+            consumers[dep].append(call.index)
+    for call in calls:
+        call.consumers = tuple(consumers[call.index])
+
+
+def _components(calls: List[OpCall]) -> List[List[int]]:
+    """Connected components of the dependency graph, each listed in
+    enqueue order — the batch's independent chains."""
+    parent = {c.index: c.index for c in calls}
+
+    def find(i):
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for call in calls:
+        for dep in call.deps:
+            parent[find(call.index)] = find(dep)
+    groups: Dict[int, List[int]] = {}
+    for call in calls:
+        groups.setdefault(find(call.index), []).append(call.index)
+    # Components ordered by their earliest op, ops within in enqueue order.
+    return sorted(groups.values(), key=lambda g: g[0])
+
+
+def _fuse_runs(calls: List[OpCall], order: List[int]) -> List[PlanStep]:
+    """Collapse maximal fusable runs inside one chain's op list.
+
+    ``order`` is the chain's ops in enqueue (= dependency) order.  Op
+    *j+1* joins op *j*'s group when both are fusable irregular ops with
+    identical configs, *j+1* consumes exactly *j*'s future, nothing else
+    consumes it, and the group keeps at most one stencil stage.
+    """
+    by_index = {c.index: c for c in calls}
+    steps: List[PlanStep] = []
+    group: List[int] = []
+    stencils = 0
+
+    def flush():
+        nonlocal group, stencils
+        if group:
+            steps.append(PlanStep(tuple(group)))
+        group, stencils = [], 0
+
+    for idx in order:
+        call = by_index[idx]
+        fusable = (call.desc.fusable and call.desc.kind == "irregular"
+                   and not call.config.race_tracking)
+        if not fusable:
+            flush()
+            steps.append(PlanStep((idx,)))
+            continue
+        stage = call.desc.fuse_stage(call.args, call.kwargs)
+        is_stencil = stage.kind == "stencil"
+        prev = by_index[group[-1]] if group else None
+        chains_prev = (
+            prev is not None
+            and call.deps == (prev.index,)
+            and prev.consumers == (call.index,)
+            and call.config == prev.config
+            and stencils + is_stencil <= 1
+        )
+        if chains_prev:
+            group.append(idx)
+            stencils += is_stencil
+        else:
+            flush()
+            group = [idx]
+            stencils = int(is_stencil)
+    flush()
+    return steps
+
+
+def plan_batch(calls: List[OpCall], *, fuse: bool = True) -> BatchPlan:
+    """Plan a batch: fill consumer edges, fuse runs within each chain,
+    and interleave the chains round-robin."""
+    _fill_consumers(calls)
+    per_chain: List[List[PlanStep]] = []
+    for component in _components(calls):
+        if fuse:
+            per_chain.append(_fuse_runs(calls, component))
+        else:
+            per_chain.append([PlanStep((i,)) for i in component])
+    steps: List[PlanStep] = []
+    cursor = [0] * len(per_chain)
+    remaining = sum(len(c) for c in per_chain)
+    while remaining:
+        for ci, chain in enumerate(per_chain):
+            if cursor[ci] < len(chain):
+                steps.append(chain[cursor[ci]])
+                cursor[ci] += 1
+                remaining -= 1
+    return BatchPlan(steps=tuple(steps), n_ops=len(calls))
+
+
+class PlanCache:
+    """Memoizes :class:`BatchPlan` objects by :func:`plan_key`.
+
+    ``hits``/``misses`` are plain ints for direct assertion; every
+    lookup also bumps the ``pipeline.plan_cache.hits`` / ``.misses``
+    metrics when a tracer is active.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = int(maxsize)
+        self._plans: Dict[tuple, BatchPlan] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def lookup(self, key: tuple) -> Optional[BatchPlan]:
+        plan = self._plans.get(key)
+        tracer = _obs.active()
+        if plan is not None:
+            self.hits += 1
+            if tracer is not None:
+                tracer.metrics.counter("pipeline.plan_cache.hits").inc()
+        else:
+            self.misses += 1
+            if tracer is not None:
+                tracer.metrics.counter("pipeline.plan_cache.misses").inc()
+        return plan
+
+    def store(self, key: tuple, plan: BatchPlan) -> BatchPlan:
+        if len(self._plans) >= self.maxsize:
+            # Drop the oldest entry (insertion order); plans are tiny,
+            # the bound only guards against unbounded unique batches.
+            self._plans.pop(next(iter(self._plans)))
+        self._plans[key] = plan
+        return plan
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+GLOBAL_PLAN_CACHE = PlanCache()
+"""Default cache shared by every Pipeline not given its own."""

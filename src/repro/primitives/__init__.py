@@ -1,17 +1,35 @@
 """User-facing Data Sliding primitives (Section IV of the paper).
 
-Regular DS algorithms: :func:`~repro.primitives.padding.ds_pad`,
-:func:`~repro.primitives.unpadding.ds_unpad`.
-Irregular DS algorithms: :func:`~repro.primitives.select.ds_remove_if`,
+Regular DS algorithms (data-independent remaps):
+:func:`~repro.primitives.padding.ds_pad`,
+:func:`~repro.primitives.unpadding.ds_unpad`,
+:func:`~repro.primitives.alignment.ds_pad_to_alignment`,
+:func:`~repro.primitives.ragged.ds_ragged_pad`,
+:func:`~repro.primitives.ragged.ds_ragged_unpad`,
+:func:`~repro.primitives.slide.ds_insert_gap`,
+:func:`~repro.primitives.slide.ds_erase_range`.
+
+Irregular DS algorithms (data-dependent filters):
+:func:`~repro.primitives.select.ds_remove_if`,
 :func:`~repro.primitives.select.ds_copy_if`,
 :func:`~repro.primitives.compact.ds_stream_compact`,
 :func:`~repro.primitives.unique.ds_unique`,
 :func:`~repro.primitives.partition.ds_partition`.
+
+Keyed (multi-column) irregular DS algorithms:
+:func:`~repro.primitives.unique_by_key.ds_unique_by_key`,
+:func:`~repro.primitives.records.ds_compact_records`.
+
+Every primitive takes its tuning through a
+:class:`repro.config.DSConfig` (``config=``); the per-kwarg tuning
+spellings remain as deprecated aliases.  For batched execution of
+several primitives, see :class:`repro.pipeline.Pipeline`.
 """
 
 from repro.primitives.alignment import alignment_pad_columns, ds_pad_to_alignment
 from repro.primitives.common import DEFAULT_DEVICE, PrimitiveResult, resolve_stream
 from repro.primitives.compact import ds_stream_compact
+from repro.primitives.opspec import OpDescriptor, get_op, list_ops
 from repro.primitives.padding import ds_pad, ds_pad_buffer
 from repro.primitives.partition import copy_kernel, ds_partition
 from repro.primitives.ragged import ds_ragged_pad, ds_ragged_unpad
@@ -44,4 +62,7 @@ __all__ = [
     "ds_compact_records",
     "ds_ragged_pad",
     "ds_ragged_unpad",
+    "OpDescriptor",
+    "get_op",
+    "list_ops",
 ]

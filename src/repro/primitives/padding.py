@@ -19,10 +19,12 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.config import DSConfig, UNSET, resolve_config
 from repro.core.offsets import pad_remap
 from repro.core.regular import run_regular_ds
 from repro.errors import LaunchError
 from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
+from repro.primitives.opspec import OpDescriptor, register_op
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -30,53 +32,24 @@ from repro.simgpu.stream import Stream
 __all__ = ["ds_pad", "ds_pad_buffer"]
 
 
-def ds_pad(
+def _run_pad(
     matrix: np.ndarray,
     pad: int,
     stream: Optional[Union[Stream, DeviceSpec, str]] = None,
     *,
-    wg_size: int = 256,
-    coarsening: Optional[int] = None,
     fill=None,
-    race_tracking: bool = False,
-    backend: Optional[str] = None,
-    seed: int = 0,
+    config: DSConfig = DSConfig(),
 ) -> PrimitiveResult:
-    """Pad ``pad`` extra columns onto a 2-D matrix using DS Padding.
-
-    Parameters
-    ----------
-    matrix:
-        Host 2-D array (any dtype).  It is copied into a device buffer
-        with room for the padded matrix — the in-place requirement of
-        the paper is that the *device* allocation is a single buffer,
-        which it is.
-    pad:
-        Number of columns to append.
-    fill:
-        Optional value for the new cells; ``None`` (the default) leaves
-        them unspecified, matching the paper's pure-movement semantics
-        (the result array then contains the buffer's prior contents,
-        i.e. stale data, in those cells).
-    stream, wg_size, coarsening, race_tracking, seed:
-        Execution controls; see :mod:`repro.primitives.common` and
-        :mod:`repro.core.coarsening`.
-
-    Returns
-    -------
-    PrimitiveResult
-        ``output`` is the ``rows x (cols + pad)`` matrix.
-    """
     matrix = np.asarray(matrix)
     if matrix.ndim != 2:
         raise LaunchError(f"ds_pad expects a 2-D matrix, got ndim={matrix.ndim}")
     rows, cols = matrix.shape
-    stream = resolve_stream(stream, seed=seed)
+    stream = resolve_stream(stream, seed=config.seed)
     buf = Buffer(np.zeros(rows * (cols + pad), dtype=matrix.dtype), "pad_matrix")
     buf.data[: rows * cols] = matrix.reshape(-1)
     with primitive_span(
-        "ds_pad", backend=backend, rows=rows, cols=cols, pad=pad,
-        dtype=str(matrix.dtype), wg_size=wg_size,
+        "ds_pad", backend=config.backend, rows=rows, cols=cols, pad=pad,
+        dtype=str(matrix.dtype), wg_size=config.wg_size,
     ) as sp:
         result = ds_pad_buffer(
             buf,
@@ -84,10 +57,7 @@ def ds_pad(
             cols,
             pad,
             stream,
-            wg_size=wg_size,
-            coarsening=coarsening,
-            race_tracking=race_tracking,
-            backend=backend,
+            config=config,
         )
         sp.set(coarsening=result.geometry.coarsening,
                n_workgroups=result.geometry.n_workgroups)
@@ -107,6 +77,50 @@ def ds_pad(
     )
 
 
+def ds_pad(
+    matrix: np.ndarray,
+    pad: int,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    fill=None,
+    config: Optional[DSConfig] = None,
+    wg_size=UNSET,
+    coarsening=UNSET,
+    race_tracking=UNSET,
+    backend=UNSET,
+    seed=UNSET,
+) -> PrimitiveResult:
+    """Pad ``pad`` extra columns onto a 2-D matrix using DS Padding.
+
+    Parameters
+    ----------
+    matrix:
+        Host 2-D array (any dtype).  It is copied into a device buffer
+        with room for the padded matrix — the in-place requirement of
+        the paper is that the *device* allocation is a single buffer,
+        which it is.
+    pad:
+        Number of columns to append.
+    fill:
+        Optional value for the new cells; ``None`` (the default) leaves
+        them unspecified, matching the paper's pure-movement semantics
+        (the result array then contains the buffer's prior contents,
+        i.e. stale data, in those cells).
+    stream, config:
+        Execution controls; see :class:`repro.config.DSConfig`.  The
+        per-kwarg tuning spellings are deprecated aliases.
+
+    Returns
+    -------
+    PrimitiveResult
+        ``output`` is the ``rows x (cols + pad)`` matrix.
+    """
+    config = resolve_config(
+        "ds_pad", config, wg_size=wg_size, coarsening=coarsening,
+        race_tracking=race_tracking, backend=backend, seed=seed)
+    return _run_pad(matrix, pad, stream, fill=fill, config=config)
+
+
 def ds_pad_buffer(
     buf: Buffer,
     rows: int,
@@ -114,10 +128,11 @@ def ds_pad_buffer(
     pad: int,
     stream: Stream,
     *,
-    wg_size: int = 256,
-    coarsening: Optional[int] = None,
-    race_tracking: bool = False,
-    backend: Optional[str] = None,
+    config: Optional[DSConfig] = None,
+    wg_size=UNSET,
+    coarsening=UNSET,
+    race_tracking=UNSET,
+    backend=UNSET,
 ):
     """In-place DS Padding on an existing device buffer.
 
@@ -126,13 +141,26 @@ def ds_pad_buffer(
     — the pre-allocated adjacent space the paper requires.  Returns the
     :class:`~repro.core.regular.RegularDSResult` of the single launch.
     """
+    config = resolve_config(
+        "ds_pad_buffer", config, wg_size=wg_size, coarsening=coarsening,
+        race_tracking=race_tracking, backend=backend)
     remap = pad_remap(rows, cols, pad)
     return run_regular_ds(
         buf,
         remap,
         stream,
-        wg_size=wg_size,
-        coarsening=coarsening,
-        race_tracking=race_tracking,
-        backend=backend,
+        wg_size=config.wg_size,
+        coarsening=config.coarsening,
+        race_tracking=config.race_tracking,
+        backend=config.backend,
     )
+
+
+register_op(OpDescriptor(
+    name="ds_pad",
+    short="pad",
+    kind="regular",
+    runner=_run_pad,
+    params_signature=lambda args, kwargs: (
+        "pad", int(args[1]), "fill", repr(kwargs.get("fill"))),
+))

@@ -20,10 +20,12 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.config import DSConfig, UNSET, resolve_config
 from repro.core.offsets import ragged_pad_remap, ragged_unpad_remap
 from repro.core.regular import run_regular_ds
 from repro.errors import LaunchError
 from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
+from repro.primitives.opspec import OpDescriptor, register_op
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -33,39 +35,15 @@ __all__ = ["ds_ragged_pad", "ds_ragged_unpad"]
 StreamLike = Optional[Union[Stream, DeviceSpec, str]]
 
 
-def ds_ragged_pad(
+def _run_ragged_pad(
     values: np.ndarray,
     widths,
     stride: Optional[int] = None,
     stream: StreamLike = None,
     *,
     fill=None,
-    wg_size: int = 256,
-    coarsening: Optional[int] = None,
-    race_tracking: bool = False,
-    backend: Optional[str] = None,
-    seed: int = 0,
+    config: DSConfig = DSConfig(),
 ) -> PrimitiveResult:
-    """Slide packed ragged rows out to a uniform stride, in place.
-
-    Parameters
-    ----------
-    values:
-        The packed row data (``sum(widths)`` elements).
-    widths:
-        Elements per row.
-    stride:
-        Uniform row stride after the slide; defaults to the widest row.
-    fill:
-        Optional value for each row's padding tail (host epilogue, like
-        :func:`~repro.primitives.padding.ds_pad`'s).
-
-    Returns
-    -------
-    PrimitiveResult
-        ``output`` is the ``(n_rows, stride)`` matrix;
-        ``extras["widths"]`` echoes the row widths for the inverse.
-    """
     values = np.asarray(values).reshape(-1)
     widths = np.asarray(widths, dtype=np.int64)
     if values.size != int(widths.sum()):
@@ -75,18 +53,18 @@ def ds_ragged_pad(
     if stride is None:
         stride = int(widths.max()) if widths.size else 0
     remap = ragged_pad_remap(widths, stride)
-    stream = resolve_stream(stream, seed=seed)
+    stream = resolve_stream(stream, seed=config.seed)
     buf = Buffer(np.zeros(remap.total_out, dtype=values.dtype), "ragged")
     buf.data[: values.size] = values
     with primitive_span(
-        "ds_ragged_pad", backend=backend, n=int(values.size),
+        "ds_ragged_pad", backend=config.backend, n=int(values.size),
         n_rows=int(widths.size), stride=stride, dtype=str(values.dtype),
-        wg_size=wg_size,
+        wg_size=config.wg_size,
     ) as sp:
-        result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
-                                coarsening=coarsening,
-                                race_tracking=race_tracking,
-                                backend=backend)
+        result = run_regular_ds(buf, remap, stream, wg_size=config.wg_size,
+                                coarsening=config.coarsening,
+                                race_tracking=config.race_tracking,
+                                backend=config.backend)
         sp.set(coarsening=result.geometry.coarsening,
                n_workgroups=result.geometry.n_workgroups)
     matrix = buf.data.reshape(widths.size, stride)
@@ -102,22 +80,57 @@ def ds_ragged_pad(
     )
 
 
-def ds_ragged_unpad(
+def ds_ragged_pad(
+    values: np.ndarray,
+    widths,
+    stride: Optional[int] = None,
+    stream: StreamLike = None,
+    *,
+    fill=None,
+    config: Optional[DSConfig] = None,
+    wg_size=UNSET,
+    coarsening=UNSET,
+    race_tracking=UNSET,
+    backend=UNSET,
+    seed=UNSET,
+) -> PrimitiveResult:
+    """Slide packed ragged rows out to a uniform stride, in place.
+
+    Parameters
+    ----------
+    values:
+        The packed row data (``sum(widths)`` elements).
+    widths:
+        Elements per row.
+    stride:
+        Uniform row stride after the slide; defaults to the widest row.
+    fill:
+        Optional value for each row's padding tail (host epilogue, like
+        :func:`~repro.primitives.padding.ds_pad`'s).
+    config:
+        Execution controls (:class:`repro.config.DSConfig`); the
+        per-kwarg tuning spellings are deprecated aliases.
+
+    Returns
+    -------
+    PrimitiveResult
+        ``output`` is the ``(n_rows, stride)`` matrix;
+        ``extras["widths"]`` echoes the row widths for the inverse.
+    """
+    config = resolve_config(
+        "ds_ragged_pad", config, wg_size=wg_size, coarsening=coarsening,
+        race_tracking=race_tracking, backend=backend, seed=seed)
+    return _run_ragged_pad(values, widths, stride, stream, fill=fill,
+                           config=config)
+
+
+def _run_ragged_unpad(
     matrix: np.ndarray,
     widths,
     stream: StreamLike = None,
     *,
-    wg_size: int = 256,
-    coarsening: Optional[int] = None,
-    race_tracking: bool = False,
-    backend: Optional[str] = None,
-    seed: int = 0,
+    config: DSConfig = DSConfig(),
 ) -> PrimitiveResult:
-    """Pack a uniform-stride matrix back into ragged rows, in place.
-
-    ``matrix`` is ``(n_rows, stride)``; ``output`` is the packed values
-    array of ``sum(widths)`` elements (row contents concatenated, each
-    row's padding dropped)."""
     matrix = np.asarray(matrix)
     if matrix.ndim != 2:
         raise LaunchError(
@@ -128,16 +141,16 @@ def ds_ragged_unpad(
         raise LaunchError(
             f"matrix has {n_rows} rows but {widths.size} widths were given")
     remap = ragged_unpad_remap(widths, stride)
-    stream = resolve_stream(stream, seed=seed)
+    stream = resolve_stream(stream, seed=config.seed)
     buf = Buffer(matrix.reshape(-1), "ragged")
     with primitive_span(
-        "ds_ragged_unpad", backend=backend, n_rows=int(n_rows),
-        stride=int(stride), dtype=str(matrix.dtype), wg_size=wg_size,
+        "ds_ragged_unpad", backend=config.backend, n_rows=int(n_rows),
+        stride=int(stride), dtype=str(matrix.dtype), wg_size=config.wg_size,
     ) as sp:
-        result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
-                                coarsening=coarsening,
-                                race_tracking=race_tracking,
-                                backend=backend)
+        result = run_regular_ds(buf, remap, stream, wg_size=config.wg_size,
+                                coarsening=config.coarsening,
+                                race_tracking=config.race_tracking,
+                                backend=config.backend)
         sp.set(coarsening=result.geometry.coarsening,
                n_workgroups=result.geometry.n_workgroups)
     return PrimitiveResult(
@@ -147,3 +160,54 @@ def ds_ragged_unpad(
         extras={"widths": widths.copy(), "stride": stride,
                 "n_workgroups": result.geometry.n_workgroups},
     )
+
+
+def ds_ragged_unpad(
+    matrix: np.ndarray,
+    widths,
+    stream: StreamLike = None,
+    *,
+    config: Optional[DSConfig] = None,
+    wg_size=UNSET,
+    coarsening=UNSET,
+    race_tracking=UNSET,
+    backend=UNSET,
+    seed=UNSET,
+) -> PrimitiveResult:
+    """Pack a uniform-stride matrix back into ragged rows, in place.
+
+    ``matrix`` is ``(n_rows, stride)``; ``output`` is the packed values
+    array of ``sum(widths)`` elements (row contents concatenated, each
+    row's padding dropped).  Tuning goes through ``config=``; the
+    per-kwarg spellings are deprecated aliases."""
+    config = resolve_config(
+        "ds_ragged_unpad", config, wg_size=wg_size, coarsening=coarsening,
+        race_tracking=race_tracking, backend=backend, seed=seed)
+    return _run_ragged_unpad(matrix, widths, stream, config=config)
+
+
+def _widths_signature(widths) -> tuple:
+    widths = np.asarray(widths, dtype=np.int64)
+    return (int(widths.size), int(widths.sum()),
+            int(widths.max()) if widths.size else 0)
+
+
+register_op(OpDescriptor(
+    name="ds_ragged_pad",
+    short="ragged_pad",
+    kind="regular",
+    runner=_run_ragged_pad,
+    params_signature=lambda args, kwargs: (
+        "widths", _widths_signature(args[1]),
+        "stride", None if len(args) < 3 or args[2] is None else int(args[2]),
+        "fill", repr(kwargs.get("fill"))),
+))
+
+register_op(OpDescriptor(
+    name="ds_ragged_unpad",
+    short="ragged_unpad",
+    kind="regular",
+    runner=_run_ragged_unpad,
+    params_signature=lambda args, kwargs: (
+        "widths", _widths_signature(args[1])),
+))

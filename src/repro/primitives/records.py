@@ -14,10 +14,12 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro.config import DSConfig, UNSET, resolve_config
 from repro.core.keyed import run_keyed_irregular_ds
 from repro.core.predicates import Predicate
 from repro.errors import LaunchError
 from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
+from repro.primitives.opspec import OpDescriptor, register_op
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -25,37 +27,14 @@ from repro.simgpu.stream import Stream
 __all__ = ["ds_compact_records"]
 
 
-def ds_compact_records(
+def _run_compact_records(
     key_column: np.ndarray,
     columns: Dict[str, np.ndarray],
     predicate: Predicate,
     stream: Optional[Union[Stream, DeviceSpec, str]] = None,
     *,
-    wg_size: int = 256,
-    coarsening: Optional[int] = None,
-    reduction_variant: str = "tree",
-    scan_variant: str = "tree",
-    race_tracking: bool = False,
-    backend: Optional[str] = None,
-    seed: int = 0,
+    config: DSConfig = DSConfig(),
 ) -> PrimitiveResult:
-    """Keep the records whose key satisfies ``predicate``.
-
-    Parameters
-    ----------
-    key_column:
-        The column the predicate is evaluated on.
-    columns:
-        Named payload columns (same length as the key column); every
-        one slides in the same launch.
-
-    Returns
-    -------
-    PrimitiveResult
-        ``output`` is the kept key column; ``extras["columns"]`` maps
-        each payload name to its kept column; ``extras["n_kept"]`` is
-        the surviving record count.
-    """
     key_column = np.asarray(key_column).reshape(-1)
     n = key_column.size
     names = list(columns)
@@ -67,19 +46,21 @@ def ds_compact_records(
                 f"column {name!r} has {col.size} rows, key column has {n}")
         payload_arrays.append(col)
 
-    stream = resolve_stream(stream, seed=seed)
+    stream = resolve_stream(stream, seed=config.seed)
     kbuf = Buffer(key_column, "rec_key")
     pbufs = [Buffer(col, f"rec_{name}") for name, col in
              zip(names, payload_arrays)]
     with primitive_span(
-        "ds_compact_records", backend=backend, n=int(n),
-        n_columns=len(names), dtype=str(key_column.dtype), wg_size=wg_size,
+        "ds_compact_records", backend=config.backend, n=int(n),
+        n_columns=len(names), dtype=str(key_column.dtype),
+        wg_size=config.wg_size,
     ) as sp:
         result = run_keyed_irregular_ds(
             kbuf, pbufs, predicate, stream,
-            wg_size=wg_size, coarsening=coarsening,
-            reduction_variant=reduction_variant, scan_variant=scan_variant,
-            race_tracking=race_tracking, backend=backend,
+            wg_size=config.wg_size, coarsening=config.coarsening,
+            reduction_variant=config.reduction_variant,
+            scan_variant=config.scan_variant,
+            race_tracking=config.race_tracking, backend=config.backend,
         )
         sp.set(coarsening=result.geometry.coarsening,
                n_workgroups=result.geometry.n_workgroups,
@@ -97,3 +78,56 @@ def ds_compact_records(
             "in_place": True,
         },
     )
+
+
+def ds_compact_records(
+    key_column: np.ndarray,
+    columns: Dict[str, np.ndarray],
+    predicate: Predicate,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    config: Optional[DSConfig] = None,
+    wg_size=UNSET,
+    coarsening=UNSET,
+    reduction_variant=UNSET,
+    scan_variant=UNSET,
+    race_tracking=UNSET,
+    backend=UNSET,
+    seed=UNSET,
+) -> PrimitiveResult:
+    """Keep the records whose key satisfies ``predicate``.
+
+    Parameters
+    ----------
+    key_column:
+        The column the predicate is evaluated on.
+    columns:
+        Named payload columns (same length as the key column); every
+        one slides in the same launch.
+    config:
+        Execution controls (:class:`repro.config.DSConfig`); the
+        per-kwarg tuning spellings are deprecated aliases.
+
+    Returns
+    -------
+    PrimitiveResult
+        ``output`` is the kept key column; ``extras["columns"]`` maps
+        each payload name to its kept column; ``extras["n_kept"]`` is
+        the surviving record count.
+    """
+    config = resolve_config(
+        "ds_compact_records", config, wg_size=wg_size, coarsening=coarsening,
+        reduction_variant=reduction_variant, scan_variant=scan_variant,
+        race_tracking=race_tracking, backend=backend, seed=seed)
+    return _run_compact_records(key_column, columns, predicate, stream,
+                                config=config)
+
+
+register_op(OpDescriptor(
+    name="ds_compact_records",
+    short="compact_records",
+    kind="keyed",
+    runner=_run_compact_records,
+    params_signature=lambda args, kwargs: (
+        "columns", tuple(sorted(args[1])), "predicate", args[2].name),
+))

@@ -19,9 +19,12 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.config import DSConfig, UNSET, resolve_config
+from repro.core.fused import FuseStage
 from repro.core.irregular import run_irregular_ds
 from repro.core.predicates import Predicate
 from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
+from repro.primitives.opspec import OpDescriptor, register_op
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -29,42 +32,30 @@ from repro.simgpu.stream import Stream
 __all__ = ["ds_remove_if", "ds_copy_if"]
 
 
-def ds_remove_if(
+def _run_remove_if(
     values: np.ndarray,
     predicate: Predicate,
     stream: Optional[Union[Stream, DeviceSpec, str]] = None,
     *,
-    wg_size: int = 256,
-    coarsening: Optional[int] = None,
-    reduction_variant: str = "tree",
-    scan_variant: str = "tree",
-    race_tracking: bool = False,
-    backend: Optional[str] = None,
-    seed: int = 0,
+    config: DSConfig = DSConfig(),
 ) -> PrimitiveResult:
-    """Remove, in place, the elements satisfying ``predicate``.
-
-    ``output`` holds the surviving elements in their original relative
-    order (stability), like ``thrust::remove_if`` but without the extra
-    passes.  ``extras["n_removed"]`` reports how many were dropped.
-    """
     values = np.asarray(values)
-    stream = resolve_stream(stream, seed=seed)
+    stream = resolve_stream(stream, seed=config.seed)
     buf = Buffer(values.reshape(-1), "select_in")
     with primitive_span(
-        "ds_remove_if", backend=backend, n=int(buf.size),
-        dtype=str(buf.data.dtype), wg_size=wg_size,
+        "ds_remove_if", backend=config.backend, n=int(buf.size),
+        dtype=str(buf.data.dtype), wg_size=config.wg_size,
     ) as sp:
         result = run_irregular_ds(
             buf,
             ~predicate,  # Algorithm 2 *keeps* true elements; remove_if keeps the complement
             stream,
-            wg_size=wg_size,
-            coarsening=coarsening,
-            reduction_variant=reduction_variant,
-            scan_variant=scan_variant,
-            race_tracking=race_tracking,
-            backend=backend,
+            wg_size=config.wg_size,
+            coarsening=config.coarsening,
+            reduction_variant=config.reduction_variant,
+            scan_variant=config.scan_variant,
+            race_tracking=config.race_tracking,
+            backend=config.backend,
         )
         sp.set(coarsening=result.geometry.coarsening,
                n_workgroups=result.geometry.n_workgroups,
@@ -83,38 +74,60 @@ def ds_remove_if(
     )
 
 
-def ds_copy_if(
+def ds_remove_if(
     values: np.ndarray,
     predicate: Predicate,
     stream: Optional[Union[Stream, DeviceSpec, str]] = None,
     *,
-    wg_size: int = 256,
-    coarsening: Optional[int] = None,
-    reduction_variant: str = "tree",
-    scan_variant: str = "tree",
-    backend: Optional[str] = None,
-    seed: int = 0,
+    config: Optional[DSConfig] = None,
+    wg_size=UNSET,
+    coarsening=UNSET,
+    reduction_variant=UNSET,
+    scan_variant=UNSET,
+    race_tracking=UNSET,
+    backend=UNSET,
+    seed=UNSET,
 ) -> PrimitiveResult:
-    """Copy the elements satisfying ``predicate`` to a fresh array
-    (out of place, stable) — DS Copy_if in Figure 12."""
+    """Remove, in place, the elements satisfying ``predicate``.
+
+    ``output`` holds the surviving elements in their original relative
+    order (stability), like ``thrust::remove_if`` but without the extra
+    passes.  ``extras["n_removed"]`` reports how many were dropped.
+    Tuning goes through ``config=``; the per-kwarg spellings are
+    deprecated aliases.
+    """
+    config = resolve_config(
+        "ds_remove_if", config, wg_size=wg_size, coarsening=coarsening,
+        reduction_variant=reduction_variant, scan_variant=scan_variant,
+        race_tracking=race_tracking, backend=backend, seed=seed)
+    return _run_remove_if(values, predicate, stream, config=config)
+
+
+def _run_copy_if(
+    values: np.ndarray,
+    predicate: Predicate,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    config: DSConfig = DSConfig(),
+) -> PrimitiveResult:
     values = np.asarray(values)
-    stream = resolve_stream(stream, seed=seed)
+    stream = resolve_stream(stream, seed=config.seed)
     buf = Buffer(values.reshape(-1), "select_in")
     out = Buffer(np.zeros(values.size, dtype=values.dtype), "select_out")
     with primitive_span(
-        "ds_copy_if", backend=backend, n=int(buf.size),
-        dtype=str(buf.data.dtype), wg_size=wg_size,
+        "ds_copy_if", backend=config.backend, n=int(buf.size),
+        dtype=str(buf.data.dtype), wg_size=config.wg_size,
     ) as sp:
         result = run_irregular_ds(
             buf,
             predicate,
             stream,
             out=out,
-            wg_size=wg_size,
-            coarsening=coarsening,
-            reduction_variant=reduction_variant,
-            scan_variant=scan_variant,
-            backend=backend,
+            wg_size=config.wg_size,
+            coarsening=config.coarsening,
+            reduction_variant=config.reduction_variant,
+            scan_variant=config.scan_variant,
+            backend=config.backend,
         )
         sp.set(coarsening=result.geometry.coarsening,
                n_workgroups=result.geometry.n_workgroups,
@@ -131,3 +144,47 @@ def ds_copy_if(
             "n_workgroups": result.geometry.n_workgroups,
         },
     )
+
+
+def ds_copy_if(
+    values: np.ndarray,
+    predicate: Predicate,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    config: Optional[DSConfig] = None,
+    wg_size=UNSET,
+    coarsening=UNSET,
+    reduction_variant=UNSET,
+    scan_variant=UNSET,
+    backend=UNSET,
+    seed=UNSET,
+) -> PrimitiveResult:
+    """Copy the elements satisfying ``predicate`` to a fresh array
+    (out of place, stable) — DS Copy_if in Figure 12.  Tuning goes
+    through ``config=``; the per-kwarg spellings are deprecated
+    aliases."""
+    config = resolve_config(
+        "ds_copy_if", config, wg_size=wg_size, coarsening=coarsening,
+        reduction_variant=reduction_variant, scan_variant=scan_variant,
+        backend=backend, seed=seed)
+    return _run_copy_if(values, predicate, stream, config=config)
+
+
+register_op(OpDescriptor(
+    name="ds_remove_if",
+    short="remove_if",
+    kind="irregular",
+    runner=_run_remove_if,
+    params_signature=lambda args, kwargs: ("predicate", args[1].name),
+    fuse_stage=lambda args, kwargs: FuseStage("pred", ~args[1]),
+))
+
+register_op(OpDescriptor(
+    name="ds_copy_if",
+    short="copy_if",
+    kind="irregular",
+    runner=_run_copy_if,
+    params_signature=lambda args, kwargs: ("predicate", args[1].name),
+    # Out of place: its result buffer is fresh, so it never chains an
+    # in-place fused group.
+))

@@ -18,9 +18,11 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.config import DSConfig, UNSET, resolve_config
 from repro.core.offsets import erase_range_remap, insert_gap_remap
 from repro.core.regular import run_regular_ds
 from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
+from repro.primitives.opspec import OpDescriptor, register_op
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -30,38 +32,28 @@ __all__ = ["ds_insert_gap", "ds_erase_range"]
 StreamLike = Optional[Union[Stream, DeviceSpec, str]]
 
 
-def ds_insert_gap(
+def _run_insert_gap(
     values: np.ndarray,
     position: int,
     gap: int,
     stream: StreamLike = None,
     *,
     fill=None,
-    wg_size: int = 256,
-    coarsening: Optional[int] = None,
-    race_tracking: bool = False,
-    backend: Optional[str] = None,
-    seed: int = 0,
+    config: DSConfig = DSConfig(),
 ) -> PrimitiveResult:
-    """Insert a ``gap``-element hole at ``position``, in place.
-
-    ``output`` has ``values.size + gap`` elements; the hole holds
-    ``fill`` if given, otherwise unspecified (stale) data, matching the
-    pure-movement semantics of the paper's padding.
-    """
     values = np.asarray(values).reshape(-1)
-    stream = resolve_stream(stream, seed=seed)
+    stream = resolve_stream(stream, seed=config.seed)
     buf = Buffer(np.zeros(values.size + gap, dtype=values.dtype), "slide")
     buf.data[: values.size] = values
     remap = insert_gap_remap(values.size, position, gap)
     with primitive_span(
-        "ds_insert_gap", backend=backend, n=int(values.size), gap=gap,
-        dtype=str(values.dtype), wg_size=wg_size,
+        "ds_insert_gap", backend=config.backend, n=int(values.size), gap=gap,
+        dtype=str(values.dtype), wg_size=config.wg_size,
     ) as sp:
-        result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
-                                coarsening=coarsening,
-                                race_tracking=race_tracking,
-                                backend=backend)
+        result = run_regular_ds(buf, remap, stream, wg_size=config.wg_size,
+                                coarsening=config.coarsening,
+                                race_tracking=config.race_tracking,
+                                backend=config.backend)
         sp.set(coarsening=result.geometry.coarsening,
                n_workgroups=result.geometry.n_workgroups)
     if fill is not None and gap:
@@ -75,32 +67,54 @@ def ds_insert_gap(
     )
 
 
-def ds_erase_range(
+def ds_insert_gap(
+    values: np.ndarray,
+    position: int,
+    gap: int,
+    stream: StreamLike = None,
+    *,
+    fill=None,
+    config: Optional[DSConfig] = None,
+    wg_size=UNSET,
+    coarsening=UNSET,
+    race_tracking=UNSET,
+    backend=UNSET,
+    seed=UNSET,
+) -> PrimitiveResult:
+    """Insert a ``gap``-element hole at ``position``, in place.
+
+    ``output`` has ``values.size + gap`` elements; the hole holds
+    ``fill`` if given, otherwise unspecified (stale) data, matching the
+    pure-movement semantics of the paper's padding.  Tuning goes through
+    ``config=``; the per-kwarg spellings are deprecated aliases.
+    """
+    config = resolve_config(
+        "ds_insert_gap", config, wg_size=wg_size, coarsening=coarsening,
+        race_tracking=race_tracking, backend=backend, seed=seed)
+    return _run_insert_gap(values, position, gap, stream, fill=fill,
+                           config=config)
+
+
+def _run_erase_range(
     values: np.ndarray,
     position: int,
     count: int,
     stream: StreamLike = None,
     *,
-    wg_size: int = 256,
-    coarsening: Optional[int] = None,
-    race_tracking: bool = False,
-    backend: Optional[str] = None,
-    seed: int = 0,
+    config: DSConfig = DSConfig(),
 ) -> PrimitiveResult:
-    """Erase ``count`` elements at ``position``, sliding the tail left
-    in place.  ``output`` has ``values.size - count`` elements."""
     values = np.asarray(values).reshape(-1)
-    stream = resolve_stream(stream, seed=seed)
+    stream = resolve_stream(stream, seed=config.seed)
     buf = Buffer(values, "slide")
     remap = erase_range_remap(values.size, position, count)
     with primitive_span(
-        "ds_erase_range", backend=backend, n=int(values.size), count=count,
-        dtype=str(values.dtype), wg_size=wg_size,
+        "ds_erase_range", backend=config.backend, n=int(values.size),
+        count=count, dtype=str(values.dtype), wg_size=config.wg_size,
     ) as sp:
-        result = run_regular_ds(buf, remap, stream, wg_size=wg_size,
-                                coarsening=coarsening,
-                                race_tracking=race_tracking,
-                                backend=backend)
+        result = run_regular_ds(buf, remap, stream, wg_size=config.wg_size,
+                                coarsening=config.coarsening,
+                                race_tracking=config.race_tracking,
+                                backend=config.backend)
         sp.set(coarsening=result.geometry.coarsening,
                n_workgroups=result.geometry.n_workgroups)
     return PrimitiveResult(
@@ -110,3 +124,46 @@ def ds_erase_range(
         extras={"position": position, "count": count,
                 "n_workgroups": result.geometry.n_workgroups},
     )
+
+
+def ds_erase_range(
+    values: np.ndarray,
+    position: int,
+    count: int,
+    stream: StreamLike = None,
+    *,
+    config: Optional[DSConfig] = None,
+    wg_size=UNSET,
+    coarsening=UNSET,
+    race_tracking=UNSET,
+    backend=UNSET,
+    seed=UNSET,
+) -> PrimitiveResult:
+    """Erase ``count`` elements at ``position``, sliding the tail left
+    in place.  ``output`` has ``values.size - count`` elements.  Tuning
+    goes through ``config=``; the per-kwarg spellings are deprecated
+    aliases."""
+    config = resolve_config(
+        "ds_erase_range", config, wg_size=wg_size, coarsening=coarsening,
+        race_tracking=race_tracking, backend=backend, seed=seed)
+    return _run_erase_range(values, position, count, stream, config=config)
+
+
+register_op(OpDescriptor(
+    name="ds_insert_gap",
+    short="insert_gap",
+    kind="regular",
+    runner=_run_insert_gap,
+    params_signature=lambda args, kwargs: (
+        "position", int(args[1]), "gap", int(args[2]),
+        "fill", repr(kwargs.get("fill"))),
+))
+
+register_op(OpDescriptor(
+    name="ds_erase_range",
+    short="erase_range",
+    kind="regular",
+    runner=_run_erase_range,
+    params_signature=lambda args, kwargs: (
+        "position", int(args[1]), "count", int(args[2])),
+))

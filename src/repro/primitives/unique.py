@@ -20,8 +20,11 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.config import DSConfig, UNSET, resolve_config
+from repro.core.fused import FuseStage
 from repro.core.irregular import run_irregular_ds
 from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
+from repro.primitives.opspec import OpDescriptor, register_op
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -29,39 +32,29 @@ from repro.simgpu.stream import Stream
 __all__ = ["ds_unique"]
 
 
-def ds_unique(
+def _run_unique(
     values: np.ndarray,
     stream: Optional[Union[Stream, DeviceSpec, str]] = None,
     *,
-    wg_size: int = 256,
-    coarsening: Optional[int] = None,
-    reduction_variant: str = "tree",
-    scan_variant: str = "tree",
-    backend: Optional[str] = None,
-    seed: int = 0,
+    config: DSConfig = DSConfig(),
 ) -> PrimitiveResult:
-    """Collapse runs of equal consecutive elements in place (stable).
-
-    ``output`` holds one representative per run, in order;
-    ``extras["n_kept"]`` is the number of runs.
-    """
     values = np.asarray(values)
-    stream = resolve_stream(stream, seed=seed)
+    stream = resolve_stream(stream, seed=config.seed)
     buf = Buffer(values.reshape(-1), "unique_in")
     with primitive_span(
-        "ds_unique", backend=backend, n=int(buf.size),
-        dtype=str(buf.data.dtype), wg_size=wg_size,
+        "ds_unique", backend=config.backend, n=int(buf.size),
+        dtype=str(buf.data.dtype), wg_size=config.wg_size,
     ) as sp:
         result = run_irregular_ds(
             buf,
             None,
             stream,
-            wg_size=wg_size,
-            coarsening=coarsening,
+            wg_size=config.wg_size,
+            coarsening=config.coarsening,
             stencil_unique=True,
-            reduction_variant=reduction_variant,
-            scan_variant=scan_variant,
-            backend=backend,
+            reduction_variant=config.reduction_variant,
+            scan_variant=config.scan_variant,
+            backend=config.backend,
         )
         sp.set(coarsening=result.geometry.coarsening,
                n_workgroups=result.geometry.n_workgroups,
@@ -78,3 +71,37 @@ def ds_unique(
             "n_workgroups": result.geometry.n_workgroups,
         },
     )
+
+
+def ds_unique(
+    values: np.ndarray,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    config: Optional[DSConfig] = None,
+    wg_size=UNSET,
+    coarsening=UNSET,
+    reduction_variant=UNSET,
+    scan_variant=UNSET,
+    backend=UNSET,
+    seed=UNSET,
+) -> PrimitiveResult:
+    """Collapse runs of equal consecutive elements in place (stable).
+
+    ``output`` holds one representative per run, in order;
+    ``extras["n_kept"]`` is the number of runs.  Tuning goes through
+    ``config=``; the per-kwarg spellings are deprecated aliases.
+    """
+    config = resolve_config(
+        "ds_unique", config, wg_size=wg_size, coarsening=coarsening,
+        reduction_variant=reduction_variant, scan_variant=scan_variant,
+        backend=backend, seed=seed)
+    return _run_unique(values, stream, config=config)
+
+
+register_op(OpDescriptor(
+    name="ds_unique",
+    short="unique",
+    kind="irregular",
+    runner=_run_unique,
+    fuse_stage=lambda args, kwargs: FuseStage("stencil"),
+))

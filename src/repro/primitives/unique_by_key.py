@@ -8,13 +8,15 @@ a direct payoff of the paper's generic Algorithm 2.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.config import DSConfig, UNSET, resolve_config
 from repro.core.keyed import run_keyed_irregular_ds
 from repro.errors import LaunchError
 from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
+from repro.primitives.opspec import OpDescriptor, register_op
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -22,42 +24,32 @@ from repro.simgpu.stream import Stream
 __all__ = ["ds_unique_by_key"]
 
 
-def ds_unique_by_key(
+def _run_unique_by_key(
     keys: np.ndarray,
     values: np.ndarray,
     stream: Optional[Union[Stream, DeviceSpec, str]] = None,
     *,
-    wg_size: int = 256,
-    coarsening: Optional[int] = None,
-    reduction_variant: str = "tree",
-    scan_variant: str = "tree",
-    race_tracking: bool = False,
-    backend: Optional[str] = None,
-    seed: int = 0,
+    config: DSConfig = DSConfig(),
 ) -> PrimitiveResult:
-    """Collapse runs of equal consecutive keys, in place and stably.
-
-    Returns a result whose ``output`` is the kept ``(keys, values)``
-    pair (as a tuple packed into a 2xN array for the envelope; use
-    ``extras["keys"]`` / ``extras["values"]`` for the typed arrays).
-    """
     keys = np.asarray(keys).reshape(-1)
     values = np.asarray(values).reshape(-1)
     if keys.size != values.size:
         raise LaunchError(
             f"keys ({keys.size}) and values ({values.size}) must match")
-    stream = resolve_stream(stream, seed=seed)
+    stream = resolve_stream(stream, seed=config.seed)
     kbuf = Buffer(keys, "ubk_keys")
     vbuf = Buffer(values, "ubk_values")
     with primitive_span(
-        "ds_unique_by_key", backend=backend, n=int(keys.size),
-        dtype=str(keys.dtype), wg_size=wg_size,
+        "ds_unique_by_key", backend=config.backend, n=int(keys.size),
+        dtype=str(keys.dtype), wg_size=config.wg_size,
     ) as sp:
         result = run_keyed_irregular_ds(
             kbuf, [vbuf], None, stream,
-            wg_size=wg_size, coarsening=coarsening, stencil_unique=True,
-            reduction_variant=reduction_variant, scan_variant=scan_variant,
-            race_tracking=race_tracking, backend=backend,
+            wg_size=config.wg_size, coarsening=config.coarsening,
+            stencil_unique=True,
+            reduction_variant=config.reduction_variant,
+            scan_variant=config.scan_variant,
+            race_tracking=config.race_tracking, backend=config.backend,
         )
         sp.set(coarsening=result.geometry.coarsening,
                n_workgroups=result.geometry.n_workgroups,
@@ -76,3 +68,40 @@ def ds_unique_by_key(
             "in_place": True,
         },
     )
+
+
+def ds_unique_by_key(
+    keys: np.ndarray,
+    values: np.ndarray,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    config: Optional[DSConfig] = None,
+    wg_size=UNSET,
+    coarsening=UNSET,
+    reduction_variant=UNSET,
+    scan_variant=UNSET,
+    race_tracking=UNSET,
+    backend=UNSET,
+    seed=UNSET,
+) -> PrimitiveResult:
+    """Collapse runs of equal consecutive keys, in place and stably.
+
+    Returns a result whose ``output`` is the kept ``(keys, values)``
+    pair (as a tuple packed into a 2xN array for the envelope; use
+    ``extras["keys"]`` / ``extras["values"]`` for the typed arrays).
+    Tuning goes through ``config=``; the per-kwarg spellings are
+    deprecated aliases.
+    """
+    config = resolve_config(
+        "ds_unique_by_key", config, wg_size=wg_size, coarsening=coarsening,
+        reduction_variant=reduction_variant, scan_variant=scan_variant,
+        race_tracking=race_tracking, backend=backend, seed=seed)
+    return _run_unique_by_key(keys, values, stream, config=config)
+
+
+register_op(OpDescriptor(
+    name="ds_unique_by_key",
+    short="unique_by_key",
+    kind="keyed",
+    runner=_run_unique_by_key,
+))

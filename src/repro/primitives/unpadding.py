@@ -14,10 +14,12 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.config import DSConfig, UNSET, resolve_config
 from repro.core.offsets import unpad_remap
 from repro.core.regular import run_regular_ds
 from repro.errors import LaunchError
 from repro.primitives.common import PrimitiveResult, primitive_span, resolve_stream
+from repro.primitives.opspec import OpDescriptor, register_op
 from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
@@ -25,33 +27,24 @@ from repro.simgpu.stream import Stream
 __all__ = ["ds_unpad", "ds_unpad_buffer"]
 
 
-def ds_unpad(
+def _run_unpad(
     matrix: np.ndarray,
     pad: int,
     stream: Optional[Union[Stream, DeviceSpec, str]] = None,
     *,
-    wg_size: int = 256,
-    coarsening: Optional[int] = None,
-    race_tracking: bool = False,
-    backend: Optional[str] = None,
-    seed: int = 0,
+    config: DSConfig = DSConfig(),
 ) -> PrimitiveResult:
-    """Remove the last ``pad`` columns of a 2-D matrix using DS Unpadding.
-
-    Returns a :class:`~repro.primitives.common.PrimitiveResult` whose
-    ``output`` is the ``rows x (cols - pad)`` matrix.
-    """
     matrix = np.asarray(matrix)
     if matrix.ndim != 2:
         raise LaunchError(f"ds_unpad expects a 2-D matrix, got ndim={matrix.ndim}")
     rows, cols = matrix.shape
     if not 0 <= pad < cols:
         raise LaunchError(f"pad must be in [0, cols), got {pad} for {cols} columns")
-    stream = resolve_stream(stream, seed=seed)
+    stream = resolve_stream(stream, seed=config.seed)
     buf = Buffer(matrix.reshape(-1), "unpad_matrix")
     with primitive_span(
-        "ds_unpad", backend=backend, rows=rows, cols=cols, pad=pad,
-        dtype=str(matrix.dtype), wg_size=wg_size,
+        "ds_unpad", backend=config.backend, rows=rows, cols=cols, pad=pad,
+        dtype=str(matrix.dtype), wg_size=config.wg_size,
     ) as sp:
         result = ds_unpad_buffer(
             buf,
@@ -59,10 +52,7 @@ def ds_unpad(
             cols,
             pad,
             stream,
-            wg_size=wg_size,
-            coarsening=coarsening,
-            race_tracking=race_tracking,
-            backend=backend,
+            config=config,
         )
         sp.set(coarsening=result.geometry.coarsening,
                n_workgroups=result.geometry.n_workgroups)
@@ -77,6 +67,30 @@ def ds_unpad(
     )
 
 
+def ds_unpad(
+    matrix: np.ndarray,
+    pad: int,
+    stream: Optional[Union[Stream, DeviceSpec, str]] = None,
+    *,
+    config: Optional[DSConfig] = None,
+    wg_size=UNSET,
+    coarsening=UNSET,
+    race_tracking=UNSET,
+    backend=UNSET,
+    seed=UNSET,
+) -> PrimitiveResult:
+    """Remove the last ``pad`` columns of a 2-D matrix using DS Unpadding.
+
+    Returns a :class:`~repro.primitives.common.PrimitiveResult` whose
+    ``output`` is the ``rows x (cols - pad)`` matrix.  Tuning goes
+    through ``config=``; the per-kwarg spellings are deprecated aliases.
+    """
+    config = resolve_config(
+        "ds_unpad", config, wg_size=wg_size, coarsening=coarsening,
+        race_tracking=race_tracking, backend=backend, seed=seed)
+    return _run_unpad(matrix, pad, stream, config=config)
+
+
 def ds_unpad_buffer(
     buf: Buffer,
     rows: int,
@@ -84,21 +98,34 @@ def ds_unpad_buffer(
     pad: int,
     stream: Stream,
     *,
-    wg_size: int = 256,
-    coarsening: Optional[int] = None,
-    race_tracking: bool = False,
-    backend: Optional[str] = None,
+    config: Optional[DSConfig] = None,
+    wg_size=UNSET,
+    coarsening=UNSET,
+    race_tracking=UNSET,
+    backend=UNSET,
 ):
     """In-place DS Unpadding on an existing device buffer holding the
     ``rows x cols`` matrix.  After the call the compacted matrix
     occupies the first ``rows * (cols - pad)`` elements."""
+    config = resolve_config(
+        "ds_unpad_buffer", config, wg_size=wg_size, coarsening=coarsening,
+        race_tracking=race_tracking, backend=backend)
     remap = unpad_remap(rows, cols, pad)
     return run_regular_ds(
         buf,
         remap,
         stream,
-        wg_size=wg_size,
-        coarsening=coarsening,
-        race_tracking=race_tracking,
-        backend=backend,
+        wg_size=config.wg_size,
+        coarsening=config.coarsening,
+        race_tracking=config.race_tracking,
+        backend=config.backend,
     )
+
+
+register_op(OpDescriptor(
+    name="ds_unpad",
+    short="unpad",
+    kind="regular",
+    runner=_run_unpad,
+    params_signature=lambda args, kwargs: ("pad", int(args[1])),
+))

@@ -13,14 +13,48 @@ structure directly shows up in its modeled time.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
 
 from repro import obs as _obs
+from repro.errors import LaunchError
 from repro.simgpu.counters import LaunchCounters
 from repro.simgpu.device import DeviceSpec, get_device
 from repro.simgpu.scheduler import OrderSpec, launch
 
-__all__ = ["Stream"]
+__all__ = ["Stream", "StreamEvent", "BatchRecord"]
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """A marker in a stream's launch sequence (CUDA-event analogue).
+
+    Recording an event snapshots the number of launches issued so far;
+    waiting on it expresses that subsequent launches depend on
+    everything before the marker.  The simulated stream is in-order, so
+    the wait is trivially satisfied — but the recorded dependency edges
+    let batch planners and tests assert the ordering they relied on.
+    """
+
+    stream: "Stream"
+    index: int
+    label: Optional[str] = None
+
+
+@dataclass
+class BatchRecord:
+    """One :meth:`Stream.batch` window over the launch sequence."""
+
+    label: str
+    start: int
+    end: Optional[int] = None
+    events: List[StreamEvent] = field(default_factory=list)
+
+    @property
+    def num_launches(self) -> int:
+        end = self.end if self.end is not None else self.start
+        return end - self.start
 
 
 class Stream:
@@ -59,7 +93,10 @@ class Stream:
         self.order = order
         self.resident_limit = resident_limit
         self.records: List[LaunchCounters] = []
+        self.batches: List[BatchRecord] = []
+        self.dependencies: List[Tuple[int, int]] = []
         self._launch_count = 0
+        self._active_batch: Optional[BatchRecord] = None
 
     def launch(
         self,
@@ -130,6 +167,51 @@ class Stream:
         self._register(counters)
         return counters
 
+    def record_event(self, label: Optional[str] = None) -> StreamEvent:
+        """Mark the current position in the launch sequence."""
+        event = StreamEvent(self, self.num_launches, label)
+        if self._active_batch is not None:
+            self._active_batch.events.append(event)
+        return event
+
+    def wait_event(self, event: StreamEvent) -> None:
+        """Make subsequent launches depend on everything before ``event``.
+
+        The stream executes in order, so the dependency is already
+        satisfied; the recorded ``(event.index, waiting_index)`` edge is
+        kept on :attr:`dependencies` for planners and tests.
+        """
+        if event.stream is not self:
+            raise LaunchError(
+                "wait_event: event was recorded on a different stream")
+        self.dependencies.append((event.index, self.num_launches))
+
+    @contextmanager
+    def batch(self, label: str = "batch"):
+        """Group the launches issued inside the ``with`` block.
+
+        Yields a :class:`BatchRecord` whose window is closed on exit;
+        the record also collects any events recorded inside the block.
+        Pipelines use one batch per :meth:`repro.pipeline.Pipeline.run`
+        so traces and tests can attribute launches to the batch that
+        issued them.  Batches do not nest.
+        """
+        if self._active_batch is not None:
+            raise LaunchError("stream batches do not nest")
+        record = BatchRecord(label=label, start=self.num_launches)
+        self.batches.append(record)
+        self._active_batch = record
+        try:
+            yield record
+        finally:
+            record.end = self.num_launches
+            self._active_batch = None
+            tracer = _obs.active()
+            if tracer is not None:
+                tracer.metrics.counter("stream.batches").inc()
+                tracer.metrics.counter("stream.batch_launches").inc(
+                    record.num_launches)
+
     @property
     def num_launches(self) -> int:
         return len(self.records)
@@ -146,6 +228,8 @@ class Stream:
     def reset(self) -> None:
         """Forget recorded launches (the device binding is kept)."""
         self.records.clear()
+        self.batches.clear()
+        self.dependencies.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -43,6 +43,7 @@ __all__ = [
     "contiguous_range_txns",
     "remapped_store_txns",
     "round_kept_counts",
+    "fused_chain_accounting",
 ]
 
 BACKENDS = ("simulated", "vectorized")
@@ -164,3 +165,54 @@ def round_kept_counts(keep: np.ndarray, wg_size: int) -> np.ndarray:
     padded = np.zeros(n_rounds * wg_size, dtype=np.int64)
     padded[: keep.size] = keep
     return padded.reshape(n_rounds, wg_size).sum(axis=1)
+
+
+def fused_chain_accounting(
+    total: int,
+    keep: np.ndarray,
+    wg_size: int,
+    grid: int,
+    coarsening: int,
+    *,
+    itemsize: int,
+    carry_itemsize: int,
+    valid_itemsize: int,
+    transaction_bytes: int,
+    count_transactions: bool,
+) -> dict:
+    """Closed-form counters of one fused irregular chain launch.
+
+    A fused launch (:mod:`repro.core.fused`) behaves like one irregular
+    DS launch — coarsened tile loads, per-round contiguous kept stores
+    — plus the carry chain: every work-group loads its predecessor's
+    ``(carry, carry_valid)`` pair and stores its own, four
+    single-element accesses per group, each touching one transaction
+    segment.  ``keep`` is the final survivor mask; the structural facts
+    this arithmetic relies on are the same schedule-invariant ones the
+    per-primitive fast paths use.
+    """
+    keep = np.asarray(keep, dtype=bool)
+    n = int(total)
+    n_true = int(keep.sum())
+    kt = round_kept_counts(keep, wg_size)
+    kept_before = np.cumsum(kt) - kt
+    n_act = kt.size
+    side_bytes = grid * (carry_itemsize + valid_itemsize)
+    out = {
+        "n_loads": grid * coarsening + 2 * grid,
+        "n_stores": n_act + 2 * grid,
+        "bytes_loaded": n * itemsize + side_bytes,
+        "bytes_stored": n_true * itemsize + side_bytes,
+        "load_transactions": 0,
+        "store_transactions": 0,
+        "array_load_txns": 0,
+        "array_store_txns": 0,
+    }
+    if count_transactions:
+        out["array_load_txns"] = contiguous_round_txns(
+            n, wg_size, itemsize, transaction_bytes)
+        out["array_store_txns"] = contiguous_range_txns(
+            kept_before, kept_before + kt, itemsize, transaction_bytes)
+        out["load_transactions"] = out["array_load_txns"] + 2 * grid
+        out["store_transactions"] = out["array_store_txns"] + 2 * grid
+    return out

@@ -16,6 +16,7 @@ from repro.baselines.thrust import (
     thrust_stable_partition,
     thrust_stable_partition_copy,
 )
+from repro.config import DSConfig
 from repro.core.predicates import is_even, less_than
 from repro.primitives import ds_remove_if
 from repro.reference import (
@@ -99,7 +100,7 @@ class TestPipelineStructure:
 
     def test_thrust_moves_far_more_bytes_than_ds(self, data):
         """The paper's Section V point: repeated global loads/stores."""
-        ds = ds_remove_if(data, is_even(), wg_size=64)
+        ds = ds_remove_if(data, is_even(), config=DSConfig(wg_size=64))
         th = thrust_remove_if(data, is_even(), wg_size=64)
         assert th.bytes_moved > 2.5 * ds.bytes_moved
 
@@ -126,5 +127,6 @@ class TestPropertyBased:
         a = rng.integers(0, 10, n).astype(np.float32)
         pred = less_than(np.float32(threshold))
         th = thrust_remove_if(a, pred, wg_size=32, seed=seed).output
-        ds = ds_remove_if(a, pred, wg_size=32, seed=seed).output
+        ds = ds_remove_if(a, pred,
+                          config=DSConfig(wg_size=32, seed=seed)).output
         assert np.array_equal(th, ds)

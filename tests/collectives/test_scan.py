@@ -120,6 +120,7 @@ class TestPartialWavefront:
         rng = np.random.default_rng(5)
         a = rng.integers(0, 5, 1000).astype(np.float32)
         out = repro.compact(a, 0, stream=Stream("hawaii", seed=1),
-                            wg_size=32, scan_variant="ballot",
-                            reduction_variant="shuffle")
+                            config=repro.DSConfig(
+                                wg_size=32, scan_variant="ballot",
+                                reduction_variant="shuffle"))
         assert np.array_equal(out, repro.compact(a, 0, backend="numpy"))

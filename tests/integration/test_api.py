@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 import repro
+from repro.config import DSConfig
 from repro.core import is_even, less_than
 from repro.errors import ReproError
 
@@ -23,13 +24,14 @@ class TestBackends:
 
     def test_numpy_backend_has_no_launches(self, rng):
         a = rng.integers(0, 5, 200).astype(np.float32)
-        result = repro.compact(a, 0, backend="numpy", return_result=True)
+        result = repro.compact(a, 0, return_result=True, backend="numpy")
         assert result.num_launches == 0
         assert result.extras["backend"] == "numpy"
 
     def test_partition_returns_split_point(self, rng):
         a = rng.integers(0, 10, 300).astype(np.float32)
-        out, n_true = repro.partition(a, is_even(), wg_size=32)
+        out, n_true = repro.partition(a, is_even(),
+                                                 config=DSConfig(wg_size=32))
         assert n_true == int(is_even()(a).sum())
         assert out.size == a.size
 
@@ -40,7 +42,9 @@ class TestBackendEquivalence:
     def test_compact(self, n, seed):
         rng = np.random.default_rng(seed)
         a = rng.integers(0, 4, n).astype(np.float32)
-        sim = repro.compact(a, 0, wg_size=32, coarsening=2, seed=seed)
+        sim = repro.compact(a, 0,
+                            config=DSConfig(
+                                wg_size=32, coarsening=2, seed=seed))
         ref = repro.compact(a, 0, backend="numpy")
         assert np.array_equal(sim, ref)
 
@@ -52,10 +56,10 @@ class TestBackendEquivalence:
         a = rng.integers(0, 10, n).astype(np.float32)
         pred = less_than(np.float32(threshold))
         assert np.array_equal(
-            repro.remove_if(a, pred, wg_size=32, seed=seed),
+            repro.remove_if(a, pred, config=DSConfig(wg_size=32, seed=seed)),
             repro.remove_if(a, pred, backend="numpy"))
         assert np.array_equal(
-            repro.copy_if(a, pred, wg_size=32, seed=seed),
+            repro.copy_if(a, pred, config=DSConfig(wg_size=32, seed=seed)),
             repro.copy_if(a, pred, backend="numpy"))
 
     @settings(max_examples=15, deadline=None)
@@ -65,7 +69,7 @@ class TestBackendEquivalence:
         a = np.repeat(rng.integers(0, 8, n), rng.integers(1, 4, n))[:n]
         a = a.astype(np.float32)
         assert np.array_equal(
-            repro.unique(a, wg_size=32, seed=seed),
+            repro.unique(a, config=DSConfig(wg_size=32, seed=seed)),
             repro.unique(a, backend="numpy"))
 
     @settings(max_examples=12, deadline=None)
@@ -75,11 +79,11 @@ class TestBackendEquivalence:
         rng = np.random.default_rng(seed)
         m = rng.integers(0, 99, (rows, cols)).astype(np.float32)
         assert np.array_equal(
-            repro.pad(m, pad, fill=0, wg_size=32, seed=seed),
+            repro.pad(m, pad, fill=0, config=DSConfig(wg_size=32, seed=seed)),
             repro.pad(m, pad, fill=0, backend="numpy"))
         if pad < cols:
             assert np.array_equal(
-                repro.unpad(m, pad, wg_size=32, seed=seed),
+                repro.unpad(m, pad, config=DSConfig(wg_size=32, seed=seed)),
                 repro.unpad(m, pad, backend="numpy"))
 
     @settings(max_examples=12, deadline=None)
@@ -87,7 +91,9 @@ class TestBackendEquivalence:
     def test_partition(self, n, seed):
         rng = np.random.default_rng(seed)
         a = rng.integers(0, 10, n).astype(np.float32)
-        sim_out, sim_n = repro.partition(a, is_even(), wg_size=32, seed=seed)
+        sim_out, sim_n = repro.partition(a, is_even(),
+                                                    config=DSConfig(
+                                                        wg_size=32, seed=seed))
         ref_out, ref_n = repro.partition(a, is_even(), backend="numpy")
         assert sim_n == ref_n
         assert np.array_equal(sim_out, ref_out)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 import repro
+from repro.config import DSConfig
 from repro.core import is_even, nonzero
 from repro.primitives import ds_pad, ds_stream_compact, ds_unique, ds_unpad
 from repro.simgpu import Stream, get_device
@@ -16,24 +17,24 @@ class TestChainedPrimitives:
         a = a[:800].astype(np.float32)
         assert a.size == 800
         a[rng.choice(800, 200, replace=False)] = 0.0
-        step1 = repro.compact(a, 0.0, wg_size=32)
-        step2 = repro.unique(step1, wg_size=32)
-        expected = repro.unique(repro.compact(a, 0.0, backend="numpy"),
-                                backend="numpy")
+        step1 = repro.compact(a, 0.0, config=DSConfig(wg_size=32))
+        step2 = repro.unique(step1, config=DSConfig(wg_size=32))
+        expected = repro.unique(repro.compact(a, 0.0, backend="numpy"), backend="numpy")
         assert np.array_equal(step2, expected)
 
     def test_pad_compute_unpad_roundtrip(self, rng):
         """The paper's motivating workflow: pad for alignment, work on
         the padded matrix, unpad to compact storage."""
         m = rng.random((24, 30)).astype(np.float32)
-        padded = repro.pad(m, 2, fill=0.0, wg_size=32)
+        padded = repro.pad(m, 2, fill=0.0, config=DSConfig(wg_size=32))
         padded[:, :30] *= 2.0  # the "computation"
-        restored = repro.unpad(padded, 2, wg_size=32)
+        restored = repro.unpad(padded, 2, config=DSConfig(wg_size=32))
         assert np.allclose(restored, 2.0 * m)
 
     def test_partition_then_compact_halves(self, rng):
         a = rng.integers(0, 10, 600).astype(np.float32)
-        out, n_true = repro.partition(a, is_even(), wg_size=32)
+        out, n_true = repro.partition(a, is_even(),
+                                                 config=DSConfig(wg_size=32))
         evens, odds = out[:n_true], out[n_true:]
         assert is_even()(evens).all()
         assert not is_even()(odds).any()
@@ -44,7 +45,7 @@ class TestChainedPrimitives:
         v = np.zeros(1000, dtype=np.float32)
         nz = rng.choice(1000, 150, replace=False)
         v[nz] = rng.random(150).astype(np.float32) + 1.0
-        kept = repro.copy_if(v, nonzero(), wg_size=32)
+        kept = repro.copy_if(v, nonzero(), config=DSConfig(wg_size=32))
         assert np.array_equal(kept, v[np.sort(nz)])
 
 
@@ -52,10 +53,10 @@ class TestSharedStreamAccounting:
     def test_one_stream_accumulates_a_whole_pipeline(self, rng):
         stream = Stream(get_device("maxwell"), seed=7)
         m = rng.integers(0, 99, (16, 20)).astype(np.float32)
-        ds_pad(m, 2, stream, wg_size=32, coarsening=2)
+        ds_pad(m, 2, stream, config=DSConfig(wg_size=32, coarsening=2))
         a = rng.integers(0, 5, 500).astype(np.float32)
-        ds_stream_compact(a, 0, stream, wg_size=32)
-        ds_unique(a, stream, wg_size=32)
+        ds_stream_compact(a, 0, stream, config=DSConfig(wg_size=32))
+        ds_unique(a, stream, config=DSConfig(wg_size=32))
         assert stream.num_launches == 3
         total = stream.total()
         assert total.bytes_moved > 0
@@ -66,7 +67,8 @@ class TestSharedStreamAccounting:
         from repro.perfmodel import price_pipeline
         stream = Stream(get_device("maxwell"), seed=9)
         a = rng.integers(0, 5, 2000).astype(np.float32)
-        ds_stream_compact(a, 0, stream, wg_size=64, coarsening=2)
+        ds_stream_compact(a, 0, stream,
+                          config=DSConfig(wg_size=64, coarsening=2))
         for dev_name in ("maxwell", "hawaii", "cpu-mxpa"):
             cost = price_pipeline(stream.records, get_device(dev_name))
             assert cost.total_us > 0
@@ -77,13 +79,13 @@ class TestDtypeCoverage:
                                        np.int64])
     def test_compaction_across_dtypes(self, rng, dtype):
         a = rng.integers(0, 5, 400).astype(dtype)
-        out = repro.compact(a, 0, wg_size=32)
+        out = repro.compact(a, 0, config=DSConfig(wg_size=32))
         assert out.dtype == dtype
         assert np.array_equal(out, a[a != 0])
 
     @pytest.mark.parametrize("dtype", [np.float32, np.float64])
     def test_padding_across_dtypes(self, rng, dtype):
         m = rng.random((8, 12)).astype(dtype)
-        out = repro.pad(m, 3, fill=0, wg_size=32)
+        out = repro.pad(m, 3, fill=0, config=DSConfig(wg_size=32))
         assert out.dtype == dtype
         assert np.array_equal(out[:, :12], m)

@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 import repro
+from repro.config import DSConfig
 from repro.core import less_than
 from repro.reference import unique_ref
 from repro.workloads import compaction_array, runs_array
@@ -20,18 +21,18 @@ N = 1 << 20  # 1M elements
 class TestLargeScale:
     def test_compaction_1m(self):
         a = compaction_array(N, 0.5, seed=1)
-        out = repro.compact(a, 0.0, wg_size=256)
+        out = repro.compact(a, 0.0, config=DSConfig(wg_size=256))
         assert out.size == N - N // 2
         assert np.array_equal(out, a[a != 0.0])
 
     def test_unique_1m(self):
         a = runs_array(N, 0.3, seed=2)
-        out = repro.unique(a, wg_size=256)
+        out = repro.unique(a, config=DSConfig(wg_size=256))
         assert np.array_equal(out, unique_ref(a))
 
     def test_padding_1k_square(self):
         m = np.arange(1000 * 999, dtype=np.float32).reshape(1000, 999)
-        padded = repro.pad(m, 1, fill=-1.0, wg_size=256)
+        padded = repro.pad(m, 1, fill=-1.0, config=DSConfig(wg_size=256))
         assert padded.shape == (1000, 1000)
         assert np.array_equal(padded[:, :999], m)
         assert (padded[:, 999] == -1.0).all()
@@ -40,7 +41,8 @@ class TestLargeScale:
         rng = np.random.default_rng(3)
         a = rng.random(N).astype(np.float32)
         out, n_true = repro.partition(a, less_than(np.float32(0.25)),
-                                      wg_size=256)
+                                                              config=DSConfig(
+                                                                  wg_size=256))
         assert abs(n_true - N // 4) < N // 50
         assert (out[:n_true] < 0.25).all()
         assert (out[n_true:] >= 0.25).all()
@@ -49,5 +51,6 @@ class TestLargeScale:
         # A size chosen so the last tile is one element.
         n = 36 * 256 * 100 + 1
         a = compaction_array(n, 0.5, seed=4)
-        out = repro.compact(a, 0.0, wg_size=256, coarsening=36)
+        out = repro.compact(a, 0.0,
+                            config=DSConfig(wg_size=256, coarsening=36))
         assert np.array_equal(out, a[a != 0.0])

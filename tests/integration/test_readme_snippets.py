@@ -25,6 +25,19 @@ class TestQuickTaste:
         assert np.array_equal(out[:, :4], m)
         assert (out[:, 4:] == 0).all()
 
+    def test_dsconfig_pipeline_snippet(self):
+        """The 'Tuning and batching' section example."""
+        cfg = repro.DSConfig(wg_size=128, coarsening=4, backend="vectorized")
+        a = np.asarray([4, 4, 0, 9, 9, 9, 2], dtype=np.int64)
+        assert np.array_equal(repro.ds_unique(a, config=cfg).output,
+                              [4, 0, 9, 2])
+        assert np.array_equal(repro.ds("unique", a, config=cfg).output,
+                              [4, 0, 9, 2])
+        p = repro.Pipeline(config=cfg)
+        f1 = p.compact(a, 0)
+        f2 = p.unique(f1)
+        assert np.array_equal(f2.output, [4, 9, 2])
+
     def test_return_result_carries_counters(self):
         a = np.asarray([3., 0., 7.], dtype=np.float32)
         r = repro.compact(a, 0.0, return_result=True)

@@ -13,6 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 import repro
+from repro.config import DSConfig
 from repro.core import less_than, pad_remap, run_regular_ds
 from repro.core.irregular import run_irregular_ds
 from repro.simgpu import Buffer, Stream
@@ -70,8 +71,9 @@ class TestRandomSchedules:
         a = rng.integers(0, 5, n).astype(np.float32)
         stream = Stream("maxwell", seed=cfg["seed"], order=cfg["order"],
                         resident_limit=cfg["resident_limit"])
-        out = repro.unique(a, stream=stream, wg_size=cfg["wg_size"],
-                           coarsening=cfg["coarsening"])
+        out = repro.unique(a, stream=stream,
+                           config=DSConfig(
+                               wg_size=cfg["wg_size"], coarsening=cfg["coarsening"]))
         ref = repro.unique(a, backend="numpy")
         assert np.array_equal(out, ref)
 
@@ -82,8 +84,10 @@ class TestRandomSchedules:
         outcome despite non-determinism of execution."""
         rng = np.random.default_rng(7)
         a = rng.integers(0, 10, 2000).astype(np.float32)
-        out_a = repro.compact(a, 0.0, wg_size=64,
-                              stream=Stream("maxwell", seed=seed_a))
-        out_b = repro.compact(a, 0.0, wg_size=64,
-                              stream=Stream("maxwell", seed=seed_b))
+        out_a = repro.compact(a, 0.0, stream=Stream("maxwell", seed=seed_a),
+                                                    config=DSConfig(
+                                                        wg_size=64))
+        out_b = repro.compact(a, 0.0, stream=Stream("maxwell", seed=seed_b),
+                                                    config=DSConfig(
+                                                        wg_size=64))
         assert np.array_equal(out_a, out_b)

@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 
 from repro import obs
+from repro.config import DSConfig
 from repro.primitives import (
     ds_copy_if,
     ds_pad,
@@ -89,20 +90,23 @@ class TestRegularPrimitives:
     def test_pad(self):
         matrix = padding_matrix(64, 31)
         assert_span_parity(
-            lambda b: ds_pad(matrix, 1, wg_size=WG, seed=3, backend=b),
+            lambda b: ds_pad(matrix, 1,
+                             config=DSConfig(wg_size=WG, seed=3, backend=b)),
             "ds_pad")
 
     def test_unpad(self):
         matrix = padding_matrix(64, 32)
         assert_span_parity(
-            lambda b: ds_unpad(matrix, 1, wg_size=WG, seed=3, backend=b),
+            lambda b: ds_unpad(matrix, 1,
+                               config=DSConfig(wg_size=WG, seed=3, backend=b)),
             "ds_unpad")
 
     def test_regular_tree_shape(self):
         """Regular DS phases are load -> sync -> store, no reduce."""
         matrix = padding_matrix(64, 31)
         with obs.tracing("spans") as t:
-            ds_pad(matrix, 1, wg_size=WG, seed=3, backend="vectorized")
+            ds_pad(matrix, 1,
+                   config=DSConfig(wg_size=WG, seed=3, backend="vectorized"))
         for trees, _ in wg_phase_forest(t).items():
             assert [name for name, _ in trees] == ["load", "sync", "store"]
 
@@ -111,35 +115,41 @@ class TestIrregularPrimitives:
     def test_stream_compact(self):
         values = compaction_array(N, 0.5, seed=8)
         assert_span_parity(
-            lambda b: ds_stream_compact(values, 0.0, wg_size=WG, seed=8,
-                                        backend=b),
+            lambda b: ds_stream_compact(values, 0.0,
+                                        config=DSConfig(
+                                            wg_size=WG, seed=8, backend=b)),
             "ds_stream_compact")
 
     def test_remove_if(self):
         values, pred = predicate_fraction_array(N, 0.5, seed=12)
         assert_span_parity(
-            lambda b: ds_remove_if(values, pred, wg_size=WG, seed=12,
-                                   backend=b),
+            lambda b: ds_remove_if(values, pred,
+                                   config=DSConfig(
+                                       wg_size=WG, seed=12, backend=b)),
             "ds_remove_if")
 
     def test_copy_if(self):
         values, pred = predicate_fraction_array(N, 0.25, seed=5)
         assert_span_parity(
-            lambda b: ds_copy_if(values, pred, wg_size=WG, seed=5,
-                                 backend=b),
+            lambda b: ds_copy_if(values, pred,
+                                 config=DSConfig(
+                                     wg_size=WG, seed=5, backend=b)),
             "ds_copy_if")
 
     def test_unique(self):
         values = runs_array(N, 0.25, seed=16)
         assert_span_parity(
-            lambda b: ds_unique(values, wg_size=WG, seed=16, backend=b),
+            lambda b: ds_unique(values,
+                                config=DSConfig(
+                                    wg_size=WG, seed=16, backend=b)),
             "ds_unique")
 
     def test_partition(self):
         values, pred = predicate_fraction_array(N, 0.5, seed=19)
         assert_span_parity(
-            lambda b: ds_partition(values, pred, wg_size=WG, seed=19,
-                                   backend=b),
+            lambda b: ds_partition(values, pred,
+                                   config=DSConfig(
+                                       wg_size=WG, seed=19, backend=b)),
             "ds_partition")
 
     def test_irregular_tree_shape(self):
@@ -147,8 +157,9 @@ class TestIrregularPrimitives:
         with the flag-round scans nested inside store."""
         values = compaction_array(N, 0.5, seed=8)
         with obs.tracing("spans") as t:
-            ds_stream_compact(values, 0.0, wg_size=WG, seed=8,
-                              backend="vectorized")
+            ds_stream_compact(values, 0.0,
+                              config=DSConfig(
+                                  wg_size=WG, seed=8, backend="vectorized"))
         saw_scan = False
         for trees, _ in wg_phase_forest(t).items():
             for name, children in trees:
@@ -161,8 +172,9 @@ class TestIrregularPrimitives:
     def test_sync_wait_only_on_simulated(self):
         values = compaction_array(N, 0.5, seed=8)
         tracers = traced(
-            lambda b: ds_stream_compact(values, 0.0, wg_size=WG, seed=8,
-                                        backend=b))
+            lambda b: ds_stream_compact(values, 0.0,
+                                        config=DSConfig(
+                                            wg_size=WG, seed=8, backend=b)))
         assert tracers["simulated"].find_spans("sync_wait", cat="sched")
         assert not tracers["vectorized"].find_spans("sync_wait")
 
@@ -172,8 +184,9 @@ class TestKeyedPrimitives:
         keys = runs_array(N, 0.25, seed=21)
         vals = np.arange(N, dtype=np.float32)
         assert_span_parity(
-            lambda b: ds_unique_by_key(keys, vals, wg_size=WG, seed=21,
-                                       backend=b),
+            lambda b: ds_unique_by_key(keys, vals,
+                                       config=DSConfig(
+                                           wg_size=WG, seed=21, backend=b)),
             "ds_unique_by_key")
 
 
@@ -184,8 +197,9 @@ class TestMetricsParity:
         tracers = {}
         for backend in ("simulated", "vectorized"):
             with obs.tracing("spans") as t:
-                results[backend] = ds_stream_compact(
-                    values, 0.0, wg_size=WG, seed=8, backend=backend)
+                results[backend] = ds_stream_compact(values, 0.0,
+                                                     config=DSConfig(
+                                                         wg_size=WG, seed=8, backend=backend))
             tracers[backend] = t
         for backend, t in tracers.items():
             c = results[backend].counters[0]
@@ -205,8 +219,9 @@ class TestMetricsParity:
     def test_spin_wait_histograms_cover_waiting_groups(self):
         values = compaction_array(N, 0.5, seed=8)
         with obs.tracing("spans") as t:
-            result = ds_stream_compact(values, 0.0, wg_size=WG, seed=8,
-                                       backend="simulated")
+            result = ds_stream_compact(values, 0.0,
+                                       config=DSConfig(
+                                           wg_size=WG, seed=8, backend="simulated"))
         n_wgs = result.extras["n_workgroups"]
         hists = t.metrics.instruments("sched.spin_wait_us")
         assert 0 < len(hists) <= n_wgs

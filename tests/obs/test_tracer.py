@@ -3,6 +3,7 @@
 import pytest
 
 from repro import obs
+from repro.config import DSConfig
 from repro.errors import ReproError
 from repro.obs.tracer import NULL_SPAN, Span, Tracer
 
@@ -194,7 +195,7 @@ class TestGlobalTracer:
 
         monkeypatch.setenv("REPRO_TRACE", "spans")
         values = np.asarray([1.0, 0.0, 2.0, 0.0], dtype=np.float32)
-        ds_stream_compact(values, 0.0, wg_size=32)
+        ds_stream_compact(values, 0.0, config=DSConfig(wg_size=32))
         t = obs.active()
         assert t is not None
         assert t.find_spans("ds_stream_compact", cat="primitive")
@@ -206,5 +207,5 @@ class TestGlobalTracer:
 
         monkeypatch.delenv("REPRO_TRACE", raising=False)
         values = np.asarray([1.0, 0.0], dtype=np.float32)
-        ds_stream_compact(values, 0.0, wg_size=32)
+        ds_stream_compact(values, 0.0, config=DSConfig(wg_size=32))
         assert obs.active() is None

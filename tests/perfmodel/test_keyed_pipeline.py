@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.config import DSConfig
 from repro.core import less_than
 from repro.errors import ModelError
 from repro.perfmodel import ds_keyed_launches, price_pipeline
@@ -21,8 +22,9 @@ class TestKeyedBuilder:
         key = rng.integers(0, 10, n).astype(np.float32)
         cols = {"a": rng.random(n).astype(np.float32),
                 "b": rng.random(n).astype(np.float32)}
-        r = ds_compact_records(key, cols, less_than(5),
-                               Stream(mx, seed=1), wg_size=64, coarsening=2)
+        r = ds_compact_records(key, cols, less_than(5), Stream(mx, seed=1),
+                                                               config=DSConfig(
+                                                                   wg_size=64, coarsening=2))
         analytic = ds_keyed_launches(n, r.extras["n_kept"], 4, mx,
                                      n_payloads=2, wg_size=64, coarsening=2)
         measured = r.counters[0]
@@ -34,7 +36,8 @@ class TestKeyedBuilder:
         keys = np.repeat(rng.integers(0, 30, 500), 3)[:1200].astype(np.float32)
         vals = np.arange(1200, dtype=np.float32)
         r = ds_unique_by_key(keys, vals, Stream(mx, seed=2),
-                             wg_size=64, coarsening=2)
+                                                config=DSConfig(
+                                                    wg_size=64, coarsening=2))
         analytic = ds_keyed_launches(1200, r.extras["n_kept"], 4, mx,
                                      n_payloads=1, wg_size=64, coarsening=2,
                                      stencil=True)

@@ -16,6 +16,7 @@ from repro.baselines.thrust import (
     thrust_remove_if,
     thrust_stable_partition,
 )
+from repro.config import DSConfig
 from repro.core.predicates import is_even
 from repro.perfmodel import (
     atomic_compact_launches,
@@ -62,14 +63,16 @@ def assert_matches(analytic, measured, *, check_stores=True):
 class TestDsRegular:
     def test_padding(self, rng, mx):
         m = rng.integers(0, 9, (37, 41)).astype(np.float32)
-        r = ds_pad(m, 3, Stream(mx, seed=1), wg_size=WG, coarsening=CF)
+        r = ds_pad(m, 3, Stream(mx, seed=1),
+                                config=DSConfig(wg_size=WG, coarsening=CF))
         analytic = ds_regular_launches(37 * 41, 37 * 41, 4, mx,
                                        wg_size=WG, coarsening=CF)
         assert_matches(analytic, r.counters)
 
     def test_unpadding(self, rng, mx):
         m = rng.integers(0, 9, (23, 50)).astype(np.float32)
-        r = ds_unpad(m, 7, Stream(mx, seed=2), wg_size=WG, coarsening=CF)
+        r = ds_unpad(m, 7, Stream(mx, seed=2),
+                                  config=DSConfig(wg_size=WG, coarsening=CF))
         analytic = ds_regular_launches(23 * 50, 23 * 43, 4, mx,
                                        wg_size=WG, coarsening=CF)
         assert_matches(analytic, r.counters)
@@ -79,7 +82,8 @@ class TestDsIrregular:
     def test_remove_if(self, rng, mx):
         a = rng.integers(0, 10, 3333).astype(np.float32)
         r = ds_remove_if(a, is_even(), Stream(mx, seed=3),
-                         wg_size=WG, coarsening=CF)
+                                              config=DSConfig(
+                                                  wg_size=WG, coarsening=CF))
         kept = r.extras["n_kept"]
         analytic = ds_irregular_launches(3333, kept, 4, mx,
                                          wg_size=WG, coarsening=CF)
@@ -89,7 +93,8 @@ class TestDsIrregular:
 
     def test_unique_includes_boundary_loads(self, rng, mx):
         a = np.repeat(rng.integers(0, 9, 500), 3)[:1200].astype(np.float32)
-        r = ds_unique(a, Stream(mx, seed=4), wg_size=WG, coarsening=CF)
+        r = ds_unique(a, Stream(mx, seed=4),
+                                config=DSConfig(wg_size=WG, coarsening=CF))
         analytic = ds_irregular_launches(1200, r.extras["n_kept"], 4, mx,
                                          wg_size=WG, coarsening=CF,
                                          stencil=True)
@@ -98,7 +103,8 @@ class TestDsIrregular:
     def test_partition_launch_structure(self, rng, mx):
         a = rng.integers(0, 10, 2222).astype(np.float32)
         r = ds_partition(a, is_even(), Stream(mx, seed=5),
-                         wg_size=WG, coarsening=CF)
+                                              config=DSConfig(
+                                                  wg_size=WG, coarsening=CF))
         analytic = ds_partition_launches(2222, r.extras["n_true"], 4, mx,
                                          in_place=True, wg_size=WG,
                                          coarsening=CF)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 import repro
+from repro.config import DSConfig
 from repro.errors import ModelError
 from repro.perfmodel import profile_across_devices, profile_result
 from repro.workloads import compaction_array
@@ -12,7 +13,8 @@ from repro.workloads import compaction_array
 @pytest.fixture
 def result():
     a = compaction_array(4096, 0.5, seed=1)
-    return repro.compact(a, 0.0, wg_size=64, return_result=True)
+    return repro.compact(a, 0.0, return_result=True,
+                         config=DSConfig(wg_size=64))
 
 
 class TestProfileResult:
@@ -36,7 +38,7 @@ class TestProfileResult:
 
     def test_numpy_backend_results_rejected(self):
         a = compaction_array(64, 0.5, seed=2)
-        r = repro.compact(a, 0.0, backend="numpy", return_result=True)
+        r = repro.compact(a, 0.0, return_result=True, backend="numpy")
         with pytest.raises(ModelError, match="numpy"):
             profile_result(r)
 

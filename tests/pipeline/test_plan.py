@@ -1,0 +1,158 @@
+"""The batch planner and plan cache.
+
+Planning is pure: the same op sequence, geometry, dtypes, parameters
+and config must produce the same :func:`plan_key`, so a repeated batch
+is a cache hit; any change to those inputs must miss.
+"""
+
+import numpy as np
+
+from repro import DSConfig, Pipeline, obs
+from repro.core.predicates import is_even
+from repro.pipeline import GLOBAL_PLAN_CACHE, PlanCache
+
+
+def _cfg(**kw):
+    kw.setdefault("wg_size", 32)
+    kw.setdefault("backend", "simulated")
+    return DSConfig(**kw)
+
+
+def _run_chain(a, cache, **pipeline_kw):
+    p = Pipeline(config=_cfg(), plan_cache=cache, **pipeline_kw)
+    f1 = p.compact(a.copy(), 0)
+    p.unique(f1)
+    p.run()
+    return p
+
+
+class TestPlanCache:
+    def test_second_identical_batch_hits(self, rng):
+        a = rng.integers(0, 5, 600).astype(np.int64)
+        cache = PlanCache()
+        _run_chain(a, cache)
+        assert (cache.misses, cache.hits) == (1, 0)
+        _run_chain(a, cache)
+        assert (cache.misses, cache.hits) == (1, 1)
+        assert len(cache) == 1
+
+    def test_same_geometry_different_values_still_hits(self, rng):
+        cache = PlanCache()
+        _run_chain(rng.integers(0, 5, 600).astype(np.int64), cache)
+        _run_chain(rng.integers(0, 5, 600).astype(np.int64), cache)
+        assert cache.hits == 1
+
+    def test_key_sensitivity(self, rng):
+        """Size, dtype, config and fuse flag each change the key."""
+        cache = PlanCache()
+        base = rng.integers(0, 5, 600).astype(np.int64)
+        _run_chain(base, cache)
+        _run_chain(rng.integers(0, 5, 601).astype(np.int64), cache)  # size
+        _run_chain(base.astype(np.int32), cache)                     # dtype
+        _run_chain(base, cache, fuse=False)                          # fuse
+        p = Pipeline(config=_cfg(wg_size=64), plan_cache=cache)
+        f1 = p.compact(base.copy(), 0)                               # config
+        p.unique(f1)
+        p.run()
+        assert (cache.misses, cache.hits) == (5, 0)
+
+    def test_op_parameters_change_the_key(self, rng):
+        a = rng.integers(0, 5, 400).astype(np.int64)
+        cache = PlanCache()
+        for remove_value in (0, 1):
+            p = Pipeline(config=_cfg(), plan_cache=cache)
+            p.compact(a.copy(), remove_value)
+            p.run()
+        assert (cache.misses, cache.hits) == (2, 0)
+
+    def test_eviction_bound(self, rng):
+        cache = PlanCache(maxsize=2)
+        for n in (100, 200, 300):
+            p = Pipeline(config=_cfg(), plan_cache=cache)
+            p.compact(rng.integers(0, 5, n).astype(np.int64), 0)
+            p.run()
+        assert len(cache) == 2
+
+    def test_clear(self, rng):
+        cache = PlanCache()
+        _run_chain(rng.integers(0, 5, 100).astype(np.int64), cache)
+        cache.clear()
+        assert (len(cache), cache.hits, cache.misses) == (0, 0, 0)
+
+    def test_global_cache_is_the_default(self, rng):
+        a = rng.integers(0, 7, 777).astype(np.int16)
+        before = GLOBAL_PLAN_CACHE.hits
+        p1 = Pipeline(config=_cfg())
+        p1.compact(a.copy(), 3)
+        p1.run()
+        p2 = Pipeline(config=_cfg())
+        p2.compact(a.copy(), 3)
+        p2.run()
+        assert GLOBAL_PLAN_CACHE.hits >= before + 1
+
+    def test_metrics_emitted_when_tracing(self, rng):
+        a = rng.integers(0, 5, 300).astype(np.int64)
+        cache = PlanCache()
+        with obs.tracing("spans") as tracer:
+            _run_chain(a, cache)
+            _run_chain(a, cache)
+        counters = {c.name: c.value for c in tracer.metrics
+                    if c.name.startswith("pipeline.plan_cache")}
+        assert counters["pipeline.plan_cache.misses"] == 1
+        assert counters["pipeline.plan_cache.hits"] == 1
+
+
+class TestPlanStructure:
+    def test_cached_plan_reused_across_batches_of_one_pipeline(self, rng):
+        a = rng.integers(0, 5, 500).astype(np.int64)
+        cache = PlanCache()
+        p = Pipeline(config=_cfg(), plan_cache=cache)
+        for _ in range(3):
+            f1 = p.compact(a.copy(), 0)
+            p.unique(f1)
+            p.run()
+        assert (cache.misses, cache.hits) == (1, 2)
+        assert len(p.stream.batches) == 3
+
+    def test_fused_plan_shape(self, rng):
+        a = rng.integers(0, 5, 500).astype(np.int64)
+        p = Pipeline(config=_cfg(), plan_cache=PlanCache())
+        f1 = p.compact(a.copy(), 0)
+        f2 = p.unique(f1)
+        p.remove_if(f2, is_even())
+        p.run()
+        plan = p.last_plan
+        assert plan.n_ops == 3
+        assert len(plan.steps) == 1
+        assert plan.steps[0].op_indices == (0, 1, 2)
+        assert (plan.n_fused_groups, plan.n_fused_ops) == (1, 3)
+
+    def test_two_stencils_split_the_run(self, rng):
+        """A chain may carry at most one unique stage."""
+        a = np.repeat(rng.integers(0, 30, 200), 3).astype(np.int64)
+        p = Pipeline(config=_cfg(), plan_cache=PlanCache())
+        f1 = p.compact(a.copy(), 0)
+        f2 = p.unique(f1)
+        p.unique(f2)
+        p.run()
+        plan = p.last_plan
+        assert plan.n_fused_groups == 1
+        assert [s.op_indices for s in plan.steps] == [(0, 1), (2,)]
+
+    def test_regular_op_breaks_the_run(self, rng):
+        a = rng.integers(0, 5, 400).astype(np.int64)
+        p = Pipeline(config=_cfg(), plan_cache=PlanCache())
+        f1 = p.compact(a.copy(), 0)
+        f2 = p.partition(f1, is_even())  # reorders, not fusable
+        p.unique(f2)
+        p.run()
+        assert p.last_plan.n_fused_groups == 0
+        assert len(p.last_plan.steps) == 3
+
+    def test_differing_per_op_config_blocks_fusion(self, rng):
+        a = rng.integers(0, 5, 400).astype(np.int64)
+        p = Pipeline(config=_cfg(), plan_cache=PlanCache())
+        f1 = p.compact(a.copy(), 0)
+        p.unique(f1, config=_cfg(wg_size=64))
+        p.run()
+        assert p.last_plan.n_fused_groups == 0

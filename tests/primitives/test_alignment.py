@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import LaunchError
 from repro.primitives import alignment_pad_columns, ds_pad_to_alignment
+from repro.config import DSConfig
 
 
 class TestAlignmentCalculation:
@@ -39,7 +40,7 @@ class TestAlignmentCalculation:
 class TestPadToAlignment:
     def test_pads_and_preserves_data(self, rng):
         m = rng.random((16, 30)).astype(np.float32)
-        r = ds_pad_to_alignment(m, 128, wg_size=32, fill=0.0)
+        r = ds_pad_to_alignment(m, 128, fill=0.0, config=DSConfig(wg_size=32))
         assert r.extras["pad"] == 2
         assert r.output.shape == (16, 32)
         assert np.array_equal(r.output[:, :30], m)
@@ -54,7 +55,7 @@ class TestPadToAlignment:
 
     def test_f64(self, rng):
         m = rng.random((4, 15)).astype(np.float64)
-        r = ds_pad_to_alignment(m, 128, wg_size=32)
+        r = ds_pad_to_alignment(m, 128, config=DSConfig(wg_size=32))
         assert r.extras["pad"] == 1
         assert r.output.shape == (4, 16)
 

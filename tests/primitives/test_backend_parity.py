@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro import api
+from repro.config import DSConfig
 from repro.core.predicates import Predicate, is_even, less_than
 from repro.primitives import (
     ds_compact_records,
@@ -55,8 +56,10 @@ DTYPES = [np.float32, np.int64, np.int16]
 
 
 def run_both(fn, *args, **kwargs):
-    rs = fn(*args, backend="simulated", **kwargs)
-    rv = fn(*args, backend="vectorized", **kwargs)
+    tuning = {k: kwargs.pop(k) for k in ("wg_size", "coarsening")
+              if k in kwargs}
+    rs = fn(*args, config=DSConfig(backend="simulated", **tuning), **kwargs)
+    rv = fn(*args, config=DSConfig(backend="vectorized", **tuning), **kwargs)
     return rs, rv
 
 
@@ -184,32 +187,33 @@ class TestDispatchRules:
     def test_env_override_selects_vectorized(self, rng, monkeypatch):
         monkeypatch.setenv("REPRO_BACKEND", "vectorized")
         a = rng.integers(0, 5, 400).astype(np.float32)
-        r = ds_stream_compact(a, 0, wg_size=32)
+        r = ds_stream_compact(a, 0, config=DSConfig(wg_size=32))
         assert r.counters[0].extras.get("vectorized") == 1.0
 
     def test_env_override_selects_simulated(self, rng, monkeypatch):
         monkeypatch.setenv("REPRO_BACKEND", "simulated")
         a = rng.integers(0, 5, 400).astype(np.float32)
-        r = ds_stream_compact(a, 0, wg_size=32)
+        r = ds_stream_compact(a, 0, config=DSConfig(wg_size=32))
         assert "vectorized" not in r.counters[0].extras
 
     def test_explicit_backend_beats_env(self, rng, monkeypatch):
         monkeypatch.setenv("REPRO_BACKEND", "simulated")
         a = rng.integers(0, 5, 400).astype(np.float32)
-        r = ds_stream_compact(a, 0, wg_size=32, backend="vectorized")
+        r = ds_stream_compact(a, 0,
+                              config=DSConfig(wg_size=32, backend="vectorized"))
         assert r.counters[0].extras.get("vectorized") == 1.0
 
     def test_race_tracking_forces_simulated(self, rng):
         a = rng.integers(0, 9, 400).astype(np.int64)
-        r = ds_remove_if(a, is_even(), wg_size=32, backend="vectorized",
-                         race_tracking=True)
+        r = ds_remove_if(a, is_even(),
+                         config=DSConfig(wg_size=32, backend="vectorized", race_tracking=True))
         assert "vectorized" not in r.counters[0].extras
 
     def test_unknown_backend_rejected(self, rng):
         from repro.errors import LaunchError
         a = rng.integers(0, 9, 64).astype(np.int64)
         with pytest.raises(LaunchError):
-            ds_unique(a, backend="cuda")
+            ds_unique(a, config=DSConfig(backend="cuda"))
 
 
 class TestApiParity:
@@ -246,12 +250,14 @@ class TestStreamRecord:
         from repro.primitives.common import resolve_stream
         a = rng.integers(0, 5, 300).astype(np.float32)
         s1 = resolve_stream("maxwell")
-        ds_stream_compact(a.copy(), 0, s1, wg_size=32, backend="simulated")
-        r1 = ds_stream_compact(a.copy(), 0, s1, wg_size=32,
-                               backend="simulated")
+        ds_stream_compact(a.copy(), 0, s1,
+                          config=DSConfig(wg_size=32, backend="simulated"))
+        r1 = ds_stream_compact(a.copy(), 0, s1,
+                               config=DSConfig(wg_size=32, backend="simulated"))
         s2 = resolve_stream("maxwell")
-        ds_stream_compact(a.copy(), 0, s2, wg_size=32, backend="vectorized")
-        r2 = ds_stream_compact(a.copy(), 0, s2, wg_size=32,
-                               backend="simulated")
+        ds_stream_compact(a.copy(), 0, s2,
+                          config=DSConfig(wg_size=32, backend="vectorized"))
+        r2 = ds_stream_compact(a.copy(), 0, s2,
+                               config=DSConfig(wg_size=32, backend="simulated"))
         assert len(s1.records) == len(s2.records) == 2
         assert r1.counters[0].n_spins == r2.counters[0].n_spins

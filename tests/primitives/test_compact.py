@@ -7,45 +7,47 @@ from hypothesis import strategies as st
 from repro.primitives import ds_stream_compact
 from repro.reference import compact_ref
 from repro.workloads import compaction_array
+from repro.config import DSConfig
 
 
 class TestStreamCompact:
     def test_matches_reference(self, rng):
         a = rng.integers(0, 5, 3000).astype(np.float32)
-        r = ds_stream_compact(a, 0, wg_size=64, coarsening=2)
+        r = ds_stream_compact(a, 0, config=DSConfig(wg_size=64, coarsening=2))
         assert np.array_equal(r.output, compact_ref(a, 0))
 
     def test_workload_generator_fraction_is_exact(self):
         a = compaction_array(2000, 0.3, seed=1)
-        r = ds_stream_compact(a, 0.0, wg_size=32)
+        r = ds_stream_compact(a, 0.0, config=DSConfig(wg_size=32))
         assert r.extras["n_removed"] == 600
         assert r.output.size == 1400
 
     def test_nonzero_sentinel(self, rng):
         a = rng.integers(0, 5, 1000).astype(np.float32)
-        r = ds_stream_compact(a, 3, wg_size=32)
+        r = ds_stream_compact(a, 3, config=DSConfig(wg_size=32))
         assert np.array_equal(r.output, compact_ref(a, 3))
 
     def test_no_occurrences(self):
         a = np.ones(1000, dtype=np.float32)
-        r = ds_stream_compact(a, 0.0, wg_size=32)
+        r = ds_stream_compact(a, 0.0, config=DSConfig(wg_size=32))
         assert np.array_equal(r.output, a)
         assert r.extras["n_removed"] == 0
 
     def test_all_removed(self):
         a = np.zeros(1000, dtype=np.float32)
-        r = ds_stream_compact(a, 0.0, wg_size=32)
+        r = ds_stream_compact(a, 0.0, config=DSConfig(wg_size=32))
         assert r.output.size == 0
 
     def test_single_launch_in_place(self, rng):
         a = rng.integers(0, 5, 500).astype(np.float32)
-        r = ds_stream_compact(a, 0, wg_size=32)
+        r = ds_stream_compact(a, 0, config=DSConfig(wg_size=32))
         assert r.num_launches == 1
         assert r.extras["in_place"] is True
 
     def test_race_tracking_passes(self, rng):
         a = rng.integers(0, 5, 2000).astype(np.float32)
-        ds_stream_compact(a, 0, wg_size=32, race_tracking=True)
+        ds_stream_compact(a, 0,
+                          config=DSConfig(wg_size=32, race_tracking=True))
 
     @settings(max_examples=20, deadline=None)
     @given(n=st.integers(1, 2500),
@@ -53,6 +55,7 @@ class TestStreamCompact:
            seed=st.integers(0, 2**16))
     def test_property_matches_reference(self, n, fraction, seed):
         a = compaction_array(n, fraction, seed=seed)
-        r = ds_stream_compact(a, 0.0, wg_size=32, coarsening=2, seed=seed)
+        r = ds_stream_compact(a, 0.0,
+                              config=DSConfig(wg_size=32, coarsening=2, seed=seed))
         assert np.array_equal(r.output, compact_ref(a, 0.0))
         assert r.extras["n_removed"] == int(round(n * fraction))

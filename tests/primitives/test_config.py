@@ -1,0 +1,187 @@
+"""The unified DSConfig surface: every primitive accepts ``config=``,
+the legacy tuning kwargs warn (once) and produce identical results, and
+explicit config + conflicting legacy values is an error."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG, DSConfig, resolve_config
+from repro.core.predicates import is_even, less_than
+from repro.errors import LaunchError
+from repro.primitives import (
+    ds_compact_records,
+    ds_copy_if,
+    ds_erase_range,
+    ds_insert_gap,
+    ds_pad,
+    ds_pad_to_alignment,
+    ds_partition,
+    ds_ragged_pad,
+    ds_ragged_unpad,
+    ds_remove_if,
+    ds_stream_compact,
+    ds_unique,
+    ds_unique_by_key,
+    ds_unpad,
+)
+
+RNG = np.random.default_rng(7)
+_M = RNG.integers(0, 50, (7, 19)).astype(np.float32)
+_A = RNG.integers(0, 5, 700).astype(np.int64)
+_KEYS = np.sort(RNG.integers(0, 40, 500)).astype(np.int32)
+
+# Every ds_* primitive with a representative invocation and the legacy
+# kwargs its old signature accepted (all of which must now route
+# through DSConfig).
+PRIMITIVES = [
+    ("ds_pad", ds_pad, (_M, 3), {"fill": 0.0},
+     {"wg_size": 32, "coarsening": 2, "race_tracking": True, "seed": 3}),
+    ("ds_unpad", ds_unpad, (_M, 4), {},
+     {"wg_size": 32, "coarsening": 2, "race_tracking": True, "seed": 3}),
+    ("ds_remove_if", ds_remove_if, (_A, is_even()), {},
+     {"wg_size": 32, "coarsening": 2, "reduction_variant": "tree",
+      "scan_variant": "tree", "race_tracking": True, "seed": 3}),
+    ("ds_copy_if", ds_copy_if, (_A, is_even()), {},
+     {"wg_size": 32, "coarsening": 2, "seed": 3}),
+    ("ds_stream_compact", ds_stream_compact, (_A, 0), {},
+     {"wg_size": 32, "coarsening": 2, "race_tracking": True, "seed": 3}),
+    ("ds_unique", ds_unique, (_A,), {},
+     {"wg_size": 32, "coarsening": 2, "seed": 3}),
+    ("ds_partition", ds_partition, (_A, is_even()), {"in_place": True},
+     {"wg_size": 32, "coarsening": 2, "seed": 3}),
+    ("ds_insert_gap", ds_insert_gap, (_A, 100, 30), {"fill": -1},
+     {"wg_size": 32, "coarsening": 2, "seed": 3}),
+    ("ds_erase_range", ds_erase_range, (_A, 100, 30), {},
+     {"wg_size": 32, "coarsening": 2, "seed": 3}),
+    ("ds_pad_to_alignment", ds_pad_to_alignment, (_M, 128), {"fill": 0.0},
+     {"wg_size": 32, "coarsening": 2, "seed": 3}),
+    ("ds_ragged_pad", ds_ragged_pad,
+     (RNG.integers(0, 9, 60).astype(np.float32),
+      np.array([10, 0, 25, 5, 20])), {"fill": 0.0},
+     {"wg_size": 32, "coarsening": 2, "seed": 3}),
+    ("ds_ragged_unpad", ds_ragged_unpad,
+     (RNG.integers(0, 9, (5, 16)).astype(np.float32),
+      np.array([10, 0, 12, 5, 16])), {},
+     {"wg_size": 32, "coarsening": 2, "seed": 3}),
+    ("ds_unique_by_key", ds_unique_by_key,
+     (_KEYS, RNG.random(500).astype(np.float32)), {},
+     {"wg_size": 32, "coarsening": 2, "race_tracking": True, "seed": 3}),
+    ("ds_compact_records", ds_compact_records,
+     (_A, {"x": RNG.random(700).astype(np.float32)}, less_than(3)), {},
+     {"wg_size": 32, "coarsening": 2, "race_tracking": True, "seed": 3}),
+]
+IDS = [p[0] for p in PRIMITIVES]
+
+
+def _assert_same_result(ra, rb):
+    assert np.array_equal(np.asarray(ra.output), np.asarray(rb.output))
+    assert len(ra.counters) == len(rb.counters)
+    for ca, cb in zip(ra.counters, rb.counters):
+        assert ca == cb  # full counter equality, spins and steps included
+
+
+class TestEveryPrimitive:
+    @pytest.mark.parametrize("name,fn,args,kwargs,legacy", PRIMITIVES, ids=IDS)
+    def test_accepts_config(self, name, fn, args, kwargs, legacy):
+        cfg = DSConfig(**legacy)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            r = fn(*args, config=cfg, **kwargs)
+        assert r.output is not None
+
+    @pytest.mark.parametrize("name,fn,args,kwargs,legacy", PRIMITIVES, ids=IDS)
+    def test_legacy_kwargs_warn_once_and_match(self, name, fn, args, kwargs,
+                                               legacy):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            r_legacy = fn(*args, **legacy, **kwargs)
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1, f"{name}: expected exactly one warning"
+        message = str(dep[0].message)
+        assert name in message and "config=DSConfig" in message
+        for kw in legacy:
+            assert kw in message
+
+        r_config = fn(*args, config=DSConfig(**legacy), **kwargs)
+        _assert_same_result(r_legacy, r_config)
+
+    @pytest.mark.parametrize("name,fn,args,kwargs,legacy", PRIMITIVES, ids=IDS)
+    def test_conflicting_legacy_value_raises(self, name, fn, args, kwargs,
+                                             legacy):
+        cfg = DSConfig(**legacy)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(LaunchError, match="conflict"):
+                fn(*args, config=cfg, wg_size=cfg.wg_size * 2, **kwargs)
+
+    @pytest.mark.parametrize("name,fn,args,kwargs,legacy", PRIMITIVES, ids=IDS)
+    def test_agreeing_legacy_value_passes(self, name, fn, args, kwargs,
+                                          legacy):
+        cfg = DSConfig(**legacy)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            r = fn(*args, config=cfg, wg_size=cfg.wg_size, **kwargs)
+        assert r.output is not None
+
+
+class TestDSConfig:
+    def test_defaults(self):
+        cfg = DSConfig()
+        assert cfg.wg_size == 256
+        assert cfg.coarsening is None
+        assert cfg.reduction_variant == "tree"
+        assert cfg.scan_variant == "tree"
+        assert cfg.race_tracking is False
+        assert cfg.backend is None
+        assert cfg.seed == 0
+        assert cfg == DEFAULT_CONFIG
+
+    def test_frozen_and_hashable(self):
+        cfg = DSConfig(wg_size=64)
+        with pytest.raises(AttributeError):
+            cfg.wg_size = 128
+        assert len({cfg, DSConfig(wg_size=64), DSConfig()}) == 2
+
+    def test_backend_shorthand_normalized(self):
+        assert DSConfig(backend="vec") == DSConfig(backend="vectorized")
+        assert DSConfig(backend="sim").backend == "simulated"
+
+    def test_validation(self):
+        with pytest.raises(LaunchError):
+            DSConfig(wg_size=0)
+        with pytest.raises(LaunchError):
+            DSConfig(coarsening=-1)
+        with pytest.raises(LaunchError):
+            DSConfig(backend="warp")
+
+    def test_replace(self):
+        cfg = DSConfig(wg_size=64).replace(coarsening=3)
+        assert (cfg.wg_size, cfg.coarsening) == (64, 3)
+
+    def test_from_env(self):
+        env = {"REPRO_WG_SIZE": "128", "REPRO_COARSENING": "4",
+               "REPRO_REDUCTION_VARIANT": "shuffle",
+               "REPRO_SCAN_VARIANT": "ballot",
+               "REPRO_RACE_TRACKING": "1", "REPRO_BACKEND": "vec",
+               "REPRO_SEED": "17"}
+        cfg = DSConfig.from_env(env)
+        assert cfg == DSConfig(wg_size=128, coarsening=4,
+                               reduction_variant="shuffle",
+                               scan_variant="ballot", race_tracking=True,
+                               backend="vectorized", seed=17)
+
+    def test_from_env_empty(self):
+        assert DSConfig.from_env({}) == DSConfig()
+
+    def test_resolve_config_rejects_unknown_kwarg(self):
+        with pytest.raises(LaunchError):
+            resolve_config("ds_x", None, warp_size=32)
+
+    def test_resolve_config_no_legacy_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_config("ds_x", None) is DEFAULT_CONFIG
+            cfg = DSConfig(wg_size=32)
+            assert resolve_config("ds_x", cfg) is cfg

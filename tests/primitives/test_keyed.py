@@ -9,6 +9,7 @@ from repro.core import less_than
 from repro.errors import LaunchError
 from repro.primitives import ds_compact_records, ds_unique_by_key
 from repro.reference import unique_by_key_ref
+from repro.config import DSConfig
 
 
 def make_runs(rng, n):
@@ -20,7 +21,8 @@ class TestUniqueByKey:
     def test_matches_reference(self, rng):
         keys = make_runs(rng, 1500)
         values = np.arange(1500, dtype=np.float32)
-        r = ds_unique_by_key(keys, values, wg_size=64, coarsening=2)
+        r = ds_unique_by_key(keys, values,
+                             config=DSConfig(wg_size=64, coarsening=2))
         exp_k, exp_v = unique_by_key_ref(keys, values)
         assert r.extras["n_kept"] == exp_k.size
         assert np.array_equal(r.extras["keys"], exp_k)
@@ -29,19 +31,20 @@ class TestUniqueByKey:
     def test_values_follow_their_keys(self, rng):
         keys = np.asarray([7, 7, 7, 3, 3, 9], dtype=np.float32)
         values = np.asarray([10, 11, 12, 20, 21, 30], dtype=np.float32)
-        r = ds_unique_by_key(keys, values, wg_size=32)
+        r = ds_unique_by_key(keys, values, config=DSConfig(wg_size=32))
         assert np.array_equal(r.extras["keys"], [7, 3, 9])
         assert np.array_equal(r.extras["values"], [10, 20, 30])
 
     def test_single_launch_in_place(self, rng):
         keys = make_runs(rng, 600)
-        r = ds_unique_by_key(keys, keys.copy(), wg_size=32)
+        r = ds_unique_by_key(keys, keys.copy(), config=DSConfig(wg_size=32))
         assert r.num_launches == 1
         assert r.extras["in_place"] is True
 
     def test_race_tracking_clean(self, rng):
         keys = make_runs(rng, 900)
-        ds_unique_by_key(keys, keys * 2, wg_size=32, race_tracking=True)
+        ds_unique_by_key(keys, keys * 2,
+                         config=DSConfig(wg_size=32, race_tracking=True))
 
     def test_rejects_length_mismatch(self):
         with pytest.raises(LaunchError):
@@ -54,7 +57,8 @@ class TestUniqueByKey:
         rng = np.random.default_rng(seed)
         keys = make_runs(rng, n)
         values = rng.random(n).astype(np.float32)
-        r = ds_unique_by_key(keys, values, wg_size=32, coarsening=2, seed=seed)
+        r = ds_unique_by_key(keys, values,
+                             config=DSConfig(wg_size=32, coarsening=2, seed=seed))
         exp_k, exp_v = unique_by_key_ref(keys, values)
         assert np.array_equal(r.extras["keys"], exp_k)
         assert np.array_equal(r.extras["values"], exp_v)
@@ -67,7 +71,8 @@ class TestCompactRecords:
         qty = rng.integers(1, 9, n).astype(np.float32)
         price = rng.random(n).astype(np.float32)
         r = ds_compact_records(key, {"qty": qty, "price": price},
-                               less_than(40), wg_size=64, coarsening=2)
+                               less_than(40),
+                               config=DSConfig(wg_size=64, coarsening=2))
         mask = key < 40
         assert r.extras["n_kept"] == int(mask.sum())
         assert np.array_equal(r.output, key[mask])
@@ -78,7 +83,8 @@ class TestCompactRecords:
         n = 700
         key = rng.integers(0, 50, n).astype(np.float32)
         ids = np.arange(n, dtype=np.int64)
-        r = ds_compact_records(key, {"id": ids}, less_than(25), wg_size=32)
+        r = ds_compact_records(key, {"id": ids}, less_than(25),
+                               config=DSConfig(wg_size=32))
         mask = key < 25
         assert np.array_equal(r.extras["columns"]["id"], ids[mask])
         assert r.extras["columns"]["id"].dtype == np.int64
@@ -88,7 +94,8 @@ class TestCompactRecords:
         key = rng.integers(0, 10, n).astype(np.float32)
         columns = {f"c{i}": rng.random(n).astype(np.float32)
                    for i in range(5)}
-        r = ds_compact_records(key, columns, less_than(5), wg_size=32)
+        r = ds_compact_records(key, columns, less_than(5),
+                               config=DSConfig(wg_size=32))
         assert r.num_launches == 1
         assert len(r.extras["columns"]) == 5
 
@@ -100,7 +107,8 @@ class TestCompactRecords:
 
     def test_no_columns_degenerates_to_remove_if(self, rng):
         key = rng.integers(0, 10, 400).astype(np.float32)
-        r = ds_compact_records(key, {}, less_than(5), wg_size=32)
+        r = ds_compact_records(key, {}, less_than(5),
+                               config=DSConfig(wg_size=32))
         assert np.array_equal(r.output, key[key < 5])
 
     def test_race_tracking_clean(self, rng):
@@ -108,8 +116,8 @@ class TestCompactRecords:
         key = rng.integers(0, 10, n).astype(np.float32)
         cols = {"a": rng.random(n).astype(np.float32),
                 "b": rng.random(n).astype(np.float32)}
-        ds_compact_records(key, cols, less_than(5), wg_size=32,
-                           race_tracking=True)
+        ds_compact_records(key, cols, less_than(5),
+                           config=DSConfig(wg_size=32, race_tracking=True))
 
     def test_stability_across_columns(self, rng):
         # Strictly increasing payload proves relative order everywhere.
@@ -117,6 +125,6 @@ class TestCompactRecords:
         key = rng.integers(0, 10, n).astype(np.float32)
         order = np.arange(n, dtype=np.float64)
         r = ds_compact_records(key, {"order": order}, less_than(5),
-                               wg_size=32, coarsening=2)
+                               config=DSConfig(wg_size=32, coarsening=2))
         kept_order = r.extras["columns"]["order"]
         assert (np.diff(kept_order) > 0).all()

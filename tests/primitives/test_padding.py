@@ -9,32 +9,34 @@ from repro.errors import LaunchError
 from repro.primitives import ds_pad, ds_unpad
 from repro.reference import pad_ref, unpad_ref
 from repro.simgpu import Stream
+from repro.config import DSConfig
 
 
 class TestDsPad:
     def test_matches_reference(self, rng):
         m = rng.integers(0, 999, (21, 34)).astype(np.float32)
-        r = ds_pad(m, 5, wg_size=64, coarsening=2)
+        r = ds_pad(m, 5, config=DSConfig(wg_size=64, coarsening=2))
         assert np.array_equal(r.output[:, :34], m)
         assert r.output.shape == (21, 39)
 
     def test_fill_value(self, rng):
         m = rng.integers(0, 999, (9, 13)).astype(np.float32)
-        r = ds_pad(m, 3, fill=-7.0, wg_size=32, coarsening=2)
+        r = ds_pad(m, 3, fill=-7.0, config=DSConfig(wg_size=32, coarsening=2))
         assert np.array_equal(r.output, pad_ref(m, 3, fill=-7.0))
 
     def test_single_launch(self, rng, maxwell):
         m = rng.integers(0, 9, (8, 32)).astype(np.float32)
-        r = ds_pad(m, 1, Stream(maxwell), wg_size=32, coarsening=2)
+        r = ds_pad(m, 1, Stream(maxwell),
+                   config=DSConfig(wg_size=32, coarsening=2))
         assert r.num_launches == 1
 
     def test_zero_pad_roundtrips(self, rng):
         m = rng.integers(0, 9, (5, 7)).astype(np.float32)
-        assert np.array_equal(ds_pad(m, 0, wg_size=32).output, m)
+        assert np.array_equal(ds_pad(m, 0, config=DSConfig(wg_size=32)).output, m)
 
     def test_extras(self, rng):
         m = rng.integers(0, 9, (6, 8)).astype(np.float32)
-        r = ds_pad(m, 2, wg_size=32, coarsening=2)
+        r = ds_pad(m, 2, config=DSConfig(wg_size=32, coarsening=2))
         assert r.extras["rows"] == 6 and r.extras["pad"] == 2
         assert r.extras["n_workgroups"] >= 1
 
@@ -44,17 +46,18 @@ class TestDsPad:
 
     def test_dtype_preserved(self, rng):
         m = rng.integers(0, 9, (4, 6)).astype(np.float64)
-        assert ds_pad(m, 1, wg_size=32).output.dtype == np.float64
+        assert ds_pad(m, 1, config=DSConfig(wg_size=32)).output.dtype == np.float64
 
     def test_race_tracking_passes(self, rng):
         m = rng.integers(0, 9, (12, 16)).astype(np.float32)
-        ds_pad(m, 4, wg_size=32, coarsening=2, race_tracking=True)
+        ds_pad(m, 4,
+               config=DSConfig(wg_size=32, coarsening=2, race_tracking=True))
 
 
 class TestDsUnpad:
     def test_matches_reference(self, rng):
         m = rng.integers(0, 999, (18, 27)).astype(np.float32)
-        r = ds_unpad(m, 6, wg_size=64, coarsening=2)
+        r = ds_unpad(m, 6, config=DSConfig(wg_size=64, coarsening=2))
         assert np.array_equal(r.output, unpad_ref(m, 6))
 
     def test_rejects_pad_ge_cols(self, rng):
@@ -64,7 +67,7 @@ class TestDsUnpad:
 
     def test_zero_unpad(self, rng):
         m = rng.integers(0, 9, (5, 7)).astype(np.float32)
-        assert np.array_equal(ds_unpad(m, 0, wg_size=32).output, m)
+        assert np.array_equal(ds_unpad(m, 0, config=DSConfig(wg_size=32)).output, m)
 
 
 class TestRoundTrip:
@@ -74,7 +77,8 @@ class TestRoundTrip:
     def test_pad_then_unpad_is_identity(self, rows, cols, pad, seed):
         rng = np.random.default_rng(seed)
         m = rng.integers(0, 1000, (rows, cols)).astype(np.float32)
-        padded = ds_pad(m, pad, wg_size=32, coarsening=2, seed=seed).output
-        restored = ds_unpad(padded, pad, wg_size=32, coarsening=2,
-                            seed=seed + 1).output
+        padded = ds_pad(m, pad,
+                        config=DSConfig(wg_size=32, coarsening=2, seed=seed)).output
+        restored = ds_unpad(padded, pad,
+                            config=DSConfig(wg_size=32, coarsening=2, seed=seed + 1)).output
         assert np.array_equal(restored, m)

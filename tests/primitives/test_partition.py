@@ -7,52 +7,57 @@ from hypothesis import strategies as st
 from repro.core.predicates import is_even, less_than
 from repro.primitives import ds_partition
 from repro.reference import partition_ref
+from repro.config import DSConfig
 
 
 class TestPartition:
     def test_in_place_matches_reference(self, rng):
         a = rng.integers(0, 100, 3000).astype(np.float32)
-        r = ds_partition(a, is_even(), wg_size=64, coarsening=2)
+        r = ds_partition(a, is_even(),
+                         config=DSConfig(wg_size=64, coarsening=2))
         expected, n_true = partition_ref(a, is_even())
         assert r.extras["n_true"] == n_true
         assert np.array_equal(r.output, expected)
 
     def test_out_of_place_matches_reference(self, rng):
         a = rng.integers(0, 100, 3000).astype(np.float32)
-        r = ds_partition(a, is_even(), in_place=False, wg_size=64)
+        r = ds_partition(a, is_even(), in_place=False,
+                         config=DSConfig(wg_size=64))
         expected, _ = partition_ref(a, is_even())
         assert np.array_equal(r.output, expected)
 
     def test_in_place_needs_copyback_launch(self, rng):
         a = rng.integers(0, 100, 1000).astype(np.float32)
-        r_in = ds_partition(a, is_even(), wg_size=32)
-        r_out = ds_partition(a, is_even(), in_place=False, wg_size=32)
+        r_in = ds_partition(a, is_even(), config=DSConfig(wg_size=32))
+        r_out = ds_partition(a, is_even(), in_place=False,
+                             config=DSConfig(wg_size=32))
         assert r_in.num_launches == 2   # split + false-tail copy-back
         assert r_out.num_launches == 1
 
     def test_all_true_skips_copyback(self):
         a = np.full(1000, 2.0, dtype=np.float32)
-        r = ds_partition(a, is_even(), wg_size=32)
+        r = ds_partition(a, is_even(), config=DSConfig(wg_size=32))
         assert r.num_launches == 1  # no false elements to move
         assert r.extras["n_false"] == 0
 
     def test_all_false(self):
         a = np.full(1000, 3.0, dtype=np.float32)
-        r = ds_partition(a, is_even(), wg_size=32)
+        r = ds_partition(a, is_even(), config=DSConfig(wg_size=32))
         assert r.extras["n_true"] == 0
         assert np.array_equal(r.output, a)
 
     def test_both_halves_are_stable(self, rng):
         # Strictly increasing payloads make order violations visible.
         a = (np.arange(2000) * 10 + rng.integers(0, 2, 2000)).astype(np.float64)
-        r = ds_partition(a, is_even(), wg_size=32, coarsening=2)
+        r = ds_partition(a, is_even(),
+                         config=DSConfig(wg_size=32, coarsening=2))
         n_true = r.extras["n_true"]
         assert (np.diff(r.output[:n_true]) > 0).all()
         assert (np.diff(r.output[n_true:]) > 0).all()
 
     def test_figure18_shape(self):
         a = np.asarray([5, 2, 8, 1, 4, 7, 6, 3], dtype=np.float32)
-        r = ds_partition(a, is_even(), wg_size=32)
+        r = ds_partition(a, is_even(), config=DSConfig(wg_size=32))
         assert np.array_equal(r.output, [2, 8, 4, 6, 5, 1, 7, 3])
 
     @settings(max_examples=20, deadline=None)
@@ -62,8 +67,8 @@ class TestPartition:
         rng = np.random.default_rng(seed)
         a = rng.integers(0, 100, n).astype(np.float32)
         pred = less_than(np.float32(threshold))
-        r = ds_partition(a, pred, in_place=in_place, wg_size=32,
-                         coarsening=2, seed=seed)
+        r = ds_partition(a, pred, in_place=in_place,
+                         config=DSConfig(wg_size=32, coarsening=2, seed=seed))
         expected, n_true = partition_ref(a, pred)
         assert r.extras["n_true"] == n_true
         assert np.array_equal(r.output, expected)

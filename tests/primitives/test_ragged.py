@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.errors import LaunchError
 from repro.primitives import ds_ragged_pad, ds_ragged_unpad
+from repro.config import DSConfig
 
 
 def make_ragged(rng, n_rows, max_width):
@@ -20,7 +21,8 @@ def make_ragged(rng, n_rows, max_width):
 class TestRaggedPad:
     def test_rows_land_at_uniform_stride(self, rng):
         packed, widths = make_ragged(rng, 40, 25)
-        r = ds_ragged_pad(packed, widths, fill=0.0, wg_size=64)
+        r = ds_ragged_pad(packed, widths, fill=0.0,
+                          config=DSConfig(wg_size=64))
         m = r.output
         prefix = np.concatenate(([0], np.cumsum(widths)))
         for i, w in enumerate(widths):
@@ -29,7 +31,8 @@ class TestRaggedPad:
 
     def test_explicit_stride(self, rng):
         packed, widths = make_ragged(rng, 10, 8)
-        r = ds_ragged_pad(packed, widths, stride=32, wg_size=32)
+        r = ds_ragged_pad(packed, widths, stride=32,
+                          config=DSConfig(wg_size=32))
         assert r.output.shape == (10, 32)
 
     def test_uniform_widths_reduce_to_matrix_padding(self, rng):
@@ -38,15 +41,16 @@ class TestRaggedPad:
         widths = np.full(12, 7)
         packed = rng.integers(0, 99, 84).astype(np.float32)
         ragged = ds_ragged_pad(packed, widths, stride=10, fill=0.0,
-                               wg_size=32).output
+                               config=DSConfig(wg_size=32)).output
         matrix = ds_pad(packed.reshape(12, 7), 3, fill=0.0,
-                        wg_size=32).output
+                        config=DSConfig(wg_size=32)).output
         assert np.array_equal(ragged, matrix)
 
     def test_empty_rows_allowed(self, rng):
         widths = np.asarray([3, 0, 0, 2, 0, 4])
         packed = np.arange(9, dtype=np.float32)
-        m = ds_ragged_pad(packed, widths, fill=-1.0, wg_size=32).output
+        m = ds_ragged_pad(packed, widths, fill=-1.0,
+                          config=DSConfig(wg_size=32)).output
         assert np.array_equal(m[0, :3], [0, 1, 2])
         assert (m[1] == -1.0).all() and (m[2] == -1.0).all()
         assert np.array_equal(m[3, :2], [3, 4])
@@ -54,7 +58,7 @@ class TestRaggedPad:
 
     def test_single_launch_in_place(self, rng):
         packed, widths = make_ragged(rng, 20, 10)
-        assert ds_ragged_pad(packed, widths, wg_size=32).num_launches == 1
+        assert ds_ragged_pad(packed, widths, config=DSConfig(wg_size=32)).num_launches == 1
 
     def test_rejects_inconsistent_widths(self):
         with pytest.raises(LaunchError, match="sum"):
@@ -66,14 +70,15 @@ class TestRaggedPad:
 
     def test_race_tracking_clean(self, rng):
         packed, widths = make_ragged(rng, 30, 20)
-        ds_ragged_pad(packed, widths, wg_size=32, race_tracking=True)
+        ds_ragged_pad(packed, widths,
+                      config=DSConfig(wg_size=32, race_tracking=True))
 
 
 class TestRaggedUnpad:
     def test_packs_rows_back(self, rng):
         widths = np.asarray([4, 1, 0, 3])
         m = rng.integers(0, 99, (4, 6)).astype(np.float32)
-        out = ds_ragged_unpad(m, widths, wg_size=32).output
+        out = ds_ragged_unpad(m, widths, config=DSConfig(wg_size=32)).output
         expected = np.concatenate([m[i, :w] for i, w in enumerate(widths)])
         assert np.array_equal(out, expected)
 
@@ -94,9 +99,8 @@ class TestRoundTrip:
     def test_pad_then_unpad_is_identity(self, n_rows, max_width, seed):
         rng = np.random.default_rng(seed)
         packed, widths = make_ragged(rng, n_rows, max_width)
-        padded = ds_ragged_pad(packed, widths, wg_size=32, coarsening=2,
-                               seed=seed, race_tracking=True)
-        back = ds_ragged_unpad(padded.output, widths, wg_size=32,
-                               coarsening=2, seed=seed + 1,
-                               race_tracking=True)
+        padded = ds_ragged_pad(packed, widths,
+                               config=DSConfig(wg_size=32, coarsening=2, seed=seed, race_tracking=True))
+        back = ds_ragged_unpad(padded.output, widths,
+                               config=DSConfig(wg_size=32, coarsening=2, seed=seed + 1, race_tracking=True))
         assert np.array_equal(back.output, packed)

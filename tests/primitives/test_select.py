@@ -7,61 +7,66 @@ from hypothesis import strategies as st
 from repro.core.predicates import is_even, less_than
 from repro.primitives import ds_copy_if, ds_remove_if
 from repro.reference import copy_if_ref, remove_if_ref
+from repro.config import DSConfig
 
 
 class TestRemoveIf:
     def test_matches_reference(self, rng):
         a = rng.integers(0, 50, 3000).astype(np.float32)
-        r = ds_remove_if(a, is_even(), wg_size=64, coarsening=2)
+        r = ds_remove_if(a, is_even(),
+                         config=DSConfig(wg_size=64, coarsening=2))
         assert np.array_equal(r.output, remove_if_ref(a, is_even()))
 
     def test_counts(self, rng):
         a = rng.integers(0, 50, 2000).astype(np.float32)
-        r = ds_remove_if(a, is_even(), wg_size=64)
+        r = ds_remove_if(a, is_even(), config=DSConfig(wg_size=64))
         assert r.extras["n_kept"] + r.extras["n_removed"] == 2000
         assert r.extras["n_kept"] == r.output.size
         assert r.extras["in_place"] is True
 
     def test_single_launch(self, rng):
         a = rng.integers(0, 50, 1000).astype(np.float32)
-        assert ds_remove_if(a, is_even(), wg_size=32).num_launches == 1
+        assert ds_remove_if(a, is_even(), config=DSConfig(wg_size=32)).num_launches == 1
 
     def test_nothing_removed(self):
         a = np.arange(1, 2001, 2, dtype=np.float32)  # all odd
-        r = ds_remove_if(a, is_even(), wg_size=32)
+        r = ds_remove_if(a, is_even(), config=DSConfig(wg_size=32))
         assert np.array_equal(r.output, a)
 
     def test_everything_removed(self):
         a = np.arange(0, 2000, 2, dtype=np.float32)  # all even
-        r = ds_remove_if(a, is_even(), wg_size=32)
+        r = ds_remove_if(a, is_even(), config=DSConfig(wg_size=32))
         assert r.output.size == 0
 
     def test_optimized_collectives_same_result(self, rng):
         a = rng.integers(0, 50, 2048).astype(np.float32)
-        base = ds_remove_if(a, is_even(), wg_size=64, scan_variant="tree")
-        opt = ds_remove_if(a, is_even(), wg_size=64, scan_variant="shuffle",
-                           reduction_variant="shuffle")
+        base = ds_remove_if(a, is_even(),
+                            config=DSConfig(wg_size=64, scan_variant="tree"))
+        opt = ds_remove_if(a, is_even(),
+                           config=DSConfig(wg_size=64, scan_variant="shuffle", reduction_variant="shuffle"))
         assert np.array_equal(base.output, opt.output)
 
     def test_race_tracking_passes(self, rng):
         a = rng.integers(0, 50, 2000).astype(np.float32)
-        ds_remove_if(a, is_even(), wg_size=32, race_tracking=True)
+        ds_remove_if(a, is_even(),
+                     config=DSConfig(wg_size=32, race_tracking=True))
 
 
 class TestCopyIf:
     def test_matches_reference(self, rng):
         a = rng.integers(0, 50, 3000).astype(np.float32)
-        r = ds_copy_if(a, less_than(25), wg_size=64, coarsening=3)
+        r = ds_copy_if(a, less_than(25),
+                       config=DSConfig(wg_size=64, coarsening=3))
         assert np.array_equal(r.output, copy_if_ref(a, less_than(25)))
 
     def test_out_of_place_flag(self, rng):
         a = rng.integers(0, 50, 500).astype(np.float32)
-        assert ds_copy_if(a, is_even(), wg_size=32).extras["in_place"] is False
+        assert ds_copy_if(a, is_even(), config=DSConfig(wg_size=32)).extras["in_place"] is False
 
     def test_complementarity_with_remove_if(self, rng):
         a = rng.integers(0, 50, 2000).astype(np.float32)
-        kept = ds_remove_if(a, is_even(), wg_size=32).output
-        copied = ds_copy_if(a, is_even(), wg_size=32).output
+        kept = ds_remove_if(a, is_even(), config=DSConfig(wg_size=32)).output
+        copied = ds_copy_if(a, is_even(), config=DSConfig(wg_size=32)).output
         assert kept.size + copied.size == a.size
         # Together they form a stable partition of the input.
         merged = np.concatenate([copied, kept])
@@ -76,9 +81,9 @@ class TestPropertyBased:
         rng = np.random.default_rng(seed)
         a = rng.integers(0, 50, n).astype(np.float32)
         pred = less_than(np.float32(threshold))
-        removed = ds_remove_if(a, pred, wg_size=32, coarsening=2,
-                               seed=seed).output
-        copied = ds_copy_if(a, pred, wg_size=32, coarsening=2,
-                            seed=seed).output
+        removed = ds_remove_if(a, pred,
+                               config=DSConfig(wg_size=32, coarsening=2, seed=seed)).output
+        copied = ds_copy_if(a, pred,
+                            config=DSConfig(wg_size=32, coarsening=2, seed=seed)).output
         assert np.array_equal(removed, remove_if_ref(a, pred))
         assert np.array_equal(copied, copy_if_ref(a, pred))

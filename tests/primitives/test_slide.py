@@ -8,39 +8,42 @@ from hypothesis import strategies as st
 from repro.errors import LaunchError
 from repro.primitives import ds_erase_range, ds_insert_gap
 from repro.reference import erase_range_ref, insert_gap_ref
+from repro.config import DSConfig
 
 
 class TestInsertGap:
     def test_matches_reference(self, rng):
         a = rng.integers(0, 99, 900).astype(np.float32)
-        r = ds_insert_gap(a, 250, 40, fill=-1.0, wg_size=64, coarsening=2)
+        r = ds_insert_gap(a, 250, 40, fill=-1.0,
+                          config=DSConfig(wg_size=64, coarsening=2))
         assert np.array_equal(r.output, insert_gap_ref(a, 250, 40, fill=-1.0))
 
     def test_gap_at_front_is_a_pure_shift(self, rng):
         a = rng.integers(0, 99, 500).astype(np.float32)
-        r = ds_insert_gap(a, 0, 30, fill=0.0, wg_size=32)
+        r = ds_insert_gap(a, 0, 30, fill=0.0, config=DSConfig(wg_size=32))
         assert np.array_equal(r.output[30:], a)
         assert (r.output[:30] == 0).all()
 
     def test_gap_at_end_moves_nothing(self, rng):
         a = rng.integers(0, 99, 500).astype(np.float32)
-        r = ds_insert_gap(a, 500, 20, fill=7.0, wg_size=32)
+        r = ds_insert_gap(a, 500, 20, fill=7.0, config=DSConfig(wg_size=32))
         assert np.array_equal(r.output[:500], a)
         assert (r.output[500:] == 7.0).all()
 
     def test_no_fill_leaves_gap_unspecified_but_data_correct(self, rng):
         a = rng.integers(0, 99, 400).astype(np.float32)
-        r = ds_insert_gap(a, 100, 10, wg_size=32)
+        r = ds_insert_gap(a, 100, 10, config=DSConfig(wg_size=32))
         assert np.array_equal(r.output[:100], a[:100])
         assert np.array_equal(r.output[110:], a[100:])
 
     def test_race_tracking_clean(self, rng):
         a = rng.integers(0, 99, 600).astype(np.float32)
-        ds_insert_gap(a, 200, 25, wg_size=32, race_tracking=True)
+        ds_insert_gap(a, 200, 25,
+                      config=DSConfig(wg_size=32, race_tracking=True))
 
     def test_single_launch(self, rng):
         a = rng.integers(0, 99, 300).astype(np.float32)
-        assert ds_insert_gap(a, 50, 10, wg_size=32).num_launches == 1
+        assert ds_insert_gap(a, 50, 10, config=DSConfig(wg_size=32)).num_launches == 1
 
     def test_rejects_bad_position(self, rng):
         a = rng.integers(0, 9, 10).astype(np.float32)
@@ -51,17 +54,18 @@ class TestInsertGap:
 class TestEraseRange:
     def test_matches_reference(self, rng):
         a = rng.integers(0, 99, 900).astype(np.float32)
-        r = ds_erase_range(a, 300, 150, wg_size=64, coarsening=2)
+        r = ds_erase_range(a, 300, 150,
+                           config=DSConfig(wg_size=64, coarsening=2))
         assert np.array_equal(r.output, erase_range_ref(a, 300, 150))
 
     def test_erase_prefix(self, rng):
         a = rng.integers(0, 99, 400).astype(np.float32)
-        r = ds_erase_range(a, 0, 100, wg_size=32)
+        r = ds_erase_range(a, 0, 100, config=DSConfig(wg_size=32))
         assert np.array_equal(r.output, a[100:])
 
     def test_erase_suffix(self, rng):
         a = rng.integers(0, 99, 400).astype(np.float32)
-        r = ds_erase_range(a, 300, 100, wg_size=32)
+        r = ds_erase_range(a, 300, 100, config=DSConfig(wg_size=32))
         assert np.array_equal(r.output, a[:300])
 
     def test_rejects_out_of_bounds_range(self, rng):
@@ -79,8 +83,8 @@ class TestRoundTrip:
         seed = data.draw(st.integers(0, 2**16))
         rng = np.random.default_rng(seed)
         a = rng.integers(0, 999, n).astype(np.float32)
-        widened = ds_insert_gap(a, position, gap, fill=-1.0, wg_size=32,
-                                coarsening=2, seed=seed).output
-        restored = ds_erase_range(widened, position, gap, wg_size=32,
-                                  coarsening=2, seed=seed + 1).output
+        widened = ds_insert_gap(a, position, gap, fill=-1.0,
+                                config=DSConfig(wg_size=32, coarsening=2, seed=seed)).output
+        restored = ds_erase_range(widened, position, gap,
+                                  config=DSConfig(wg_size=32, coarsening=2, seed=seed + 1)).output
         assert np.array_equal(restored, a)

@@ -7,44 +7,46 @@ from hypothesis import strategies as st
 from repro.primitives import ds_unique
 from repro.reference import unique_ref
 from repro.workloads import runs_array
+from repro.config import DSConfig
 
 
 class TestUnique:
     def test_matches_reference(self, rng):
         a = np.repeat(rng.integers(0, 30, 400),
                       rng.integers(1, 8, 400))[:2400].astype(np.float32)
-        r = ds_unique(a, wg_size=64, coarsening=2)
+        r = ds_unique(a, config=DSConfig(wg_size=64, coarsening=2))
         assert np.array_equal(r.output, unique_ref(a))
 
     def test_figure15_example(self):
         # The paper's Figure 15: one representative per run.
         a = np.asarray([1, 1, 2, 3, 3, 3, 1, 5, 5], dtype=np.float32)
-        r = ds_unique(a, wg_size=32)
+        r = ds_unique(a, config=DSConfig(wg_size=32))
         assert np.array_equal(r.output, [1, 2, 3, 1, 5])
 
     def test_is_not_global_dedup(self):
         a = np.asarray([4, 4, 9, 4, 4], dtype=np.float32)
-        r = ds_unique(a, wg_size=32)
+        r = ds_unique(a, config=DSConfig(wg_size=32))
         assert np.array_equal(r.output, [4, 9, 4])  # 4 appears twice
 
     def test_workload_generator_fraction(self):
         a = runs_array(2000, 0.5, seed=3)
-        r = ds_unique(a, wg_size=32)
+        r = ds_unique(a, config=DSConfig(wg_size=32))
         assert r.extras["n_kept"] == 1000
 
     def test_single_element(self):
-        r = ds_unique(np.asarray([42.0], dtype=np.float32), wg_size=32)
+        r = ds_unique(np.asarray([42.0], dtype=np.float32),
+                      config=DSConfig(wg_size=32))
         assert np.array_equal(r.output, [42.0])
 
     def test_single_launch_in_place(self, rng):
         a = rng.integers(0, 5, 500).astype(np.float32)
-        r = ds_unique(a, wg_size=32)
+        r = ds_unique(a, config=DSConfig(wg_size=32))
         assert r.num_launches == 1 and r.extras["in_place"] is True
 
     def test_optimized_collectives_same_result(self, rng):
         a = np.repeat(rng.integers(0, 9, 300), 3)[:800].astype(np.float32)
-        base = ds_unique(a, wg_size=32, scan_variant="tree")
-        opt = ds_unique(a, wg_size=32, scan_variant="ballot")
+        base = ds_unique(a, config=DSConfig(wg_size=32, scan_variant="tree"))
+        opt = ds_unique(a, config=DSConfig(wg_size=32, scan_variant="ballot"))
         assert np.array_equal(base.output, opt.output)
 
     @settings(max_examples=20, deadline=None)
@@ -53,7 +55,7 @@ class TestUnique:
            seed=st.integers(0, 2**16))
     def test_property_matches_reference(self, n, fraction, seed):
         a = runs_array(n, fraction, seed=seed)
-        r = ds_unique(a, wg_size=32, coarsening=2, seed=seed)
+        r = ds_unique(a, config=DSConfig(wg_size=32, coarsening=2, seed=seed))
         expected = unique_ref(a)
         assert r.extras["n_kept"] == expected.size
         assert np.array_equal(r.output, expected)
@@ -63,5 +65,5 @@ class TestUnique:
     def test_property_output_has_no_adjacent_duplicates(self, seed):
         rng = np.random.default_rng(seed)
         a = rng.integers(0, 4, 1500).astype(np.float32)
-        out = ds_unique(a, wg_size=32, seed=seed).output
+        out = ds_unique(a, config=DSConfig(wg_size=32, seed=seed)).output
         assert (np.diff(out) != 0).all()

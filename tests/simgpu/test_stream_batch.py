@@ -1,0 +1,97 @@
+"""Stream batches and events — the substrate under Pipeline.run()."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.config import DSConfig
+from repro.errors import LaunchError
+from repro.primitives import ds_stream_compact, ds_unique
+from repro.primitives.common import resolve_stream
+
+
+def _launch(stream, rng, n=300):
+    a = rng.integers(0, 5, n).astype(np.float32)
+    return ds_stream_compact(a, 0, stream, config=DSConfig(wg_size=32))
+
+
+class TestEvents:
+    def test_record_event_snapshots_position(self, rng):
+        s = resolve_stream("maxwell")
+        e0 = s.record_event("before")
+        _launch(s, rng)
+        e1 = s.record_event("after")
+        assert (e0.index, e1.index) == (0, 1)
+        assert (e0.label, e1.label) == ("before", "after")
+
+    def test_wait_event_records_edge(self, rng):
+        s = resolve_stream("maxwell")
+        _launch(s, rng)
+        e = s.record_event()
+        s.wait_event(e)
+        _launch(s, rng)
+        assert s.dependencies == [(1, 1)]
+
+    def test_wait_event_rejects_foreign_stream(self, rng):
+        s1 = resolve_stream("maxwell")
+        s2 = resolve_stream("maxwell")
+        e = s1.record_event()
+        with pytest.raises(LaunchError, match="different stream"):
+            s2.wait_event(e)
+
+
+class TestBatches:
+    def test_batch_window_counts_launches(self, rng):
+        s = resolve_stream("maxwell")
+        _launch(s, rng)  # before the window
+        with s.batch("window") as record:
+            r = _launch(s, rng)
+            ds_unique(r.output, s, config=DSConfig(wg_size=32))
+        assert (record.start, record.end) == (1, 3)
+        assert record.num_launches == 2
+        assert s.batches == [record]
+
+    def test_events_inside_batch_are_collected(self, rng):
+        s = resolve_stream("maxwell")
+        with s.batch() as record:
+            _launch(s, rng)
+            s.record_event("mid")
+        assert [e.label for e in record.events] == ["mid"]
+        outside = s.record_event("outside")
+        assert outside not in record.events
+
+    def test_batches_do_not_nest(self):
+        s = resolve_stream("maxwell")
+        with s.batch():
+            with pytest.raises(LaunchError, match="nest"):
+                with s.batch():
+                    pass
+
+    def test_batch_closes_on_error(self, rng):
+        s = resolve_stream("maxwell")
+        with pytest.raises(RuntimeError):
+            with s.batch() as record:
+                _launch(s, rng)
+                raise RuntimeError("boom")
+        assert record.end == 1  # window still closed
+        with s.batch():  # and a new batch opens fine
+            pass
+
+    def test_batch_metrics_when_tracing(self, rng):
+        s = resolve_stream("maxwell")
+        with obs.tracing("spans") as tracer:
+            with s.batch():
+                _launch(s, rng)
+                _launch(s, rng)
+        values = {c.name: c.value for c in tracer.metrics}
+        assert values["stream.batches"] == 1
+        assert values["stream.batch_launches"] == 2
+
+    def test_reset_clears_batches_and_dependencies(self, rng):
+        s = resolve_stream("maxwell")
+        with s.batch():
+            _launch(s, rng)
+            s.wait_event(s.record_event())
+        s.reset()
+        assert s.batches == [] and s.dependencies == []
+        assert s.num_launches == 0
