@@ -29,7 +29,8 @@ calls exactly, which the parity tests assert.
 from __future__ import annotations
 
 import functools
-from typing import List, Optional, Union
+import inspect
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -100,16 +101,56 @@ class DSFuture:
         return f"DSFuture(#{self.index} {self.op_name}, {state})"
 
 
-def _walk_deps(value, out: set) -> None:
+def _walk_deps(value, out: set, owner: "Pipeline") -> None:
+    """Collect the batch-local dep indices in an argument tree.
+
+    A pending future from *another* pipeline is materialized on the
+    spot (running its owner's outstanding batch): its index numbers
+    that pipeline's batch, not this one, so recording it would alias
+    an unrelated local op and silently order/fuse against the wrong
+    producer.  Once resolved it enters this batch as a plain array.
+    """
     if isinstance(value, DSFuture):
-        if not value.done:
+        if value._pipeline is not owner:
+            value.result()
+        elif not value.done:
             out.add(value.index)
     elif isinstance(value, dict):
         for v in value.values():
-            _walk_deps(v, out)
+            _walk_deps(v, out, owner)
     elif isinstance(value, (list, tuple)):
         for v in value:
-            _walk_deps(v, out)
+            _walk_deps(v, out, owner)
+
+
+@functools.lru_cache(maxsize=None)
+def _data_param_names(runner) -> Tuple[str, ...]:
+    """The runner's leading data-parameter names, in declaration order,
+    stopping at ``stream`` (which the engine supplies itself)."""
+    names = []
+    for p in inspect.signature(runner).parameters.values():
+        if (p.kind not in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+                or p.name == "stream"):
+            break
+        names.append(p.name)
+    return tuple(names)
+
+
+def _normalize_call(desc: OpDescriptor, args: tuple, kwargs: dict):
+    """Shift data parameters passed by keyword into their positional
+    slots, so descriptor lambdas (``params_signature``/``fuse_stage``)
+    that index ``args`` see one canonical shape regardless of how the
+    caller spelled the call (``p.remove_if(x, predicate=...)``)."""
+    names = _data_param_names(desc.runner)
+    if not any(name in kwargs for name in names[len(args):]):
+        return args, kwargs
+    args = list(args)
+    kwargs = dict(kwargs)
+    for name in names[len(args):]:
+        if name not in kwargs:
+            break  # a hole: the rest stay keyword-passed
+        args.append(kwargs.pop(name))
+    return tuple(args), kwargs
 
 
 def _materialize(value):
@@ -183,9 +224,10 @@ class Pipeline:
         """Queue one op (by registry name or descriptor); returns its
         future.  Nothing executes until :meth:`run`."""
         desc = get_op(op) if isinstance(op, str) else op
+        args, kwargs = _normalize_call(desc, args, kwargs)
         deps: set = set()
-        _walk_deps(args, deps)
-        _walk_deps(kwargs, deps)
+        _walk_deps(args, deps, self)
+        _walk_deps(kwargs, deps, self)
         index = len(self._futures)
         future = DSFuture(self, index, desc.name)
         call = OpCall(
@@ -291,24 +333,30 @@ class Pipeline:
         # Intermediate futures: their arrays were never materialized on
         # the device — the fused launch skipped them — so they resolve
         # to the reference-computed prefix with no launch records.
+        # n_removed stays relative to each op's *own* input (the
+        # previous stage's survivor count), matching the sequential
+        # calls the fusion replaces.
+        prev_kept = int(values.size)
         for call, mask in zip(calls[:-1], masks[:-1]):
             kept = values[mask]
+            n_kept = int(kept.size)
             futures[call.index]._resolve(PrimitiveResult(
                 output=kept,
                 counters=[],
                 device=self.stream.device,
-                extras={"n_kept": int(kept.size),
-                        "n_removed": int(values.size - kept.size),
+                extras={"n_kept": n_kept,
+                        "n_removed": prev_kept - n_kept,
                         "in_place": True, "fused": True,
                         "fused_into": calls[-1].desc.name},
             ))
+            prev_kept = n_kept
         last = calls[-1]
         futures[last.index]._resolve(PrimitiveResult(
             output=buf.data[: fused.n_true].copy(),
             counters=[fused.counters],
             device=self.stream.device,
             extras={"n_kept": fused.n_true,
-                    "n_removed": fused.n_false,
+                    "n_removed": prev_kept - fused.n_true,
                     "in_place": True, "fused": True,
                     "fused_stages": labels,
                     "coarsening": fused.geometry.coarsening,

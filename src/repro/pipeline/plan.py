@@ -116,8 +116,18 @@ def _value_signature(value) -> object:
     if isinstance(value, dict):
         return ("dict",) + tuple(
             (k, _value_signature(v)) for k, v in sorted(value.items()))
-    if isinstance(value, (list, tuple, np.ndarray)):
+    if isinstance(value, np.ndarray):
         return ("array",) + array_signature(value)
+    if isinstance(value, (list, tuple)):
+        # Containers can nest futures (mirroring _walk_deps /
+        # _materialize); collapsing those to an array signature would
+        # erase the dependency edge from the cache key and let batches
+        # with different dataflow share one plan.  Only a homogeneous
+        # numeric sequence signatures as an array.
+        if all(isinstance(v, (int, float, bool, complex, np.generic))
+               for v in value):
+            return ("array",) + array_signature(value)
+        return ("seq",) + tuple(_value_signature(v) for v in value)
     if isinstance(value, (int, float, bool, str, bytes, type(None))):
         return value
     return ("opaque", type(value).__name__)

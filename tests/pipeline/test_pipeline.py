@@ -16,7 +16,12 @@ from repro import DSConfig, Pipeline
 from repro.core.predicates import is_even, less_than
 from repro.errors import LaunchError
 from repro.pipeline import PlanCache
-from repro.primitives import ds_partition, ds_stream_compact, ds_unique
+from repro.primitives import (
+    ds_partition,
+    ds_remove_if,
+    ds_stream_compact,
+    ds_unique,
+)
 from repro.primitives.common import resolve_stream
 from repro.reference import compact_ref, unique_ref
 
@@ -82,6 +87,80 @@ class TestFutures:
             warnings.simplefilter("ignore", DeprecationWarning)
             with pytest.raises(LaunchError, match="conflict"):
                 Pipeline(config=DSConfig(wg_size=64), wg_size=32)
+
+
+class TestForeignFutures:
+    """A future from another pipeline is materialized at enqueue time —
+    its batch-local index means nothing in the consuming batch, so it
+    must never be recorded as a local dependency edge."""
+
+    def test_colliding_foreign_index_is_not_aliased(self, rng):
+        a = np.array([0, 1, 1, 2, 2, 3], dtype=np.int64)
+        b = rng.integers(4, 9, 300).astype(np.int64)
+        p1 = Pipeline(config=_cfg("simulated"))
+        f1 = p1.compact(a.copy(), 0)  # index 0 of p1's batch
+        p2 = Pipeline(config=_cfg("simulated"))
+        g0 = p2.compact(b.copy(), 0)  # index 0 of p2's batch: collides
+        g1 = p2.unique(f1)
+        p2.run()
+        assert np.array_equal(g1.output, unique_ref(compact_ref(a, 0)))
+        assert np.array_equal(g0.output, compact_ref(b, 0))
+
+    def test_out_of_range_foreign_index(self, rng):
+        """A foreign index past the consuming batch's op count used to
+        KeyError inside planning."""
+        a = rng.integers(0, 5, 200).astype(np.int64)
+        p1 = Pipeline(config=_cfg("simulated"))
+        p1.compact(rng.integers(0, 5, 100).astype(np.int64), 0)
+        f1 = p1.compact(a.copy(), 0)  # index 1 of p1's batch
+        p2 = Pipeline(config=_cfg("simulated"))
+        g = p2.unique(f1)  # p2's batch only has index 0
+        assert np.array_equal(g.output, unique_ref(compact_ref(a, 0)))
+
+    def test_enqueue_runs_the_foreign_batch(self, rng):
+        a = rng.integers(0, 5, 150).astype(np.int64)
+        p1 = Pipeline(config=_cfg("simulated"))
+        f1 = p1.compact(a, 0)
+        p2 = Pipeline(config=_cfg("simulated"))
+        p2.unique(f1)
+        assert f1.done
+        assert p1.num_pending == 0
+
+
+class TestKeywordSpelling:
+    """Data params passed by keyword plan and fuse exactly like the
+    positional spelling (review: ``p.remove_if(x, predicate=...)``
+    crashed plan_key with IndexError)."""
+
+    def test_data_params_by_keyword(self, rng):
+        a = rng.integers(0, 9, 400).astype(np.int64)
+        p = Pipeline(config=_cfg("simulated"))
+        f1 = p.remove_if(a.copy(), predicate=is_even())
+        f2 = p.compact(a.copy(), remove_value=0)
+        p.run()
+        assert np.array_equal(f1.output, a[a % 2 != 0])
+        assert np.array_equal(f2.output, compact_ref(a, 0))
+
+    def test_keyword_spelling_shares_the_plan_entry(self, rng):
+        a = rng.integers(0, 9, 300).astype(np.int64)
+        cache = PlanCache()
+        p = Pipeline(config=_cfg("simulated"), plan_cache=cache)
+        p.remove_if(a.copy(), is_even())
+        p.run()
+        p.remove_if(a.copy(), predicate=is_even())
+        p.run()
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_keyword_args_still_fuse(self, rng):
+        a = rng.integers(0, 9, 500).astype(np.int64)
+        p = Pipeline(config=_cfg("simulated"), fuse=True)
+        f1 = p.compact(a.copy(), remove_value=0)
+        f2 = p.remove_if(f1, predicate=is_even())
+        p.run()
+        assert p.stream.num_launches == 1
+        expected = compact_ref(a, 0)
+        assert np.array_equal(f2.output, expected[expected % 2 != 0])
 
 
 class TestSequentialParity:
@@ -184,6 +263,31 @@ class TestFusedExecution:
         expected = unique_ref(compact_ref(a, 0))
         expected = expected[expected % 2 != 0]
         assert np.array_equal(f3.output, expected)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fused_extras_match_sequential(self, rng, backend):
+        """Each fused op's n_kept/n_removed is measured against its
+        *own* input (the previous stage's survivors), exactly like the
+        sequential calls the fusion replaces."""
+        a = np.repeat(rng.integers(0, 6, 300), rng.integers(1, 4, 300))
+        a = a.astype(np.int64)
+        cfg = _cfg(backend)
+
+        p = Pipeline(config=cfg, fuse=True)
+        f1 = p.compact(a.copy(), 0)
+        f2 = p.unique(f1)
+        f3 = p.remove_if(f2, is_even())
+        p.run()
+        assert p.last_plan.n_fused_groups == 1
+
+        s = resolve_stream(None, seed=cfg.seed)
+        r1 = ds_stream_compact(a.copy(), 0, s, config=cfg)
+        r2 = ds_unique(r1.output, s, config=cfg)
+        r3 = ds_remove_if(r2.output, is_even(), s, config=cfg)
+        for rf, rs in ((f1.result(), r1), (f2.result(), r2),
+                       (f3.result(), r3)):
+            assert rf.extras["n_kept"] == rs.extras["n_kept"]
+            assert rf.extras["n_removed"] == rs.extras["n_removed"]
 
     def test_shared_intermediate_blocks_fusion(self, rng):
         """If something else reads the intermediate, it must really be

@@ -56,6 +56,20 @@ class TestPlanCache:
         p.run()
         assert (cache.misses, cache.hits) == (5, 0)
 
+    def test_future_nested_in_container_keeps_its_dep_edge(self, rng):
+        """A pending future inside a list/tuple must signature as a
+        ``("dep", i)`` edge, not collapse to an object-dtype array —
+        otherwise batches with different dataflow share one key."""
+        from repro.pipeline.plan import _value_signature
+
+        p = Pipeline(config=_cfg())
+        f = p.compact(rng.integers(0, 5, 100).astype(np.int64), 0)
+        sig = _value_signature([f, 3])
+        assert sig == ("seq", ("dep", 0), 3)
+        # A homogeneous numeric sequence still signatures as an array.
+        assert _value_signature([1, 2, 3])[0] == "array"
+        p.run()
+
     def test_op_parameters_change_the_key(self, rng):
         a = rng.integers(0, 5, 400).astype(np.int64)
         cache = PlanCache()
