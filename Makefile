@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-all bench bench-smoke bench-full bench-check \
-        pipeline-smoke trace-smoke figures examples clean
+        pipeline-smoke trace-smoke serve-smoke figures examples clean
 
 install:
 	pip install -e . || \
@@ -33,6 +33,13 @@ pipeline-smoke:  ## fused launch count + plan-cache hit, both backends
 	  --benchmark-only
 	$(PYTHON) -W error::DeprecationWarning -m pytest \
 	  tests/pipeline tests/primitives -q
+
+serve-smoke:     ## serve layer: healthy + fault-injected loadgen, acceptance-checked
+	$(PYTHON) -m repro serve --shape chain --clients 4 --requests 20 --check
+	$(PYTHON) -m repro serve --shape compact --clients 4 --requests 10 \
+	  --fault always --check
+	$(PYTHON) -m pytest benchmarks/bench_serve_load.py --benchmark-only
+	$(PYTHON) -m pytest tests/serve -q
 
 trace-smoke:     ## export + validate a Chrome trace of one experiment
 	$(PYTHON) -m repro trace fig13 -o /tmp/repro_trace_smoke.json --check

@@ -23,6 +23,8 @@ The package layers:
 * :mod:`repro.api` — one-call convenience functions (start here);
 * :mod:`repro.primitives` — the DS primitives with full control;
 * :mod:`repro.pipeline` — batched planning/fused execution;
+* :mod:`repro.serve` — micro-batching request server with admission
+  control, deadlines, retries and graceful degradation;
 * :mod:`repro.core` — the generic Algorithms 1 and 2 + synchronization;
 * :mod:`repro.simgpu` — the functional many-core simulator substrate;
 * :mod:`repro.baselines` — Sung's iterative scheme, Thrust-style
@@ -38,11 +40,15 @@ from repro.config import DEFAULT_CONFIG, DSConfig
 from repro.dispatch import ds
 from repro.errors import (
     DataRaceError,
+    DeadlineExceeded,
     DeadlockError,
     LaunchError,
     ModelError,
+    Overloaded,
     ReproError,
+    RequestCancelled,
     ResourceError,
+    ServeError,
     SimulatorError,
     WorkloadError,
 )
@@ -112,5 +118,9 @@ __all__ = [
     "ResourceError",
     "ModelError",
     "WorkloadError",
+    "ServeError",
+    "Overloaded",
+    "DeadlineExceeded",
+    "RequestCancelled",
     "__version__",
 ]

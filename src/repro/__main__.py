@@ -8,12 +8,15 @@ Usage::
     python -m repro all                  # print everything
     python -m repro devices              # print the device catalog
     python -m repro trace fig13 -o trace.json   # export a Chrome trace
+    python -m repro serve --shape chain --check # serve-layer load run
 
 The same tables are produced (and persisted) by the benchmark harness;
 this entry point is the quick interactive path.  ``trace`` runs one
 experiment's primitive under both execution backends with full tracing
 and writes a Chrome-trace JSON file (open it in ``chrome://tracing`` or
-https://ui.perfetto.dev) — see docs/observability.md.
+https://ui.perfetto.dev) — see docs/observability.md.  ``serve`` drives
+the micro-batching service layer with the closed-loop load generator
+(same flags as ``python -m repro.serve.loadgen``) — see docs/serving.md.
 """
 
 from __future__ import annotations
@@ -89,8 +92,9 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="Regenerate the paper's figures and tables "
         "(In-Place Data Sliding Algorithms, ICPP 2015).  "
-        "Subcommand: trace <experiment> -o trace.json exports a "
-        "Chrome-trace timeline.",
+        "Subcommands: trace <experiment> -o trace.json exports a "
+        "Chrome-trace timeline; serve runs the micro-batching "
+        "service layer under closed-loop load.",
     )
     trace = argparse.ArgumentParser(
         prog="python -m repro trace",
@@ -125,6 +129,10 @@ def main(argv=None) -> int:
     if argv and argv[0] == "trace":
         args = trace.parse_args(argv[1:])
         return _cmd_trace(args)
+    if argv and argv[0] == "serve":
+        from repro.serve import loadgen
+
+        return loadgen.main(argv[1:])
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -138,6 +146,8 @@ def main(argv=None) -> int:
         print("  trace <experiment> -o trace.json   "
               "export a Chrome-trace timeline (see docs/observability.md)")
         print(f"    traceable: {', '.join(sorted(TRACEABLE))}")
+        print("  serve [--shape ... --clients N --fault always --check]   "
+              "drive the micro-batching serve layer (see docs/serving.md)")
         return 0
     if args.experiment == "devices":
         print(_render_devices())

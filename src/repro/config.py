@@ -53,6 +53,41 @@ UNSET = _Unset()
 
 _VARIANT_FIELDS = ("reduction_variant", "scan_variant")
 
+# Kept in sync with repro.collectives (wg_reduce / SCAN_VARIANTS); listed
+# here so from_env can validate without importing the collectives layer.
+_REDUCTION_VARIANTS = ("tree", "shuffle")
+_SCAN_VARIANTS = ("tree", "ballot", "shuffle")
+
+_BOOL_STRINGS = {"1": True, "true": True, "yes": True, "on": True,
+                 "0": False, "false": False, "no": False, "off": False}
+
+
+def _env_int(name: str, raw: str, minimum: Optional[int] = None) -> int:
+    """Parse one integer environment value, naming the variable on error."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name}={raw!r}: expected an integer") from None
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name}={raw!r}: expected an integer >= {minimum}")
+    return value
+
+
+def _env_bool(name: str, raw: str) -> bool:
+    value = _BOOL_STRINGS.get(raw.lower())
+    if value is None:
+        raise ValueError(
+            f"{name}={raw!r}: expected one of "
+            f"{sorted(_BOOL_STRINGS)} (a boolean)")
+    return value
+
+
+def _env_choice(name: str, raw: str, choices: tuple) -> str:
+    if raw not in choices:
+        raise ValueError(f"{name}={raw!r}: expected one of {choices}")
+    return raw
+
 
 @dataclass(frozen=True)
 class DSConfig:
@@ -113,7 +148,10 @@ class DSConfig:
         Recognized (unset variables keep the field default):
         ``REPRO_WG_SIZE``, ``REPRO_COARSENING``,
         ``REPRO_REDUCTION_VARIANT``, ``REPRO_SCAN_VARIANT``,
-        ``REPRO_RACE_TRACKING`` (0/1), ``REPRO_BACKEND``, ``REPRO_SEED``.
+        ``REPRO_RACE_TRACKING`` (0/1/true/false), ``REPRO_BACKEND``,
+        ``REPRO_SEED``.  A malformed value raises :class:`ValueError`
+        naming the offending variable immediately, instead of failing
+        deep inside a later kernel launch.
         """
         env = os.environ if environ is None else environ
 
@@ -123,19 +161,30 @@ class DSConfig:
 
         kwargs = {}
         if _get("REPRO_WG_SIZE"):
-            kwargs["wg_size"] = int(_get("REPRO_WG_SIZE"))
+            kwargs["wg_size"] = _env_int("REPRO_WG_SIZE", _get("REPRO_WG_SIZE"),
+                                         minimum=1)
         if _get("REPRO_COARSENING"):
-            kwargs["coarsening"] = int(_get("REPRO_COARSENING"))
+            kwargs["coarsening"] = _env_int(
+                "REPRO_COARSENING", _get("REPRO_COARSENING"), minimum=1)
         if _get("REPRO_REDUCTION_VARIANT"):
-            kwargs["reduction_variant"] = _get("REPRO_REDUCTION_VARIANT")
+            kwargs["reduction_variant"] = _env_choice(
+                "REPRO_REDUCTION_VARIANT", _get("REPRO_REDUCTION_VARIANT"),
+                _REDUCTION_VARIANTS)
         if _get("REPRO_SCAN_VARIANT"):
-            kwargs["scan_variant"] = _get("REPRO_SCAN_VARIANT")
+            kwargs["scan_variant"] = _env_choice(
+                "REPRO_SCAN_VARIANT", _get("REPRO_SCAN_VARIANT"),
+                _SCAN_VARIANTS)
         if _get("REPRO_RACE_TRACKING"):
-            kwargs["race_tracking"] = bool(int(_get("REPRO_RACE_TRACKING")))
+            kwargs["race_tracking"] = _env_bool(
+                "REPRO_RACE_TRACKING", _get("REPRO_RACE_TRACKING"))
         if _get("REPRO_BACKEND"):
-            kwargs["backend"] = _get("REPRO_BACKEND")
+            raw = _get("REPRO_BACKEND")
+            try:
+                kwargs["backend"] = resolve_backend(raw)
+            except LaunchError as exc:
+                raise ValueError(f"REPRO_BACKEND={raw!r}: {exc}") from None
         if _get("REPRO_SEED"):
-            kwargs["seed"] = int(_get("REPRO_SEED"))
+            kwargs["seed"] = _env_int("REPRO_SEED", _get("REPRO_SEED"))
         return cls(**kwargs)
 
 

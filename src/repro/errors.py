@@ -22,6 +22,11 @@ able to distinguish the interesting sub-cases:
 * :class:`ModelError` — the performance model was queried with an
   unknown device, a negative byte count, or an otherwise meaningless
   configuration.
+* :class:`ServeError` and its typed sub-cases (:class:`Overloaded`,
+  :class:`DeadlineExceeded`, :class:`RequestCancelled`) — failures of
+  the :mod:`repro.serve` micro-batching service layer.  They are typed
+  so callers can implement backpressure (retry-later on
+  ``Overloaded``) without string-matching messages.
 """
 
 from __future__ import annotations
@@ -35,6 +40,10 @@ __all__ = [
     "ResourceError",
     "ModelError",
     "WorkloadError",
+    "ServeError",
+    "Overloaded",
+    "DeadlineExceeded",
+    "RequestCancelled",
 ]
 
 
@@ -95,3 +104,38 @@ class ModelError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator received inconsistent parameters."""
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` layer."""
+
+
+class Overloaded(ServeError):
+    """Admission control shed the request: the server is at capacity.
+
+    Raised by :meth:`repro.serve.Server.submit` instead of letting the
+    queue grow without bound.  Clients should back off and retry.
+
+    Attributes
+    ----------
+    queue_depth / limit:
+        The in-flight request count at rejection time and the
+        configured bound it hit.
+    """
+
+    def __init__(self, message: str, *, queue_depth: int = 0, limit: int = 0):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline expired before a result was produced.
+
+    A request that expires while still queued is *never* executed; its
+    future raises this error instead.
+    """
+
+
+class RequestCancelled(ServeError):
+    """The request was cancelled before it was dispatched to a worker."""

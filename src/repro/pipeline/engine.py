@@ -30,10 +30,13 @@ from __future__ import annotations
 
 import functools
 import inspect
+import threading
+from collections import OrderedDict
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.config import DSConfig, UNSET, resolve_config
 from repro.core.fused import fused_masks, run_fused_irregular
 from repro.errors import LaunchError
@@ -123,17 +126,43 @@ def _walk_deps(value, out: set, owner: "Pipeline") -> None:
             _walk_deps(v, out, owner)
 
 
-@functools.lru_cache(maxsize=None)
+# Signature memoization is bounded (same default as PlanCache): a
+# long-running server enqueueing through many distinct runner objects
+# must not leak, and hit/miss counts surface through repro.obs as
+# pipeline.signature_cache.{hits,misses}.
+_SIGNATURE_CACHE_MAX = 256
+_signature_cache: "OrderedDict[object, Tuple[str, ...]]" = OrderedDict()
+_signature_lock = threading.Lock()
+
+
+def _signature_metric(outcome: str) -> None:
+    tracer = _obs.active()
+    if tracer is not None:
+        tracer.metrics.counter(f"pipeline.signature_cache.{outcome}").inc()
+
+
 def _data_param_names(runner) -> Tuple[str, ...]:
     """The runner's leading data-parameter names, in declaration order,
     stopping at ``stream`` (which the engine supplies itself)."""
+    with _signature_lock:
+        names = _signature_cache.get(runner)
+        if names is not None:
+            _signature_cache.move_to_end(runner)
+            _signature_metric("hits")
+            return names
     names = []
     for p in inspect.signature(runner).parameters.values():
         if (p.kind not in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
                 or p.name == "stream"):
             break
         names.append(p.name)
-    return tuple(names)
+    names = tuple(names)
+    with _signature_lock:
+        _signature_metric("misses")
+        _signature_cache[runner] = names
+        while len(_signature_cache) > _SIGNATURE_CACHE_MAX:
+            _signature_cache.popitem(last=False)
+    return names
 
 
 def _normalize_call(desc: OpDescriptor, args: tuple, kwargs: dict):
@@ -260,6 +289,32 @@ class Pipeline:
 
     # -- execution -----------------------------------------------------
 
+    def _plan_calls(self, calls: List[OpCall]) -> BatchPlan:
+        """Plan ``calls`` through the plan cache (lookup, else plan and
+        store) without executing anything."""
+        backend = self.config.resolved_backend()
+        key = plan_key(calls, device_name=self.stream.device.name,
+                       api=self.stream.api, backend=backend, fuse=self.fuse)
+        plan = self.plan_cache.lookup(key)
+        if plan is None:
+            plan = self.plan_cache.store(key, plan_batch(calls, fuse=self.fuse))
+        return plan
+
+    def plan(self) -> Optional[BatchPlan]:
+        """Plan the pending batch *without executing it*.
+
+        The plan lands in the plan cache under the exact key :meth:`run`
+        would use, so a later identical batch starts with a cache hit —
+        this is how :meth:`repro.serve.Server.prime` pre-warms a serving
+        process.  Pending ops stay enqueued; returns ``None`` when
+        nothing is pending.
+        """
+        if not self._pending:
+            return None
+        plan = self._plan_calls(self._pending)
+        self.last_plan = plan
+        return plan
+
     def run(self) -> List[PrimitiveResult]:
         """Plan and execute every pending op; returns their results in
         enqueue order.  Running an empty pipeline is a no-op."""
@@ -271,12 +326,7 @@ class Pipeline:
         # this list), keeping plan step indices and cache keys
         # batch-relative — a cached plan must apply to a later batch.
         self._futures = []
-        backend = self.config.resolved_backend()
-        key = plan_key(calls, device_name=self.stream.device.name,
-                       api=self.stream.api, backend=backend, fuse=self.fuse)
-        plan = self.plan_cache.lookup(key)
-        if plan is None:
-            plan = self.plan_cache.store(key, plan_batch(calls, fuse=self.fuse))
+        plan = self._plan_calls(calls)
         self.last_plan = plan
         by_index = {c.index: c for c in calls}
         self._batch_count += 1

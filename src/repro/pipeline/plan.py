@@ -32,6 +32,8 @@ data-dependent.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -246,42 +248,61 @@ class PlanCache:
     ``hits``/``misses`` are plain ints for direct assertion; every
     lookup also bumps the ``pipeline.plan_cache.hits`` / ``.misses``
     metrics when a tracer is active.
+
+    The cache is **thread-safe**: serve workers hit one shared cache
+    concurrently, so lookup/store/clear hold an internal lock — LRU
+    recency order and the hit/miss counts stay exact under concurrent
+    access (the hammer test in ``tests/pipeline`` asserts this).
+    Eviction is least-recently-*used*: a lookup refreshes its entry, so
+    a server's steady-state batch shapes survive bursts of one-off
+    batches.
     """
 
     def __init__(self, maxsize: int = 256) -> None:
         self.maxsize = int(maxsize)
-        self._plans: Dict[tuple, BatchPlan] = {}
+        self._plans: "OrderedDict[tuple, BatchPlan]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def lookup(self, key: tuple) -> Optional[BatchPlan]:
-        plan = self._plans.get(key)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
         tracer = _obs.active()
-        if plan is not None:
-            self.hits += 1
-            if tracer is not None:
-                tracer.metrics.counter("pipeline.plan_cache.hits").inc()
-        else:
-            self.misses += 1
-            if tracer is not None:
-                tracer.metrics.counter("pipeline.plan_cache.misses").inc()
+        if tracer is not None:
+            outcome = "hits" if plan is not None else "misses"
+            tracer.metrics.counter(f"pipeline.plan_cache.{outcome}").inc()
         return plan
 
     def store(self, key: tuple, plan: BatchPlan) -> BatchPlan:
-        if len(self._plans) >= self.maxsize:
-            # Drop the oldest entry (insertion order); plans are tiny,
-            # the bound only guards against unbounded unique batches.
-            self._plans.pop(next(iter(self._plans)))
-        self._plans[key] = plan
+        with self._lock:
+            # Plans are tiny; the bound only guards against unbounded
+            # unique batches.  Re-storing a key refreshes its recency.
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
         return plan
 
     def clear(self) -> None:
-        self._plans.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Tuple[int, int]:
+        """A consistent ``(hits, misses)`` snapshot."""
+        with self._lock:
+            return self.hits, self.misses
 
 
 GLOBAL_PLAN_CACHE = PlanCache()

@@ -1,0 +1,72 @@
+"""``repro.serve`` — a micro-batching service layer over the DS
+primitives.
+
+The paper's primitives are throughput devices: one kernel launch over a
+large array amortizes fixed launch cost.  A serving workload inverts
+that — many small independent requests arrive continuously — so this
+package recovers the throughput regime by *micro-batching*: compatible
+requests (same op chain, geometry, dtype, params, config) are grouped
+into one :class:`~repro.pipeline.Pipeline` batch that shares a single
+plan-cache entry and fuses chained ops, then executed on a worker pool
+(one simulated :class:`~repro.simgpu.stream.Stream` per worker).
+
+Around the hot path sits a robustness ring: bounded-queue admission
+control (:class:`~repro.errors.Overloaded` load shedding), per-request
+deadlines with cancellation of not-yet-dispatched work, bounded
+exponential-backoff retries on transient launch errors, and a per-op
+circuit breaker that degrades to the sequential baselines — correct
+answers, slower — until a cooldown probe restores the fast path.
+
+Entry points::
+
+    from repro.serve import Server, ServeConfig
+    with Server(ServeConfig(max_batch_size=8, max_wait_ms=2.0)) as srv:
+        fut = srv.submit("compact", data, 0.0)
+        chained = srv.submit_chain([("compact", 0.0), "unique"], data)
+        print(fut.output, chained.output)
+
+and ``python -m repro serve`` / ``python -m repro.serve.loadgen`` for
+the closed-loop load generator.  See ``docs/serving.md``.
+"""
+
+from repro.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    RequestCancelled,
+    ServeError,
+)
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.config import DEFAULT_SERVE_CONFIG, ServeConfig
+from repro.serve.degrade import SEQUENTIAL_BASELINES, degradable
+from repro.serve.request import ServeFuture, ServeRequest
+from repro.serve.server import Server
+
+_LOADGEN_EXPORTS = ("LoadReport", "run_load", "check_report")
+
+
+def __getattr__(name):
+    # Lazy so `python -m repro.serve.loadgen` doesn't re-import the
+    # module it is executing (runpy's double-import warning).
+    if name in _LOADGEN_EXPORTS:
+        from repro.serve import loadgen
+
+        return getattr(loadgen, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Server",
+    "ServeConfig",
+    "DEFAULT_SERVE_CONFIG",
+    "ServeFuture",
+    "ServeRequest",
+    "CircuitBreaker",
+    "SEQUENTIAL_BASELINES",
+    "degradable",
+    "LoadReport",
+    "run_load",
+    "check_report",
+    "ServeError",
+    "Overloaded",
+    "DeadlineExceeded",
+    "RequestCancelled",
+]

@@ -1,0 +1,147 @@
+"""Per-op circuit breaker: graceful degradation with cooldown re-probe.
+
+Standard three-state breaker, keyed by a request's op chain
+(``("ds_stream_compact", "ds_unique")``):
+
+* **closed** — the fast path (pipeline engine on the configured
+  backend) runs normally; consecutive failures are counted and a
+  success resets the count;
+* **open** — after ``threshold`` consecutive failures the breaker
+  opens: workers skip the fast path entirely and serve the request
+  through the sequential baseline (:mod:`repro.serve.degrade`) —
+  correct, slower, zero launch-failure exposure;
+* **half-open** — once ``cooldown_ms`` has elapsed, exactly one batch
+  is admitted as a probe.  Probe success closes the breaker (the op
+  returns to the fast path); probe failure re-opens it with a fresh
+  cooldown.
+
+All transitions happen under one lock; ``allows`` is the only hot-path
+call and does a dict lookup plus a couple of comparisons.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class _KeyState:
+    __slots__ = ("failures", "opened_at", "probing")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.probing = False
+
+
+class CircuitBreaker:
+    """Track consecutive fast-path failures per op chain.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive failures that open the breaker.
+    cooldown_ms:
+        Open time before one half-open probe is admitted.
+    clock:
+        Injectable monotonic clock (seconds) for deterministic tests.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown_ms: float = 50.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown_ms < 0:
+            raise ValueError(
+                f"cooldown_ms must be >= 0, got {cooldown_ms}")
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_ms) / 1000.0
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._keys: Dict[tuple, _KeyState] = {}
+        self.opened_total = 0
+        self.probes_total = 0
+
+    def _state_locked(self, key: tuple) -> _KeyState:
+        st = self._keys.get(key)
+        if st is None:
+            st = self._keys[key] = _KeyState()
+        return st
+
+    def allows(self, key: tuple) -> bool:
+        """May the fast path run for ``key`` right now?
+
+        While open, returns ``False`` — except one call per cooldown
+        expiry, which claims the half-open probe slot and returns
+        ``True``.  The caller must report the probe's outcome through
+        :meth:`record_success` / :meth:`record_failure`.
+        """
+        with self._lock:
+            st = self._keys.get(key)
+            if st is None or st.opened_at is None:
+                return True
+            if st.probing:
+                return False  # another worker holds the probe slot
+            if self._clock() - st.opened_at >= self.cooldown_s:
+                st.probing = True
+                self.probes_total += 1
+                return True
+            return False
+
+    def record_success(self, key: tuple) -> None:
+        """A fast-path batch (or probe) succeeded: close the breaker."""
+        with self._lock:
+            st = self._state_locked(key)
+            st.failures = 0
+            st.opened_at = None
+            st.probing = False
+
+    def record_failure(self, key: tuple) -> bool:
+        """A fast-path batch failed; returns ``True`` if the breaker is
+        now open (including a failed half-open probe re-opening it)."""
+        with self._lock:
+            st = self._state_locked(key)
+            st.failures += 1
+            if st.probing:
+                # Failed probe: back to open with a fresh cooldown.
+                st.probing = False
+                st.opened_at = self._clock()
+                return True
+            if st.opened_at is None and st.failures >= self.threshold:
+                st.opened_at = self._clock()
+                self.opened_total += 1
+                return True
+            return st.opened_at is not None
+
+    def force_open(self, key: tuple) -> None:
+        """Open the breaker immediately (tests and operator overrides)."""
+        with self._lock:
+            st = self._state_locked(key)
+            st.failures = max(st.failures, self.threshold)
+            st.opened_at = self._clock()
+            st.probing = False
+            self.opened_total += 1
+
+    def state(self, key: tuple) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"`` for ``key``."""
+        with self._lock:
+            st = self._keys.get(key)
+            if st is None or st.opened_at is None:
+                return CLOSED
+            if (st.probing
+                    or self._clock() - st.opened_at >= self.cooldown_s):
+                return HALF_OPEN
+            return OPEN
+
+    def snapshot(self) -> Dict[Tuple[str, ...], str]:
+        """Current state of every key ever seen (for reports/CLI)."""
+        with self._lock:
+            keys = list(self._keys)
+        return {key: self.state(key) for key in keys}

@@ -1,0 +1,131 @@
+"""Sequential baselines the serve layer degrades to.
+
+When an op's circuit breaker is open (repeated fast-path failure), the
+server must still answer correctly — the paper's primitives all have
+well-defined sequential semantics, so every degradable op maps to a
+plain CPU implementation here: the Section IV-A sequential baselines
+(:mod:`repro.baselines.sequential`) where the paper provides one, the
+pure-NumPy reference semantics (:mod:`repro.reference`) otherwise.
+Both produce byte-identical outputs to the fast path (the reference
+functions are the oracle the whole test suite compares against), so a
+degraded response is *correct*, just not accelerator-priced — its
+:class:`~repro.primitives.common.PrimitiveResult` carries no launch
+counters and ``extras["degraded"] = True``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.baselines.sequential import seq_compact, seq_pad, seq_unpad
+from repro.errors import ServeError
+from repro.primitives.common import PrimitiveResult
+from repro.reference import (
+    copy_if_ref,
+    erase_range_ref,
+    insert_gap_ref,
+    partition_ref,
+    remove_if_ref,
+    unique_by_key_ref,
+    unique_ref,
+)
+from repro.serve.request import OpStage
+from repro.simgpu.device import DeviceSpec
+
+__all__ = ["degradable", "run_degraded_stage", "degraded_result",
+           "SEQUENTIAL_BASELINES"]
+
+
+def _pad(values, args, kwargs):
+    return seq_pad(np.asarray(values), args[0],
+                   fill=kwargs.get("fill", 0)).output
+
+
+def _unpad(values, args, kwargs):
+    return seq_unpad(np.asarray(values), args[0]).output
+
+
+def _compact(values, args, kwargs):
+    return seq_compact(np.asarray(values), args[0]).output
+
+
+def _unique(values, args, kwargs):
+    return unique_ref(values)
+
+
+def _remove_if(values, args, kwargs):
+    return remove_if_ref(values, args[0])
+
+
+def _copy_if(values, args, kwargs):
+    return copy_if_ref(values, args[0])
+
+
+def _partition(values, args, kwargs):
+    out, _n_true = partition_ref(values, args[0])
+    return out
+
+
+def _insert_gap(values, args, kwargs):
+    return insert_gap_ref(values, args[0], args[1],
+                          fill=kwargs.get("fill", 0))
+
+
+def _erase_range(values, args, kwargs):
+    return erase_range_ref(values, args[0], args[1])
+
+
+def _unique_by_key(values, args, kwargs):
+    # Match the fast path's envelope: a 2xN float64 stack of the kept
+    # (keys, values) pair.
+    keys, vals = unique_by_key_ref(values, args[0])
+    return np.stack([keys.astype(np.float64), vals.astype(np.float64)])
+
+
+#: op full name -> ``fn(input_array, stage_args, stage_kwargs) -> ndarray``
+SEQUENTIAL_BASELINES: Dict[str, Callable] = {
+    "ds_pad": _pad,
+    "ds_unpad": _unpad,
+    "ds_stream_compact": _compact,
+    "ds_unique": _unique,
+    "ds_remove_if": _remove_if,
+    "ds_copy_if": _copy_if,
+    "ds_partition": _partition,
+    "ds_insert_gap": _insert_gap,
+    "ds_erase_range": _erase_range,
+    "ds_unique_by_key": _unique_by_key,
+}
+
+
+def degradable(op_name: str) -> bool:
+    """Does ``op_name`` have a sequential baseline to degrade to?"""
+    return op_name in SEQUENTIAL_BASELINES
+
+
+def run_degraded_stage(stage: OpStage, values: np.ndarray) -> np.ndarray:
+    """Execute one chain stage through its sequential baseline."""
+    fn = SEQUENTIAL_BASELINES.get(stage.desc.name)
+    if fn is None:
+        raise ServeError(
+            f"op {stage.desc.name!r} has no sequential baseline to "
+            f"degrade to (degradable ops: "
+            f"{', '.join(sorted(SEQUENTIAL_BASELINES))})")
+    return np.asarray(fn(values, stage.args, stage.kwargs))
+
+
+def degraded_result(output: np.ndarray, device: DeviceSpec,
+                    op_names) -> PrimitiveResult:
+    """Wrap a degraded chain's final output in the standard envelope."""
+    output = np.asarray(output)
+    return PrimitiveResult(
+        output=output,
+        counters=[],
+        device=device,
+        extras={
+            "degraded": True,
+            "n_kept": int(output.shape[0]) if output.ndim else int(output.size),
+            "degraded_ops": tuple(op_names),
+        },
+    )

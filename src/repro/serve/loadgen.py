@@ -1,0 +1,424 @@
+"""Closed-loop load generator for :class:`repro.serve.Server`.
+
+``run_load`` spins up *C* client threads, each submitting
+``requests_per_client`` identical requests in a closed loop (submit →
+wait → verify → repeat), so offered concurrency is exactly *C* and the
+batcher sees realistic arrival bursts.  Every response is checked
+against the NumPy reference semantics — a serving layer that batches,
+retries, sheds or degrades is only interesting if it stays *correct*
+under all of that, so correctness is part of the report, not a
+separate test.
+
+Fault injection (``fault="always"`` or a 0..1 rate) raises transient
+:class:`~repro.errors.LaunchError` from the server's fast path, driving
+the retry/breaker/degradation machinery; the acceptance bar is that
+every request still completes with the right bytes.
+
+Run it directly::
+
+    PYTHONPATH=src python -m repro.serve.loadgen --shape chain --clients 4
+
+or through the CLI front end ``python -m repro serve``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import DSConfig
+from repro.core.predicates import less_than
+from repro.errors import DeadlineExceeded, LaunchError, Overloaded, \
+    RequestCancelled, ServeError
+from repro.primitives.common import DEFAULT_DEVICE
+from repro.reference import partition_ref, remove_if_ref, unique_ref
+from repro.serve.config import ServeConfig
+from repro.serve.server import Server
+
+__all__ = ["LoadReport", "ShapeSpec", "SHAPES", "make_shape", "run_load",
+           "check_report", "main"]
+
+
+@dataclass(frozen=True)
+class ShapeSpec:
+    """One traffic shape: an op chain, its fixed input and the expected
+    output (computed once from the reference semantics)."""
+
+    name: str
+    ops: tuple
+    array: np.ndarray
+    expected: np.ndarray
+
+
+def _shape_compact(rng: np.random.Generator, n: int) -> ShapeSpec:
+    x = rng.integers(0, 4, n).astype(np.float64)
+    return ShapeSpec("compact", (("compact", 0.0),), x,
+                     x[x != 0.0].copy())
+
+
+def _shape_unique(rng: np.random.Generator, n: int) -> ShapeSpec:
+    x = np.repeat(rng.integers(0, 50, (n + 3) // 4), 4)[:n].astype(np.float64)
+    return ShapeSpec("unique", ("unique",), x, unique_ref(x))
+
+
+def _shape_remove_if(rng: np.random.Generator, n: int) -> ShapeSpec:
+    x = rng.random(n)
+    pred = less_than(0.5)
+    return ShapeSpec("remove_if", (("remove_if", pred),), x,
+                     remove_if_ref(x, pred))
+
+
+def _shape_partition(rng: np.random.Generator, n: int) -> ShapeSpec:
+    x = rng.random(n)
+    pred = less_than(0.5)
+    out, _ = partition_ref(x, pred)
+    return ShapeSpec("partition", (("partition", pred),), x, out)
+
+
+def _shape_chain(rng: np.random.Generator, n: int) -> ShapeSpec:
+    x = rng.integers(0, 4, n).astype(np.float64)
+    return ShapeSpec("chain", (("compact", 0.0), "unique"), x,
+                     unique_ref(x[x != 0.0]))
+
+
+SHAPES = {
+    "compact": _shape_compact,
+    "unique": _shape_unique,
+    "remove_if": _shape_remove_if,
+    "partition": _shape_partition,
+    "chain": _shape_chain,
+}
+
+
+def make_shape(name: str, n: int, seed: int = 1234) -> ShapeSpec:
+    """Build the named traffic shape over an ``n``-element input."""
+    try:
+        builder = SHAPES[name]
+    except KeyError:
+        raise ServeError(
+            f"unknown load shape {name!r} (choose from "
+            f"{', '.join(sorted(SHAPES))})") from None
+    return builder(np.random.default_rng(seed), n)
+
+
+class _FaultInjector:
+    """Server ``fault_hook``: raise a transient LaunchError always or at
+    a fixed per-batch probability (deterministic given the seed)."""
+
+    def __init__(self, mode, seed: int) -> None:
+        self.mode = mode
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+        self.injected = 0
+
+    def __call__(self, batch) -> None:
+        with self._lock:
+            if self.mode == "always":
+                hit = True
+            else:
+                hit = bool(self._rng.random() < float(self.mode))
+            if hit:
+                self.injected += 1
+        if hit:
+            raise LaunchError(
+                f"injected fault #{self.injected} (loadgen chaos hook)")
+
+
+@dataclass
+class LoadReport:
+    """Everything ``run_load`` measured, ready for the CLI/bench."""
+
+    shape: str
+    clients: int
+    requests: int
+    completed: int = 0
+    wrong: int = 0
+    failed: int = 0
+    expired: int = 0
+    shed_retries: int = 0
+    degraded: int = 0
+    retries: int = 0
+    faults_injected: int = 0
+    wall_s: float = 0.0
+    throughput_rps: float = 0.0
+    latency_p50_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    latency_mean_ms: float = 0.0
+    batches: int = 0
+    batch_size_mean: float = 0.0
+    batch_size_max: float = 0.0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_hit_rate: float = 0.0
+    errors: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        out = dict(self.__dict__)
+        out["errors"] = list(self.errors[:5])
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            f"serve loadgen: shape={self.shape} clients={self.clients} "
+            f"requests={self.requests}",
+            f"  completed {self.completed} ({self.wrong} wrong, "
+            f"{self.failed} failed, {self.expired} expired, "
+            f"{self.shed_retries} shed-then-retried)",
+            f"  throughput {self.throughput_rps:.1f} req/s over "
+            f"{self.wall_s * 1e3:.1f} ms",
+            f"  latency p50 {self.latency_p50_ms:.2f} ms, "
+            f"p99 {self.latency_p99_ms:.2f} ms, "
+            f"mean {self.latency_mean_ms:.2f} ms",
+            f"  batches {self.batches} (mean size "
+            f"{self.batch_size_mean:.2f}, max {self.batch_size_max:.0f})",
+            f"  plan cache {self.plan_hits} hits / {self.plan_misses} "
+            f"misses (hit rate {self.plan_hit_rate * 100:.1f}%)",
+            f"  robustness: {self.retries} retries, {self.degraded} "
+            f"degraded, {self.faults_injected} faults injected",
+        ]
+        if self.errors:
+            lines.append(f"  first errors: {self.errors[:3]}")
+        return "\n".join(lines)
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1,
+              int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def run_load(
+    *,
+    shape: str = "chain",
+    clients: int = 4,
+    requests_per_client: int = 25,
+    n: int = 512,
+    serve_config: Optional[ServeConfig] = None,
+    ds_config: Optional[DSConfig] = None,
+    device=DEFAULT_DEVICE,
+    fault=None,
+    prime: bool = True,
+    deadline_ms: Optional[float] = None,
+    seed: int = 1234,
+    timeout_s: float = 60.0,
+) -> LoadReport:
+    """Drive a fresh :class:`Server` with closed-loop clients.
+
+    Parameters mirror the CLI flags; ``fault`` is ``None`` (healthy),
+    ``"always"`` (every fast-path batch fails → breaker opens →
+    degradation serves everything) or a 0..1 per-batch probability.
+    Returns a fully populated :class:`LoadReport`.
+    """
+    spec = make_shape(shape, n, seed)
+    cfg = serve_config if serve_config is not None else ServeConfig()
+    injector = _FaultInjector(fault, seed) if fault is not None else None
+    server = Server(cfg, ds_config=ds_config, device=device,
+                    fault_hook=injector, autostart=False)
+    report = LoadReport(shape=shape, clients=clients,
+                        requests=clients * requests_per_client)
+
+    if prime:
+        server.prime(spec.ops, spec.array, config=ds_config)
+    hits0, misses0 = server.plan_cache.stats()
+
+    latencies: List[float] = []
+    lock = threading.Lock()
+
+    def client(cid: int) -> None:
+        for _ in range(requests_per_client):
+            t0 = time.perf_counter()
+            while True:
+                try:
+                    fut = server.submit_chain(spec.ops, spec.array,
+                                              config=ds_config,
+                                              deadline_ms=deadline_ms)
+                    break
+                except Overloaded:
+                    with lock:
+                        report.shed_retries += 1
+                    time.sleep(cfg.max_wait_ms / 1000.0)
+            try:
+                result = fut.result(timeout=timeout_s)
+            except DeadlineExceeded:
+                with lock:
+                    report.expired += 1
+                continue
+            except (RequestCancelled, Exception) as exc:
+                with lock:
+                    report.failed += 1
+                    report.errors.append(f"{type(exc).__name__}: {exc}")
+                continue
+            elapsed_ms = (time.perf_counter() - t0) * 1e3
+            ok = np.array_equal(np.asarray(result.output), spec.expected)
+            with lock:
+                report.completed += 1
+                latencies.append(elapsed_ms)
+                if not ok:
+                    report.wrong += 1
+                    report.errors.append(
+                        f"client {cid}: wrong output shape "
+                        f"{np.shape(result.output)} vs "
+                        f"{spec.expected.shape}")
+
+    server.start()
+    threads = [threading.Thread(target=client, args=(i,),
+                                name=f"loadgen-client-{i}")
+               for i in range(clients)]
+    t_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    report.wall_s = time.perf_counter() - t_start
+    server.close(drain=True)
+
+    # -- fold in the server-side metrics --------------------------------
+    hits1, misses1 = server.plan_cache.stats()
+    report.plan_hits = hits1 - hits0
+    report.plan_misses = misses1 - misses0
+    planned = report.plan_hits + report.plan_misses
+    report.plan_hit_rate = report.plan_hits / planned if planned else 1.0
+
+    metrics = server.metrics
+    batch_hist = metrics.get("serve.batch_size")
+    if batch_hist is not None:
+        report.batches = batch_hist.count
+        report.batch_size_mean = batch_hist.mean
+        report.batch_size_max = batch_hist.max or 0.0
+    for attr, name in (("degraded", "serve.degraded"),
+                       ("retries", "serve.retries")):
+        counter = metrics.get(name)
+        setattr(report, attr, counter.value if counter is not None else 0)
+    if injector is not None:
+        report.faults_injected = injector.injected
+
+    latencies.sort()
+    report.latency_p50_ms = _percentile(latencies, 0.50)
+    report.latency_p99_ms = _percentile(latencies, 0.99)
+    report.latency_mean_ms = (sum(latencies) / len(latencies)
+                              if latencies else 0.0)
+    report.throughput_rps = (report.completed / report.wall_s
+                             if report.wall_s > 0 else 0.0)
+    return report
+
+
+def check_report(report: LoadReport, *, faulted: bool = False) -> None:
+    """Assert the acceptance bar on a loadgen run; raises
+    :class:`~repro.errors.ServeError` with the failures listed.
+
+    ``faulted=True`` means the fast path was *forced* to fail
+    (``fault="always"``), so the run must have served through
+    degradation; plan-cache expectations are waived for it."""
+    problems = []
+    if report.completed != report.requests:
+        problems.append(
+            f"completed {report.completed}/{report.requests} requests "
+            f"({report.failed} failed, {report.expired} expired)")
+    if report.wrong:
+        problems.append(f"{report.wrong} responses had wrong outputs")
+    if report.batch_size_max < 2:
+        problems.append(
+            f"no multi-request batches formed (max batch size "
+            f"{report.batch_size_max:.0f}); batching is not engaging")
+    if faulted:
+        if report.degraded <= 0:
+            problems.append("fault-injected run never degraded "
+                            "(serve.degraded == 0)")
+    elif report.plan_hit_rate <= 0.90:
+        problems.append(
+            f"plan-cache hit rate {report.plan_hit_rate * 100:.1f}% "
+            f"<= 90% after warmup")
+    if problems:
+        raise ServeError("loadgen acceptance failed: "
+                         + "; ".join(problems))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.loadgen",
+        description="Closed-loop load generator for the repro serve layer.")
+    parser.add_argument("--shape", default="chain",
+                        choices=sorted(SHAPES),
+                        help="traffic shape (op chain) to generate")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent closed-loop clients")
+    parser.add_argument("--requests", type=int, default=25,
+                        help="requests per client")
+    parser.add_argument("--n", type=int, default=512,
+                        help="input array length")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="override ServeConfig.max_batch_size")
+    parser.add_argument("--wait-ms", type=float, default=None,
+                        help="override ServeConfig.max_wait_ms")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="override ServeConfig.num_workers")
+    parser.add_argument("--queue-depth", type=int, default=None,
+                        help="override ServeConfig.max_queue_depth")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-request deadline")
+    parser.add_argument("--fault", default=None,
+                        help="'always' or a 0..1 per-batch fault rate")
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--no-prime", action="store_true",
+                        help="skip plan-cache pre-warming")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the acceptance bar on the report")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    return parser
+
+
+def _config_from_args(args) -> ServeConfig:
+    cfg = ServeConfig.from_env()
+    overrides = {}
+    if args.batch_size is not None:
+        overrides["max_batch_size"] = args.batch_size
+    if args.wait_ms is not None:
+        overrides["max_wait_ms"] = args.wait_ms
+    if args.workers is not None:
+        overrides["num_workers"] = args.workers
+    if args.queue_depth is not None:
+        overrides["max_queue_depth"] = args.queue_depth
+    return cfg.replace(**overrides) if overrides else cfg
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    fault = args.fault
+    if fault is not None and fault != "always":
+        fault = float(fault)
+    report = run_load(
+        shape=args.shape, clients=args.clients,
+        requests_per_client=args.requests, n=args.n,
+        serve_config=_config_from_args(args),
+        fault=fault, prime=not args.no_prime,
+        deadline_ms=args.deadline_ms, seed=args.seed)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    if args.check:
+        # Only a forced-failure run ("always") is guaranteed to
+        # degrade; at a partial fault rate retries may absorb every
+        # fault, which is a pass, not a miss.
+        check_report(report, faulted=fault == "always")
+        if fault is not None and fault != "always":
+            if report.retries + report.degraded <= 0 < report.faults_injected:
+                raise ServeError(
+                    "loadgen acceptance failed: faults were injected "
+                    "but neither retries nor degradation engaged")
+        print("loadgen acceptance: OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

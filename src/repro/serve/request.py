@@ -1,0 +1,216 @@
+"""Requests, futures and batch-compatibility keys for the serve layer.
+
+A :class:`ServeRequest` is one client submission: an input array plus a
+chain of one or more DS ops (the same surface :func:`repro.ds` and
+:class:`~repro.pipeline.Pipeline` expose — each op after the first
+consumes its predecessor's output, so a multi-op request rides the
+pipeline engine's fusion).  The request's :attr:`~ServeRequest.batch_key`
+captures everything that must agree for two requests to share one
+pipeline batch — op chain, input geometry/dtype, op parameters, config
+and backend — which is also exactly what the pipeline's plan key hashes,
+so a batch of *k* identical-key requests maps to one plan-cache entry
+per *k*.
+
+State transitions are compare-and-set under a per-request lock::
+
+    QUEUED ──> DISPATCHED ──> DONE | FAILED | EXPIRED
+       └─────> CANCELLED | EXPIRED
+
+``cancel`` and deadline expiry only win while the request is QUEUED
+(or, for expiry, just before a worker executes it): a request that
+expires while queued is **never executed**.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import DSConfig
+from repro.errors import ServeError
+from repro.primitives.common import PrimitiveResult
+from repro.primitives.opspec import OpDescriptor, array_signature
+
+__all__ = ["OpStage", "ServeRequest", "ServeFuture", "make_batch_key",
+           "QUEUED", "DISPATCHED", "DONE", "FAILED", "EXPIRED", "CANCELLED"]
+
+QUEUED = "queued"
+DISPATCHED = "dispatched"
+DONE = "done"
+FAILED = "failed"
+EXPIRED = "expired"
+CANCELLED = "cancelled"
+
+
+class OpStage:
+    """One op of a request's chain: descriptor plus its non-input
+    arguments (the input slides in from the request array or the
+    previous stage's future at execution time)."""
+
+    __slots__ = ("desc", "args", "kwargs")
+
+    def __init__(self, desc: OpDescriptor, args: tuple, kwargs: dict) -> None:
+        self.desc = desc
+        self.args = tuple(args)
+        self.kwargs = dict(kwargs)
+
+    def signature(self, input_placeholder) -> tuple:
+        """The stage's batch-key contribution.  ``params_signature``
+        descriptor lambdas index the *full* argument tuple (input
+        first), so the placeholder restores that shape."""
+        full_args = (input_placeholder,) + self.args
+        try:
+            params = self.desc.params_signature(full_args, self.kwargs)
+        except Exception:
+            params = ("opaque",)
+        return (self.desc.name, params)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OpStage({self.desc.short})"
+
+
+class ServeRequest:
+    """One in-flight submission owned by a :class:`~repro.serve.Server`."""
+
+    __slots__ = ("id", "ops", "array", "config", "batch_key", "deadline",
+                 "future", "state", "lock", "t_submit", "t_dispatch",
+                 "t_submit_us", "t_dispatch_us", "tracer", "server")
+
+    def __init__(
+        self,
+        request_id: int,
+        ops: List[OpStage],
+        array: np.ndarray,
+        config: DSConfig,
+        batch_key: tuple,
+        deadline: Optional[float],
+    ) -> None:
+        self.id = request_id
+        self.ops = tuple(ops)
+        self.array = array
+        self.config = config
+        self.batch_key = batch_key
+        self.deadline = deadline
+        self.future = ServeFuture(self)
+        self.state = QUEUED
+        self.lock = threading.Lock()
+        self.t_submit = time.monotonic()
+        self.t_dispatch: Optional[float] = None
+        # Tracer-relative timestamps for the per-request span tree;
+        # populated by the server when a tracer is active at submit.
+        self.t_submit_us: Optional[float] = None
+        self.t_dispatch_us: Optional[float] = None
+        self.tracer = None
+        self.server = None  # set by Server.submit; used by cancel()
+
+    @property
+    def op_key(self) -> Tuple[str, ...]:
+        """The op-chain identity the circuit breaker keys on."""
+        return tuple(stage.desc.name for stage in self.ops)
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
+
+    def transition(self, from_state: str, to_state: str) -> bool:
+        """Compare-and-set the request state; ``True`` on success."""
+        with self.lock:
+            if self.state != from_state:
+                return False
+            self.state = to_state
+            return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ops = "+".join(s.desc.short for s in self.ops)
+        return f"ServeRequest(#{self.id} {ops}, {self.state})"
+
+
+class ServeFuture:
+    """Client handle to one request's eventual result.
+
+    ``result()`` blocks until the server resolves the request and
+    returns its :class:`~repro.primitives.common.PrimitiveResult`, or
+    raises the failure (:class:`~repro.errors.DeadlineExceeded`,
+    :class:`~repro.errors.RequestCancelled`, or the execution error).
+    """
+
+    __slots__ = ("_request", "_event", "_result", "_error")
+
+    def __init__(self, request: ServeRequest) -> None:
+        self._request = request
+        self._event = threading.Event()
+        self._result: Optional[PrimitiveResult] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def request_id(self) -> int:
+        return self._request.id
+
+    @property
+    def state(self) -> str:
+        return self._request.state
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def cancel(self) -> bool:
+        """Cancel the request if it has not been dispatched yet.
+
+        Returns ``True`` when the cancellation won (the request will
+        never execute; ``result()`` raises
+        :class:`~repro.errors.RequestCancelled`), ``False`` when the
+        request was already dispatched or finished.
+        """
+        return self._request.server.cancel(self._request)
+
+    def _resolve(self, result: PrimitiveResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> PrimitiveResult:
+        if not self._event.wait(timeout):
+            raise ServeError(
+                f"request #{self._request.id} not resolved within "
+                f"{timeout}s (state: {self._request.state})")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None):
+        """The failure the request resolved with (``None`` on success)."""
+        if not self._event.wait(timeout):
+            raise ServeError(
+                f"request #{self._request.id} not resolved within "
+                f"{timeout}s (state: {self._request.state})")
+        return self._error
+
+    @property
+    def output(self) -> np.ndarray:
+        return self.result().output
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ServeFuture(#{self._request.id}, "
+                f"{self._request.state})")
+
+
+def make_batch_key(ops: List[OpStage], array: np.ndarray, config: DSConfig,
+                   backend: str) -> tuple:
+    """Everything that must agree for two requests to batch together."""
+    parts: list = [backend, config, array_signature(array)]
+    placeholder: object = array
+    for stage in ops:
+        parts.append(stage.signature(placeholder))
+        placeholder = None  # later stages consume futures, not the array
+    return tuple(parts)

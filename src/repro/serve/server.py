@@ -1,0 +1,629 @@
+"""The micro-batching DS server: queue → batcher → worker pool.
+
+Architecture (one in-process service; see docs/serving.md)::
+
+    submit() ──admission──> request queue ──window──> batch queue
+      │ Overloaded when full     │ max_wait_ms /        │
+      │                          │ max_batch_size       ▼
+      ▼                          ▼                 worker pool
+    ServeFuture <──resolve── deadline check    (one Stream each)
+                                               fast path: Pipeline
+                                               (shared PlanCache,
+                                                fusion, retries)
+                                               fallback: sequential
+                                               baseline via breaker
+
+* **Admission control** — :meth:`Server.submit` bounds in-flight
+  requests (queued + executing) at ``max_queue_depth`` and sheds the
+  excess with a typed :class:`~repro.errors.Overloaded` instead of
+  growing without bound.
+* **Micro-batching** — a single batcher thread closes a window on
+  ``max_batch_size`` or ``max_wait_ms`` (whichever first) and groups
+  requests with equal :func:`~repro.serve.request.make_batch_key`
+  (same op chain, geometry, dtype, params, config, backend) into one
+  :class:`~repro.pipeline.Pipeline` batch, so identical traffic shares
+  a plan-cache entry and chained ops ride fused flag chains.
+* **Workers** — ``num_workers`` threads, each with its own
+  :class:`~repro.simgpu.stream.Stream`, execute batches: fast path
+  through the pipeline engine with bounded exponential-backoff retries
+  on transient :class:`~repro.errors.LaunchError`; on repeated failure
+  the per-op :class:`~repro.serve.breaker.CircuitBreaker` opens and the
+  batch (and subsequent ones) is served by the sequential baseline
+  (:mod:`repro.serve.degrade`) until a cooldown probe of the fast path
+  succeeds.
+* **Deadlines** — a request that expires while queued is finalized
+  with :class:`~repro.errors.DeadlineExceeded` and *never executed*;
+  :meth:`ServeFuture.cancel <repro.serve.request.ServeFuture.cancel>`
+  similarly removes not-yet-dispatched work.
+* **Observability** — every edge increments a ``serve.*`` metric on
+  the server's registry (queue-depth gauge, batch-size/wait and
+  latency histograms, shed/expired/retry/degraded counters), and when
+  a :mod:`repro.obs` tracer is active each request additionally gets a
+  ``serve.request`` span with ``queued``/``execute`` children.
+"""
+
+from __future__ import annotations
+
+import queue as _queue_mod
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro import obs as _obs
+from repro.config import DEFAULT_CONFIG, DSConfig
+from repro.errors import (
+    DeadlineExceeded,
+    LaunchError,
+    Overloaded,
+    RequestCancelled,
+    ResourceError,
+    ServeError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.pipeline.engine import Pipeline
+from repro.pipeline.plan import PlanCache
+from repro.primitives.common import DEFAULT_DEVICE, PrimitiveResult
+from repro.primitives.opspec import OpDescriptor, get_op
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.config import ServeConfig
+from repro.serve.degrade import degraded_result, run_degraded_stage
+from repro.serve.request import (
+    CANCELLED,
+    DISPATCHED,
+    DONE,
+    EXPIRED,
+    FAILED,
+    OpStage,
+    QUEUED,
+    ServeFuture,
+    ServeRequest,
+    make_batch_key,
+)
+from repro.simgpu.device import DeviceSpec
+from repro.simgpu.stream import Stream
+
+__all__ = ["Server"]
+
+#: Errors the executor treats as transient: retry, then degrade.  The
+#: simulator raises LaunchError/ResourceError for launch-time failures;
+#: injected faults reuse LaunchError.
+TRANSIENT_ERRORS = (LaunchError, ResourceError)
+
+# The obs tracer keeps per-track span stacks that are not safe against
+# interleaved pushes from several threads on the *same* track (the
+# pipeline's spans land on the host track).  Workers therefore serialize
+# pipeline execution whenever a tracer is active; with tracing off the
+# lock is never taken and workers run concurrently.
+_TRACE_EXEC_LOCK = threading.Lock()
+
+
+def _chain_spec(ops) -> List[Tuple[OpDescriptor, tuple, dict]]:
+    """Normalize a submit/submit_chain op spec into descriptor triples."""
+    stages = []
+    for item in ops:
+        if isinstance(item, str):
+            item = (item,)
+        if not item:
+            raise ServeError("empty op spec in chain")
+        name, *args = item
+        kwargs = {}
+        if args and isinstance(args[-1], dict):
+            kwargs = args.pop()
+        stages.append((get_op(name), tuple(args), kwargs))
+    if not stages:
+        raise ServeError("a request needs at least one op")
+    return stages
+
+
+class Server:
+    """An in-process micro-batching server over the DS primitives.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.serve.config.ServeConfig` knobs (batching,
+        admission, retries, breaker).
+    ds_config:
+        Default :class:`~repro.config.DSConfig` for submitted ops
+        (per-request override via ``submit(..., config=...)``).
+    device:
+        Device every worker stream binds to (name or spec).
+    plan_cache:
+        Shared :class:`~repro.pipeline.plan.PlanCache`; defaults to a
+        fresh server-private cache so hit-rate numbers are isolated.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry`; defaults to the
+        active tracer's registry when tracing is on (so ``serve.*``
+        metrics export with everything else), else a private one.
+    fault_hook:
+        Test/chaos hook called with the batch's request list before
+        every fast-path execution; raising a transient error simulates
+        backend failure.
+    autostart:
+        Start the batcher/worker threads immediately.  Tests pass
+        ``False`` to stage requests deterministically, then
+        :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        ds_config: Optional[DSConfig] = None,
+        device: Union[DeviceSpec, str] = DEFAULT_DEVICE,
+        plan_cache: Optional[PlanCache] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        fault_hook=None,
+        autostart: bool = True,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.ds_config = ds_config if ds_config is not None else DEFAULT_CONFIG
+        self.device = device
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        if metrics is None:
+            tracer = _obs.active()
+            metrics = tracer.metrics if tracer is not None else MetricsRegistry()
+        self.metrics = metrics
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            self.config.breaker_threshold, self.config.breaker_cooldown_ms)
+        self.fault_hook = fault_hook
+
+        self._queue: deque = deque()
+        self._cond = threading.Condition()
+        self._mlock = threading.Lock()  # guards metric updates
+        self._inflight = 0
+        self._next_id = 0
+        self._accepting = True
+        self._stopping = False
+        self._started = False
+        self._batches: "_queue_mod.Queue" = _queue_mod.Queue()
+        self._batcher: Optional[threading.Thread] = None
+        self._workers: List[threading.Thread] = []
+        if autostart:
+            self.start()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "Server":
+        """Start the batcher and worker threads (idempotent)."""
+        with self._cond:
+            if self._started:
+                return self
+            if self._stopping:
+                raise ServeError("server was closed; create a new one")
+            self._started = True
+        self._batcher = threading.Thread(
+            target=self._batch_loop, name="repro-serve-batcher", daemon=True)
+        self._batcher.start()
+        for i in range(self.config.num_workers):
+            w = threading.Thread(target=self._worker_loop, args=(i,),
+                                 name=f"repro-serve-worker-{i}", daemon=True)
+            w.start()
+            self._workers.append(w)
+        return self
+
+    def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting requests, then shut the threads down.
+
+        With ``drain=True`` (default) every already-admitted request is
+        still served before the workers exit; with ``drain=False``
+        queued requests are finalized with
+        :class:`~repro.errors.RequestCancelled`.
+        """
+        with self._cond:
+            self._accepting = False
+            if not drain:
+                for req in list(self._queue):
+                    if req.transition(QUEUED, CANCELLED):
+                        self._count("serve.cancelled")
+                        self._finalize(req, error=RequestCancelled(
+                            f"request #{req.id}: server closed"))
+                self._queue.clear()
+            self._cond.notify_all()
+        if self._started:
+            deadline = time.monotonic() + timeout
+            with self._cond:
+                while self._inflight > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ServeError(
+                            f"close(drain=True): {self._inflight} requests "
+                            f"still in flight after {timeout}s")
+                    self._cond.wait(remaining)
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        if self._started:
+            for _ in self._workers:
+                self._batches.put(None)
+            self._batcher.join(timeout)
+            for w in self._workers:
+                w.join(timeout)
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close(drain=exc_type is None)
+        return False
+
+    # -- metrics helpers -----------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._mlock:
+            self.metrics.counter(name).inc(amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        with self._mlock:
+            self.metrics.histogram(name).record(value)
+
+    def _gauge_queue_depth_locked(self) -> None:
+        # Called with self._cond held; only the gauge write needs _mlock.
+        depth = len(self._queue)
+        with self._mlock:
+            self.metrics.gauge("serve.queue_depth").set(depth)
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, op: str, values: np.ndarray, *args,
+               config: Optional[DSConfig] = None,
+               deadline_ms: Optional[float] = None,
+               **kwargs) -> ServeFuture:
+        """Queue one op call; returns its :class:`ServeFuture`.
+
+        ``op``/``args``/``kwargs`` mirror :func:`repro.ds`:
+        ``server.submit("compact", x, 0.0)``.  Raises
+        :class:`~repro.errors.Overloaded` when admission control sheds
+        the request.
+        """
+        desc = get_op(op)
+        return self._admit([(desc, tuple(args), dict(kwargs))], values,
+                           config=config, deadline_ms=deadline_ms)
+
+    def submit_chain(self, ops: Sequence, values: np.ndarray, *,
+                     config: Optional[DSConfig] = None,
+                     deadline_ms: Optional[float] = None) -> ServeFuture:
+        """Queue a chain of ops over one input; each op consumes its
+        predecessor's output (so fusable chains fuse)::
+
+            server.submit_chain([("compact", 0.0), "unique"], x)
+        """
+        return self._admit(_chain_spec(list(ops)), values,
+                           config=config, deadline_ms=deadline_ms)
+
+    def _admit(self, spec, values, *, config, deadline_ms) -> ServeFuture:
+        cfg = config if config is not None else self.ds_config
+        array = np.asarray(values)
+        stages = [OpStage(desc, args, kwargs) for desc, args, kwargs in spec]
+        backend = cfg.resolved_backend()
+        batch_key = make_batch_key(stages, array, cfg, backend)
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        deadline = (time.monotonic() + float(deadline_ms) / 1000.0
+                    if deadline_ms is not None else None)
+        with self._cond:
+            if not self._accepting:
+                raise ServeError("server is closed to new requests")
+            if self._inflight >= self.config.max_queue_depth:
+                with self._mlock:
+                    self.metrics.counter("serve.shed").inc()
+                raise Overloaded(
+                    f"server at capacity ({self._inflight} in flight, "
+                    f"limit {self.config.max_queue_depth}); retry later",
+                    queue_depth=self._inflight,
+                    limit=self.config.max_queue_depth)
+            request = ServeRequest(self._next_id, stages, array, cfg,
+                                   batch_key, deadline)
+            request.server = self
+            self._next_id += 1
+            self._inflight += 1
+            tracer = _obs.active()
+            if tracer is not None:
+                request.tracer = tracer
+                request.t_submit_us = tracer.now_us()
+            self._queue.append(request)
+            self._count_locked_admitted()
+            self._gauge_queue_depth_locked()
+            self._cond.notify_all()
+        return request.future
+
+    def _count_locked_admitted(self) -> None:
+        with self._mlock:
+            self.metrics.counter("serve.admitted").inc()
+
+    def cancel(self, request: ServeRequest) -> bool:
+        """Cancel ``request`` if still queued (see ServeFuture.cancel)."""
+        if not request.transition(QUEUED, CANCELLED):
+            return False
+        self._count("serve.cancelled")
+        self._finalize(request, error=RequestCancelled(
+            f"request #{request.id} was cancelled before dispatch"))
+        return True
+
+    @property
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    # -- cache priming -------------------------------------------------
+
+    def prime(self, ops: Sequence, values: np.ndarray, *,
+              config: Optional[DSConfig] = None) -> int:
+        """Pre-plan every batch size for one request shape.
+
+        Plans (without executing) the pipeline batches of size
+        ``1..max_batch_size`` a stream of identical requests can
+        produce, so a fresh server starts at a ~100% plan-cache hit
+        rate instead of paying one planning miss per batch shape.
+        Returns the number of plans now cached for the shape.
+        """
+        cfg = config if config is not None else self.ds_config
+        spec = _chain_spec(list(ops) if not isinstance(ops, str) else [ops])
+        array = np.asarray(values)
+        for k in range(1, self.config.max_batch_size + 1):
+            p = Pipeline(Stream(self.device, seed=self.config.seed),
+                         config=cfg, fuse=True, plan_cache=self.plan_cache)
+            for _ in range(k):
+                prev: object = array
+                for desc, args, kwargs in spec:
+                    prev = p.enqueue(desc, prev, *args, config=cfg, **kwargs)
+            p.plan()
+        return self.config.max_batch_size
+
+    # -- batcher -------------------------------------------------------
+
+    def _pop_live_locked(self) -> Optional[ServeRequest]:
+        """Pop the first request that is still QUEUED and unexpired,
+        finalizing expired ones on the way.  Caller holds ``_cond``."""
+        while self._queue:
+            req = self._queue.popleft()
+            if req.state != QUEUED:
+                continue  # cancelled; already finalized
+            if req.expired():
+                if req.transition(QUEUED, EXPIRED):
+                    self._expire(req)
+                continue
+            if req.transition(QUEUED, DISPATCHED):
+                self._mark_dispatched(req)
+                return req
+        return None
+
+    def _extract_matching_locked(self, key: tuple,
+                                 batch: List[ServeRequest]) -> None:
+        """Move every queued request with ``key`` into ``batch`` (up to
+        the batch bound).  Caller holds ``_cond``."""
+        limit = self.config.max_batch_size
+        kept = deque()
+        while self._queue and len(batch) < limit:
+            req = self._queue.popleft()
+            if req.state != QUEUED:
+                continue
+            if req.expired():
+                if req.transition(QUEUED, EXPIRED):
+                    self._expire(req)
+                continue
+            if req.batch_key == key and req.transition(QUEUED, DISPATCHED):
+                self._mark_dispatched(req)
+                batch.append(req)
+            else:
+                kept.append(req)
+        kept.extend(self._queue)
+        self._queue = kept
+
+    def _mark_dispatched(self, req: ServeRequest) -> None:
+        req.t_dispatch = time.monotonic()
+        if req.tracer is not None and req.tracer is _obs.active():
+            req.t_dispatch_us = req.tracer.now_us()
+
+    def _expire(self, req: ServeRequest) -> None:
+        self._count("serve.expired")
+        self._finalize(req, error=DeadlineExceeded(
+            f"request #{req.id} expired after "
+            f"{(time.monotonic() - req.t_submit) * 1e3:.1f}ms in queue"))
+
+    def _batch_loop(self) -> None:
+        wait_s = self.config.max_wait_ms / 1000.0
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopping:
+                    self._cond.wait()
+                if self._stopping and not self._queue:
+                    return
+                head = self._pop_live_locked()
+                self._gauge_queue_depth_locked()
+            if head is None:
+                continue
+            batch = [head]
+            window_end = time.monotonic() + wait_s
+            while len(batch) < self.config.max_batch_size:
+                with self._cond:
+                    self._extract_matching_locked(head.batch_key, batch)
+                    self._gauge_queue_depth_locked()
+                    if len(batch) >= self.config.max_batch_size:
+                        break
+                    remaining = window_end - time.monotonic()
+                    if remaining <= 0 or self._stopping:
+                        break
+                    self._cond.wait(remaining)
+            self._observe("serve.batch_wait_ms",
+                          (time.monotonic() - head.t_submit) * 1e3)
+            self._batches.put(batch)
+
+    # -- workers -------------------------------------------------------
+
+    def _worker_loop(self, worker_id: int) -> None:
+        stream = Stream(self.device, seed=self.config.seed + worker_id)
+        while True:
+            batch = self._batches.get()
+            if batch is None:
+                return
+            try:
+                self._execute_batch(batch, stream, worker_id)
+            except BaseException as exc:  # pragma: no cover - last resort
+                for req in batch:
+                    if req.state == DISPATCHED:
+                        req.transition(DISPATCHED, FAILED)
+                        self._count("serve.failed")
+                        self._finalize(req, error=exc)
+
+    def _execute_batch(self, batch: List[ServeRequest], stream: Stream,
+                       worker_id: int) -> None:
+        # Deadline re-check at dispatch: expired-in-queue work is
+        # dropped here, before any kernel runs.
+        live = []
+        for req in batch:
+            if req.expired() and req.transition(DISPATCHED, EXPIRED):
+                self._expire(req)
+            else:
+                live.append(req)
+        if not live:
+            return
+        key = live[0].op_key
+        attempt = 0
+        degraded = False
+        while True:
+            if not self.breaker.allows(key):
+                degraded = True
+                break
+            try:
+                self._run_fast(live, stream)
+                self.breaker.record_success(key)
+                break
+            except TRANSIENT_ERRORS as exc:
+                now_open = self.breaker.record_failure(key)
+                self._count("serve.fast_failures")
+                attempt += 1
+                if attempt > self.config.max_retries or now_open:
+                    degraded = True
+                    break
+                self._count("serve.retries")
+                backoff_s = (self.config.retry_backoff_ms / 1000.0
+                             * (2 ** (attempt - 1)))
+                if backoff_s > 0:
+                    time.sleep(backoff_s)
+        if degraded:
+            try:
+                self._run_degraded(live, stream)
+                self._count("serve.degraded", len(live))
+            except BaseException as exc:
+                for req in live:
+                    req.transition(DISPATCHED, FAILED)
+                    self._count("serve.failed")
+                    self._finalize(req, error=exc)
+                return
+        self._count("serve.batches")
+        self._observe("serve.batch_size", len(live))
+
+    def _run_fast(self, live: List[ServeRequest], stream: Stream) -> None:
+        """One pipeline batch over every request's op chain."""
+        if self.fault_hook is not None:
+            self.fault_hook(live)
+        tracing = _obs.active() is not None
+        if tracing:
+            _TRACE_EXEC_LOCK.acquire()
+        try:
+            p = Pipeline(stream, config=live[0].config, fuse=True,
+                         plan_cache=self.plan_cache)
+            tails = []
+            for req in live:
+                prev: object = req.array
+                for stage in req.ops:
+                    prev = p.enqueue(stage.desc, prev, *stage.args,
+                                     config=req.config, **stage.kwargs)
+                tails.append(prev)
+            p.run()
+        finally:
+            if tracing:
+                _TRACE_EXEC_LOCK.release()
+        for req, tail in zip(live, tails):
+            if req.transition(DISPATCHED, DONE):
+                self._count("serve.completed")
+                self._finalize(req, result=tail.result())
+
+    def _run_degraded(self, live: List[ServeRequest],
+                      stream: Stream) -> None:
+        """Serve every request through its sequential baseline."""
+        for req in live:
+            out = req.array
+            for stage in req.ops:
+                out = run_degraded_stage(stage, out)
+            if req.transition(DISPATCHED, DONE):
+                self._count("serve.completed")
+                self._finalize(
+                    req, result=degraded_result(out, stream.device,
+                                                req.op_key))
+
+    # -- completion ----------------------------------------------------
+
+    def _finalize(self, req: ServeRequest,
+                  result: Optional[PrimitiveResult] = None,
+                  error: Optional[BaseException] = None) -> None:
+        latency_ms = (time.monotonic() - req.t_submit) * 1e3
+        if result is not None:
+            self._observe("serve.latency_ms", latency_ms)
+            req.future._resolve(result)
+        else:
+            req.future._fail(error)
+        self._emit_request_spans(req, degraded=bool(
+            result is not None and result.extras.get("degraded")))
+        with self._cond:
+            self._inflight -= 1
+            self._cond.notify_all()
+
+    def _emit_request_spans(self, req: ServeRequest, *,
+                            degraded: bool) -> None:
+        tracer = req.tracer
+        if tracer is None or tracer is not _obs.active():
+            return
+        if req.t_submit_us is None:
+            return
+        end_us = tracer.now_us()
+        # One track per request: concurrent requests' span trees would
+        # partially overlap on a shared track, which the Chrome-trace
+        # exporter (correctly) rejects — slices on one tid must nest.
+        track = f"serve:req{req.id}"
+        root = tracer.add_span(
+            "serve.request", track=track, cat="serve",
+            start_us=req.t_submit_us, end_us=end_us,
+            args={"id": req.id, "ops": "+".join(req.op_key),
+                  "state": req.state, "degraded": degraded})
+        queued_end = (req.t_dispatch_us
+                      if req.t_dispatch_us is not None else end_us)
+        tracer.add_span("serve.queued", track=track, cat="serve",
+                        start_us=req.t_submit_us, end_us=queued_end,
+                        parent=root)
+        if req.t_dispatch_us is not None:
+            tracer.add_span("serve.execute", track=track,
+                            cat="serve", start_us=req.t_dispatch_us,
+                            end_us=end_us, parent=root)
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """A snapshot of the serve metrics plus cache/breaker state."""
+        out: Dict[str, object] = {}
+        with self._mlock:
+            for item in self.metrics.instruments():
+                if item.name.startswith("serve."):
+                    d = item.to_dict()
+                    if d["type"] == "histogram":
+                        out[item.name] = {k: d[k] for k in
+                                          ("count", "sum", "min", "max",
+                                           "mean")}
+                    else:
+                        out[item.name] = d["value"]
+        hits, misses = self.plan_cache.stats()
+        out["plan_cache.hits"] = hits
+        out["plan_cache.misses"] = misses
+        out["breaker"] = {"+".join(k): v
+                          for k, v in self.breaker.snapshot().items()}
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Server(device={self.device!r}, "
+                f"workers={self.config.num_workers}, "
+                f"inflight={self.inflight})")

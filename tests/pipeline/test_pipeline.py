@@ -347,3 +347,64 @@ class TestBatchObservability:
         p.run()
         assert [b.label for b in p.stream.batches] == \
             ["pipeline.batch#1", "pipeline.batch#2"]
+
+
+class TestPlanWithoutRun:
+    def test_plan_populates_cache_and_keeps_ops_pending(self, rng):
+        a = rng.integers(0, 5, 400).astype(np.int64)
+        cache = PlanCache()
+        p = Pipeline(config=_cfg("simulated"), plan_cache=cache)
+        f1 = p.compact(a, 0)
+        p.unique(f1)
+        assert p.plan() is not None
+        assert (cache.misses, cache.hits) == (1, 0)
+        assert not f1.done  # planning executed nothing
+        results = p.run()   # the run is then a pure cache hit
+        assert len(results) == 2
+        assert (cache.misses, cache.hits) == (1, 1)
+
+    def test_plan_on_empty_pipeline_is_none(self):
+        p = Pipeline(config=_cfg("simulated"), plan_cache=PlanCache())
+        assert p.plan() is None
+
+
+class TestSignatureCache:
+    def test_runner_signature_cache_is_bounded(self):
+        from repro.pipeline import engine
+
+        def probe(values, stream, *, config):  # mimics a runner
+            return values
+
+        baseline = dict(engine._signature_cache)
+        try:
+            fillers = []
+            for i in range(engine._SIGNATURE_CACHE_MAX + 16):
+                def filler(values, stream, *, config, _i=i):
+                    return values
+                fillers.append(filler)
+                engine._data_param_names(filler)
+            assert len(engine._signature_cache) <= \
+                engine._SIGNATURE_CACHE_MAX
+            # Lookups still work at the bound, hot entries stay cached.
+            assert engine._data_param_names(probe) == ("values",)
+            assert engine._data_param_names(probe) == ("values",)
+            assert probe in engine._signature_cache
+        finally:
+            with engine._signature_lock:
+                engine._signature_cache.clear()
+                engine._signature_cache.update(baseline)
+
+    def test_signature_cache_metrics_under_tracing(self, rng):
+        from repro import obs
+
+        a = rng.integers(0, 5, 200).astype(np.int64)
+        with obs.tracing("spans") as tracer:
+            p = Pipeline(config=_cfg("simulated"), plan_cache=PlanCache())
+            p.compact(a.copy(), 0)
+            p.run()
+            p.compact(a.copy(), 0)
+            p.run()
+        counters = {c.name: c.value for c in tracer.metrics
+                    if c.name.startswith("pipeline.signature_cache")}
+        # The second enqueue of the same runner must be a cache hit.
+        assert counters.get("pipeline.signature_cache.hits", 0) >= 1

@@ -116,6 +116,63 @@ class TestPlanCache:
         assert counters["pipeline.plan_cache.hits"] == 1
 
 
+class TestPlanCacheThreadSafety:
+    def test_concurrent_lookup_store_hammer(self, rng):
+        """Many threads hammering one small cache with overlapping keys
+        must never corrupt it: every lookup returns either None or the
+        exact plan stored under that key, the LRU bound holds, and the
+        hit/miss counters add up."""
+        import threading
+
+        from repro.pipeline.plan import PlanCache
+
+        cache = PlanCache(maxsize=8)
+        keys = [("key", i) for i in range(16)]
+        plans = {key: object() for key in keys}
+        errors = []
+        start = threading.Barrier(8)
+
+        def hammer(seed):
+            local = np.random.default_rng(seed)
+            start.wait()
+            for _ in range(400):
+                key = keys[local.integers(0, len(keys))]
+                got = cache.lookup(key)
+                if got is not None and got is not plans[key]:
+                    errors.append(f"wrong plan for {key}")
+                    return
+                cache.store(key, plans[key])
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 8
+        hits, misses = cache.stats()
+        assert hits + misses == 8 * 400
+
+    def test_stats_snapshot_is_consistent(self, rng):
+        cache = PlanCache()
+        _run_chain(rng.integers(0, 5, 300).astype(np.int64), cache)
+        _run_chain(rng.integers(0, 5, 300).astype(np.int64), cache)
+        assert cache.stats() == (1, 1)
+
+    def test_lru_recency_not_insertion_order(self, rng):
+        """Touching an old entry must protect it from eviction."""
+        cache = PlanCache(maxsize=2)
+        a, b, c = object(), object(), object()
+        cache.store(("a",), a)
+        cache.store(("b",), b)
+        assert cache.lookup(("a",)) is a  # refresh a
+        cache.store(("c",), c)            # evicts b, not a
+        assert cache.lookup(("a",)) is a
+        assert cache.lookup(("b",)) is None
+        assert cache.lookup(("c",)) is c
+
+
 class TestPlanStructure:
     def test_cached_plan_reused_across_batches_of_one_pipeline(self, rng):
         a = rng.integers(0, 5, 500).astype(np.int64)

@@ -175,6 +175,38 @@ class TestDSConfig:
     def test_from_env_empty(self):
         assert DSConfig.from_env({}) == DSConfig()
 
+    @pytest.mark.parametrize("var,raw", [
+        ("REPRO_WG_SIZE", "big"),
+        ("REPRO_WG_SIZE", "64.5"),
+        ("REPRO_WG_SIZE", "0"),
+        ("REPRO_WG_SIZE", "-32"),
+        ("REPRO_COARSENING", "two"),
+        ("REPRO_COARSENING", "0"),
+        ("REPRO_REDUCTION_VARIANT", "butterfly"),
+        ("REPRO_SCAN_VARIANT", "kogge"),
+        ("REPRO_RACE_TRACKING", "maybe"),
+        ("REPRO_RACE_TRACKING", "2"),
+        ("REPRO_BACKEND", "warp"),
+        ("REPRO_SEED", "0x11"),
+    ])
+    def test_from_env_malformed_value_names_the_variable(self, var, raw):
+        env = {var: raw}
+        with pytest.raises(ValueError) as exc:
+            DSConfig.from_env(env)
+        assert var in str(exc.value)
+        assert repr(raw) in str(exc.value)
+
+    def test_from_env_bool_spellings(self):
+        for raw, expected in [("1", True), ("true", True), ("YES", True),
+                              ("on", True), ("0", False), ("false", False),
+                              ("No", False), ("off", False)]:
+            cfg = DSConfig.from_env({"REPRO_RACE_TRACKING": raw})
+            assert cfg.race_tracking is expected, raw
+
+    def test_from_env_blank_values_ignored(self):
+        env = {"REPRO_WG_SIZE": "  ", "REPRO_BACKEND": ""}
+        assert DSConfig.from_env(env) == DSConfig()
+
     def test_resolve_config_rejects_unknown_kwarg(self):
         with pytest.raises(LaunchError):
             resolve_config("ds_x", None, warp_size=32)

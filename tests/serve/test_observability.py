@@ -1,0 +1,55 @@
+"""Serve-layer instrumentation: spans and metrics under ``repro.obs``.
+
+With a tracer active, every request must leave a ``serve.request`` span
+(with queued/execute children) on its own track, and the ``serve.*``
+metrics must land on the tracer's registry so one export carries the
+whole story.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.serve import ServeConfig, Server
+
+
+@pytest.fixture
+def data(rng):
+    return rng.integers(0, 4, 200).astype(np.float64)
+
+
+def test_request_spans_and_metrics_under_tracing(data):
+    with obs.tracing("spans") as tracer:
+        with Server(ServeConfig(max_wait_ms=1.0, num_workers=1)) as srv:
+            srv.submit("compact", data, 0.0).result(timeout=30)
+            srv.submit_chain([("compact", 0.0), "unique"], data) \
+               .result(timeout=30)
+        assert srv.metrics is tracer.metrics
+
+    spans = [(track, sp) for track, sp, _ in tracer.iter_spans()
+             if track.startswith("serve:req")]
+    roots = [sp for _, sp in spans if sp.name == "serve.request"]
+    assert len(roots) == 2
+    for root in roots:
+        names = {c.name for c in root.children}
+        assert "serve.queued" in names and "serve.execute" in names
+        assert root.args["state"] == "done"
+        assert root.end_us >= root.start_us
+
+    chain_root = next(sp for sp in roots
+                      if sp.args["ops"] == "ds_stream_compact+ds_unique")
+    assert chain_root.args["degraded"] is False
+
+    counters = {c.name: c.value for c in tracer.metrics
+                if c.name.startswith("serve.") and c.kind == "counter"}
+    assert counters["serve.admitted"] == 2
+    assert counters["serve.completed"] == 2
+
+
+def test_no_tracer_no_spans(data):
+    # Without obs.tracing the server keeps private metrics and never
+    # touches a tracer — the hot path must not require one.
+    with Server(ServeConfig(max_wait_ms=1.0, num_workers=1)) as srv:
+        srv.submit("compact", data, 0.0).result(timeout=30)
+    assert srv.metrics.get("serve.completed").value == 1
+    assert obs.active() is None
