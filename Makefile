@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-all bench bench-smoke bench-full bench-check \
-        pipeline-smoke trace-smoke serve-smoke figures examples clean
+        pipeline-smoke trace-smoke serve-smoke analyze-smoke figures \
+        examples clean
 
 install:
 	pip install -e . || \
@@ -40,6 +41,12 @@ serve-smoke:     ## serve layer: healthy + fault-injected loadgen, acceptance-ch
 	  --fault always --check
 	$(PYTHON) -m pytest benchmarks/bench_serve_load.py --benchmark-only
 	$(PYTHON) -m pytest tests/serve -q
+
+analyze-smoke:   ## trace fig13 -> analyzer decomposition check (sum==wall ±1%, spin<=wall) + flight-recorder overhead bound
+	$(PYTHON) -m repro trace fig13 -o /tmp/repro_analyze_smoke.json --check
+	$(PYTHON) -m repro analyze /tmp/repro_analyze_smoke.json --check
+	$(PYTHON) -m repro serve --shape compact --clients 4 --requests 8 \
+	  --n 256 --flight-overhead-check
 
 trace-smoke:     ## export + validate a Chrome trace of one experiment
 	$(PYTHON) -m repro trace fig13 -o /tmp/repro_trace_smoke.json --check

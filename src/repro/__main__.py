@@ -133,6 +133,10 @@ def main(argv=None) -> int:
         from repro.serve import loadgen
 
         return loadgen.main(argv[1:])
+    if argv and argv[0] == "analyze":
+        from repro.obs import analyze as _analyze
+
+        return _analyze.main(argv[1:])
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -148,6 +152,9 @@ def main(argv=None) -> int:
         print(f"    traceable: {', '.join(sorted(TRACEABLE))}")
         print("  serve [--shape ... --clients N --fault always --check]   "
               "drive the micro-batching serve layer (see docs/serving.md)")
+        print("  analyze <trace.json|trace.jsonl|incident-dir>   "
+              "critical-path + spin attribution report "
+              "(see docs/observability.md)")
         return 0
     if args.experiment == "devices":
         print(_render_devices())

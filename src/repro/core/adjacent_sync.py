@@ -49,7 +49,8 @@ def adjacent_sync_regular(
     # barrier(local memory fence): all work-items finished loading.
     yield from wg.barrier("local")
     # if (wi_id == 0) { while (atom_or(&flags[wg_id_ - 1], 0) == 0){;} ... }
-    yield from wg.spin_until(flags, wg_id, lambda v: v != 0)
+    yield from wg.spin_until(flags, wg_id, lambda v: v != 0,
+                             waits_on=wg_id - 1 if wg_id > 0 else None)
     # atom_or(&flags[wg_id_], 1);
     yield from wg.atomic_or(flags, wg_id + 1, FLAG_SET)
     # barrier(global memory fence): release the group, order load/store.
@@ -69,7 +70,9 @@ def adjacent_sync_irregular(
     # barrier(local memory fence)
     yield from wg.barrier("local")
     # while (atom_or(&flags[wg_id_ - 1], 0) == 0){;}  int flag = flags[...];
-    flag_value = yield from wg.spin_until(flags, wg_id, lambda v: v != 0)
+    flag_value = yield from wg.spin_until(flags, wg_id, lambda v: v != 0,
+                                          waits_on=wg_id - 1 if wg_id > 0
+                                          else None)
     previous_total = decode_count(flag_value)
     # atom_add(&flags[wg_id_], flag + count)  — sentinel-encoded here.
     yield from wg.atomic_or(flags, wg_id + 1, encode_count(previous_total + local_count))

@@ -63,11 +63,14 @@ def _trace_begin(kernel_name: str, grid: int, wg_size: int, stream: Stream):
     tracer = _obs.active()
     if tracer is None:
         return None, None
-    sp = tracer.span(
-        kernel_name, cat="launch",
-        args={"backend": "vectorized", "grid_size": grid,
-              "wg_size": wg_size, "device": stream.device.name},
-    )
+    span_args = {"backend": "vectorized", "grid_size": grid,
+                 "wg_size": wg_size, "device": stream.device.name}
+    # Correlation attributes (request_id, batch_id) from obs.annotate —
+    # launch spans carry them, phase spans never do (span parity).
+    annotations = _obs.current_annotations()
+    if annotations:
+        span_args.update(annotations)
+    sp = tracer.span(kernel_name, cat="launch", args=span_args)
     return tracer, sp
 
 

@@ -251,9 +251,11 @@ def fused_irregular_kernel(
             lane_counts, reduction_variant, wg.warp_size)
 
     # -- Modified adjacent synchronization with carry. ------------------------
-    with wg.phase("sync"):
+    with wg.phase("sync", wg_id=wg_id):
         yield from wg.barrier("local")
-        flag_value = yield from wg.spin_until(flags, wg_id, lambda v: v != 0)
+        flag_value = yield from wg.spin_until(flags, wg_id, lambda v: v != 0,
+                                              waits_on=wg_id - 1 if wg_id > 0
+                                              else None)
         previous_total = decode_count(flag_value)
         in_valid = yield from wg.load(
             carry_valid, np.asarray([wg_id], dtype=np.int64))

@@ -150,7 +150,9 @@ def irregular_ds_kernel(
             lane_counts, reduction_variant, wg.warp_size)
 
     # -- Modified adjacent synchronization (Figure 7). -------------------------
-    with wg.phase("sync"):
+    # wg_id in the span args is the *dynamic* ID: it lets the trace
+    # analyzer map this hardware slot's track onto the sync chain.
+    with wg.phase("sync", wg_id=wg_id):
         if sync:
             previous_total = yield from adjacent_sync_irregular(
                 wg, flags, wg_id, local_count)

@@ -106,7 +106,7 @@ def keyed_irregular_ds_kernel(
     with wg.phase("reduce", variant=reduction_variant):
         local_count, _ = reduce_workgroup(lane_counts, reduction_variant,
                                           wg.warp_size)
-    with wg.phase("sync"):
+    with wg.phase("sync", wg_id=wg_id):
         previous_total = yield from adjacent_sync_irregular(
             wg, flags, wg_id, local_count)
 

@@ -97,7 +97,9 @@ def regular_ds_kernel(
             pos = pos + wg.size
 
     # -- Adjacent work-group synchronization (Figure 3). ---------------------
-    with wg.phase("sync"):
+    # wg_id is the dynamic ID — trace analyzers use it to map this
+    # hardware slot's track onto the sync chain.
+    with wg.phase("sync", wg_id=wg_id):
         if sync:
             yield from adjacent_sync_regular(wg, flags, wg_id)
         else:

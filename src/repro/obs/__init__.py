@@ -8,6 +8,13 @@ The observability layer of the reproduction:
   gauges, histograms) attached to every tracer;
 * :mod:`repro.obs.export` — Chrome-trace JSON (``chrome://tracing`` /
   Perfetto) and flat JSONL exporters;
+* :mod:`repro.obs.flight` — the always-on flight recorder with
+  dump-on-trigger incident bundles;
+* :mod:`repro.obs.log` — the structured JSONL event log that threads
+  ``request_id`` correlation across layers;
+* :mod:`repro.obs.analyze` — the trace analyzer behind
+  ``python -m repro analyze`` (critical-path decomposition, spin
+  attribution, serve request lifecycles);
 * :mod:`repro.obs.runner` — traced execution of the paper experiments
   behind ``python -m repro trace`` (imported lazily: it pulls in the
   primitive layer);
@@ -25,6 +32,7 @@ from repro.obs.export import (
     export_jsonl,
     validate_chrome_trace,
 )
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -40,9 +48,13 @@ from repro.obs.tracer import (
     Span,
     Tracer,
     active,
+    add_span_sink,
+    annotate,
+    current_annotations,
     disable,
     enable,
     instant,
+    remove_span_sink,
     resolve_trace_mode,
     span,
     tracing,
@@ -53,7 +65,9 @@ __all__ = [
     "TRACE_ENV_VAR", "TRACE_MODES", "resolve_trace_mode",
     "Span", "NULL_SPAN", "Tracer", "HOST_TRACK", "wg_track",
     "active", "enable", "disable", "span", "instant", "tracing",
+    "annotate", "current_annotations", "add_span_sink", "remove_span_sink",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricsError",
     "chrome_trace_events", "export_chrome_trace", "export_jsonl",
     "validate_chrome_trace",
+    "FlightRecorder",
 ]

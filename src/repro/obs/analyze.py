@@ -1,0 +1,466 @@
+"""Trace analyzer: critical-path and lifecycle decomposition of traces.
+
+Consumes what the exporters and the flight recorder produce — a
+Chrome-trace JSON file, a flat JSONL log, or an incident bundle
+directory — and reconstructs the structure the paper's argument rests
+on: *where the time inside one launch went*.  For every kernel launch
+it decomposes each work-group's share of the launch wall into
+
+``load | reduce | spin (sync_wait) | sync-overhead | store | idle``
+
+where *idle* is the remainder (time the group was resident but not in
+any phase: dispatch skew, scheduler interleaving), so the decomposition
+sums to the launch wall by construction — the ±1% acceptance check in
+``make analyze-smoke`` guards the bookkeeping, not the arithmetic.  It
+also attributes spin time along the Figure 7 adjacent-synchronization
+chain ("wg 37 spent 61% of the launch in sync_wait on wg 36") and, for
+serve traces, breaks each request's lifecycle into
+queue-wait → batch-window → plan → execute → finalize stages.
+
+Entry points: :func:`load_trace` + :func:`analyze` for programmatic
+use, :func:`main` behind ``python -m repro analyze``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ReproError
+
+__all__ = ["load_trace", "analyze", "check_report", "render_text", "main"]
+
+# Top-level kernel phases, in pipeline order.  `scan` nests inside
+# `store`/`reduce` and `sync_wait` nests inside `sync`; both are
+# reported but excluded from the top-level sum to avoid double counting.
+PHASES = ("load", "reduce", "sync", "store")
+
+_EPS_US = 0.01  # endpoint rounding slack (exporters round to 3 decimals)
+
+
+class _Span:
+    """One flattened complete event, viewer-agnostic."""
+
+    __slots__ = ("name", "cat", "ts", "dur", "tid", "args", "unclosed")
+
+    def __init__(self, name, cat, ts, dur, tid, args, unclosed=False):
+        self.name = name
+        self.cat = cat
+        self.ts = float(ts)
+        self.dur = float(dur)
+        self.tid = tid
+        self.args = args or {}
+        self.unclosed = unclosed
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+
+class _Process:
+    __slots__ = ("name", "threads", "spans")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.threads: Dict[int, str] = {}
+        self.spans: List[_Span] = []
+
+    def thread_spans(self, tid) -> List[_Span]:
+        return [sp for sp in self.spans if sp.tid == tid]
+
+
+def _norm_track(label: str) -> str:
+    """Normalize a thread label to canonical track form (``wg:3``,
+    ``serve:req7``, ``host``) — the Chrome exporter renders ``:`` as a
+    space for readability, the flight recorder keeps it."""
+    label = str(label)
+    if " " in label and ":" not in label:
+        head, rest = label.split(" ", 1)
+        return f"{head}:{rest}"
+    return label
+
+
+def _parse_chrome(doc: dict) -> Dict[int, _Process]:
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ReproError("not a Chrome-trace document: missing 'traceEvents'")
+    procs: Dict[int, _Process] = {}
+    for ev in events:
+        pid = ev.get("pid", 0)
+        proc = procs.setdefault(pid, _Process(f"pid{pid}"))
+        ph = ev.get("ph")
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                proc.name = ev["args"]["name"]
+            elif ev.get("name") == "thread_name":
+                proc.threads[ev.get("tid", 0)] = _norm_track(
+                    ev["args"]["name"])
+        elif ph == "X":
+            proc.spans.append(_Span(ev.get("name"), ev.get("cat", ""),
+                                    ev.get("ts", 0.0), ev.get("dur", 0.0),
+                                    ev.get("tid", 0), ev.get("args")))
+    return procs
+
+
+def _parse_jsonl(lines: List[dict]) -> Dict[int, _Process]:
+    proc = _Process("trace")
+    tids: Dict[str, int] = {}
+    for rec in lines:
+        if rec.get("type") != "span":
+            continue
+        track = _norm_track(rec.get("track", "host"))
+        tid = tids.setdefault(track, len(tids))
+        proc.threads[tid] = track
+        proc.spans.append(_Span(rec.get("name"), rec.get("cat", ""),
+                                rec.get("ts_us", 0.0), rec.get("dur_us", 0.0),
+                                tid, rec.get("args"),
+                                unclosed=bool(rec.get("unclosed"))))
+    return {0: proc}
+
+
+def load_trace(path: Union[str, Path]) -> dict:
+    """Load a trace source into ``{"processes": ..., "manifest": ...}``.
+
+    Accepts a Chrome-trace ``.json``, a flat ``.jsonl`` log, or an
+    incident-bundle directory (``trace.json`` + ``manifest.json``).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"trace source {path} does not exist")
+    manifest = None
+    if path.is_dir():
+        trace_file = path / "trace.json"
+        manifest_file = path / "manifest.json"
+        if not trace_file.exists():
+            raise ReproError(
+                f"{path} is not an incident bundle (no trace.json)")
+        if manifest_file.exists():
+            manifest = json.loads(manifest_file.read_text())
+        procs = _parse_chrome(json.loads(trace_file.read_text()))
+        kind = "bundle"
+    elif path.suffix == ".jsonl":
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines() if line.strip()]
+        procs = _parse_jsonl(lines)
+        kind = "jsonl"
+    else:
+        procs = _parse_chrome(json.loads(path.read_text()))
+        kind = "chrome"
+    return {"source": str(path), "kind": kind,
+            "processes": procs, "manifest": manifest}
+
+
+# -- launch decomposition ------------------------------------------------------
+
+
+def _contained(sp: _Span, lo: float, hi: float) -> bool:
+    return sp.ts >= lo - _EPS_US and sp.end <= hi + _EPS_US
+
+
+def _analyze_launch(proc: _Process, launch: _Span) -> dict:
+    wg_tids = {tid: track for tid, track in proc.threads.items()
+               if track.startswith("wg:")}
+    workgroups = []
+    for tid, track in sorted(wg_tids.items(), key=lambda kv: kv[0]):
+        spans = [sp for sp in proc.thread_spans(tid)
+                 if _contained(sp, launch.ts, launch.end)]
+        if not spans:
+            continue
+        by_phase = {ph: 0.0 for ph in PHASES}
+        scan_us = 0.0
+        spin_us = 0.0
+        waits_on = None
+        wg_id = None
+        for sp in spans:
+            if sp.cat == "phase" and sp.name in by_phase:
+                by_phase[sp.name] += sp.dur
+                if sp.name == "sync" and "wg_id" in sp.args:
+                    wg_id = sp.args["wg_id"]
+            elif sp.cat == "phase" and sp.name == "scan":
+                scan_us += sp.dur
+            elif sp.cat == "sched" and sp.name == "sync_wait":
+                spin_us += sp.dur
+                if sp.args.get("waits_on") is not None:
+                    waits_on = sp.args["waits_on"]
+        wall = launch.dur
+        covered = sum(by_phase.values())
+        spin_us = min(spin_us, by_phase["sync"])
+        sync_other = max(0.0, by_phase["sync"] - spin_us)
+        idle = max(0.0, wall - covered)
+        total = covered + idle
+        if wg_id is None:
+            wg_id = int(track.split(":", 1)[1])
+        workgroups.append({
+            "track": track, "wg_id": wg_id,
+            "load_us": by_phase["load"], "reduce_us": by_phase["reduce"],
+            "spin_us": spin_us, "sync_other_us": sync_other,
+            "store_us": by_phase["store"], "scan_us": scan_us,
+            "idle_us": idle, "sum_us": total, "wall_us": wall,
+            "sum_ratio": (total / wall) if wall > 0 else 1.0,
+            "spin_share": (spin_us / wall) if wall > 0 else 0.0,
+            "waits_on": waits_on,
+        })
+    totals = {key: sum(w[f"{key}_us"] for w in workgroups)
+              for key in ("load", "reduce", "spin", "sync_other",
+                          "store", "idle")}
+    grand = sum(totals.values()) or 1.0
+    top = max(workgroups, key=lambda w: w["spin_share"], default=None)
+    chain = sorted((w["wg_id"], w["waits_on"]) for w in workgroups
+                   if w["waits_on"] is not None)
+    return {
+        "name": launch.name,
+        "backend": launch.args.get("backend"),
+        "wall_us": launch.dur,
+        "args": launch.args,
+        "n_workgroups": len(workgroups),
+        "workgroups": workgroups,
+        "totals": totals,
+        "shares": {k: v / grand for k, v in totals.items()},
+        "top_spinner": (None if top is None or top["spin_us"] <= 0.0 else {
+            "wg_id": top["wg_id"], "spin_share": top["spin_share"],
+            "spin_us": top["spin_us"], "waits_on": top["waits_on"]}),
+        "sync_chain": chain,
+    }
+
+
+# -- serve lifecycle -----------------------------------------------------------
+
+# Request stages in lifecycle order; whatever subset a trace carries is
+# rendered in this order.
+_STAGE_ORDER = ("queued", "batch_window", "plan", "execute", "verify",
+                "finalize")
+
+
+def _analyze_requests(proc: _Process) -> List[dict]:
+    requests = []
+    for tid, track in sorted(proc.threads.items(), key=lambda kv: kv[0]):
+        if not track.startswith("serve:req"):
+            continue
+        spans = proc.thread_spans(tid)
+        root = next((sp for sp in spans if sp.name == "serve.request"), None)
+        if root is None:
+            continue
+        stages = {}
+        for sp in spans:
+            if sp is root or not sp.name.startswith("serve."):
+                continue
+            stage = sp.name[len("serve."):]
+            stages[stage] = stages.get(stage, 0.0) + sp.dur
+        try:
+            request_id = int(track[len("serve:req"):])
+        except ValueError:
+            request_id = track[len("serve:req"):]
+        requests.append({
+            "request_id": root.args.get("request_id", request_id),
+            "track": track,
+            "state": root.args.get("state"),
+            "ops": root.args.get("ops"),
+            "error": root.args.get("error"),
+            "wall_us": root.dur,
+            "stages": {s: stages[s] for s in _STAGE_ORDER if s in stages},
+            "other_stages": {s: d for s, d in sorted(stages.items())
+                             if s not in _STAGE_ORDER},
+        })
+    return requests
+
+
+def _manifest_failures(manifest: Optional[dict]) -> List[dict]:
+    if not manifest:
+        return []
+    interesting = []
+    for ev in manifest.get("events", []):
+        name = str(ev.get("event", ""))
+        if name.endswith(("failed", "expired", "rejected", "breach")) \
+                or "breaker" in name or "incident" in name:
+            interesting.append(ev)
+    return interesting
+
+
+def analyze(loaded: Union[str, Path, dict]) -> dict:
+    """Produce the full analysis report (JSON-ready dict) for a trace
+    source — a path or the result of :func:`load_trace`."""
+    if not isinstance(loaded, dict):
+        loaded = load_trace(loaded)
+    processes = []
+    for pid in sorted(loaded["processes"]):
+        proc = loaded["processes"][pid]
+        host_tids = [tid for tid, tr in proc.threads.items() if tr == "host"]
+        launches = [sp for sp in proc.spans if sp.cat == "launch"
+                    and (not host_tids or sp.tid in host_tids)]
+        launches.sort(key=lambda sp: sp.ts)
+        processes.append({
+            "name": proc.name,
+            "n_spans": len(proc.spans),
+            "launches": [_analyze_launch(proc, sp) for sp in launches],
+            "requests": _analyze_requests(proc),
+        })
+    manifest = loaded.get("manifest")
+    incident = None
+    if manifest is not None:
+        incident = {
+            "trigger": manifest.get("trigger"),
+            "reason": manifest.get("reason"),
+            "created": manifest.get("created"),
+            "serve_config": manifest.get("serve_config"),
+            "ds_config": manifest.get("ds_config"),
+            "failures": _manifest_failures(manifest),
+            "n_events": manifest.get("n_events"),
+        }
+    return {"source": loaded["source"], "kind": loaded["kind"],
+            "processes": processes, "incident": incident}
+
+
+def check_report(report: dict, *, tolerance: float = 0.01) -> List[str]:
+    """The ``make analyze-smoke`` assertions: every work-group's
+    decomposition must sum to the launch wall within ``tolerance`` and
+    spin time can never exceed the wall.  Returns the violations."""
+    problems = []
+    for proc in report["processes"]:
+        for launch in proc["launches"]:
+            for wg in launch["workgroups"]:
+                if abs(wg["sum_ratio"] - 1.0) > tolerance:
+                    problems.append(
+                        f"{proc['name']}/{launch['name']}/{wg['track']}: "
+                        f"decomposition sums to {wg['sum_ratio']:.4f}x "
+                        f"of launch wall (tolerance {tolerance:.0%})")
+                if wg["spin_us"] > wg["wall_us"] + _EPS_US:
+                    problems.append(
+                        f"{proc['name']}/{launch['name']}/{wg['track']}: "
+                        f"spin {wg['spin_us']:.1f}us exceeds launch wall "
+                        f"{wg['wall_us']:.1f}us")
+    return problems
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _pct(x: float) -> str:
+    return f"{100.0 * x:4.1f}%"
+
+
+def render_text(report: dict) -> str:
+    out: List[str] = [f"== trace analysis: {report['source']} =="]
+    inc = report.get("incident")
+    if inc:
+        out.append(f"incident: trigger={inc['trigger']} "
+                   f"created={inc['created']}")
+        if inc.get("reason"):
+            out.append(f"  reason: {inc['reason']}")
+        for ev in inc.get("failures", []):
+            detail = " ".join(f"{k}={ev[k]}" for k in
+                              ("request_id", "ops", "phase", "error")
+                              if ev.get(k) is not None)
+            out.append(f"  {ev.get('event')}: {detail}")
+    for proc in report["processes"]:
+        out.append(f"\nprocess {proc['name']} ({proc['n_spans']} spans)")
+        for launch in proc["launches"]:
+            out.append(
+                f"  launch {launch['name']} "
+                f"[{launch.get('backend') or '?'}]: "
+                f"wall {launch['wall_us']:.1f} us, "
+                f"{launch['n_workgroups']} work-groups")
+            shares = launch["shares"]
+            out.append(
+                "    aggregate: load " + _pct(shares["load"])
+                + " | reduce " + _pct(shares["reduce"])
+                + " | spin " + _pct(shares["spin"])
+                + " | sync " + _pct(shares["sync_other"])
+                + " | store " + _pct(shares["store"])
+                + " | idle " + _pct(shares["idle"]))
+            top = launch.get("top_spinner")
+            if top:
+                on = (f" on wg {top['waits_on']}"
+                      if top.get("waits_on") is not None else "")
+                out.append(
+                    f"    top spinner: wg {top['wg_id']} spent "
+                    f"{_pct(top['spin_share']).strip()} of the launch "
+                    f"in sync_wait{on}")
+            if launch["sync_chain"]:
+                edges = ", ".join(f"{a}<-{b}" for a, b
+                                  in launch["sync_chain"][:8])
+                more = (f" (+{len(launch['sync_chain']) - 8} more)"
+                        if len(launch["sync_chain"]) > 8 else "")
+                out.append(f"    sync chain: {edges}{more}")
+            for wg in launch["workgroups"]:
+                on = (f" waits on wg {wg['waits_on']}"
+                      if wg["waits_on"] is not None else "")
+                out.append(
+                    f"      wg {wg['wg_id']:>3} ({wg['track']}): "
+                    f"load {wg['load_us']:8.1f}  "
+                    f"reduce {wg['reduce_us']:8.1f}  "
+                    f"spin {wg['spin_us']:8.1f} "
+                    f"({_pct(wg['spin_share']).strip()})  "
+                    f"store {wg['store_us']:8.1f}  "
+                    f"idle {wg['idle_us']:8.1f}  "
+                    f"sum/wall {wg['sum_ratio']:.3f}{on}")
+        if proc["requests"]:
+            out.append(f"  serve requests ({len(proc['requests'])}):")
+            for req in proc["requests"]:
+                stages = dict(req["stages"])
+                stages.update(req["other_stages"])
+                pipeline = " | ".join(f"{name} {dur:.0f}us"
+                                      for name, dur in stages.items())
+                err = f" error={req['error']}" if req.get("error") else ""
+                out.append(
+                    f"    req {req['request_id']} [{req['state']}] "
+                    f"{req['ops']}: wall {req['wall_us']:.0f}us"
+                    f" :: {pipeline}{err}")
+    return "\n".join(out)
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro analyze",
+        description="Analyze a Chrome trace, JSONL log, or incident "
+                    "bundle: per-work-group critical-path decomposition, "
+                    "spin attribution along the Figure 7 sync chain, and "
+                    "serve request lifecycle breakdowns.",
+    )
+    parser.add_argument("path",
+                        help="trace.json, trace.jsonl, or an incident "
+                             "bundle directory")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write the report to a file instead of stdout")
+    parser.add_argument("--check", action="store_true",
+                        help="assert decomposition invariants (per-wg sum "
+                             "within 1%% of launch wall, spin <= wall); "
+                             "non-zero exit on violation")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        report = analyze(args.path)
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+    text = (json.dumps(report, indent=1, sort_keys=True, allow_nan=False)
+            if args.json else render_text(report))
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    if args.check:
+        problems = check_report(report)
+        if problems:
+            for problem in problems:
+                print(f"CHECK FAILED: {problem}", file=sys.stderr)
+            return 1
+        n_launches = sum(len(p["launches"]) for p in report["processes"])
+        print(f"check ok: {n_launches} launches, all decompositions "
+              f"within 1% of launch wall")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -19,6 +19,7 @@ per line — spans (with depth), instants, then metrics — for ad-hoc
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -54,13 +55,28 @@ def _span_end(sp: Span, fallback: float) -> float:
     return sp.end_us if sp.end_us is not None else fallback
 
 
+def _sanitize(value):
+    """Map non-finite floats to ``None`` recursively so every export is
+    strict JSON (``NaN``/``Infinity`` are not JSON and corrupt viewers)."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    return value
+
+
 def chrome_trace_events(tracer: Tracer, *, pid: int = 0,
                         process_name: Optional[str] = None) -> List[dict]:
-    """Flatten one tracer into a list of Chrome trace events."""
+    """Flatten one tracer into a list of Chrome trace events.
+
+    Metadata events are always emitted (even for a tracer that recorded
+    nothing) so an empty trace still validates and opens in a viewer.
+    """
     events: List[dict] = []
-    if process_name:
-        events.append({"name": "process_name", "ph": "M", "pid": pid,
-                       "tid": 0, "args": {"name": process_name}})
+    events.append({"name": "process_name", "ph": "M", "pid": pid,
+                   "tid": 0, "args": {"name": process_name or "trace"}})
     tracks = sorted(tracer.tracks, key=_track_sort_key)
     tids = {track: i for i, track in enumerate(tracks)}
     for track, tid in tids.items():
@@ -85,14 +101,14 @@ def chrome_trace_events(tracer: Tracer, *, pid: int = 0,
             "ts": ts,
             "dur": max(0.0, round(end, 3) - ts),
             "pid": pid, "tid": tids[track],
-            "args": sp.args or {},
+            "args": _sanitize(sp.args or {}),
         })
     for ev in tracer.instants:
         events.append({
             "name": ev["name"], "cat": ev["cat"], "ph": "i", "s": "t",
             "ts": round(ev["ts_us"], 3),
             "pid": pid, "tid": tids.get(ev["track"], 0),
-            "args": ev["args"] or {},
+            "args": _sanitize(ev["args"] or {}),
         })
     return events
 
@@ -106,7 +122,7 @@ def export_chrome_trace(tracers: TracerOrMapping,
     metrics: Dict[str, List[dict]] = {}
     for pid, (name, tracer) in enumerate(tracers.items()):
         events.extend(chrome_trace_events(tracer, pid=pid, process_name=name))
-        metrics[name] = tracer.metrics.to_dicts()
+        metrics[name] = _sanitize(tracer.metrics.to_dicts())
     doc = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -116,7 +132,8 @@ def export_chrome_trace(tracers: TracerOrMapping,
         },
     }
     if path is not None:
-        Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+        Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True,
+                                         allow_nan=False) + "\n")
     return doc
 
 
@@ -124,22 +141,34 @@ def export_jsonl(tracer: Tracer,
                  path: Optional[Union[str, Path]] = None) -> List[dict]:
     """Flatten one tracer into JSONL records (written when ``path``)."""
     records: List[dict] = []
+    latest = 0.0
+    for _, sp, _ in tracer.iter_spans():
+        latest = max(latest, sp.start_us,
+                     sp.end_us if sp.end_us is not None else 0.0)
     for track, sp, depth in tracer.iter_spans():
-        records.append({
+        # Spans left open at export time are closed at the tracer's
+        # latest observed timestamp, mirroring the Chrome exporter.
+        end = _span_end(sp, latest)
+        record = {
             "type": "span", "name": sp.name, "cat": sp.cat, "track": track,
             "depth": depth, "ts_us": round(sp.start_us, 3),
-            "dur_us": round(sp.duration_us, 3), "args": sp.args or {},
-        })
+            "dur_us": round(max(0.0, end - sp.start_us), 3),
+            "args": _sanitize(sp.args or {}),
+        }
+        if sp.end_us is None:
+            record["unclosed"] = True
+        records.append(record)
     for ev in tracer.instants:
         records.append({
             "type": "instant", "name": ev["name"], "cat": ev["cat"],
             "track": ev["track"], "ts_us": round(ev["ts_us"], 3),
-            "args": ev["args"] or {},
+            "args": _sanitize(ev["args"] or {}),
         })
-    records.extend(tracer.metrics.to_dicts())
+    records.extend(_sanitize(tracer.metrics.to_dicts()))
     if path is not None:
         Path(path).write_text(
-            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records))
+            "".join(json.dumps(r, sort_keys=True, allow_nan=False) + "\n"
+                    for r in records))
     return records
 
 

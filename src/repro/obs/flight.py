@@ -1,0 +1,220 @@
+"""Flight recorder: an always-on ring of recent spans + events with
+dump-on-trigger incident bundles.
+
+Full tracing is too heavy to leave enabled in a serving process, but
+when a circuit breaker opens or a deadline expires, the question is
+always *what were the kernels doing right before this* — and by then it
+is too late to turn tracing on.  The flight recorder closes that gap
+the way an aircraft FDR does: it continuously records into a bounded
+ring (O(1) per record, old entries evicted) and only materializes
+anything when a **trigger** fires.
+
+Two feeds fill the ring:
+
+* **spans** — when a tracer is active, every completed span arrives via
+  the :func:`repro.obs.tracer.add_span_sink` hook (the recorder stores
+  the span object; one ``deque.append`` per span);
+* **events** — layers call :meth:`FlightRecorder.record_event` directly
+  (serve admission/dispatch/completion, launch registration), which
+  works with *no* tracer installed — this is the cheap always-on path
+  the serve layer relies on.
+
+:meth:`dump` snapshots the ring into a timestamped **incident bundle**:
+a directory holding ``trace.json`` (Chrome-trace of the ringed spans,
+openable in Perfetto) and ``manifest.json`` (trigger, recent events,
+metrics registry snapshot, active ``DSConfig``/``ServeConfig``).
+:meth:`maybe_dump` adds per-trigger rate limiting so a failure storm
+produces one bundle per cooldown window, not thousands.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Union
+
+from repro.obs.export import _sanitize, _track_sort_key
+from repro.obs.tracer import Span, add_span_sink, remove_span_sink
+
+__all__ = ["FlightRecorder", "TRIGGERS"]
+
+TRIGGERS = ("breaker_open", "deadline", "launch_error", "slo_breach",
+            "manual")
+"""The trigger taxonomy incident bundles are filed under.  ``manual``
+covers operator-requested dumps; the rest map to serve-layer failure
+modes (see docs/serving.md)."""
+
+
+def _config_dict(config) -> Optional[dict]:
+    """Best-effort JSON snapshot of a config object (dataclass, mapping
+    or arbitrary object)."""
+    if config is None:
+        return None
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return _sanitize(dataclasses.asdict(config))
+    if isinstance(config, dict):
+        return _sanitize(dict(config))
+    try:
+        return _sanitize(dict(vars(config)))
+    except TypeError:
+        return {"repr": repr(config)}
+
+
+class FlightRecorder:
+    """Bounded ring of completed spans and structured events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum spans (and, separately, events) retained.  Old records
+        fall off the back; a dump only ever sees the last ``capacity``.
+    incident_dir:
+        Where bundles are written (created on first dump).
+    cooldown_ms:
+        Minimum wall-clock gap between two bundles for the *same*
+        trigger (:meth:`maybe_dump`); explicit :meth:`dump` ignores it.
+    """
+
+    def __init__(self, capacity: int = 4096, *,
+                 incident_dir: Union[str, Path] = "incidents",
+                 cooldown_ms: float = 1000.0) -> None:
+        self.capacity = int(capacity)
+        self.incident_dir = Path(incident_dir)
+        self.cooldown_ms = float(cooldown_ms)
+        self._spans: Deque[Span] = deque(maxlen=self.capacity)
+        self._events: Deque[dict] = deque(maxlen=self.capacity)
+        self._t0 = time.perf_counter_ns()
+        self._last_dump_us: Dict[str, float] = {}
+        self._seq = 0
+        self._lock = threading.Lock()
+        self.dumps: List[Path] = []
+        self._installed = False
+
+    # -- recording (the hot path) ---------------------------------------------
+
+    def now_us(self) -> float:
+        return (time.perf_counter_ns() - self._t0) / 1e3
+
+    def record_span(self, sp: Span) -> None:
+        """Span-sink callback: one bounded append, no copying."""
+        self._spans.append(sp)
+
+    def record_event(self, event: str, **fields) -> None:
+        """Record a structured event with the recorder's own clock —
+        works without any tracer, which is the serve hot path."""
+        fields["ts_us"] = round(self.now_us(), 3)
+        fields["event"] = event
+        self._events.append(fields)
+
+    def install(self) -> "FlightRecorder":
+        """Start receiving completed spans from any active tracer."""
+        if not self._installed:
+            add_span_sink(self.record_span)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if self._installed:
+            remove_span_sink(self.record_span)
+            self._installed = False
+
+    def __enter__(self) -> "FlightRecorder":
+        return self.install()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.uninstall()
+        return False
+
+    def __len__(self) -> int:
+        return len(self._spans) + len(self._events)
+
+    # -- snapshots ------------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def events(self) -> List[dict]:
+        return list(self._events)
+
+    def _chrome_doc(self, spans: List[Span]) -> dict:
+        """A minimal Chrome-trace document for the ringed spans: pid 0,
+        one tid per track, flat complete events (the viewer infers
+        nesting from the timestamps)."""
+        tracks = sorted({sp.track for sp in spans}, key=_track_sort_key)
+        tids = {track: i for i, track in enumerate(tracks)}
+        events: List[dict] = [
+            {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+             "args": {"name": "flight-recorder"}}]
+        for track, tid in tids.items():
+            events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                           "tid": tid, "args": {"name": track}})
+        for sp in spans:
+            end = sp.end_us if sp.end_us is not None else sp.start_us
+            ts = round(sp.start_us, 3)
+            events.append({
+                "name": sp.name, "cat": sp.cat, "ph": "X", "ts": ts,
+                "dur": max(0.0, round(end, 3) - ts),
+                "pid": 0, "tid": tids[sp.track],
+                "args": _sanitize(sp.args or {}),
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms",
+                "otherData": {"generator": "repro.obs.flight"}}
+
+    # -- dumping --------------------------------------------------------------
+
+    def maybe_dump(self, trigger: str, **kwargs) -> Optional[Path]:
+        """Dump unless the same trigger fired within ``cooldown_ms``."""
+        with self._lock:
+            now = self.now_us()
+            last = self._last_dump_us.get(trigger)
+            if last is not None and (now - last) / 1e3 < self.cooldown_ms:
+                return None
+            self._last_dump_us[trigger] = now
+        return self.dump(trigger, **kwargs)
+
+    def dump(self, trigger: str, *, reason: str = "",
+             metrics=None, ds_config=None, serve_config=None,
+             context: Optional[dict] = None) -> Path:
+        """Write an incident bundle and return its directory.
+
+        ``metrics`` is a :class:`~repro.obs.metrics.MetricsRegistry`
+        (or anything with ``to_dicts``); the config arguments accept
+        the live ``DSConfig`` / ``ServeConfig`` dataclasses.
+        """
+        spans = self.spans()
+        events = self.events()
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        bundle = self.incident_dir / f"incident-{stamp}-{seq:03d}-{trigger}"
+        bundle.mkdir(parents=True, exist_ok=True)
+
+        doc = self._chrome_doc(spans)
+        (bundle / "trace.json").write_text(
+            json.dumps(doc, indent=1, sort_keys=True, allow_nan=False) + "\n")
+
+        manifest = {
+            "kind": "repro-incident-bundle",
+            "trigger": trigger,
+            "reason": reason,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "capacity": self.capacity,
+            "n_spans": len(spans),
+            "n_events": len(events),
+            "events": _sanitize(events),
+            "metrics": (_sanitize(metrics.to_dicts())
+                        if metrics is not None else []),
+            "ds_config": _config_dict(ds_config),
+            "serve_config": _config_dict(serve_config),
+            "context": _sanitize(context or {}),
+        }
+        (bundle / "manifest.json").write_text(
+            json.dumps(manifest, indent=1, sort_keys=True,
+                       allow_nan=False) + "\n")
+        self.dumps.append(bundle)
+        return bundle

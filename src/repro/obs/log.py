@@ -1,0 +1,142 @@
+"""Structured JSONL event log: one grep follows a request end to end.
+
+The span tracer answers *where time went*; this log answers *what
+happened, in order, across layers*.  Every record is one JSON object on
+one line with at least ``ts`` (wall-clock epoch seconds), ``ts_us``
+(monotonic microseconds since the log was opened) and ``event`` (a
+dotted name such as ``serve.admit`` or ``launch.done``), plus whatever
+correlation fields the emitting layer attaches — crucially
+``request_id``, which the serve layer threads through
+:func:`repro.obs.tracer.annotate` into the batches and kernel launches
+that executed it.  So::
+
+    grep '"request_id": 17' serve.log.jsonl
+
+yields the full lifecycle of request 17: admission, batch membership,
+the launch that carried it, completion (or the incident that killed it).
+
+The module-level :func:`emit` is free when no log is installed (one
+``None`` check), mirroring how span instrumentation costs one
+``active()`` check when tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, List, Optional, Union
+
+__all__ = ["EventLog", "install", "uninstall", "get", "emit"]
+
+
+def _jsonable(value):
+    """Coerce arbitrary field values into strict-JSON-safe primitives."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    # numpy scalars and friends expose item(); last resort is repr.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _jsonable(item())
+        except Exception:  # pragma: no cover - exotic array-likes
+            pass
+    return repr(value)
+
+
+class EventLog:
+    """An append-only JSONL event sink, thread-safe, optionally backed
+    by a file.  The most recent ``tail_capacity`` records are always
+    kept in memory so incident bundles can include them even when no
+    file was configured."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None,
+                 *, tail_capacity: int = 1024) -> None:
+        self.path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._t0 = time.perf_counter_ns()
+        self._tail: Deque[dict] = deque(maxlen=tail_capacity)
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+
+    def now_us(self) -> float:
+        return (time.perf_counter_ns() - self._t0) / 1e3
+
+    def emit(self, event: str, **fields) -> dict:
+        record = {"ts": round(time.time(), 6),
+                  "ts_us": round(self.now_us(), 3),
+                  "event": event}
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        with self._lock:
+            self._tail.append(record)
+            if self._fh is not None:
+                self._fh.write(json.dumps(record, sort_keys=True,
+                                          allow_nan=False) + "\n")
+                self._fh.flush()
+        return record
+
+    def tail(self, n: Optional[int] = None) -> List[dict]:
+        """The most recent ``n`` records (all retained ones if ``None``)."""
+        with self._lock:
+            records = list(self._tail)
+        return records if n is None else records[-n:]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+_ACTIVE: Optional[EventLog] = None
+
+
+def install(path: Optional[Union[str, Path]] = None, *,
+            tail_capacity: int = 1024) -> EventLog:
+    """Install (and return) the process-global event log, closing any
+    previous one."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+    _ACTIVE = EventLog(path, tail_capacity=tail_capacity)
+    return _ACTIVE
+
+
+def uninstall() -> Optional[EventLog]:
+    """Close and remove the global event log (returned for inspection)."""
+    global _ACTIVE
+    log, _ACTIVE = _ACTIVE, None
+    if log is not None:
+        log.close()
+    return log
+
+
+def get() -> Optional[EventLog]:
+    """The installed event log, or ``None`` — the single hot-path check."""
+    return _ACTIVE
+
+
+def emit(event: str, **fields) -> None:
+    """Emit on the global log; free when none is installed."""
+    log = _ACTIVE
+    if log is not None:
+        log.emit(event, **fields)

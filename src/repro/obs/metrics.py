@@ -17,6 +17,7 @@ JSONL exporter and the Chrome-trace ``otherData`` block.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ReproError
@@ -83,9 +84,15 @@ class Gauge:
 
 class Histogram:
     """A distribution summarized as count/sum/min/max plus power-of-two
-    buckets (bucket ``b`` counts observations with ``value <= 2**b``)."""
+    buckets (bucket ``b`` counts observations with ``value <= 2**b``).
 
-    __slots__ = ("name", "labels", "count", "total", "min", "max", "buckets")
+    Non-finite observations (``nan``/``inf``) are counted separately on
+    :attr:`nonfinite` and excluded from every aggregate, so a single bad
+    measurement can never poison the summary or corrupt an export.
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max",
+                 "buckets", "nonfinite")
     kind = "histogram"
 
     def __init__(self, name: str, labels: LabelKey = ()) -> None:
@@ -96,9 +103,13 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.buckets: Dict[int, int] = {}
+        self.nonfinite = 0
 
     def record(self, value: float) -> None:
         value = float(value)
+        if not math.isfinite(value):
+            self.nonfinite += 1
+            return
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
@@ -112,12 +123,51 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the
+        power-of-two buckets.
+
+        Within the winning bucket ``(2**(b-1), 2**b]`` the observations
+        are assumed uniform (log-linear interpolation, clamped to the
+        observed ``[min, max]``), which bounds the relative error of any
+        estimate by the bucket width — plenty for latency percentiles.
+        """
+        if self.count == 0:
+            return 0.0
+        if q <= 0.0:
+            return float(self.min)
+        if q >= 1.0:
+            return float(self.max)
+        target = q * self.count
+        cumulative = 0
+        for b in sorted(self.buckets):
+            in_bucket = self.buckets[b]
+            if cumulative + in_bucket >= target:
+                lo = 0.0 if b <= 0 else float(2.0 ** (b - 1))
+                hi = float(2.0 ** b)
+                lo = max(lo, float(self.min))
+                hi = min(hi, float(self.max))
+                if hi <= lo:
+                    return lo
+                fraction = (target - cumulative) / in_bucket
+                return lo + fraction * (hi - lo)
+            cumulative += in_bucket
+        return float(self.max)  # pragma: no cover - defensive
+
+    def percentiles(self) -> Dict[str, float]:
+        """The standard latency summary: p50 / p95 / p99."""
+        return {"p50": self.quantile(0.50), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99)}
+
     def to_dict(self) -> dict:
         return {
             "type": "histogram", "name": self.name,
             "labels": dict(self.labels),
             "count": self.count, "sum": self.total,
             "min": self.min, "max": self.max, "mean": self.mean,
+            "nonfinite": self.nonfinite,
+            "p50": self.quantile(0.50), "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": {str(2 ** b): n
                         for b, n in sorted(self.buckets.items())},
         }
@@ -181,3 +231,50 @@ class MetricsRegistry:
 
     def to_dicts(self) -> List[dict]:
         return [item.to_dict() for item in self.instruments()]
+
+    def reset(self, prefix: Optional[str] = None) -> int:
+        """Drop instruments (and their kind bindings) whose name starts
+        with ``prefix`` — all of them when ``prefix`` is ``None``.
+
+        Returns the number of instruments removed.  Callers holding a
+        direct reference to a dropped instrument keep a detached object;
+        the next registry access under that name starts from zero.
+        """
+        if prefix is None:
+            removed = len(self._items)
+            self._items.clear()
+            self._kinds.clear()
+            return removed
+        doomed = [key for key in self._items if key[0].startswith(prefix)]
+        for key in doomed:
+            del self._items[key]
+        for name in [n for n in self._kinds if n.startswith(prefix)]:
+            del self._kinds[name]
+        return len(doomed)
+
+    @contextmanager
+    def scoped(self, prefix: Optional[str] = None):
+        """Run a block against a clean slice of the registry.
+
+        On entry, instruments matching ``prefix`` are stashed aside so
+        the block starts from zero; on exit the block's instruments are
+        discarded and the stashed ones restored.  This is how
+        back-to-back ``Server`` runs (and the test suite) avoid
+        accumulating each other's ``serve.*`` counters on a shared
+        tracer registry.
+        """
+        def matches(name: str) -> bool:
+            return prefix is None or name.startswith(prefix)
+
+        stash_items = {k: v for k, v in self._items.items() if matches(k[0])}
+        stash_kinds = {n: k for n, k in self._kinds.items() if matches(n)}
+        for key in stash_items:
+            del self._items[key]
+        for name in stash_kinds:
+            del self._kinds[name]
+        try:
+            yield self
+        finally:
+            self.reset(prefix)
+            self._items.update(stash_items)
+            self._kinds.update(stash_kinds)

@@ -40,6 +40,7 @@ excluded from counter parity).
 from __future__ import annotations
 
 import os
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
@@ -52,6 +53,8 @@ __all__ = [
     "Span", "NULL_SPAN", "Tracer",
     "HOST_TRACK", "wg_track",
     "active", "enable", "disable", "span", "instant", "tracing",
+    "annotate", "current_annotations",
+    "add_span_sink", "remove_span_sink",
 ]
 
 TRACE_ENV_VAR = "REPRO_TRACE"
@@ -64,6 +67,80 @@ HOST_TRACK = "host"
 def wg_track(group_index: int) -> str:
     """The track name of one simulated work-group."""
     return f"wg:{int(group_index)}"
+
+
+# -- correlation annotations ---------------------------------------------------
+#
+# A thread-local stack of attribute dicts that higher layers (the serve
+# batcher, the pipeline engine) push before executing work on behalf of
+# specific requests.  Launch and primitive spans merge the current
+# annotations into their args, which is how a `request_id` threads from
+# `ServeRequest` all the way into the kernel-launch span that executed
+# it.  Phase/sched spans deliberately do NOT merge annotations: they are
+# compared across backends as exact trees by the parity tests.
+
+_ANNOTATIONS = threading.local()
+
+
+def current_annotations() -> Optional[dict]:
+    """The merged annotation attributes of the calling thread (``None``
+    when no :func:`annotate` scope is active — the common, free path)."""
+    stack = getattr(_ANNOTATIONS, "stack", None)
+    if not stack:
+        return None
+    if len(stack) == 1:
+        return stack[0]
+    merged: dict = {}
+    for attrs in stack:
+        merged.update(attrs)
+    return merged
+
+
+@contextmanager
+def annotate(**attrs):
+    """Attach correlation attributes (``request_ids``, ``batch_id``, ...)
+    to every launch/primitive span opened by this thread inside the
+    block.  Scopes nest; inner values win on key collision."""
+    stack = getattr(_ANNOTATIONS, "stack", None)
+    if stack is None:
+        stack = _ANNOTATIONS.stack = []
+    stack.append(dict(attrs))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+# -- span sinks ----------------------------------------------------------------
+#
+# Module-level observers invoked with every span the moment it
+# completes (explicit-timestamp spans included).  The flight recorder
+# registers here so it can keep its ring current without the tracer
+# depending on it.  The disabled path is one truthiness check.
+
+_SPAN_SINKS: List[Callable[["Span"], None]] = []
+
+
+def add_span_sink(sink: Callable[["Span"], None]) -> None:
+    """Register ``sink`` to be called with every completed span."""
+    if sink not in _SPAN_SINKS:
+        _SPAN_SINKS.append(sink)
+
+
+def remove_span_sink(sink: Callable[["Span"], None]) -> None:
+    """Unregister a sink added via :func:`add_span_sink` (idempotent)."""
+    try:
+        _SPAN_SINKS.remove(sink)
+    except ValueError:
+        pass
+
+
+def _notify_sinks(sp: "Span") -> None:
+    for sink in _SPAN_SINKS:
+        try:
+            sink(sp)
+        except Exception:  # pragma: no cover - sinks must not break tracing
+            pass
 
 
 def resolve_trace_mode(mode: Optional[str] = None) -> str:
@@ -221,8 +298,12 @@ class Tracer:
         while stack:
             top = stack.pop()
             if top is sp:
+                if _SPAN_SINKS:
+                    _notify_sinks(sp)
                 return
             top.end_us = sp.end_us
+            if _SPAN_SINKS:
+                _notify_sinks(top)
         raise ReproError(f"span {sp.name!r} ended twice on track {sp.track!r}")
 
     def add_span(self, name: str, *, track: str, start_us: float,
@@ -238,6 +319,8 @@ class Tracer:
             parent.children.append(sp)
         else:
             self._track(track).append(sp)
+        if _SPAN_SINKS:
+            _notify_sinks(sp)
         return sp
 
     def instant(self, name: str, *, cat: str = "event",

@@ -59,7 +59,7 @@ from repro.simgpu.buffers import Buffer
 from repro.simgpu.device import DeviceSpec
 from repro.simgpu.stream import Stream
 
-__all__ = ["Pipeline", "DSFuture"]
+__all__ = ["Pipeline", "DSFuture", "signature_cache_stats"]
 
 
 class DSFuture:
@@ -133,12 +133,26 @@ def _walk_deps(value, out: set, owner: "Pipeline") -> None:
 _SIGNATURE_CACHE_MAX = 256
 _signature_cache: "OrderedDict[object, Tuple[str, ...]]" = OrderedDict()
 _signature_lock = threading.Lock()
+_signature_stats = {"hits": 0, "misses": 0}
 
 
 def _signature_metric(outcome: str) -> None:
+    _signature_stats[outcome] += 1  # caller holds _signature_lock
     tracer = _obs.active()
     if tracer is not None:
         tracer.metrics.counter(f"pipeline.signature_cache.{outcome}").inc()
+
+
+def signature_cache_stats() -> dict:
+    """Hit/miss/size snapshot of the signature cache — available with
+    or without a tracer (``Server.stats()`` reads it on demand)."""
+    with _signature_lock:
+        hits = _signature_stats["hits"]
+        misses = _signature_stats["misses"]
+        size = len(_signature_cache)
+    total = hits + misses
+    return {"hits": hits, "misses": misses, "size": size,
+            "hit_rate": (hits / total) if total else 0.0}
 
 
 def _data_param_names(runner) -> Tuple[str, ...]:
@@ -326,7 +340,20 @@ class Pipeline:
         # this list), keeping plan step indices and cache keys
         # batch-relative — a cached plan must apply to a later batch.
         self._futures = []
-        plan = self._plan_calls(calls)
+        tracer = _obs.active()
+        if tracer is not None:
+            # A dedicated plan span makes "how much of this batch was
+            # planning vs executing" a first-class question in traces.
+            hits_before, _ = self.plan_cache.stats()
+            with tracer.span("pipeline.plan", cat="pipeline",
+                             args={"n_ops": len(calls)}) as plan_sp:
+                plan = self._plan_calls(calls)
+                hits_after, _ = self.plan_cache.stats()
+                plan_sp.set(n_steps=len(plan.steps),
+                            n_fused_groups=plan.n_fused_groups,
+                            cache_hit=hits_after > hits_before)
+        else:
+            plan = self._plan_calls(calls)
         self.last_plan = plan
         by_index = {c.index: c for c in calls}
         self._batch_count += 1

@@ -100,6 +100,9 @@ def primitive_span(name: str, *, backend: Optional[str] = None, **attrs):
         yield obs.NULL_SPAN
         return
     args = {"backend": resolve_backend(backend)}
+    annotations = obs.current_annotations()
+    if annotations:
+        args.update(annotations)
     args.update(attrs)
     with tracer.span(name, cat="primitive", args=args) as sp:
         yield sp

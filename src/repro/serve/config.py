@@ -70,6 +70,24 @@ class ServeConfig:
         Open time before a single half-open probe is allowed.
     seed:
         Base scheduling seed; worker *i* uses ``seed + i``.
+    flight_capacity:
+        Ring size of the server's always-on flight recorder (spans and
+        events retained for incident bundles); ``0`` disables the
+        recorder entirely (the overhead-check baseline).
+    incident_dir:
+        Directory incident bundles are written to on a trigger
+        (breaker-open, deadline, launch error, SLO breach).  ``None``
+        disables dumping — the ring still records.
+    incident_cooldown_ms:
+        Minimum gap between two bundles for the same trigger, so a
+        failure storm produces one bundle per window, not thousands.
+    slo_ms:
+        Latency objective; a completed request slower than this fires
+        the ``slo_breach`` incident trigger.  ``None`` disables it.
+    event_log:
+        Path for the structured JSONL event log
+        (:mod:`repro.obs.log`); ``None`` keeps events in memory only
+        (they still reach incident bundles via the flight recorder).
     """
 
     max_batch_size: int = 8
@@ -82,6 +100,11 @@ class ServeConfig:
     breaker_threshold: int = 3
     breaker_cooldown_ms: float = 50.0
     seed: int = 0
+    flight_capacity: int = 4096
+    incident_dir: Optional[str] = None
+    incident_cooldown_ms: float = 1000.0
+    slo_ms: Optional[float] = None
+    event_log: Optional[str] = None
 
     def __post_init__(self) -> None:
         _positive("max_batch_size", int(self.max_batch_size))
@@ -94,11 +117,19 @@ class ServeConfig:
                   zero_ok=True)
         _positive("breaker_cooldown_ms", float(self.breaker_cooldown_ms),
                   zero_ok=True)
+        _positive("flight_capacity", int(self.flight_capacity),
+                  zero_ok=True)
+        _positive("incident_cooldown_ms", float(self.incident_cooldown_ms),
+                  zero_ok=True)
         if (self.default_deadline_ms is not None
                 and float(self.default_deadline_ms) <= 0):
             raise ValueError(
                 "ServeConfig.default_deadline_ms must be positive or None, "
                 f"got {self.default_deadline_ms!r}")
+        if self.slo_ms is not None and float(self.slo_ms) <= 0:
+            raise ValueError(
+                "ServeConfig.slo_ms must be positive or None, "
+                f"got {self.slo_ms!r}")
 
     def replace(self, **changes) -> "ServeConfig":
         """A copy with ``changes`` applied (the frozen-dataclass idiom)."""
@@ -112,7 +143,10 @@ class ServeConfig:
         ``REPRO_SERVE_QUEUE_DEPTH``, ``REPRO_SERVE_WORKERS``,
         ``REPRO_SERVE_DEADLINE_MS``, ``REPRO_SERVE_RETRIES``,
         ``REPRO_SERVE_BACKOFF_MS``, ``REPRO_SERVE_BREAKER_THRESHOLD``,
-        ``REPRO_SERVE_BREAKER_COOLDOWN_MS``, ``REPRO_SERVE_SEED``.
+        ``REPRO_SERVE_BREAKER_COOLDOWN_MS``, ``REPRO_SERVE_SEED``,
+        ``REPRO_SERVE_FLIGHT_CAPACITY``, ``REPRO_SERVE_INCIDENT_DIR``,
+        ``REPRO_SERVE_INCIDENT_COOLDOWN_MS``, ``REPRO_SERVE_SLO_MS``,
+        ``REPRO_SERVE_EVENT_LOG``.
         Malformed values raise :class:`ValueError` naming the variable.
         """
         env = os.environ if environ is None else environ
@@ -120,6 +154,9 @@ class ServeConfig:
         def _get(name):
             raw = env.get(name, "")
             return raw.strip() or None
+
+        def _str(name):
+            return _get(name)
 
         def _int(name):
             raw = _get(name)
@@ -150,6 +187,12 @@ class ServeConfig:
             ("REPRO_SERVE_BREAKER_COOLDOWN_MS", "breaker_cooldown_ms",
              _float),
             ("REPRO_SERVE_SEED", "seed", _int),
+            ("REPRO_SERVE_FLIGHT_CAPACITY", "flight_capacity", _int),
+            ("REPRO_SERVE_INCIDENT_DIR", "incident_dir", _str),
+            ("REPRO_SERVE_INCIDENT_COOLDOWN_MS", "incident_cooldown_ms",
+             _float),
+            ("REPRO_SERVE_SLO_MS", "slo_ms", _float),
+            ("REPRO_SERVE_EVENT_LOG", "event_log", _str),
         ]
         for var, field_name, parse in spec:
             if _get(var):

@@ -43,7 +43,7 @@ from repro.serve.config import ServeConfig
 from repro.serve.server import Server
 
 __all__ = ["LoadReport", "ShapeSpec", "SHAPES", "make_shape", "run_load",
-           "check_report", "main"]
+           "check_report", "flight_overhead_check", "main"]
 
 
 @dataclass(frozen=True)
@@ -146,9 +146,11 @@ class LoadReport:
     degraded: int = 0
     retries: int = 0
     faults_injected: int = 0
+    slo_breaches: int = 0
     wall_s: float = 0.0
     throughput_rps: float = 0.0
     latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
     latency_p99_ms: float = 0.0
     latency_mean_ms: float = 0.0
     batches: int = 0
@@ -158,6 +160,8 @@ class LoadReport:
     plan_misses: int = 0
     plan_hit_rate: float = 0.0
     errors: List[str] = field(default_factory=list)
+    incidents: List[str] = field(default_factory=list)
+    stats: Optional[Dict] = None
 
     def to_dict(self) -> dict:
         out = dict(self.__dict__)
@@ -174,6 +178,7 @@ class LoadReport:
             f"  throughput {self.throughput_rps:.1f} req/s over "
             f"{self.wall_s * 1e3:.1f} ms",
             f"  latency p50 {self.latency_p50_ms:.2f} ms, "
+            f"p95 {self.latency_p95_ms:.2f} ms, "
             f"p99 {self.latency_p99_ms:.2f} ms, "
             f"mean {self.latency_mean_ms:.2f} ms",
             f"  batches {self.batches} (mean size "
@@ -183,6 +188,11 @@ class LoadReport:
             f"  robustness: {self.retries} retries, {self.degraded} "
             f"degraded, {self.faults_injected} faults injected",
         ]
+        if self.slo_breaches:
+            lines.append(f"  SLO breaches: {self.slo_breaches}")
+        if self.incidents:
+            lines.append("  incident bundles:")
+            lines.extend(f"    {p}" for p in self.incidents)
         if self.errors:
             lines.append(f"  first errors: {self.errors[:3]}")
         return "\n".join(lines)
@@ -210,13 +220,21 @@ def run_load(
     deadline_ms: Optional[float] = None,
     seed: int = 1234,
     timeout_s: float = 60.0,
+    collect_stats: bool = False,
 ) -> LoadReport:
     """Drive a fresh :class:`Server` with closed-loop clients.
 
     Parameters mirror the CLI flags; ``fault`` is ``None`` (healthy),
     ``"always"`` (every fast-path batch fails → breaker opens →
     degradation serves everything) or a 0..1 per-batch probability.
-    Returns a fully populated :class:`LoadReport`.
+    ``collect_stats=True`` snapshots :meth:`Server.stats` into
+    ``report.stats`` before shutdown.  Returns a fully populated
+    :class:`LoadReport`.
+
+    The whole run executes inside ``metrics.scoped("serve.")``, so
+    back-to-back runs against a shared registry (the active tracer's)
+    each start their ``serve.*`` instruments from zero and leave the
+    registry as they found it — no counter bleed between runs.
     """
     spec = make_shape(shape, n, seed)
     cfg = serve_config if serve_config is not None else ServeConfig()
@@ -225,7 +243,24 @@ def run_load(
                     fault_hook=injector, autostart=False)
     report = LoadReport(shape=shape, clients=clients,
                         requests=clients * requests_per_client)
+    with server.metrics.scoped("serve."):
+        _drive_load(server, spec, report,
+                    clients=clients,
+                    requests_per_client=requests_per_client,
+                    ds_config=ds_config, prime=prime,
+                    deadline_ms=deadline_ms, timeout_s=timeout_s,
+                    collect_stats=collect_stats)
+    if injector is not None:
+        report.faults_injected = injector.injected
+    return report
 
+
+def _drive_load(server: Server, spec: ShapeSpec, report: LoadReport, *,
+                clients: int, requests_per_client: int, ds_config,
+                prime: bool, deadline_ms: Optional[float],
+                timeout_s: float, collect_stats: bool) -> None:
+    """The body of :func:`run_load`, run inside the scoped registry."""
+    cfg = server.config
     if prime:
         server.prime(spec.ops, spec.array, config=ds_config)
     hits0, misses0 = server.plan_cache.stats()
@@ -279,6 +314,8 @@ def run_load(
     for t in threads:
         t.join()
     report.wall_s = time.perf_counter() - t_start
+    if collect_stats:
+        report.stats = server.stats()
     server.close(drain=True)
 
     # -- fold in the server-side metrics --------------------------------
@@ -295,20 +332,21 @@ def run_load(
         report.batch_size_mean = batch_hist.mean
         report.batch_size_max = batch_hist.max or 0.0
     for attr, name in (("degraded", "serve.degraded"),
-                       ("retries", "serve.retries")):
+                       ("retries", "serve.retries"),
+                       ("slo_breaches", "serve.slo_breaches")):
         counter = metrics.get(name)
         setattr(report, attr, counter.value if counter is not None else 0)
-    if injector is not None:
-        report.faults_injected = injector.injected
+    if server.flight is not None:
+        report.incidents = [str(p) for p in server.flight.dumps]
 
     latencies.sort()
     report.latency_p50_ms = _percentile(latencies, 0.50)
+    report.latency_p95_ms = _percentile(latencies, 0.95)
     report.latency_p99_ms = _percentile(latencies, 0.99)
     report.latency_mean_ms = (sum(latencies) / len(latencies)
                               if latencies else 0.0)
     report.throughput_rps = (report.completed / report.wall_s
                              if report.wall_s > 0 else 0.0)
-    return report
 
 
 def check_report(report: LoadReport, *, faulted: bool = False) -> None:
@@ -342,6 +380,40 @@ def check_report(report: LoadReport, *, faulted: bool = False) -> None:
                          + "; ".join(problems))
 
 
+def flight_overhead_check(*, tolerance: float = 0.10, trials: int = 3,
+                          **run_kwargs) -> dict:
+    """Measure the flight recorder's serving overhead.
+
+    Runs the same load ``trials`` times with the recorder enabled and
+    disabled (``flight_capacity=0``), takes the best throughput of each
+    (best-of-N discards scheduler noise, which at these batch sizes
+    dwarfs the recorder's deque appends), and asserts the recorded
+    throughput is within ``tolerance`` of the baseline.  Returns the
+    measurements; raises :class:`~repro.errors.ServeError` on breach.
+    """
+    cfg = run_kwargs.pop("serve_config", None) or ServeConfig.from_env()
+    best = {}
+    for label, capacity in (("off", 0), ("on", cfg.flight_capacity or 4096)):
+        rps = 0.0
+        for _ in range(max(1, trials)):
+            report = run_load(
+                serve_config=cfg.replace(flight_capacity=capacity),
+                **run_kwargs)
+            rps = max(rps, report.throughput_rps)
+        best[label] = rps
+    ratio = best["on"] / best["off"] if best["off"] > 0 else 1.0
+    result = {"throughput_off_rps": round(best["off"], 2),
+              "throughput_on_rps": round(best["on"], 2),
+              "ratio": round(ratio, 4), "tolerance": tolerance,
+              "trials": trials}
+    if ratio < 1.0 - tolerance:
+        raise ServeError(
+            f"flight recorder overhead check failed: {best['on']:.1f} "
+            f"req/s with the recorder vs {best['off']:.1f} req/s without "
+            f"(ratio {ratio:.3f} < {1.0 - tolerance:.2f})")
+    return result
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.serve.loadgen",
@@ -365,13 +437,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="override ServeConfig.max_queue_depth")
     parser.add_argument("--deadline-ms", type=float, default=None,
                         help="per-request deadline")
+    parser.add_argument("--slo-ms", type=float, default=None,
+                        help="latency objective; slower completions fire "
+                             "the slo_breach incident trigger")
     parser.add_argument("--fault", default=None,
                         help="'always' or a 0..1 per-batch fault rate")
+    parser.add_argument("--incident-dir", default=None,
+                        help="write flight-recorder incident bundles here "
+                             "on breaker-open/deadline/launch-error/SLO "
+                             "triggers")
+    parser.add_argument("--event-log", default=None,
+                        help="append the structured JSONL event log to "
+                             "this file")
     parser.add_argument("--seed", type=int, default=1234)
     parser.add_argument("--no-prime", action="store_true",
                         help="skip plan-cache pre-warming")
     parser.add_argument("--check", action="store_true",
                         help="assert the acceptance bar on the report")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the live Server.stats() snapshot "
+                             "(queue depth, latency percentiles, cache "
+                             "hit rates, breaker + flight state)")
+    parser.add_argument("--flight-overhead-check", action="store_true",
+                        help="run the load with the flight recorder on "
+                             "and off (best of 3 each) and assert the "
+                             "recorded throughput is within 10%% of the "
+                             "baseline")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of text")
     return parser
@@ -388,6 +479,12 @@ def _config_from_args(args) -> ServeConfig:
         overrides["num_workers"] = args.workers
     if args.queue_depth is not None:
         overrides["max_queue_depth"] = args.queue_depth
+    if args.slo_ms is not None:
+        overrides["slo_ms"] = args.slo_ms
+    if args.incident_dir is not None:
+        overrides["incident_dir"] = args.incident_dir
+    if args.event_log is not None:
+        overrides["event_log"] = args.event_log
     return cfg.replace(**overrides) if overrides else cfg
 
 
@@ -396,16 +493,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     fault = args.fault
     if fault is not None and fault != "always":
         fault = float(fault)
+    if args.flight_overhead_check:
+        result = flight_overhead_check(
+            shape=args.shape, clients=args.clients,
+            requests_per_client=args.requests, n=args.n,
+            serve_config=_config_from_args(args),
+            fault=fault, prime=not args.no_prime,
+            deadline_ms=args.deadline_ms, seed=args.seed)
+        print(json.dumps(result, indent=2, sort_keys=True))
+        print(f"flight recorder overhead: ratio {result['ratio']:.3f} "
+              f">= {1.0 - result['tolerance']:.2f}: OK")
+        return 0
     report = run_load(
         shape=args.shape, clients=args.clients,
         requests_per_client=args.requests, n=args.n,
         serve_config=_config_from_args(args),
         fault=fault, prime=not args.no_prime,
-        deadline_ms=args.deadline_ms, seed=args.seed)
+        deadline_ms=args.deadline_ms, seed=args.seed,
+        collect_stats=args.stats)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.summary())
+        if args.stats and report.stats is not None:
+            print("server stats:")
+            print(json.dumps(report.stats, indent=2, sort_keys=True))
     if args.check:
         # Only a forced-failure run ("always") is guaranteed to
         # degrade; at a partial fault rate retries may absorb every

@@ -77,7 +77,8 @@ class ServeRequest:
 
     __slots__ = ("id", "ops", "array", "config", "batch_key", "deadline",
                  "future", "state", "lock", "t_submit", "t_dispatch",
-                 "t_submit_us", "t_dispatch_us", "tracer", "server")
+                 "t_submit_us", "t_dispatch_us", "t_window_us", "tracer",
+                 "server")
 
     def __init__(
         self,
@@ -103,6 +104,7 @@ class ServeRequest:
         # populated by the server when a tracer is active at submit.
         self.t_submit_us: Optional[float] = None
         self.t_dispatch_us: Optional[float] = None
+        self.t_window_us: Optional[float] = None
         self.tracer = None
         self.server = None  # set by Server.submit; used by cancel()
 

@@ -39,7 +39,15 @@ Architecture (one in-process service; see docs/serving.md)::
   the server's registry (queue-depth gauge, batch-size/wait and
   latency histograms, shed/expired/retry/degraded counters), and when
   a :mod:`repro.obs` tracer is active each request additionally gets a
-  ``serve.request`` span with ``queued``/``execute`` children.
+  ``serve.request`` span with ``queued``/``batch_window``/``execute``/
+  ``finalize`` children.  Independently of tracing, an always-on
+  :class:`~repro.obs.flight.FlightRecorder` rings the recent spans and
+  lifecycle events; breaker-open, deadline-expiry, retry-exhaustion and
+  SLO-breach triggers dump it into an incident bundle naming the
+  affected ``request_id``\\ s, op chain and failing phase (see
+  docs/observability.md).  Batch execution runs under
+  :func:`repro.obs.annotate`, so kernel-launch spans and ``launch.done``
+  event-log records carry the request ids they served.
 """
 
 from __future__ import annotations
@@ -62,8 +70,10 @@ from repro.errors import (
     ResourceError,
     ServeError,
 )
+from repro.obs import log as _obslog
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
-from repro.pipeline.engine import Pipeline
+from repro.pipeline.engine import Pipeline, signature_cache_stats
 from repro.pipeline.plan import PlanCache
 from repro.primitives.common import DEFAULT_DEVICE, PrimitiveResult
 from repro.primitives.opspec import OpDescriptor, get_op
@@ -171,6 +181,18 @@ class Server:
         self.breaker = breaker if breaker is not None else CircuitBreaker(
             self.config.breaker_threshold, self.config.breaker_cooldown_ms)
         self.fault_hook = fault_hook
+        # Always-on flight recorder (``flight_capacity=0`` disables it,
+        # which the overhead check uses as its baseline).  Incidents are
+        # only *dumped* when ``incident_dir`` is configured; the ring
+        # records regardless so a later manual dump still has history.
+        self.flight: Optional[FlightRecorder] = None
+        if self.config.flight_capacity > 0:
+            self.flight = FlightRecorder(
+                self.config.flight_capacity,
+                incident_dir=self.config.incident_dir or "incidents",
+                cooldown_ms=self.config.incident_cooldown_ms).install()
+        self._event_log = (_obslog.install(self.config.event_log)
+                           if self.config.event_log else None)
 
         self._queue: deque = deque()
         self._cond = threading.Condition()
@@ -243,6 +265,14 @@ class Server:
             self._batcher.join(timeout)
             for w in self._workers:
                 w.join(timeout)
+        if self.flight is not None:
+            self.flight.uninstall()
+        if self._event_log is not None:
+            if _obslog.get() is self._event_log:
+                _obslog.uninstall()
+            else:  # someone re-installed over ours; just close ours
+                self._event_log.close()
+            self._event_log = None
 
     def __enter__(self) -> "Server":
         return self.start()
@@ -266,6 +296,42 @@ class Server:
         depth = len(self._queue)
         with self._mlock:
             self.metrics.gauge("serve.queue_depth").set(depth)
+
+    # -- flight recorder / event log / incidents -----------------------
+
+    def _event(self, event: str, **fields) -> None:
+        """One structured lifecycle record to both always-on sinks: the
+        flight-recorder ring and (when installed) the JSONL event log."""
+        if self.flight is not None:
+            self.flight.record_event(event, **fields)
+        _obslog.emit(event, **fields)
+
+    def _incident(self, trigger: str, reason: str, *, phase: str,
+                  requests: Sequence[ServeRequest] = (), **context) -> None:
+        """Fire one incident trigger.
+
+        The trigger event always lands in the ring/event log; a bundle
+        is only written when ``incident_dir`` is configured, and then at
+        most once per ``incident_cooldown_ms`` per trigger.  The
+        bundle's context names the affected request ids, their op chain
+        and the lifecycle phase that failed (queue/plan/execute/...).
+        """
+        ids = [req.id for req in requests]
+        ops = "+".join(requests[0].op_key) if requests else None
+        self._event("serve.incident_trigger", trigger=trigger,
+                    reason=reason, phase=phase, request_ids=ids, ops=ops)
+        if self.flight is None or self.config.incident_dir is None:
+            return
+        ctx = {"phase": phase, "request_ids": ids, "ops": ops}
+        ctx.update(context)
+        bundle = self.flight.maybe_dump(
+            trigger, reason=reason, metrics=self.metrics,
+            ds_config=self.ds_config, serve_config=self.config,
+            context=ctx)
+        if bundle is not None:
+            self._count("serve.incidents")
+            self._event("serve.incident_dumped", trigger=trigger,
+                        bundle=str(bundle))
 
     # -- submission ----------------------------------------------------
 
@@ -311,6 +377,10 @@ class Server:
             if self._inflight >= self.config.max_queue_depth:
                 with self._mlock:
                     self.metrics.counter("serve.shed").inc()
+                self._event("serve.admission_rejected",
+                            ops="+".join(s.desc.name for s in stages),
+                            inflight=self._inflight,
+                            limit=self.config.max_queue_depth)
                 raise Overloaded(
                     f"server at capacity ({self._inflight} in flight, "
                     f"limit {self.config.max_queue_depth}); retry later",
@@ -328,6 +398,10 @@ class Server:
             self._queue.append(request)
             self._count_locked_admitted()
             self._gauge_queue_depth_locked()
+            self._event("serve.admit", request_id=request.id,
+                        ops="+".join(request.op_key),
+                        queue_depth=len(self._queue),
+                        inflight=self._inflight)
             self._cond.notify_all()
         return request.future
 
@@ -421,9 +495,18 @@ class Server:
 
     def _expire(self, req: ServeRequest) -> None:
         self._count("serve.expired")
+        waited_ms = (time.monotonic() - req.t_submit) * 1e3
+        self._event("serve.request_expired", request_id=req.id,
+                    ops="+".join(req.op_key), phase="queue",
+                    waited_ms=round(waited_ms, 3))
+        self._incident(
+            "deadline",
+            f"request #{req.id} ({'+'.join(req.op_key)}) expired after "
+            f"{waited_ms:.1f}ms in queue",
+            phase="queue", requests=[req], waited_ms=round(waited_ms, 3))
         self._finalize(req, error=DeadlineExceeded(
             f"request #{req.id} expired after "
-            f"{(time.monotonic() - req.t_submit) * 1e3:.1f}ms in queue"))
+            f"{waited_ms:.1f}ms in queue"))
 
     def _batch_loop(self) -> None:
         wait_s = self.config.max_wait_ms / 1000.0
@@ -451,6 +534,14 @@ class Server:
                     self._cond.wait(remaining)
             self._observe("serve.batch_wait_ms",
                           (time.monotonic() - head.t_submit) * 1e3)
+            tracer = _obs.active()
+            for req in batch:
+                if req.tracer is not None and req.tracer is tracer:
+                    req.t_window_us = tracer.now_us()
+            self._event("serve.dispatch",
+                        request_ids=[r.id for r in batch],
+                        batch_size=len(batch),
+                        ops="+".join(head.op_key))
             self._batches.put(batch)
 
     # -- workers -------------------------------------------------------
@@ -496,8 +587,28 @@ class Server:
             except TRANSIENT_ERRORS as exc:
                 now_open = self.breaker.record_failure(key)
                 self._count("serve.fast_failures")
+                error_text = f"{type(exc).__name__}: {exc}"
+                self._event("serve.fast_path_failed",
+                            request_ids=[r.id for r in live],
+                            ops="+".join(key), phase="execute",
+                            attempt=attempt, error=error_text)
                 attempt += 1
+                if now_open:
+                    self._incident(
+                        "breaker_open",
+                        f"circuit breaker opened for {'+'.join(key)} "
+                        f"after {self.config.breaker_threshold} "
+                        f"consecutive failures ({error_text})",
+                        phase="execute", requests=live, error=error_text)
                 if attempt > self.config.max_retries or now_open:
+                    if not now_open:
+                        self._incident(
+                            "launch_error",
+                            f"fast path for {'+'.join(key)} exhausted "
+                            f"{self.config.max_retries} retries "
+                            f"({error_text})",
+                            phase="execute", requests=live,
+                            error=error_text)
                     degraded = True
                     break
                 self._count("serve.retries")
@@ -526,16 +637,21 @@ class Server:
         if tracing:
             _TRACE_EXEC_LOCK.acquire()
         try:
-            p = Pipeline(stream, config=live[0].config, fuse=True,
-                         plan_cache=self.plan_cache)
-            tails = []
-            for req in live:
-                prev: object = req.array
-                for stage in req.ops:
-                    prev = p.enqueue(stage.desc, prev, *stage.args,
-                                     config=req.config, **stage.kwargs)
-                tails.append(prev)
-            p.run()
+            # The annotation scope threads request identity into every
+            # launch/primitive span and ``launch.done`` event-log record
+            # this batch produces — the end-to-end correlation key.
+            with _obs.annotate(request_ids=[req.id for req in live],
+                               batch_ops="+".join(live[0].op_key)):
+                p = Pipeline(stream, config=live[0].config, fuse=True,
+                             plan_cache=self.plan_cache)
+                tails = []
+                for req in live:
+                    prev: object = req.array
+                    for stage in req.ops:
+                        prev = p.enqueue(stage.desc, prev, *stage.args,
+                                         config=req.config, **stage.kwargs)
+                    tails.append(prev)
+                p.run()
         finally:
             if tracing:
                 _TRACE_EXEC_LOCK.release()
@@ -563,19 +679,61 @@ class Server:
                   result: Optional[PrimitiveResult] = None,
                   error: Optional[BaseException] = None) -> None:
         latency_ms = (time.monotonic() - req.t_submit) * 1e3
+        tracer = req.tracer
+        t_done_us = (tracer.now_us()
+                     if tracer is not None and tracer is _obs.active()
+                     else None)
+        degraded = bool(result is not None
+                        and result.extras.get("degraded"))
         if result is not None:
             self._observe("serve.latency_ms", latency_ms)
             req.future._resolve(result)
+            self._event("serve.request_done", request_id=req.id,
+                        ops="+".join(req.op_key),
+                        latency_ms=round(latency_ms, 3),
+                        degraded=degraded)
+            if (self.config.slo_ms is not None
+                    and latency_ms > self.config.slo_ms):
+                self._count("serve.slo_breaches")
+                self._event("serve.slo_breach", request_id=req.id,
+                            ops="+".join(req.op_key),
+                            latency_ms=round(latency_ms, 3),
+                            slo_ms=self.config.slo_ms)
+                self._incident(
+                    "slo_breach",
+                    f"request #{req.id} completed in {latency_ms:.1f}ms, "
+                    f"over the {self.config.slo_ms:.1f}ms objective",
+                    phase="finalize", requests=[req],
+                    latency_ms=round(latency_ms, 3),
+                    slo_ms=self.config.slo_ms)
         else:
             req.future._fail(error)
-        self._emit_request_spans(req, degraded=bool(
-            result is not None and result.extras.get("degraded")))
+            error_text = f"{type(error).__name__}: {error}"
+            if req.state == FAILED:
+                # Expiry/cancellation get their own events at the
+                # trigger site; this is the hard-failure path (both
+                # fast and degraded execution raised).
+                self._event("serve.request_failed", request_id=req.id,
+                            ops="+".join(req.op_key), phase="execute",
+                            error=error_text)
+                self._incident(
+                    "launch_error",
+                    f"request #{req.id} ({'+'.join(req.op_key)}) "
+                    f"failed: {error_text}",
+                    phase="execute", requests=[req], error=error_text)
+            elif req.state == CANCELLED:
+                self._event("serve.request_cancelled",
+                            request_id=req.id,
+                            ops="+".join(req.op_key), phase="queue")
+        self._emit_request_spans(req, degraded=degraded,
+                                 t_done_us=t_done_us, error=error)
         with self._cond:
             self._inflight -= 1
             self._cond.notify_all()
 
-    def _emit_request_spans(self, req: ServeRequest, *,
-                            degraded: bool) -> None:
+    def _emit_request_spans(self, req: ServeRequest, *, degraded: bool,
+                            t_done_us: Optional[float] = None,
+                            error: Optional[BaseException] = None) -> None:
         tracer = req.tracer
         if tracer is None or tracer is not _obs.active():
             return
@@ -586,25 +744,47 @@ class Server:
         # partially overlap on a shared track, which the Chrome-trace
         # exporter (correctly) rejects — slices on one tid must nest.
         track = f"serve:req{req.id}"
+        args = {"id": req.id, "request_id": req.id,
+                "ops": "+".join(req.op_key),
+                "state": req.state, "degraded": degraded}
+        if error is not None:
+            args["error"] = f"{type(error).__name__}: {error}"
         root = tracer.add_span(
             "serve.request", track=track, cat="serve",
-            start_us=req.t_submit_us, end_us=end_us,
-            args={"id": req.id, "ops": "+".join(req.op_key),
-                  "state": req.state, "degraded": degraded})
+            start_us=req.t_submit_us, end_us=end_us, args=args)
+        # Lifecycle stages as non-overlapping siblings, in order:
+        # queued | batch_window | execute | finalize.  Each timestamp
+        # is clamped to its predecessor so clock jitter between threads
+        # can never produce overlapping slices.
         queued_end = (req.t_dispatch_us
                       if req.t_dispatch_us is not None else end_us)
         tracer.add_span("serve.queued", track=track, cat="serve",
                         start_us=req.t_submit_us, end_us=queued_end,
                         parent=root)
+        exec_start = queued_end
+        if req.t_dispatch_us is not None and req.t_window_us is not None:
+            window_end = max(req.t_dispatch_us, req.t_window_us)
+            tracer.add_span("serve.batch_window", track=track, cat="serve",
+                            start_us=req.t_dispatch_us, end_us=window_end,
+                            parent=root)
+            exec_start = window_end
+        exec_end = (max(exec_start, t_done_us)
+                    if t_done_us is not None else end_us)
         if req.t_dispatch_us is not None:
             tracer.add_span("serve.execute", track=track,
-                            cat="serve", start_us=req.t_dispatch_us,
-                            end_us=end_us, parent=root)
+                            cat="serve", start_us=exec_start,
+                            end_us=exec_end, parent=root)
+        if t_done_us is not None and exec_end < end_us:
+            tracer.add_span("serve.finalize", track=track, cat="serve",
+                            start_us=exec_end, end_us=end_us,
+                            parent=root)
 
     # -- introspection -------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        """A snapshot of the serve metrics plus cache/breaker state."""
+        """A live snapshot: serve metrics (histograms with p50/p95/p99),
+        queue/in-flight state, cache hit rates, breaker states and the
+        flight recorder's ring occupancy + incident bundles."""
         out: Dict[str, object] = {}
         with self._mlock:
             for item in self.metrics.instruments():
@@ -613,14 +793,29 @@ class Server:
                     if d["type"] == "histogram":
                         out[item.name] = {k: d[k] for k in
                                           ("count", "sum", "min", "max",
-                                           "mean")}
+                                           "mean", "p50", "p95", "p99")}
                     else:
                         out[item.name] = d["value"]
+        with self._cond:
+            out["inflight"] = self._inflight
+            out["queue_depth"] = len(self._queue)
         hits, misses = self.plan_cache.stats()
         out["plan_cache.hits"] = hits
         out["plan_cache.misses"] = misses
+        planned = hits + misses
+        out["plan_cache.hit_rate"] = hits / planned if planned else 0.0
+        out["signature_cache"] = signature_cache_stats()
         out["breaker"] = {"+".join(k): v
                           for k, v in self.breaker.snapshot().items()}
+        if self.flight is not None:
+            out["flight"] = {
+                "capacity": self.flight.capacity,
+                "n_spans": len(self.flight.spans()),
+                "n_events": len(self.flight.events()),
+                "incidents": [str(p) for p in self.flight.dumps],
+            }
+        else:
+            out["flight"] = None
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

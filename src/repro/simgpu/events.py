@@ -144,14 +144,20 @@ class Spin(Event):
     work-group ID allocation prevents) and counts total spin iterations
     as a contention statistic.  ``index`` is the watched flag slot; the
     scheduler parks the group on ``(buffer_name, index)`` and wakes it
-    only when a mutating atomic touches that location.
+    only when a mutating atomic touches that location.  ``waits_on`` is
+    the *dynamic* ID of the work-group expected to publish the flag
+    (``None`` when unknown or when waiting on the virtual predecessor);
+    it is pure metadata for spin-attribution in traces — the scheduler
+    never acts on it.
     """
 
-    __slots__ = ("index",)
+    __slots__ = ("index", "waits_on")
 
-    def __init__(self, buffer_name: str, index: Optional[int] = None) -> None:
+    def __init__(self, buffer_name: str, index: Optional[int] = None,
+                 waits_on: Optional[int] = None) -> None:
         super().__init__(EventKind.SPIN, 0, 0, buffer_name)
         self.index = index
+        self.waits_on = waits_on
 
 
 class LocalAccess(Event):

@@ -146,10 +146,16 @@ def launch(
     trace_full = tracer is not None and tracer.full
     launch_span = None
     if tracer is not None:
+        span_args = {"backend": "simulated", "grid_size": grid_size,
+                     "wg_size": wg_size, "device": device.name}
+        # Correlation attributes (request_id, batch_id) pushed by the
+        # serve/pipeline layers via obs.annotate; phase spans stay
+        # annotation-free to preserve backend span parity.
+        annotations = _obs.current_annotations()
+        if annotations:
+            span_args.update(annotations)
         launch_span = tracer.span(
-            counters.kernel_name, cat="launch",
-            args={"backend": "simulated", "grid_size": grid_size,
-                  "wg_size": wg_size, "device": device.name},
+            counters.kernel_name, cat="launch", args=span_args,
         )
     wait_spans: Dict[int, _obs.Span] = {}
 
@@ -257,7 +263,8 @@ def launch(
                     wait_spans[gidx] = tracer.span(
                         "sync_wait", cat="sched", track=_obs.wg_track(gidx),
                         args={"flag": event.buffer_name,
-                              "index": getattr(event, "index", None)},
+                              "index": getattr(event, "index", None),
+                              "waits_on": getattr(event, "waits_on", None)},
                     )
             elif kind is EventKind.LOCAL:
                 counters.local_bytes += event.bytes

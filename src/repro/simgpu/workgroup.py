@@ -183,6 +183,7 @@ class WorkGroup:
         index: int,
         condition: Callable[[int], bool],
         max_polls: Optional[int] = None,
+        waits_on: Optional[int] = None,
     ) -> Generator[Event, None, int]:
         """Spin on ``buf[index]`` (atomic reads) until ``condition(value)``.
 
@@ -190,7 +191,10 @@ class WorkGroup:
         yields a :class:`~repro.simgpu.events.Spin` event; the scheduler
         parks the group until any atomic occurs, so polling is free of
         busy-waiting cost in the simulation itself.  ``max_polls`` is a
-        safety valve for tests.
+        safety valve for tests.  ``waits_on`` names the dynamic ID of
+        the group expected to publish the flag; it flows into the
+        ``sync_wait`` trace span so the analyzer can attribute the wait
+        along the Figure 7 chain.
         """
         polls = 0
         while True:
@@ -204,7 +208,7 @@ class WorkGroup:
                     f"wg{self.group_index}: spin on {buf.name}[{index}] exceeded "
                     f"{max_polls} polls"
                 )
-            yield Spin(buf.name, index)
+            yield Spin(buf.name, index, waits_on=waits_on)
 
     # -- scratchpad ------------------------------------------------------------
 

@@ -1,0 +1,130 @@
+"""Exporter edge cases: empty traces, unclosed spans, non-finite values.
+
+The exporters feed dashboards and the analyzer; a trace captured mid
+incident (spans still open, NaN timings from a failed measurement, or
+nothing recorded at all) must still produce strictly valid JSON, never
+a crash or an ``NaN`` literal that strict parsers reject.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.export import (
+    export_chrome_trace,
+    export_jsonl,
+    validate_chrome_trace,
+)
+from repro.obs.tracer import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.ns = 0
+
+    def __call__(self):
+        return self.ns
+
+    def tick(self, us: float):
+        self.ns += int(us * 1000)
+
+
+def _strict_parse(path):
+    """Parse with NaN/Infinity literals rejected, the way browsers do."""
+    def _no_nan(s):
+        raise ValueError(f"non-standard JSON literal {s!r} in output")
+    return json.loads(path.read_text(), parse_constant=_no_nan)
+
+
+class TestEmptyTrace:
+    def test_empty_tracer_chrome_export_validates(self, tmp_path):
+        path = tmp_path / "empty.json"
+        doc = export_chrome_trace(Tracer("spans", clock=FakeClock()), path)
+        validate_chrome_trace(doc)
+        assert _strict_parse(path) == doc
+
+    def test_empty_tracer_jsonl_export(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        records = export_jsonl(Tracer("spans", clock=FakeClock()), path)
+        assert records == []
+        assert path.read_text() == ""
+
+
+class TestUnclosedSpans:
+    def _dangling(self):
+        clock = FakeClock()
+        t = Tracer("spans", clock=clock)
+        t.span("open_launch", cat="launch", track="host")  # never finished
+        done = t.span("done", cat="phase", track="wg:0")
+        clock.tick(12)
+        done.finish()
+        return t
+
+    def test_chrome_export_closes_at_latest_timestamp(self, tmp_path):
+        path = tmp_path / "dangling.json"
+        doc = export_chrome_trace(self._dangling(), path)
+        validate_chrome_trace(doc)
+        (ev,) = [e for e in doc["traceEvents"]
+                 if e.get("ph") == "X" and e["name"] == "open_launch"]
+        assert ev["ts"] + ev["dur"] == pytest.approx(12.0)
+        _strict_parse(path)
+
+    def test_jsonl_marks_unclosed_spans(self, tmp_path):
+        path = tmp_path / "dangling.jsonl"
+        records = export_jsonl(self._dangling(), path)
+        by_name = {r["name"]: r for r in records if r["type"] == "span"}
+        assert by_name["open_launch"]["unclosed"] is True
+        assert by_name["open_launch"]["dur_us"] == pytest.approx(12.0)
+        assert "unclosed" not in by_name["done"]
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestNonFiniteValues:
+    def _poisoned(self):
+        clock = FakeClock()
+        t = Tracer("spans", clock=clock)
+        sp = t.span("launch[k]", cat="launch", track="host",
+                    args={"speedup": float("nan"),
+                          "bound": float("inf"),
+                          "n": 64})
+        clock.tick(3)
+        sp.finish()
+        h = t.metrics.histogram("sched.spin_wait_us")
+        h.record(float("nan"))
+        h.record(float("inf"))
+        h.record(5.0)
+        return t
+
+    def test_chrome_export_sanitizes_and_stays_strict(self, tmp_path):
+        path = tmp_path / "nonfinite.json"
+        doc = export_chrome_trace(self._poisoned(), path)
+        validate_chrome_trace(doc)
+        parsed = _strict_parse(path)
+        (ev,) = [e for e in parsed["traceEvents"]
+                 if e.get("ph") == "X"]
+        # non-finite args are nulled, finite ones preserved
+        assert ev["args"]["speedup"] is None
+        assert ev["args"]["bound"] is None
+        assert ev["args"]["n"] == 64
+
+    def test_histogram_nonfinite_values_survive_export(self, tmp_path):
+        path = tmp_path / "nonfinite.json"
+        export_chrome_trace(self._poisoned(), path)
+        parsed = _strict_parse(path)
+        (hist,) = [m for m in parsed["otherData"]["metrics"]["trace"]
+                   if m["name"] == "sched.spin_wait_us"]
+        assert hist["count"] == 1 and hist["nonfinite"] == 2
+        assert all(v is None or math.isfinite(v)
+                   for v in (hist["min"], hist["max"], hist["mean"]))
+
+    def test_jsonl_sanitizes_nonfinite(self, tmp_path):
+        path = tmp_path / "nonfinite.jsonl"
+        export_jsonl(self._poisoned(), path)
+        for line in path.read_text().splitlines():
+            record = json.loads(
+                line, parse_constant=lambda s: pytest.fail(
+                    f"non-standard literal {s!r} in JSONL"))
+            if record["type"] == "span":
+                assert record["args"]["speedup"] is None

@@ -71,6 +71,61 @@ class TestHistogram:
     def test_empty_histogram_mean(self, reg):
         assert reg.histogram("h").mean == 0.0
 
+    def test_nonfinite_values_counted_not_recorded(self, reg):
+        h = reg.histogram("h")
+        h.record(float("nan"))
+        h.record(float("inf"))
+        h.record(2.0)
+        assert h.count == 1 and h.nonfinite == 2
+        assert h.to_dict()["nonfinite"] == 2
+
+
+class TestQuantiles:
+    def test_empty_histogram_quantile_is_zero(self, reg):
+        assert reg.histogram("h").quantile(0.5) == 0.0
+
+    def test_single_value_all_quantiles_equal(self, reg):
+        h = reg.histogram("h")
+        h.record(7.0)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert h.quantile(q) == pytest.approx(7.0)
+
+    def test_extreme_quantiles_clamp_to_observed(self, reg):
+        h = reg.histogram("h")
+        for v in (1.0, 2.0, 3.0, 100.0):
+            h.record(v)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_median_lands_in_the_right_bucket(self, reg):
+        h = reg.histogram("h")
+        # 90 values near 1ms, 10 values near 100ms: p50 must stay with
+        # the bulk, p99 with the tail.
+        for _ in range(90):
+            h.record(1.0)
+        for _ in range(10):
+            h.record(100.0)
+        assert h.quantile(0.50) <= 2.0
+        assert h.quantile(0.99) >= 64.0
+
+    def test_quantiles_are_monotonic(self, reg):
+        h = reg.histogram("h")
+        for v in (0.3, 1.0, 2.5, 4.0, 9.0, 17.0, 64.0):
+            h.record(v)
+        qs = [h.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert qs == sorted(qs)
+        assert all(h.min <= v <= h.max for v in qs)
+
+    def test_percentiles_in_to_dict(self, reg):
+        h = reg.histogram("h")
+        for v in range(1, 101):
+            h.record(float(v))
+        d = h.to_dict()
+        p = h.percentiles()
+        assert set(p) == {"p50", "p95", "p99"}
+        assert d["p50"] == p["p50"] and d["p99"] == p["p99"]
+        assert p["p50"] <= p["p95"] <= p["p99"]
+
 
 class TestRegistry:
     def test_typed_names_enforced(self, reg):
@@ -110,3 +165,42 @@ class TestRegistry:
         reg.counter("a").inc()
         names = [d["name"] for d in reg.to_dicts()]
         assert names == ["a", "z"]
+
+
+class TestScopedRegistry:
+    def test_reset_drops_matching_prefix_only(self, reg):
+        reg.counter("serve.admitted").inc(3)
+        reg.counter("stream.launches").inc(1)
+        dropped = reg.reset("serve.")
+        assert dropped == 1
+        assert reg.get("serve.admitted") is None
+        assert reg.counter("stream.launches").value == 1
+        # the name is reusable at the same type after a reset
+        assert reg.counter("serve.admitted").value == 0
+
+    def test_reset_without_prefix_clears_everything(self, reg):
+        reg.counter("a").inc()
+        reg.gauge("b").set(1)
+        assert reg.reset() == 2
+        assert len(reg) == 0
+
+    def test_scoped_block_starts_from_zero_and_restores(self, reg):
+        reg.counter("serve.admitted").inc(7)
+        reg.counter("stream.launches").inc(2)
+        with reg.scoped("serve."):
+            # prior serve.* state is invisible inside the scope...
+            assert reg.get("serve.admitted") is None
+            reg.counter("serve.admitted").inc(1)
+            assert reg.counter("serve.admitted").value == 1
+            # ...and non-matching instruments are untouched
+            assert reg.counter("stream.launches").value == 2
+        # the block's instruments are discarded, the originals restored
+        assert reg.counter("serve.admitted").value == 7
+        assert reg.counter("stream.launches").value == 2
+
+    def test_back_to_back_scopes_do_not_accumulate(self, reg):
+        for _ in range(3):
+            with reg.scoped("serve."):
+                reg.counter("serve.batches").inc(5)
+                assert reg.counter("serve.batches").value == 5
+        assert reg.get("serve.batches") is None

@@ -1,15 +1,21 @@
-"""Serve-layer instrumentation: spans and metrics under ``repro.obs``.
+"""Serve-layer instrumentation: spans and metrics under ``repro.obs``,
+plus the always-on flight recorder and its incident triggers.
 
 With a tracer active, every request must leave a ``serve.request`` span
-(with queued/execute children) on its own track, and the ``serve.*``
-metrics must land on the tracer's registry so one export carries the
-whole story.
+(with queued/batch_window/execute/finalize children) on its own track,
+and the ``serve.*`` metrics must land on the tracer's registry so one
+export carries the whole story.  Without a tracer, the flight recorder
+still rings lifecycle events and dumps incident bundles that name the
+failing request, op chain and phase.
 """
+
+import json
 
 import numpy as np
 import pytest
 
 from repro import obs
+from repro.errors import LaunchError
 from repro.serve import ServeConfig, Server
 
 
@@ -32,9 +38,15 @@ def test_request_spans_and_metrics_under_tracing(data):
     assert len(roots) == 2
     for root in roots:
         names = {c.name for c in root.children}
-        assert "serve.queued" in names and "serve.execute" in names
+        assert {"serve.queued", "serve.batch_window",
+                "serve.execute", "serve.finalize"} <= names
         assert root.args["state"] == "done"
+        assert root.args["request_id"] == root.args["id"]
         assert root.end_us >= root.start_us
+        # lifecycle children tile the request without overlap
+        kids = sorted(root.children, key=lambda c: c.start_us)
+        for a, b in zip(kids, kids[1:]):
+            assert a.end_us <= b.start_us + 1e-6
 
     chain_root = next(sp for sp in roots
                       if sp.args["ops"] == "ds_stream_compact+ds_unique")
@@ -53,3 +65,148 @@ def test_no_tracer_no_spans(data):
         srv.submit("compact", data, 0.0).result(timeout=30)
     assert srv.metrics.get("serve.completed").value == 1
     assert obs.active() is None
+
+
+def test_launch_spans_carry_request_ids(data):
+    # End-to-end correlation: the batch's request ids must be threaded
+    # through the annotation scope into the launch spans it produced.
+    with obs.tracing("spans") as tracer:
+        with Server(ServeConfig(max_wait_ms=1.0, num_workers=1)) as srv:
+            fut = srv.submit("compact", data, 0.0)
+            fut.result(timeout=30)
+    launches = [sp for _, sp, _ in tracer.iter_spans()
+                if sp.cat == "launch"]
+    annotated = [sp for sp in launches if "request_ids" in sp.args]
+    assert annotated, "no launch span carried request_ids"
+    assert fut.request_id in annotated[0].args["request_ids"]
+    assert annotated[0].args["batch_ops"] == "ds_stream_compact"
+
+
+class TestFlightRecorder:
+    def test_ring_records_lifecycle_without_tracer(self, data):
+        with Server(ServeConfig(max_wait_ms=1.0, num_workers=1)) as srv:
+            srv.submit("compact", data, 0.0).result(timeout=30)
+            events = [e["event"] for e in srv.flight.events()]
+        assert "serve.admit" in events
+        assert "serve.dispatch" in events
+        assert "serve.request_done" in events
+        assert obs.active() is None
+
+    def test_flight_capacity_zero_disables_recorder(self, data):
+        cfg = ServeConfig(max_wait_ms=1.0, num_workers=1,
+                          flight_capacity=0)
+        with Server(cfg) as srv:
+            srv.submit("compact", data, 0.0).result(timeout=30)
+            assert srv.flight is None
+            assert srv.stats()["flight"] is None
+
+    def test_fault_storm_dumps_one_bundle_naming_the_failure(
+            self, data, tmp_path):
+        def chaos(batch):
+            raise LaunchError("injected by test")
+
+        cfg = ServeConfig(max_wait_ms=1.0, num_workers=1, max_retries=1,
+                          breaker_threshold=2,
+                          incident_dir=str(tmp_path / "incidents"),
+                          incident_cooldown_ms=60_000.0)
+        with Server(cfg, fault_hook=chaos) as srv:
+            futs = [srv.submit("compact", data, 0.0) for _ in range(3)]
+            for fut in futs:
+                fut.result(timeout=30)  # degradation still serves them
+            dumps = list(srv.flight.dumps)
+        assert dumps, "no incident bundle was written"
+        manifest = json.loads((dumps[0] / "manifest.json").read_text())
+        assert manifest["trigger"] in ("breaker_open", "launch_error")
+        ctx = manifest["context"]
+        assert ctx["phase"] == "execute"
+        assert ctx["ops"] == "ds_stream_compact"
+        assert futs[0].request_id in ctx["request_ids"]
+        assert manifest["serve_config"]["max_retries"] == 1
+        failed = [e for e in manifest["events"]
+                  if e["event"] == "serve.fast_path_failed"]
+        assert failed and "injected by test" in failed[0]["error"]
+
+    def test_deadline_trigger_names_queue_phase(self, data, tmp_path):
+        cfg = ServeConfig(max_wait_ms=1.0, num_workers=1,
+                          incident_dir=str(tmp_path))
+        srv = Server(cfg, autostart=False)
+        fut = srv.submit("compact", data, 0.0, deadline_ms=0.001)
+        import time
+        time.sleep(0.01)  # expire while staged (server not started)
+        srv.start()
+        with pytest.raises(Exception):
+            fut.result(timeout=30)
+        srv.close(drain=True)
+        assert srv.flight.dumps
+        manifest = json.loads(
+            (srv.flight.dumps[0] / "manifest.json").read_text())
+        assert manifest["trigger"] == "deadline"
+        assert manifest["context"]["phase"] == "queue"
+        assert manifest["context"]["request_ids"] == [fut.request_id]
+
+    def test_slo_breach_trigger(self, data, tmp_path):
+        cfg = ServeConfig(max_wait_ms=1.0, num_workers=1,
+                          slo_ms=0.0001, incident_dir=str(tmp_path))
+        with Server(cfg) as srv:
+            srv.submit("compact", data, 0.0).result(timeout=30)
+        # read after close(): the dump happens in _finalize, which may
+        # still be running when the future resolves
+        assert srv.metrics.get("serve.slo_breaches").value >= 1
+        dumps = list(srv.flight.dumps)
+        manifest = json.loads((dumps[0] / "manifest.json").read_text())
+        assert manifest["trigger"] == "slo_breach"
+        assert manifest["context"]["phase"] == "finalize"
+
+    def test_no_incident_dir_records_but_never_dumps(self, data):
+        def chaos(batch):
+            raise LaunchError("injected by test")
+
+        cfg = ServeConfig(max_wait_ms=1.0, num_workers=1, max_retries=0,
+                          breaker_threshold=1)  # incident_dir=None
+        with Server(cfg, fault_hook=chaos) as srv:
+            srv.submit("compact", data, 0.0).result(timeout=30)
+            events = [e["event"] for e in srv.flight.events()]
+            assert "serve.incident_trigger" in events
+            assert srv.flight.dumps == []
+
+
+class TestStats:
+    def test_stats_snapshot_shape(self, data):
+        with Server(ServeConfig(max_wait_ms=1.0, num_workers=1)) as srv:
+            for _ in range(4):
+                srv.submit("compact", data, 0.0).result(timeout=30)
+            stats = srv.stats()
+        lat = stats["serve.latency_ms"]
+        assert lat["count"] == 4
+        assert lat["p50"] <= lat["p95"] <= lat["p99"]
+        assert stats["inflight"] == 0 and stats["queue_depth"] == 0
+        assert 0.0 <= stats["plan_cache.hit_rate"] <= 1.0
+        assert set(stats["signature_cache"]) == {"hits", "misses",
+                                                 "size", "hit_rate"}
+        assert stats["flight"]["capacity"] == 4096
+        assert stats["flight"]["n_events"] > 0
+
+
+class TestEventLog:
+    def test_event_log_file_threads_request_ids(self, data, tmp_path):
+        log_path = tmp_path / "serve.log.jsonl"
+        cfg = ServeConfig(max_wait_ms=1.0, num_workers=1,
+                          event_log=str(log_path))
+        with Server(cfg) as srv:
+            fut = srv.submit("compact", data, 0.0)
+            fut.result(timeout=30)
+        records = [json.loads(line)
+                   for line in log_path.read_text().splitlines()]
+        events = {r["event"] for r in records}
+        assert {"serve.admit", "serve.dispatch",
+                "serve.request_done", "launch.done"} <= events
+        # one grep by request_id follows the request across layers
+        mine = [r for r in records
+                if r.get("request_id") == fut.request_id
+                or fut.request_id in (r.get("request_ids") or [])]
+        kinds = {r["event"] for r in mine}
+        assert {"serve.admit", "serve.dispatch", "launch.done",
+                "serve.request_done"} <= kinds
+        # the server uninstalls the log it installed
+        from repro.obs import log as obslog
+        assert obslog.get() is None

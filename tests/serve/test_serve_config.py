@@ -90,3 +90,38 @@ class TestFromEnv:
     def test_out_of_range_value_names_the_variable(self, var, raw):
         with pytest.raises(ValueError, match=var):
             ServeConfig.from_env({var: raw})
+
+
+class TestObservabilityKnobs:
+    def test_flight_env_vars(self):
+        cfg = ServeConfig.from_env({
+            "REPRO_SERVE_FLIGHT_CAPACITY": "128",
+            "REPRO_SERVE_INCIDENT_DIR": "/tmp/incidents",
+            "REPRO_SERVE_INCIDENT_COOLDOWN_MS": "500",
+            "REPRO_SERVE_SLO_MS": "25.0",
+            "REPRO_SERVE_EVENT_LOG": "/tmp/serve.log.jsonl",
+        })
+        assert cfg.flight_capacity == 128
+        assert cfg.incident_dir == "/tmp/incidents"
+        assert cfg.incident_cooldown_ms == 500.0
+        assert cfg.slo_ms == 25.0
+        assert cfg.event_log == "/tmp/serve.log.jsonl"
+
+    def test_defaults_keep_dumping_and_log_off(self):
+        cfg = ServeConfig()
+        assert cfg.flight_capacity == 4096
+        assert cfg.incident_dir is None
+        assert cfg.event_log is None
+        assert cfg.slo_ms is None
+
+    def test_flight_capacity_zero_is_allowed(self):
+        assert ServeConfig(flight_capacity=0).flight_capacity == 0
+
+    @pytest.mark.parametrize("var,raw", [
+        ("REPRO_SERVE_FLIGHT_CAPACITY", "-1"),
+        ("REPRO_SERVE_SLO_MS", "0"),
+        ("REPRO_SERVE_INCIDENT_COOLDOWN_MS", "-5"),
+    ])
+    def test_out_of_range_observability_value(self, var, raw):
+        with pytest.raises(ValueError, match=var):
+            ServeConfig.from_env({var: raw})
