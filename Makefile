@@ -19,7 +19,7 @@ test-all:        ## everything, including the 1M-element slow tests
 bench:           ## regenerate every figure/table + time the kernels (1M scale)
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-bench-smoke:     ## one regular + one irregular benchmark, both backends
+bench-smoke:     ## one regular + one irregular benchmark, all three backend tiers (per-tier rows in BENCH_*.json)
 	$(PYTHON) -m pytest benchmarks/bench_fig08_padding.py \
 	  benchmarks/bench_fig13_compaction.py --benchmark-only
 

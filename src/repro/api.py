@@ -11,6 +11,9 @@ surface and a ``backend`` switch:
 * ``backend="vectorized"`` forces the tile-granularity fast path —
   identical outputs and traffic counters at a fraction of the wall
   clock (see ``docs/simulator.md`` for the equivalence contract);
+* ``backend="compiled"`` forces the Numba JIT tier — same outputs and
+  counters again, degrading to ``"vectorized"`` when Numba is unusable
+  (see ``docs/backends.md``);
 * ``backend="numpy"`` executes the reference semantics directly —
   bit-identical results at native NumPy speed, with no launch records.
 
@@ -63,7 +66,8 @@ __all__ = ["pad", "unpad", "remove_if", "copy_if", "compact", "unique", "partiti
 StreamLike = Optional[Union[Stream, DeviceSpec, str]]
 
 
-_DS_BACKENDS = {"sim": None, "simulated": "simulated", "vectorized": "vectorized"}
+_DS_BACKENDS = {"sim": None, "simulated": "simulated",
+                "vectorized": "vectorized", "compiled": "compiled"}
 
 
 def _normalize_backend(backend: str):
@@ -77,8 +81,8 @@ def _normalize_backend(backend: str):
     if backend in _DS_BACKENDS:
         return False, _DS_BACKENDS[backend]
     raise ReproError(
-        f"backend must be one of 'sim', 'simulated', 'vectorized' or "
-        f"'numpy', got {backend!r}")
+        f"backend must be one of 'sim', 'simulated', 'vectorized', "
+        f"'compiled' or 'numpy', got {backend!r}")
 
 
 _TUNING_FIELDS = tuple(f.name for f in _dataclass_fields(DSConfig))

@@ -40,6 +40,7 @@ from repro.simgpu.workgroup import WorkGroup
 __all__ = [
     "pred_reduce_kernel",
     "scan_partials_kernel",
+    "lookback_scan_partials_kernel",
     "pred_downsweep_kernel",
     "scatter_kernel",
     "stencil_reduce_kernel",
@@ -99,6 +100,58 @@ def scan_partials_kernel(
     yield from wg.store(
         partials, np.asarray([n_partials], dtype=np.int64),
         np.asarray([running], dtype=partials.data.dtype),
+    )
+
+
+def lookback_scan_partials_kernel(
+    wg: WorkGroup,
+    partials: Buffer,
+    n_partials: int,
+) -> Generator[Event, None, None]:
+    """Pass 2, single-pass variant: decoupled-lookback exclusive scan of
+    the partials (LightScan, arXiv:1604.04815).
+
+    Each ``wg.size``-wide tile publishes its aggregate, looks back along
+    the tile chain accumulating predecessor aggregates until a published
+    inclusive prefix terminates the walk, then stores its scanned values
+    and publishes its own prefix — the
+    :mod:`repro.collectives.lookback` state machine with a barrier per
+    publication, i.e. :data:`~repro.collectives.lookback.LOOKBACK_ROUNDS`
+    synchronization rounds per tile instead of the serial kernel's
+    staged two-phase sweep.  The stored result is identical: the
+    exclusive scan in ``partials[:n_partials]`` and the grand total
+    appended at ``partials[n_partials]``.
+    """
+    from repro.collectives.lookback import TILE_AGGREGATE, TILE_PREFIX
+
+    n_tiles = (n_partials + wg.size - 1) // wg.size
+    state = np.zeros(n_tiles, dtype=np.int8)
+    agg = np.zeros(n_tiles, dtype=np.int64)
+    prefix = np.zeros(n_tiles, dtype=np.int64)
+    for t in range(n_tiles):
+        idx = np.arange(t * wg.size, min((t + 1) * wg.size, n_partials),
+                        dtype=np.int64)
+        values = yield from wg.load(partials, idx)
+        agg[t] = int(values.sum())
+        state[t] = TILE_AGGREGATE
+        yield from wg.barrier("local")  # round 1: aggregate published
+        exclusive = 0
+        p = t - 1
+        while p >= 0:
+            if state[p] == TILE_PREFIX:
+                exclusive += int(prefix[p])
+                break
+            exclusive += int(agg[p])
+            p -= 1
+        scanned = exclusive + np.concatenate(([0], np.cumsum(values)[:-1]))
+        yield from wg.store(partials, idx, scanned.astype(partials.data.dtype))
+        prefix[t] = exclusive + agg[t]
+        state[t] = TILE_PREFIX
+        yield from wg.barrier("local")  # round 2: prefix published
+    total = int(prefix[n_tiles - 1]) if n_tiles else 0
+    yield from wg.store(
+        partials, np.asarray([n_partials], dtype=np.int64),
+        np.asarray([total], dtype=partials.data.dtype),
     )
 
 

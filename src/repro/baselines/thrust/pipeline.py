@@ -42,6 +42,7 @@ def scan_scatter(
     false_dst: Optional[Buffer] = None,
     false_offset_by_total_true: bool = False,
     double_scan: bool = False,
+    scan_mode: str = "serial",
     name: str = "thrust",
 ) -> int:
     """Run the Thrust-1.8-style pipeline over ``src`` into ``dst``.
@@ -52,8 +53,15 @@ def scan_scatter(
     (partition); with ``false_offset_by_total_true`` their slots are
     shifted past the true block so both classes land in one buffer.
     ``double_scan`` adds the second (false-class) downsweep that
-    Thrust's stable_partition performs.
+    Thrust's stable_partition performs.  ``scan_mode="lookback"`` opts
+    the partials scan into the single-pass decoupled-lookback kernel
+    (identical stored result, constant synchronization rounds per tile
+    — see :mod:`repro.collectives.lookback`); the default ``"serial"``
+    keeps the faithful Thrust-1.8 staged sweep.
     """
+    if scan_mode not in ("serial", "lookback"):
+        raise ValueError(
+            f"scan_mode must be 'serial' or 'lookback', got {scan_mode!r}")
     geometry = launch_geometry(
         total, stream.device, src.itemsize,
         wg_size=wg_size, coarsening=THRUST_COARSENING,
@@ -64,19 +72,20 @@ def scan_scatter(
     # shows the multi-launch structure the paper charges Thrust for.
     with obs.span(f"thrust_pipeline[{name}]", cat="pipeline",
                   args={"n": int(total), "wg_size": wg_size,
-                        "stencil": stencil, "double_scan": double_scan}):
+                        "stencil": stencil, "double_scan": double_scan,
+                        "scan_mode": scan_mode}):
         return _scan_scatter_passes(
             src, dst, predicate, total, stream, geometry, n_wgs, cf,
             wg_size=wg_size, stencil=stencil, false_dst=false_dst,
             false_offset_by_total_true=false_offset_by_total_true,
-            double_scan=double_scan, name=name,
+            double_scan=double_scan, scan_mode=scan_mode, name=name,
         )
 
 
 def _scan_scatter_passes(
     src, dst, predicate, total, stream, geometry, n_wgs, cf,
     *, wg_size, stencil, false_dst, false_offset_by_total_true,
-    double_scan, name,
+    double_scan, scan_mode, name,
 ) -> int:
     # Full-length scan intermediate, int32 — the repeated global traffic
     # the paper's Section V attributes to Thrust.
@@ -94,9 +103,13 @@ def _scan_scatter_passes(
             args=(src, partials, predicate, total, cf),
             kernel_name=f"{name}_reduce",
         )
+    scan_kernel = (K.lookback_scan_partials_kernel
+                   if scan_mode == "lookback" else K.scan_partials_kernel)
     stream.launch(
-        K.scan_partials_kernel, grid_size=1, wg_size=wg_size,
-        args=(partials, n_wgs), kernel_name=f"{name}_scan_partials",
+        scan_kernel, grid_size=1, wg_size=wg_size,
+        args=(partials, n_wgs),
+        kernel_name=f"{name}_scan_partials"
+        + ("[lookback]" if scan_mode == "lookback" else ""),
     )
     n_true = int(partials.data[n_wgs])
     if stencil:

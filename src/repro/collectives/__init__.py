@@ -3,14 +3,26 @@
 Reductions compute a work-group's predicate-true count before the
 adjacent synchronization; binary prefix sums compute each true element's
 rank afterwards.  Each comes in the paper's base variant (balanced tree)
-and optimized variants (ballot+popc, shuffle) — see Section III-B.
+and optimized variants (ballot+popc, shuffle) — see Section III-B — plus
+the single-pass decoupled-lookback scan of LightScan
+(:mod:`repro.collectives.lookback`), which reuses the paper's
+adjacent-synchronization flag idea for the scan itself.
 """
 
+from repro.collectives.lookback import (
+    LOOKBACK_ROUNDS,
+    LookbackScanSim,
+    TILE_AGGREGATE,
+    TILE_INVALID,
+    TILE_PREFIX,
+    decoupled_lookback_scan,
+)
 from repro.collectives.reduction import reduce_workgroup, shuffle_reduce, tree_reduce
 from repro.collectives.scan import (
     SCAN_VARIANTS,
     ballot_exclusive_scan,
     binary_exclusive_scan,
+    lookback_exclusive_scan,
     shuffle_exclusive_scan,
     tree_exclusive_scan,
 )
@@ -24,4 +36,11 @@ __all__ = [
     "tree_exclusive_scan",
     "ballot_exclusive_scan",
     "shuffle_exclusive_scan",
+    "lookback_exclusive_scan",
+    "decoupled_lookback_scan",
+    "LookbackScanSim",
+    "LOOKBACK_ROUNDS",
+    "TILE_INVALID",
+    "TILE_AGGREGATE",
+    "TILE_PREFIX",
 ]

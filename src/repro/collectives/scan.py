@@ -10,9 +10,13 @@ three implementations, all reproduced here:
   ``popc(ballot(p) & lanemask_lt)`` gives the intra-warp scan in two
   instructions, followed by a scan of per-warp totals;
 * ``"shuffle"`` — Kepler's shuffle-based scan [20]: same structure with
-  the warp step done through ``__shfl_up``.
+  the warp step done through ``__shfl_up``;
+* ``"lookback"`` — the single-pass decoupled-lookback scan of LightScan
+  (arXiv:1604.04815), warp-sized tiles publishing aggregate/prefix
+  states along an adjacent-synchronization-style chain — see
+  :mod:`repro.collectives.lookback`.
 
-All three return identical values; tests assert this for every width and
+All four return identical values; tests assert this for every width and
 the performance model prices them differently (that gap is the paper's
 "optimized reduction and binary prefix sum" +6% to +45%).
 """
@@ -24,6 +28,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import LaunchError
+from repro.collectives.lookback import lookback_exclusive_scan
 from repro.simgpu.warp import (
     shfl_up,
     warp_binary_exclusive_scan,
@@ -33,11 +38,12 @@ __all__ = [
     "tree_exclusive_scan",
     "ballot_exclusive_scan",
     "shuffle_exclusive_scan",
+    "lookback_exclusive_scan",
     "binary_exclusive_scan",
     "SCAN_VARIANTS",
 ]
 
-SCAN_VARIANTS = ("tree", "ballot", "shuffle")
+SCAN_VARIANTS = ("tree", "ballot", "shuffle", "lookback")
 
 
 def _check_pow2(n: int, what: str) -> None:
@@ -160,4 +166,6 @@ def binary_exclusive_scan(
         return ballot_exclusive_scan(predicate, warp_size)
     if variant == "shuffle":
         return shuffle_exclusive_scan(predicate, warp_size)
+    if variant == "lookback":
+        return lookback_exclusive_scan(predicate, warp_size)
     raise LaunchError(f"unknown scan variant {variant!r}")

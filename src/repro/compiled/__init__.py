@@ -1,0 +1,70 @@
+"""Compiled execution backend: fused-chain JIT kernels.
+
+The third backend tier (``DSConfig(backend="compiled")`` /
+``REPRO_BACKEND=compiled``).  A launch's predicate chain is lowered to
+an opcode program (:mod:`repro.compiled.lowering`) and executed by one
+Numba ``@njit`` kernel (:mod:`repro.compiled.kernels`) that fuses
+predicate evaluation, the work-group prefix sum, single-pass
+decoupled-lookback offset propagation, and the in-place slide into a
+single native loop.  Counter parity with the simulated scheduler is
+preserved by deriving :class:`~repro.simgpu.counters.LaunchCounters`
+from the same closed-form accounting the vectorized backend uses
+(:mod:`repro.compiled.runner`).
+
+Importing this package never requires Numba: kernels degrade to their
+pure-Python definitions, and backend resolution degrades ``"compiled"``
+to ``"vectorized"`` (see :mod:`repro.compiled.jit` and
+``docs/backends.md``).
+"""
+
+from repro.compiled.jit import (
+    callable_kernel,
+    compiled_available,
+    fallback_count,
+    is_jitted,
+    njit,
+    numba_available,
+    pure_python_compiled,
+    reset_fallback_state,
+)
+from repro.compiled.kernels import chain_select_kernel
+from repro.compiled.lowering import (
+    ChainProgram,
+    LoweredPredicate,
+    clear_program_cache,
+    lower_chain,
+    lower_predicate,
+    program_cache_stats,
+)
+from repro.compiled.runner import (
+    DEFAULT_WARM_DTYPES,
+    compiled_fused_launch,
+    compiled_irregular_launch,
+    ensure_warm,
+    reset_warm_state,
+    warmup,
+)
+
+__all__ = [
+    "njit",
+    "is_jitted",
+    "callable_kernel",
+    "numba_available",
+    "pure_python_compiled",
+    "compiled_available",
+    "fallback_count",
+    "reset_fallback_state",
+    "chain_select_kernel",
+    "LoweredPredicate",
+    "ChainProgram",
+    "lower_predicate",
+    "lower_chain",
+    "program_cache_stats",
+    "clear_program_cache",
+    "compiled_irregular_launch",
+    "compiled_fused_launch",
+    "ensure_warm",
+    "warmup",
+    "reset_warm_state",
+    "DEFAULT_WARM_DTYPES",
+]

@@ -1,0 +1,72 @@
+"""Numba integration shim for the compiled backend.
+
+The hard rule (docs/backends.md): importing :mod:`repro.compiled` must
+never raise because Numba is absent — availability is probed lazily and
+the backend selection in :func:`repro.simgpu.vectorized.resolve_backend`
+degrades ``"compiled"`` to ``"vectorized"`` long before a kernel would
+run.  This module owns the one seam where Numba actually appears:
+
+* :func:`njit` — ``numba.njit`` when usable, identity otherwise, so the
+  kernels in :mod:`repro.compiled.kernels` are importable either way;
+* :func:`callable_kernel` — the executable form of a kernel under the
+  current mode: the JIT dispatcher normally, the underlying pure-Python
+  function when ``REPRO_COMPILED_PYTHON=1`` forces the test mode.
+
+Availability predicates (:func:`numba_available`,
+:func:`pure_python_compiled`, :func:`compiled_available`) are
+re-exported from :mod:`repro.simgpu.vectorized`, which owns backend
+selection; they live there so the config layer can resolve backends
+without importing this package.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.simgpu.vectorized import (  # noqa: F401  (re-exports)
+    compiled_available,
+    fallback_count,
+    numba_available,
+    pure_python_compiled,
+    reset_fallback_state,
+)
+
+__all__ = [
+    "njit",
+    "callable_kernel",
+    "is_jitted",
+    "numba_available",
+    "pure_python_compiled",
+    "compiled_available",
+    "fallback_count",
+    "reset_fallback_state",
+]
+
+
+def njit(func: Callable) -> Callable:
+    """``numba.njit`` (nopython, lazy-compiling) when Numba is usable at
+    import time, the plain function otherwise.  Kernels decorated with
+    this are written in the nopython subset so both forms compute the
+    same thing."""
+    if numba_available():
+        import numba
+
+        return numba.njit(cache=False)(func)
+    return func
+
+
+def is_jitted(kernel: Callable) -> bool:
+    """True when ``kernel`` is a Numba dispatcher (vs a plain function)."""
+    return hasattr(kernel, "py_func")
+
+
+def callable_kernel(kernel: Callable) -> Callable:
+    """The executable form of ``kernel`` under the current mode.
+
+    ``REPRO_COMPILED_PYTHON=1`` unwraps a JIT dispatcher to its
+    pure-Python function, so the exact kernel logic runs (slowly)
+    without compilation — the mode the no-Numba CI leg and the parity
+    tests use."""
+    if pure_python_compiled() and is_jitted(kernel):
+        return kernel.py_func
+    return kernel

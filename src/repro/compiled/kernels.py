@@ -1,0 +1,193 @@
+"""The compiled backend's fused-chain kernel (nopython subset).
+
+One kernel, :func:`chain_select_kernel`, covers the whole irregular DS
+family — select/compact/unique/copy_if/partition and every fused chain
+:mod:`repro.core.fused` accepts — as a single native loop per launch:
+predicate-chain evaluation, the per-tile count (the work-group binary
+prefix sum collapses to a running counter in sequential execution), the
+single-pass decoupled-lookback offset propagation of
+:mod:`repro.collectives.lookback`, and the in-place slide.
+
+Structure per tile (= one work-group's coarsened tile):
+
+1. **Pass 1** evaluates the lowered opcode program over the tile,
+   marking survivors and counting them.  The ``unique`` stencil
+   compares each pre-stencil survivor to the previous one; across tile
+   boundaries that previous survivor is the **carry** delivered by the
+   predecessor through ``carry_val``/``carry_valid`` — the same
+   adjacent-synchronization carry chain the simulated fused kernel
+   publishes before its flag.
+2. The tile publishes its aggregate (``state=AGGREGATE``), **looks
+   back** along the tile chain accumulating predecessor aggregates
+   until a published inclusive prefix terminates the walk, then
+   publishes its own prefix (``state=PREFIX``).  Sequential execution
+   makes the lookback resolve at the immediate predecessor, but the
+   state machine is the LightScan protocol verbatim.
+3. **Pass 2** slides survivors to ``out[prefix + rank]`` (and
+   non-survivors to ``false_out[i - trues_before(i)]`` for partition).
+   In place this is safe for the same reason Algorithm 2 is: every
+   destination index is ≤ the current read index, and tiles execute in
+   ascending order.
+
+The kernel also tallies survivors per ``wg_size``-sized round into
+``round_kept`` — the input of the closed-form transaction accounting —
+so the runner derives the exact counters the event-level scheduler
+would report without ever materializing a survivor mask.
+
+Written in the Numba nopython subset and decorated with the
+:func:`repro.compiled.jit.njit` shim: with Numba the loop compiles to
+native code; without it the identical Python function backs the
+``REPRO_COMPILED_PYTHON=1`` test mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiled.jit import njit
+from repro.compiled.lowering import (
+    OP_ALWAYS_FALSE,
+    OP_ALWAYS_TRUE,
+    OP_EQUAL_TO,
+    OP_GREATER_EQUAL,
+    OP_IS_EVEN,
+    OP_LESS_THAN,
+    OP_NOT_EQUAL_TO,
+)
+
+__all__ = ["chain_select_kernel"]
+
+# Mirror the module-level opcodes as plain ints so the nopython kernel
+# closes over constants, not module attribute lookups.
+_T, _F = OP_ALWAYS_TRUE, OP_ALWAYS_FALSE
+_EVEN, _LT, _GE, _EQ, _NE = (
+    OP_IS_EVEN, OP_LESS_THAN, OP_GREATER_EQUAL, OP_EQUAL_TO, OP_NOT_EQUAL_TO,
+)
+
+
+@njit
+def _eval_op(op, operand, v):
+    """One opcode of the lowered predicate program on one element."""
+    if op == _T:
+        return True
+    if op == _F:
+        return False
+    if op == _EVEN:
+        return (np.int64(v) % 2) == 0
+    if op == _LT:
+        return v < operand
+    if op == _GE:
+        return v >= operand
+    if op == _EQ:
+        return v == operand
+    return v != operand  # _NE
+
+
+@njit
+def chain_select_kernel(
+    vals,
+    out,
+    false_out,
+    has_false,
+    pre_ops,
+    pre_negs,
+    pre_operands,
+    has_stencil,
+    post_ops,
+    post_negs,
+    post_operands,
+    wg_size,
+    tile,
+    grid,
+    total,
+    tile_state,
+    tile_agg,
+    tile_prefix,
+    round_kept,
+    carry_val,
+    carry_valid,
+):
+    """Run one lowered chain over ``vals[:total]`` into ``out`` (and
+    optionally ``false_out``).  Returns the survivor count.  Side
+    arrays (``tile_*``, ``round_kept``, ``carry_*``) are filled for the
+    runner's counter derivation and flag-chain finalization."""
+    n_pre = pre_ops.shape[0]
+    n_post = post_ops.shape[0]
+    mask = np.zeros(tile, dtype=np.uint8)
+    for g in range(grid):
+        base = g * tile
+        hi = min(base + tile, total)
+        have_carry = carry_valid[g] != 0
+        carry = carry_val[g]
+        count = 0
+        # -- pass 1: evaluate the chain, mark and count survivors. ----
+        for i in range(base, hi):
+            v = vals[i]
+            ok = True
+            for j in range(n_pre):
+                r = _eval_op(pre_ops[j], pre_operands[j], v)
+                if pre_negs[j] != 0:
+                    r = not r
+                if not r:
+                    ok = False
+                    break
+            keep = False
+            if ok:
+                if has_stencil:
+                    # Survives the stencil iff it differs from the last
+                    # pre-stencil survivor (the carry); the carry then
+                    # advances to v whether or not the stencil kept it.
+                    surv = (not have_carry) or (v != carry)
+                    carry = v
+                    have_carry = True
+                else:
+                    surv = True
+                if surv:
+                    keep = True
+                    for j in range(n_post):
+                        r = _eval_op(post_ops[j], post_operands[j], v)
+                        if post_negs[j] != 0:
+                            r = not r
+                        if not r:
+                            keep = False
+                            break
+            if keep:
+                count += 1
+                mask[i - base] = 1
+            else:
+                mask[i - base] = 0
+        # -- decoupled lookback (repro.collectives.lookback states). --
+        tile_agg[g] = count
+        tile_state[g] = 1  # TILE_AGGREGATE
+        exclusive = 0
+        p = g - 1
+        while p >= 0:
+            if tile_state[p] == 2:  # TILE_PREFIX: terminate the walk
+                exclusive += tile_prefix[p]
+                break
+            # Sequential ascending execution: a predecessor is never
+            # INVALID, so its aggregate is always readable.
+            exclusive += tile_agg[p]
+            p -= 1
+        tile_prefix[g] = exclusive + count
+        tile_state[g] = 2  # TILE_PREFIX
+        # -- publish the carry for the successor (adjacent chain). ----
+        if have_carry:
+            carry_val[g + 1] = carry
+            carry_valid[g + 1] = 1
+        else:
+            carry_val[g + 1] = carry_val[g]
+            carry_valid[g + 1] = carry_valid[g]
+        # -- pass 2: the slide.  dest <= i always, so in place is safe.
+        trues = exclusive
+        for i in range(base, hi):
+            v = vals[i]
+            if mask[i - base] != 0:
+                out[trues] = v
+                trues += 1
+                round_kept[i // wg_size] += 1
+            elif has_false:
+                false_out[i - trues] = v
+    if grid > 0:
+        return tile_prefix[grid - 1]
+    return 0

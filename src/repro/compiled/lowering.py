@@ -1,0 +1,284 @@
+"""Lowering DS predicate chains into opcode programs the JIT kernel runs.
+
+The compiled backend cannot call arbitrary Python predicates from
+nopython code, so a chain of :class:`~repro.core.fused.FuseStage`
+values is *lowered* into a tiny opcode program: parallel arrays of
+``(op, negate, operand)`` triples for the predicates before the (at
+most one) ``unique`` stencil, a stencil flag, and the same triples for
+the predicates after it.  The kernel interprets the program inside its
+native loop — one compiled kernel serves every lowerable chain, so JIT
+cost is paid per *dtype*, not per plan.
+
+Lowering is **verified, not trusted**: predicate names are parseable by
+construction (``"less_than(3)"``, ``"not(is_even)"``, ...), but a user
+can hand-build a :class:`~repro.core.predicates.Predicate` whose name
+lies about its function.  Every lowered predicate is therefore checked
+against the real predicate on a probe vector before use; any mismatch
+— like any unrecognized name — makes :func:`lower_chain` return
+``None`` and the caller falls back to the vectorized backend for that
+launch (counted by the ``backend.lowering_fallback`` metric in
+:mod:`repro.compiled.runner`).
+
+Verified programs are memoized in a small thread-safe LRU keyed by
+``(stage labels, dtype)``; hits and misses are exported as the
+``compiled.program_cache.hits`` / ``.misses`` metrics.  A cache hit
+still re-runs the (microsecond) probe verification against the actual
+predicate objects, because the label key alone cannot prove two
+predicates compute the same function.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs as _obs
+from repro.core.predicates import Predicate
+from repro.errors import LaunchError
+
+__all__ = [
+    "OP_ALWAYS_TRUE",
+    "OP_ALWAYS_FALSE",
+    "OP_IS_EVEN",
+    "OP_LESS_THAN",
+    "OP_GREATER_EQUAL",
+    "OP_EQUAL_TO",
+    "OP_NOT_EQUAL_TO",
+    "LoweredPredicate",
+    "ChainProgram",
+    "lower_predicate",
+    "lower_chain",
+    "program_cache_stats",
+    "clear_program_cache",
+]
+
+OP_ALWAYS_TRUE = 0
+OP_ALWAYS_FALSE = 1
+OP_IS_EVEN = 2
+OP_LESS_THAN = 3
+OP_GREATER_EQUAL = 4
+OP_EQUAL_TO = 5
+OP_NOT_EQUAL_TO = 6
+
+_NULLARY = {
+    "is_even": OP_IS_EVEN,
+    "always_true": OP_ALWAYS_TRUE,
+    "always_false": OP_ALWAYS_FALSE,
+    "nonzero": OP_NOT_EQUAL_TO,  # keep v != 0
+}
+
+_UNARY = {
+    "less_than": OP_LESS_THAN,
+    "greater_equal": OP_GREATER_EQUAL,
+    "equal_to": OP_EQUAL_TO,
+    "not_equal_to": OP_NOT_EQUAL_TO,
+}
+
+
+@dataclass(frozen=True)
+class LoweredPredicate:
+    """One ``(op, negate, operand)`` triple of the opcode program."""
+
+    op: int
+    negate: bool
+    operand: float
+
+
+@dataclass(frozen=True)
+class ChainProgram:
+    """A lowered chain, split around the (optional) stencil stage.
+
+    The arrays are the exact kernel inputs: ``*_ops`` (int64 opcodes),
+    ``*_negs`` (uint8 negate flags) and ``*_operands`` (float64), for
+    the predicates before and after the stencil.
+    """
+
+    pre_ops: np.ndarray
+    pre_negs: np.ndarray
+    pre_operands: np.ndarray
+    has_stencil: bool
+    post_ops: np.ndarray
+    post_negs: np.ndarray
+    post_operands: np.ndarray
+
+    @property
+    def n_predicates(self) -> int:
+        return int(self.pre_ops.size + self.post_ops.size)
+
+
+def _parse_name(name: str) -> Optional[Tuple[int, bool, float]]:
+    """Parse a predicate name into ``(op, negate, operand)``; ``None``
+    for anything this lowering does not recognize."""
+    negate = False
+    while name.startswith("not(") and name.endswith(")"):
+        negate = not negate
+        name = name[4:-1]
+    if name in _NULLARY:
+        return _NULLARY[name], negate, 0.0
+    if "(" in name and name.endswith(")"):
+        head, _, rest = name.partition("(")
+        if head in _UNARY:
+            try:
+                operand = float(rest[:-1])
+            except ValueError:
+                return None
+            return _UNARY[head], negate, operand
+    return None
+
+
+def _probe_values(dtype: np.dtype) -> np.ndarray:
+    """A small vector covering the sign/zero/parity cases every
+    supported opcode branches on, representable in any dtype the
+    primitives accept (int16 is the narrowest in the test matrix)."""
+    if np.issubdtype(dtype, np.floating):
+        vals = [-3.5, -2.0, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0, 2.5, 3.0, 7.0]
+    elif np.issubdtype(dtype, np.unsignedinteger):
+        vals = [0, 1, 2, 3, 4, 7, 100]
+    else:
+        vals = [-3, -2, -1, 0, 1, 2, 3, 7, 100]
+    return np.array(vals, dtype=dtype)
+
+
+def _emulate(op: int, negate: bool, operand: float, vals: np.ndarray) -> np.ndarray:
+    """NumPy emulation of one opcode — the oracle the kernel's scalar
+    interpreter must agree with (tests assert this separately)."""
+    if op == OP_ALWAYS_TRUE:
+        out = np.ones(vals.shape, dtype=bool)
+    elif op == OP_ALWAYS_FALSE:
+        out = np.zeros(vals.shape, dtype=bool)
+    elif op == OP_IS_EVEN:
+        out = (vals.astype(np.int64) % 2) == 0
+    elif op == OP_LESS_THAN:
+        out = vals < operand
+    elif op == OP_GREATER_EQUAL:
+        out = vals >= operand
+    elif op == OP_EQUAL_TO:
+        out = vals == operand
+    elif op == OP_NOT_EQUAL_TO:
+        out = vals != operand
+    else:  # pragma: no cover - defensive
+        raise LaunchError(f"unknown opcode {op}")
+    return ~out if negate else out
+
+
+def lower_predicate(
+    predicate: Predicate, dtype: np.dtype
+) -> Optional[LoweredPredicate]:
+    """Lower one predicate for element dtype ``dtype``.
+
+    Returns ``None`` (caller falls back) when the name is not in the
+    lowerable grammar **or** the lowering disagrees with the real
+    predicate on the probe vector.
+    """
+    parsed = _parse_name(predicate.name)
+    if parsed is None:
+        return None
+    op, negate, operand = parsed
+    probe = _probe_values(np.dtype(dtype))
+    try:
+        expected = np.asarray(predicate(probe), dtype=bool)
+    except Exception:
+        return None
+    if not np.array_equal(_emulate(op, negate, operand, probe), expected):
+        return None
+    return LoweredPredicate(op=op, negate=negate, operand=operand)
+
+
+def _pack(preds: List[LoweredPredicate]):
+    return (
+        np.array([p.op for p in preds], dtype=np.int64),
+        np.array([1 if p.negate else 0 for p in preds], dtype=np.uint8),
+        np.array([p.operand for p in preds], dtype=np.float64),
+    )
+
+
+# -- program cache -------------------------------------------------------------
+
+_CACHE_CAPACITY = 128
+_cache: "OrderedDict[tuple, ChainProgram]" = OrderedDict()
+_cache_lock = threading.Lock()
+_cache_hits = 0
+_cache_misses = 0
+
+
+def program_cache_stats() -> Tuple[int, int]:
+    """``(hits, misses)`` of the lowered-program cache."""
+    return _cache_hits, _cache_misses
+
+
+def clear_program_cache() -> None:
+    global _cache_hits, _cache_misses
+    with _cache_lock:
+        _cache.clear()
+        _cache_hits = 0
+        _cache_misses = 0
+
+
+def _count(outcome: str) -> None:
+    global _cache_hits, _cache_misses
+    if outcome == "hits":
+        _cache_hits += 1
+    else:
+        _cache_misses += 1
+    tracer = _obs.active()
+    if tracer is not None:
+        tracer.metrics.counter(f"compiled.program_cache.{outcome}").inc()
+
+
+def lower_chain(stages: Sequence, dtype: np.dtype) -> Optional[ChainProgram]:
+    """Lower a sequence of :class:`~repro.core.fused.FuseStage` values.
+
+    Unlike the fused-execution entry point, a single-stage chain is
+    valid here — the compiled backend runs plain (unfused) irregular
+    launches through the same kernel.  Returns ``None`` when any stage
+    fails to lower or the chain has more than one stencil.
+    """
+    dtype = np.dtype(dtype)
+    key = tuple((s.kind, s.label) for s in stages) + (dtype.str,)
+    with _cache_lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _cache.move_to_end(key)
+    if cached is not None:
+        # Re-verify the actual predicate objects against the cached
+        # program: labels are the cache key, and labels can lie.
+        probe_ok = all(
+            stage.kind == "stencil"
+            or lower_predicate(stage.predicate, dtype) is not None
+            for stage in stages
+        )
+        if probe_ok:
+            _count("hits")
+            return cached
+    _count("misses")
+
+    pre: List[LoweredPredicate] = []
+    post: List[LoweredPredicate] = []
+    has_stencil = False
+    for stage in stages:
+        if stage.kind == "stencil":
+            if has_stencil:
+                return None
+            has_stencil = True
+            continue
+        lowered = lower_predicate(stage.predicate, dtype)
+        if lowered is None:
+            return None
+        (post if has_stencil else pre).append(lowered)
+    pre_ops, pre_negs, pre_operands = _pack(pre)
+    post_ops, post_negs, post_operands = _pack(post)
+    program = ChainProgram(
+        pre_ops=pre_ops, pre_negs=pre_negs, pre_operands=pre_operands,
+        has_stencil=has_stencil,
+        post_ops=post_ops, post_negs=post_negs, post_operands=post_operands,
+    )
+    with _cache_lock:
+        _cache[key] = program
+        _cache.move_to_end(key)
+        while len(_cache) > _CACHE_CAPACITY:
+            _cache.popitem(last=False)
+    return program

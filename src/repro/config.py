@@ -56,7 +56,7 @@ _VARIANT_FIELDS = ("reduction_variant", "scan_variant")
 # Kept in sync with repro.collectives (wg_reduce / SCAN_VARIANTS); listed
 # here so from_env can validate without importing the collectives layer.
 _REDUCTION_VARIANTS = ("tree", "shuffle")
-_SCAN_VARIANTS = ("tree", "ballot", "shuffle")
+_SCAN_VARIANTS = ("tree", "ballot", "shuffle", "lookback")
 
 _BOOL_STRINGS = {"1": True, "true": True, "yes": True, "on": True,
                  "0": False, "false": False, "no": False, "off": False}
@@ -102,14 +102,17 @@ class DSConfig:
         :func:`repro.core.coarsening.launch_geometry` pick the
         occupancy-driven value.
     reduction_variant / scan_variant:
-        Work-group collective implementations (``"tree"``, or the
-        warp-optimized variants — see :mod:`repro.collectives`).
+        Work-group collective implementations (``"tree"``, the
+        warp-optimized variants, or the single-pass ``"lookback"``
+        scan — see :mod:`repro.collectives`).
     race_tracking:
         Arm the read-before-overwrite tracker (forces the simulated
         backend; supported by the in-place primitives).
     backend:
-        ``"simulated"``, ``"vectorized"``, or ``None`` to defer to the
-        ``REPRO_BACKEND`` environment variable at call time.
+        ``"simulated"``, ``"vectorized"``, ``"compiled"`` (Numba JIT,
+        degrading to ``"vectorized"`` when Numba is unusable), or
+        ``None`` to defer to the ``REPRO_BACKEND`` environment
+        variable at call time.
     seed:
         Base scheduling seed for streams the primitive creates itself.
     """

@@ -57,13 +57,14 @@ __all__ = [
 ]
 
 
-def _trace_begin(kernel_name: str, grid: int, wg_size: int, stream: Stream):
-    """Open the launch span for a vectorized launch (or ``(None, None)``
+def _trace_begin(kernel_name: str, grid: int, wg_size: int, stream: Stream,
+                 backend: str = "vectorized"):
+    """Open the launch span for a fast-path launch (or ``(None, None)``
     when tracing is off — the entire per-launch tracing cost)."""
     tracer = _obs.active()
     if tracer is None:
         return None, None
-    span_args = {"backend": "vectorized", "grid_size": grid,
+    span_args = {"backend": backend, "grid_size": grid,
                  "wg_size": wg_size, "device": stream.device.name}
     # Correlation attributes (request_id, batch_id) from obs.annotate —
     # launch spans carry them, phase spans never do (span parity).

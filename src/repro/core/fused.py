@@ -433,11 +433,22 @@ def run_fused_irregular(
     carry_valid = Buffer(
         np.zeros(geometry.n_workgroups + 1, dtype=np.int64), "fuse_carry_valid")
     kernel_name = chain_kernel_name(stages)
-    if resolve_backend(backend) == "vectorized":
+    resolved = resolve_backend(backend)
+    counters = None
+    if resolved == "compiled":
+        from repro.compiled.runner import compiled_fused_launch
+
+        counters = compiled_fused_launch(
+            array, stages, carry, carry_valid, flags, counter, geometry, n,
+            stream, kernel_name)
+        if counters is None:
+            # Chain didn't lower (opaque predicate): per-launch fallback.
+            resolved = "vectorized"
+    if counters is None and resolved == "vectorized":
         counters = _vectorized_fused_launch(
             array, stages, carry, carry_valid, flags, counter, geometry, n,
             stream, kernel_name)
-    else:
+    elif counters is None:
         counters = stream.launch(
             fused_irregular_kernel,
             grid_size=geometry.n_workgroups,

@@ -27,6 +27,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.config import DSConfig
+from repro.simgpu.vectorized import numba_available, pure_python_compiled
 
 __all__ = ["PARITY_FIELDS", "BenchCase", "CASES", "compare_backends",
            "bench_case"]
@@ -48,19 +49,28 @@ def compare_backends(
     run: Callable,
     *,
     min_speedup: Optional[float] = None,
+    min_compiled_speedup: Optional[float] = None,
     meta: Optional[dict] = None,
     rounds: int = 2,
 ) -> dict:
     """Time ``run(backend=...)`` under both execution backends.
 
-    ``run`` must accept ``backend`` (``"simulated"`` or
-    ``"vectorized"``) and return a
+    ``run`` must accept ``backend`` (``"simulated"``, ``"vectorized"``
+    or ``"compiled"``) and return a
     :class:`~repro.primitives.common.PrimitiveResult`.  Outputs and the
     deterministic counter fields are asserted identical; the returned
     report carries wall-clock (best of ``rounds`` runs per backend, the
     first run paying one-time costs), the speedup, the parity verdict
     and the full counter records.  ``min_speedup``, when given, is
     asserted.
+
+    The compiled tier is always timed (it degrades to the vectorized
+    fast path when Numba is unusable, so the row exists either way);
+    the report marks the degraded case with ``compiled_fallback`` and
+    JIT warmup cost is paid in one untimed run recorded separately as
+    ``warmup_s`` — post-warmup wall clock is what ``speedup_compiled``
+    measures.  ``min_compiled_speedup`` is asserted only when the tier
+    genuinely JIT-compiles (never in the no-Numba CI leg).
     """
     def best_of(backend):
         best = float("inf")
@@ -74,21 +84,39 @@ def compare_backends(
     sim, t_sim = best_of("simulated")
     vec, t_vec = best_of("vectorized")
 
-    assert np.array_equal(np.asarray(sim.output), np.asarray(vec.output)), \
-        f"{bench_id}: backend outputs differ"
-    assert vec.num_launches == sim.num_launches
-    for cs, cv in zip(sim.counters, vec.counters):
-        for field in PARITY_FIELDS:
-            assert getattr(cv, field) == getattr(cs, field), (
-                f"{bench_id}: counter {field} differs between backends "
-                f"(simulated={getattr(cs, field)}, "
-                f"vectorized={getattr(cv, field)})")
+    # One untimed compiled run first: JIT compilation is a one-time cost
+    # reported separately, not averaged into the kernel wall clock.
+    t0 = time.perf_counter()
+    run(backend="compiled")
+    warmup_s = time.perf_counter() - t0
+    comp, t_comp = best_of("compiled")
+    jit_active = numba_available() and not pure_python_compiled()
+
+    def assert_parity(other, other_name):
+        assert np.array_equal(np.asarray(sim.output),
+                              np.asarray(other.output)), \
+            f"{bench_id}: {other_name} backend output differs"
+        assert other.num_launches == sim.num_launches
+        for cs, co in zip(sim.counters, other.counters):
+            for field in PARITY_FIELDS:
+                assert getattr(co, field) == getattr(cs, field), (
+                    f"{bench_id}: counter {field} differs between backends "
+                    f"(simulated={getattr(cs, field)}, "
+                    f"{other_name}={getattr(co, field)})")
+
+    assert_parity(vec, "vectorized")
+    assert_parity(comp, "compiled")
 
     speedup = t_sim / t_vec if t_vec > 0 else float("inf")
+    speedup_compiled = t_vec / t_comp if t_comp > 0 else float("inf")
     report = {
         "id": bench_id,
-        "wall_clock_s": {"simulated": t_sim, "vectorized": t_vec},
+        "wall_clock_s": {"simulated": t_sim, "vectorized": t_vec,
+                         "compiled": t_comp},
+        "warmup_s": warmup_s,
         "speedup": speedup,
+        "speedup_compiled": speedup_compiled,
+        "compiled_fallback": not jit_active,
         "parity": {"fields": list(PARITY_FIELDS), "ok": True,
                    "launches": sim.num_launches},
         "counters": [c.to_dict() for c in sim.counters],
@@ -99,6 +127,10 @@ def compare_backends(
         assert speedup >= min_speedup, (
             f"{bench_id}: vectorized speedup {speedup:.1f}x below the "
             f"{min_speedup}x floor")
+    if min_compiled_speedup is not None and jit_active:
+        assert speedup_compiled >= min_compiled_speedup, (
+            f"{bench_id}: compiled speedup {speedup_compiled:.1f}x over "
+            f"vectorized is below the {min_compiled_speedup}x floor")
     return report
 
 
@@ -147,11 +179,13 @@ CASES = {
 
 
 def bench_case(bench_id: str, *, scale: float = 1.0, rounds: int = 2,
-               min_speedup: Optional[float] = None) -> dict:
+               min_speedup: Optional[float] = None,
+               min_compiled_speedup: Optional[float] = None) -> dict:
     """Run one canonical case end to end and return its report."""
     if bench_id not in CASES:
         raise KeyError(
             f"unknown bench case {bench_id!r}; known: {sorted(CASES)}")
     run, meta = CASES[bench_id](scale)
     return compare_backends(bench_id, run, meta=meta, rounds=rounds,
-                            min_speedup=min_speedup)
+                            min_speedup=min_speedup,
+                            min_compiled_speedup=min_compiled_speedup)

@@ -35,8 +35,8 @@ def _log2(n: int) -> int:
 
 
 def is_optimized_variant(variant: str) -> bool:
-    """True for the shuffle/ballot variants (paper's "optimized")."""
-    if variant not in ("tree", "ballot", "shuffle"):
+    """True for the shuffle/ballot/lookback variants ("optimized")."""
+    if variant not in ("tree", "ballot", "shuffle", "lookback"):
         raise ModelError(f"unknown collective variant {variant!r}")
     return variant != "tree"
 
@@ -77,6 +77,12 @@ def collective_rounds_per_wg(
         scan_rounds = 2 * lg_wg
     elif scan_variant in ("ballot", "shuffle"):
         scan_rounds = lg_warps + 1
+    elif scan_variant == "lookback":
+        # Single-pass decoupled lookback: publish the tile aggregate,
+        # then resolve-and-publish the prefix — a constant two rounds
+        # regardless of width (repro.collectives.lookback.LOOKBACK_ROUNDS;
+        # the lookback walk rides the inter-tile chain, not a barrier).
+        scan_rounds = 2
     else:
         raise ModelError(f"unknown scan variant {scan_variant!r}")
 

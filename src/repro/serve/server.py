@@ -433,11 +433,19 @@ class Server:
         ``1..max_batch_size`` a stream of identical requests can
         produce, so a fresh server starts at a ~100% plan-cache hit
         rate instead of paying one planning miss per batch shape.
-        Returns the number of plans now cached for the shape.
+        When the configured backend resolves to the compiled tier, the
+        JIT kernel for the request's element dtype is warmed too
+        (``repro.compiled.warmup``), so the first served batch never
+        pays a compile stall.  Returns the number of plans now cached
+        for the shape.
         """
         cfg = config if config is not None else self.ds_config
         spec = _chain_spec(list(ops) if not isinstance(ops, str) else [ops])
         array = np.asarray(values)
+        if cfg.resolved_backend() == "compiled":
+            from repro.compiled import warmup
+
+            warmup([array.dtype])
         for k in range(1, self.config.max_batch_size + 1):
             p = Pipeline(Stream(self.device, seed=self.config.seed),
                          config=cfg, fuse=True, plan_cache=self.plan_cache)

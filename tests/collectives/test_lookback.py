@@ -1,0 +1,189 @@
+"""Single-pass decoupled-lookback scan (the LightScan formulation).
+
+Covers the device-level scan against the reference and the three
+existing variants, the work-group binary variant's contract, and — the
+part the sequential schedule cannot reach — out-of-order lookback
+progress through :class:`LookbackScanSim`: a tile whose predecessor has
+not published yet must spin, and aggregates published ahead of their
+predecessors must still resolve to correct prefixes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import binary_exclusive_scan
+from repro.collectives.lookback import (
+    LOOKBACK_ROUNDS,
+    TILE_AGGREGATE,
+    TILE_INVALID,
+    TILE_PREFIX,
+    LookbackScanSim,
+    decoupled_lookback_scan,
+    lookback_exclusive_scan,
+)
+from repro.errors import LaunchError
+
+
+def reference_exclusive(values):
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0:
+        return values
+    return np.concatenate(([0], np.cumsum(values)[:-1]))
+
+
+class TestDeviceScan:
+    @pytest.mark.parametrize("n,tile", [
+        (0, 32), (1, 32), (31, 32), (32, 32), (33, 32),
+        (1000, 64), (4096, 256), (777, 13),
+    ])
+    def test_matches_reference(self, n, tile):
+        rng = np.random.default_rng(n + tile)
+        values = rng.integers(-50, 50, n)
+        scan, tile_prefix = decoupled_lookback_scan(values, tile)
+        assert np.array_equal(scan, reference_exclusive(values))
+        if n:
+            assert tile_prefix[-1] == values.sum()
+
+    def test_tile_prefix_is_inclusive_per_tile(self):
+        values = np.arange(1, 65)
+        _, tile_prefix = decoupled_lookback_scan(values, 16)
+        for t in range(4):
+            assert tile_prefix[t] == values[: (t + 1) * 16].sum()
+
+    def test_all_false_predicate(self):
+        scan, tile_prefix = decoupled_lookback_scan(np.zeros(256), 32)
+        assert not scan.any()
+        assert not tile_prefix.any()
+
+    def test_single_tile(self):
+        values = np.asarray([3, 1, 4, 1, 5])
+        scan, tile_prefix = decoupled_lookback_scan(values, 8)
+        assert np.array_equal(scan, reference_exclusive(values))
+        assert tile_prefix.shape == (1,) and tile_prefix[0] == 14
+
+    def test_rejects_nonpositive_tile(self):
+        with pytest.raises(LaunchError):
+            decoupled_lookback_scan(np.ones(8), 0)
+
+
+class TestWorkgroupVariant:
+    def test_matches_reference_and_reports_constant_rounds(self):
+        rng = np.random.default_rng(11)
+        for width in (32, 64, 128, 256, 1024):
+            pred = rng.random(width) < 0.5
+            out, rounds = lookback_exclusive_scan(pred, 32)
+            assert np.array_equal(out, reference_exclusive(pred))
+            # Single-pass: the round count never grows with the width.
+            assert rounds == LOOKBACK_ROUNDS
+
+    def test_rejects_width_not_multiple_of_warp(self):
+        with pytest.raises(LaunchError):
+            lookback_exclusive_scan(np.ones(40, dtype=bool), 32)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.booleans(), min_size=128, max_size=128))
+    def test_property_agrees_with_every_registered_variant(self, bits):
+        pred = np.asarray(bits, dtype=bool)
+        expected = binary_exclusive_scan(pred, "tree", warp_size=32)[0]
+        out = binary_exclusive_scan(pred, "lookback", warp_size=32)[0]
+        assert np.array_equal(out, expected)
+
+
+class TestOutOfOrderLookback:
+    """Drive the flag state machine through non-ascending schedules."""
+
+    def _values(self, n_tiles, tile=8, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 10, n_tiles * tile)
+
+    def test_reverse_order_spins_then_resolves(self):
+        values = self._values(8)
+        sim = LookbackScanSim(values, 8)
+        out = sim.run(order=list(range(7, -1, -1)))
+        assert np.array_equal(out, reference_exclusive(values))
+        # Every tile except tile 0 must have hit an INVALID predecessor
+        # at least once when published in reverse.
+        assert sim.n_spins >= 7
+        assert (sim.state == TILE_PREFIX).all()
+
+    def test_interleaved_order(self):
+        values = self._values(6, seed=3)
+        sim = LookbackScanSim(values, 8)
+        out = sim.run(order=[3, 0, 5, 1, 4, 2])
+        assert np.array_equal(out, reference_exclusive(values))
+
+    def test_aggregate_published_before_predecessor_still_correct(self):
+        # Tile 2 publishes its aggregate first; its lookback must spin
+        # (tile 1 INVALID), and once tiles 0 and 1 resolve, tile 2's
+        # prefix must include both predecessors' sums.
+        values = np.asarray([1] * 8 + [2] * 8 + [4] * 8)
+        sim = LookbackScanSim(values, 8)
+        sim.publish_aggregate(2)
+        assert not sim.try_resolve(2)
+        assert sim.n_spins == 1
+        assert sim.state[2] == TILE_AGGREGATE
+        sim.publish_aggregate(0)
+        assert sim.try_resolve(0)
+        sim.publish_aggregate(1)
+        assert sim.try_resolve(1)
+        assert sim.try_resolve(2)
+        assert sim.tile_prefix[2] == 8 + 16 + 32
+        assert np.array_equal(sim.scan, reference_exclusive(values))
+
+    def test_lookback_accumulates_aggregates_past_unresolved_tiles(self):
+        # Tiles 1 and 2 hold AGGREGATE (not PREFIX) when tile 3 looks
+        # back; the walk must sum their aggregates and terminate at
+        # tile 0's PREFIX without spinning.
+        values = np.asarray([1] * 8 + [2] * 8 + [4] * 8 + [8] * 8)
+        sim = LookbackScanSim(values, 8)
+        sim.publish_aggregate(0)
+        sim.try_resolve(0)
+        sim.publish_aggregate(1)
+        sim.publish_aggregate(2)
+        sim.publish_aggregate(3)
+        spins_before = sim.n_spins
+        assert sim.try_resolve(3)
+        assert sim.n_spins == spins_before
+        assert sim.tile_prefix[3] == 8 + 16 + 32 + 64
+        assert sim.state[1] == TILE_AGGREGATE  # untouched by 3's walk
+
+    def test_events_record_spin_then_prefix(self):
+        values = self._values(3, seed=5)
+        sim = LookbackScanSim(values, 8)
+        sim.run(order=[2, 1, 0])
+        kinds = [kind for kind, _ in sim.events]
+        assert "spin" in kinds
+        # A tile's prefix event always follows its aggregate event.
+        for t in range(3):
+            agg = sim.events.index(("aggregate", t))
+            pre = sim.events.index(("prefix", t))
+            assert agg < pre
+
+    def test_resolve_before_aggregate_rejected(self):
+        sim = LookbackScanSim(np.ones(16), 8)
+        with pytest.raises(LaunchError):
+            sim.try_resolve(1)
+
+    def test_order_must_be_permutation(self):
+        sim = LookbackScanSim(np.ones(16), 8)
+        with pytest.raises(LaunchError):
+            sim.run(order=[0, 0])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**16), st.integers(2, 10))
+    def test_property_random_schedules_match_reference(self, seed, n_tiles):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(-20, 20, n_tiles * 8)
+        order = rng.permutation(n_tiles).tolist()
+        sim = LookbackScanSim(values, 8)
+        out = sim.run(order=order)
+        assert np.array_equal(out, reference_exclusive(values))
+        ascending = decoupled_lookback_scan(values, 8)[1]
+        assert np.array_equal(sim.tile_prefix, ascending)
+
+    def test_initial_state_all_invalid(self):
+        sim = LookbackScanSim(np.ones(32), 8)
+        assert (sim.state == TILE_INVALID).all()
+        assert sim.n_spins == 0 and sim.events == []

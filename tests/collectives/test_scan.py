@@ -77,7 +77,7 @@ class TestDispatch:
             binary_exclusive_scan(np.ones(32, dtype=bool), "sorting-network")
 
     def test_variant_registry(self):
-        assert SCAN_VARIANTS == ("tree", "ballot", "shuffle")
+        assert SCAN_VARIANTS == ("tree", "ballot", "shuffle", "lookback")
 
     @settings(max_examples=40, deadline=None)
     @given(st.lists(st.booleans(), min_size=128, max_size=128))

@@ -1,0 +1,135 @@
+"""The Numba shim: import safety, kernel unwrapping, and the graceful
+compiled→vectorized degradation (warn once, count every fallback)."""
+
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+from repro.compiled.jit import (
+    callable_kernel,
+    compiled_available,
+    is_jitted,
+    njit,
+    numba_available,
+    pure_python_compiled,
+)
+from repro.simgpu.vectorized import (
+    fallback_count,
+    reset_fallback_state,
+    resolve_backend,
+)
+
+
+@pytest.fixture
+def no_numba(monkeypatch):
+    """Force the 'Numba unusable, no pure-Python override' environment."""
+    monkeypatch.setenv("NUMBA_DISABLE_JIT", "1")
+    monkeypatch.delenv("REPRO_COMPILED_PYTHON", raising=False)
+    reset_fallback_state()
+    yield
+    reset_fallback_state()
+
+
+class TestAvailability:
+    def test_numba_disable_jit_makes_numba_unavailable(self, monkeypatch):
+        monkeypatch.setenv("NUMBA_DISABLE_JIT", "1")
+        assert numba_available() is False
+
+    def test_pure_python_env_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED_PYTHON", "1")
+        assert pure_python_compiled() is True
+        assert compiled_available() is True
+        monkeypatch.setenv("REPRO_COMPILED_PYTHON", "0")
+        assert pure_python_compiled() is False
+
+    def test_compiled_unavailable_without_either(self, no_numba):
+        assert compiled_available() is False
+
+    def test_import_never_requires_numba(self):
+        # A fresh interpreter with Numba hard-disabled must import the
+        # package (and resolve the backend) without raising.
+        code = (
+            "import repro.compiled, warnings\n"
+            "from repro.simgpu.vectorized import resolve_backend\n"
+            "with warnings.catch_warnings():\n"
+            "    warnings.simplefilter('ignore')\n"
+            "    print(resolve_backend('compiled'))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "NUMBA_DISABLE_JIT": "1", "PATH": ""},
+            cwd="/root/repo",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() in ("vectorized", "compiled")
+
+
+class TestKernelForms:
+    def test_njit_preserves_behavior(self):
+        @njit
+        def double(x):
+            return 2 * x
+
+        assert callable_kernel(double)(21) == 42
+
+    def test_callable_kernel_unwraps_in_pure_python_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED_PYTHON", "1")
+
+        def plain(x):
+            return x + 1
+
+        if numba_available():
+            import numba
+            kernel = numba.njit(plain)
+            assert is_jitted(kernel)
+            assert callable_kernel(kernel) is kernel.py_func
+        else:
+            kernel = njit(plain)
+            assert not is_jitted(kernel)
+            assert callable_kernel(kernel) is kernel
+        assert callable_kernel(kernel)(1) == 2
+
+    def test_is_jitted_false_for_plain_function(self):
+        assert is_jitted(lambda x: x) is False
+
+
+class TestGracefulFallback:
+    def test_resolve_compiled_degrades_and_warns_once(self, no_numba):
+        with pytest.warns(RuntimeWarning, match="numba"):
+            assert resolve_backend("compiled") == "vectorized"
+        assert fallback_count() == 1
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend("jit") == "vectorized"
+            assert resolve_backend("numba") == "vectorized"
+        assert fallback_count() == 3
+
+    def test_fallback_counter_metric(self, no_numba):
+        from repro import obs
+        with obs.tracing() as tracer, warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            resolve_backend("compiled")
+        assert tracer.metrics.counter("backend.fallback").value >= 1
+
+    def test_no_fallback_in_pure_python_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED_PYTHON", "1")
+        reset_fallback_state()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend("compiled") == "compiled"
+        assert fallback_count() == 0
+
+    def test_primitive_still_runs_when_compiled_degrades(self, no_numba):
+        import numpy as np
+        from repro.config import DSConfig
+        from repro.primitives import ds_remove_if
+        from repro.core.predicates import is_even
+        values = np.arange(100, dtype=np.int64)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = ds_remove_if(values, is_even(),
+                                  config=DSConfig(backend="compiled"))
+        assert np.array_equal(result.output, values[values % 2 != 0])

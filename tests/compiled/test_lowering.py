@@ -1,0 +1,199 @@
+"""Predicate-chain lowering: the parse grammar, the probe verification
+that refuses to trust lying names, the program cache, and agreement
+between the kernel's scalar opcode interpreter and the NumPy oracle."""
+
+import numpy as np
+import pytest
+
+from repro.compiled.kernels import _eval_op
+from repro.compiled.jit import callable_kernel
+from repro.compiled.lowering import (
+    OP_ALWAYS_FALSE,
+    OP_ALWAYS_TRUE,
+    OP_EQUAL_TO,
+    OP_GREATER_EQUAL,
+    OP_IS_EVEN,
+    OP_LESS_THAN,
+    OP_NOT_EQUAL_TO,
+    ChainProgram,
+    _emulate,
+    _probe_values,
+    clear_program_cache,
+    lower_chain,
+    lower_predicate,
+    program_cache_stats,
+)
+from repro.core.fused import FuseStage
+from repro.core.predicates import (
+    Predicate,
+    always_false,
+    always_true,
+    equal_to,
+    greater_equal,
+    is_even,
+    less_than,
+    nonzero,
+    not_equal_to,
+)
+
+ALL_FACTORIES = [
+    ("is_even", is_even, OP_IS_EVEN, 0.0),
+    ("always_true", always_true, OP_ALWAYS_TRUE, 0.0),
+    ("always_false", always_false, OP_ALWAYS_FALSE, 0.0),
+    ("nonzero", nonzero, OP_NOT_EQUAL_TO, 0.0),
+    ("less_than(5)", lambda: less_than(5), OP_LESS_THAN, 5.0),
+    ("greater_equal(-2)", lambda: greater_equal(-2), OP_GREATER_EQUAL, -2.0),
+    ("equal_to(3)", lambda: equal_to(3), OP_EQUAL_TO, 3.0),
+    ("not_equal_to(0)", lambda: not_equal_to(0), OP_NOT_EQUAL_TO, 0.0),
+]
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_program_cache()
+    yield
+    clear_program_cache()
+
+
+class TestLowerPredicate:
+    @pytest.mark.parametrize("name,factory,op,operand", ALL_FACTORIES)
+    def test_whole_grammar_lowers(self, name, factory, op, operand):
+        lowered = lower_predicate(factory(), np.int64)
+        assert lowered is not None, name
+        assert (lowered.op, lowered.negate, lowered.operand) == \
+            (op, False, operand)
+
+    @pytest.mark.parametrize("name,factory,op,operand", ALL_FACTORIES)
+    def test_negation_unwraps(self, name, factory, op, operand):
+        lowered = lower_predicate(~factory(), np.int64)
+        assert lowered is not None and lowered.negate is True
+
+    def test_double_negation_cancels(self):
+        lowered = lower_predicate(~~is_even(), np.int64)
+        assert lowered is not None and lowered.negate is False
+
+    def test_unknown_name_returns_none(self):
+        p = Predicate(lambda v: v > 0, "is_positive")
+        assert lower_predicate(p, np.int64) is None
+
+    def test_non_numeric_operand_returns_none(self):
+        p = Predicate(lambda v: v < 0, "less_than(zero)")
+        assert lower_predicate(p, np.int64) is None
+
+    def test_lying_name_caught_by_probe(self):
+        # Name says even, function computes odd: the probe must refuse.
+        liar = Predicate(lambda v: (v.astype(np.int64) % 2) != 0, "is_even")
+        assert lower_predicate(liar, np.int64) is None
+
+    def test_lying_operand_caught_by_probe(self):
+        liar = Predicate(lambda v: v < 99, "less_than(5)")
+        assert lower_predicate(liar, np.int64) is None
+
+    def test_raising_predicate_returns_none(self):
+        def boom(v):
+            raise RuntimeError("no probe for you")
+        assert lower_predicate(Predicate(boom, "is_even"), np.int64) is None
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int16,
+                                       np.int32, np.int64, np.uint32])
+    def test_probe_vector_representable(self, dtype):
+        probe = _probe_values(np.dtype(dtype))
+        assert probe.dtype == np.dtype(dtype)
+        assert probe.size >= 5
+
+
+class TestOpcodeInterpreter:
+    """The kernel's scalar ``_eval_op`` must agree with the NumPy
+    oracle the probe verification uses — element by element."""
+
+    OPS = [(OP_ALWAYS_TRUE, 0.0), (OP_ALWAYS_FALSE, 0.0),
+           (OP_IS_EVEN, 0.0), (OP_LESS_THAN, 1.5), (OP_LESS_THAN, -2.0),
+           (OP_GREATER_EQUAL, 0.0), (OP_EQUAL_TO, 2.0),
+           (OP_NOT_EQUAL_TO, 0.0)]
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32,
+                                       np.int64, np.int32, np.int16])
+    def test_kernel_matches_oracle(self, dtype):
+        ev = callable_kernel(_eval_op)
+        vals = _probe_values(np.dtype(dtype))
+        for op, operand in self.OPS:
+            expected = _emulate(op, False, operand, vals)
+            got = [bool(ev(op, operand, v)) for v in vals]
+            assert got == expected.tolist(), (op, operand, dtype)
+
+    def test_negative_modulo_parity(self):
+        # Python's % on negative ints differs from C's; both the kernel
+        # and the oracle must land on the same (Python) convention.
+        ev = callable_kernel(_eval_op)
+        for v in (-4, -3, -2, -1):
+            assert bool(ev(OP_IS_EVEN, 0.0, v)) == (v % 2 == 0)
+
+
+class TestLowerChain:
+    def _stages(self):
+        return [FuseStage("pred", less_than(25)), FuseStage("stencil"),
+                FuseStage("pred", is_even())]
+
+    def test_chain_shapes(self):
+        program = lower_chain(self._stages(), np.int64)
+        assert isinstance(program, ChainProgram)
+        assert program.has_stencil is True
+        assert program.pre_ops.shape == (1,)
+        assert program.post_ops.shape == (1,)
+        assert program.n_predicates == 2
+        assert program.pre_ops.dtype == np.int64
+        assert program.pre_negs.dtype == np.uint8
+        assert program.pre_operands.dtype == np.float64
+
+    def test_single_stage_chain_is_valid(self):
+        # Unlike fused execution (>= 2 stages), the compiled backend
+        # lowers plain single-predicate launches through the same path.
+        program = lower_chain([FuseStage("pred", is_even())], np.int64)
+        assert program is not None and not program.has_stencil
+        assert (program.n_predicates, program.post_ops.size) == (1, 0)
+
+    def test_stencil_only_chain(self):
+        program = lower_chain([FuseStage("stencil")], np.int64)
+        assert program is not None and program.has_stencil
+        assert program.n_predicates == 0
+
+    def test_two_stencils_rejected(self):
+        stages = [FuseStage("stencil"), FuseStage("pred", is_even()),
+                  FuseStage("stencil")]
+        assert lower_chain(stages, np.int64) is None
+
+    def test_unlowerable_stage_rejects_whole_chain(self):
+        stages = [FuseStage("pred", less_than(25)),
+                  FuseStage("pred", Predicate(lambda v: v % 3 == 0, "mod3"))]
+        assert lower_chain(stages, np.int64) is None
+
+    def test_cache_hit_on_repeat(self):
+        stages = self._stages()
+        lower_chain(stages, np.int64)
+        hits0, misses0 = program_cache_stats()
+        again = lower_chain(self._stages(), np.int64)
+        hits1, misses1 = program_cache_stats()
+        assert (hits1, misses1) == (hits0 + 1, misses0)
+        assert again is lower_chain(stages, np.int64)
+
+    def test_cache_keyed_by_dtype(self):
+        lower_chain(self._stages(), np.int64)
+        _, misses0 = program_cache_stats()
+        lower_chain(self._stages(), np.float32)
+        _, misses1 = program_cache_stats()
+        assert misses1 == misses0 + 1
+
+    def test_cache_hit_still_probes_the_real_predicate(self):
+        # Same labels, different function: the label-keyed cache alone
+        # would return the honest program; the re-probe must refuse.
+        lower_chain([FuseStage("pred", is_even())], np.int64)
+        liar = Predicate(lambda v: (v.astype(np.int64) % 2) != 0, "is_even")
+        assert lower_chain([FuseStage("pred", liar)], np.int64) is None
+
+    def test_cache_metrics_exported(self):
+        from repro import obs
+        with obs.tracing() as tracer:
+            lower_chain(self._stages(), np.int64)
+            lower_chain(self._stages(), np.int64)
+        assert tracer.metrics.counter("compiled.program_cache.misses").value == 1
+        assert tracer.metrics.counter("compiled.program_cache.hits").value == 1

@@ -42,8 +42,10 @@ class TestCounterRoundTrip:
 class TestBenchCase:
     def test_report_shape(self, report):
         assert report["id"] == "fig13"
-        assert set(report["wall_clock_s"]) == {"simulated", "vectorized"}
+        assert set(report["wall_clock_s"]) == \
+            {"simulated", "vectorized", "compiled"}
         assert report["parity"]["ok"] is True
+        assert "warmup_s" in report and "compiled_fallback" in report
         assert report["counters"], "report must embed the counter records"
         assert report["primitive"] == "ds_stream_compact"
 
@@ -67,7 +69,7 @@ class TestCheckCase:
     def test_injected_slowdown_fails(self, report):
         failures = regress.check_case("fig13", report, fresh=report,
                                       inject_slowdown=0.25)
-        assert len(failures) == 2  # both backends regress
+        assert len(failures) == 3  # every backend tier regresses
         assert all("wall-clock regressed" in f for f in failures)
 
     def test_slowdown_within_tolerance_passes(self, report):

@@ -148,6 +148,34 @@ class TestDSConfig:
         assert DSConfig(backend="vec") == DSConfig(backend="vectorized")
         assert DSConfig(backend="sim").backend == "simulated"
 
+    def test_compiled_shorthands_normalized(self, monkeypatch):
+        # Force the pure-Python compiled mode so "compiled" resolves to
+        # itself regardless of whether Numba exists in this environment.
+        monkeypatch.setenv("REPRO_COMPILED_PYTHON", "1")
+        assert DSConfig(backend="jit") == DSConfig(backend="compiled")
+        assert DSConfig(backend="numba").backend == "compiled"
+
+    def test_compiled_degrades_to_vectorized_when_unavailable(
+            self, monkeypatch):
+        from repro.simgpu.vectorized import (fallback_count,
+                                             reset_fallback_state)
+        monkeypatch.delenv("REPRO_COMPILED_PYTHON", raising=False)
+        monkeypatch.setenv("NUMBA_DISABLE_JIT", "1")
+        reset_fallback_state()
+        try:
+            before = fallback_count()
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                cfg = DSConfig(backend="compiled")
+            assert cfg.backend == "vectorized"
+            assert fallback_count() == before + 1
+            # The warning fires once per process; the count keeps going.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                assert DSConfig(backend="jit").backend == "vectorized"
+            assert fallback_count() == before + 2
+        finally:
+            reset_fallback_state()
+
     def test_validation(self):
         with pytest.raises(LaunchError):
             DSConfig(wg_size=0)
@@ -174,6 +202,20 @@ class TestDSConfig:
 
     def test_from_env_empty(self):
         assert DSConfig.from_env({}) == DSConfig()
+
+    def test_from_env_compiled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED_PYTHON", "1")
+        for raw in ("compiled", "jit", "numba"):
+            cfg = DSConfig.from_env({"REPRO_BACKEND": raw})
+            assert cfg.backend == "compiled", raw
+
+    def test_from_env_unknown_backend_names_variable_and_tiers(self):
+        with pytest.raises(ValueError) as exc:
+            DSConfig.from_env({"REPRO_BACKEND": "cuda"})
+        msg = str(exc.value)
+        assert "REPRO_BACKEND" in msg and "'cuda'" in msg
+        for tier in ("simulated", "vectorized", "compiled"):
+            assert tier in msg
 
     @pytest.mark.parametrize("var,raw", [
         ("REPRO_WG_SIZE", "big"),
