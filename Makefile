@@ -3,8 +3,12 @@
 PYTHON ?= python
 
 .PHONY: install test test-all bench bench-smoke bench-full bench-check \
-        pipeline-smoke trace-smoke serve-smoke analyze-smoke figures \
-        examples clean
+        pipeline-smoke trace-smoke serve-smoke analyze-smoke tune-smoke \
+        report figures examples clean
+
+# Stamped into every BENCH_INDEX.json row so the trajectory report can
+# attribute each run to a commit.
+GIT_REV := $(shell git rev-parse --short HEAD 2>/dev/null)
 
 install:
 	pip install -e . || \
@@ -17,14 +21,16 @@ test-all:        ## everything, including the 1M-element slow tests
 	$(PYTHON) -m pytest tests/
 
 bench:           ## regenerate every figure/table + time the kernels (1M scale)
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	REPRO_GIT_REV=$(GIT_REV) $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-smoke:     ## one regular + one irregular benchmark, all three backend tiers (per-tier rows in BENCH_*.json)
-	$(PYTHON) -m pytest benchmarks/bench_fig08_padding.py \
+	REPRO_GIT_REV=$(GIT_REV) $(PYTHON) -m pytest \
+	  benchmarks/bench_fig08_padding.py \
 	  benchmarks/bench_fig13_compaction.py --benchmark-only
 
 bench-full:      ## same, at the paper's 16M / 12000x11999 sizes
-	REPRO_BENCH_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+	REPRO_BENCH_FULL=1 REPRO_GIT_REV=$(GIT_REV) $(PYTHON) -m pytest \
+	  benchmarks/ --benchmark-only
 
 bench-check:     ## compare fresh runs against committed BENCH_*.json baselines
 	$(PYTHON) -m repro.obs.regress benchmarks/results
@@ -39,7 +45,8 @@ serve-smoke:     ## serve layer: healthy + fault-injected loadgen, acceptance-ch
 	$(PYTHON) -m repro serve --shape chain --clients 4 --requests 20 --check
 	$(PYTHON) -m repro serve --shape compact --clients 4 --requests 10 \
 	  --fault always --check
-	$(PYTHON) -m pytest benchmarks/bench_serve_load.py --benchmark-only
+	REPRO_GIT_REV=$(GIT_REV) $(PYTHON) -m pytest \
+	  benchmarks/bench_serve_load.py --benchmark-only
 	$(PYTHON) -m pytest tests/serve -q
 
 analyze-smoke:   ## trace fig13 -> analyzer decomposition check (sum==wall ±1%, spin<=wall) + flight-recorder overhead bound
@@ -52,6 +59,21 @@ trace-smoke:     ## export + validate a Chrome trace of one experiment
 	$(PYTHON) -m repro trace fig13 -o /tmp/repro_trace_smoke.json --check
 	$(PYTHON) -m repro trace fig08 -o /tmp/repro_trace_smoke8.json \
 	  --elements 8192 --check
+
+tune-smoke:      ## bounded autotuner sweeps, acceptance-checked, then serve from the DB
+	REPRO_BACKEND=vectorized $(PYTHON) -m repro tune --fig fig13 \
+	  --n 4096 --budget 20 --db benchmarks/results/TUNING_DB.json --check
+	REPRO_BACKEND=vectorized $(PYTHON) -m repro tune --shape compact \
+	  --n 1024 --budget 20 --db benchmarks/results/TUNING_DB.json \
+	  --set-default --check
+	REPRO_BACKEND=vectorized $(PYTHON) -m repro serve --shape compact \
+	  --n 1024 --clients 2 --requests 8 \
+	  --tuning-db benchmarks/results/TUNING_DB.json --check
+	$(PYTHON) -m pytest tests/tune tests/analysis tests/obs/test_benchindex.py -q
+
+report:          ## render the experiment-registry report from persisted artifacts
+	$(PYTHON) -m repro report -o benchmarks/results/REPORT.md
+	@echo "wrote benchmarks/results/REPORT.md"
 
 figures:         ## print every reproduced figure and Table I
 	$(PYTHON) -m repro all

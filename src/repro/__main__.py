@@ -9,6 +9,8 @@ Usage::
     python -m repro devices              # print the device catalog
     python -m repro trace fig13 -o trace.json   # export a Chrome trace
     python -m repro serve --shape chain --check # serve-layer load run
+    python -m repro tune --fig fig13            # autotune a workload
+    python -m repro report -o REPORT.md         # one report over it all
 
 The same tables are produced (and persisted) by the benchmark harness;
 this entry point is the quick interactive path.  ``trace`` runs one
@@ -17,6 +19,9 @@ and writes a Chrome-trace JSON file (open it in ``chrome://tracing`` or
 https://ui.perfetto.dev) — see docs/observability.md.  ``serve`` drives
 the micro-batching service layer with the closed-loop load generator
 (same flags as ``python -m repro.serve.loadgen``) — see docs/serving.md.
+``tune`` runs the bounded online autotuner and persists winners to the
+tuning DB; ``report`` renders one markdown/HTML document over the
+persisted benchmark, serve and tuning artifacts — see docs/tuning.md.
 """
 
 from __future__ import annotations
@@ -94,7 +99,10 @@ def main(argv=None) -> int:
         "(In-Place Data Sliding Algorithms, ICPP 2015).  "
         "Subcommands: trace <experiment> -o trace.json exports a "
         "Chrome-trace timeline; serve runs the micro-batching "
-        "service layer under closed-loop load.",
+        "service layer under closed-loop load; analyze renders a "
+        "critical-path report from a trace; tune runs the bounded "
+        "online autotuner; report renders one markdown/HTML document "
+        "over the persisted artifacts.",
     )
     trace = argparse.ArgumentParser(
         prog="python -m repro trace",
@@ -137,6 +145,14 @@ def main(argv=None) -> int:
         from repro.obs import analyze as _analyze
 
         return _analyze.main(argv[1:])
+    if argv and argv[0] == "tune":
+        from repro.tune import cli as _tune_cli
+
+        return _tune_cli.main(argv[1:])
+    if argv and argv[0] == "report":
+        from repro.analysis import report as _report
+
+        return _report.main(argv[1:])
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -155,6 +171,12 @@ def main(argv=None) -> int:
         print("  analyze <trace.json|trace.jsonl|incident-dir>   "
               "critical-path + spin attribution report "
               "(see docs/observability.md)")
+        print("  tune [--fig fig13 | --shape compact [--serve]] --check   "
+              "bounded autotuning sweep; winners persist to the tuning DB "
+              "(see docs/tuning.md)")
+        print("  report [-o REPORT.md --html]   "
+              "markdown/HTML report over BENCH_*.json, BENCH_INDEX.json "
+              "and TUNING_DB.json (see docs/tuning.md)")
         return 0
     if args.experiment == "devices":
         print(_render_devices())

@@ -155,6 +155,16 @@ class DSConfig:
         ``REPRO_SEED``.  A malformed value raises :class:`ValueError`
         naming the offending variable immediately, instead of failing
         deep inside a later kernel launch.
+
+        **Tuned resolution mode**: ``REPRO_TUNED=1`` additionally
+        consults the autotuner database (``REPRO_TUNING_DB``, default
+        ``benchmarks/results/TUNING_DB.json``) and fills in the
+        per-backend ``default|`` knob set recorded by ``python -m repro
+        tune --set-default`` — but only for fields *not* pinned by an
+        explicit ``REPRO_*`` variable, so the precedence stays
+        explicit env > tuned DB > dataclass default.  A missing DB is
+        fine (nothing tuned yet); a malformed one raises the usual
+        :class:`~repro.errors.ReproError` naming the file.
         """
         env = os.environ if environ is None else environ
 
@@ -188,7 +198,29 @@ class DSConfig:
                 raise ValueError(f"REPRO_BACKEND={raw!r}: {exc}") from None
         if _get("REPRO_SEED"):
             kwargs["seed"] = _env_int("REPRO_SEED", _get("REPRO_SEED"))
+        if _get("REPRO_TUNED") and _env_bool("REPRO_TUNED",
+                                             _get("REPRO_TUNED")):
+            kwargs = cls._apply_tuned_defaults(kwargs, env)
         return cls(**kwargs)
+
+    @staticmethod
+    def _apply_tuned_defaults(kwargs: dict, env) -> dict:
+        """Fill ``kwargs`` from the tuning DB's per-backend ``default|``
+        entry, without overriding fields the environment pinned."""
+        from repro.simgpu.vectorized import resolve_backend as _resolve
+        from repro.tune.db import KERNEL_CONFIG_KNOBS, TuningDB
+
+        path = (env.get("REPRO_TUNING_DB", "").strip()
+                or "benchmarks/results/TUNING_DB.json")
+        db = TuningDB.load(path)
+        backend = _resolve(kwargs.get("backend"))
+        tuned = db.default_knobs(backend)
+        if not tuned:
+            return kwargs
+        for name in KERNEL_CONFIG_KNOBS:
+            if name in tuned and name not in kwargs:
+                kwargs[name] = tuned[name]
+        return kwargs
 
 
 DEFAULT_CONFIG = DSConfig()

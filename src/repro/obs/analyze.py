@@ -31,7 +31,8 @@ from typing import Dict, List, Optional, Union
 
 from repro.errors import ReproError
 
-__all__ = ["load_trace", "analyze", "check_report", "render_text", "main"]
+__all__ = ["load_trace", "analyze", "analyze_tracer", "check_report",
+           "render_text", "main"]
 
 # Top-level kernel phases, in pipeline order.  `scan` nests inside
 # `store`/`reduce` and `sync_wait` nests inside `sync`; both are
@@ -321,6 +322,22 @@ def analyze(loaded: Union[str, Path, dict]) -> dict:
         }
     return {"source": loaded["source"], "kind": loaded["kind"],
             "processes": processes, "incident": incident}
+
+
+def analyze_tracer(tracer, *, name: str = "tracer") -> dict:
+    """Analyze a live :class:`~repro.obs.tracer.Tracer` in memory.
+
+    The autotuner's objective needs the launch decomposition of a trial
+    it just traced, without a disk round-trip: flatten the tracer to
+    Chrome events (the exporter is the one place that knows how to
+    close dangling spans), parse them back, and run the standard
+    :func:`analyze` over the result.
+    """
+    from repro.obs.export import chrome_trace_events
+
+    doc = {"traceEvents": chrome_trace_events(tracer, process_name=name)}
+    return analyze({"source": f"<{name}>", "kind": "tracer",
+                    "processes": _parse_chrome(doc), "manifest": None})
 
 
 def check_report(report: dict, *, tolerance: float = 0.01) -> List[str]:

@@ -2,7 +2,7 @@
 ``make bench-check`` regression gate.
 
 One function, :func:`compare_backends`, times a primitive under both
-execution backends (best of N runs each), asserts output equality and
+execution backends (median of N runs each), asserts output equality and
 counter parity on :data:`PARITY_FIELDS`, and returns a JSON-ready
 report that includes the full :class:`~repro.simgpu.counters
 .LaunchCounters` record of every launch (via ``to_dict``).  The
@@ -51,7 +51,7 @@ def compare_backends(
     min_speedup: Optional[float] = None,
     min_compiled_speedup: Optional[float] = None,
     meta: Optional[dict] = None,
-    rounds: int = 2,
+    rounds: int = 3,
 ) -> dict:
     """Time ``run(backend=...)`` under both execution backends.
 
@@ -59,37 +59,47 @@ def compare_backends(
     or ``"compiled"``) and return a
     :class:`~repro.primitives.common.PrimitiveResult`.  Outputs and the
     deterministic counter fields are asserted identical; the returned
-    report carries wall-clock (best of ``rounds`` runs per backend, the
-    first run paying one-time costs), the speedup, the parity verdict
-    and the full counter records.  ``min_speedup``, when given, is
-    asserted.
+    report carries wall-clock (the **median** of ``rounds`` timed runs
+    per backend, after one untimed warmup round — the lower median for
+    even counts, so a lone slow outlier cannot swing the estimate the
+    way a single sample or best-of can), the speedup, the parity
+    verdict and the full counter records.  The raw samples are kept
+    under ``wall_clock_samples`` and the estimator is named by
+    ``timing``.  ``min_speedup``, when given, is asserted.
 
     The compiled tier is always timed (it degrades to the vectorized
     fast path when Numba is unusable, so the row exists either way);
     the report marks the degraded case with ``compiled_fallback`` and
-    JIT warmup cost is paid in one untimed run recorded separately as
-    ``warmup_s`` — post-warmup wall clock is what ``speedup_compiled``
-    measures.  ``min_compiled_speedup`` is asserted only when the tier
-    genuinely JIT-compiles (never in the no-Numba CI leg).
+    JIT compilation is paid in the untimed warmup round, recorded
+    separately as ``warmup_s`` — post-warmup wall clock is what
+    ``speedup_compiled`` measures.  ``min_compiled_speedup`` is
+    asserted only when the tier genuinely JIT-compiles (never in the
+    no-Numba CI leg).
     """
-    def best_of(backend):
-        best = float("inf")
+    def median_of(backend):
+        # One untimed warmup round first: a cold process pays one-time
+        # costs (imports, allocator, caches — and JIT compilation for
+        # the compiled tier) that the median must not sample, or a
+        # fresh bench-check process would never match a warm baseline
+        # writer.  Steady state is what the estimator estimates.
+        t0 = time.perf_counter()
+        run(backend=backend)
+        warmup = time.perf_counter() - t0
+        walls = []
         result = None
         for _ in range(max(1, rounds)):
             t0 = time.perf_counter()
             result = run(backend=backend)
-            best = min(best, time.perf_counter() - t0)
-        return result, best
+            walls.append(time.perf_counter() - t0)
+        walls.sort()
+        # Lower median: exact middle for odd counts, and for rounds=2
+        # it degenerates to the old best-of-2 rather than averaging in
+        # the (possibly still settling) slower sample.
+        return result, walls[(len(walls) - 1) // 2], walls, warmup
 
-    sim, t_sim = best_of("simulated")
-    vec, t_vec = best_of("vectorized")
-
-    # One untimed compiled run first: JIT compilation is a one-time cost
-    # reported separately, not averaged into the kernel wall clock.
-    t0 = time.perf_counter()
-    run(backend="compiled")
-    warmup_s = time.perf_counter() - t0
-    comp, t_comp = best_of("compiled")
+    sim, t_sim, samples_sim, _ = median_of("simulated")
+    vec, t_vec, samples_vec, _ = median_of("vectorized")
+    comp, t_comp, samples_comp, warmup_s = median_of("compiled")
     jit_active = numba_available() and not pure_python_compiled()
 
     def assert_parity(other, other_name):
@@ -113,6 +123,10 @@ def compare_backends(
         "id": bench_id,
         "wall_clock_s": {"simulated": t_sim, "vectorized": t_vec,
                          "compiled": t_comp},
+        "wall_clock_samples": {"simulated": samples_sim,
+                               "vectorized": samples_vec,
+                               "compiled": samples_comp},
+        "timing": "median",
         "warmup_s": warmup_s,
         "speedup": speedup,
         "speedup_compiled": speedup_compiled,

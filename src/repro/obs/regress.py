@@ -4,8 +4,9 @@ Re-runs the canonical benchmark cases of :mod:`repro.obs.benchrun` and
 compares the fresh numbers against the committed
 ``benchmarks/results/BENCH_<id>.json`` baselines:
 
-* **wall-clock** — each backend's fresh best-of-N time must not exceed
-  the baseline by more than the tolerance (default 20 %, override with
+* **wall-clock** — each backend's fresh median-of-N time must not
+  exceed the baseline by more than the tolerance (default 20 %,
+  override with
   ``REPRO_BENCH_TOLERANCE`` or ``--tolerance``).  Getting *faster*
   always passes;
 * **counter parity** — every :data:`~repro.obs.benchrun.PARITY_FIELDS`
@@ -164,7 +165,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help=f"wall-clock tolerance fraction (default "
                              f"{DEFAULT_TOLERANCE}, env {TOLERANCE_ENV_VAR})")
     parser.add_argument("--rounds", type=int, default=3,
-                        help="fresh runs per backend (best-of)")
+                        help="timed runs per backend (the median is "
+                             "compared)")
     parser.add_argument("--inject-slowdown", type=float, default=0.0,
                         metavar="X",
                         help="multiply fresh wall-clock by 1+X (self-test)")

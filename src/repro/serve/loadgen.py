@@ -221,6 +221,7 @@ def run_load(
     seed: int = 1234,
     timeout_s: float = 60.0,
     collect_stats: bool = False,
+    tuning_db=None,
 ) -> LoadReport:
     """Drive a fresh :class:`Server` with closed-loop clients.
 
@@ -228,7 +229,11 @@ def run_load(
     ``"always"`` (every fast-path batch fails → breaker opens →
     degradation serves everything) or a 0..1 per-batch probability.
     ``collect_stats=True`` snapshots :meth:`Server.stats` into
-    ``report.stats`` before shutdown.  Returns a fully populated
+    ``report.stats`` before shutdown.  ``tuning_db`` (a
+    :class:`~repro.tune.db.TuningDB`) hands the server persisted
+    autotuner winners; the prime step then warms from it
+    (``tuned=True``) and stats are always collected so the report shows
+    which tuned knobs were active.  Returns a fully populated
     :class:`LoadReport`.
 
     The whole run executes inside ``metrics.scoped("serve.")``, so
@@ -239,8 +244,11 @@ def run_load(
     spec = make_shape(shape, n, seed)
     cfg = serve_config if serve_config is not None else ServeConfig()
     injector = _FaultInjector(fault, seed) if fault is not None else None
+    if tuning_db is not None:
+        collect_stats = True
     server = Server(cfg, ds_config=ds_config, device=device,
-                    fault_hook=injector, autostart=False)
+                    fault_hook=injector, tuning_db=tuning_db,
+                    autostart=False)
     report = LoadReport(shape=shape, clients=clients,
                         requests=clients * requests_per_client)
     with server.metrics.scoped("serve."):
@@ -260,9 +268,10 @@ def _drive_load(server: Server, spec: ShapeSpec, report: LoadReport, *,
                 prime: bool, deadline_ms: Optional[float],
                 timeout_s: float, collect_stats: bool) -> None:
     """The body of :func:`run_load`, run inside the scoped registry."""
-    cfg = server.config
     if prime:
-        server.prime(spec.ops, spec.array, config=ds_config)
+        server.prime(spec.ops, spec.array, config=ds_config,
+                     tuned=server.tuning_db is not None)
+    cfg = server.config
     hits0, misses0 = server.plan_cache.stats()
 
     latencies: List[float] = []
@@ -450,6 +459,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="append the structured JSONL event log to "
                              "this file")
     parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--tuning-db", default=None,
+                        help="warm the server from this autotuner DB "
+                             "(Server.prime(tuned=True)); active tuned "
+                             "knobs show up under stats['tuned']")
     parser.add_argument("--no-prime", action="store_true",
                         help="skip plan-cache pre-warming")
     parser.add_argument("--check", action="store_true",
@@ -504,21 +517,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"flight recorder overhead: ratio {result['ratio']:.3f} "
               f">= {1.0 - result['tolerance']:.2f}: OK")
         return 0
+    tuning_db = None
+    if args.tuning_db is not None:
+        from repro.tune.db import TuningDB
+
+        tuning_db = TuningDB.load(args.tuning_db)
     report = run_load(
         shape=args.shape, clients=args.clients,
         requests_per_client=args.requests, n=args.n,
         serve_config=_config_from_args(args),
         fault=fault, prime=not args.no_prime,
         deadline_ms=args.deadline_ms, seed=args.seed,
-        collect_stats=args.stats)
+        collect_stats=args.stats, tuning_db=tuning_db)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     else:
         print(report.summary())
+        if report.stats is not None and (report.stats.get("tuned")
+                                         or tuning_db is not None):
+            print("tuned knobs active: "
+                  + json.dumps(report.stats.get("tuned", {}),
+                               sort_keys=True))
         if args.stats and report.stats is not None:
             print("server stats:")
             print(json.dumps(report.stats, indent=2, sort_keys=True))
     if args.check:
+        if tuning_db is not None and len(tuning_db):
+            from repro.tune.db import kernel_key
+
+            spec = make_shape(args.shape, args.n, args.seed)
+            if kernel_key(spec.ops, spec.array) in tuning_db and not (
+                    report.stats or {}).get("tuned"):
+                raise ServeError(
+                    "loadgen acceptance failed: tuning DB has a matching "
+                    "kernel entry but stats['tuned'] is empty — tuned "
+                    "knobs never activated")
         # Only a forced-failure run ("always") is guaranteed to
         # degrade; at a partial fault rate retries may absorb every
         # fault, which is a pass, not a miss.

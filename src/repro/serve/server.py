@@ -152,6 +152,15 @@ class Server:
         Test/chaos hook called with the batch's request list before
         every fast-path execution; raising a transient error simulates
         backend failure.
+    tuning_db:
+        A :class:`~repro.tune.db.TuningDB` of autotuner winners.  When
+        given, every admitted request shape is looked up under its
+        (normalized) batch key and any persisted kernel knobs
+        (coarsening/wg_size/scan_variant/fusion) are applied before
+        batching — so identical traffic lands on the *tuned* plan-cache
+        entry; :meth:`prime` with ``tuned=True`` additionally warms
+        those plans and adopts persisted serve batching knobs, and
+        :meth:`stats` reports the active tuned knobs per batch key.
     autostart:
         Start the batcher/worker threads immediately.  Tests pass
         ``False`` to stage requests deterministically, then
@@ -168,6 +177,7 @@ class Server:
         metrics: Optional[MetricsRegistry] = None,
         breaker: Optional[CircuitBreaker] = None,
         fault_hook=None,
+        tuning_db=None,
         autostart: bool = True,
     ) -> None:
         self.config = config if config is not None else ServeConfig()
@@ -181,6 +191,14 @@ class Server:
         self.breaker = breaker if breaker is not None else CircuitBreaker(
             self.config.breaker_threshold, self.config.breaker_cooldown_ms)
         self.fault_hook = fault_hook
+        self.tuning_db = tuning_db
+        # Tuned-knob resolution state: ``_tuned_cache`` memoizes the DB
+        # lookup per *original* batch key (None = "no entry, stop
+        # asking"); ``_tuned_active`` / ``_tuned_fuse`` are keyed by the
+        # *tuned* batch key the request actually batches under.
+        self._tuned_cache: Dict[tuple, Optional[dict]] = {}
+        self._tuned_active: Dict[tuple, dict] = {}
+        self._tuned_fuse: Dict[tuple, bool] = {}
         # Always-on flight recorder (``flight_capacity=0`` disables it,
         # which the overhead check uses as its baseline).  Incidents are
         # only *dumped* when ``incident_dir`` is configured; the ring
@@ -361,11 +379,64 @@ class Server:
         return self._admit(_chain_spec(list(ops)), values,
                            config=config, deadline_ms=deadline_ms)
 
+    def _tuned_for(self, stages, array, cfg: DSConfig,
+                   backend: str) -> Optional[dict]:
+        """Resolve persisted tuned knobs for one request shape.
+
+        Memoized per original batch key: the normalized-key
+        construction and DB lookup run once per distinct traffic shape,
+        not once per request.  Returns ``None`` when the DB has no
+        entry for the shape.
+        """
+        orig_key = make_batch_key(stages, array, cfg, backend)
+        try:
+            return self._tuned_cache[orig_key]
+        except KeyError:
+            pass
+        from repro.tune.db import KERNEL_CONFIG_KNOBS, kernel_key
+
+        key = kernel_key(stages, array, cfg, backend)
+        entry = self.tuning_db.get(key)
+        resolved = None
+        if entry is not None and entry.get("knobs"):
+            knobs = dict(entry["knobs"])
+            config_knobs = {k: v for k, v in knobs.items()
+                            if k in KERNEL_CONFIG_KNOBS}
+            resolved = {
+                "key": key,
+                "knobs": knobs,
+                "config": cfg.replace(**config_knobs) if config_knobs
+                else cfg,
+                "fuse": bool(knobs.get("fuse", True)),
+                "ops": "+".join(s.desc.short for s in stages),
+                "n": int(array.size),
+                "dtype": str(array.dtype),
+            }
+        self._tuned_cache[orig_key] = resolved
+        return resolved
+
+    def _activate_tuned(self, info: dict, batch_key: tuple) -> None:
+        """Register tuned knobs under the batch key they serve."""
+        if batch_key in self._tuned_active:
+            return
+        self._tuned_fuse[batch_key] = info["fuse"]
+        self._tuned_active[batch_key] = info
+        self._count("serve.tuned_keys")
+        self._event("serve.tuned_applied", ops=info["ops"],
+                    n=info["n"], dtype=info["dtype"],
+                    knobs=repr(info["knobs"]), key=info["key"])
+
     def _admit(self, spec, values, *, config, deadline_ms) -> ServeFuture:
         cfg = config if config is not None else self.ds_config
         array = np.asarray(values)
         stages = [OpStage(desc, args, kwargs) for desc, args, kwargs in spec]
         backend = cfg.resolved_backend()
+        if self.tuning_db is not None:
+            tuned = self._tuned_for(stages, array, cfg, backend)
+            if tuned is not None:
+                cfg = tuned["config"]
+                self._activate_tuned(
+                    tuned, make_batch_key(stages, array, cfg, backend))
         batch_key = make_batch_key(stages, array, cfg, backend)
         if deadline_ms is None:
             deadline_ms = self.config.default_deadline_ms
@@ -426,7 +497,8 @@ class Server:
     # -- cache priming -------------------------------------------------
 
     def prime(self, ops: Sequence, values: np.ndarray, *,
-              config: Optional[DSConfig] = None) -> int:
+              config: Optional[DSConfig] = None,
+              tuned: bool = False) -> int:
         """Pre-plan every batch size for one request shape.
 
         Plans (without executing) the pipeline batches of size
@@ -436,19 +508,47 @@ class Server:
         When the configured backend resolves to the compiled tier, the
         JIT kernel for the request's element dtype is warmed too
         (``repro.compiled.warmup``), so the first served batch never
-        pays a compile stall.  Returns the number of plans now cached
-        for the shape.
+        pays a compile stall.
+
+        With ``tuned=True`` (and a ``tuning_db``) the shape is first
+        resolved against the tuning DB: persisted kernel knobs replace
+        the config the plans are primed under (so the cache warms the
+        plans traffic will actually hit), and — when the server has not
+        started yet — a persisted serve entry for the shape adopts its
+        (max_batch_size, max_wait_ms) batching knobs.  Returns the
+        number of plans now cached for the shape.
         """
         cfg = config if config is not None else self.ds_config
         spec = _chain_spec(list(ops) if not isinstance(ops, str) else [ops])
         array = np.asarray(values)
+        fuse = True
+        if tuned and self.tuning_db is not None:
+            stages = [OpStage(desc, args, kwargs)
+                      for desc, args, kwargs in spec]
+            backend = cfg.resolved_backend()
+            info = self._tuned_for(stages, array, cfg, backend)
+            if info is not None:
+                cfg = info["config"]
+                fuse = info["fuse"]
+                self._activate_tuned(
+                    info, make_batch_key(stages, array, cfg, backend))
+            from repro.tune.db import SERVE_CONFIG_KNOBS, serve_key
+
+            serve_knobs = self.tuning_db.knobs(
+                serve_key(stages, array, cfg, backend))
+            if serve_knobs:
+                allowed = {k: v for k, v in serve_knobs.items()
+                           if k in SERVE_CONFIG_KNOBS}
+                if allowed and not self._started:
+                    self.config = self.config.replace(**allowed)
+                    self._event("serve.tuned_serve_config", **allowed)
         if cfg.resolved_backend() == "compiled":
             from repro.compiled import warmup
 
             warmup([array.dtype])
         for k in range(1, self.config.max_batch_size + 1):
             p = Pipeline(Stream(self.device, seed=self.config.seed),
-                         config=cfg, fuse=True, plan_cache=self.plan_cache)
+                         config=cfg, fuse=fuse, plan_cache=self.plan_cache)
             for _ in range(k):
                 prev: object = array
                 for desc, args, kwargs in spec:
@@ -650,7 +750,8 @@ class Server:
             # this batch produces — the end-to-end correlation key.
             with _obs.annotate(request_ids=[req.id for req in live],
                                batch_ops="+".join(live[0].op_key)):
-                p = Pipeline(stream, config=live[0].config, fuse=True,
+                fuse = self._tuned_fuse.get(live[0].batch_key, True)
+                p = Pipeline(stream, config=live[0].config, fuse=fuse,
                              plan_cache=self.plan_cache)
                 tails = []
                 for req in live:
@@ -813,6 +914,13 @@ class Server:
         planned = hits + misses
         out["plan_cache.hit_rate"] = hits / planned if planned else 0.0
         out["signature_cache"] = signature_cache_stats()
+        # Active tuned knobs per batch key, in human-readable form:
+        # "ops|n=<size>|<dtype>" -> the knob dict the key serves under.
+        out["tuned"] = {
+            f"{info['ops']}|n={info['n']}|{info['dtype']}":
+                dict(info["knobs"])
+            for info in self._tuned_active.values()
+        }
         out["breaker"] = {"+".join(k): v
                           for k, v in self.breaker.snapshot().items()}
         if self.flight is not None:

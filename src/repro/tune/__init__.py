@@ -1,0 +1,43 @@
+"""Online autotuner closing the observability loop (docs/tuning.md).
+
+The measurement side of this repo (tracer, metrics, analyzer, flight
+recorder) can already attribute every microsecond of a launch to
+load/reduce/spin/store/idle — this package closes the loop by *acting*
+on those measurements:
+
+* :class:`~repro.tune.space.KnobSpace` bounds what may be swept —
+  (coarsening, wg_size, scan_variant, fusion) for the kernel tier and
+  (max_batch_size, max_wait_ms) for the serve tier;
+* :func:`~repro.tune.tuner.tune_kernel` /
+  :func:`~repro.tune.tuner.tune_serve` run the bounded staged sweep,
+  scoring each trial with the composite objective of
+  :mod:`repro.tune.objective` (median wall clock first, analyzer
+  spin+idle share — or serve p95 — as the tie-break);
+* winners persist in a :class:`~repro.tune.db.TuningDB` (JSON, keyed
+  identically to the pipeline plan cache / serve batch key) with full
+  provenance, which :meth:`repro.serve.Server.prime(tuned=True)
+  <repro.serve.server.Server.prime>` and
+  ``DSConfig.from_env`` (``REPRO_TUNED=1``) warm from.
+
+The tuner's own decisions are observable: every trial emits ``tune.*``
+metrics, a ``tune.trial`` span on any active tracer, and flight-recorder
+events.  ``python -m repro tune`` is the CLI front door.
+"""
+
+from repro.tune.db import TuningDB, kernel_key, normalize_config, serve_key
+from repro.tune.objective import ServeScore, TrialScore
+from repro.tune.space import KnobSpace
+from repro.tune.tuner import TuneResult, tune_kernel, tune_serve
+
+__all__ = [
+    "KnobSpace",
+    "TuningDB",
+    "TrialScore",
+    "ServeScore",
+    "TuneResult",
+    "tune_kernel",
+    "tune_serve",
+    "kernel_key",
+    "serve_key",
+    "normalize_config",
+]

@@ -1,0 +1,182 @@
+"""``python -m repro tune`` — run a bounded autotuning sweep.
+
+Examples::
+
+    python -m repro tune --fig fig13 --budget 20
+    python -m repro tune --shape compact --n 512 --set-default
+    python -m repro tune --serve --shape compact --clients 4 --requests 8
+
+``--fig`` tunes the kernel knobs of a canonical benchmark workload
+(same geometry/seed family as the BENCH baselines); ``--shape`` tunes
+a loadgen traffic shape (same ops/dtype the serve layer batches, so the
+persisted key is exactly what ``Server.prime(tuned=True)`` looks up);
+``--serve`` sweeps the serve batching grid instead of kernel knobs.
+Winners persist to the tuning DB (default
+``benchmarks/results/TUNING_DB.json``) with provenance; ``--check``
+asserts the sweep's guarantees and the DB round-trip (tune-smoke).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.errors import ReproError
+
+DEFAULT_DB = "benchmarks/results/TUNING_DB.json"
+
+__all__ = ["build_parser", "main", "DEFAULT_DB"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro.serve.loadgen import SHAPES
+    from repro.tune.tuner import TUNABLE_FIGS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro tune",
+        description="Bounded autotuning sweep over (coarsening, wg_size, "
+                    "scan variant, fusion) — or, with --serve, the "
+                    "(max_batch_size, max_wait_ms) batching grid.  "
+                    "Winners persist to the tuning DB with provenance.")
+    what = parser.add_mutually_exclusive_group(required=True)
+    what.add_argument("--fig", choices=sorted(TUNABLE_FIGS),
+                      help="tune a canonical benchmark workload")
+    what.add_argument("--shape", choices=sorted(SHAPES),
+                      help="tune a loadgen traffic shape (what the serve "
+                           "layer batches)")
+    parser.add_argument("--serve", action="store_true",
+                        help="sweep the serve batching grid for --shape "
+                             "instead of the kernel knobs")
+    parser.add_argument("--n", type=int, default=None,
+                        help="workload size (default: fig 64Ki / shape 512)")
+    parser.add_argument("--budget", type=int, default=20,
+                        help="maximum trials (default: 20)")
+    parser.add_argument("--samples", type=int, default=3,
+                        help="timed runs per kernel trial; the median is "
+                             "the primary objective (default: 3)")
+    parser.add_argument("--backend", default="vectorized",
+                        help="execution backend to tune on "
+                             "(default: vectorized)")
+    parser.add_argument("--db", default=DEFAULT_DB,
+                        help=f"tuning DB path (default: {DEFAULT_DB})")
+    parser.add_argument("--no-db", action="store_true",
+                        help="sweep only; do not persist the winner")
+    parser.add_argument("--set-default", action="store_true",
+                        help="also record the winner as the per-backend "
+                             "default| entry DSConfig.from_env reads under "
+                             "REPRO_TUNED=1")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="loadgen clients per serve trial")
+    parser.add_argument("--requests", type=int, default=10,
+                        help="loadgen requests per client per serve trial")
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="loadgen shape seed (--shape modes)")
+    parser.add_argument("--check", action="store_true",
+                        help="assert the sweep guarantees: winner no slower "
+                             "than the static default, knobs inside the "
+                             "space, DB round-trips (tune-smoke)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full result as JSON")
+    return parser
+
+
+def _check(result, db_path: Optional[str], space) -> None:
+    """The tune-smoke assertions."""
+    problems = []
+    if result.kind == "kernel":
+        if result.best_score.wall_ms > result.baseline_score.wall_ms:
+            problems.append(
+                f"winner wall {result.best_score.wall_ms:.4f}ms exceeds the "
+                f"static default's {result.baseline_score.wall_ms:.4f}ms")
+        if not space.valid_kernel_knobs(result.best_knobs):
+            problems.append(
+                f"winning knobs {result.best_knobs} outside the knob space")
+    else:
+        if result.best_score.p95_ms > result.baseline_score.p95_ms:
+            problems.append(
+                f"winner p95 {result.best_score.p95_ms:.2f}ms exceeds the "
+                f"static default's {result.baseline_score.p95_ms:.2f}ms")
+        if result.best_knobs and not space.valid_serve_knobs(
+                result.best_knobs):
+            problems.append(
+                f"winning knobs {result.best_knobs} outside the knob space")
+    if result.budget_used > result.budget:
+        problems.append(f"{result.budget_used} trials exceeded the "
+                        f"budget of {result.budget}")
+    if db_path is not None:
+        from repro.tune.db import TuningDB
+
+        reloaded = TuningDB.load(db_path)
+        entry = reloaded.get(result.key)
+        if entry is None:
+            problems.append(f"DB round-trip failed: no entry for the "
+                            f"sweep key in {db_path}")
+        elif entry["knobs"] != result.best_knobs:
+            problems.append(
+                f"DB round-trip failed: reloaded knobs {entry['knobs']} != "
+                f"swept {result.best_knobs}")
+    if problems:
+        raise ReproError("tune check failed: " + "; ".join(problems))
+    print("tune check: OK")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro.config import DSConfig
+    from repro.obs.flight import FlightRecorder
+    from repro.serve.loadgen import make_shape
+    from repro.tune.db import TuningDB
+    from repro.tune.space import KnobSpace
+    from repro.tune.tuner import make_fig_workload, tune_kernel, tune_serve
+
+    if args.serve and args.shape is None:
+        print("tune: --serve requires --shape", file=sys.stderr)
+        return 2
+    space = KnobSpace()
+    db_path = None if args.no_db else args.db
+    db = TuningDB.load(db_path) if db_path is not None else None
+    timestamp = time.time()
+    flight = FlightRecorder(1024).install()
+    try:
+        if args.serve:
+            result = tune_serve(
+                args.shape, n=args.n if args.n is not None else 512,
+                clients=args.clients, requests_per_client=args.requests,
+                ds_config=DSConfig(backend=args.backend), space=space,
+                budget=args.budget, db=db, flight=flight,
+                timestamp=timestamp, seed=args.seed)
+        elif args.fig is not None:
+            ops, array, config = make_fig_workload(args.fig, n=args.n)
+            result = tune_kernel(
+                ops, array, config=config, backend=args.backend,
+                space=space, budget=args.budget, samples=args.samples,
+                db=db, flight=flight, timestamp=timestamp,
+                set_default=args.set_default)
+        else:
+            spec = make_shape(args.shape,
+                              args.n if args.n is not None else 512,
+                              args.seed)
+            result = tune_kernel(
+                spec.ops, spec.array, backend=args.backend, space=space,
+                budget=args.budget, samples=args.samples, db=db,
+                flight=flight, timestamp=timestamp,
+                set_default=args.set_default)
+    finally:
+        flight.uninstall()
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+        if db_path is not None:
+            print(f"persisted to {db_path} under\n  {result.key}")
+    if args.check:
+        _check(result, db_path, space)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

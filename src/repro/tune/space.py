@@ -1,0 +1,122 @@
+"""The bounded knob space the autotuner is allowed to sweep.
+
+Two tiers, mirroring the two config surfaces of the repo:
+
+* **kernel** — the :class:`~repro.config.DSConfig` knobs with a
+  measured performance effect: ``coarsening`` (the paper's Figure 6
+  sweet spot), ``wg_size``, ``scan_variant`` (tree/ballot/shuffle/
+  lookback) and pipeline ``fuse`` on/off;
+* **serve** — the :class:`~repro.serve.config.ServeConfig` batching
+  window: ``max_batch_size`` × ``max_wait_ms``.
+
+A :class:`KnobSpace` is a *bound*, not a schedule: the tuner decides
+the order (staged coordinate descent, see :mod:`repro.tune.tuner`), the
+space decides what values are even candidates.  Everything validates
+eagerly so a typo'd space fails at construction, not mid-sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.config import _SCAN_VARIANTS
+from repro.errors import ReproError
+
+__all__ = ["KnobSpace", "KERNEL_KNOBS", "SERVE_KNOBS"]
+
+#: Kernel-tier knob names, exactly the DSConfig fields the tuner may
+#: override (plus the pipeline-level ``fuse`` flag).
+KERNEL_KNOBS = ("coarsening", "wg_size", "scan_variant", "fuse")
+
+#: Serve-tier knob names (ServeConfig fields).
+SERVE_KNOBS = ("max_batch_size", "max_wait_ms")
+
+
+@dataclass(frozen=True)
+class KnobSpace:
+    """Bounded candidate values per knob.
+
+    ``coarsenings`` may include ``None`` (the occupancy-driven
+    default).  The defaults keep a full staged sweep around 15 trials —
+    comfortably inside the CLI's default ``--budget 20``.
+    """
+
+    wg_sizes: Tuple[int, ...] = (64, 128, 256, 512)
+    coarsenings: Tuple = (None, 1, 2, 4, 8, 16)
+    scan_variants: Tuple[str, ...] = _SCAN_VARIANTS
+    fusion: Tuple[bool, ...] = (True, False)
+    max_batch_sizes: Tuple[int, ...] = (1, 2, 4, 8, 16)
+    max_waits_ms: Tuple[float, ...] = (0.0, 0.5, 2.0, 5.0)
+
+    def __post_init__(self) -> None:
+        if not self.wg_sizes or any(int(w) <= 0 for w in self.wg_sizes):
+            raise ReproError(
+                f"KnobSpace.wg_sizes must be positive ints, got "
+                f"{self.wg_sizes!r}")
+        if not self.coarsenings or any(
+                c is not None and int(c) <= 0 for c in self.coarsenings):
+            raise ReproError(
+                f"KnobSpace.coarsenings must be positive ints or None, got "
+                f"{self.coarsenings!r}")
+        bad = [v for v in self.scan_variants if v not in _SCAN_VARIANTS]
+        if not self.scan_variants or bad:
+            raise ReproError(
+                f"KnobSpace.scan_variants {bad!r} not in {_SCAN_VARIANTS}")
+        if not self.fusion or any(not isinstance(f, bool) for f in self.fusion):
+            raise ReproError(
+                f"KnobSpace.fusion must be a non-empty tuple of bools, got "
+                f"{self.fusion!r}")
+        if not self.max_batch_sizes or any(
+                int(b) <= 0 for b in self.max_batch_sizes):
+            raise ReproError(
+                f"KnobSpace.max_batch_sizes must be positive ints, got "
+                f"{self.max_batch_sizes!r}")
+        if not self.max_waits_ms or any(
+                float(w) < 0 for w in self.max_waits_ms):
+            raise ReproError(
+                f"KnobSpace.max_waits_ms must be >= 0, got "
+                f"{self.max_waits_ms!r}")
+
+    # -- membership ------------------------------------------------------
+
+    def valid_kernel_knobs(self, knobs: dict) -> bool:
+        """Whether a kernel knob dict lies inside this space (unknown
+        keys reject, missing keys mean "default" and pass)."""
+        allowed = {
+            "coarsening": self.coarsenings,
+            "wg_size": self.wg_sizes,
+            "scan_variant": self.scan_variants,
+            "fuse": self.fusion,
+        }
+        for name, value in knobs.items():
+            if name not in allowed or value not in allowed[name]:
+                return False
+        return True
+
+    def valid_serve_knobs(self, knobs: dict) -> bool:
+        allowed = {"max_batch_size": self.max_batch_sizes,
+                   "max_wait_ms": self.max_waits_ms}
+        for name, value in knobs.items():
+            if name not in allowed or value not in allowed[name]:
+                return False
+        return True
+
+    # -- sizing ----------------------------------------------------------
+
+    def kernel_sweep_size(self, *, chain: bool = False) -> int:
+        """Trials a full staged kernel sweep needs: one baseline, one
+        per non-default coarsening, wg_size and scan_variant, plus the
+        fusion-off probe for multi-op chains."""
+        n = 1
+        n += sum(1 for c in self.coarsenings if c is not None)
+        n += len(self.wg_sizes) - 1
+        n += len(self.scan_variants) - 1
+        if chain and False in self.fusion:
+            n += 1
+        return n
+
+    def serve_grid(self) -> Tuple[Tuple[int, float], ...]:
+        """The (max_batch_size, max_wait_ms) product, batch-size major."""
+        return tuple((b, w) for b in self.max_batch_sizes
+                     for w in self.max_waits_ms)

@@ -204,3 +204,49 @@ class TestScopedRegistry:
                 reg.counter("serve.batches").inc(5)
                 assert reg.counter("serve.batches").value == 5
         assert reg.get("serve.batches") is None
+
+
+class TestHistogramQuantileEdges:
+    def test_empty_histogram_quantiles_are_zero(self, reg):
+        h = reg.histogram("lat")
+        assert h.quantile(0.5) == 0.0
+        assert h.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_single_observation(self, reg):
+        h = reg.histogram("lat")
+        h.record(7.0)
+        # With min == max every quantile collapses to the value itself.
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 7.0
+
+    def test_all_values_equal(self, reg):
+        h = reg.histogram("lat")
+        for _ in range(50):
+            h.record(3.0)
+        assert h.quantile(0.5) == 3.0
+        assert h.percentiles() == {"p50": 3.0, "p95": 3.0, "p99": 3.0}
+
+    def test_single_bucket_interpolates_within_observed_range(self, reg):
+        h = reg.histogram("lat")
+        # All in the (4, 8] bucket: interpolation must stay inside the
+        # observed [min, max], not the bucket's [4, 8].
+        for v in (5.0, 6.0, 7.0):
+            h.record(v)
+        assert h.quantile(0.0) == 5.0
+        assert h.quantile(1.0) == 7.0
+        assert 5.0 <= h.quantile(0.5) <= 7.0
+
+    def test_q_outside_01_clamps_to_min_max(self, reg):
+        h = reg.histogram("lat")
+        h.record(2.0)
+        h.record(100.0)
+        assert h.quantile(-0.5) == 2.0
+        assert h.quantile(1.5) == 100.0
+
+    def test_quantiles_are_monotone(self, reg):
+        h = reg.histogram("lat")
+        for v in (0.5, 1.0, 3.0, 9.0, 20.0, 200.0, 1000.0):
+            h.record(v)
+        qs = [h.quantile(q) for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert qs == sorted(qs)
+        assert all(0.5 <= v <= 1000.0 for v in qs)

@@ -174,3 +174,38 @@ class TestIntrospection:
             srv.submit("compact", data, 0.0).result(timeout=30)
         srv.close()
         assert srv.metrics.get("serve.queue_depth").value == 0
+
+    def test_stats_consistent_with_requests_in_flight(self, data):
+        # Requests staged on a not-yet-started server are all visible in
+        # the snapshot as queued (nothing lost, nothing double-counted).
+        srv = Server(_cfg(max_batch_size=4), autostart=False)
+        futs = [srv.submit("compact", data, 0.0) for _ in range(6)]
+        stats = srv.stats()
+        # inflight counts admitted-but-not-completed, so before start it
+        # equals the queue depth — every request visible, none twice.
+        assert stats["serve.admitted"] == 6
+        assert stats["inflight"] == 6
+        assert stats["queue_depth"] == 6
+        assert stats.get("serve.completed", 0) == 0
+        assert stats["tuned"] == {}
+
+        # While the server drains, every concurrent snapshot must keep
+        # the books balanced.  completed is counted just before inflight
+        # is decremented, so a snapshot can transiently see both — the
+        # invariant is admitted <= completed + inflight, never a loss.
+        srv.start()
+        for _ in range(50):
+            s = srv.stats()
+            done = s.get("serve.completed", 0)
+            assert done <= s["serve.admitted"]
+            assert done + s["inflight"] >= s["serve.admitted"]
+            assert s["queue_depth"] <= s["inflight"] + done
+            if done == 6:
+                break
+        for fut in futs:
+            assert np.array_equal(fut.result(timeout=30).output,
+                                  data[data != 0.0])
+        stats = srv.stats()
+        assert stats["serve.completed"] == 6
+        assert stats["queue_depth"] == 0 and stats["inflight"] == 0
+        srv.close()

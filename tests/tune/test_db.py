@@ -1,0 +1,144 @@
+"""TuningDB: keying, persistence, and the tuned-resolution plumbing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import DSConfig
+from repro.errors import ReproError
+from repro.tune.db import (
+    TuningDB,
+    default_key,
+    kernel_key,
+    normalize_config,
+    serve_key,
+)
+
+
+@pytest.fixture
+def array(rng):
+    return rng.integers(0, 4, 256).astype(np.float64)
+
+
+class TestKeys:
+    def test_key_invariant_under_tuned_knobs(self, array):
+        """Every trial of one workload shares one key: the knobs the
+        tuner varies are stripped before hashing."""
+        base = kernel_key((("compact", 0.0),), array,
+                          DSConfig(), "vectorized")
+        tuned = kernel_key((("compact", 0.0),), array,
+                           DSConfig(wg_size=64, coarsening=8,
+                                    scan_variant="lookback", seed=42),
+                           "vectorized")
+        assert base == tuned
+        assert base.startswith("kernel|")
+
+    def test_key_distinguishes_workloads(self, array):
+        k1 = kernel_key((("compact", 0.0),), array, None, "vectorized")
+        k2 = kernel_key(("unique",), array, None, "vectorized")
+        k3 = kernel_key((("compact", 0.0),), array[:128], None, "vectorized")
+        k4 = kernel_key((("compact", 0.0),), array, None, "simulated")
+        assert len({k1, k2, k3, k4}) == 4
+
+    def test_serve_key_same_identity_different_kind(self, array):
+        kk = kernel_key((("compact", 0.0),), array, None, "vectorized")
+        sk = serve_key((("compact", 0.0),), array, None, "vectorized")
+        assert kk.split("|", 1)[1] == sk.split("|", 1)[1]
+        assert sk.startswith("serve|")
+
+    def test_normalize_pins_backend_and_strips_knobs(self):
+        norm = normalize_config(
+            DSConfig(wg_size=64, coarsening=2, scan_variant="ballot",
+                     seed=7), "vectorized")
+        assert norm.wg_size == 256 and norm.coarsening is None
+        assert norm.scan_variant == "tree" and norm.seed == 0
+        assert norm.backend == "vectorized"
+        # Non-tuned fields survive.
+        norm2 = normalize_config(DSConfig(race_tracking=True), "simulated")
+        assert norm2.race_tracking is True
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path, array):
+        path = tmp_path / "db.json"
+        db = TuningDB(path)
+        key = kernel_key((("compact", 0.0),), array, None, "vectorized")
+        db.set(key, kind="kernel", knobs={"coarsening": 4},
+               objective={"wall_ms": 1.0}, baseline={"wall_ms": 2.0},
+               samples=3, trials=12, backend="vectorized",
+               timestamp=1754600000.0)
+        db.save()
+        reloaded = TuningDB.load(path)
+        assert len(reloaded) == 1 and key in reloaded
+        entry = reloaded.get(key)
+        assert entry["knobs"] == {"coarsening": 4}
+        assert entry["timestamp"] == 1754600000.0
+        assert reloaded.knobs(key) == {"coarsening": 4}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        db = TuningDB.load(tmp_path / "absent.json")
+        assert len(db) == 0
+        assert db.get("anything") is None
+
+    def test_malformed_file_raises_naming_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError, match="bad.json"):
+            TuningDB.load(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ReproError, match="version"):
+            TuningDB.load(path)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="kind"):
+            TuningDB().set("k", kind="quantum", knobs={}, objective={})
+
+    def test_default_entry(self, tmp_path):
+        db = TuningDB(tmp_path / "db.json")
+        db.set_default("vectorized", {"coarsening": 8}, trials=5)
+        db.save()
+        reloaded = TuningDB.load(db.path)
+        assert reloaded.default_knobs("vectorized") == {"coarsening": 8}
+        assert reloaded.default_knobs("simulated") is None
+        assert default_key("vectorized") in reloaded.keys()
+
+
+class TestFromEnvTuned:
+    def test_tuned_mode_fills_unpinned_fields(self, tmp_path):
+        db = TuningDB(tmp_path / "db.json")
+        db.set_default("vectorized",
+                       {"coarsening": 8, "wg_size": 128,
+                        "scan_variant": "lookback"})
+        db.save()
+        env = {"REPRO_TUNED": "1", "REPRO_TUNING_DB": str(db.path),
+               "REPRO_BACKEND": "vectorized"}
+        cfg = DSConfig.from_env(env)
+        assert cfg.coarsening == 8 and cfg.wg_size == 128
+        assert cfg.scan_variant == "lookback"
+
+    def test_explicit_env_beats_tuned(self, tmp_path):
+        db = TuningDB(tmp_path / "db.json")
+        db.set_default("vectorized", {"coarsening": 8, "wg_size": 128})
+        db.save()
+        env = {"REPRO_TUNED": "1", "REPRO_TUNING_DB": str(db.path),
+               "REPRO_BACKEND": "vectorized", "REPRO_WG_SIZE": "512"}
+        cfg = DSConfig.from_env(env)
+        assert cfg.wg_size == 512       # pinned wins
+        assert cfg.coarsening == 8      # unpinned filled from the DB
+
+    def test_tuned_mode_without_db_is_noop(self, tmp_path):
+        env = {"REPRO_TUNED": "1",
+               "REPRO_TUNING_DB": str(tmp_path / "absent.json")}
+        assert DSConfig.from_env(env) == DSConfig()
+
+    def test_tuned_off_ignores_db(self, tmp_path):
+        db = TuningDB(tmp_path / "db.json")
+        db.set_default("vectorized", {"coarsening": 8})
+        db.save()
+        env = {"REPRO_TUNING_DB": str(db.path),
+               "REPRO_BACKEND": "vectorized"}
+        assert DSConfig.from_env(env).coarsening is None

@@ -1,0 +1,49 @@
+"""The bounded knob space: validation and sweep sizing."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.tune.space import KnobSpace
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        space = KnobSpace()
+        assert space.kernel_sweep_size() >= 1
+        assert len(space.serve_grid()) == (len(space.max_batch_sizes)
+                                           * len(space.max_waits_ms))
+
+    def test_bad_wg_size_rejected_eagerly(self):
+        with pytest.raises(ReproError):
+            KnobSpace(wg_sizes=(0,))
+
+    def test_bad_scan_variant_rejected(self):
+        with pytest.raises(ReproError):
+            KnobSpace(scan_variants=("tree", "quantum"))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ReproError):
+            KnobSpace(coarsenings=())
+
+
+class TestMembership:
+    def test_valid_kernel_knobs(self):
+        space = KnobSpace()
+        assert space.valid_kernel_knobs(
+            {"coarsening": 4, "wg_size": 128, "scan_variant": "lookback"})
+        assert space.valid_kernel_knobs({})
+        assert not space.valid_kernel_knobs({"coarsening": 3})
+        assert not space.valid_kernel_knobs({"wg_size": 1024})
+        assert not space.valid_kernel_knobs({"unknown_knob": 1})
+
+    def test_valid_serve_knobs(self):
+        space = KnobSpace()
+        assert space.valid_serve_knobs(
+            {"max_batch_size": 4, "max_wait_ms": 0.5})
+        assert not space.valid_serve_knobs({"max_batch_size": 3})
+        assert not space.valid_serve_knobs({"wg_size": 64})
+
+    def test_chain_sweep_is_larger(self):
+        space = KnobSpace()
+        assert space.kernel_sweep_size(chain=True) \
+            == space.kernel_sweep_size() + 1
