@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test test-all bench bench-smoke bench-full bench-check \
         pipeline-smoke trace-smoke serve-smoke analyze-smoke tune-smoke \
-        report figures examples clean
+        stream-smoke report figures examples clean
 
 # Stamped into every BENCH_INDEX.json row so the trajectory report can
 # attribute each run to a commit.
@@ -48,6 +48,12 @@ serve-smoke:     ## serve layer: healthy + fault-injected loadgen, acceptance-ch
 	REPRO_GIT_REV=$(GIT_REV) $(PYTHON) -m pytest \
 	  benchmarks/bench_serve_load.py --benchmark-only
 	$(PYTHON) -m pytest tests/serve -q
+
+stream-smoke:    ## out-of-core streaming: memmap 8x device capacity, compact->unique, sequential + pool, byte-checked
+	REPRO_GIT_REV=$(GIT_REV) $(PYTHON) -m repro stream --check \
+	  --trace /tmp/repro_stream_smoke.json --bench-dir benchmarks/results
+	$(PYTHON) -m repro analyze /tmp/repro_stream_smoke.json > /dev/null
+	$(PYTHON) -m pytest tests/stream -q
 
 analyze-smoke:   ## trace fig13 -> analyzer decomposition check (sum==wall ±1%, spin<=wall) + flight-recorder overhead bound
 	$(PYTHON) -m repro trace fig13 -o /tmp/repro_analyze_smoke.json --check

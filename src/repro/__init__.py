@@ -25,6 +25,11 @@ The package layers:
 * :mod:`repro.pipeline` — batched planning/fused execution;
 * :mod:`repro.serve` — micro-batching request server with admission
   control, deadlines, retries and graceful degradation;
+* :mod:`repro.stream` — out-of-core sharded streaming: any
+  :class:`DSSource` input (ndarray | memmap | shared memory | shard
+  iterator) accepted uniformly by :func:`ds`, :class:`Pipeline` and
+  the server, streamed through device-sized shards when it does not
+  fit in core (see ``docs/streaming.md``);
 * :mod:`repro.core` — the generic Algorithms 1 and 2 + synchronization;
 * :mod:`repro.simgpu` — the functional many-core simulator substrate;
 * :mod:`repro.baselines` — Sung's iterative scheme, Thrust-style
@@ -52,6 +57,7 @@ from repro.errors import (
     SimulatorError,
     WorkloadError,
 )
+from repro.futures import EXTRAS_DEFAULTS, Future
 from repro.pipeline import DSFuture, Pipeline, PlanCache
 from repro.primitives import (
     PrimitiveResult,
@@ -72,6 +78,7 @@ from repro.primitives import (
     ds_unpad,
     list_ops,
 )
+from repro.stream import DSSource, as_source, stream_run
 
 __version__ = "1.0.0"
 
@@ -92,6 +99,12 @@ __all__ = [
     "DSFuture",
     "PlanCache",
     "list_ops",
+    # unified result + streaming input surface
+    "Future",
+    "EXTRAS_DEFAULTS",
+    "DSSource",
+    "as_source",
+    "stream_run",
     # full primitives
     "PrimitiveResult",
     "ds_pad",

@@ -9,6 +9,7 @@ Usage::
     python -m repro devices              # print the device catalog
     python -m repro trace fig13 -o trace.json   # export a Chrome trace
     python -m repro serve --shape chain --check # serve-layer load run
+    python -m repro stream --check              # out-of-core streaming
     python -m repro tune --fig fig13            # autotune a workload
     python -m repro report -o REPORT.md         # one report over it all
 
@@ -141,6 +142,10 @@ def main(argv=None) -> int:
         from repro.serve import loadgen
 
         return loadgen.main(argv[1:])
+    if argv and argv[0] == "stream":
+        from repro.stream import cli as _stream_cli
+
+        return _stream_cli.main(argv[1:])
     if argv and argv[0] == "analyze":
         from repro.obs import analyze as _analyze
 
@@ -168,6 +173,9 @@ def main(argv=None) -> int:
         print(f"    traceable: {', '.join(sorted(TRACEABLE))}")
         print("  serve [--shape ... --clients N --fault always --check]   "
               "drive the micro-batching serve layer (see docs/serving.md)")
+        print("  stream [--elements N --workers N --trace PATH --check]   "
+              "out-of-core sharded streaming smoke over a memmap "
+              "(see docs/streaming.md)")
         print("  analyze <trace.json|trace.jsonl|incident-dir>   "
               "critical-path + spin attribution report "
               "(see docs/observability.md)")

@@ -115,6 +115,17 @@ class DSConfig:
         variable at call time.
     seed:
         Base scheduling seed for streams the primitive creates itself.
+    shard_elems:
+        Streaming shard size in elements — the configured device
+        capacity the out-of-core engine (:mod:`repro.stream`) splits
+        inputs into; ``None`` uses
+        :data:`repro.stream.engine.DEFAULT_SHARD_ELEMS`.
+    shard_workers:
+        Forked worker processes for the streaming pool (0 = stream
+        sequentially in-process).
+    double_buffer:
+        Overlap the next shard's load with the current shard's compute
+        in the sequential streaming engine.
     """
 
     wg_size: int = 256
@@ -124,6 +135,9 @@ class DSConfig:
     race_tracking: bool = False
     backend: Optional[str] = None
     seed: int = 0
+    shard_elems: Optional[int] = None
+    shard_workers: int = 0
+    double_buffer: bool = True
 
     def __post_init__(self) -> None:
         if int(self.wg_size) <= 0:
@@ -131,6 +145,12 @@ class DSConfig:
         if self.coarsening is not None and int(self.coarsening) <= 0:
             raise LaunchError(
                 f"coarsening must be positive or None, got {self.coarsening}")
+        if self.shard_elems is not None and int(self.shard_elems) <= 0:
+            raise LaunchError(
+                f"shard_elems must be positive or None, got {self.shard_elems}")
+        if int(self.shard_workers) < 0:
+            raise LaunchError(
+                f"shard_workers must be >= 0, got {self.shard_workers}")
         if self.backend is not None:
             # Normalize shorthands eagerly so configs compare (and hash)
             # by meaning: DSConfig(backend="vec") == DSConfig(backend="vectorized").
@@ -152,7 +172,9 @@ class DSConfig:
         ``REPRO_WG_SIZE``, ``REPRO_COARSENING``,
         ``REPRO_REDUCTION_VARIANT``, ``REPRO_SCAN_VARIANT``,
         ``REPRO_RACE_TRACKING`` (0/1/true/false), ``REPRO_BACKEND``,
-        ``REPRO_SEED``.  A malformed value raises :class:`ValueError`
+        ``REPRO_SEED``, ``REPRO_SHARD_ELEMS`` (>= 1),
+        ``REPRO_SHARD_WORKERS`` (>= 0), ``REPRO_SHARD_DOUBLE_BUFFER``
+        (boolean).  A malformed value raises :class:`ValueError`
         naming the offending variable immediately, instead of failing
         deep inside a later kernel launch.
 
@@ -198,6 +220,15 @@ class DSConfig:
                 raise ValueError(f"REPRO_BACKEND={raw!r}: {exc}") from None
         if _get("REPRO_SEED"):
             kwargs["seed"] = _env_int("REPRO_SEED", _get("REPRO_SEED"))
+        if _get("REPRO_SHARD_ELEMS"):
+            kwargs["shard_elems"] = _env_int(
+                "REPRO_SHARD_ELEMS", _get("REPRO_SHARD_ELEMS"), minimum=1)
+        if _get("REPRO_SHARD_WORKERS"):
+            kwargs["shard_workers"] = _env_int(
+                "REPRO_SHARD_WORKERS", _get("REPRO_SHARD_WORKERS"), minimum=0)
+        if _get("REPRO_SHARD_DOUBLE_BUFFER"):
+            kwargs["double_buffer"] = _env_bool(
+                "REPRO_SHARD_DOUBLE_BUFFER", _get("REPRO_SHARD_DOUBLE_BUFFER"))
         if _get("REPRO_TUNED") and _env_bool("REPRO_TUNED",
                                              _get("REPRO_TUNED")):
             kwargs = cls._apply_tuned_defaults(kwargs, env)

@@ -12,6 +12,15 @@ both work, and a typo lists every known op.  ``ds`` executes eagerly
 through the exact runner the named ``ds_*`` function uses; to batch
 several ops, use :class:`repro.pipeline.Pipeline`, whose enqueue
 methods dispatch through the same registry.
+
+The primary input goes through the unified
+:class:`~repro.stream.source.DSSource` protocol
+(:func:`~repro.stream.source.as_source`): plain ndarrays execute
+exactly as before, while out-of-core inputs — memmaps, shared-memory
+handles, shard iterators, or explicit ``DSSource`` objects — are
+streamed shard-by-shard through :func:`repro.stream.engine.stream_run`
+(``config.shard_elems`` / ``shard_workers`` control shard size and the
+worker pool).
 """
 
 from __future__ import annotations
@@ -40,10 +49,18 @@ def ds(
     ``"ds_partition"``, ...); ``args``/``kwargs`` are the primitive's
     data arguments (e.g. ``ds("compact", values, 0)``); ``config``
     carries the tuning (:class:`~repro.config.DSConfig`).  Returns the
-    primitive's :class:`~repro.primitives.common.PrimitiveResult`.
+    primitive's :class:`~repro.primitives.common.PrimitiveResult`
+    (an always-done :class:`repro.Future`).
     """
     desc = get_op(op)
-    return desc.runner(
-        *args, stream=stream,
-        config=config if config is not None else DEFAULT_CONFIG,
-        **kwargs)
+    config = config if config is not None else DEFAULT_CONFIG
+    if args:
+        from repro.stream.engine import is_out_of_core, stream_run
+        from repro.stream.source import as_source
+
+        source = as_source(args[0], site="repro.ds")
+        if is_out_of_core(source):
+            return stream_run([(desc, tuple(args[1:]), dict(kwargs))],
+                              source, stream=stream, config=config)
+        args = (source.materialize(),) + args[1:]
+    return desc.runner(*args, stream=stream, config=config, **kwargs)

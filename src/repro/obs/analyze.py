@@ -227,6 +227,64 @@ def _analyze_launch(proc: _Process, launch: _Span) -> dict:
     }
 
 
+# -- stream pipeline decomposition ---------------------------------------------
+
+# Per-shard stage spans the streaming engine emits (cat="stream") on
+# ``shard:<k>`` tracks, in pipeline order.
+_STREAM_STAGES = ("load", "compute", "store")
+
+
+def _analyze_stream(proc: _Process) -> Optional[dict]:
+    """Aggregate the streaming engine's per-shard stage spans.
+
+    Each shard of a :func:`repro.stream.engine.stream_run` emits
+    ``stream.load`` / ``stream.compute`` / ``stream.store`` spans on its
+    own ``shard:<k>`` track; this reduces them to a per-shard
+    load/compute/store table plus aggregate shares, so ``python -m
+    repro analyze`` attributes where a stream pipeline's time went.
+    Returns ``None`` when the trace has no stream spans.
+    """
+    shards = []
+    for tid, track in sorted(proc.threads.items(), key=lambda kv: kv[0]):
+        if not track.startswith("shard:"):
+            continue
+        stages = {st: 0.0 for st in _STREAM_STAGES}
+        n_spans = 0
+        for sp in proc.thread_spans(tid):
+            if sp.cat != "stream" or not sp.name.startswith("stream."):
+                continue
+            stage = sp.name[len("stream."):]
+            if stage in stages:
+                stages[stage] += sp.dur
+                n_spans += 1
+        if n_spans == 0:
+            continue
+        try:
+            shard_id: object = int(track[len("shard:"):])
+        except ValueError:
+            shard_id = track[len("shard:"):]
+        shards.append({
+            "track": track, "shard": shard_id, "n_spans": n_spans,
+            **{f"{st}_us": stages[st] for st in _STREAM_STAGES},
+            "total_us": sum(stages.values()),
+        })
+    if not shards:
+        return None
+    shards.sort(key=lambda s: (isinstance(s["shard"], str), s["shard"]))
+    totals = {st: sum(s[f"{st}_us"] for s in shards)
+              for st in _STREAM_STAGES}
+    grand = sum(totals.values()) or 1.0
+    runs = [sp for sp in proc.spans if sp.name == "stream.run"]
+    return {
+        "n_shards": len(shards),
+        "shards": shards,
+        "totals": totals,
+        "shares": {st: totals[st] / grand for st in _STREAM_STAGES},
+        "run_wall_us": sum(sp.dur for sp in runs),
+        "n_runs": len(runs),
+    }
+
+
 # -- serve lifecycle -----------------------------------------------------------
 
 # Request stages in lifecycle order; whatever subset a trace carries is
@@ -307,6 +365,7 @@ def analyze(loaded: Union[str, Path, dict]) -> dict:
                           "mode": sp.args.get("mode")} for sp in compiles],
             "compile_total_us": sum(sp.dur for sp in compiles),
             "requests": _analyze_requests(proc),
+            "stream": _analyze_stream(proc),
         })
     manifest = loaded.get("manifest")
     incident = None
@@ -431,6 +490,24 @@ def render_text(report: dict) -> str:
                     f"store {wg['store_us']:8.1f}  "
                     f"idle {wg['idle_us']:8.1f}  "
                     f"sum/wall {wg['sum_ratio']:.3f}{on}")
+        stream = proc.get("stream")
+        if stream:
+            out.append(
+                f"  stream pipeline: {stream['n_shards']} shards, "
+                f"{stream['n_runs']} run(s), "
+                f"wall {stream['run_wall_us']:.1f} us")
+            shares = stream["shares"]
+            out.append(
+                "    aggregate: load " + _pct(shares["load"])
+                + " | compute " + _pct(shares["compute"])
+                + " | store " + _pct(shares["store"]))
+            for sh in stream["shards"]:
+                out.append(
+                    f"      shard {sh['shard']:>3}: "
+                    f"load {sh['load_us']:8.1f}  "
+                    f"compute {sh['compute_us']:8.1f}  "
+                    f"store {sh['store_us']:8.1f}  "
+                    f"total {sh['total_us']:8.1f}")
         if proc["requests"]:
             out.append(f"  serve requests ({len(proc['requests'])}):")
             for req in proc["requests"]:

@@ -36,7 +36,7 @@ from typing import List, Optional, Union
 from repro.errors import ReproError
 
 __all__ = ["INDEX_NAME", "load_rows", "append_rows", "rows_from_report",
-           "row_from_load_report"]
+           "row_from_load_report", "row_from_stream_run"]
 
 INDEX_NAME = "BENCH_INDEX.json"
 
@@ -137,6 +137,33 @@ def row_from_load_report(report, *, rev: Optional[str] = None,
         "requests": report.requests,
         "batch_size_mean": report.batch_size_mean,
         "plan_hit_rate": report.plan_hit_rate,
+        "rev": _resolve_rev(rev),
+        "timestamp": ts,
+    }
+
+
+def row_from_stream_run(*, bench_id: str, ops: str, elements: int,
+                        dtype: str, wall_s: float, extras: dict,
+                        rev: Optional[str] = None,
+                        timestamp: Optional[float] = None) -> dict:
+    """The out-of-core streaming trajectory row for one
+    :func:`~repro.stream.engine.stream_run` (``backend="stream"``),
+    keyed by end-to-end throughput over the sharded pipeline plus the
+    sharding facts from the run's extras."""
+    ts = time.time() if timestamp is None else timestamp
+    return {
+        "id": bench_id,
+        "backend": "stream",
+        "ops": ops,
+        "elements": int(elements),
+        "dtype": dtype,
+        "wall_clock_s": wall_s,
+        "throughput_meps": (elements / wall_s / 1e6) if wall_s > 0 else None,
+        "shards": int(extras.get("shards", 1)),
+        "shard_elems": extras.get("shard_elems"),
+        "n_workers": int(extras.get("n_workers", 0)),
+        "double_buffer": bool(extras.get("double_buffer", False)),
+        "boundary_drops": int(extras.get("boundary_drops", 0)),
         "rev": _resolve_rev(rev),
         "timestamp": ts,
     }

@@ -40,6 +40,7 @@ from repro import obs as _obs
 from repro.config import DSConfig, UNSET, resolve_config
 from repro.core.fused import fused_masks, run_fused_irregular
 from repro.errors import LaunchError
+from repro.futures import Future
 from repro.primitives.common import (
     PrimitiveResult,
     primitive_span,
@@ -62,7 +63,7 @@ from repro.simgpu.stream import Stream
 __all__ = ["Pipeline", "DSFuture", "signature_cache_stats"]
 
 
-class DSFuture:
+class DSFuture(Future):
     """Handle to one enqueued op's eventual :class:`PrimitiveResult`.
 
     Futures are created by the pipeline's enqueue methods and resolve
@@ -70,6 +71,10 @@ class DSFuture:
     later op makes that op depend on this one.  Accessing
     :meth:`result` or :attr:`output` on a pending future runs the
     owning pipeline's outstanding batch first.
+
+    Implements the unified :class:`repro.Future` contract; ``timeout``
+    is accepted for interface parity but unused — resolving a pipeline
+    future runs its batch synchronously in the calling thread.
     """
 
     __slots__ = ("_pipeline", "index", "op_name", "_result")
@@ -84,7 +89,7 @@ class DSFuture:
     def done(self) -> bool:
         return self._result is not None
 
-    def result(self) -> PrimitiveResult:
+    def result(self, timeout: Optional[float] = None) -> PrimitiveResult:
         if self._result is None:
             self._pipeline.run()
         if self._result is None:  # pragma: no cover - defensive
@@ -265,9 +270,29 @@ class Pipeline:
     def enqueue(self, op: Union[str, OpDescriptor], *args,
                 config: Optional[DSConfig] = None, **kwargs) -> DSFuture:
         """Queue one op (by registry name or descriptor); returns its
-        future.  Nothing executes until :meth:`run`."""
+        future.  Nothing executes until :meth:`run`.
+
+        The primary input goes through the unified
+        :class:`~repro.stream.source.DSSource` protocol: chained
+        futures and in-core arrays execute exactly as before, while an
+        out-of-core source (memmap, shared memory, shard iterator, or
+        explicit ``DSSource``) marks the call *streamed* — it executes
+        through :func:`repro.stream.engine.stream_run` and is excluded
+        from fusion.
+        """
         desc = get_op(op) if isinstance(op, str) else op
         args, kwargs = _normalize_call(desc, args, kwargs)
+        streamed = False
+        if args and not isinstance(args[0], DSFuture):
+            from repro.stream.engine import is_out_of_core
+            from repro.stream.source import as_source
+
+            source = as_source(args[0], site="Pipeline.enqueue")
+            if is_out_of_core(source):
+                streamed = True
+                args = (source,) + args[1:]
+            else:
+                args = (source.materialize(),) + args[1:]
         deps: set = set()
         _walk_deps(args, deps, self)
         _walk_deps(kwargs, deps, self)
@@ -280,6 +305,7 @@ class Pipeline:
             kwargs=kwargs,
             config=config if config is not None else self.config,
             deps=tuple(sorted(deps)),
+            streamed=streamed,
         )
         self._pending.append(call)
         self._futures.append(future)
@@ -382,8 +408,15 @@ class Pipeline:
     def _run_single(self, call: OpCall, futures) -> None:
         args = _materialize(call.args)
         kwargs = _materialize(call.kwargs)
-        result = call.desc.runner(*args, stream=self.stream,
-                                  config=call.config, **kwargs)
+        if call.streamed:
+            from repro.stream.engine import stream_run
+
+            result = stream_run(
+                [(call.desc, tuple(args[1:]), dict(kwargs))], args[0],
+                stream=self.stream, config=call.config)
+        else:
+            result = call.desc.runner(*args, stream=self.stream,
+                                      config=call.config, **kwargs)
         futures[call.index]._resolve(result)
 
     def _run_fused_step(self, step: PlanStep, by_index, futures) -> None:

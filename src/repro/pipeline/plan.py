@@ -63,6 +63,11 @@ class OpCall:
     config: DSConfig
     deps: Tuple[int, ...]
     consumers: Tuple[int, ...] = ()
+    streamed: bool = False
+    """``True`` when the primary input is an out-of-core
+    :class:`~repro.stream.source.DSSource`: the call executes through
+    :func:`repro.stream.engine.stream_run` and never fuses (its input
+    is never resident as one array)."""
 
 
 @dataclass(frozen=True)
@@ -108,13 +113,20 @@ def _call_signature(call: OpCall) -> tuple:
 
 
 def _value_signature(value) -> object:
-    # Local import: engine imports plan, so plan reaches DSFuture lazily.
+    # Local imports: engine imports plan, so plan reaches DSFuture (and
+    # the stream layer, which imports opspec) lazily.
     from repro.pipeline.engine import DSFuture
+    from repro.stream.source import DSSource
 
     if isinstance(value, DSFuture):
         if value.done:
             return ("array",) + array_signature(value.output)
         return ("dep", value.index)
+    if isinstance(value, DSSource):
+        # Sources keep their kind in the key: a memmap and a shard
+        # iterator of equal signature still plan differently (sized vs
+        # forward-only streaming).
+        return ("source", value.kind) + value.signature()
     if isinstance(value, dict):
         return ("dict",) + tuple(
             (k, _value_signature(v)) for k, v in sorted(value.items()))
@@ -194,7 +206,8 @@ def _fuse_runs(calls: List[OpCall], order: List[int]) -> List[PlanStep]:
     for idx in order:
         call = by_index[idx]
         fusable = (call.desc.fusable and call.desc.kind == "irregular"
-                   and not call.config.race_tracking)
+                   and not call.config.race_tracking
+                   and not call.streamed)
         if not fusable:
             flush()
             steps.append(PlanStep((idx,)))

@@ -131,6 +131,25 @@ class PrimitiveResult:
     device: DeviceSpec
     extras: dict = field(default_factory=dict)
 
+    # An eager result is an always-done repro.Future (registered as a
+    # virtual subclass in repro.futures): the same drain code handles a
+    # direct ds() return, a pipeline future and a serve future.
+    @property
+    def done(self) -> bool:
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> "PrimitiveResult":
+        return self
+
+    @property
+    def normalized_extras(self) -> dict:
+        """``extras`` under the shared :data:`repro.futures.
+        EXTRAS_DEFAULTS` schema (``degraded``/``shards``/``request_id``
+        always present)."""
+        from repro.futures import normalized_extras
+
+        return normalized_extras(self.extras)
+
     @property
     def num_launches(self) -> int:
         return len(self.counters)

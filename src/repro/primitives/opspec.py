@@ -41,8 +41,13 @@ __all__ = [
 ]
 
 
-def array_signature(values) -> Tuple[int, str]:
-    """The (element count, dtype) plan-cache signature of an array."""
+def array_signature(values) -> Tuple[Optional[int], str]:
+    """The (element count, dtype) plan-cache signature of an array or
+    :class:`~repro.stream.source.DSSource` (an unsized source
+    signatures with ``None`` elements)."""
+    sig = getattr(values, "signature", None)
+    if callable(sig):
+        return sig()
     arr = np.asarray(values)
     return int(arr.size), str(arr.dtype)
 

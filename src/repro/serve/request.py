@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.config import DSConfig
 from repro.errors import ServeError
+from repro.futures import Future
 from repro.primitives.common import PrimitiveResult
 from repro.primitives.opspec import OpDescriptor, array_signature
 
@@ -113,6 +114,13 @@ class ServeRequest:
         """The op-chain identity the circuit breaker keys on."""
         return tuple(stage.desc.name for stage in self.ops)
 
+    @property
+    def streamed(self) -> bool:
+        """Whether the input is an out-of-core
+        :class:`~repro.stream.source.DSSource` (executed through the
+        sharded streaming engine rather than one resident array)."""
+        return not getattr(self.array, "in_core", True)
+
     def expired(self, now: Optional[float] = None) -> bool:
         if self.deadline is None:
             return False
@@ -131,13 +139,15 @@ class ServeRequest:
         return f"ServeRequest(#{self.id} {ops}, {self.state})"
 
 
-class ServeFuture:
+class ServeFuture(Future):
     """Client handle to one request's eventual result.
 
     ``result()`` blocks until the server resolves the request and
     returns its :class:`~repro.primitives.common.PrimitiveResult`, or
     raises the failure (:class:`~repro.errors.DeadlineExceeded`,
     :class:`~repro.errors.RequestCancelled`, or the execution error).
+    Implements the unified :class:`repro.Future` contract — the shared
+    ``extras`` schema always carries this request's ``request_id``.
     """
 
     __slots__ = ("_request", "_event", "_result", "_error")
@@ -207,10 +217,18 @@ class ServeFuture:
                 f"{self._request.state})")
 
 
-def make_batch_key(ops: List[OpStage], array: np.ndarray, config: DSConfig,
+def make_batch_key(ops: List[OpStage], array, config: DSConfig,
                    backend: str) -> tuple:
-    """Everything that must agree for two requests to batch together."""
-    parts: list = [backend, config, array_signature(array)]
+    """Everything that must agree for two requests to batch together.
+
+    ``array`` is an ndarray or a :class:`~repro.stream.source.DSSource`;
+    a source keys by its kind as well as its signature, so a memmap and
+    a shard iterator of equal geometry never share a batch.
+    """
+    kind = getattr(array, "kind", None)
+    input_sig = (("source", kind) + array_signature(array)
+                 if isinstance(kind, str) else array_signature(array))
+    parts: list = [backend, config, input_sig]
     placeholder: object = array
     for stage in ops:
         parts.append(stage.signature(placeholder))

@@ -353,14 +353,19 @@ class Server:
 
     # -- submission ----------------------------------------------------
 
-    def submit(self, op: str, values: np.ndarray, *args,
+    def submit(self, op: str, values, *args,
                config: Optional[DSConfig] = None,
                deadline_ms: Optional[float] = None,
                **kwargs) -> ServeFuture:
         """Queue one op call; returns its :class:`ServeFuture`.
 
         ``op``/``args``/``kwargs`` mirror :func:`repro.ds`:
-        ``server.submit("compact", x, 0.0)``.  Raises
+        ``server.submit("compact", x, 0.0)``.  ``values`` is any
+        :class:`~repro.stream.source.DSSource` input — a plain array
+        executes as one resident batch op, while a memmap / shared
+        memory / shard-iterator source streams shard-by-shard through
+        :mod:`repro.stream` (``ds_config.shard_elems`` /
+        ``shard_workers`` apply).  Raises
         :class:`~repro.errors.Overloaded` when admission control sheds
         the request.
         """
@@ -428,10 +433,23 @@ class Server:
 
     def _admit(self, spec, values, *, config, deadline_ms) -> ServeFuture:
         cfg = config if config is not None else self.ds_config
-        array = np.asarray(values)
+        # The unified DSSource front door: in-core inputs admit as the
+        # plain array they always did; out-of-core sources (memmap,
+        # shared memory, shard iterator) stay sources and execute
+        # through the sharded streaming engine inside the pipeline.
+        from repro.stream.source import as_source
+
+        source = as_source(values, site="Server.submit")
+        array = source.materialize() if source.in_core else source
+        if (not source.in_core and self.config.shard_workers
+                and not cfg.shard_workers):
+            # The serve-level pool knob (ServeConfig.shard_workers /
+            # REPRO_SHARD_WORKERS) applies to streamed requests unless
+            # the per-request DSConfig already pinned a pool size.
+            cfg = cfg.replace(shard_workers=self.config.shard_workers)
         stages = [OpStage(desc, args, kwargs) for desc, args, kwargs in spec]
         backend = cfg.resolved_backend()
-        if self.tuning_db is not None:
+        if self.tuning_db is not None and isinstance(array, np.ndarray):
             tuned = self._tuned_for(stages, array, cfg, backend)
             if tuned is not None:
                 cfg = tuned["config"]
@@ -520,9 +538,13 @@ class Server:
         """
         cfg = config if config is not None else self.ds_config
         spec = _chain_spec(list(ops) if not isinstance(ops, str) else [ops])
-        array = np.asarray(values)
+        from repro.stream.source import as_source
+
+        src = as_source(values, site="Server.prime")
+        array = src.materialize() if src.in_core else src
         fuse = True
-        if tuned and self.tuning_db is not None:
+        if (tuned and self.tuning_db is not None
+                and isinstance(array, np.ndarray)):
             stages = [OpStage(desc, args, kwargs)
                       for desc, args, kwargs in spec]
             backend = cfg.resolved_backend()
@@ -738,42 +760,65 @@ class Server:
         self._observe("serve.batch_size", len(live))
 
     def _run_fast(self, live: List[ServeRequest], stream: Stream) -> None:
-        """One pipeline batch over every request's op chain."""
+        """One pipeline batch over every request's op chain.
+
+        Streamed requests (out-of-core :class:`DSSource` inputs) run
+        their *whole* chain through :func:`repro.stream.engine.
+        stream_run` instead — one single pass over the shards, the
+        chain's intermediates never resident as full arrays.  The batch
+        key keeps streamed and resident traffic apart, so a batch is
+        normally homogeneous; the split here makes that a non-assumption.
+        """
         if self.fault_hook is not None:
             self.fault_hook(live)
         tracing = _obs.active() is not None
         if tracing:
             _TRACE_EXEC_LOCK.acquire()
+        results: Dict[int, PrimitiveResult] = {}
         try:
             # The annotation scope threads request identity into every
             # launch/primitive span and ``launch.done`` event-log record
             # this batch produces — the end-to-end correlation key.
             with _obs.annotate(request_ids=[req.id for req in live],
                                batch_ops="+".join(live[0].op_key)):
-                fuse = self._tuned_fuse.get(live[0].batch_key, True)
-                p = Pipeline(stream, config=live[0].config, fuse=fuse,
-                             plan_cache=self.plan_cache)
-                tails = []
+                resident = [req for req in live if not req.streamed]
                 for req in live:
-                    prev: object = req.array
-                    for stage in req.ops:
-                        prev = p.enqueue(stage.desc, prev, *stage.args,
-                                         config=req.config, **stage.kwargs)
-                    tails.append(prev)
-                p.run()
+                    if req.streamed:
+                        from repro.stream.engine import stream_run
+
+                        results[req.id] = stream_run(
+                            [(s.desc, s.args, s.kwargs) for s in req.ops],
+                            req.array, stream=stream, config=req.config)
+                if resident:
+                    fuse = self._tuned_fuse.get(resident[0].batch_key, True)
+                    p = Pipeline(stream, config=resident[0].config,
+                                 fuse=fuse, plan_cache=self.plan_cache)
+                    tails = []
+                    for req in resident:
+                        prev: object = req.array
+                        for stage in req.ops:
+                            prev = p.enqueue(stage.desc, prev, *stage.args,
+                                             config=req.config,
+                                             **stage.kwargs)
+                        tails.append(prev)
+                    p.run()
+                    for req, tail in zip(resident, tails):
+                        results[req.id] = tail.result()
         finally:
             if tracing:
                 _TRACE_EXEC_LOCK.release()
-        for req, tail in zip(live, tails):
+        for req in live:
             if req.transition(DISPATCHED, DONE):
                 self._count("serve.completed")
-                self._finalize(req, result=tail.result())
+                self._finalize(req, result=results[req.id])
 
     def _run_degraded(self, live: List[ServeRequest],
                       stream: Stream) -> None:
         """Serve every request through its sequential baseline."""
         for req in live:
-            out = req.array
+            # A streamed request degrades by materializing: the
+            # baseline is the correctness backstop, not the memory one.
+            out = req.array.materialize() if req.streamed else req.array
             for stage in req.ops:
                 out = run_degraded_stage(stage, out)
             if req.transition(DISPATCHED, DONE):
@@ -795,6 +840,12 @@ class Server:
         degraded = bool(result is not None
                         and result.extras.get("degraded"))
         if result is not None:
+            # The shared Future extras schema: the serve layer owns the
+            # correlation id, and every served result states whether it
+            # was degraded (the streaming engine likewise stamps
+            # ``shards``; repro.futures defaults fill the rest).
+            result.extras["request_id"] = req.id
+            result.extras.setdefault("degraded", False)
             self._observe("serve.latency_ms", latency_ms)
             req.future._resolve(result)
             self._event("serve.request_done", request_id=req.id,

@@ -1,0 +1,109 @@
+"""The unified ``repro.Future`` interface across all three surfaces.
+
+``repro.ds`` (eager result), ``Pipeline.enqueue`` (deferred batch) and
+``Server.submit`` (async serve) historically returned three unrelated
+handle types.  They now all satisfy one ABC with one extras schema, so
+result-draining code is surface-agnostic.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import DSConfig, EXTRAS_DEFAULTS, Future, Pipeline, ds
+from repro.futures import normalized_extras
+from repro.serve import ServeConfig, Server
+
+
+@pytest.fixture
+def data(rng):
+    return rng.integers(0, 5, 200).astype(np.float64)
+
+
+class TestOneInterface:
+    def test_ds_result_is_a_future(self, data):
+        res = ds("compact", data, 0.0)
+        assert isinstance(res, Future)
+        assert res.done
+        assert res.result() is res.result()  # idempotent
+        np.testing.assert_array_equal(res.output, data[data != 0.0])
+
+    def test_pipeline_future_is_a_future(self, data):
+        pipe = Pipeline()
+        fut = pipe.enqueue("compact", data, 0.0)
+        assert isinstance(fut, Future)
+        out = fut.result(timeout=5.0).output  # timeout accepted
+        np.testing.assert_array_equal(out, data[data != 0.0])
+        assert fut.done
+
+    def test_serve_future_is_a_future(self, data):
+        with Server(ServeConfig(max_wait_ms=1.0, num_workers=1)) as srv:
+            fut = srv.submit("compact", data, 0.0)
+            assert isinstance(fut, Future)
+            out = fut.result(timeout=5.0).output
+        np.testing.assert_array_equal(out, data[data != 0.0])
+
+    def test_surface_agnostic_drain(self, data):
+        def drain(fut: repro.Future):
+            assert fut.done or fut.result() is not None
+            return fut.output
+
+        pipe = Pipeline()
+        with Server(ServeConfig(max_wait_ms=1.0, num_workers=1)) as srv:
+            handles = [
+                ds("compact", data, 0.0),
+                pipe.enqueue("compact", data, 0.0),
+                srv.submit("compact", data, 0.0),
+            ]
+            outs = [drain(f) for f in handles]
+        for out in outs[1:]:
+            np.testing.assert_array_equal(out, outs[0])
+
+
+class TestSharedExtrasSchema:
+    def test_defaults_keys(self):
+        assert set(EXTRAS_DEFAULTS) == {"degraded", "shards", "request_id"}
+        assert EXTRAS_DEFAULTS["degraded"] is False
+        assert EXTRAS_DEFAULTS["shards"] == 1
+        assert EXTRAS_DEFAULTS["request_id"] is None
+
+    def test_normalized_extras_fills_missing(self):
+        merged = normalized_extras({"n_kept": 3})
+        assert merged["n_kept"] == 3
+        assert merged["degraded"] is False and merged["shards"] == 1
+
+    @pytest.mark.parametrize("surface", ["ds", "pipeline", "serve"])
+    def test_every_surface_has_schema_keys(self, data, surface):
+        # `.extras` stays the raw producer dict on an eager result (old
+        # assertions depend on it); `.normalized_extras` is the shared
+        # schema on every surface.
+        if surface == "ds":
+            fut = ds("compact", data, 0.0)
+        elif surface == "pipeline":
+            fut = Pipeline().enqueue("compact", data, 0.0)
+        else:
+            with Server(ServeConfig(max_wait_ms=1.0, num_workers=1)) as srv:
+                fut = srv.submit("compact", data, 0.0)
+                fut.result(timeout=5.0)
+        extras = fut.normalized_extras
+        for key in EXTRAS_DEFAULTS:
+            assert key in extras, (surface, key)
+
+    def test_serve_sets_request_id(self, data):
+        with Server(ServeConfig(max_wait_ms=1.0, num_workers=1)) as srv:
+            extras = srv.submit("compact", data, 0.0).extras
+        assert extras["request_id"] is not None
+        assert extras["degraded"] is False
+
+    def test_streamed_ds_sets_shards(self, tmp_path, data):
+        path = tmp_path / "in.dat"
+        data.tofile(path)
+        mm = np.memmap(path, dtype=np.float64, mode="r")
+        config = DSConfig(shard_elems=64)
+        fut = ds("compact", mm, 0.0, config=config)
+        assert fut.extras["shards"] > 1
+        assert fut.normalized_extras["degraded"] is False
+
+    def test_reexports(self):
+        assert repro.Future is Future
+        assert repro.EXTRAS_DEFAULTS is EXTRAS_DEFAULTS

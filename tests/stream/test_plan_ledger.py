@@ -1,0 +1,87 @@
+"""Shard planning and the inter-shard offset ledger.
+
+The ledger is the shard-level instance of the paper's adjacent
+synchronization: each shard publishes its local count (AGGREGATE) and
+resolves its exclusive prefix by walking predecessors until one holds a
+PREFIX — the decoupled-lookback state machine of
+:mod:`repro.collectives.lookback` lifted to shard boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.stream import Shard, ShardLedger, plan_shards
+
+
+class TestPlanShards:
+    def test_contiguous_half_open_cover(self):
+        shards = plan_shards(100, 32)
+        assert [(s.lo, s.hi) for s in shards] == \
+            [(0, 32), (32, 64), (64, 96), (96, 100)]
+        assert [s.index for s in shards] == [0, 1, 2, 3]
+        assert sum(s.n_elems for s in shards) == 100
+
+    def test_single_shard_when_fits(self):
+        shards = plan_shards(10, 1000)
+        assert len(shards) == 1 and shards[0] == Shard(0, 0, 10)
+
+    def test_row_alignment(self):
+        # 7 rows of 6 elems, shard budget 20 -> 18 elems (3 rows) per shard.
+        shards = plan_shards(42, 20, row_elems=6)
+        assert all(s.lo % 6 == 0 and s.hi % 6 == 0 for s in shards)
+        assert shards[0].n_elems == 18
+
+    def test_budget_below_one_row_raises(self):
+        with pytest.raises(ReproError, match="REPRO_SHARD_ELEMS"):
+            plan_shards(42, 4, row_elems=6)
+
+    def test_invalid_shard_elems_raises(self):
+        with pytest.raises(ReproError, match="REPRO_SHARD_ELEMS"):
+            plan_shards(10, 0)
+
+
+class TestShardLedger:
+    def test_out_of_order_publish_matches_cumsum(self, rng):
+        counts = [int(c) for c in rng.integers(0, 50, 12)]
+        ledger = ShardLedger(len(counts))
+        order = rng.permutation(len(counts))
+        for k in order:
+            ledger.publish(int(k), counts[int(k)])
+        offsets = [ledger.resolve(k) for k in range(len(counts))]
+        expected = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        np.testing.assert_array_equal(offsets, expected)
+        assert ledger.total() == sum(counts)
+
+    def test_try_resolve_spins_on_invalid_predecessor(self):
+        ledger = ShardLedger(3)
+        ledger.publish(2, 5)
+        assert ledger.try_resolve(2) is None  # predecessors still INVALID
+        assert ledger.n_spins >= 1
+        ledger.publish(0, 1)
+        ledger.publish(1, 2)
+        assert ledger.try_resolve(2) == 3
+
+    def test_prefix_short_circuits_lookback(self):
+        ledger = ShardLedger(4)
+        for k, c in enumerate([3, 4, 5, 6]):
+            ledger.publish(k, c)
+        assert ledger.resolve(1) == 3  # publishes shard 1's PREFIX
+        # Resolving 2 now walks only to shard 1's PREFIX, not to 0.
+        assert ledger.resolve(2) == 7
+        assert ledger.resolve(3) == 12
+
+    def test_double_publish_raises(self):
+        ledger = ShardLedger(2)
+        ledger.publish(0, 1)
+        with pytest.raises(ReproError):
+            ledger.publish(0, 1)
+
+    def test_grow_for_unsized_streams(self):
+        ledger = ShardLedger(1)
+        ledger.publish(0, 2)
+        ledger.grow(2)
+        ledger.publish(1, 3)
+        ledger.publish(2, 4)
+        assert [ledger.resolve(k) for k in range(3)] == [0, 2, 5]
+        assert ledger.total() == 9
