@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test test-all bench bench-smoke bench-full bench-check \
         pipeline-smoke trace-smoke serve-smoke analyze-smoke tune-smoke \
-        stream-smoke report figures examples clean
+        stream-smoke fleet-smoke report figures examples clean
 
 # Stamped into every BENCH_INDEX.json row so the trajectory report can
 # attribute each run to a commit.
@@ -54,6 +54,19 @@ stream-smoke:    ## out-of-core streaming: memmap 8x device capacity, compact->u
 	  --trace /tmp/repro_stream_smoke.json --bench-dir benchmarks/results
 	$(PYTHON) -m repro analyze /tmp/repro_stream_smoke.json > /dev/null
 	$(PYTHON) -m pytest tests/stream -q
+
+fleet-smoke:     ## multi-process fleet: 3 workers, fault-injected loadgen, acceptance pass + CLI replay of the produced incident bundle
+	rm -rf /tmp/repro_fleet_smoke_incidents
+	timeout 600 env REPRO_GIT_REV=$(GIT_REV) $(PYTHON) -m repro fleet \
+	  --check --workers 3 --fault 0.5 \
+	  --incident-dir /tmp/repro_fleet_smoke_incidents \
+	  --stats-out /tmp/repro_fleet_smoke_stats.json \
+	  --bench-dir benchmarks/results
+	$(PYTHON) -m repro analyze /tmp/repro_fleet_smoke_stats.json > /dev/null
+	timeout 120 $(PYTHON) -m repro replay \
+	  $$(ls -d /tmp/repro_fleet_smoke_incidents/w*/incident-* | head -1) \
+	  --check
+	timeout 600 $(PYTHON) -m pytest tests/fleet -q
 
 analyze-smoke:   ## trace fig13 -> analyzer decomposition check (sum==wall ±1%, spin<=wall) + flight-recorder overhead bound
 	$(PYTHON) -m repro trace fig13 -o /tmp/repro_analyze_smoke.json --check

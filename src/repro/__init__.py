@@ -25,6 +25,10 @@ The package layers:
 * :mod:`repro.pipeline` — batched planning/fused execution;
 * :mod:`repro.serve` — micro-batching request server with admission
   control, deadlines, retries and graceful degradation;
+* :mod:`repro.fleet` — multi-process serve cluster: consistent-hash
+  plan routing over shared-memory transport, fleet-wide health rollup,
+  hysteresis autoscaling and deterministic incident replay (see
+  ``docs/fleet.md``);
 * :mod:`repro.stream` — out-of-core sharded streaming: any
   :class:`DSSource` input (ndarray | memmap | shared memory | shard
   iterator) accepted uniformly by :func:`ds`, :class:`Pipeline` and
@@ -47,6 +51,7 @@ from repro.errors import (
     DataRaceError,
     DeadlineExceeded,
     DeadlockError,
+    FleetError,
     LaunchError,
     ModelError,
     Overloaded,
@@ -135,5 +140,6 @@ __all__ = [
     "Overloaded",
     "DeadlineExceeded",
     "RequestCancelled",
+    "FleetError",
     "__version__",
 ]

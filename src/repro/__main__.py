@@ -10,6 +10,8 @@ Usage::
     python -m repro trace fig13 -o trace.json   # export a Chrome trace
     python -m repro serve --shape chain --check # serve-layer load run
     python -m repro stream --check              # out-of-core streaming
+    python -m repro fleet --check               # multi-process cluster
+    python -m repro replay incidents/...        # reproduce an incident
     python -m repro tune --fig fig13            # autotune a workload
     python -m repro report -o REPORT.md         # one report over it all
 
@@ -146,6 +148,14 @@ def main(argv=None) -> int:
         from repro.stream import cli as _stream_cli
 
         return _stream_cli.main(argv[1:])
+    if argv and argv[0] == "fleet":
+        from repro.fleet import cli as _fleet_cli
+
+        return _fleet_cli.main(argv[1:])
+    if argv and argv[0] == "replay":
+        from repro.fleet import cli as _fleet_cli
+
+        return _fleet_cli.replay_main(argv[1:])
     if argv and argv[0] == "analyze":
         from repro.obs import analyze as _analyze
 
@@ -176,6 +186,12 @@ def main(argv=None) -> int:
         print("  stream [--elements N --workers N --trace PATH --check]   "
               "out-of-core sharded streaming smoke over a memmap "
               "(see docs/streaming.md)")
+        print("  fleet [--workers N --clients N --check]   "
+              "multi-process serve cluster with consistent-hash plan "
+              "routing and autoscaling (see docs/fleet.md)")
+        print("  replay <incident-bundle> [--check]   "
+              "re-run the traffic recorded in a flight-recorder bundle "
+              "and reproduce its trigger (see docs/fleet.md)")
         print("  analyze <trace.json|trace.jsonl|incident-dir>   "
               "critical-path + spin attribution report "
               "(see docs/observability.md)")

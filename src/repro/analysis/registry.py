@@ -154,7 +154,7 @@ def fig13_backend_ladder(ctx: ReportContext) -> Section:
 def bench_trajectory(ctx: ReportContext) -> Section:
     """Wall-clock across runs from the append-only BENCH_INDEX."""
     rows = ctx.index_rows()
-    kernel = [r for r in rows if r.get("backend") != "serve"]
+    kernel = [r for r in rows if r.get("backend") not in ("serve", "fleet")]
     if not kernel:
         return _empty("bench_trajectory", "Benchmark trajectory",
                       "BENCH_INDEX.json has no kernel rows",
@@ -230,11 +230,44 @@ def tuning_trajectory(ctx: ReportContext) -> Section:
     return Section("tuning_trajectory", "Autotuner winners", body)
 
 
+def fleet_health(ctx: ReportContext) -> Section:
+    """Fleet-tier runs: pool-wide throughput/tails plus the cluster
+    facts (worker counts, routing skew, scale events) from the
+    ``backend="fleet"`` trajectory rows."""
+    rows = [r for r in ctx.index_rows() if r.get("backend") == "fleet"]
+    if not rows:
+        return _empty("fleet_health", "Fleet runs",
+                      "no fleet rows in BENCH_INDEX.json",
+                      "python -m repro fleet --bench-dir "
+                      "benchmarks/results")
+    table = [["rev", "shapes", "req/s", "p50", "p95", "workers",
+              "scale", "skew", "plan hits", "when"]]
+    for r in rows[-20:]:
+        table.append([
+            r.get("rev") or "-", r.get("shapes", "-"),
+            f"{r.get('throughput_rps', 0.0):.0f}",
+            f"{r.get('latency_p50_ms', 0.0):.2f}ms",
+            f"{r.get('latency_p95_ms', 0.0):.2f}ms",
+            f"{r.get('workers_start', 0)}→{r.get('workers_peak', 0)}"
+            f"→{r.get('workers_end', 0)}",
+            f"+{r.get('scale_ups', 0)}/-{r.get('scale_downs', 0)}",
+            f"{r.get('routing_skew', 0.0):.2f}x",
+            f"{r.get('plan_hit_rate', 0.0) * 100:.0f}%",
+            _fmt_ts(r.get("timestamp")),
+        ])
+    body = (_md_table(table)
+            + "\n\n_workers is start→peak→end; scale counts the "
+              "autoscaler's grow/drain events; skew is the max worker "
+              "key load over the ring mean (bound 2.00x)._")
+    return Section("fleet_health", "Fleet runs", body)
+
+
 EXPERIMENTS: Dict[str, Callable[[ReportContext], Section]] = {
     "fig06_sweep": fig06_sweep,
     "fig13_backend_ladder": fig13_backend_ladder,
     "bench_trajectory": bench_trajectory,
     "serve_slo": serve_slo,
+    "fleet_health": fleet_health,
     "tuning_trajectory": tuning_trajectory,
 }
 """Every named experiment ``python -m repro report`` renders, in order."""

@@ -15,7 +15,7 @@ NumPy expressions.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -29,6 +29,7 @@ __all__ = [
     "nonzero",
     "always_true",
     "always_false",
+    "from_name",
 ]
 
 
@@ -99,3 +100,54 @@ def always_true() -> Predicate:
 def always_false() -> Predicate:
     """Degenerate predicate (0% fraction end of the paper's sweeps)."""
     return Predicate(lambda v: np.zeros(np.shape(v), dtype=bool), "always_false")
+
+
+_NULLARY_FACTORIES = {
+    "is_even": is_even,
+    "nonzero": nonzero,
+    "always_true": always_true,
+    "always_false": always_false,
+}
+
+_UNARY_FACTORIES = {
+    "less_than": less_than,
+    "greater_equal": greater_equal,
+    "equal_to": equal_to,
+    "not_equal_to": not_equal_to,
+}
+
+
+def from_name(name: str) -> Optional[Predicate]:
+    """Rebuild a predicate from its :attr:`Predicate.name` string.
+
+    The factory predicates in this module carry parseable names by
+    construction (``"less_than(0.5)"``, ``"not(is_even)"``, ...), which
+    is what lets them cross process boundaries: a closure is not
+    picklable, but its *name* is, and :mod:`repro.fleet` ships exactly
+    that (the router probe-verifies the revived predicate against the
+    original before anything leaves the process — a hand-built
+    :class:`Predicate` whose name lies cannot corrupt results, it is
+    rejected at submit).  Returns ``None`` for any name this vocabulary
+    does not cover, mirroring :func:`repro.compiled.lowering._parse_name`.
+    """
+    inner = str(name).strip()
+    negate = False
+    while inner.startswith("not(") and inner.endswith(")"):
+        negate = not negate
+        inner = inner[4:-1]
+    pred: Optional[Predicate] = None
+    if inner in _NULLARY_FACTORIES:
+        pred = _NULLARY_FACTORIES[inner]()
+    else:
+        for fname, factory in _UNARY_FACTORIES.items():
+            prefix = fname + "("
+            if inner.startswith(prefix) and inner.endswith(")"):
+                try:
+                    operand = float(inner[len(prefix):-1])
+                except ValueError:
+                    return None
+                pred = factory(operand)
+                break
+    if pred is None:
+        return None
+    return ~pred if negate else pred

@@ -44,6 +44,7 @@ __all__ = [
     "Overloaded",
     "DeadlineExceeded",
     "RequestCancelled",
+    "FleetError",
 ]
 
 
@@ -139,3 +140,9 @@ class DeadlineExceeded(ServeError):
 
 class RequestCancelled(ServeError):
     """The request was cancelled before it was dispatched to a worker."""
+
+
+class FleetError(ServeError):
+    """A failure of the :mod:`repro.fleet` multi-process serve cluster:
+    a worker process died, a request could not cross the process
+    boundary (e.g. an unrevivable predicate), or a drain timed out."""

@@ -1,0 +1,182 @@
+"""CLI front ends: ``python -m repro fleet`` and ``python -m repro
+replay``.
+
+``fleet`` drives the multi-process serve cluster — either a plain load
+run (``--shapes/--clients/...``) or the four-phase deterministic
+acceptance pass (``--check``: correctness, routing-skew bound,
+plan-cache hit rate, autoscaler grow + drain, incident replay).
+``replay <bundle>`` feeds one flight-recorder incident bundle back
+through the load generator and reports whether the same trigger fired
+again.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.serve.loadgen import SHAPES
+
+__all__ = ["main", "replay_main", "build_parser", "build_replay_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fleet",
+        description="Multi-process serve cluster with consistent-hash "
+                    "plan routing, autoscaling and incident replay.")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="initial worker processes "
+                             "(default: FleetConfig/REPRO_FLEET_WORKERS)")
+    parser.add_argument("--shapes", default=None,
+                        help="comma-separated traffic shapes "
+                             f"(default: all of {','.join(sorted(SHAPES))})")
+    parser.add_argument("--sizes", default=None,
+                        help="comma-separated input sizes "
+                             "(default: 256,384,512,640)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent closed-loop clients")
+    parser.add_argument("--requests", type=int, default=12,
+                        help="requests per client")
+    parser.add_argument("--fault", default="always",
+                        help="chaos mode for the --check incident phase "
+                             "('always' or a 0..1 rate)")
+    parser.add_argument("--incident-dir", default=None,
+                        help="keep --check incident bundles here instead "
+                             "of a temp directory")
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--no-prime", action="store_true",
+                        help="skip routing-aware plan-cache pre-warming")
+    parser.add_argument("--check", action="store_true",
+                        help="run the 4-phase acceptance pass and assert "
+                             "its bar (skew <= 2x, hit rate > 90%%, "
+                             "autoscaler grows AND drains, incident "
+                             "replay re-triggers)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the full fleet stats snapshot "
+                             "(per-worker + rollup + ring + autoscaler)")
+    parser.add_argument("--stats-out", default=None, metavar="PATH",
+                        help="write the fleet-stats snapshot as JSON "
+                             "(render it with python -m repro analyze "
+                             "PATH)")
+    parser.add_argument("--bench-dir", default=None, metavar="DIR",
+                        help="append a backend='fleet' row to "
+                             "BENCH_INDEX.json in DIR")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.fleet.config import FleetConfig
+    from repro.fleet.loadgen import (check_fleet_report, run_fleet_check,
+                                     run_fleet_load)
+
+    args = build_parser().parse_args(argv)
+    fault = args.fault
+    if fault is not None and fault != "always":
+        fault = float(fault)
+    collect = args.stats or args.stats_out is not None
+    if args.check:
+        kwargs = {}
+        if args.workers is not None:
+            kwargs["n_workers"] = args.workers
+        report = run_fleet_check(
+            clients=args.clients, requests_per_client=args.requests,
+            fault=fault, seed=args.seed,
+            incident_dir=args.incident_dir,
+            collect_stats=collect, **kwargs)
+    else:
+        cfg = FleetConfig.from_env()
+        if args.workers is not None:
+            cfg = cfg.replace(n_workers=args.workers,
+                              max_workers=max(cfg.max_workers,
+                                              args.workers))
+        report = run_fleet_load(
+            shapes=args.shapes.split(",") if args.shapes else None,
+            sizes=[int(s) for s in args.sizes.split(",")]
+            if args.sizes else None,
+            clients=args.clients, requests_per_client=args.requests,
+            fleet_config=cfg, seed=args.seed, prime=not args.no_prime,
+            collect_stats=collect)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True,
+                         default=str))
+    else:
+        print(report.summary())
+    if args.stats and report.stats is not None:
+        print("fleet stats:")
+        print(json.dumps(report.stats, indent=2, sort_keys=True,
+                         default=str))
+    if args.stats_out and report.stats is not None:
+        from pathlib import Path
+
+        Path(args.stats_out).write_text(
+            json.dumps(report.stats, indent=1, sort_keys=True,
+                       default=str) + "\n")
+        print(f"wrote {args.stats_out} "
+              f"(render: python -m repro analyze {args.stats_out})")
+    if args.bench_dir:
+        from repro.obs.benchindex import append_rows, row_from_fleet_run
+
+        index_path = append_rows(args.bench_dir,
+                                 [row_from_fleet_run(report)])
+        print(f"appended 1 fleet row to {index_path}")
+    if args.check:
+        check_fleet_report(report)
+        print("fleet acceptance: OK")
+    return 0
+
+
+def build_replay_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro replay",
+        description="Replay a flight-recorder incident bundle through "
+                    "the load generator and reproduce its trigger.")
+    parser.add_argument("bundle",
+                        help="incident bundle directory (or its "
+                             "manifest.json)")
+    parser.add_argument("--incident-dir", default=None,
+                        help="where the replayed run writes its own "
+                             "bundles (default: <bundle>/replay)")
+    parser.add_argument("--plan", action="store_true",
+                        help="print the reconstructed traffic profile "
+                             "and exit without running")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless the replay "
+                             "re-triggered the original incident type")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the verdict as JSON")
+    return parser
+
+
+def replay_main(argv: Optional[List[str]] = None) -> int:
+    from repro.fleet.replay import (check_replay, load_bundle,
+                                    plan_replay, run_replay)
+
+    args = build_replay_parser().parse_args(argv)
+    if args.plan:
+        plan = plan_replay(load_bundle(args.bundle))
+        plan["serve_config"] = plan["serve_config"].__dict__
+        print(json.dumps(plan, indent=2, sort_keys=True, default=str))
+        return 0
+    result = run_replay(args.bundle, incident_dir=args.incident_dir)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=str))
+    else:
+        verdict = "reproduced" if result["reproduced"] \
+            else "NOT reproduced"
+        print(f"replay of {result['bundle']}: trigger "
+              f"{result['trigger']!r} {verdict}")
+        for b in result["matching_bundles"]:
+            print(f"  matching bundle: {b}")
+    if args.check:
+        check_replay(result)
+        print("replay acceptance: OK")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

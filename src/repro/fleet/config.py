@@ -1,0 +1,215 @@
+"""``FleetConfig`` — every knob of the multi-process serve cluster.
+
+Mirrors :class:`repro.serve.config.ServeConfig` in style: one frozen,
+hashable value constructible from ``REPRO_FLEET_*`` environment
+variables with eager validation (a malformed value raises
+:class:`ValueError` naming the variable).
+
+The knobs fall into four groups:
+
+* **pool sizing** — ``n_workers`` starts the fleet; the autoscaler is
+  bounded by ``min_workers``/``max_workers``;
+* **routing** — ``vnodes`` virtual nodes per worker on the consistent
+  hash ring and the bounded-loads ``load_factor`` (no worker is
+  assigned more than ``ceil(load_factor * keys / workers)`` route
+  keys, which is what makes the ``--check`` skew bound a guarantee
+  rather than a hope);
+* **autoscaling policy** — scale *up* when per-worker queue depth or
+  fleet p95 latency stays above ``queue_high`` / ``p95_high_ms`` for
+  ``up_after`` consecutive ticks; scale *down* after ``down_after``
+  idle ticks (no completions, shallow queues); both sides then hold
+  for ``cooldown_ticks`` so one burst cannot flap the pool;
+* **lifecycle** — ``drain_timeout_s`` bounds a graceful worker drain,
+  ``tick_interval_s`` paces the background autoscaler thread (``0``
+  disables the thread; :meth:`repro.fleet.Fleet.autoscale_tick` still
+  works manually, which is what the deterministic checks use).
+
+Each worker runs a full :class:`repro.serve.Server` under the embedded
+``serve`` config (``ServeConfig.from_env()`` by default, so every
+``REPRO_SERVE_*`` variable reaches the workers unchanged).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.serve.config import ServeConfig
+
+__all__ = ["FleetConfig", "DEFAULT_FLEET_CONFIG"]
+
+
+def _positive(name: str, value, *, zero_ok: bool = False) -> None:
+    bound = 0 if zero_ok else 1
+    if value < bound:
+        raise ValueError(
+            f"FleetConfig.{name} must be >= {bound}, got {value!r}")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Tuning surface of :class:`repro.fleet.Fleet`.
+
+    Attributes
+    ----------
+    n_workers:
+        Worker processes the fleet starts with.
+    min_workers / max_workers:
+        Autoscaler bounds on the pool size.
+    vnodes:
+        Virtual nodes per worker on the hash ring; more vnodes smooth
+        key placement at the cost of a larger ring.
+    load_factor:
+        Bounded-loads cap: a worker never holds more than
+        ``ceil(load_factor * total_keys / n_workers)`` route keys.
+    queue_high:
+        Per-worker mean queue depth that counts as scale-up pressure.
+    queue_low:
+        Fleet-wide queue depth at or below which a tick can count as
+        idle (scale-down evidence).
+    p95_high_ms:
+        Fleet p95 latency that counts as scale-up pressure.
+    up_after / down_after:
+        Consecutive pressured / idle ticks required before the
+        autoscaler acts (hysteresis).
+    cooldown_ticks:
+        Ticks after any scale action during which no further action is
+        taken.
+    tick_interval_s:
+        Background autoscaler cadence; ``0`` disables the thread
+        (manual :meth:`~repro.fleet.Fleet.autoscale_tick` only).
+    drain_timeout_s:
+        Upper bound on a graceful drain (in-flight requests finishing)
+        before the drain is declared failed.
+    request_timeout_s:
+        Parent-side bound on one request's round trip through a
+        worker; a breach fails the future with
+        :class:`~repro.errors.FleetError` rather than hanging.
+    incident_dir:
+        Fleet-level incident directory; worker *i* dumps its flight
+        recorder bundles under ``<incident_dir>/<worker_id>``.  ``None``
+        disables dumping fleet-wide.
+    serve:
+        The per-worker :class:`~repro.serve.config.ServeConfig`.
+    """
+
+    n_workers: int = 2
+    min_workers: int = 1
+    max_workers: int = 4
+    vnodes: int = 64
+    load_factor: float = 1.25
+    queue_high: int = 8
+    queue_low: int = 1
+    p95_high_ms: float = 250.0
+    up_after: int = 2
+    down_after: int = 3
+    cooldown_ticks: int = 2
+    tick_interval_s: float = 0.0
+    drain_timeout_s: float = 10.0
+    request_timeout_s: float = 60.0
+    incident_dir: Optional[str] = None
+    serve: ServeConfig = field(default_factory=ServeConfig)
+
+    def __post_init__(self) -> None:
+        _positive("n_workers", int(self.n_workers))
+        _positive("min_workers", int(self.min_workers))
+        _positive("max_workers", int(self.max_workers))
+        _positive("vnodes", int(self.vnodes))
+        _positive("queue_high", int(self.queue_high))
+        _positive("queue_low", int(self.queue_low), zero_ok=True)
+        _positive("up_after", int(self.up_after))
+        _positive("down_after", int(self.down_after))
+        _positive("cooldown_ticks", int(self.cooldown_ticks), zero_ok=True)
+        _positive("tick_interval_s", float(self.tick_interval_s),
+                  zero_ok=True)
+        _positive("drain_timeout_s", float(self.drain_timeout_s))
+        _positive("request_timeout_s", float(self.request_timeout_s))
+        _positive("p95_high_ms", float(self.p95_high_ms))
+        if float(self.load_factor) < 1.0:
+            raise ValueError(
+                "FleetConfig.load_factor must be >= 1.0 (a cap below "
+                f"1.0 cannot place every key), got {self.load_factor!r}")
+        if not (self.min_workers <= self.n_workers <= self.max_workers):
+            raise ValueError(
+                f"FleetConfig needs min_workers <= n_workers <= "
+                f"max_workers, got {self.min_workers} / {self.n_workers} "
+                f"/ {self.max_workers}")
+
+    def replace(self, **changes) -> "FleetConfig":
+        """A copy with ``changes`` applied (the frozen-dataclass idiom)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FleetConfig":
+        """Build a config from ``REPRO_FLEET_*`` environment variables.
+
+        Recognized: ``REPRO_FLEET_WORKERS``, ``REPRO_FLEET_MIN_WORKERS``,
+        ``REPRO_FLEET_MAX_WORKERS``, ``REPRO_FLEET_VNODES``,
+        ``REPRO_FLEET_LOAD_FACTOR``, ``REPRO_FLEET_QUEUE_HIGH``,
+        ``REPRO_FLEET_QUEUE_LOW``, ``REPRO_FLEET_P95_HIGH_MS``,
+        ``REPRO_FLEET_UP_AFTER``, ``REPRO_FLEET_DOWN_AFTER``,
+        ``REPRO_FLEET_COOLDOWN_TICKS``, ``REPRO_FLEET_TICK_S``,
+        ``REPRO_FLEET_DRAIN_TIMEOUT_S``, ``REPRO_FLEET_REQUEST_TIMEOUT_S``
+        and ``REPRO_FLEET_INCIDENT_DIR``; the embedded worker config
+        comes from :meth:`ServeConfig.from_env` (``REPRO_SERVE_*``).
+        Malformed values raise :class:`ValueError` naming the variable.
+        """
+        env = os.environ if environ is None else environ
+
+        def _get(name):
+            raw = env.get(name, "")
+            return raw.strip() or None
+
+        def _str(name):
+            return _get(name)
+
+        def _int(name):
+            raw = _get(name)
+            try:
+                return int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{name}={raw!r}: expected an integer") from None
+
+        def _float(name):
+            raw = _get(name)
+            try:
+                return float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{name}={raw!r}: expected a number") from None
+
+        kwargs = {}
+        spec = [
+            ("REPRO_FLEET_WORKERS", "n_workers", _int),
+            ("REPRO_FLEET_MIN_WORKERS", "min_workers", _int),
+            ("REPRO_FLEET_MAX_WORKERS", "max_workers", _int),
+            ("REPRO_FLEET_VNODES", "vnodes", _int),
+            ("REPRO_FLEET_LOAD_FACTOR", "load_factor", _float),
+            ("REPRO_FLEET_QUEUE_HIGH", "queue_high", _int),
+            ("REPRO_FLEET_QUEUE_LOW", "queue_low", _int),
+            ("REPRO_FLEET_P95_HIGH_MS", "p95_high_ms", _float),
+            ("REPRO_FLEET_UP_AFTER", "up_after", _int),
+            ("REPRO_FLEET_DOWN_AFTER", "down_after", _int),
+            ("REPRO_FLEET_COOLDOWN_TICKS", "cooldown_ticks", _int),
+            ("REPRO_FLEET_TICK_S", "tick_interval_s", _float),
+            ("REPRO_FLEET_DRAIN_TIMEOUT_S", "drain_timeout_s", _float),
+            ("REPRO_FLEET_REQUEST_TIMEOUT_S", "request_timeout_s", _float),
+            ("REPRO_FLEET_INCIDENT_DIR", "incident_dir", _str),
+        ]
+        for var, field_name, parse in spec:
+            if _get(var):
+                kwargs[field_name] = parse(var)
+        kwargs["serve"] = ServeConfig.from_env(environ)
+        try:
+            return cls(**kwargs)
+        except ValueError as exc:
+            field_to_var = {f: v for v, f, _ in spec}
+            for field_name, var in field_to_var.items():
+                if f"FleetConfig.{field_name}" in str(exc):
+                    raise ValueError(f"{var}: {exc}") from None
+            raise
+
+
+DEFAULT_FLEET_CONFIG = FleetConfig()

@@ -1,0 +1,212 @@
+"""Consistent-hash ring with bounded loads and sticky assignments.
+
+The fleet router's job is to send every request with the same batch key
+(op chain + geometry + dtype + config + backend — exactly what the plan
+cache hashes) to the same worker, so identical traffic always lands on
+a warm plan cache.  Plain consistent hashing does that but can leave
+one worker holding far more keys than its peers; this ring adds the
+*bounded loads* refinement (Mirrokni et al.): a worker at its capacity
+``ceil(load_factor * total_keys / n_workers)`` is skipped and the key
+walks on to the next vnode's owner.  With ``load_factor = 1.25`` no
+worker ever holds more than 1.25× the mean — which is what turns the
+``fleet --check`` skew bound ("no worker above 2× the mean") into a
+deterministic property instead of a statistical hope.
+
+Assignments are **sticky**: once a key is placed, it stays with its
+worker across unrelated ``add``/``remove`` calls (stability is the
+whole point — a warm plan cache is only warm if the traffic keeps
+arriving).  Removing a worker re-routes only *its* keys; adding one
+takes over only the keys :meth:`rebalance` explicitly migrates (the
+fleet re-primes the new owner before any request lands there).
+
+Everything is deterministic: keys and worker ids hash through
+``blake2b``, never Python's seeded ``hash()``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _h64(data: str) -> int:
+    """Stable 64-bit hash (never the process-seeded ``hash()``)."""
+    return int.from_bytes(
+        hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest(),
+        "big")
+
+
+class HashRing:
+    """Consistent-hash ring with bounded loads and sticky placement.
+
+    Parameters
+    ----------
+    workers:
+        Initial worker ids.
+    vnodes:
+        Virtual nodes per worker — each worker owns ``vnodes`` points
+        on the ring, which smooths placement.
+    load_factor:
+        Bounded-loads cap (>= 1.0); see the module docstring.
+    """
+
+    def __init__(self, workers: Iterable[str] = (), *, vnodes: int = 64,
+                 load_factor: float = 1.25) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes!r}")
+        if load_factor < 1.0:
+            raise ValueError(
+                f"load_factor must be >= 1.0, got {load_factor!r}")
+        self.vnodes = int(vnodes)
+        self.load_factor = float(load_factor)
+        #: sorted [(point, worker_id)] — the ring itself.
+        self._ring: List[Tuple[int, str]] = []
+        self._workers: List[str] = []
+        #: sticky key -> worker placements (the routing table).
+        self._assign: Dict[str, str] = {}
+        for w in workers:
+            self.add(w)
+
+    # -- membership -----------------------------------------------------
+
+    @property
+    def workers(self) -> List[str]:
+        return list(self._workers)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker_id: str) -> bool:
+        return worker_id in self._workers
+
+    def add(self, worker_id: str) -> None:
+        """Add a worker's vnodes.  Existing placements are untouched —
+        migrate keys explicitly with :meth:`rebalance` once the new
+        worker is warm."""
+        if worker_id in self._workers:
+            raise ValueError(f"worker {worker_id!r} already on the ring")
+        self._workers.append(worker_id)
+        for v in range(self.vnodes):
+            point = _h64(f"{worker_id}#{v}")
+            bisect.insort(self._ring, (point, worker_id))
+
+    def remove(self, worker_id: str) -> Dict[str, str]:
+        """Remove a worker and re-route its keys to the survivors.
+
+        Returns ``{key: new_worker}`` for every key that moved, so the
+        fleet can re-prime the new owners.  Other placements never
+        move."""
+        if worker_id not in self._workers:
+            raise ValueError(f"worker {worker_id!r} not on the ring")
+        self._workers.remove(worker_id)
+        self._ring = [(p, w) for p, w in self._ring if w != worker_id]
+        orphans = sorted(k for k, w in self._assign.items()
+                         if w == worker_id)
+        for key in orphans:
+            del self._assign[key]
+        moved = {}
+        if self._workers:  # last worker's keys are simply forgotten
+            for key in orphans:
+                moved[key] = self._place(key)
+        return moved
+
+    # -- routing --------------------------------------------------------
+
+    def route(self, key) -> str:
+        """The worker ``key`` lives on (placing it on first sight).
+
+        ``key`` is anything with a stable ``repr`` — the fleet passes
+        the request batch key tuple.  Placement walks the ring from the
+        key's hash point and takes the first worker still under the
+        bounded-loads capacity.
+        """
+        skey = key if isinstance(key, str) else repr(key)
+        try:
+            return self._assign[skey]
+        except KeyError:
+            return self._place(skey)
+
+    def _capacity(self, total_keys: int) -> int:
+        """Max keys per worker once ``total_keys`` are placed."""
+        if not self._workers:
+            return 0
+        return max(1, math.ceil(
+            self.load_factor * total_keys / len(self._workers)))
+
+    def _place(self, skey: str) -> str:
+        if not self._workers:
+            raise ValueError("cannot route on an empty ring")
+        cap = self._capacity(len(self._assign) + 1)
+        loads = self.loads()
+        point = _h64(skey)
+        start = bisect.bisect_right(self._ring, (point, "￿"))
+        n = len(self._ring)
+        chosen: Optional[str] = None
+        for i in range(n):
+            worker = self._ring[(start + i) % n][1]
+            if loads.get(worker, 0) < cap:
+                chosen = worker
+                break
+        if chosen is None:  # every worker at cap — cap math forbids this,
+            chosen = self._ring[start % n][1]  # pragma: no cover
+        self._assign[skey] = chosen
+        return chosen
+
+    # -- introspection / rebalancing ------------------------------------
+
+    def loads(self) -> Dict[str, int]:
+        """Placed-key count per worker (workers with none included)."""
+        out = {w: 0 for w in self._workers}
+        for worker in self._assign.values():
+            out[worker] += 1
+        return out
+
+    def keys_for(self, worker_id: str) -> List[str]:
+        return sorted(k for k, w in self._assign.items()
+                      if w == worker_id)
+
+    def assignments(self) -> Dict[str, str]:
+        return dict(self._assign)
+
+    def skew(self) -> float:
+        """Max worker load over the mean load (1.0 = perfectly even;
+        the ``fleet --check`` bound is 2.0).  Empty ring → 0.0."""
+        loads = self.loads()
+        if not loads or not self._assign:
+            return 0.0
+        mean = len(self._assign) / len(loads)
+        return max(loads.values()) / mean if mean else 0.0
+
+    def rebalance(self) -> Dict[str, str]:
+        """Migrate keys off over-capacity workers (after :meth:`add`).
+
+        Keys above the bounded-loads cap move — most-loaded workers
+        first, re-placed through the normal capacity-respecting walk.
+        Returns ``{key: new_worker}`` for the moves so the fleet can
+        prime the new owners before traffic follows."""
+        cap = self._capacity(len(self._assign))
+        moved: Dict[str, str] = {}
+        for worker, load in sorted(self.loads().items(),
+                                   key=lambda kv: -kv[1]):
+            excess = load - cap
+            if excess <= 0:
+                continue
+            # Evict the keys whose hash points sit furthest from any of
+            # the worker's vnodes last-in terms of sort order — simply
+            # take the lexicographically last keys for determinism.
+            for key in self.keys_for(worker)[-excess:]:
+                del self._assign[key]
+                new_worker = self._place(key)
+                if new_worker != worker:
+                    moved[key] = new_worker
+                # _place may legitimately re-choose the same worker if
+                # everyone else is at cap; that is not a move.
+        return moved
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"HashRing({len(self._workers)} workers, "
+                f"{len(self._assign)} keys, vnodes={self.vnodes})")

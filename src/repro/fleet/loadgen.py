@@ -1,0 +1,430 @@
+"""Closed-loop load generation and acceptance checks for the fleet.
+
+:func:`run_fleet_load` drives a :class:`repro.fleet.Fleet` with client
+threads spread over several traffic shapes *and* several input sizes —
+distinct batch keys, so the consistent-hash router actually has a key
+population to balance — and verifies every response byte-for-byte
+against the NumPy reference semantics.
+
+:func:`run_fleet_check` is the deterministic acceptance pass behind
+``python -m repro fleet --check``:
+
+1. **healthy phase** — multi-shape traffic over a 3-worker fleet;
+   asserts byte-correct responses, bounded routing skew (no worker
+   above 2x the mean key load) and an aggregate plan-cache hit rate
+   above 90% after warmup;
+2. **burst phase** — a request backlog plus manual
+   :meth:`~repro.fleet.Fleet.autoscale_tick` calls until the
+   autoscaler *grows* the pool;
+3. **idle phase** — manual ticks with no traffic until it *drains*
+   back down;
+4. **incident phase** — flips the workers' chaos injectors to
+   ``"always"`` so the circuit breaker opens and a flight-recorder
+   bundle is dumped, then **replays** that bundle through
+   :mod:`repro.fleet.replay` and asserts the same trigger fires again.
+
+Everything is seeded and tick-driven — no wall-clock thresholds —
+so the check passes or fails for real reasons.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.fleet.config import FleetConfig
+from repro.fleet.fleet import Fleet
+from repro.serve.config import ServeConfig
+from repro.serve.loadgen import SHAPES, ShapeSpec, make_shape
+
+__all__ = ["FleetLoadReport", "run_fleet_load", "run_fleet_check",
+           "check_fleet_report"]
+
+
+@dataclass
+class FleetLoadReport:
+    """Everything a fleet load run measured (the ``backend="fleet"``
+    bench-index row reads straight off these fields)."""
+
+    shapes: List[str]
+    clients: int
+    requests: int
+    completed: int = 0
+    wrong: int = 0
+    failed: int = 0
+    wall_s: float = 0.0
+    throughput_rps: float = 0.0
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    workers_start: int = 0
+    workers_peak: int = 0
+    workers_end: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    routing_skew: float = 0.0
+    route_keys: int = 0
+    plan_hit_rate: float = 0.0
+    replay_trigger: Optional[str] = None
+    replay_reproduced: Optional[bool] = None
+    incidents: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    stats: Optional[Dict] = None
+
+    def to_dict(self) -> dict:
+        out = dict(self.__dict__)
+        out["errors"] = list(self.errors[:5])
+        out.pop("stats", None)
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            f"fleet loadgen: shapes={'+'.join(self.shapes)} "
+            f"clients={self.clients} requests={self.requests}",
+            f"  completed {self.completed} ({self.wrong} wrong, "
+            f"{self.failed} failed)",
+            f"  throughput {self.throughput_rps:.1f} req/s over "
+            f"{self.wall_s * 1e3:.1f} ms",
+            f"  latency p50 {self.latency_p50_ms:.2f} ms, "
+            f"p95 {self.latency_p95_ms:.2f} ms, "
+            f"p99 {self.latency_p99_ms:.2f} ms",
+            f"  workers {self.workers_start} -> peak {self.workers_peak} "
+            f"-> {self.workers_end} "
+            f"({self.scale_ups} scale-ups, {self.scale_downs} "
+            f"scale-downs)",
+            f"  routing: {self.route_keys} keys, skew "
+            f"{self.routing_skew:.2f}x mean "
+            f"(bound 2.00x)",
+            f"  fleet plan-cache hit rate {self.plan_hit_rate * 100:.1f}%",
+        ]
+        if self.replay_trigger is not None:
+            verdict = "reproduced" if self.replay_reproduced \
+                else "NOT reproduced"
+            lines.append(
+                f"  incident replay: trigger {self.replay_trigger!r} "
+                f"{verdict}")
+        if self.incidents:
+            lines.append("  incident bundles:")
+            lines.extend(f"    {p}" for p in self.incidents[:4])
+        if self.errors:
+            lines.append(f"  first errors: {self.errors[:3]}")
+        return "\n".join(lines)
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1,
+              int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def _traffic(shapes: List[str], sizes: List[int],
+             seed: int) -> List[ShapeSpec]:
+    """One ShapeSpec per (shape, size) — each is a distinct batch key,
+    which is what gives the hash ring a population to balance."""
+    specs = []
+    for name in shapes:
+        for n in sizes:
+            specs.append(make_shape(name, n, seed))
+    return specs
+
+
+def _drive(fleet: Fleet, specs: List[ShapeSpec], report: FleetLoadReport,
+           *, clients: int, requests_per_client: int,
+           timeout_s: float) -> List[float]:
+    """Closed-loop clients, round-robining over the traffic specs."""
+    latencies: List[float] = []
+    lock = threading.Lock()
+
+    def client(cid: int) -> None:
+        for k in range(requests_per_client):
+            spec = specs[(cid + k) % len(specs)]
+            t0 = time.perf_counter()
+            try:
+                fut = fleet.submit_chain(spec.ops, spec.array)
+                result = fut.result(timeout=timeout_s)
+            except Exception as exc:
+                with lock:
+                    report.failed += 1
+                    report.errors.append(f"{type(exc).__name__}: {exc}")
+                continue
+            elapsed_ms = (time.perf_counter() - t0) * 1e3
+            ok = np.array_equal(np.asarray(result.output), spec.expected)
+            with lock:
+                report.completed += 1
+                latencies.append(elapsed_ms)
+                if not ok:
+                    report.wrong += 1
+                    report.errors.append(
+                        f"client {cid}: wrong output for "
+                        f"{spec.name}/n={spec.array.size}")
+
+    threads = [threading.Thread(target=client, args=(i,),
+                                name=f"fleet-client-{i}")
+               for i in range(clients)]
+    t_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    report.wall_s += time.perf_counter() - t_start
+    return latencies
+
+
+def _fold_stats(report: FleetLoadReport, stats: dict) -> None:
+    report.routing_skew = float(stats["ring"]["skew"])
+    report.route_keys = int(stats["ring"]["keys"])
+    report.scale_ups = int(stats["autoscale"]["ups"])
+    report.scale_downs = int(stats["autoscale"]["downs"])
+    report.incidents = list(stats["rollup"]["flight"]["incidents"])
+
+
+def _plan_counts(fleet: Fleet) -> tuple:
+    """Fleet-wide cumulative (plan hits, plan misses)."""
+    workers = fleet.worker_stats()
+    hits = sum(int(s.get("plan_cache.hits", 0)) for s in workers.values())
+    misses = sum(int(s.get("plan_cache.misses", 0))
+                 for s in workers.values())
+    return hits, misses
+
+
+def _hit_rate_delta(before: tuple, after: tuple) -> float:
+    """Plan-cache hit rate over the serving window only — priming
+    populates the caches with deliberate misses, so the cumulative
+    rate would punish exactly the warmup the check demands."""
+    hits = after[0] - before[0]
+    planned = hits + (after[1] - before[1])
+    return hits / planned if planned else 1.0
+
+
+def run_fleet_load(
+    *,
+    shapes: Optional[List[str]] = None,
+    sizes: Optional[List[int]] = None,
+    clients: int = 8,
+    requests_per_client: int = 12,
+    fleet_config: Optional[FleetConfig] = None,
+    ds_config=None,
+    seed: int = 1234,
+    timeout_s: float = 60.0,
+    prime: bool = True,
+    collect_stats: bool = False,
+) -> FleetLoadReport:
+    """Drive a fresh fleet with closed-loop multi-shape traffic and
+    return the populated :class:`FleetLoadReport`."""
+    shapes = list(shapes) if shapes else sorted(SHAPES)
+    sizes = list(sizes) if sizes else [256, 384, 512, 640]
+    cfg = fleet_config if fleet_config is not None else FleetConfig()
+    specs = _traffic(shapes, sizes, seed)
+    report = FleetLoadReport(
+        shapes=shapes, clients=clients,
+        requests=clients * requests_per_client)
+    with Fleet(cfg, ds_config=ds_config) as fleet:
+        report.workers_start = fleet.n_workers
+        if prime:
+            for spec in specs:
+                fleet.prime(spec.ops, spec.array)
+        plans0 = _plan_counts(fleet)
+        latencies = _drive(fleet, specs, report, clients=clients,
+                           requests_per_client=requests_per_client,
+                           timeout_s=timeout_s)
+        report.plan_hit_rate = _hit_rate_delta(plans0,
+                                               _plan_counts(fleet))
+        report.workers_peak = max(report.workers_start, fleet.n_workers)
+        report.workers_end = fleet.n_workers
+        stats = fleet.stats()
+        _fold_stats(report, stats)
+        if collect_stats:
+            report.stats = stats
+    latencies.sort()
+    report.latency_p50_ms = _percentile(latencies, 0.50)
+    report.latency_p95_ms = _percentile(latencies, 0.95)
+    report.latency_p99_ms = _percentile(latencies, 0.99)
+    report.throughput_rps = (report.completed / report.wall_s
+                             if report.wall_s > 0 else 0.0)
+    return report
+
+
+def run_fleet_check(
+    *,
+    n_workers: int = 3,
+    clients: int = 8,
+    requests_per_client: int = 10,
+    fault: object = "always",
+    seed: int = 1234,
+    timeout_s: float = 60.0,
+    incident_dir: Optional[str] = None,
+    collect_stats: bool = False,
+) -> FleetLoadReport:
+    """The four-phase deterministic acceptance run (module docstring).
+
+    Returns the report; :func:`check_fleet_report` asserts it.
+    """
+    shapes = sorted(SHAPES)
+    sizes = [256, 320, 384, 448, 512, 576, 640, 704]  # 5 shapes x 8 = 40 keys
+    own_dir = incident_dir is None
+    tmp = tempfile.TemporaryDirectory(prefix="repro-fleet-") if own_dir \
+        else None
+    incident_root = Path(tmp.name if own_dir else incident_dir)
+    cfg = FleetConfig(
+        n_workers=n_workers, min_workers=1, max_workers=n_workers + 1,
+        queue_high=2, queue_low=1, up_after=1, down_after=2,
+        cooldown_ticks=0, tick_interval_s=0.0,
+        incident_dir=str(incident_root),
+        serve=ServeConfig(
+            max_batch_size=8, max_wait_ms=1.0, breaker_threshold=2,
+            breaker_cooldown_ms=50.0, incident_cooldown_ms=0.0,
+            seed=seed),
+    )
+    specs = _traffic(shapes, sizes, seed)
+    report = FleetLoadReport(
+        shapes=shapes, clients=clients,
+        requests=clients * requests_per_client)
+    try:
+        with Fleet(cfg) as fleet:
+            report.workers_start = fleet.n_workers
+
+            # Phase 1: healthy traffic (correctness, skew, hit rate).
+            for spec in specs:
+                fleet.prime(spec.ops, spec.array)
+            plans0 = _plan_counts(fleet)
+            latencies = _drive(
+                fleet, specs, report, clients=clients,
+                requests_per_client=requests_per_client,
+                timeout_s=timeout_s)
+            report.plan_hit_rate = _hit_rate_delta(plans0,
+                                                   _plan_counts(fleet))
+            if report.failed:
+                report.errors.append(
+                    f"{report.failed} requests failed during the "
+                    f"healthy phase")
+
+            # Phase 2: sustained backlog -> the autoscaler must grow.
+            # queue_high=2/up_after=1 means one pressured observation
+            # is enough; we fabricate pressure deterministically by
+            # submitting a burst and ticking while it is queued.
+            grew = False
+            burst_spec = specs[0]
+            for _ in range(6):
+                futures = [fleet.submit_chain(burst_spec.ops,
+                                              burst_spec.array)
+                           for _ in range(cfg.queue_high
+                                          * (fleet.n_workers + 1) * 4)]
+                decision = fleet.autoscale_tick()
+                for fut in futures:
+                    fut.result(timeout=timeout_s)
+                    report.completed += 1
+                report.requests += len(futures)
+                if decision == "up":
+                    grew = True
+                    break
+            report.workers_peak = max(report.workers_start,
+                                      fleet.n_workers)
+
+            # Phase 3: idle ticks -> it must drain back down.
+            shrank = False
+            for _ in range(cfg.down_after * 4):
+                if fleet.autoscale_tick() == "down":
+                    shrank = True
+                    break
+            report.workers_end = fleet.n_workers
+
+            # Phase 4: chaos -> breaker opens -> incident bundle.
+            # The profile goes into the workers' flight rings first, so
+            # the bundles they are about to dump are replayable.
+            incident_spec = specs[1]
+            fleet.record_profile(
+                shape=incident_spec.name,
+                n=int(incident_spec.array.size), clients=4,
+                requests_per_client=6, seed=seed,
+                fault="always" if fault == "always" else float(fault),
+                deadline_ms=None, prime=True)
+            fleet.set_fault(fault)
+            for _ in range(cfg.serve.breaker_threshold * 3):
+                try:
+                    fleet.submit_chain(
+                        incident_spec.ops,
+                        incident_spec.array).result(timeout=timeout_s)
+                    report.completed += 1
+                except ServeError:
+                    report.failed += 1
+                report.requests += 1
+            fleet.set_fault(None)
+
+            stats = fleet.stats()
+            _fold_stats(report, stats)
+            if collect_stats:
+                report.stats = stats
+            if not grew:
+                report.errors.append(
+                    "autoscaler never scaled up under backlog")
+            if not shrank:
+                report.errors.append(
+                    "autoscaler never scaled down when idle")
+
+        # Phase 4b (fleet closed; workers flushed their bundles):
+        # replay the first incident bundle and demand the same trigger.
+        from repro.fleet.replay import run_replay
+
+        bundles = sorted(incident_root.glob("*/incident-*"))
+        if not bundles:
+            report.errors.append(
+                "chaos phase produced no incident bundle")
+        else:
+            report.incidents = [str(b) for b in bundles]
+            verdict = run_replay(bundles[0],
+                                 incident_dir=incident_root / "replay")
+            report.replay_trigger = verdict["trigger"]
+            report.replay_reproduced = verdict["reproduced"]
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    latencies.sort()
+    report.latency_p50_ms = _percentile(latencies, 0.50)
+    report.latency_p95_ms = _percentile(latencies, 0.95)
+    report.latency_p99_ms = _percentile(latencies, 0.99)
+    report.throughput_rps = (report.completed / report.wall_s
+                             if report.wall_s > 0 else 0.0)
+    return report
+
+
+def check_fleet_report(report: FleetLoadReport) -> None:
+    """Assert the ``fleet --check`` acceptance bar; raises
+    :class:`~repro.errors.ServeError` listing every failure."""
+    problems = [e for e in report.errors
+                if "autoscaler" in e or "incident" in e
+                or "healthy phase" in e]
+    if report.wrong:
+        problems.append(f"{report.wrong} responses had wrong outputs")
+    if report.routing_skew > 2.0:
+        problems.append(
+            f"routing skew {report.routing_skew:.2f}x mean exceeds the "
+            f"2x bound")
+    if report.route_keys < 40:
+        problems.append(
+            f"only {report.route_keys} distinct route keys (need >= 40 "
+            f"for a meaningful skew bound)")
+    if report.plan_hit_rate <= 0.90:
+        problems.append(
+            f"aggregate plan-cache hit rate "
+            f"{report.plan_hit_rate * 100:.1f}% <= 90% after warmup")
+    if report.scale_ups < 1:
+        problems.append("autoscaler was never observed growing the pool")
+    if report.scale_downs < 1:
+        problems.append("autoscaler was never observed draining a worker")
+    if report.replay_reproduced is not True:
+        problems.append(
+            f"incident replay did not re-trigger "
+            f"{report.replay_trigger!r}")
+    if problems:
+        raise ServeError("fleet acceptance failed: "
+                         + "; ".join(problems))

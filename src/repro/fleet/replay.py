@@ -1,0 +1,155 @@
+"""Incident replay: feed a flight-recorder bundle back through the
+load generator and reproduce the failure that dumped it.
+
+An incident bundle (:mod:`repro.obs.flight`) already carries everything
+a reproduction needs: the ``serve_config`` the server ran under, the
+trigger that fired, and — since the load generator records a
+``loadgen.profile`` event into the flight ring at startup — the exact
+traffic (shape, input size, client count, per-client request count,
+seed, fault schedule) that was in flight when the trigger tripped.
+Both the traffic and the fault injector are seeded, so re-running the
+same profile under the same config deterministically re-trips the same
+trigger class.
+
+``python -m repro replay <bundle>`` is the operator surface: it loads
+the manifest, rebuilds the :class:`~repro.serve.config.ServeConfig`,
+re-runs :func:`repro.serve.loadgen.run_load` with a fresh incident
+directory, and reports whether a new bundle with the **same trigger**
+was produced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ReproError, ServeError
+from repro.serve.config import ServeConfig
+
+__all__ = ["load_bundle", "plan_replay", "run_replay", "check_replay"]
+
+PROFILE_EVENT = "loadgen.profile"
+
+
+def load_bundle(path: Union[str, Path]) -> dict:
+    """The manifest of an incident bundle (a bundle directory or a
+    direct path to its ``manifest.json``)."""
+    p = Path(path)
+    if p.is_dir():
+        p = p / "manifest.json"
+    if not p.exists():
+        raise ReproError(
+            f"{path}: not an incident bundle (no manifest.json)")
+    try:
+        manifest = json.loads(p.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"incident manifest {p} is unreadable: {exc}") \
+            from None
+    if not isinstance(manifest, dict) \
+            or manifest.get("kind") != "repro-incident-bundle":
+        raise ReproError(
+            f"{p} is not a repro incident bundle manifest")
+    return manifest
+
+
+def _find_profile(manifest: dict) -> dict:
+    """The ``loadgen.profile`` event the bundle's flight ring captured
+    (the latest one, if the ring saw several runs)."""
+    profiles = [ev for ev in manifest.get("events") or []
+                if ev.get("event") == PROFILE_EVENT]
+    if not profiles:
+        raise ReproError(
+            "incident bundle has no loadgen.profile event — it was not "
+            "produced by the load generator, so the traffic cannot be "
+            "reconstructed (re-record with repro serve/fleet)")
+    return profiles[-1]
+
+
+def _serve_config(manifest: dict) -> ServeConfig:
+    raw = manifest.get("serve_config")
+    if not isinstance(raw, dict):
+        return ServeConfig()
+    fields = {f.name for f in dataclasses.fields(ServeConfig)}
+    return ServeConfig(**{k: v for k, v in raw.items() if k in fields})
+
+
+def plan_replay(manifest: dict) -> dict:
+    """What a replay of this bundle will do: the reconstructed traffic
+    profile, serve config and the trigger it must reproduce."""
+    profile = _find_profile(manifest)
+    fault = profile.get("fault")
+    if fault is not None and fault != "always":
+        fault = float(fault)
+    return {
+        "trigger": manifest.get("trigger"),
+        "reason": manifest.get("reason", ""),
+        "shape": profile.get("shape", "chain"),
+        "n": int(profile.get("n", 512)),
+        "clients": int(profile.get("clients", 4)),
+        "requests_per_client": int(profile.get("requests_per_client", 25)),
+        "seed": int(profile.get("seed", 1234)),
+        "fault": fault,
+        "deadline_ms": profile.get("deadline_ms"),
+        "prime": bool(profile.get("prime", True)),
+        "serve_config": _serve_config(manifest),
+    }
+
+
+def run_replay(path: Union[str, Path], *,
+               incident_dir: Optional[Union[str, Path]] = None,
+               timeout_s: float = 120.0) -> dict:
+    """Replay one incident bundle; returns the verdict dict.
+
+    The replayed run writes its own bundles into ``incident_dir``
+    (default: ``<bundle>/replay``) so the original evidence is never
+    overwritten.  ``reproduced`` is ``True`` when the replay dumped at
+    least one new bundle with the same trigger as the original.
+    """
+    from repro.serve.loadgen import run_load
+
+    manifest = load_bundle(path)
+    plan = plan_replay(manifest)
+    bundle_dir = Path(path)
+    if bundle_dir.is_file():
+        bundle_dir = bundle_dir.parent
+    out_dir = Path(incident_dir) if incident_dir is not None \
+        else bundle_dir / "replay"
+    cfg = plan["serve_config"].replace(incident_dir=str(out_dir))
+
+    report = run_load(
+        shape=plan["shape"], clients=plan["clients"],
+        requests_per_client=plan["requests_per_client"], n=plan["n"],
+        serve_config=cfg, fault=plan["fault"], prime=plan["prime"],
+        deadline_ms=plan["deadline_ms"], seed=plan["seed"],
+        timeout_s=timeout_s)
+
+    reproduced = []
+    for bundle in report.incidents:
+        try:
+            new_manifest = load_bundle(bundle)
+        except ReproError:  # pragma: no cover - partial write
+            continue
+        if new_manifest.get("trigger") == plan["trigger"]:
+            reproduced.append(bundle)
+    return {
+        "bundle": str(path),
+        "trigger": plan["trigger"],
+        "shape": plan["shape"],
+        "fault": plan["fault"],
+        "reproduced": bool(reproduced),
+        "matching_bundles": reproduced,
+        "all_bundles": list(report.incidents),
+        "report": report.to_dict(),
+    }
+
+
+def check_replay(result: dict) -> None:
+    """Assert the replay verdict; raises
+    :class:`~repro.errors.ServeError` when the trigger did not re-fire."""
+    if not result["reproduced"]:
+        raise ServeError(
+            f"replay of {result['bundle']} did not reproduce trigger "
+            f"{result['trigger']!r} (new bundles: "
+            f"{result['all_bundles'] or 'none'})")

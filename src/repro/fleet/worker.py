@@ -1,0 +1,185 @@
+"""The fleet worker process: one full :class:`repro.serve.Server` per
+forked child, driven by a control-message loop.
+
+Workers are forked (never spawned) so they inherit the parent's
+imports; requests still arrive *by value* through the transport layer
+— frozen op chains plus shared-memory payload descriptors — because a
+long-lived worker must serve requests submitted long after the fork,
+which inheritance cannot deliver.
+
+The inbox protocol (one ``multiprocessing`` queue per worker; all
+workers share one outbox back to the router):
+
+========================  ==============================================
+message                   effect
+========================  ==============================================
+``("req", rid, ops,       revive + attach, submit to the server, answer
+desc, meta)``             asynchronously via ``ServeFuture.
+                          add_done_callback`` → ``("res", rid, ...)``
+``("prime", token, ops,   :meth:`Server.prime` the shape (plan-cache
+desc, meta)``             warmup) → ``("ack", wid, token, plans)``
+``("stats", token)``      → ``("stats", wid, token, stats, warm_keys)``
+``("fault", token, m)``   set the chaos injector mode → ack
+``("profile", token,      record a ``loadgen.profile`` event into the
+fields)``                 flight ring (makes worker bundles replayable)
+``("drain", token)``      stop taking requests, finish in-flight work,
+                          → ``("drained", wid, token, stats, warm_keys)``
+                          and exit the loop
+========================  ==============================================
+
+Responses go through the shared outbox **after** the result array is
+staged into a fresh shm segment, so the router only ever reads
+descriptors off the queue.  The callback fires on the server's worker
+thread — micro-batching inside each fleet worker keeps working exactly
+as in the single-process serve tier.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+
+import numpy as np
+
+from repro.errors import LaunchError
+
+__all__ = ["worker_main", "MutableFaultInjector"]
+
+
+class MutableFaultInjector:
+    """Server ``fault_hook`` whose mode can be flipped at runtime by a
+    ``("fault", ...)`` control message: ``None`` (healthy), ``"always"``
+    or a 0..1 per-batch probability (deterministic given the seed)."""
+
+    def __init__(self, mode=None, seed: int = 0) -> None:
+        self.mode = mode
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+        self.injected = 0
+
+    def __call__(self, batch) -> None:
+        with self._lock:
+            mode = self.mode
+            if mode is None:
+                return
+            if mode == "always":
+                hit = True
+            else:
+                hit = bool(self._rng.random() < float(mode))
+            if hit:
+                self.injected += 1
+                count = self.injected
+        if hit:
+            raise LaunchError(
+                f"injected fault #{count} (fleet chaos hook)")
+
+
+def _respond(outbox, worker_id: str, rid: int, future, shm) -> None:
+    """Done-callback body: stage the result (or the error) and post it."""
+    from repro.fleet.transport import stage_result
+
+    try:
+        err = future.exception()
+        if err is not None:
+            outbox.put(("res", rid, "err", type(err).__name__, str(err)))
+            return
+        result = future.result(timeout=0)
+        desc, seg = stage_result(np.asarray(result.output))
+        extras = {k: v for k, v in (result.extras or {}).items()
+                  if isinstance(v, (str, int, float, bool, type(None)))}
+        outbox.put(("res", rid, "ok", desc, extras))
+        seg.close()
+    except Exception as exc:  # pragma: no cover - transport failure
+        outbox.put(("res", rid, "err", type(exc).__name__,
+                    f"response staging failed on {worker_id}: {exc}"))
+    finally:
+        if shm is not None:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover
+                pass
+
+
+def worker_main(worker_id: str, inbox, outbox, serve_config, ds_config,
+                device=None) -> None:
+    """Run one fleet worker until drained.  This is the forked child's
+    entire life; it never returns control to the caller's code."""
+    from repro.fleet.transport import attach_payload, revive_ops
+    from repro.serve.server import Server
+
+    injector = MutableFaultInjector(seed=serve_config.seed or 0)
+    kwargs = {"ds_config": ds_config, "fault_hook": injector,
+              "autostart": True}
+    if device is not None:
+        kwargs["device"] = device
+    server = Server(serve_config, **kwargs)
+    outbox.put(("up", worker_id, server.config.num_workers))
+
+    draining = False
+    while not draining:
+        msg = inbox.get()
+        tag = msg[0]
+        try:
+            if tag == "req":
+                _, rid, frozen, desc, meta = msg
+                ops = revive_ops(frozen)
+                values, shm = attach_payload(desc, meta)
+                try:
+                    fut = server.submit_chain(
+                        ops, values, deadline_ms=meta.get("deadline_ms"))
+                except Exception:
+                    if shm is not None:
+                        shm.close()
+                    raise
+                fut.add_done_callback(
+                    lambda f, _rid=rid, _shm=shm:
+                    _respond(outbox, worker_id, _rid, f, _shm))
+            elif tag == "prime":
+                _, token, frozen, desc, meta = msg
+                ops = revive_ops(frozen)
+                values, shm = attach_payload(desc, meta)
+                try:
+                    plans = server.prime(ops, values)
+                finally:
+                    if shm is not None:
+                        shm.close()
+                outbox.put(("ack", worker_id, token, plans))
+            elif tag == "stats":
+                _, token = msg
+                outbox.put(("stats", worker_id, token, server.stats(),
+                            server.warm_keys()))
+            elif tag == "fault":
+                _, token, mode = msg
+                injector.mode = mode
+                outbox.put(("ack", worker_id, token, injector.injected))
+            elif tag == "profile":
+                # The router pushes its traffic profile into this
+                # worker's flight ring, so any incident bundle dumped
+                # here carries enough to reconstruct the load
+                # (repro.fleet.replay needs the loadgen.profile event).
+                _, token, fields = msg
+                if server.flight is not None:
+                    server.flight.record_event("loadgen.profile",
+                                               **fields)
+                outbox.put(("ack", worker_id, token, None))
+            elif tag == "drain":
+                _, token = msg
+                draining = True
+                server.close(drain=True)
+                outbox.put(("drained", worker_id, token, server.stats(),
+                            server.warm_keys()))
+            else:  # pragma: no cover - protocol bug guard
+                outbox.put(("err", worker_id,
+                            f"unknown control message {tag!r}"))
+        except Exception as exc:
+            # A poisoned message must not kill the worker: requests get
+            # an error response, control messages get an error ack.
+            if tag == "req":
+                outbox.put(("res", msg[1], "err", type(exc).__name__,
+                            f"{exc} ({traceback.format_exc(limit=2)})"))
+            elif tag in ("prime", "stats", "fault", "drain"):
+                outbox.put(("err", worker_id,
+                            f"{tag} failed: {type(exc).__name__}: {exc}",
+                            msg[1]))
+                if tag == "drain":  # still honour the exit request
+                    draining = True

@@ -148,7 +148,13 @@ def load_trace(path: Union[str, Path]) -> dict:
         procs = _parse_jsonl(lines)
         kind = "jsonl"
     else:
-        procs = _parse_chrome(json.loads(path.read_text()))
+        doc = json.loads(path.read_text())
+        if isinstance(doc, dict) and doc.get("kind") == "repro-fleet-stats":
+            # A fleet health snapshot (python -m repro fleet --stats-out)
+            # is not a trace; it carries the cluster rollup directly.
+            return {"source": str(path), "kind": "fleet-stats",
+                    "processes": {}, "manifest": None, "fleet": doc}
+        procs = _parse_chrome(doc)
         kind = "chrome"
     return {"source": str(path), "kind": kind,
             "processes": procs, "manifest": manifest}
@@ -338,11 +344,73 @@ def _manifest_failures(manifest: Optional[dict]) -> List[dict]:
     return interesting
 
 
+# -- fleet health --------------------------------------------------------------
+
+
+def _analyze_fleet(doc: dict) -> dict:
+    """Digest one fleet-stats snapshot (``python -m repro fleet
+    --stats-out``) into the health view the renderer prints: per-worker
+    vitals, the merged rollup, ring placement/skew, and the autoscaler
+    decision history."""
+    rollup = doc.get("rollup", {})
+    ring = doc.get("ring", {})
+    routing = doc.get("routing", {})
+    workers = []
+    for wid in sorted(doc.get("workers", {})):
+        w = doc["workers"][wid]
+        latency = w.get("serve.latency_ms") or {}
+        breaker = w.get("breaker") or {}
+        open_breakers = sorted(op for op, st in breaker.items()
+                               if isinstance(st, dict)
+                               and st.get("state") != "closed"
+                               or isinstance(st, str) and st != "closed")
+        workers.append({
+            "worker_id": wid,
+            "completed": w.get("serve.completed", 0),
+            "queue_depth": w.get("queue_depth", 0),
+            "inflight": w.get("inflight", 0),
+            "latency_p95_ms": latency.get("p95"),
+            "plan_hit_rate": w.get("plan_cache.hit_rate"),
+            "warm_keys": w.get("warm_keys", 0),
+            "routed": routing.get(wid, 0),
+            "ring_keys": (ring.get("loads") or {}).get(wid, 0),
+            "open_breakers": open_breakers,
+        })
+    latency = rollup.get("serve.latency_ms") or {}
+    breakers = rollup.get("breaker") or {}
+    worst = sorted((op, st.get("state"), st.get("workers"))
+                   for op, st in breakers.items()
+                   if isinstance(st, dict) and st.get("state") != "closed")
+    autoscale = doc.get("autoscale", {})
+    return {
+        "n_workers": doc.get("n_workers", len(workers)),
+        "workers": workers,
+        "completed": rollup.get("serve.completed", 0),
+        "latency_p50_ms": latency.get("p50"),
+        "latency_p95_ms": latency.get("p95"),
+        "plan_hit_rate": rollup.get("plan_cache.hit_rate"),
+        "queue_depth": rollup.get("queue_depth", 0),
+        "inflight": rollup.get("inflight", 0),
+        "ring": ring,
+        "open_breakers": worst,
+        "incidents": (rollup.get("flight") or {}).get("incidents", []),
+        "scale_ups": autoscale.get("ups", 0),
+        "scale_downs": autoscale.get("downs", 0),
+        "decisions": [h for h in autoscale.get("history", [])
+                      if h.get("decision")],
+        "warm_keys": len(doc.get("warm_keys", [])),
+    }
+
+
 def analyze(loaded: Union[str, Path, dict]) -> dict:
     """Produce the full analysis report (JSON-ready dict) for a trace
     source — a path or the result of :func:`load_trace`."""
     if not isinstance(loaded, dict):
         loaded = load_trace(loaded)
+    if loaded.get("kind") == "fleet-stats":
+        return {"source": loaded["source"], "kind": "fleet-stats",
+                "processes": [], "incident": None,
+                "fleet": _analyze_fleet(loaded["fleet"])}
     processes = []
     for pid in sorted(loaded["processes"]):
         proc = loaded["processes"][pid]
@@ -427,8 +495,58 @@ def _pct(x: float) -> str:
     return f"{100.0 * x:4.1f}%"
 
 
+def _render_fleet(fleet: dict, out: List[str]) -> None:
+    p50 = fleet.get("latency_p50_ms")
+    p95 = fleet.get("latency_p95_ms")
+    hit = fleet.get("plan_hit_rate")
+    out.append(
+        f"fleet: {fleet['n_workers']} workers, "
+        f"{fleet['completed']} completed, "
+        f"queue {fleet['queue_depth']} / inflight {fleet['inflight']}")
+    out.append(
+        "  latency p50 "
+        + (f"{p50:.2f} ms" if p50 is not None else "n/a")
+        + ", p95 " + (f"{p95:.2f} ms" if p95 is not None else "n/a")
+        + ", plan-cache hit rate "
+        + (_pct(hit).strip() if hit is not None else "n/a")
+        + f", {fleet['warm_keys']} warm keys")
+    ring = fleet.get("ring") or {}
+    if ring:
+        out.append(f"  ring: {ring.get('keys', 0)} keys, skew "
+                   f"{ring.get('skew', 0.0):.2f}x mean")
+    out.append(f"  autoscaler: {fleet['scale_ups']} scale-ups, "
+               f"{fleet['scale_downs']} scale-downs")
+    for h in fleet.get("decisions", [])[-6:]:
+        out.append(f"    tick {h.get('tick')}: {h.get('decision')} "
+                   f"(workers {h.get('n_workers')}, "
+                   f"queue {h.get('queue_depth')}, "
+                   f"p95 {h.get('p95_ms', 0.0):.1f} ms)")
+    for op_chain, state, workers in fleet.get("open_breakers", []):
+        out.append(f"  breaker {op_chain}: {state} on "
+                   f"{', '.join(workers or [])}")
+    for path in fleet.get("incidents", [])[:4]:
+        out.append(f"  incident bundle: {path}")
+    out.append("  per-worker:")
+    for w in fleet.get("workers", []):
+        p95w = w.get("latency_p95_ms")
+        hitw = w.get("plan_hit_rate")
+        flags = (f"  breakers open: {'+'.join(w['open_breakers'])}"
+                 if w.get("open_breakers") else "")
+        out.append(
+            f"    {w['worker_id']:>4}: completed {w['completed']:>5}  "
+            f"routed {w['routed']:>5}  ring keys {w['ring_keys']:>3}  "
+            f"queue {w['queue_depth']:>3}  "
+            f"p95 " + (f"{p95w:8.2f} ms" if p95w is not None
+                       else "     n/a") + "  "
+            f"hit " + (_pct(hitw).strip() if hitw is not None else "n/a")
+            + f"  warm {w['warm_keys']}{flags}")
+
+
 def render_text(report: dict) -> str:
     out: List[str] = [f"== trace analysis: {report['source']} =="]
+    if report.get("fleet") is not None:
+        _render_fleet(report["fleet"], out)
+        return "\n".join(out)
     inc = report.get("incident")
     if inc:
         out.append(f"incident: trigger={inc['trigger']} "

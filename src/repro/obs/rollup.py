@@ -1,0 +1,136 @@
+"""Fleet health rollup: merge per-worker ``Server.stats()`` snapshots
+into one fleet-wide view.
+
+Each fleet worker is a full :class:`repro.serve.Server` with its own
+metrics registry, plan cache, circuit breakers and flight recorder.
+:func:`merge_server_stats` folds any number of those snapshots into the
+aggregate an operator actually asks about — total throughput, fleet
+tail latency, pooled cache hit rate, the worst breaker state anywhere —
+while keeping the exact merge semantics honest:
+
+* **counters** sum;
+* **histogram summaries** merge count-weighted: ``count``/``sum`` add,
+  ``min``/``max`` take the extremes, ``mean`` re-derives from the
+  summed moments, and the tail percentiles take the **max** across
+  workers.  (A true fleet percentile needs the raw reservoirs, which
+  never leave the workers; the max is the conservative bound — the
+  fleet p95 is *at most* the worst worker p95 — and it is the bound
+  the autoscaler scales on, so the error is on the safe side.)
+* **plan cache** hits/misses sum and the hit rate re-derives from the
+  sums (never averaging rates — workers with different traffic volumes
+  would skew it);
+* **breakers** roll up per op chain to the *worst* state across the
+  fleet (``open`` > ``half_open`` > ``closed``), because one open
+  breaker anywhere is what the operator needs to see;
+* **flight recorders** concatenate their incident bundle paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["merge_server_stats", "merge_histograms", "fleet_p95_ms"]
+
+#: Worst-first breaker severity order.
+_BREAKER_RANK = {"open": 2, "half_open": 1, "closed": 0}
+
+_HIST_KEYS = ("count", "sum", "min", "max", "mean", "p50", "p95", "p99")
+
+
+def _is_hist(value) -> bool:
+    return isinstance(value, dict) and all(k in value for k in
+                                           ("count", "sum", "mean"))
+
+
+def merge_histograms(summaries: List[dict]) -> dict:
+    """Count-weighted merge of histogram summary dicts (see module
+    docstring for the percentile caveat)."""
+    live = [s for s in summaries if s and s.get("count")]
+    if not live:
+        return {k: 0 if k in ("count", "sum") else 0.0
+                for k in _HIST_KEYS}
+    count = sum(int(s["count"]) for s in live)
+    total = sum(float(s["sum"]) for s in live)
+    return {
+        "count": count,
+        "sum": total,
+        "min": min(float(s["min"]) for s in live),
+        "max": max(float(s["max"]) for s in live),
+        "mean": total / count if count else 0.0,
+        "p50": max(float(s.get("p50", 0.0)) for s in live),
+        "p95": max(float(s.get("p95", 0.0)) for s in live),
+        "p99": max(float(s.get("p99", 0.0)) for s in live),
+    }
+
+
+def _merge_breakers(per_worker: Dict[str, dict]) -> dict:
+    """Worst state per op chain across the fleet, with the worker(s)
+    in that state named."""
+    out: Dict[str, dict] = {}
+    for worker_id, breakers in per_worker.items():
+        for op_chain, snap in (breakers or {}).items():
+            state = (snap.get("state", "closed")
+                     if isinstance(snap, dict) else str(snap))
+            cur = out.get(op_chain)
+            if cur is None or (_BREAKER_RANK.get(state, 0)
+                               > _BREAKER_RANK.get(cur["state"], 0)):
+                out[op_chain] = {"state": state, "workers": [worker_id]}
+            elif state == cur["state"]:
+                cur["workers"].append(worker_id)
+    return out
+
+
+def merge_server_stats(per_worker: Dict[str, dict]) -> dict:
+    """Fold per-worker ``Server.stats()`` snapshots into one fleet view.
+
+    ``per_worker`` maps worker id → the snapshot dict.  Returns a dict
+    in the same general shape (``serve.*`` metric names, plan-cache
+    fields, ``breaker``, ``flight``) plus ``n_workers``.
+    """
+    workers = {wid: (snap or {}) for wid, snap in per_worker.items()}
+    out: Dict[str, object] = {"n_workers": len(workers)}
+
+    # Union of serve.* metric names across workers.
+    names: List[str] = sorted({
+        name for snap in workers.values() for name in snap
+        if isinstance(name, str) and name.startswith("serve.")})
+    for name in names:
+        values = [snap.get(name) for snap in workers.values()
+                  if name in snap]
+        if any(_is_hist(v) for v in values):
+            out[name] = merge_histograms([v for v in values
+                                          if _is_hist(v)])
+        else:
+            out[name] = sum(v for v in values
+                            if isinstance(v, (int, float)))
+
+    for name in ("inflight", "queue_depth", "warm_keys",
+                 "plan_cache.hits", "plan_cache.misses"):
+        out[name] = sum(int(snap.get(name, 0)) for snap in
+                        workers.values())
+    planned = out["plan_cache.hits"] + out["plan_cache.misses"]
+    out["plan_cache.hit_rate"] = (
+        out["plan_cache.hits"] / planned if planned else 0.0)
+
+    out["breaker"] = _merge_breakers(
+        {wid: snap.get("breaker") for wid, snap in workers.items()})
+
+    incidents: List[str] = []
+    n_events = 0
+    for snap in workers.values():
+        flight = snap.get("flight")
+        if isinstance(flight, dict):
+            incidents.extend(flight.get("incidents") or [])
+            n_events += int(flight.get("n_events", 0))
+    out["flight"] = {"incidents": incidents, "n_events": n_events}
+    return out
+
+
+def fleet_p95_ms(merged: dict,
+                 hist_name: str = "serve.latency_ms") -> Optional[float]:
+    """The fleet p95 the autoscaler reads off a merged snapshot
+    (``None`` when no worker has recorded a latency yet)."""
+    hist = merged.get(hist_name)
+    if _is_hist(hist) and hist["count"]:
+        return float(hist["p95"])
+    return None

@@ -249,6 +249,19 @@ def run_load(
     server = Server(cfg, ds_config=ds_config, device=device,
                     fault_hook=injector, tuning_db=tuning_db,
                     autostart=False)
+    if server.flight is not None:
+        # The replay contract: every incident bundle this run dumps
+        # carries the full traffic profile in its manifest events, so
+        # ``python -m repro replay <bundle>`` can regenerate the exact
+        # load (shape, concurrency, seed, fault schedule) that tripped
+        # the trigger.
+        server.flight.record_event(
+            "loadgen.profile", shape=shape, n=int(n),
+            clients=int(clients),
+            requests_per_client=int(requests_per_client),
+            seed=int(seed),
+            fault=None if fault is None else str(fault),
+            deadline_ms=deadline_ms, prime=bool(prime))
     report = LoadReport(shape=shape, clients=clients,
                         requests=clients * requests_per_client)
     with server.metrics.scoped("serve."):

@@ -150,13 +150,14 @@ class ServeFuture(Future):
     ``extras`` schema always carries this request's ``request_id``.
     """
 
-    __slots__ = ("_request", "_event", "_result", "_error")
+    __slots__ = ("_request", "_event", "_result", "_error", "_callbacks")
 
     def __init__(self, request: ServeRequest) -> None:
         self._request = request
         self._event = threading.Event()
         self._result: Optional[PrimitiveResult] = None
         self._error: Optional[BaseException] = None
+        self._callbacks: List = []
 
     @property
     def request_id(self) -> int:
@@ -180,13 +181,47 @@ class ServeFuture(Future):
         """
         return self._request.server.cancel(self._request)
 
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(self)`` once the request resolves (or immediately if
+        it already has).
+
+        This is the router hook the :mod:`repro.fleet` worker uses to
+        respond without blocking its control loop on ``result()`` — the
+        callback fires on the server worker thread that finalized the
+        request (or on the calling thread for an already-done future),
+        so it must be cheap and must not raise; exceptions from
+        callbacks are swallowed to protect the serving path.
+        """
+        run_now = False
+        with self._request.lock:
+            if self._event.is_set():
+                run_now = True
+            else:
+                self._callbacks.append(fn)
+        if run_now:
+            self._run_callback(fn)
+
+    def _run_callback(self, fn) -> None:
+        try:
+            fn(self)
+        except Exception:  # pragma: no cover - callback bug guard
+            pass
+
+    def _fire(self) -> None:
+        with self._request.lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._run_callback(fn)
+
     def _resolve(self, result: PrimitiveResult) -> None:
         self._result = result
         self._event.set()
+        self._fire()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
         self._event.set()
+        self._fire()
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         return self._event.wait(timeout)

@@ -199,6 +199,13 @@ class Server:
         self._tuned_cache: Dict[tuple, Optional[dict]] = {}
         self._tuned_active: Dict[tuple, dict] = {}
         self._tuned_fuse: Dict[tuple, bool] = {}
+        # Warm-set registry (the fleet router hook): every distinct
+        # request shape this server has planned or served, keyed by its
+        # TuningDB-shaped kernel key.  ``_warm_memo`` memoizes the key
+        # construction per batch key so the hot admit path pays it once
+        # per traffic shape, not once per request.
+        self._warm_memo: Dict[tuple, str] = {}
+        self._warm_shapes: Dict[str, dict] = {}
         # Always-on flight recorder (``flight_capacity=0`` disables it,
         # which the overhead check uses as its baseline).  Incidents are
         # only *dumped* when ``incident_dir`` is configured; the ring
@@ -431,6 +438,41 @@ class Server:
                     n=info["n"], dtype=info["dtype"],
                     knobs=repr(info["knobs"]), key=info["key"])
 
+    def _note_warm(self, batch_key: tuple, stages, array, cfg: DSConfig,
+                   backend: str) -> None:
+        """Record one warm traffic shape under its TuningDB-shaped
+        kernel key — the stable, persistable identity :mod:`repro.fleet`
+        uses to re-prime replacement workers with the plans a drained
+        worker had warmed.  Memoized per batch key so the admit path
+        pays the key construction once per distinct shape; a race
+        between client threads merely duplicates that cheap work.
+        """
+        if batch_key in self._warm_memo:
+            return
+        from repro.tune.db import kernel_key
+
+        key = kernel_key(stages, array, cfg, backend)
+        self._warm_memo[batch_key] = key
+        if key not in self._warm_shapes:
+            self._warm_shapes[key] = {
+                "ops": "+".join(s.desc.name for s in stages),
+                "n": int(array.size),
+                "dtype": str(array.dtype),
+                "backend": backend,
+            }
+
+    def warm_keys(self) -> List[str]:
+        """TuningDB-shaped kernel keys of every distinct request shape
+        this server has planned (via :meth:`prime`) or admitted, sorted.
+        The fleet router collects these when draining a worker so its
+        warm set survives the process."""
+        return sorted(self._warm_shapes)
+
+    def warm_shapes(self) -> Dict[str, dict]:
+        """Per-warm-key shape facts (``ops``/``n``/``dtype``/``backend``)
+        backing :meth:`warm_keys`."""
+        return {k: dict(v) for k, v in self._warm_shapes.items()}
+
     def _admit(self, spec, values, *, config, deadline_ms) -> ServeFuture:
         cfg = config if config is not None else self.ds_config
         # The unified DSSource front door: in-core inputs admit as the
@@ -456,6 +498,8 @@ class Server:
                 self._activate_tuned(
                     tuned, make_batch_key(stages, array, cfg, backend))
         batch_key = make_batch_key(stages, array, cfg, backend)
+        if isinstance(array, np.ndarray):
+            self._note_warm(batch_key, stages, array, cfg, backend)
         if deadline_ms is None:
             deadline_ms = self.config.default_deadline_ms
         deadline = (time.monotonic() + float(deadline_ms) / 1000.0
@@ -542,11 +586,10 @@ class Server:
 
         src = as_source(values, site="Server.prime")
         array = src.materialize() if src.in_core else src
+        stages = [OpStage(desc, args, kwargs) for desc, args, kwargs in spec]
         fuse = True
         if (tuned and self.tuning_db is not None
                 and isinstance(array, np.ndarray)):
-            stages = [OpStage(desc, args, kwargs)
-                      for desc, args, kwargs in spec]
             backend = cfg.resolved_backend()
             info = self._tuned_for(stages, array, cfg, backend)
             if info is not None:
@@ -564,6 +607,10 @@ class Server:
                 if allowed and not self._started:
                     self.config = self.config.replace(**allowed)
                     self._event("serve.tuned_serve_config", **allowed)
+        if isinstance(array, np.ndarray):
+            backend = cfg.resolved_backend()
+            self._note_warm(make_batch_key(stages, array, cfg, backend),
+                            stages, array, cfg, backend)
         if cfg.resolved_backend() == "compiled":
             from repro.compiled import warmup
 
@@ -965,6 +1012,7 @@ class Server:
         planned = hits + misses
         out["plan_cache.hit_rate"] = hits / planned if planned else 0.0
         out["signature_cache"] = signature_cache_stats()
+        out["warm_keys"] = len(self._warm_shapes)
         # Active tuned knobs per batch key, in human-readable form:
         # "ops|n=<size>|<dtype>" -> the knob dict the key serves under.
         out["tuned"] = {

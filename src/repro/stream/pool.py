@@ -53,7 +53,8 @@ from repro.stream.source import (
     SharedMemorySource,
 )
 
-__all__ = ["pool_run", "fork_unavailable_reason"]
+__all__ = ["pool_run", "fork_unavailable_reason", "input_descriptor",
+           "attach_input"]
 
 
 def fork_unavailable_reason() -> Optional[str]:
@@ -108,6 +109,14 @@ def _attach_input(desc) -> Tuple[np.ndarray, Optional[object]]:
     _, name, dtype, n = desc
     shm = shared_memory.SharedMemory(name=name)
     return np.ndarray((n,), dtype=np.dtype(dtype), buffer=shm.buf), shm
+
+
+# Public aliases: the fleet tier's cross-process payload transport
+# (repro.fleet.transport) moves request arrays through the exact same
+# descriptor scheme the shard pool uses, so the zero-copy machinery
+# lives in one place.
+input_descriptor = _input_descriptor
+attach_input = _attach_input
 
 
 def _out_layout(stages, source: DSSource, shards: List[Shard],

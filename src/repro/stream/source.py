@@ -29,6 +29,7 @@ replaces.
 
 from __future__ import annotations
 
+import sys
 import warnings
 from abc import ABC, abstractmethod
 from typing import Iterator, Optional, Tuple
@@ -323,6 +324,28 @@ class ShardIterSource(DSSource):
         return out
 
 
+def _user_stack_level() -> int:
+    """The ``warnings.warn`` stacklevel of the first frame *outside* the
+    ``repro`` package.
+
+    The front doors reach :func:`as_source` through different call
+    depths (``repro.ds`` calls it directly, ``Server.submit`` goes
+    through ``_admit``), so no fixed stacklevel can name the user's
+    call site for all of them.  Walking the live stack until the module
+    name leaves ``repro`` pins the warning on the caller's own line —
+    never on dispatch internals.
+    """
+    level = 1  # stacklevel=1 inside as_source == the warnings.warn call
+    frame = sys._getframe(1)  # as_source's frame
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "")
+        if module != "repro" and not module.startswith("repro."):
+            return level
+        frame = frame.f_back
+        level += 1
+    return level
+
+
 def _is_shared_memory(obj) -> bool:
     # Lazy check: multiprocessing.shared_memory may be unavailable on
     # exotic platforms, and we only need the type when one is passed.
@@ -361,6 +384,6 @@ def as_source(values, *, dtype=None, shape=None,
         f"{type(values).__name__} inputs is deprecated; pass a NumPy "
         f"array, an np.memmap, or a repro.stream.DSSource",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=_user_stack_level(),
     )
     return ArraySource(np.asarray(values))

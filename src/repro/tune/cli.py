@@ -50,6 +50,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--serve", action="store_true",
                         help="sweep the serve batching grid for --shape "
                              "instead of the kernel knobs")
+    parser.add_argument("--fleet-workers", default=None, metavar="LIST",
+                        help="comma-separated fleet pool sizes to cross "
+                             "with the --serve grid (e.g. 1,2,4); sizes "
+                             "past 1 run each trial over a forked "
+                             "multi-process fleet")
     parser.add_argument("--n", type=int, default=None,
                         help="workload size (default: fig 64Ki / shape 512)")
     parser.add_argument("--budget", type=int, default=20,
@@ -135,7 +140,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.serve and args.shape is None:
         print("tune: --serve requires --shape", file=sys.stderr)
         return 2
-    space = KnobSpace()
+    if args.fleet_workers is not None and not args.serve:
+        print("tune: --fleet-workers requires --serve", file=sys.stderr)
+        return 2
+    space = KnobSpace() if args.fleet_workers is None else KnobSpace(
+        worker_counts=tuple(int(k) for k
+                            in args.fleet_workers.split(",")))
     db_path = None if args.no_db else args.db
     db = TuningDB.load(db_path) if db_path is not None else None
     timestamp = time.time()

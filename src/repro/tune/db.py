@@ -37,14 +37,22 @@ from typing import Dict, List, Optional, Union
 from repro.errors import ReproError
 
 __all__ = ["TuningDB", "normalize_config", "kernel_key", "serve_key",
-           "default_key", "KERNEL_CONFIG_KNOBS", "SERVE_CONFIG_KNOBS"]
+           "default_key", "KERNEL_CONFIG_KNOBS", "SERVE_CONFIG_KNOBS",
+           "FLEET_CONFIG_KNOBS"]
 
 #: DSConfig fields the tuner overrides — stripped by normalize_config
 #: and the only config fields a kernel entry's knob dict may carry.
 KERNEL_CONFIG_KNOBS = ("wg_size", "coarsening", "scan_variant")
 
-#: ServeConfig fields a serve entry's knob dict may carry.
+#: ServeConfig fields a serve entry's knob dict may carry — the subset
+#: a single :class:`~repro.serve.Server` can apply to itself.
 SERVE_CONFIG_KNOBS = ("max_batch_size", "max_wait_ms")
+
+#: Fleet-tier fields a serve entry's knob dict may additionally carry.
+#: A server ignores these when activating tuned knobs (it cannot resize
+#: its own pool); whoever constructs the :class:`repro.fleet.Fleet`
+#: reads them instead.
+FLEET_CONFIG_KNOBS = ("n_workers",)
 
 
 def normalize_config(config, backend: Optional[str] = None):

@@ -7,7 +7,9 @@ Two tiers, mirroring the two config surfaces of the repo:
   sweet spot), ``wg_size``, ``scan_variant`` (tree/ballot/shuffle/
   lookback) and pipeline ``fuse`` on/off;
 * **serve** — the :class:`~repro.serve.config.ServeConfig` batching
-  window: ``max_batch_size`` × ``max_wait_ms``.
+  window ``max_batch_size`` × ``max_wait_ms``, optionally crossed with
+  the fleet pool size ``n_workers`` (each trial then drives a whole
+  :class:`repro.fleet.Fleet` instead of one in-process server).
 
 A :class:`KnobSpace` is a *bound*, not a schedule: the tuner decides
 the order (staged coordinate descent, see :mod:`repro.tune.tuner`), the
@@ -29,8 +31,8 @@ __all__ = ["KnobSpace", "KERNEL_KNOBS", "SERVE_KNOBS"]
 #: override (plus the pipeline-level ``fuse`` flag).
 KERNEL_KNOBS = ("coarsening", "wg_size", "scan_variant", "fuse")
 
-#: Serve-tier knob names (ServeConfig fields).
-SERVE_KNOBS = ("max_batch_size", "max_wait_ms")
+#: Serve-tier knob names (ServeConfig fields plus the fleet pool size).
+SERVE_KNOBS = ("max_batch_size", "max_wait_ms", "n_workers")
 
 
 @dataclass(frozen=True)
@@ -48,6 +50,11 @@ class KnobSpace:
     fusion: Tuple[bool, ...] = (True, False)
     max_batch_sizes: Tuple[int, ...] = (1, 2, 4, 8, 16)
     max_waits_ms: Tuple[float, ...] = (0.0, 0.5, 2.0, 5.0)
+    #: Fleet pool sizes the serve sweep may cross with the batching
+    #: grid.  The default keeps the sweep single-process (every trial
+    #: at ``n_workers=1`` runs the plain in-process server); widen it
+    #: (e.g. ``(1, 2, 4)``) to let the tuner weigh forking a fleet.
+    worker_counts: Tuple[int, ...] = (1,)
 
     def __post_init__(self) -> None:
         if not self.wg_sizes or any(int(w) <= 0 for w in self.wg_sizes):
@@ -77,6 +84,11 @@ class KnobSpace:
             raise ReproError(
                 f"KnobSpace.max_waits_ms must be >= 0, got "
                 f"{self.max_waits_ms!r}")
+        if not self.worker_counts or any(
+                int(k) <= 0 for k in self.worker_counts):
+            raise ReproError(
+                f"KnobSpace.worker_counts must be positive ints, got "
+                f"{self.worker_counts!r}")
 
     # -- membership ------------------------------------------------------
 
@@ -96,7 +108,8 @@ class KnobSpace:
 
     def valid_serve_knobs(self, knobs: dict) -> bool:
         allowed = {"max_batch_size": self.max_batch_sizes,
-                   "max_wait_ms": self.max_waits_ms}
+                   "max_wait_ms": self.max_waits_ms,
+                   "n_workers": self.worker_counts}
         for name, value in knobs.items():
             if name not in allowed or value not in allowed[name]:
                 return False
@@ -116,7 +129,10 @@ class KnobSpace:
             n += 1
         return n
 
-    def serve_grid(self) -> Tuple[Tuple[int, float], ...]:
-        """The (max_batch_size, max_wait_ms) product, batch-size major."""
-        return tuple((b, w) for b in self.max_batch_sizes
-                     for w in self.max_waits_ms)
+    def serve_grid(self) -> Tuple[Tuple[int, float, int], ...]:
+        """The (max_batch_size, max_wait_ms, n_workers) product,
+        batch-size major; single-process points (``n_workers=1``)
+        sweep before fleet points of the same batching knobs."""
+        return tuple((b, w, k) for b in self.max_batch_sizes
+                     for w in self.max_waits_ms
+                     for k in self.worker_counts)

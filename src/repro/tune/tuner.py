@@ -336,12 +336,17 @@ def tune_serve(
     """Grid-sweep the serve batching knobs for one loadgen shape.
 
     Each trial is one full :func:`repro.serve.loadgen.run_load` run
-    under a candidate (max_batch_size, max_wait_ms); the first grid
-    point evaluated with the *current* ServeConfig defaults is the
-    baseline.  ``budget`` bounds the number of grid points tried.
+    under a candidate (max_batch_size, max_wait_ms); when the space's
+    ``worker_counts`` reaches past 1, those grid points instead drive
+    a whole multi-process :class:`repro.fleet.Fleet` of that size via
+    :func:`repro.fleet.loadgen.run_fleet_load`, and the winning knob
+    dict carries ``n_workers``.  The first grid point evaluated with
+    the *current* ServeConfig defaults is the baseline.  ``budget``
+    bounds the number of grid points tried.
     """
     from repro.serve.config import ServeConfig
     from repro.serve.loadgen import make_shape, run_load
+    from repro.stream.pool import fork_unavailable_reason
 
     if budget < 1:
         raise ReproError(f"tune budget must be >= 1, got {budget}")
@@ -357,18 +362,40 @@ def tune_serve(
     best: Optional[Trial] = None
     baseline: Optional[Trial] = None
 
-    # Baseline first: the static ServeConfig defaults, whether or not
-    # they lie on the grid.
-    grid = [(defaults.max_batch_size, defaults.max_wait_ms)]
-    grid += [p for p in space.serve_grid() if p != grid[0]]
-    for batch_size, wait_ms in grid[:max(1, budget)]:
+    # Baseline first: the static ServeConfig defaults (single process),
+    # whether or not they lie on the grid.  Fleet-sized points drop out
+    # when the platform cannot fork workers.
+    fork_blocked = fork_unavailable_reason() is not None
+    grid = [(defaults.max_batch_size, defaults.max_wait_ms, 1)]
+    grid += [p for p in space.serve_grid()
+             if p != grid[0] and not (fork_blocked and p[2] > 1)]
+    for batch_size, wait_ms, n_workers in grid[:max(1, budget)]:
         knobs = {"max_batch_size": batch_size, "max_wait_ms": wait_ms}
+        if n_workers > 1:
+            knobs["n_workers"] = n_workers
         start_us = rec.now_us()
-        report = run_load(
-            shape=shape, clients=clients,
-            requests_per_client=requests_per_client, n=n,
-            serve_config=defaults.replace(**knobs),
-            ds_config=ds_config, seed=seed)
+        if n_workers > 1:
+            from repro.fleet.config import FleetConfig
+            from repro.fleet.loadgen import run_fleet_load
+
+            fleet_report = run_fleet_load(
+                shapes=[shape], sizes=[n], clients=clients,
+                requests_per_client=requests_per_client,
+                fleet_config=FleetConfig(
+                    n_workers=n_workers, min_workers=n_workers,
+                    max_workers=n_workers,
+                    serve=defaults.replace(
+                        max_batch_size=batch_size, max_wait_ms=wait_ms,
+                        seed=seed)),
+                ds_config=ds_config, seed=seed)
+            report = fleet_report
+        else:
+            report = run_load(
+                shape=shape, clients=clients,
+                requests_per_client=requests_per_client, n=n,
+                serve_config=defaults.replace(
+                    max_batch_size=batch_size, max_wait_ms=wait_ms),
+                ds_config=ds_config, seed=seed)
         score = ServeScore(p95_ms=report.latency_p95_ms,
                            throughput_rps=report.throughput_rps,
                            completed=report.completed,

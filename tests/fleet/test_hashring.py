@@ -1,0 +1,89 @@
+"""Consistent hashing with bounded loads: determinism, stability and
+the 2x skew bound the fleet acceptance check rides on."""
+
+import pytest
+
+from repro.fleet.hashring import HashRing
+
+
+def _route_all(ring, keys):
+    return {k: ring.route(k) for k in keys}
+
+
+KEYS = [f"batch-key-{i}" for i in range(200)]
+
+
+class TestDeterminism:
+    def test_same_keys_same_placement_across_instances(self):
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w0", "w1", "w2"])
+        assert _route_all(a, KEYS) == _route_all(b, KEYS)
+
+    def test_route_is_sticky(self):
+        ring = HashRing(["w0", "w1"])
+        first = {k: ring.route(k) for k in KEYS}
+        assert all(ring.route(k) == w for k, w in first.items())
+
+    def test_non_string_keys_route_by_repr(self):
+        ring = HashRing(["w0", "w1"])
+        key = ("compact", 512, "float64")
+        assert ring.route(key) == ring.route(repr(key))
+
+
+class TestBoundedLoads:
+    def test_no_worker_exceeds_the_bounded_loads_cap(self):
+        import math
+
+        ring = HashRing(["w0", "w1", "w2"], load_factor=1.25)
+        for k in KEYS:
+            ring.route(k)
+        cap = math.ceil(1.25 * len(KEYS) / 3)
+        assert max(ring.loads().values()) <= cap
+        assert ring.skew() < 2.0  # the fleet --check bound, with margin
+
+    def test_loads_sum_to_key_count(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        for k in KEYS:
+            ring.route(k)
+        assert sum(ring.loads().values()) == len(KEYS)
+        assert set(ring.loads()) == {"w0", "w1", "w2"}
+
+
+class TestMembershipChanges:
+    def test_add_then_rebalance_moves_bounded_fraction(self):
+        ring = HashRing(["w0", "w1"])
+        before = {k: ring.route(k) for k in KEYS}
+        ring.add("w2")
+        moved = ring.rebalance()
+        # Only keys that migrated to the new worker (or rebalanced off
+        # an over-capacity one) move; the bulk of placements survive.
+        assert 0 < len(moved) < len(KEYS) // 2 + len(KEYS) // 3
+        for k in KEYS:
+            expected = moved.get(k, before[k])
+            assert ring.route(k) == expected
+        import math
+
+        cap = math.ceil(1.25 * len(KEYS) / 3)
+        assert max(ring.loads().values()) <= cap
+
+    def test_remove_migrates_only_the_lost_workers_keys(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {k: ring.route(k) for k in KEYS}
+        lost = [k for k, w in before.items() if w == "w1"]
+        moved = ring.remove("w1")
+        assert set(moved) == set(lost)
+        for k in KEYS:
+            if k in moved:
+                assert ring.route(k) == moved[k] != "w1"
+            else:
+                assert ring.route(k) == before[k]
+
+    def test_remove_last_worker_forgets_assignments(self):
+        ring = HashRing(["w0"])
+        ring.route("some-key")
+        assert ring.remove("w0") == {}
+        assert ring.loads() == {}
+
+    def test_route_with_no_workers_raises(self):
+        with pytest.raises(ValueError):
+            HashRing().route("key")

@@ -1,0 +1,109 @@
+"""Incident replay planning: manifest loading and deterministic
+traffic reconstruction from the recorded loadgen profile."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError, ServeError
+from repro.fleet.replay import (check_replay, load_bundle, plan_replay)
+from repro.serve.config import ServeConfig
+
+
+def _manifest(*, fault="0.5", profile=True, **overrides):
+    events = [{"event": "serve.request", "op": "compact"}]
+    if profile:
+        events.append({"event": "loadgen.profile", "shape": "chain",
+                       "n": 256, "clients": 2, "requests_per_client": 5,
+                       "seed": 7, "fault": fault, "deadline_ms": None,
+                       "prime": True})
+    doc = {
+        "kind": "repro-incident-bundle",
+        "trigger": "breaker_open",
+        "reason": "breaker compact+unique opened",
+        "serve_config": {"max_batch_size": 4, "max_wait_ms": 2.0,
+                         "not_a_field": "ignored"},
+        "events": events,
+    }
+    doc.update(overrides)
+    return doc
+
+
+def _bundle_dir(tmp_path, doc):
+    bundle = tmp_path / "incident-0001"
+    bundle.mkdir()
+    (bundle / "manifest.json").write_text(json.dumps(doc))
+    return bundle
+
+
+class TestLoadBundle:
+    def test_loads_from_directory_or_manifest_path(self, tmp_path):
+        bundle = _bundle_dir(tmp_path, _manifest())
+        assert load_bundle(bundle)["trigger"] == "breaker_open"
+        assert load_bundle(bundle / "manifest.json")["trigger"] == \
+            "breaker_open"
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="manifest.json"):
+            load_bundle(tmp_path / "nope")
+
+    def test_wrong_kind_raises(self, tmp_path):
+        bundle = _bundle_dir(tmp_path, {"kind": "something-else"})
+        with pytest.raises(ReproError, match="not a repro incident"):
+            load_bundle(bundle)
+
+    def test_malformed_json_raises(self, tmp_path):
+        bundle = tmp_path / "broken"
+        bundle.mkdir()
+        (bundle / "manifest.json").write_text("{not json")
+        with pytest.raises(ReproError, match="unreadable"):
+            load_bundle(bundle)
+
+
+class TestPlanReplay:
+    def test_reconstructs_the_recorded_traffic(self):
+        plan = plan_replay(_manifest())
+        assert plan["trigger"] == "breaker_open"
+        assert plan["shape"] == "chain"
+        assert plan["n"] == 256
+        assert plan["clients"] == 2
+        assert plan["requests_per_client"] == 5
+        assert plan["seed"] == 7
+        assert plan["fault"] == 0.5  # numeric rate parses to float
+        assert plan["prime"] is True
+
+    def test_always_fault_schedule_survives_as_is(self):
+        assert plan_replay(_manifest(fault="always"))["fault"] == "always"
+
+    def test_serve_config_rebuilds_dropping_unknown_fields(self):
+        cfg = plan_replay(_manifest())["serve_config"]
+        assert isinstance(cfg, ServeConfig)
+        assert cfg.max_batch_size == 4
+        assert cfg.max_wait_ms == 2.0
+
+    def test_missing_profile_event_is_an_actionable_error(self):
+        with pytest.raises(ReproError, match="loadgen.profile"):
+            plan_replay(_manifest(profile=False))
+
+    def test_latest_profile_wins_when_the_ring_saw_several(self):
+        doc = _manifest()
+        doc["events"].append({"event": "loadgen.profile", "shape":
+                              "unique", "n": 64, "clients": 1,
+                              "requests_per_client": 2, "seed": 9,
+                              "fault": None, "prime": False})
+        plan = plan_replay(doc)
+        assert plan["shape"] == "unique"
+        assert plan["seed"] == 9
+        assert plan["fault"] is None
+
+
+class TestCheckReplay:
+    def test_unreproduced_trigger_raises(self):
+        with pytest.raises(ServeError, match="did not reproduce"):
+            check_replay({"bundle": "b", "trigger": "breaker_open",
+                          "reproduced": False, "all_bundles": []})
+
+    def test_reproduced_trigger_passes(self):
+        check_replay({"bundle": "b", "trigger": "breaker_open",
+                      "reproduced": True,
+                      "all_bundles": ["b/replay/incident-0001"]})

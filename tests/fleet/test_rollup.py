@@ -1,0 +1,90 @@
+"""Fleet health rollup: counter sums, count-weighted histogram merges
+with conservative tail percentiles, and worst-state breaker folding."""
+
+from repro.obs.rollup import (fleet_p95_ms, merge_histograms,
+                              merge_server_stats)
+
+
+def _hist(count, total, *, lo, hi, p50, p95, p99):
+    return {"count": count, "sum": total, "min": lo, "max": hi,
+            "mean": total / count, "p50": p50, "p95": p95, "p99": p99}
+
+
+class TestMergeHistograms:
+    def test_count_weighted_merge(self):
+        a = _hist(10, 100.0, lo=1.0, hi=20.0, p50=9.0, p95=18.0, p99=19.0)
+        b = _hist(30, 60.0, lo=0.5, hi=5.0, p50=2.0, p95=4.0, p99=5.0)
+        merged = merge_histograms([a, b])
+        assert merged["count"] == 40
+        assert merged["sum"] == 160.0
+        assert merged["mean"] == 4.0  # 160/40, not the mean of means
+        assert merged["min"] == 0.5
+        assert merged["max"] == 20.0
+        # Percentiles take the max across workers: the conservative
+        # bound the autoscaler scales on.
+        assert merged["p95"] == 18.0
+        assert merged["p99"] == 19.0
+
+    def test_empty_and_zero_count_summaries_drop_out(self):
+        merged = merge_histograms([None, {}, {"count": 0, "sum": 0,
+                                             "mean": 0.0}])
+        assert merged["count"] == 0
+        assert merged["p95"] == 0.0
+
+
+class TestMergeServerStats:
+    def _two_workers(self):
+        return {
+            "w0": {
+                "serve.completed": 10,
+                "serve.latency_ms": _hist(10, 50.0, lo=1.0, hi=9.0,
+                                          p50=5.0, p95=8.0, p99=9.0),
+                "inflight": 1, "queue_depth": 2, "warm_keys": 3,
+                "plan_cache.hits": 8, "plan_cache.misses": 2,
+                "breaker": {"compact+unique": "closed"},
+                "flight": {"incidents": ["/tmp/a"], "n_events": 5},
+            },
+            "w1": {
+                "serve.completed": 30,
+                "serve.latency_ms": _hist(30, 60.0, lo=0.5, hi=30.0,
+                                          p50=2.0, p95=25.0, p99=30.0),
+                "inflight": 0, "queue_depth": 1, "warm_keys": 1,
+                "plan_cache.hits": 2, "plan_cache.misses": 8,
+                "breaker": {"compact+unique": {"state": "open"}},
+                "flight": {"incidents": ["/tmp/b"], "n_events": 7},
+            },
+        }
+
+    def test_counters_sum_and_hit_rate_rederives(self):
+        merged = merge_server_stats(self._two_workers())
+        assert merged["n_workers"] == 2
+        assert merged["serve.completed"] == 40
+        assert merged["queue_depth"] == 3
+        assert merged["warm_keys"] == 4
+        assert merged["plan_cache.hits"] == 10
+        assert merged["plan_cache.misses"] == 10
+        # 10/20, not the mean of the per-worker rates (0.8 and 0.2
+        # would also average to 0.5 here, so pin the derivation too).
+        assert merged["plan_cache.hit_rate"] == 0.5
+
+    def test_latency_merges_and_p95_reads_off(self):
+        merged = merge_server_stats(self._two_workers())
+        assert merged["serve.latency_ms"]["count"] == 40
+        assert fleet_p95_ms(merged) == 25.0
+
+    def test_breakers_fold_to_worst_state_naming_the_worker(self):
+        merged = merge_server_stats(self._two_workers())
+        snap = merged["breaker"]["compact+unique"]
+        assert snap["state"] == "open"
+        assert snap["workers"] == ["w1"]
+
+    def test_incident_bundles_concatenate(self):
+        merged = merge_server_stats(self._two_workers())
+        assert sorted(merged["flight"]["incidents"]) == ["/tmp/a", "/tmp/b"]
+        assert merged["flight"]["n_events"] == 12
+
+    def test_empty_fleet(self):
+        merged = merge_server_stats({})
+        assert merged["n_workers"] == 0
+        assert merged["plan_cache.hit_rate"] == 0.0
+        assert fleet_p95_ms(merged) is None

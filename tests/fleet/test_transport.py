@@ -1,0 +1,120 @@
+"""Cross-process transport: op-chain freezing with probe-verified
+predicates, and the zero-copy shared-memory payload/result path."""
+
+import numpy as np
+import pytest
+
+from repro.core import predicates
+from repro.core.predicates import Predicate
+from repro.errors import FleetError
+from repro.fleet.transport import (PROBE, attach_payload, fetch_result,
+                                   freeze_ops, revive_ops, stage_payload,
+                                   stage_result)
+
+
+class TestFreezeRevive:
+    def test_roundtrip_preserves_chain_shape(self):
+        ops = [("compact", 0.0), "unique",
+               ("remove_if", predicates.is_even())]
+        revived = revive_ops(freeze_ops(ops))
+        assert revived[0] == ("compact", 0.0)
+        assert revived[1] == ("unique",)
+        name, pred = revived[2]
+        assert name == "remove_if"
+        assert isinstance(pred, Predicate)
+        assert np.array_equal(pred(PROBE), predicates.is_even()(PROBE))
+
+    def test_frozen_form_is_plain_picklable_data(self):
+        import pickle
+
+        frozen = freeze_ops([("remove_if", predicates.less_than(0.5))])
+        assert frozen == [["remove_if", ["__pred__", "less_than(0.5)"]]]
+        assert pickle.loads(pickle.dumps(frozen)) == frozen
+
+    def test_numpy_scalars_cross_as_python_scalars(self):
+        frozen = freeze_ops([("compact", np.float64(0.5))])
+        assert frozen == [["compact", 0.5]]
+        assert type(frozen[0][1]) is float
+
+    def test_kwargs_dict_roundtrips(self):
+        ops = [("compact", 0.0, {"threshold": 1.5})]
+        assert revive_ops(freeze_ops(ops)) == \
+            [("compact", 0.0, {"threshold": 1.5})]
+
+    def test_lying_predicate_rejected_at_freeze(self):
+        # The name claims is_even, the closure computes something else:
+        # probe verification in the router must catch it before a
+        # worker silently computes the wrong answer.
+        liar = Predicate(lambda x: x > 100, "is_even")
+        with pytest.raises(FleetError, match="probe"):
+            freeze_ops([("remove_if", liar)])
+
+    def test_unnameable_predicate_rejected_at_freeze(self):
+        custom = Predicate(lambda x: x > 0, "my_custom_thing")
+        with pytest.raises(FleetError, match="vocabulary"):
+            freeze_ops([("remove_if", custom)])
+
+    def test_array_argument_is_not_transportable(self):
+        with pytest.raises(FleetError, match="not.*transportable"):
+            freeze_ops([("compact", np.array([1.0, 2.0]))])
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(FleetError):
+            freeze_ops([])
+
+
+class TestPayloads:
+    def test_in_core_payload_is_zero_copy_shm(self):
+        data = np.arange(257, dtype=np.float64)
+        desc, scratch, meta = stage_payload(data)
+        assert meta["in_core"] is True
+        assert desc[0] == "shm"
+        try:
+            view, shm = attach_payload(desc, meta)
+            try:
+                assert isinstance(view, np.ndarray)
+                assert np.array_equal(view, data)
+            finally:
+                del view
+                shm.close()
+        finally:
+            scratch.close()
+            scratch.unlink()
+
+    def test_out_of_core_memmap_payload_stays_streamed(self, tmp_path):
+        from repro.stream.source import MemmapSource
+
+        path = tmp_path / "payload.bin"
+        data = np.arange(129, dtype=np.float64)
+        mm = np.memmap(path, dtype=np.float64, mode="w+",
+                       shape=data.shape)
+        mm[:] = data
+        mm.flush()
+        desc, scratch, meta = stage_payload(MemmapSource(mm))
+        assert meta["in_core"] is False
+        assert desc[0] == "memmap"
+        assert scratch is None
+        source, shm = attach_payload(desc, meta)
+        assert shm is None
+        assert isinstance(source, MemmapSource)
+        assert not source.in_core
+        assert np.array_equal(source.materialize(), data)
+
+    def test_result_roundtrip_copies_then_unlinks(self):
+        from multiprocessing import shared_memory
+
+        out = np.linspace(-2.0, 2.0, 63)
+        desc, seg = stage_result(out)
+        seg.close()  # the worker posts the descriptor and lets go
+        fetched = fetch_result(desc)
+        assert np.array_equal(fetched, out)
+        assert fetched.dtype == out.dtype
+        # fetch_result unlinked the segment; it must be gone.
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=desc[1])
+
+    def test_empty_result_roundtrips(self):
+        out = np.array([], dtype=np.float64)
+        desc, seg = stage_result(out)
+        seg.close()
+        assert fetch_result(desc).shape == (0,)

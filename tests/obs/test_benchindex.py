@@ -95,3 +95,60 @@ class TestAppendOnly:
         append_rows(tmp_path, [{"id": "x"}])
         doc = json.loads((tmp_path / INDEX_NAME).read_text())
         assert doc["version"] == 1 and isinstance(doc["rows"], list)
+
+
+class TestConcurrentAppends:
+    def test_parallel_processes_never_lose_rows(self, tmp_path):
+        """Fleet workers race on one results directory: every appended
+        row must survive the read-modify-write interleaving."""
+        import multiprocessing
+
+        n_procs, rows_each = 4, 5
+        ctx = multiprocessing.get_context("fork") \
+            if "fork" in multiprocessing.get_all_start_methods() \
+            else multiprocessing.get_context()
+        procs = [ctx.Process(target=_append_worker,
+                             args=(str(tmp_path), pid, rows_each))
+                 for pid in range(n_procs)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        rows = load_rows(tmp_path)
+        assert len(rows) == n_procs * rows_each
+        ids = {r["id"] for r in rows}
+        assert ids == {f"w{p}-r{i}" for p in range(n_procs)
+                       for i in range(rows_each)}
+
+    def test_fleet_row_shape(self):
+        from repro.obs.benchindex import row_from_fleet_run
+
+        class FakeFleetReport:
+            shapes = ("chain", "compact")
+            wall_s = 0.4
+            throughput_rps = 120.0
+            latency_p50_ms = 2.0
+            latency_p95_ms = 8.0
+            latency_p99_ms = 11.0
+            completed = 48
+            requests = 48
+            workers_start = 3
+            workers_peak = 4
+            workers_end = 3
+            scale_ups = 1
+            scale_downs = 1
+            routing_skew = 1.12
+            plan_hit_rate = 0.98
+
+        row = row_from_fleet_run(FakeFleetReport(), rev="abc", timestamp=3.0)
+        assert row["backend"] == "fleet"
+        assert row["shapes"] == "chain+compact"
+        assert row["workers_peak"] == 4
+        assert row["scale_ups"] == 1 and row["scale_downs"] == 1
+        assert row["routing_skew"] == 1.12
+
+
+def _append_worker(root: str, pid: int, rows_each: int) -> None:
+    for i in range(rows_each):
+        append_rows(root, [{"id": f"w{pid}-r{i}", "backend": "serve"}])

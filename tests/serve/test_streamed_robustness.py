@@ -1,0 +1,120 @@
+"""Streamed (out-of-core) requests through the robustness ring.
+
+``tests/serve/test_robustness.py`` exercises the circuit breaker and
+the sequential-baseline degrade path with resident arrays only; these
+tests push :class:`~repro.stream.source.DSSource` inputs through the
+same machinery.  The invariant is unchanged — correct bytes or a typed
+error — plus one streamed-specific fact: degradation *materializes*
+the source (the baseline is the correctness backstop, not the memory
+one) and must still return exactly what the fast streaming path would.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError
+from repro.reference import unique_ref
+from repro.serve import ServeConfig, Server
+from repro.stream.source import MemmapSource
+
+
+def _cfg(**kw):
+    kw.setdefault("max_wait_ms", 1.0)
+    kw.setdefault("num_workers", 1)
+    return ServeConfig(**kw)
+
+
+@pytest.fixture
+def data(rng):
+    return rng.integers(0, 4, 257).astype(np.float64)
+
+
+@pytest.fixture
+def source(tmp_path, data):
+    """An out-of-core memmap source over ``data``."""
+    path = tmp_path / "payload.bin"
+    mm = np.memmap(path, dtype=np.float64, mode="w+", shape=data.shape)
+    mm[:] = data
+    mm.flush()
+    src = MemmapSource(np.memmap(path, dtype=np.float64, mode="r",
+                                 shape=data.shape))
+    assert not src.in_core
+    return src
+
+
+class TestStreamedDegrade:
+    def test_open_breaker_materializes_and_stays_correct(self, source,
+                                                         data):
+        with Server(_cfg(max_retries=0, breaker_threshold=1,
+                         breaker_cooldown_ms=60_000)) as srv:
+            srv.breaker.force_open(("ds_stream_compact",))
+            res = srv.submit("compact", source, 0.0).result(timeout=30)
+        assert res.extras["degraded"] is True
+        assert np.array_equal(res.output, data[data != 0.0])
+        assert srv.metrics.get("serve.degraded").value == 1
+
+    def test_exhausted_retries_degrade_a_streamed_chain(self, source,
+                                                        data):
+        def always_fail(batch):
+            raise LaunchError("injected permanent fault")
+
+        with Server(_cfg(max_retries=1, retry_backoff_ms=0.0,
+                         breaker_threshold=10),
+                    fault_hook=always_fail) as srv:
+            res = srv.submit_chain([("compact", 0.0), "unique"],
+                                   source).result(timeout=30)
+        assert res.extras["degraded"] is True
+        assert np.array_equal(res.output, unique_ref(data[data != 0.0]))
+        assert srv.metrics.get("serve.retries").value >= 1
+
+    def test_streamed_failures_trip_the_breaker_then_recover(
+            self, source, data):
+        healthy = threading.Event()
+
+        def fail_until_healthy(batch):
+            if not healthy.is_set():
+                raise LaunchError("injected outage")
+
+        with Server(_cfg(max_retries=0, retry_backoff_ms=0.0,
+                         breaker_threshold=1, breaker_cooldown_ms=1.0),
+                    fault_hook=fail_until_healthy) as srv:
+            expected = data[data != 0.0]
+            r1 = srv.submit("compact", source, 0.0).result(timeout=30)
+            assert r1.extras["degraded"] is True
+            assert np.array_equal(r1.output, expected)
+            assert srv.breaker.state(("ds_stream_compact",)) != "closed"
+            # Recovery: the probe succeeds and the streamed fast path
+            # (sharded engine, not the baseline) serves again.
+            healthy.set()
+            time.sleep(0.005)
+            r2 = srv.submit("compact", source, 0.0).result(timeout=30)
+            assert not r2.extras.get("degraded")
+            assert np.array_equal(r2.output, expected)
+            assert srv.breaker.state(("ds_stream_compact",)) == "closed"
+
+    def test_breaker_covers_streamed_and_resident_traffic_alike(
+            self, source, data):
+        # Streamed and resident requests batch apart (different batch
+        # keys) but share one breaker keyed on the op chain: an outage
+        # of the op degrades both forms, and both stay byte-correct.
+        with Server(_cfg(max_retries=0, breaker_threshold=1,
+                         breaker_cooldown_ms=60_000)) as srv:
+            srv.breaker.force_open(("ds_stream_compact",))
+            streamed = srv.submit("compact", source, 0.0).result(timeout=30)
+            resident = srv.submit("compact", data, 0.0).result(timeout=30)
+        expected = data[data != 0.0]
+        for res in (streamed, resident):
+            assert res.extras["degraded"] is True
+            assert np.array_equal(res.output, expected)
+
+    def test_fast_path_still_streams_when_healthy(self, source, data):
+        with Server(_cfg(breaker_threshold=10)) as srv:
+            res = srv.submit("compact", source, 0.0).result(timeout=30)
+        assert not res.extras.get("degraded")
+        assert np.array_equal(res.output, data[data != 0.0])
+        # The healthy path went through the sharded engine, which
+        # stamps how many shards the single pass covered.
+        assert res.extras.get("shards", 0) >= 1

@@ -134,3 +134,31 @@ class TestAsSourceCoercion:
     def test_every_source_is_a_dssource(self, mm):
         for value in (np.arange(4.0), mm, iter([np.arange(2.0)])):
             assert isinstance(as_source(value), DSSource)
+
+
+class TestDeprecationStacklevel:
+    def test_warning_names_this_file_on_a_direct_call(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            as_source([1.0, 2.0], site="repro.ds")
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert deprecations, "expected a legacy-coercion warning"
+        assert deprecations[0].filename == __file__
+
+    def test_warning_skips_repro_internals_on_an_indirect_call(self):
+        # stage_payload -> as_source adds a repro-internal frame; the
+        # warning must still blame this test file, not the dispatch
+        # internals between the user and as_source.
+        from repro.fleet.transport import stage_payload
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            desc, scratch, meta = stage_payload([1.0, 2.0, 3.0])
+        if scratch is not None:
+            scratch.close()
+            scratch.unlink()
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert deprecations, "expected a legacy-coercion warning"
+        assert deprecations[0].filename == __file__
