@@ -4,7 +4,8 @@ PYTHON ?= python
 
 .PHONY: install test test-all bench bench-smoke bench-full bench-check \
         pipeline-smoke trace-smoke serve-smoke analyze-smoke tune-smoke \
-        stream-smoke fleet-smoke report figures examples clean
+        stream-smoke fleet-smoke fleet-trace-overhead report figures \
+        examples clean
 
 # Stamped into every BENCH_INDEX.json row so the trajectory report can
 # attribute each run to a commit.
@@ -55,18 +56,28 @@ stream-smoke:    ## out-of-core streaming: memmap 8x device capacity, compact->u
 	$(PYTHON) -m repro analyze /tmp/repro_stream_smoke.json > /dev/null
 	$(PYTHON) -m pytest tests/stream -q
 
-fleet-smoke:     ## multi-process fleet: 3 workers, fault-injected loadgen, acceptance pass + CLI replay of the produced incident bundle
+fleet-smoke:     ## multi-process fleet: 3 workers, fault-injected loadgen, acceptance pass (incl. merged trace + fleet bundle) + CLI replay + analyze --check on the merged trace
 	rm -rf /tmp/repro_fleet_smoke_incidents
 	timeout 600 env REPRO_GIT_REV=$(GIT_REV) $(PYTHON) -m repro fleet \
 	  --check --workers 3 --fault 0.5 \
 	  --incident-dir /tmp/repro_fleet_smoke_incidents \
+	  --trace-out /tmp/repro_fleet_smoke_trace.json \
 	  --stats-out /tmp/repro_fleet_smoke_stats.json \
 	  --bench-dir benchmarks/results
 	$(PYTHON) -m repro analyze /tmp/repro_fleet_smoke_stats.json > /dev/null
+	timeout 120 $(PYTHON) -m repro analyze \
+	  /tmp/repro_fleet_smoke_trace.json --check > /dev/null
 	timeout 120 $(PYTHON) -m repro replay \
 	  $$(ls -d /tmp/repro_fleet_smoke_incidents/w*/incident-* | head -1) \
 	  --check
+	timeout 120 $(PYTHON) -m repro replay \
+	  $$(ls -d /tmp/repro_fleet_smoke_incidents/incident-* | head -1) \
+	  --plan > /dev/null
 	timeout 600 $(PYTHON) -m pytest tests/fleet -q
+
+fleet-trace-overhead: ## recorder-on guard: fleet throughput with tracing >= 0.9x tracing-off
+	timeout 600 $(PYTHON) -m repro fleet --trace-overhead-check \
+	  --workers 2 --clients 4 --requests 8
 
 analyze-smoke:   ## trace fig13 -> analyzer decomposition check (sum==wall ±1%, spin<=wall) + flight-recorder overhead bound
 	$(PYTHON) -m repro trace fig13 -o /tmp/repro_analyze_smoke.json --check

@@ -8,6 +8,7 @@ Usage::
     python -m repro all                  # print everything
     python -m repro devices              # print the device catalog
     python -m repro trace fig13 -o trace.json   # export a Chrome trace
+    python -m repro trace --fleet -o fleet.json # merged fleet timeline
     python -m repro serve --shape chain --check # serve-layer load run
     python -m repro stream --check              # out-of-core streaming
     python -m repro fleet --check               # multi-process cluster
@@ -72,6 +73,16 @@ def _render_devices() -> str:
 
 
 def _cmd_trace(args) -> int:
+    if args.fleet:
+        from repro.fleet.cli import trace_fleet
+
+        return trace_fleet(args.output, workers=args.workers,
+                           requests=args.requests, seed=args.seed,
+                           check=args.check)
+    if args.experiment is None:
+        print("python -m repro trace: an experiment id is required "
+              "unless --fleet is given", file=sys.stderr)
+        return 2
     from repro.obs.runner import trace_experiment
 
     backends = [args.backend] if args.backend else ["simulated", "vectorized"]
@@ -111,10 +122,26 @@ def main(argv=None) -> int:
         prog="python -m repro trace",
         description="Run one experiment's primitive under full tracing "
                     "and export the span timeline as Chrome-trace JSON "
-                    "(one process per backend, one thread per work-group).",
+                    "(one process per backend, one thread per work-group). "
+                    "With --fleet: trace a short multi-process fleet "
+                    "session instead and merge every worker's spans into "
+                    "one clock-aligned timeline (router pid 0, one pid "
+                    "lane per worker).",
     )
-    trace.add_argument("experiment", choices=sorted(TRACEABLE),
-                       help="traceable experiment id")
+    trace.add_argument("experiment", nargs="?", default=None,
+                       choices=sorted(TRACEABLE),
+                       help="traceable experiment id (omit with --fleet)")
+    trace.add_argument("--fleet", action="store_true",
+                       help="trace a fleet session instead of a single "
+                            "experiment (see docs/fleet.md)")
+    trace.add_argument("--workers", type=int, default=2,
+                       help="fleet workers to trace (--fleet only; "
+                            "default: 2)")
+    trace.add_argument("--requests", type=int, default=10,
+                       help="requests to drive through the traced fleet "
+                            "(--fleet only; default: 10)")
+    trace.add_argument("--seed", type=int, default=1234,
+                       help="traffic seed (--fleet only)")
     trace.add_argument("-o", "--output", default="trace.json",
                        help="Chrome-trace JSON output path "
                             "(default: trace.json)")
@@ -181,6 +208,9 @@ def main(argv=None) -> int:
         print("  trace <experiment> -o trace.json   "
               "export a Chrome-trace timeline (see docs/observability.md)")
         print(f"    traceable: {', '.join(sorted(TRACEABLE))}")
+        print("  trace --fleet -o fleet-trace.json [--workers N --check]   "
+              "merged clock-aligned trace of a multi-process fleet "
+              "session (see docs/fleet.md)")
         print("  serve [--shape ... --clients N --fault always --check]   "
               "drive the micro-batching serve layer (see docs/serving.md)")
         print("  stream [--elements N --workers N --trace PATH --check]   "

@@ -90,6 +90,20 @@ class FleetConfig:
         Fleet-level incident directory; worker *i* dumps its flight
         recorder bundles under ``<incident_dir>/<worker_id>``.  ``None``
         disables dumping fleet-wide.
+    trace:
+        Distributed-tracing mode: ``"off"`` (default — zero overhead),
+        ``"spans"`` or ``"full"``.  When on, every worker installs a
+        tracer sharing the worker clock epoch plus a bounded span ring,
+        trace contexts ride the transport, the router synthesizes
+        ``serve.request``/``route``/``transport``/``worker``/
+        ``response`` spans per request, and
+        :meth:`~repro.fleet.Fleet.dump_trace` can merge it all into one
+        clock-aligned Chrome trace.
+    trace_capacity:
+        Span-ring capacity per worker (and for the router's own ring).
+    clock_sync_samples:
+        Rounds of the NTP-style clock handshake run at worker spawn
+        (and autoscaler grow); the min-RTT sample wins.
     serve:
         The per-worker :class:`~repro.serve.config.ServeConfig`.
     """
@@ -109,6 +123,9 @@ class FleetConfig:
     drain_timeout_s: float = 10.0
     request_timeout_s: float = 60.0
     incident_dir: Optional[str] = None
+    trace: str = "off"
+    trace_capacity: int = 4096
+    clock_sync_samples: int = 5
     serve: ServeConfig = field(default_factory=ServeConfig)
 
     def __post_init__(self) -> None:
@@ -135,6 +152,12 @@ class FleetConfig:
                 f"FleetConfig needs min_workers <= n_workers <= "
                 f"max_workers, got {self.min_workers} / {self.n_workers} "
                 f"/ {self.max_workers}")
+        if self.trace not in ("off", "spans", "full"):
+            raise ValueError(
+                "FleetConfig.trace must be one of 'off'/'spans'/'full', "
+                f"got {self.trace!r}")
+        _positive("trace_capacity", int(self.trace_capacity))
+        _positive("clock_sync_samples", int(self.clock_sync_samples))
 
     def replace(self, **changes) -> "FleetConfig":
         """A copy with ``changes`` applied (the frozen-dataclass idiom)."""
@@ -150,8 +173,10 @@ class FleetConfig:
         ``REPRO_FLEET_QUEUE_LOW``, ``REPRO_FLEET_P95_HIGH_MS``,
         ``REPRO_FLEET_UP_AFTER``, ``REPRO_FLEET_DOWN_AFTER``,
         ``REPRO_FLEET_COOLDOWN_TICKS``, ``REPRO_FLEET_TICK_S``,
-        ``REPRO_FLEET_DRAIN_TIMEOUT_S``, ``REPRO_FLEET_REQUEST_TIMEOUT_S``
-        and ``REPRO_FLEET_INCIDENT_DIR``; the embedded worker config
+        ``REPRO_FLEET_DRAIN_TIMEOUT_S``, ``REPRO_FLEET_REQUEST_TIMEOUT_S``,
+        ``REPRO_FLEET_INCIDENT_DIR``, ``REPRO_FLEET_TRACE``,
+        ``REPRO_FLEET_TRACE_CAPACITY`` and
+        ``REPRO_FLEET_CLOCK_SAMPLES``; the embedded worker config
         comes from :meth:`ServeConfig.from_env` (``REPRO_SERVE_*``).
         Malformed values raise :class:`ValueError` naming the variable.
         """
@@ -197,6 +222,9 @@ class FleetConfig:
             ("REPRO_FLEET_DRAIN_TIMEOUT_S", "drain_timeout_s", _float),
             ("REPRO_FLEET_REQUEST_TIMEOUT_S", "request_timeout_s", _float),
             ("REPRO_FLEET_INCIDENT_DIR", "incident_dir", _str),
+            ("REPRO_FLEET_TRACE", "trace", _str),
+            ("REPRO_FLEET_TRACE_CAPACITY", "trace_capacity", _int),
+            ("REPRO_FLEET_CLOCK_SAMPLES", "clock_sync_samples", _int),
         ]
         for var, field_name, parse in spec:
             if _get(var):

@@ -31,15 +31,32 @@ warm shape under its TuningDB-shaped kernel key and replays
 hysteresis policy; a background ticker thread is optional
 (``tick_interval_s > 0``) — the deterministic checks drive ticks
 manually.
+
+**Distributed tracing** (``FleetConfig.trace != "off"``): every request
+gets a :class:`~repro.obs.distrib.TraceContext` riding the transport
+``meta``, every worker keeps a bounded span ring the front door
+collects (on drain and on demand), worker clocks are calibrated against
+the router's with an NTP-style handshake at spawn and on every
+autoscaler grow, and :meth:`Fleet.dump_trace` merges it all into one
+clock-aligned Chrome trace — the router synthesizing per-request
+``serve.request`` → ``route``/``transport``/``worker``/``response``
+spans from its own timestamps plus the worker's response timing.  On
+breaker/SLO/deadline triggers (worker incident dumps escalate through
+the outbox; request timeouts fire router-side) the fleet gathers every
+worker's flight ring plus router context into **one** fleet-wide
+``incident-*/`` bundle that ``repro analyze`` and ``repro replay``
+already understand.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
 import multiprocessing
 import os
 import threading
 import time
+from pathlib import Path
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -52,7 +69,11 @@ from repro.fleet.config import FleetConfig
 from repro.fleet.hashring import HashRing
 from repro.fleet.transport import freeze_ops, fetch_result, stage_payload
 from repro.fleet.worker import worker_main
+from repro.obs.distrib import (ClockSync, SpanRing, calibrate,
+                               merge_fleet_trace)
+from repro.obs.export import _sanitize
 from repro.obs.rollup import fleet_p95_ms, merge_server_stats
+from repro.obs.tracer import new_span_id, new_trace_id
 from repro.primitives.common import DEFAULT_DEVICE, PrimitiveResult
 from repro.serve.request import OpStage, make_batch_key
 from repro.serve.server import _chain_spec
@@ -66,7 +87,7 @@ class FleetFuture:
     """Client handle to one fleet request's eventual result."""
 
     __slots__ = ("request_id", "worker_id", "_event", "_result", "_error",
-                 "_default_timeout")
+                 "_default_timeout", "_on_timeout")
 
     def __init__(self, request_id: int, worker_id: str,
                  default_timeout: float) -> None:
@@ -76,6 +97,9 @@ class FleetFuture:
         self._result: Optional[PrimitiveResult] = None
         self._error: Optional[BaseException] = None
         self._default_timeout = default_timeout
+        # Fleet hook fired when result() times out — the router-side
+        # trigger of a fleet-wide incident bundle.
+        self._on_timeout = None
 
     @property
     def done(self) -> bool:
@@ -95,6 +119,11 @@ class FleetFuture:
     def result(self, timeout: Optional[float] = None) -> PrimitiveResult:
         bound = self._default_timeout if timeout is None else timeout
         if not self._event.wait(bound):
+            if self._on_timeout is not None:
+                try:
+                    self._on_timeout(bound)
+                except Exception:  # pragma: no cover - hook must not mask
+                    pass
             raise FleetError(
                 f"fleet request #{self.request_id} (worker "
                 f"{self.worker_id}) not resolved within {bound}s")
@@ -122,11 +151,16 @@ class _WorkerHandle:
 
 
 class _Pending:
-    __slots__ = ("future", "scratch")
+    __slots__ = ("future", "scratch", "trace")
 
-    def __init__(self, future, scratch) -> None:
+    def __init__(self, future, scratch, trace=None) -> None:
         self.future = future
         self.scratch = scratch
+        # When fleet tracing is on: router-side request facts the
+        # collector turns into serve.request/route/transport/worker/
+        # response spans — trace_id, span_id, ops, t_submit_us,
+        # t_sent_us, worker_id.
+        self.trace = trace
 
 
 def _revive_error(type_name: str, message: str) -> BaseException:
@@ -191,8 +225,26 @@ class Fleet:
         self._running = False
         self._collector: Optional[threading.Thread] = None
         self._ticker: Optional[threading.Thread] = None
+        # -- distributed tracing state --
+        # The router clock: microseconds since the Fleet was built, the
+        # timebase every worker clock is calibrated onto.
+        self._t0_ns = time.perf_counter_ns()
+        self.tracing = self.config.trace != "off"
+        self._router_ring = (SpanRing(self.config.trace_capacity)
+                             if self.tracing else None)
+        self._clock_syncs: Dict[str, ClockSync] = {}
+        #: spans archived from drained/dead workers, so a merged trace
+        #: survives the processes that produced it.
+        self._dead_spans: Dict[str, List[dict]] = {}
+        self.fleet_incidents: List[Path] = []
+        self._incident_seq = itertools.count(1)
+        self._last_incident: Dict[str, float] = {}
         if autostart:
             self.start()
+
+    def now_us(self) -> float:
+        """Microseconds on the router clock (since Fleet construction)."""
+        return (time.perf_counter_ns() - self._t0_ns) / 1e3
 
     # -- lifecycle ------------------------------------------------------
 
@@ -278,7 +330,8 @@ class Fleet:
             target=worker_main,
             args=(worker_id, inbox, self._outbox,
                   self._serve_config_for(worker_id, index),
-                  self.ds_config, self.device),
+                  self.ds_config, self.device, self.config.trace,
+                  self.config.trace_capacity),
             name=f"fleet-{worker_id}", daemon=True)
         proc.start()
         handle = _WorkerHandle(worker_id, proc, inbox)
@@ -294,7 +347,45 @@ class Fleet:
                 self.scale_ups += 1
             prime_specs = self._prime_specs_locked(moved)
         self._prime_workers(prime_specs)
+        if self.tracing:
+            # Calibrate every worker, not just the new one: a grow is a
+            # natural re-calibration point (queue pressure just changed)
+            # and keeps long-lived offsets fresh.
+            self.calibrate_clocks()
         return worker_id
+
+    # -- clock calibration ----------------------------------------------
+
+    def _calibrate_worker(self, handle: _WorkerHandle) -> Optional[ClockSync]:
+        """NTP-style handshake: K clock probes over the control queues,
+        min-RTT sample wins (see :func:`repro.obs.distrib.calibrate`)."""
+        samples = []
+        for _ in range(self.config.clock_sync_samples):
+            waiter = self._register_waiter(next(self._token_ids))
+            t0 = self.now_us()
+            handle.inbox.put(("clock", waiter["token"], t0))
+            if not waiter["event"].wait(timeout=10.0):
+                return None
+            t3 = self.now_us()
+            payload = waiter["payload"]
+            if not payload:
+                return None
+            recv_us, send_us = payload
+            samples.append((t0, float(recv_us), float(send_us), t3))
+        return calibrate(samples)
+
+    def calibrate_clocks(self) -> Dict[str, ClockSync]:
+        """(Re-)measure every live worker's clock offset; returns the
+        sync per worker id.  Runs at spawn and on autoscaler grow."""
+        with self._lock:
+            handles = list(self._workers.values())
+        for handle in handles:
+            sync = self._calibrate_worker(handle)
+            if sync is not None:
+                with self._lock:
+                    self._clock_syncs[handle.worker_id] = sync
+        with self._lock:
+            return dict(self._clock_syncs)
 
     def drain(self, worker_id: Optional[str] = None, *,
               count_scale_event: bool = True) -> dict:
@@ -332,7 +423,12 @@ class Fleet:
             self._workers.pop(worker_id, None)
             if count_scale_event:
                 self.scale_downs += 1
-        stats, warm_keys = waiter["payload"] or (None, [])
+        stats, warm_keys, spans = waiter["payload"] or (None, [], [])
+        if spans:
+            # Archive the drained worker's span ring so a merged trace
+            # dumped later still covers the whole fleet's history.
+            with self._lock:
+                self._dead_spans.setdefault(worker_id, []).extend(spans)
         return {"worker_id": worker_id, "stats": stats,
                 "warm_keys": warm_keys}
 
@@ -384,6 +480,25 @@ class Fleet:
         desc, scratch, meta = stage_payload(values)
         meta["deadline_ms"] = deadline_ms
         rid = next(self._req_ids)
+        trace = None
+        if self.tracing:
+            # One trace per fleet request.  The root span id is minted
+            # now so the worker's spans can parent under it before the
+            # root itself is emitted (on response).
+            trace = {
+                "trace_id": new_trace_id(),
+                "span_id": new_span_id(),
+                "request_id": rid,
+                "ops": "+".join(s.desc.short for s in stages),
+                "t_submit_us": self.now_us(),
+                "t_sent_us": None,
+                "worker_id": None,
+            }
+            meta["trace"] = {
+                "trace_id": trace["trace_id"],
+                "parent_span_id": trace["span_id"],
+                "request_id": rid,
+            }
         with self._lock:
             if not self._running or not self._workers:
                 raise FleetError("fleet is not running")
@@ -394,7 +509,16 @@ class Fleet:
             self._note_warm_locked(batch_key, frozen, stages, array, cfg)
             future = FleetFuture(rid, worker_id,
                                  self.config.request_timeout_s)
-            self._pending[rid] = _Pending(future, scratch)
+            self._pending[rid] = _Pending(future, scratch, trace)
+        if trace is not None:
+            trace["worker_id"] = worker_id
+            trace["t_sent_us"] = self.now_us()
+            future._on_timeout = (
+                lambda bound, _rid=rid, _wid=worker_id:
+                self._gather_incident(
+                    "deadline",
+                    f"request #{_rid} on {_wid} exceeded {bound}s",
+                    source_worker=_wid))
         handle.inbox.put(("req", rid, frozen, desc, meta))
         return future
 
@@ -506,6 +630,187 @@ class Fleet:
             out[worker_id] = stats
         return out
 
+    # -- distributed tracing --------------------------------------------
+
+    def _gather_from_workers(self, tag: str) -> Dict[str, object]:
+        """Broadcast a payload-less control message and collect the
+        acks: ``{worker_id: payload}`` for every worker that answered
+        (a wedged worker is simply absent — gathering must degrade,
+        not hang, mid-incident)."""
+        with self._lock:
+            handles = list(self._workers.values())
+        waiters = []
+        for handle in handles:
+            waiter = self._register_waiter(next(self._token_ids))
+            handle.inbox.put((tag, waiter["token"]))
+            waiters.append((handle.worker_id, waiter))
+        out: Dict[str, object] = {}
+        for worker_id, waiter in waiters:
+            if waiter["event"].wait(timeout=10.0) \
+                    and waiter["payload"] is not None:
+                out[worker_id] = waiter["payload"]
+        return out
+
+    def collect_spans(self) -> Dict[str, List[dict]]:
+        """Every worker's span-ring snapshot (live workers probed now;
+        drained workers from the archive), keyed by worker id."""
+        out: Dict[str, List[dict]] = {}
+        with self._lock:
+            for worker_id, spans in self._dead_spans.items():
+                out[worker_id] = list(spans)
+        if self.tracing:
+            for worker_id, spans in self._gather_from_workers(
+                    "trace").items():
+                out.setdefault(worker_id, []).extend(spans or [])
+        return out
+
+    def dump_trace(self, path=None) -> dict:
+        """Merge the router's request spans and every worker's span ring
+        into one clock-aligned Chrome trace document (written to
+        ``path`` when given).  Worker timestamps are shifted by their
+        calibrated :class:`~repro.obs.distrib.ClockSync` offsets, so one
+        request's ``serve.request`` (router) visually contains the
+        worker-side batch/kernel spans it caused."""
+        router_spans = (self._router_ring.snapshot()
+                        if self._router_ring is not None else [])
+        worker_spans = self.collect_spans()
+        with self._lock:
+            syncs = dict(self._clock_syncs)
+        return merge_fleet_trace(router_spans, worker_spans,
+                                 clock_syncs=syncs, path=path)
+
+    def _emit_router_spans(self, trace: dict, timing: Optional[dict],
+                           *, error: Optional[str] = None) -> None:
+        """Synthesize the router's view of one finished request into the
+        router span ring: a root ``serve.request`` spanning submit →
+        response, with ``route`` / ``transport`` / ``worker`` /
+        ``response`` children splitting the wall time.  Worker-side
+        timestamps come from the response's ``timing`` dict mapped onto
+        the router clock via the worker's calibrated offset, clamped
+        monotonically so calibration error can never produce a child
+        outside its parent."""
+        ring = self._router_ring
+        if ring is None:
+            return
+        t_done = self.now_us()
+        rid = trace["request_id"]
+        t_submit = trace["t_submit_us"]
+        t_sent = trace["t_sent_us"]
+        t_sent = t_submit if t_sent is None else t_sent
+        track = f"serve:req{rid}"
+        with self._lock:
+            sync = self._clock_syncs.get(trace["worker_id"])
+
+        def emit(name, start, end, span_id=None, **args):
+            ts = round(start, 3)
+            ring.add({
+                "name": name, "cat": "serve", "track": track,
+                "ts_us": ts, "dur_us": max(0.0, round(end, 3) - ts),
+                "args": args,
+                "span_id": span_id if span_id else new_span_id(),
+            })
+
+        root_args = {"trace_id": trace["trace_id"], "request_id": rid,
+                     "ops": trace["ops"], "worker": trace["worker_id"]}
+        if error is not None:
+            root_args["error"] = error
+        emit("serve.request", t_submit, t_done,
+             span_id=trace["span_id"], **root_args)
+        child = {"trace_id": trace["trace_id"],
+                 "parent_span_id": trace["span_id"]}
+        emit("serve.route", t_submit, t_sent, **child)
+        if timing is not None and sync is not None:
+            recv_r = sync.to_router_us(float(timing["recv_us"]))
+            resp_r = sync.to_router_us(float(timing["respond_us"]))
+            recv_r = min(max(recv_r, t_sent), t_done)
+            resp_r = min(max(resp_r, recv_r), t_done)
+            emit("serve.transport", t_sent, recv_r, **child)
+            emit("serve.worker", recv_r, resp_r,
+                 worker=trace["worker_id"], **child)
+            emit("serve.response", resp_r, t_done, **child)
+
+    def _gather_incident(self, trigger: str, reason: str, *,
+                         source_worker: Optional[str] = None,
+                         worker_bundle: Optional[str] = None
+                         ) -> Optional[Path]:
+        """Gather a **fleet-wide** incident bundle: every worker's
+        flight ring (spans + events + local bundle paths) plus the
+        router's context and the merged clock-aligned trace, in one
+        ``incident-*/`` directory ``repro analyze`` / ``repro replay``
+        already understand.  Per-trigger cooldown mirrors
+        :meth:`~repro.obs.flight.FlightRecorder.maybe_dump`."""
+        if self.config.incident_dir is None:
+            return None
+        cooldown_ms = self.config.serve.incident_cooldown_ms
+        now = time.monotonic()
+        with self._lock:
+            last = self._last_incident.get(trigger)
+            if last is not None and (now - last) * 1e3 < cooldown_ms:
+                return None
+            self._last_incident[trigger] = now
+            seq = next(self._incident_seq)
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        bundle = (Path(self.config.incident_dir)
+                  / f"incident-{stamp}-{seq:03d}-{trigger}")
+        bundle.mkdir(parents=True, exist_ok=True)
+
+        gathered = self._gather_from_workers("bundle")
+        worker_spans: Dict[str, List[dict]] = {}
+        events: List[dict] = []
+        worker_meta: Dict[str, dict] = {}
+        with self._lock:
+            for worker_id, spans in self._dead_spans.items():
+                worker_spans[worker_id] = list(spans)
+            syncs = dict(self._clock_syncs)
+        for worker_id in sorted(gathered):
+            payload = gathered[worker_id] or {}
+            worker_spans.setdefault(worker_id, []).extend(
+                payload.get("spans") or [])
+            for ev in payload.get("events") or []:
+                events.append(dict(ev, worker=worker_id))
+            worker_meta[worker_id] = {
+                "incidents": payload.get("incidents") or [],
+                "n_spans": len(payload.get("spans") or []),
+                "clock_sync": (syncs[worker_id].to_dict()
+                               if worker_id in syncs else None),
+            }
+        router_spans = (self._router_ring.snapshot()
+                        if self._router_ring is not None else [])
+        merge_fleet_trace(router_spans, worker_spans, clock_syncs=syncs,
+                          path=bundle / "trace.json")
+
+        from repro.obs.flight import _config_dict
+
+        manifest = {
+            "kind": "repro-incident-bundle",
+            "scope": "fleet",
+            "trigger": trigger,
+            "reason": reason,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "source_worker": source_worker,
+            "worker_bundle": worker_bundle,
+            "n_spans": sum(len(s) for s in worker_spans.values())
+            + len(router_spans),
+            "n_events": len(events),
+            "events": _sanitize(events),
+            "metrics": [],
+            "ds_config": _config_dict(self.ds_config),
+            "serve_config": _config_dict(self.config.serve),
+            "context": _sanitize({
+                "n_workers": self.n_workers,
+                "workers": worker_meta,
+                "routing": dict(self._route_counts),
+                "scale": {"ups": self.scale_ups,
+                          "downs": self.scale_downs},
+            }),
+        }
+        (bundle / "manifest.json").write_text(
+            json.dumps(manifest, indent=1, sort_keys=True,
+                       allow_nan=False) + "\n")
+        with self._lock:
+            self.fleet_incidents.append(bundle)
+        return bundle
+
     def stats(self) -> dict:
         """The fleet health view: per-worker snapshots, the merged
         rollup (:mod:`repro.obs.rollup`), ring placement/skew, routing
@@ -522,6 +827,14 @@ class Fleet:
             history = list(self.autoscaler.history[-20:])
             warm = sorted({spec["kernel"] for spec in self._warm.values()})
             scale = {"ups": self.scale_ups, "downs": self.scale_downs}
+            trace = {
+                "mode": self.config.trace,
+                "router_spans": (len(self._router_ring)
+                                 if self._router_ring is not None else 0),
+                "clock_sync": {wid: sync.to_dict()
+                               for wid, sync in self._clock_syncs.items()},
+                "fleet_incidents": [str(p) for p in self.fleet_incidents],
+            }
         return {
             "kind": "repro-fleet-stats",
             "n_workers": len(workers),
@@ -531,6 +844,7 @@ class Fleet:
             "routing": routing,
             "autoscale": {"history": history, **scale},
             "warm_keys": warm,
+            "trace": trace,
         }
 
     # -- autoscaling ----------------------------------------------------
@@ -595,15 +909,24 @@ class Fleet:
                         except Exception:
                             pass
                     continue
+                # Router spans are synthesized *before* the future
+                # resolves, so a dump_trace() racing the client's
+                # result() can never miss a finished request's root.
                 try:
                     if status == "ok":
-                        desc, extras = rest
+                        desc, extras, timing = rest
                         output = fetch_result(desc)
+                        if entry.trace is not None:
+                            self._emit_router_spans(entry.trace, timing)
                         entry.future._resolve(PrimitiveResult(
                             output=output, counters=[],
                             device=self.device, extras=dict(extras)))
                     else:
-                        type_name, message = rest
+                        type_name, message, timing = rest
+                        if entry.trace is not None:
+                            self._emit_router_spans(
+                                entry.trace, timing,
+                                error=f"{type_name}: {message}")
                         entry.future._fail(
                             _revive_error(type_name, message))
                 except Exception as exc:  # pragma: no cover
@@ -614,12 +937,26 @@ class Fleet:
             elif tag == "up":
                 _, worker_id, _n = msg
                 self._fulfil(("up", worker_id), None)
-            elif tag in ("stats", "drained"):
+            elif tag == "stats":
                 _, _worker_id, token, stats, warm_keys = msg
                 self._fulfil(token, (stats, warm_keys))
+            elif tag == "drained":
+                _, _worker_id, token, stats, warm_keys, spans = msg
+                self._fulfil(token, (stats, warm_keys, spans))
             elif tag == "ack":
                 _, _worker_id, token, payload = msg
                 self._fulfil(token, payload)
+            elif tag == "incident":
+                # A worker's flight recorder just dumped locally; gather
+                # the fleet-wide bundle on a side thread — the collector
+                # must stay free to read the gather's own acks.
+                _, worker_id, trigger, path, reason = msg
+                threading.Thread(
+                    target=self._gather_incident,
+                    args=(trigger, reason),
+                    kwargs={"source_worker": worker_id,
+                            "worker_bundle": path},
+                    name="fleet-incident", daemon=True).start()
             elif tag == "err":
                 # Control-message failure: fulfil the waiter (payload
                 # None) so the caller times out fast instead of slow.

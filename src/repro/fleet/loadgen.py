@@ -21,7 +21,14 @@ against the NumPy reference semantics.
 4. **incident phase** — flips the workers' chaos injectors to
    ``"always"`` so the circuit breaker opens and a flight-recorder
    bundle is dumped, then **replays** that bundle through
-   :mod:`repro.fleet.replay` and asserts the same trigger fires again.
+   :mod:`repro.fleet.replay` and asserts the same trigger fires again;
+5. **tracing phase** — the whole run executes with ``trace="full"``,
+   so before the fleet closes it dumps the merged clock-aligned
+   Chrome trace, asserts worker spans joined router request spans via
+   the propagated trace context, runs the cross-process critical-path
+   check from :mod:`repro.obs.analyze` (±2%), and demands that the
+   worker incidents from phase 4 escalated into one **fleet-wide**
+   incident bundle whose manifest carries every worker's flight ring.
 
 Everything is seeded and tick-driven — no wall-clock thresholds —
 so the check passes or fails for real reasons.
@@ -77,6 +84,12 @@ class FleetLoadReport:
     incidents: List[str] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
     stats: Optional[Dict] = None
+    # Distributed-tracing acceptance (populated when the run traced).
+    trace_path: Optional[str] = None
+    trace_requests: Optional[int] = None
+    trace_joined: Optional[int] = None
+    trace_problems: List[str] = field(default_factory=list)
+    fleet_incidents: List[str] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         out = dict(self.__dict__)
@@ -104,6 +117,17 @@ class FleetLoadReport:
             f"(bound 2.00x)",
             f"  fleet plan-cache hit rate {self.plan_hit_rate * 100:.1f}%",
         ]
+        if self.trace_path is not None:
+            joined = self.trace_joined or 0
+            lines.append(
+                f"  trace: {self.trace_requests or 0} requests merged "
+                f"({joined} joined across processes) -> {self.trace_path}")
+            if self.trace_problems:
+                lines.append(
+                    f"  trace problems: {self.trace_problems[:3]}")
+        if self.fleet_incidents:
+            lines.append("  fleet-wide incident bundles:")
+            lines.extend(f"    {p}" for p in self.fleet_incidents[:4])
         if self.replay_trigger is not None:
             verdict = "reproduced" if self.replay_reproduced \
                 else "NOT reproduced"
@@ -205,6 +229,65 @@ def _hit_rate_delta(before: tuple, after: tuple) -> float:
     return hits / planned if planned else 1.0
 
 
+def _check_fleet_trace(report: FleetLoadReport, fleet: Fleet,
+                       trace_path: Path) -> None:
+    """Dump the merged fleet trace and fold the distributed-tracing
+    acceptance evidence into ``report``: the document must validate,
+    worker ``serve.request`` roots must join router requests through
+    the propagated trace ids, and the cross-process critical path
+    must tile each request wall within the analyzer's 2% tolerance."""
+    from repro.obs import analyze as obs_analyze
+    from repro.obs.export import validate_chrome_trace
+
+    doc = fleet.dump_trace(path=trace_path)
+    report.trace_path = str(trace_path)
+    try:
+        validate_chrome_trace(doc)
+    except Exception as exc:
+        report.trace_problems.append(
+            f"merged trace failed validation: {exc}")
+        return
+    analysis = obs_analyze.analyze(str(trace_path))
+    requests = analysis.get("fleet_requests") or []
+    report.trace_requests = len(requests)
+    report.trace_joined = sum(
+        1 for r in requests if r.get("worker_detail"))
+    report.trace_problems.extend(obs_analyze.check_report(analysis))
+
+
+def _check_fleet_bundle(report: FleetLoadReport, fleet: Fleet) -> None:
+    """The chaos phase's worker incidents must have escalated into one
+    fleet-wide bundle gathering every live worker's flight ring, and
+    that bundle must still be replayable (``loadgen.profile`` intact)."""
+    from repro.fleet.replay import load_bundle, plan_replay
+
+    # The gather runs on a collector-side thread; give it a moment.
+    deadline = time.monotonic() + 10.0
+    while not fleet.fleet_incidents and time.monotonic() < deadline:
+        time.sleep(0.05)
+    report.fleet_incidents = [str(p) for p in fleet.fleet_incidents]
+    if not report.fleet_incidents:
+        report.trace_problems.append(
+            "worker incidents never escalated into a fleet-wide bundle")
+        return
+    try:
+        manifest = load_bundle(report.fleet_incidents[0])
+    except Exception as exc:
+        report.trace_problems.append(
+            f"fleet incident bundle unreadable: {exc}")
+        return
+    workers = (manifest.get("context") or {}).get("workers") or {}
+    missing = [w for w in fleet.worker_ids if w not in workers]
+    if missing:
+        report.trace_problems.append(
+            f"fleet bundle missing flight rings for {missing}")
+    try:
+        plan_replay(manifest)
+    except Exception as exc:
+        report.trace_problems.append(
+            f"fleet bundle is not replayable: {exc}")
+
+
 def run_fleet_load(
     *,
     shapes: Optional[List[str]] = None,
@@ -217,9 +300,15 @@ def run_fleet_load(
     timeout_s: float = 60.0,
     prime: bool = True,
     collect_stats: bool = False,
+    trace_out: Optional[str] = None,
 ) -> FleetLoadReport:
     """Drive a fresh fleet with closed-loop multi-shape traffic and
-    return the populated :class:`FleetLoadReport`."""
+    return the populated :class:`FleetLoadReport`.
+
+    When the fleet config enables tracing and ``trace_out`` is given,
+    the merged clock-aligned Chrome trace is dumped there before the
+    fleet closes.
+    """
     shapes = list(shapes) if shapes else sorted(SHAPES)
     sizes = list(sizes) if sizes else [256, 384, 512, 640]
     cfg = fleet_config if fleet_config is not None else FleetConfig()
@@ -244,6 +333,8 @@ def run_fleet_load(
         _fold_stats(report, stats)
         if collect_stats:
             report.stats = stats
+        if trace_out is not None and fleet.tracing:
+            _check_fleet_trace(report, fleet, Path(trace_out))
     latencies.sort()
     report.latency_p50_ms = _percentile(latencies, 0.50)
     report.latency_p95_ms = _percentile(latencies, 0.95)
@@ -263,10 +354,13 @@ def run_fleet_check(
     timeout_s: float = 60.0,
     incident_dir: Optional[str] = None,
     collect_stats: bool = False,
+    trace_out: Optional[str] = None,
 ) -> FleetLoadReport:
-    """The four-phase deterministic acceptance run (module docstring).
+    """The five-phase deterministic acceptance run (module docstring).
 
     Returns the report; :func:`check_fleet_report` asserts it.
+    ``trace_out`` overrides where the phase-5 merged trace lands
+    (default: ``fleet-trace.json`` inside the incident dir).
     """
     shapes = sorted(SHAPES)
     sizes = [256, 320, 384, 448, 512, 576, 640, 704]  # 5 shapes x 8 = 40 keys
@@ -279,6 +373,7 @@ def run_fleet_check(
         queue_high=2, queue_low=1, up_after=1, down_after=2,
         cooldown_ticks=0, tick_interval_s=0.0,
         incident_dir=str(incident_root),
+        trace="full",
         serve=ServeConfig(
             max_batch_size=8, max_wait_ms=1.0, breaker_threshold=2,
             breaker_cooldown_ms=50.0, incident_cooldown_ms=0.0,
@@ -359,6 +454,14 @@ def run_fleet_check(
                 report.requests += 1
             fleet.set_fault(None)
 
+            # Phase 5: distributed-tracing acceptance — merged trace,
+            # cross-process critical path, fleet-wide incident bundle.
+            _check_fleet_bundle(report, fleet)
+            _check_fleet_trace(
+                report, fleet,
+                Path(trace_out) if trace_out is not None
+                else incident_root / "fleet-trace.json")
+
             stats = fleet.stats()
             _fold_stats(report, stats)
             if collect_stats:
@@ -425,6 +528,15 @@ def check_fleet_report(report: FleetLoadReport) -> None:
         problems.append(
             f"incident replay did not re-trigger "
             f"{report.replay_trigger!r}")
+    if report.trace_path is not None:
+        if not report.trace_requests:
+            problems.append(
+                "merged fleet trace carries no router request spans")
+        elif not report.trace_joined:
+            problems.append(
+                "no worker span joined a router request — trace-context "
+                "propagation broke")
+        problems.extend(report.trace_problems)
     if problems:
         raise ServeError("fleet acceptance failed: "
                          + "; ".join(problems))

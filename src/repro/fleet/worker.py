@@ -15,16 +15,28 @@ message                   effect
 ========================  ==============================================
 ``("req", rid, ops,       revive + attach, submit to the server, answer
 desc, meta)``             asynchronously via ``ServeFuture.
-                          add_done_callback`` → ``("res", rid, ...)``
+                          add_done_callback`` → ``("res", rid, ...,
+                          timing)`` (``meta["trace"]`` carries the
+                          router's trace context when fleet tracing is
+                          on; ``timing`` holds worker-clock
+                          ``recv_us``/``respond_us``)
 ``("prime", token, ops,   :meth:`Server.prime` the shape (plan-cache
 desc, meta)``             warmup) → ``("ack", wid, token, plans)``
 ``("stats", token)``      → ``("stats", wid, token, stats, warm_keys)``
 ``("fault", token, m)``   set the chaos injector mode → ack
 ``("profile", token,      record a ``loadgen.profile`` event into the
 fields)``                 flight ring (makes worker bundles replayable)
+``("clock", token, t)``   clock-calibration probe → ``("ack", wid,
+                          token, (recv_us, send_us))`` on the worker
+                          clock (NTP-style; see repro.obs.distrib)
+``("trace", token)``      → ``("ack", wid, token, span_ring_snapshot)``
+``("bundle", token)``     → ``("ack", wid, token, {"spans": ...,
+                          "events": ..., "incidents": ...})`` — this
+                          worker's flight ring for a fleet-wide
+                          incident bundle
 ``("drain", token)``      stop taking requests, finish in-flight work,
-                          → ``("drained", wid, token, stats, warm_keys)``
-                          and exit the loop
+                          → ``("drained", wid, token, stats, warm_keys,
+                          spans)`` and exit the loop
 ========================  ==============================================
 
 Responses go through the shared outbox **after** the result array is
@@ -32,11 +44,20 @@ staged into a fresh shm segment, so the router only ever reads
 descriptors off the queue.  The callback fires on the server's worker
 thread — micro-batching inside each fleet worker keeps working exactly
 as in the single-process serve tier.
+
+When fleet tracing is on (``FleetConfig.trace != "off"``), the worker
+captures ``t0_ns`` as its very first act, installs a tracer sharing
+that epoch (so every span, control timestamp and clock-probe reply sits
+on **one** worker clock) plus a bounded :class:`~repro.obs.distrib.
+SpanRing`, and the worker's flight recorder notifies the router of
+every local incident dump via ``("incident", wid, trigger, path,
+reason)`` so the front door can gather a fleet-wide bundle.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 import traceback
 
 import numpy as np
@@ -74,24 +95,30 @@ class MutableFaultInjector:
                 f"injected fault #{count} (fleet chaos hook)")
 
 
-def _respond(outbox, worker_id: str, rid: int, future, shm) -> None:
+def _respond(outbox, worker_id: str, rid: int, future, shm,
+             recv_us, now_us) -> None:
     """Done-callback body: stage the result (or the error) and post it."""
     from repro.fleet.transport import stage_result
+
+    def timing():
+        return {"recv_us": recv_us, "respond_us": now_us()}
 
     try:
         err = future.exception()
         if err is not None:
-            outbox.put(("res", rid, "err", type(err).__name__, str(err)))
+            outbox.put(("res", rid, "err", type(err).__name__, str(err),
+                        timing()))
             return
         result = future.result(timeout=0)
         desc, seg = stage_result(np.asarray(result.output))
         extras = {k: v for k, v in (result.extras or {}).items()
                   if isinstance(v, (str, int, float, bool, type(None)))}
-        outbox.put(("res", rid, "ok", desc, extras))
+        outbox.put(("res", rid, "ok", desc, extras, timing()))
         seg.close()
     except Exception as exc:  # pragma: no cover - transport failure
         outbox.put(("res", rid, "err", type(exc).__name__,
-                    f"response staging failed on {worker_id}: {exc}"))
+                    f"response staging failed on {worker_id}: {exc}",
+                    timing()))
     finally:
         if shm is not None:
             try:
@@ -101,11 +128,35 @@ def _respond(outbox, worker_id: str, rid: int, future, shm) -> None:
 
 
 def worker_main(worker_id: str, inbox, outbox, serve_config, ds_config,
-                device=None) -> None:
+                device=None, trace_mode=None,
+                trace_capacity: int = 4096) -> None:
     """Run one fleet worker until drained.  This is the forked child's
     entire life; it never returns control to the caller's code."""
+    # The worker clock epoch: captured before anything else so the
+    # tracer, the span ring and every control-message timestamp share
+    # one microsecond origin — the thing the router calibrates against.
+    t0_ns = time.perf_counter_ns()
+
+    def now_us() -> float:
+        return (time.perf_counter_ns() - t0_ns) / 1e3
+
     from repro.fleet.transport import attach_payload, revive_ops
     from repro.serve.server import Server
+
+    ring = None
+    if trace_mode and trace_mode != "off":
+        from repro import obs as _obs
+        from repro.obs.distrib import SpanRing, TraceContext
+        from repro.obs.tracer import Tracer
+
+        # retain=False: the ring is the only span consumer, so the
+        # tracer must not also accumulate every span for the life of
+        # the worker — that is both unbounded memory on a long-running
+        # server and measurable GC pressure on the traced hot path.
+        _obs.install(Tracer(trace_mode, t0_ns=t0_ns, retain=False))
+        ring = SpanRing(trace_capacity).install()
+    else:
+        TraceContext = None  # noqa: N806 - sentinel for the req path
 
     injector = MutableFaultInjector(seed=serve_config.seed or 0)
     kwargs = {"ds_config": ds_config, "fault_hook": injector,
@@ -113,27 +164,46 @@ def worker_main(worker_id: str, inbox, outbox, serve_config, ds_config,
     if device is not None:
         kwargs["device"] = device
     server = Server(serve_config, **kwargs)
+    if server.flight is not None:
+        # Local incident dumps escalate to the front door, which then
+        # gathers every worker's flight ring into one fleet-wide bundle.
+        server.flight.on_dump = (
+            lambda trigger, bundle, reason:
+            outbox.put(("incident", worker_id, trigger, str(bundle),
+                        reason)))
     outbox.put(("up", worker_id, server.config.num_workers))
+
+    def ring_snapshot():
+        if ring is not None:
+            return ring.snapshot()
+        if server.flight is not None:
+            return server.flight.span_dicts()
+        return []
 
     draining = False
     while not draining:
         msg = inbox.get()
+        recv_us = now_us()
         tag = msg[0]
         try:
             if tag == "req":
                 _, rid, frozen, desc, meta = msg
                 ops = revive_ops(frozen)
                 values, shm = attach_payload(desc, meta)
+                trace = (TraceContext.from_dict(meta.get("trace"))
+                         if TraceContext is not None else None)
                 try:
                     fut = server.submit_chain(
-                        ops, values, deadline_ms=meta.get("deadline_ms"))
+                        ops, values, deadline_ms=meta.get("deadline_ms"),
+                        trace=trace)
                 except Exception:
                     if shm is not None:
                         shm.close()
                     raise
                 fut.add_done_callback(
-                    lambda f, _rid=rid, _shm=shm:
-                    _respond(outbox, worker_id, _rid, f, _shm))
+                    lambda f, _rid=rid, _shm=shm, _recv=recv_us:
+                    _respond(outbox, worker_id, _rid, f, _shm, _recv,
+                             now_us))
             elif tag == "prime":
                 _, token, frozen, desc, meta = msg
                 ops = revive_ops(frozen)
@@ -162,12 +232,31 @@ def worker_main(worker_id: str, inbox, outbox, serve_config, ds_config,
                     server.flight.record_event("loadgen.profile",
                                                **fields)
                 outbox.put(("ack", worker_id, token, None))
+            elif tag == "clock":
+                # NTP-style probe: both timestamps on the worker clock;
+                # ``recv_us`` was taken the moment the message left the
+                # queue, ``send_us`` as the reply is posted.
+                _, token, _t_router_send = msg
+                outbox.put(("ack", worker_id, token,
+                            (recv_us, now_us())))
+            elif tag == "trace":
+                _, token = msg
+                outbox.put(("ack", worker_id, token, ring_snapshot()))
+            elif tag == "bundle":
+                _, token = msg
+                incidents = ([str(p) for p in server.flight.dumps]
+                             if server.flight is not None else [])
+                events = (server.flight.events()
+                          if server.flight is not None else [])
+                outbox.put(("ack", worker_id, token,
+                            {"spans": ring_snapshot(), "events": events,
+                             "incidents": incidents}))
             elif tag == "drain":
                 _, token = msg
                 draining = True
                 server.close(drain=True)
                 outbox.put(("drained", worker_id, token, server.stats(),
-                            server.warm_keys()))
+                            server.warm_keys(), ring_snapshot()))
             else:  # pragma: no cover - protocol bug guard
                 outbox.put(("err", worker_id,
                             f"unknown control message {tag!r}"))
@@ -176,8 +265,10 @@ def worker_main(worker_id: str, inbox, outbox, serve_config, ds_config,
             # an error response, control messages get an error ack.
             if tag == "req":
                 outbox.put(("res", msg[1], "err", type(exc).__name__,
-                            f"{exc} ({traceback.format_exc(limit=2)})"))
-            elif tag in ("prime", "stats", "fault", "drain"):
+                            f"{exc} ({traceback.format_exc(limit=2)})",
+                            {"recv_us": recv_us, "respond_us": now_us()}))
+            elif tag in ("prime", "stats", "fault", "clock", "trace",
+                         "bundle", "drain"):
                 outbox.put(("err", worker_id,
                             f"{tag} failed: {type(exc).__name__}: {exc}",
                             msg[1]))

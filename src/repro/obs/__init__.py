@@ -26,6 +26,14 @@ Only the tracer, metrics and export surfaces are imported eagerly, so
 the simulator can depend on ``repro.obs`` without cycles.
 """
 
+from repro.obs.distrib import (
+    ClockSync,
+    SpanRing,
+    TraceContext,
+    calibrate,
+    merge_fleet_trace,
+    span_to_dict,
+)
 from repro.obs.export import (
     chrome_trace_events,
     export_chrome_trace,
@@ -53,7 +61,10 @@ from repro.obs.tracer import (
     current_annotations,
     disable,
     enable,
+    install,
     instant,
+    new_span_id,
+    new_trace_id,
     remove_span_sink,
     resolve_trace_mode,
     span,
@@ -64,10 +75,13 @@ from repro.obs.tracer import (
 __all__ = [
     "TRACE_ENV_VAR", "TRACE_MODES", "resolve_trace_mode",
     "Span", "NULL_SPAN", "Tracer", "HOST_TRACK", "wg_track",
-    "active", "enable", "disable", "span", "instant", "tracing",
+    "active", "enable", "disable", "install", "span", "instant", "tracing",
     "annotate", "current_annotations", "add_span_sink", "remove_span_sink",
+    "new_span_id", "new_trace_id",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricsError",
     "chrome_trace_events", "export_chrome_trace", "export_jsonl",
     "validate_chrome_trace",
     "FlightRecorder",
+    "TraceContext", "SpanRing", "ClockSync", "calibrate",
+    "merge_fleet_trace", "span_to_dict",
 ]

@@ -332,6 +332,92 @@ def _analyze_requests(proc: _Process) -> List[dict]:
     return requests
 
 
+def _analyze_fleet_requests(procs: Dict[int, _Process]) -> List[dict]:
+    """Cross-process critical path for fleet traces.
+
+    A merged fleet trace (:func:`repro.obs.distrib.merge_fleet_trace`)
+    has a ``router`` process whose per-request tracks carry the root
+    ``serve.request`` plus ``route`` / ``transport`` / ``worker`` /
+    ``response`` segments tiling the request wall, and worker processes
+    whose own ``serve.request`` roots carry the same ``trace_id``.
+    This joins the two views: the router-side segments decompose the
+    end-to-end wall (they sum to it by construction — the ±2%
+    ``--check`` clause guards the bookkeeping), and the worker-side
+    stage spans break the ``worker`` segment into batch-window / plan /
+    execute / finalize.
+    """
+    router = next((procs[pid] for pid in sorted(procs)
+                   if procs[pid].name == "router"), None)
+    if router is None:
+        return []
+    worker_roots: Dict[str, list] = {}
+    for pid in sorted(procs):
+        proc = procs[pid]
+        if proc is router:
+            continue
+        for tid, track in sorted(proc.threads.items()):
+            if not track.startswith("serve:req"):
+                continue
+            spans = proc.thread_spans(tid)
+            root = next((sp for sp in spans
+                         if sp.name == "serve.request"), None)
+            if root is None:
+                continue
+            trace_id = root.args.get("trace_id")
+            if trace_id:
+                worker_roots.setdefault(trace_id, []).append(
+                    (proc, root, spans))
+    out = []
+    segments = ("route", "transport", "worker", "response")
+    for tid, track in sorted(router.threads.items()):
+        if not track.startswith("serve:req"):
+            continue
+        spans = router.thread_spans(tid)
+        root = next((sp for sp in spans if sp.name == "serve.request"),
+                    None)
+        if root is None or not root.args.get("trace_id"):
+            continue
+        trace_id = root.args["trace_id"]
+        segs: Dict[str, float] = {}
+        for sp in spans:
+            if sp is root or not sp.name.startswith("serve."):
+                continue
+            seg = sp.name[len("serve."):]
+            segs[seg] = segs.get(seg, 0.0) + sp.dur
+        complete = all(seg in segs for seg in segments)
+        covered = sum(segs.get(seg, 0.0) for seg in segments)
+        wall = root.dur
+        worker_detail = None
+        for proc, wroot, wspans in worker_roots.get(trace_id, []):
+            stages: Dict[str, float] = {}
+            for sp in wspans:
+                if sp is wroot or not sp.name.startswith("serve."):
+                    continue
+                stage = sp.name[len("serve."):]
+                stages[stage] = stages.get(stage, 0.0) + sp.dur
+            worker_detail = {
+                "process": proc.name,
+                "wall_us": wroot.dur,
+                "stages": {s: stages[s] for s in _STAGE_ORDER
+                           if s in stages},
+            }
+            break  # one worker serves one fleet request
+        out.append({
+            "trace_id": trace_id,
+            "request_id": root.args.get("request_id"),
+            "worker": root.args.get("worker"),
+            "ops": root.args.get("ops"),
+            "error": root.args.get("error"),
+            "wall_us": wall,
+            "path": {seg: segs.get(seg, 0.0) for seg in segments},
+            "complete": complete,
+            "sum_us": covered,
+            "sum_ratio": (covered / wall) if wall > 0 else 1.0,
+            "worker_detail": worker_detail,
+        })
+    return out
+
+
 def _manifest_failures(manifest: Optional[dict]) -> List[dict]:
     if not manifest:
         return []
@@ -448,7 +534,9 @@ def analyze(loaded: Union[str, Path, dict]) -> dict:
             "n_events": manifest.get("n_events"),
         }
     return {"source": loaded["source"], "kind": loaded["kind"],
-            "processes": processes, "incident": incident}
+            "processes": processes, "incident": incident,
+            "fleet_requests": _analyze_fleet_requests(
+                loaded["processes"])}
 
 
 def analyze_tracer(tracer, *, name: str = "tracer") -> dict:
@@ -467,11 +555,24 @@ def analyze_tracer(tracer, *, name: str = "tracer") -> dict:
                     "processes": _parse_chrome(doc), "manifest": None})
 
 
-def check_report(report: dict, *, tolerance: float = 0.01) -> List[str]:
+def check_report(report: dict, *, tolerance: float = 0.01,
+                 fleet_tolerance: float = 0.02) -> List[str]:
     """The ``make analyze-smoke`` assertions: every work-group's
-    decomposition must sum to the launch wall within ``tolerance`` and
-    spin time can never exceed the wall.  Returns the violations."""
+    decomposition must sum to the launch wall within ``tolerance``,
+    spin time can never exceed the wall, and every complete fleet
+    request's cross-process critical path (router queue → transport →
+    worker → response) must sum to the request wall within
+    ``fleet_tolerance``.  Returns the violations."""
     problems = []
+    for req in report.get("fleet_requests") or []:
+        if not req.get("complete"):
+            continue
+        if abs(req["sum_ratio"] - 1.0) > fleet_tolerance:
+            problems.append(
+                f"fleet req {req['request_id']} ({req['trace_id']}): "
+                f"cross-process critical path sums to "
+                f"{req['sum_ratio']:.4f}x of request wall "
+                f"(tolerance {fleet_tolerance:.0%})")
     for proc in report["processes"]:
         for launch in proc["launches"]:
             for wg in launch["workgroups"]:
@@ -558,6 +659,29 @@ def render_text(report: dict) -> str:
                               ("request_id", "ops", "phase", "error")
                               if ev.get(k) is not None)
             out.append(f"  {ev.get('event')}: {detail}")
+    freqs = report.get("fleet_requests") or []
+    if freqs:
+        out.append(
+            f"\nfleet requests ({len(freqs)}; cross-process critical "
+            f"path, router clock):")
+        for req in freqs:
+            path = req["path"]
+            pieces = " | ".join(f"{seg} {path[seg]:.0f}us"
+                                for seg in ("route", "transport",
+                                            "worker", "response"))
+            err = f" error={req['error']}" if req.get("error") else ""
+            out.append(
+                f"  req {req['request_id']} -> {req['worker']} "
+                f"{req['ops']}: wall {req['wall_us']:.0f}us :: "
+                f"{pieces} (sum/wall {req['sum_ratio']:.3f}){err}")
+            detail = req.get("worker_detail")
+            if detail and detail.get("stages"):
+                stages = " | ".join(f"{name} {dur:.0f}us"
+                                    for name, dur
+                                    in detail["stages"].items())
+                out.append(
+                    f"    worker view [{detail['process']}]: wall "
+                    f"{detail['wall_us']:.0f}us :: {stages}")
     for proc in report["processes"]:
         out.append(f"\nprocess {proc['name']} ({proc['n_spans']} spans)")
         if proc.get("compiles"):

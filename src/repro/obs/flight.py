@@ -77,6 +77,11 @@ class FlightRecorder:
     cooldown_ms:
         Minimum wall-clock gap between two bundles for the *same*
         trigger (:meth:`maybe_dump`); explicit :meth:`dump` ignores it.
+
+    The optional :attr:`on_dump` callback — ``fn(trigger, bundle_path,
+    reason)`` — fires after every bundle is written.  A fleet worker
+    sets it to notify the front door, which then gathers *every*
+    worker's flight ring into one fleet-wide incident bundle.
     """
 
     def __init__(self, capacity: int = 4096, *,
@@ -93,6 +98,7 @@ class FlightRecorder:
         self._lock = threading.Lock()
         self.dumps: List[Path] = []
         self._installed = False
+        self.on_dump = None
 
     # -- recording (the hot path) ---------------------------------------------
 
@@ -136,6 +142,12 @@ class FlightRecorder:
 
     def spans(self) -> List[Span]:
         return list(self._spans)
+
+    def span_dicts(self) -> List[dict]:
+        """The ringed spans as JSON-safe dicts (the form that crosses a
+        process boundary when the fleet gathers worker rings)."""
+        from repro.obs.distrib import span_to_dict
+        return [span_to_dict(sp) for sp in self._spans]
 
     def events(self) -> List[dict]:
         return list(self._events)
@@ -217,4 +229,9 @@ class FlightRecorder:
             json.dumps(manifest, indent=1, sort_keys=True,
                        allow_nan=False) + "\n")
         self.dumps.append(bundle)
+        if self.on_dump is not None:
+            try:
+                self.on_dump(trigger, bundle, reason)
+            except Exception:  # pragma: no cover - notify must not break dump
+                pass
         return bundle

@@ -11,11 +11,16 @@ while keeping the exact merge semantics honest:
 * **counters** sum;
 * **histogram summaries** merge count-weighted: ``count``/``sum`` add,
   ``min``/``max`` take the extremes, ``mean`` re-derives from the
-  summed moments, and the tail percentiles take the **max** across
-  workers.  (A true fleet percentile needs the raw reservoirs, which
-  never leave the workers; the max is the conservative bound — the
-  fleet p95 is *at most* the worst worker p95 — and it is the bound
-  the autoscaler scales on, so the error is on the safe side.)
+  summed moments.  When every live summary carries its power-of-two
+  ``buckets`` (as ``Server.stats()`` snapshots now do), the buckets
+  sum bucket-wise — the layouts are identical by construction — and
+  the tail percentiles re-derive **exactly** the way one worker's
+  :meth:`~repro.obs.metrics.Histogram.quantile` would, so the fleet
+  p95 is the true pooled estimate rather than a pessimistic bound.
+  Summaries without buckets (older snapshots, hand-rolled dicts) fall
+  back to max-of-percentiles across workers: the conservative bound —
+  the fleet p95 is *at most* the worst worker p95 — which errs on the
+  side the autoscaler scales on;
 * **plan cache** hits/misses sum and the hit rate re-derives from the
   sums (never averaging rates — workers with different traffic volumes
   would skew it);
@@ -27,6 +32,7 @@ while keeping the exact merge semantics honest:
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional
 
 __all__ = ["merge_server_stats", "merge_histograms", "fleet_p95_ms"]
@@ -42,25 +48,91 @@ def _is_hist(value) -> bool:
                                            ("count", "sum", "mean"))
 
 
+def _sum_buckets(live: List[dict]) -> Optional[Dict[int, int]]:
+    """Bucket-wise sum of the power-of-two bucket dicts, or ``None``
+    when any live summary lacks buckets (fallback territory).  The
+    layouts always match because every bucket key is ``str(2**b)`` for
+    the same exponent rule; a malformed key disables the exact path."""
+    merged: Dict[int, int] = {}
+    for s in live:
+        buckets = s.get("buckets")
+        if not isinstance(buckets, dict) or not buckets:
+            return None
+        for key, n in buckets.items():
+            try:
+                bound = float(key)
+                exponent = 0 if bound <= 1.0 else round(math.log2(bound))
+                if 2.0 ** exponent != bound:
+                    return None
+            except (TypeError, ValueError):
+                return None
+            merged[exponent] = merged.get(exponent, 0) + int(n)
+    return merged
+
+
+def _quantile_from_buckets(buckets: Dict[int, int], count: int,
+                           lo_clamp: float, hi_clamp: float,
+                           q: float) -> float:
+    """Mirror of :meth:`repro.obs.metrics.Histogram.quantile` over a
+    merged bucket dict: log-linear within the winning power-of-two
+    bucket, clamped to the pooled observed ``[min, max]``."""
+    if count == 0:
+        return 0.0
+    if q <= 0.0:
+        return float(lo_clamp)
+    if q >= 1.0:
+        return float(hi_clamp)
+    target = q * count
+    cumulative = 0
+    for b in sorted(buckets):
+        in_bucket = buckets[b]
+        if cumulative + in_bucket >= target:
+            lo = 0.0 if b <= 0 else float(2.0 ** (b - 1))
+            hi = float(2.0 ** b)
+            lo = max(lo, float(lo_clamp))
+            hi = min(hi, float(hi_clamp))
+            if hi <= lo:
+                return lo
+            fraction = (target - cumulative) / in_bucket
+            return lo + fraction * (hi - lo)
+        cumulative += in_bucket
+    return float(hi_clamp)  # pragma: no cover - defensive
+
+
 def merge_histograms(summaries: List[dict]) -> dict:
     """Count-weighted merge of histogram summary dicts (see module
-    docstring for the percentile caveat)."""
+    docstring for the two percentile regimes)."""
     live = [s for s in summaries if s and s.get("count")]
     if not live:
         return {k: 0 if k in ("count", "sum") else 0.0
                 for k in _HIST_KEYS}
     count = sum(int(s["count"]) for s in live)
     total = sum(float(s["sum"]) for s in live)
-    return {
+    lo = min(float(s["min"]) for s in live)
+    hi = max(float(s["max"]) for s in live)
+    out = {
         "count": count,
         "sum": total,
-        "min": min(float(s["min"]) for s in live),
-        "max": max(float(s["max"]) for s in live),
+        "min": lo,
+        "max": hi,
         "mean": total / count if count else 0.0,
-        "p50": max(float(s.get("p50", 0.0)) for s in live),
-        "p95": max(float(s.get("p95", 0.0)) for s in live),
-        "p99": max(float(s.get("p99", 0.0)) for s in live),
     }
+    buckets = _sum_buckets(live)
+    if buckets is not None:
+        # Exact pooled percentiles: identical power-of-two layouts sum
+        # bucket-wise, then quantiles re-derive exactly as one worker's
+        # Histogram.quantile would over the pooled distribution.
+        for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            out[name] = _quantile_from_buckets(buckets, count, lo, hi, q)
+        out["buckets"] = {str(2 ** b): n
+                          for b, n in sorted(buckets.items())}
+        out["nonfinite"] = sum(int(s.get("nonfinite", 0)) for s in live)
+    else:
+        # Mismatched/absent layouts: conservative max across workers.
+        out["p50"] = max(float(s.get("p50", 0.0)) for s in live)
+        out["p95"] = max(float(s.get("p95", 0.0)) for s in live)
+        out["p99"] = max(float(s.get("p99", 0.0)) for s in live)
+    return out
 
 
 def _merge_breakers(per_worker: Dict[str, dict]) -> dict:

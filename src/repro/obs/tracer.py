@@ -39,9 +39,11 @@ excluded from counter parity).
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -52,9 +54,10 @@ __all__ = [
     "TRACE_ENV_VAR", "TRACE_MODES", "resolve_trace_mode",
     "Span", "NULL_SPAN", "Tracer",
     "HOST_TRACK", "wg_track",
-    "active", "enable", "disable", "span", "instant", "tracing",
+    "active", "enable", "disable", "install", "span", "instant", "tracing",
     "annotate", "current_annotations",
     "add_span_sink", "remove_span_sink",
+    "new_span_id", "new_trace_id",
 ]
 
 TRACE_ENV_VAR = "REPRO_TRACE"
@@ -67,6 +70,37 @@ HOST_TRACK = "host"
 def wg_track(group_index: int) -> str:
     """The track name of one simulated work-group."""
     return f"wg:{int(group_index)}"
+
+
+# -- span / trace ids ----------------------------------------------------------
+#
+# Ids embed the pid and re-seed the sequence whenever the pid changes,
+# so spans recorded on the two sides of a fork (stream pool workers,
+# fleet workers) can never collide when merged into one fleet timeline.
+# The pid check is one comparison on the hot path; the race at the fork
+# boundary is benign because a freshly forked child is single-threaded.
+
+_ID_PID: Optional[int] = None
+_ID_COUNTER = itertools.count(1)
+_ID_PREFIX = ""
+
+
+def new_span_id() -> str:
+    """A process-unique span id (``"<pid:x>-<seq:x>"``), safe to merge
+    across forked processes: the sequence re-seeds per pid."""
+    global _ID_PID, _ID_COUNTER, _ID_PREFIX
+    pid = os.getpid()
+    if pid != _ID_PID:
+        _ID_PID = pid
+        _ID_PREFIX = f"{pid:x}-"
+        _ID_COUNTER = itertools.count(1)
+    return f"{_ID_PREFIX}{next(_ID_COUNTER):x}"
+
+
+def new_trace_id() -> str:
+    """A fresh trace id for one end-to-end request (same pid-salted
+    sequence as :func:`new_span_id`, distinct namespace prefix)."""
+    return f"t{new_span_id()}"
 
 
 # -- correlation annotations ---------------------------------------------------
@@ -162,7 +196,7 @@ class Span:
     when the end time is decided elsewhere (scheduler wake-ups)."""
 
     __slots__ = ("name", "cat", "track", "start_us", "end_us", "args",
-                 "children", "_tracer")
+                 "children", "_span_id", "_tracer")
 
     def __init__(self, name: str, cat: str, track: str, start_us: float,
                  args: Optional[dict], tracer: Optional["Tracer"]) -> None:
@@ -173,7 +207,20 @@ class Span:
         self.end_us: Optional[float] = None
         self.args = args
         self.children: List["Span"] = []
+        self._span_id: Optional[str] = None
         self._tracer = tracer
+
+    @property
+    def span_id(self) -> str:
+        """Process-unique id, minted lazily on first read and cached.
+        Span creation is the hot path; ids are only consumed when spans
+        are serialized for a merge, so deferring the mint keeps its cost
+        out of every traced operation while repeated snapshots of the
+        same span still agree on one id (the merger dedupes by it)."""
+        sid = self._span_id
+        if sid is None:
+            sid = self._span_id = new_span_id()
+        return sid
 
     @property
     def duration_us(self) -> float:
@@ -214,6 +261,7 @@ class _NullSpan:
     duration_us = 0.0
     children: List[Span] = []
     args: Optional[dict] = None
+    span_id: Optional[str] = None
 
     def set(self, **attrs) -> "_NullSpan":
         return self
@@ -242,10 +290,24 @@ class Tracer:
     clock:
         Nanosecond monotonic clock; injectable for deterministic tests
         and golden files.
+    t0_ns:
+        Optional explicit clock epoch (nanoseconds on ``clock``).  A
+        fleet worker passes the timestamp it captured at process start
+        so its tracer, flight ring and control-message timing all share
+        one microsecond origin; default is "now".
+    retain:
+        When ``False``, finished top-level spans are NOT accumulated on
+        the tracer (and instants are kept in a bounded window): the
+        registered span sinks — a fleet worker's :class:`SpanRing` —
+        are the only consumers.  This keeps a long-running traced
+        server's memory bounded and its per-span cost to the sink
+        append; ``tracks``/``roots``/``iter_spans`` then only see spans
+        still open.  Default ``True`` (export reads the tracer).
     """
 
     def __init__(self, mode: str = "full",
-                 clock: Callable[[], int] = time.perf_counter_ns) -> None:
+                 clock: Callable[[], int] = time.perf_counter_ns,
+                 t0_ns: Optional[int] = None, retain: bool = True) -> None:
         mode = resolve_trace_mode(mode)
         if mode == "off":
             raise ReproError(
@@ -253,12 +315,14 @@ class Tracer:
                 "install a tracer")
         self.mode = mode
         self._clock = clock
-        self._t0 = clock()
+        self._t0 = clock() if t0_ns is None else int(t0_ns)
+        self.retain = bool(retain)
         self.metrics = MetricsRegistry()
         self._roots: Dict[str, List[Span]] = {}
         self._stacks: Dict[str, List[Span]] = {}
         self._track_order: List[str] = []
-        self.instants: List[dict] = []
+        self.instants: List[dict] = [] if self.retain \
+            else deque(maxlen=10_000)  # type: ignore[assignment]
 
     # -- time -----------------------------------------------------------------
 
@@ -286,7 +350,10 @@ class Tracer:
         roots = self._track(track)
         sp = Span(name, cat, track, self.now_us(), args, self)
         stack = self._stacks[track]
-        (stack[-1].children if stack else roots).append(sp)
+        if stack:
+            stack[-1].children.append(sp)
+        elif self.retain:
+            roots.append(sp)
         stack.append(sp)
         return sp
 
@@ -317,7 +384,7 @@ class Tracer:
         sp.end_us = float(end_us)
         if parent is not None:
             parent.children.append(sp)
-        else:
+        elif self.retain:
             self._track(track).append(sp)
         if _SPAN_SINKS:
             _notify_sinks(sp)
@@ -391,6 +458,14 @@ def disable() -> Optional[Tracer]:
     if t is not None:
         t.close()
     return t
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Install a pre-constructed tracer as the process-global one (used
+    by fleet workers to share the worker clock epoch via ``t0_ns``)."""
+    global _ACTIVE
+    _ACTIVE = tracer
+    return tracer
 
 
 def span(name: str, *, cat: str = "span", track: str = HOST_TRACK,

@@ -79,7 +79,7 @@ class ServeRequest:
     __slots__ = ("id", "ops", "array", "config", "batch_key", "deadline",
                  "future", "state", "lock", "t_submit", "t_dispatch",
                  "t_submit_us", "t_dispatch_us", "t_window_us", "tracer",
-                 "server")
+                 "trace", "server")
 
     def __init__(
         self,
@@ -107,6 +107,9 @@ class ServeRequest:
         self.t_dispatch_us: Optional[float] = None
         self.t_window_us: Optional[float] = None
         self.tracer = None
+        # Distributed trace context (repro.obs.distrib.TraceContext)
+        # when this request arrived through the fleet transport.
+        self.trace = None
         self.server = None  # set by Server.submit; used by cancel()
 
     @property

@@ -363,6 +363,7 @@ class Server:
     def submit(self, op: str, values, *args,
                config: Optional[DSConfig] = None,
                deadline_ms: Optional[float] = None,
+               trace=None,
                **kwargs) -> ServeFuture:
         """Queue one op call; returns its :class:`ServeFuture`.
 
@@ -378,18 +379,28 @@ class Server:
         """
         desc = get_op(op)
         return self._admit([(desc, tuple(args), dict(kwargs))], values,
-                           config=config, deadline_ms=deadline_ms)
+                           config=config, deadline_ms=deadline_ms,
+                           trace=trace)
 
     def submit_chain(self, ops: Sequence, values: np.ndarray, *,
                      config: Optional[DSConfig] = None,
-                     deadline_ms: Optional[float] = None) -> ServeFuture:
+                     deadline_ms: Optional[float] = None,
+                     trace=None) -> ServeFuture:
         """Queue a chain of ops over one input; each op consumes its
         predecessor's output (so fusable chains fuse)::
 
             server.submit_chain([("compact", 0.0), "unique"], x)
+
+        ``trace`` is an optional
+        :class:`~repro.obs.distrib.TraceContext` carried over from a
+        remote caller (the fleet front door): the request's
+        ``serve.request`` span then advertises the caller's
+        ``trace_id``/``parent_span_id`` so the fleet merger can parent
+        this process's spans under the router's.
         """
         return self._admit(_chain_spec(list(ops)), values,
-                           config=config, deadline_ms=deadline_ms)
+                           config=config, deadline_ms=deadline_ms,
+                           trace=trace)
 
     def _tuned_for(self, stages, array, cfg: DSConfig,
                    backend: str) -> Optional[dict]:
@@ -473,7 +484,8 @@ class Server:
         backing :meth:`warm_keys`."""
         return {k: dict(v) for k, v in self._warm_shapes.items()}
 
-    def _admit(self, spec, values, *, config, deadline_ms) -> ServeFuture:
+    def _admit(self, spec, values, *, config, deadline_ms,
+               trace=None) -> ServeFuture:
         cfg = config if config is not None else self.ds_config
         # The unified DSSource front door: in-core inputs admit as the
         # plain array they always did; out-of-core sources (memmap,
@@ -522,6 +534,7 @@ class Server:
             request = ServeRequest(self._next_id, stages, array, cfg,
                                    batch_key, deadline)
             request.server = self
+            request.trace = trace
             self._next_id += 1
             self._inflight += 1
             tracer = _obs.active()
@@ -826,8 +839,13 @@ class Server:
             # The annotation scope threads request identity into every
             # launch/primitive span and ``launch.done`` event-log record
             # this batch produces — the end-to-end correlation key.
-            with _obs.annotate(request_ids=[req.id for req in live],
-                               batch_ops="+".join(live[0].op_key)):
+            notes = {"request_ids": [req.id for req in live],
+                     "batch_ops": "+".join(live[0].op_key)}
+            trace_ids = [req.trace.trace_id for req in live
+                         if req.trace is not None]
+            if trace_ids:
+                notes["trace_ids"] = trace_ids
+            with _obs.annotate(**notes):
                 resident = [req for req in live if not req.streamed]
                 for req in live:
                     if req.streamed:
@@ -835,7 +853,8 @@ class Server:
 
                         results[req.id] = stream_run(
                             [(s.desc, s.args, s.kwargs) for s in req.ops],
-                            req.array, stream=stream, config=req.config)
+                            req.array, stream=stream, config=req.config,
+                            trace=req.trace)
                 if resident:
                     fuse = self._tuned_fuse.get(resident[0].batch_key, True)
                     p = Pipeline(stream, config=resident[0].config,
@@ -886,6 +905,12 @@ class Server:
                      else None)
         degraded = bool(result is not None
                         and result.extras.get("degraded"))
+        # Spans are emitted *before* the future resolves: a fleet
+        # worker posts its response from a done-callback, and the
+        # router may gather this server's span ring the moment the
+        # client unblocks — the request's spans must already be there.
+        self._emit_request_spans(req, degraded=degraded,
+                                 t_done_us=t_done_us, error=error)
         if result is not None:
             # The shared Future extras schema: the serve layer owns the
             # correlation id, and every served result states whether it
@@ -932,8 +957,6 @@ class Server:
                 self._event("serve.request_cancelled",
                             request_id=req.id,
                             ops="+".join(req.op_key), phase="queue")
-        self._emit_request_spans(req, degraded=degraded,
-                                 t_done_us=t_done_us, error=error)
         with self._cond:
             self._inflight -= 1
             self._cond.notify_all()
@@ -956,6 +979,14 @@ class Server:
                 "state": req.state, "degraded": degraded}
         if error is not None:
             args["error"] = f"{type(error).__name__}: {error}"
+        if req.trace is not None:
+            # Remote correlation: the fleet merger joins this span to
+            # the router's serve.request through these args.
+            args["trace_id"] = req.trace.trace_id
+            if req.trace.parent_span_id:
+                args["parent_span_id"] = req.trace.parent_span_id
+            if req.trace.request_id is not None:
+                args["fleet_request_id"] = req.trace.request_id
         root = tracer.add_span(
             "serve.request", track=track, cat="serve",
             start_us=req.t_submit_us, end_us=end_us, args=args)
@@ -998,9 +1029,13 @@ class Server:
                 if item.name.startswith("serve."):
                     d = item.to_dict()
                     if d["type"] == "histogram":
+                        # The power-of-two buckets ride along so the
+                        # fleet rollup can merge percentiles exactly
+                        # (bucket-wise sums) instead of conservatively.
                         out[item.name] = {k: d[k] for k in
                                           ("count", "sum", "min", "max",
-                                           "mean", "p50", "p95", "p99")}
+                                           "mean", "p50", "p95", "p99",
+                                           "buckets", "nonfinite")}
                     else:
                         out[item.name] = d["value"]
         with self._cond:

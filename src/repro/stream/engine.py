@@ -369,6 +369,7 @@ def stream_run(
     config: Optional[DSConfig] = None,
     workers: Optional[int] = None,
     double_buffer: Optional[bool] = None,
+    trace=None,
 ) -> PrimitiveResult:
     """Stream an op chain over ``source``, shard by shard.
 
@@ -376,7 +377,11 @@ def stream_run(
     is anything :func:`~repro.stream.source.as_source` accepts.
     ``workers`` / ``double_buffer`` default to ``config.shard_workers``
     / ``config.double_buffer``; ``workers > 0`` dispatches pool-capable
-    chains to :func:`~repro.stream.pool.pool_run`.  Returns one merged
+    chains to :func:`~repro.stream.pool.pool_run`.  ``trace`` is an
+    optional distributed trace context (a
+    :class:`~repro.obs.distrib.TraceContext` or its dict form) handed
+    to the pool's forked workers so per-shard spans correlate with the
+    originating fleet request.  Returns one merged
     :class:`~repro.primitives.common.PrimitiveResult` whose output is
     byte-identical to the monolithic chain and whose counters are the
     per-shard launch records in shard order.
@@ -402,7 +407,7 @@ def stream_run(
             if block is None:
                 return pool_run(stages, src, stream=stream, config=config,
                                 n_workers=n_workers,
-                                shard_elems=shard_elems)
+                                shard_elems=shard_elems, trace=trace)
         warnings.warn(
             f"stream_run: {block}; falling back to the single-process "
             f"streaming path", RuntimeWarning, stacklevel=2)

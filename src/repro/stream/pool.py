@@ -140,8 +140,14 @@ def _out_layout(stages, source: DSSource, shards: List[Shard],
 
 
 def _worker_main(worker_id, stages, in_desc, out_name, out_dtype,
-                 row_elems, config, device, task_q, result_q) -> None:
-    """One forked worker: pull shard tasks until the ``None`` sentinel."""
+                 row_elems, config, device, task_q, result_q,
+                 trace=None) -> None:
+    """One forked worker: pull shard tasks until the ``None`` sentinel.
+
+    ``trace`` is the distributed trace context (dict form) inherited
+    through the fork handoff; it is echoed in every shard result so the
+    parent's per-shard spans carry the originating request's
+    ``trace_id``/``parent_span_id``."""
     from multiprocessing import shared_memory
 
     try:
@@ -181,19 +187,26 @@ def _worker_main(worker_id, stages, in_desc, out_name, out_dtype,
                 "counters": res.counters,
                 "t_ns": (t0, t1, t2, t3),
                 "worker": worker_id,
+                "trace": trace,
             }))
         except BaseException as exc:
             result_q.put(("error", k, repr(exc)))
 
 
 def pool_run(stages, source: DSSource, *, stream, config: DSConfig,
-             n_workers: int, shard_elems: int) -> PrimitiveResult:
+             n_workers: int, shard_elems: int,
+             trace=None) -> PrimitiveResult:
     """Stream the chain over ``source`` with forked shard workers.
 
     Preconditions (enforced by :func:`~repro.stream.engine.stream_run`):
     the chain is streamable, pool-compatible (``unique`` final-only),
-    the source is sized, and ``fork`` is available.
+    the source is sized, and ``fork`` is available.  ``trace`` (a
+    :class:`~repro.obs.distrib.TraceContext` or its dict form) rides
+    the fork handoff so the per-shard spans this run emits carry the
+    originating request's trace identity.
     """
+    if trace is not None and hasattr(trace, "to_dict"):
+        trace = trace.to_dict()
     from repro.stream.engine import STREAMABLE_OPS, _row_elems, \
         _sequential_run
 
@@ -240,7 +253,7 @@ def pool_run(stages, source: DSSource, *, stream, config: DSConfig,
                     target=_worker_main,
                     args=(w, stages, in_desc, out_shm.name, str(out_dtype),
                           row_elems, config, stream.device, task_q,
-                          result_q),
+                          result_q, trace),
                     daemon=True)
                 p.start()
                 procs.append(p)
@@ -384,6 +397,13 @@ def _emit_pool_spans(tracer, results: Dict[int, dict], ref_us: float,
         t0, t1, t2, t3 = results[k]["t_ns"]
         track = f"shard:{k}"
         args = {"shard": k, "worker": results[k]["worker"]}
+        trace = results[k].get("trace")
+        if trace:
+            # The context the worker echoed back through the fork
+            # handoff: ties these shard spans to the fleet request.
+            args["trace_id"] = trace.get("trace_id")
+            if trace.get("parent_span_id"):
+                args["parent_span_id"] = trace["parent_span_id"]
         tracer.add_span("stream.load", track=track, cat="stream",
                         start_us=us(t0), end_us=us(t1), args=args)
         tracer.add_span("stream.compute", track=track, cat="stream",

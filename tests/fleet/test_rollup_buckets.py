@@ -1,0 +1,103 @@
+"""Exact bucket-wise histogram merge in the fleet rollup.
+
+When every worker summary carries its power-of-two ``buckets`` (as
+``Server.stats()`` snapshots do), :func:`merge_histograms` must produce
+the *same* percentiles one :class:`~repro.obs.metrics.Histogram` would
+report after recording the pooled observations — not the conservative
+max-of-percentiles bound used for bucket-less summaries.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs.metrics import Histogram
+from repro.obs.rollup import fleet_p95_ms, merge_histograms
+
+
+def _summary(values):
+    h = Histogram("serve.latency_ms")
+    for v in values:
+        h.record(v)
+    d = h.to_dict()
+    return {k: d[k] for k in ("count", "sum", "min", "max", "mean",
+                              "p50", "p95", "p99", "buckets",
+                              "nonfinite")}
+
+
+def _pooled_reference(*value_lists):
+    h = Histogram("ref")
+    for values in value_lists:
+        for v in values:
+            h.record(v)
+    return h
+
+
+@pytest.mark.parametrize("seed", [7, 21, 1234])
+def test_bucketwise_merge_matches_pooled_histogram(seed):
+    rng = random.Random(seed)
+    worker_a = [rng.uniform(0.5, 40.0) for _ in range(300)]
+    worker_b = [rng.uniform(10.0, 400.0) for _ in range(120)]
+    worker_c = [rng.uniform(0.1, 2.0) for _ in range(80)]
+
+    merged = merge_histograms([_summary(worker_a), _summary(worker_b),
+                               _summary(worker_c)])
+    ref = _pooled_reference(worker_a, worker_b, worker_c)
+
+    assert merged["count"] == ref.count
+    assert merged["sum"] == pytest.approx(ref.total)
+    assert merged["min"] == pytest.approx(ref.min)
+    assert merged["max"] == pytest.approx(ref.max)
+    assert merged["mean"] == pytest.approx(ref.mean)
+    for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+        assert merged[name] == pytest.approx(ref.quantile(q)), name
+    assert merged["buckets"] == ref.to_dict()["buckets"]
+
+
+def test_exact_beats_max_of_percentiles():
+    """The pooled p95 can sit strictly *below* the worst worker's p95:
+    a tiny worker with terrible latency must not dominate the fleet
+    percentile the way the conservative fallback lets it."""
+    bulk = [2.0 + 0.001 * k for k in range(950)]    # fast traffic
+    straggler = [900.0, 950.0]                      # 2 slow requests
+    merged = merge_histograms([_summary(bulk), _summary(straggler)])
+    ref = _pooled_reference(bulk, straggler)
+    worst_worker_p95 = _summary(straggler)["p95"]
+    assert merged["p95"] == pytest.approx(ref.quantile(0.95))
+    assert merged["p95"] < worst_worker_p95
+    assert fleet_p95_ms({"serve.latency_ms": merged}) \
+        == pytest.approx(merged["p95"])
+
+
+def test_missing_buckets_falls_back_to_max():
+    with_buckets = _summary([1.0, 2.0, 3.0])
+    legacy = {"count": 3, "sum": 60.0, "min": 10.0, "max": 30.0,
+              "mean": 20.0, "p50": 20.0, "p95": 29.0, "p99": 30.0}
+    merged = merge_histograms([with_buckets, legacy])
+    # Any bucket-less participant disables the exact path.
+    assert "buckets" not in merged
+    assert merged["p95"] == pytest.approx(
+        max(with_buckets["p95"], 29.0))
+    assert merged["count"] == 6
+
+
+def test_malformed_bucket_keys_fall_back():
+    good = _summary([4.0, 8.0])
+    bad = dict(_summary([4.0, 8.0]), buckets={"3.7": 2})
+    merged = merge_histograms([good, bad])
+    assert "buckets" not in merged
+    assert merged["p95"] == pytest.approx(max(good["p95"], bad["p95"]))
+
+
+def test_nonfinite_counts_ride_the_exact_merge():
+    a = Histogram("x")
+    for v in (1.0, float("nan"), 2.0):
+        a.record(v)
+    b = Histogram("x")
+    for v in (float("inf"), 4.0):
+        b.record(v)
+    merged = merge_histograms([a.to_dict(), b.to_dict()])
+    assert merged["count"] == 3
+    assert merged["nonfinite"] == 2
